@@ -1,0 +1,420 @@
+//! Snap-stabilizing phase barrier: a process passes from phase `k` to
+//! `k + 1` only after a wave *it started* collected, from every other
+//! process, evidence of having finished phase `k` (or being beyond it).
+//!
+//! Because the evidence is carried by the feedbacks of a single started
+//! PIF wave, Specification 1 makes it current — corrupted local state
+//! cannot fake a barrier crossing, unlike a naive "remembered reports"
+//! design where a corrupted report table lets a process run ahead. If the
+//! wave finds stragglers, the process simply asks again (each retry is a
+//! fresh complete wave), so the barrier is also live under fair loss.
+//!
+//! A process that learns it is *behind* (some peer reports a larger phase)
+//! fast-forwards: peers beyond `k` have necessarily passed barrier `k`.
+
+use snapstab_core::pif::{PifApp, PifCore, PifEvent, PifMsg, PifState};
+use snapstab_sim::{ArbitraryState, Context, PerNeighbor, ProcessId, Protocol, SimRng};
+
+/// The barrier query: "I finished this phase; where are you?".
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BarrierQuery {
+    /// The asker's phase.
+    pub phase: u64,
+}
+
+impl ArbitraryState for BarrierQuery {
+    fn arbitrary(rng: &mut SimRng) -> Self {
+        BarrierQuery { phase: rng.gen_u64() % 8 }
+    }
+}
+
+/// The barrier reply: the responder's progress.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BarrierReply {
+    /// The responder's phase.
+    pub phase: u64,
+    /// Whether the responder finished its work in that phase.
+    pub done: bool,
+}
+
+impl ArbitraryState for BarrierReply {
+    fn arbitrary(rng: &mut SimRng) -> Self {
+        BarrierReply { phase: rng.gen_u64() % 8, done: rng.gen_bool(0.5) }
+    }
+}
+
+/// Events of a barrier process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BarrierEvent {
+    /// The process finished its work and started synchronizing.
+    SyncStarted {
+        /// The phase being synchronized.
+        phase: u64,
+    },
+    /// The barrier was passed; the process is now in this (new) phase.
+    Passed {
+        /// The phase just entered.
+        new_phase: u64,
+    },
+    /// A wave completed but found stragglers; retrying.
+    Retry,
+    /// An event of the underlying PIF.
+    Pif(PifEvent<BarrierQuery, BarrierReply>),
+}
+
+impl From<PifEvent<BarrierQuery, BarrierReply>> for BarrierEvent {
+    fn from(e: PifEvent<BarrierQuery, BarrierReply>) -> Self {
+        BarrierEvent::Pif(e)
+    }
+}
+
+/// App adapter: answers queries with this process's progress and collects
+/// replies for the barrier decision.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct BarrierVars {
+    phase: u64,
+    work_done: bool,
+    collected: PerNeighbor<Option<BarrierReply>>,
+}
+
+impl PifApp<BarrierQuery, BarrierReply> for BarrierVars {
+    fn on_broadcast(&mut self, _from: ProcessId, _q: &BarrierQuery) -> BarrierReply {
+        BarrierReply { phase: self.phase, done: self.work_done }
+    }
+    fn on_feedback(&mut self, from: ProcessId, reply: &BarrierReply) {
+        self.collected.set(from, Some(*reply));
+    }
+}
+
+/// The state projection of a barrier process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BarrierState {
+    /// The current phase.
+    pub phase: u64,
+    /// Whether this phase's work is finished (equivalently: whether the
+    /// process is synchronizing — the two must coincide, or a corrupted
+    /// "done but not syncing" combination would deadlock).
+    pub work_done: bool,
+    /// Collected replies (own slot unused).
+    pub collected: Vec<Option<BarrierReply>>,
+    /// The underlying PIF state.
+    pub pif: PifState<BarrierQuery, BarrierReply>,
+}
+
+/// A process participating in snap-stabilizing phase barriers.
+#[derive(Clone, Debug)]
+pub struct BarrierProcess {
+    me: ProcessId,
+    n: usize,
+    vars: BarrierVars,
+    pif: PifCore<BarrierQuery, BarrierReply>,
+    /// Barrier crossings (instrumentation).
+    passes: u64,
+}
+
+impl BarrierProcess {
+    /// Creates a process at phase 0 with unfinished work.
+    pub fn new(me: ProcessId, n: usize) -> Self {
+        BarrierProcess {
+            me,
+            n,
+            vars: BarrierVars {
+                phase: 0,
+                work_done: false,
+                collected: PerNeighbor::new(me, n, None),
+            },
+            pif: PifCore::new(
+                me,
+                n,
+                BarrierQuery { phase: 0 },
+                BarrierReply { phase: 0, done: false },
+            ),
+        passes: 0,
+        }
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> u64 {
+        self.vars.phase
+    }
+
+    /// True while synchronizing (work done, waiting at the barrier).
+    pub fn is_syncing(&self) -> bool {
+        self.vars.work_done
+    }
+
+    /// Barrier crossings so far.
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// The external work signal: this phase's work is finished; start
+    /// synchronizing. Returns `false` if already finished or syncing.
+    pub fn finish_work(&mut self) -> bool {
+        if self.vars.work_done {
+            return false;
+        }
+        self.vars.work_done = true;
+        self.vars.collected.fill_with(|_| None);
+        self.pif
+            .force_request(BarrierQuery { phase: self.vars.phase });
+        true
+    }
+
+    fn barrier_holds(&self) -> bool {
+        self.vars.collected.all(|slot| {
+            matches!(slot, Some(r) if r.phase > self.vars.phase
+                || (r.phase == self.vars.phase && r.done))
+        })
+    }
+
+    fn max_reported(&self) -> u64 {
+        self.vars
+            .collected
+            .iter()
+            .filter_map(|(_, slot)| slot.map(|r| r.phase))
+            .max()
+            .unwrap_or(self.vars.phase)
+    }
+}
+
+impl Protocol for BarrierProcess {
+    type Msg = PifMsg<BarrierQuery, BarrierReply>;
+    type Event = BarrierEvent;
+    type State = BarrierState;
+
+    fn activate(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Event>) -> bool {
+        let mut acted = false;
+        if self.vars.work_done && self.pif.request() == snapstab_core::RequestState::Done {
+            if self.barrier_holds() {
+                // Everyone reached this phase: cross the barrier. A peer
+                // *at* phase P has passed every barrier below P, so when
+                // ahead it certifies fast-forwarding to P (not beyond).
+                let next = (self.vars.phase + 1).max(self.max_reported());
+                self.vars.phase = next;
+                self.vars.work_done = false;
+                self.passes += 1;
+                ctx.emit(BarrierEvent::Passed { new_phase: next });
+            } else {
+                // Stragglers: ask again with a fresh wave.
+                self.vars.collected.fill_with(|_| None);
+                self.pif
+                    .force_request(BarrierQuery { phase: self.vars.phase });
+                ctx.emit(BarrierEvent::Retry);
+            }
+            acted = true;
+        }
+        acted |= self.pif.activate(ctx);
+        acted
+    }
+
+    fn on_receive(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<'_, Self::Msg, Self::Event>,
+    ) {
+        self.pif.handle_receive(from, msg, &mut self.vars, ctx);
+    }
+
+    fn has_enabled_action(&self) -> bool {
+        (self.vars.work_done && self.pif.request() == snapstab_core::RequestState::Done)
+            || self.pif.has_enabled_action()
+    }
+
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        // The phase counter's domain is unbounded; corruption draws from a
+        // window (a full-u64 draw only stretches the catch-up time
+        // linearly in the phase gap without changing the safety argument).
+        self.vars.phase = rng.gen_u64() % 8;
+        self.vars.work_done = bool::arbitrary(rng);
+        self.vars.collected.fill_with(|_| {
+            if bool::arbitrary(rng) {
+                Some(BarrierReply::arbitrary(rng))
+            } else {
+                None
+            }
+        });
+        self.pif.corrupt(rng);
+    }
+
+    fn snapshot(&self) -> BarrierState {
+        BarrierState {
+            phase: self.vars.phase,
+            work_done: self.vars.work_done,
+            collected: (0..self.n)
+                .map(|i| {
+                    if i == self.me.index() {
+                        None
+                    } else {
+                        *self.vars.collected.get(ProcessId::new(i))
+                    }
+                })
+                .collect(),
+            pif: self.pif.snapshot(),
+        }
+    }
+
+    fn restore(&mut self, s: BarrierState) {
+        self.vars.phase = s.phase;
+        self.vars.work_done = s.work_done;
+        for i in 0..self.n {
+            if i != self.me.index() {
+                self.vars.collected.set(ProcessId::new(i), s.collected[i]);
+            }
+        }
+        self.pif.restore(s.pif);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapstab_core::RequestState;
+    use snapstab_sim::{Capacity, NetworkBuilder, RandomScheduler, Runner, SimRng};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn system(n: usize, seed: u64) -> Runner<BarrierProcess, RandomScheduler> {
+        let processes = (0..n).map(|i| BarrierProcess::new(p(i), n)).collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        Runner::new(processes, network, RandomScheduler::new(), seed)
+    }
+
+    #[test]
+    fn nobody_passes_until_everyone_finishes() {
+        let mut r = system(3, 1);
+        // P0 and P1 finish; P2 does not.
+        assert!(r.process_mut(p(0)).finish_work());
+        assert!(r.process_mut(p(1)).finish_work());
+        r.run_steps(30_000).unwrap();
+        assert_eq!(r.process(p(0)).phase(), 0, "P0 must wait for P2");
+        assert_eq!(r.process(p(1)).phase(), 0);
+        assert!(r.process(p(0)).is_syncing());
+        // P2 finishes: everyone passes.
+        assert!(r.process_mut(p(2)).finish_work());
+        r.run_until(500_000, |r| (0..3).all(|i| r.process(p(i)).phase() == 1))
+            .unwrap();
+        for i in 0..3 {
+            assert_eq!(r.process(p(i)).phase(), 1);
+            assert!(!r.process(p(i)).is_syncing());
+        }
+    }
+
+    #[test]
+    fn repeated_phases_stay_in_lockstep() {
+        let mut r = system(3, 2);
+        for round in 1..=4u64 {
+            for i in 0..3 {
+                assert!(r.process_mut(p(i)).finish_work());
+            }
+            r.run_until(500_000, |r| {
+                (0..3).all(|i| r.process(p(i)).phase() == round)
+            })
+            .unwrap();
+            // Lockstep invariant: phases never differ by more than 1 along
+            // the way (checked coarsely at the barrier points).
+            for i in 0..3 {
+                assert_eq!(r.process(p(i)).phase(), round);
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_after_a_genuine_request_cannot_fake_a_crossing() {
+        // The snap-stabilization contract protects *requested*
+        // synchronizations: after a genuine `finish_work`, corrupting the
+        // collected table mid-wave does not let P0 pass, because the wave
+        // that decides overwrites every entry with fresh replies — and P2
+        // is genuinely not done.
+        let mut r = system(3, 3);
+        assert!(r.process_mut(p(0)).finish_work());
+        r.run_steps(50).unwrap(); // the wave is in flight
+        let mut s = r.process(p(0)).snapshot();
+        s.collected = vec![
+            None,
+            Some(BarrierReply { phase: 0, done: true }),
+            Some(BarrierReply { phase: 0, done: true }),
+        ];
+        r.process_mut(p(0)).restore(s);
+        r.run_steps(20_000).unwrap();
+        assert_eq!(
+            r.process(p(0)).phase(),
+            0,
+            "the deciding wave refreshed the forged table; P2 is not done"
+        );
+        assert!(r.process(p(0)).is_syncing(), "still waiting, correctly");
+    }
+
+    #[test]
+    fn fast_forward_when_behind() {
+        let mut r = system(2, 4);
+        // P1 sits at phase 5 (e.g. after corruption); P0 at phase 0
+        // finishes its work.
+        let mut s = r.process(p(1)).snapshot();
+        s.phase = 5;
+        s.work_done = false;
+        r.process_mut(p(1)).restore(s);
+        assert!(r.process_mut(p(0)).finish_work());
+        r.run_until(200_000, |r| r.process(p(0)).phase() >= 5).unwrap();
+        assert_eq!(
+            r.process(p(0)).phase(),
+            5,
+            "fast-forwarded to the ahead peer's phase (it certified barriers < 5)"
+        );
+    }
+
+    #[test]
+    fn barrier_survives_random_corruption_then_synchronizes() {
+        for seed in 0..6 {
+            let mut r = system(3, seed);
+            let mut rng = SimRng::seed_from(seed + 40);
+            for i in 0..3 {
+                r.process_mut(p(i)).corrupt(&mut rng);
+            }
+            // Drive work perpetually; all processes must keep crossing
+            // barriers together.
+            let mut executed = 0;
+            while executed < 120_000 {
+                executed += r.run_steps(400).unwrap().steps;
+                for i in 0..3 {
+                    let proc = r.process_mut(p(i));
+                    if !proc.is_syncing() {
+                        proc.finish_work();
+                    }
+                }
+            }
+            let phases: Vec<u64> = (0..3).map(|i| r.process(p(i)).phase()).collect();
+            let min = *phases.iter().min().unwrap();
+            let max = *phases.iter().max().unwrap();
+            assert!(
+                max - min <= 1,
+                "seed {seed}: phases must re-synchronize, got {phases:?}"
+            );
+            for i in 0..3 {
+                assert!(r.process(p(i)).passes() > 2, "seed {seed}: progress");
+            }
+        }
+    }
+
+    #[test]
+    fn finish_work_is_idempotent_while_syncing() {
+        let mut r = system(2, 5);
+        assert!(r.process_mut(p(0)).finish_work());
+        assert!(!r.process_mut(p(0)).finish_work());
+        assert_eq!(r.process(p(0)).pif.request(), RequestState::Wait);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut proc = BarrierProcess::new(p(1), 3);
+        let mut rng = SimRng::seed_from(6);
+        proc.corrupt(&mut rng);
+        let snap = proc.snapshot();
+        proc.corrupt(&mut rng);
+        proc.restore(snap.clone());
+        assert_eq!(proc.snapshot(), snap);
+    }
+}

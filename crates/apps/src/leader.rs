@@ -1,0 +1,271 @@
+//! Snap-stabilizing leader election: one IDs-Learning wave names the
+//! minimum-ID process — and, unlike self-stabilizing election, the *first*
+//! requested election after faults is already correct.
+//!
+//! This is the application the mutual-exclusion protocol (Algorithm 3)
+//! performs implicitly in its phase 0/1; here it is exposed directly: the
+//! elected value is the smallest identity in the system, together with the
+//! process that holds it.
+
+use snapstab_core::idl::{Id, IdlCore, IdlQuery, IdlState};
+use snapstab_core::pif::{PifCore, PifEvent, PifMsg, PifState};
+use snapstab_core::request::RequestState;
+use snapstab_sim::{ArbitraryState, Context, ProcessId, Protocol, SimRng};
+
+/// Events of a leader-election process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LeaderEvent {
+    /// An election started.
+    Started,
+    /// The election decided.
+    Elected {
+        /// The winning (minimum) identity.
+        id: Id,
+        /// The process holding it.
+        at: ProcessId,
+    },
+    /// An event of the underlying PIF.
+    Pif(PifEvent<IdlQuery, Id>),
+}
+
+impl From<PifEvent<IdlQuery, Id>> for LeaderEvent {
+    fn from(e: PifEvent<IdlQuery, Id>) -> Self {
+        LeaderEvent::Pif(e)
+    }
+}
+
+/// The state projection of a leader-election process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LeaderState {
+    /// The embedded IDL state.
+    pub idl: IdlState,
+    /// The cached election result.
+    pub elected: Option<(Id, usize)>,
+    /// The underlying PIF state.
+    pub pif: PifState<IdlQuery, Id>,
+}
+
+/// A leader-election process.
+#[derive(Clone, Debug)]
+pub struct LeaderProcess {
+    me: ProcessId,
+    n: usize,
+    idl: IdlCore,
+    pif: PifCore<IdlQuery, Id>,
+    /// The last completed election's result: `(leader id, leader process)`.
+    elected: Option<(Id, ProcessId)>,
+}
+
+impl LeaderProcess {
+    /// Creates a process with constant identity `my_id`.
+    pub fn new(me: ProcessId, n: usize, my_id: Id) -> Self {
+        LeaderProcess {
+            me,
+            n,
+            idl: IdlCore::new(me, n, my_id),
+            pif: PifCore::new(me, n, IdlQuery, 0),
+            elected: None,
+        }
+    }
+
+    /// Current request state of the election layer.
+    pub fn request(&self) -> RequestState {
+        self.idl.request()
+    }
+
+    /// This process's constant identity.
+    pub fn my_id(&self) -> Id {
+        self.idl.my_id()
+    }
+
+    /// Externally requests an election.
+    pub fn request_election(&mut self) -> bool {
+        self.idl.try_request()
+    }
+
+    /// The last completed election's result.
+    pub fn elected(&self) -> Option<(Id, ProcessId)> {
+        self.elected
+    }
+
+    /// True if the last completed election elected this process.
+    pub fn is_leader(&self) -> bool {
+        matches!(self.elected, Some((_, at)) if at == self.me)
+    }
+
+    fn compute_result(&self) -> (Id, ProcessId) {
+        let mut best = (self.idl.my_id(), self.me);
+        for i in 0..self.n {
+            if i == self.me.index() {
+                continue;
+            }
+            let q = ProcessId::new(i);
+            let qid = self.idl.id_of(q);
+            if qid < best.0 {
+                best = (qid, q);
+            }
+        }
+        best
+    }
+}
+
+impl Protocol for LeaderProcess {
+    type Msg = PifMsg<IdlQuery, Id>;
+    type Event = LeaderEvent;
+    type State = LeaderState;
+
+    fn activate(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Event>) -> bool {
+        let mut acted = false;
+        if self.idl.action_a1(&mut self.pif, IdlQuery) {
+            ctx.emit(LeaderEvent::Started);
+            acted = true;
+        }
+        if self.idl.action_a2(&self.pif) {
+            let (id, at) = self.compute_result();
+            self.elected = Some((id, at));
+            ctx.emit(LeaderEvent::Elected { id, at });
+            acted = true;
+        }
+        acted |= self.pif.activate(ctx);
+        acted
+    }
+
+    fn on_receive(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<'_, Self::Msg, Self::Event>,
+    ) {
+        self.pif.handle_receive(from, msg, &mut self.idl, ctx);
+    }
+
+    fn has_enabled_action(&self) -> bool {
+        self.idl.has_enabled_action(&self.pif) || self.pif.has_enabled_action()
+    }
+
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        self.idl.corrupt(rng);
+        self.pif.corrupt(rng);
+        // The cached result is a variable like any other.
+        self.elected = if bool::arbitrary(rng) {
+            Some((Id::arbitrary(rng), ProcessId::new(rng.gen_range(0..self.n))))
+        } else {
+            None
+        };
+    }
+
+    fn snapshot(&self) -> LeaderState {
+        LeaderState {
+            idl: self.idl.snapshot(),
+            elected: self.elected.map(|(id, at)| (id, at.index())),
+            pif: self.pif.snapshot(),
+        }
+    }
+
+    fn restore(&mut self, s: LeaderState) {
+        self.idl.restore(s.idl);
+        self.elected = s.elected.map(|(id, at)| (id, ProcessId::new(at)));
+        self.pif.restore(s.pif);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapstab_sim::{Capacity, CorruptionPlan, NetworkBuilder, RandomScheduler, Runner};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn system(ids: &[Id], seed: u64) -> Runner<LeaderProcess, RandomScheduler> {
+        let n = ids.len();
+        let processes = (0..n).map(|i| LeaderProcess::new(p(i), n, ids[i])).collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        Runner::new(processes, network, RandomScheduler::new(), seed)
+    }
+
+    #[test]
+    fn election_finds_min_and_location() {
+        let mut r = system(&[42, 7, 99], 1);
+        r.process_mut(p(0)).request_election();
+        r.run_until(500_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .unwrap();
+        assert_eq!(r.process(p(0)).elected(), Some((7, p(1))));
+        assert!(!r.process(p(0)).is_leader());
+    }
+
+    #[test]
+    fn the_leader_knows_it_is_leader() {
+        let mut r = system(&[3, 8, 5], 2);
+        r.process_mut(p(0)).request_election();
+        r.run_until(500_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .unwrap();
+        assert!(r.process(p(0)).is_leader());
+        assert_eq!(r.process(p(0)).elected(), Some((3, p(0))));
+    }
+
+    #[test]
+    fn first_election_after_corruption_is_exact() {
+        for seed in 0..10 {
+            let mut r = system(&[400, 20, 310, 55], seed);
+            let mut rng = SimRng::seed_from(seed + 9);
+            CorruptionPlan::full().apply(&mut r, &mut rng);
+            let _ = r.run_until(500_000, |r| {
+                r.process(p(3)).request() == RequestState::Done
+            });
+            assert!(r.process_mut(p(3)).request_election());
+            r.run_until(1_000_000, |r| r.process(p(3)).request() == RequestState::Done)
+                .unwrap();
+            assert_eq!(
+                r.process(p(3)).elected(),
+                Some((20, p(1))),
+                "seed {seed}: first post-fault election must be exact"
+            );
+        }
+    }
+
+    #[test]
+    fn all_processes_elect_the_same_leader() {
+        let mut r = system(&[30, 11, 25], 4);
+        for i in 0..3 {
+            r.process_mut(p(i)).request_election();
+        }
+        r.run_until(1_000_000, |r| {
+            (0..3).all(|i| r.process(p(i)).request() == RequestState::Done)
+        })
+        .unwrap();
+        for i in 0..3 {
+            assert_eq!(r.process(p(i)).elected(), Some((11, p(1))), "elector {i}");
+        }
+        assert!(r.process(p(1)).is_leader());
+    }
+
+    #[test]
+    fn elected_event_carries_result() {
+        let mut r = system(&[9, 14], 6);
+        r.process_mut(p(1)).request_election();
+        r.run_until(200_000, |r| r.process(p(1)).request() == RequestState::Done)
+            .unwrap();
+        let got: Vec<_> = r
+            .trace()
+            .protocol_events_of(p(1))
+            .filter_map(|(_, e)| match e {
+                LeaderEvent::Elected { id, at } => Some((*id, *at)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(got, vec![(9, p(0))]);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut proc = LeaderProcess::new(p(1), 3, 88);
+        let mut rng = SimRng::seed_from(0);
+        proc.corrupt(&mut rng);
+        let snap = proc.snapshot();
+        proc.corrupt(&mut rng);
+        proc.restore(snap.clone());
+        assert_eq!(proc.snapshot(), snap);
+    }
+}

@@ -1,0 +1,41 @@
+//! # snapstab-apps — snap-stabilizing applications of the PIF
+//!
+//! The paper motivates the PIF as "a basic tool allowing us to solve"
+//! higher-level problems: *"many fundamental protocols, e.g., Reset,
+//! Snapshot, Leader Election, and Termination Detection, can be solved
+//! using a PIF-based solution"* (§4.1). The paper itself builds two such
+//! applications (IDs-Learning, Mutual Exclusion); this crate completes the
+//! list it names, each protocol inheriting snap-stabilization from
+//! Theorem 2 by construction:
+//!
+//! * [`snapshot`] — collect every process's application value in one
+//!   requested wave (the feedbacks of a single PIF are, by Specification
+//!   1, exactly the peers' answers to *this* broadcast);
+//! * [`leader`] — leader election: one IDs-Learning wave names the
+//!   minimum-ID process and where it lives;
+//! * [`reset`] — global application reset: every process re-initializes
+//!   its application state upon the requested wave's `receive-brd`, and
+//!   the initiator's decision certifies that every process did so;
+//! * [`barrier`] — phase synchronization: a process passes barrier `k`
+//!   only once a wave it started returned feedback `≥ k` from everyone
+//!   (re-asking until stragglers catch up), so corrupted state can never
+//!   fake a barrier crossing;
+//! * [`termination`] — termination detection of a diffusing computation:
+//!   two consecutive waves with per-process quiet bits; a `terminated`
+//!   verdict certifies that no underlying step happened in any process's
+//!   inter-wave window.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod leader;
+pub mod reset;
+pub mod snapshot;
+pub mod termination;
+
+pub use barrier::{BarrierEvent, BarrierProcess};
+pub use leader::{LeaderEvent, LeaderProcess};
+pub use reset::{ResetEvent, ResetProcess, Resettable};
+pub use snapshot::{SnapshotEvent, SnapshotProcess};
+pub use termination::{check_detection, DetectionVerdict, TdEvent, TdMsg, TerminationProcess};

@@ -1,0 +1,305 @@
+//! Snap-stabilizing global reset: a requested wave drives every process's
+//! application layer through its `reset` handler, and the initiator's
+//! decision certifies that all of them executed it during the wave.
+//!
+//! Reset is the classic remedy a *self*-stabilizing system applies after
+//! detecting an inconsistency; making the reset protocol itself
+//! snap-stabilizing closes the loop — even with arbitrarily corrupted
+//! protocol state, a requested reset resets everybody, exactly once per
+//! wave, before the initiator proceeds.
+
+use snapstab_core::pif::{PifApp, PifCore, PifEvent, PifMsg, PifState};
+use snapstab_core::request::RequestState;
+use snapstab_sim::{ArbitraryState, Context, ProcessId, Protocol, SimRng};
+
+/// The application layer a reset wave acts on.
+pub trait Resettable {
+    /// Re-initializes the application state. Called exactly once per
+    /// received reset wave (on `receive-brd`), and once at the initiator
+    /// when its own wave decides.
+    fn reset(&mut self);
+}
+
+/// The reset broadcast.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ResetCmd;
+
+impl ArbitraryState for ResetCmd {
+    fn arbitrary(_rng: &mut SimRng) -> Self {
+        ResetCmd
+    }
+}
+
+/// The acknowledgment feedback.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ResetAck;
+
+impl ArbitraryState for ResetAck {
+    fn arbitrary(_rng: &mut SimRng) -> Self {
+        ResetAck
+    }
+}
+
+/// Events of a reset process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ResetEvent {
+    /// A reset computation started at this process.
+    Started,
+    /// This process's application was reset (by a received wave or by the
+    /// local decision).
+    WasReset,
+    /// The initiator's wave decided: every process acknowledged its reset.
+    Completed,
+    /// An event of the underlying PIF.
+    Pif(PifEvent<ResetCmd, ResetAck>),
+}
+
+impl From<PifEvent<ResetCmd, ResetAck>> for ResetEvent {
+    fn from(e: PifEvent<ResetCmd, ResetAck>) -> Self {
+        ResetEvent::Pif(e)
+    }
+}
+
+/// Adapter giving the PIF upcalls access to the application.
+#[derive(Clone, Debug)]
+struct ResetVars<A> {
+    app: A,
+    /// Resets performed (instrumentation).
+    resets: u64,
+}
+
+impl<A: Resettable> PifApp<ResetCmd, ResetAck> for ResetVars<A> {
+    fn on_broadcast(&mut self, _from: ProcessId, _cmd: &ResetCmd) -> ResetAck {
+        self.app.reset();
+        self.resets += 1;
+        ResetAck
+    }
+    fn on_feedback(&mut self, _from: ProcessId, _ack: &ResetAck) {}
+}
+
+/// The state projection of a reset process (the application state is the
+/// app's own business; the protocol variables are here).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ResetState {
+    /// The request variable.
+    pub request: RequestState,
+    /// The underlying PIF state.
+    pub pif: PifState<ResetCmd, ResetAck>,
+}
+
+/// A process participating in snap-stabilizing global resets, wrapping an
+/// application `A`.
+#[derive(Clone, Debug)]
+pub struct ResetProcess<A> {
+    request: RequestState,
+    vars: ResetVars<A>,
+    pif: PifCore<ResetCmd, ResetAck>,
+}
+
+impl<A: Resettable> ResetProcess<A> {
+    /// Creates a process wrapping application `app`.
+    pub fn new(me: ProcessId, n: usize, app: A) -> Self {
+        ResetProcess {
+            request: RequestState::Done,
+            vars: ResetVars { app, resets: 0 },
+            pif: PifCore::new(me, n, ResetCmd, ResetAck),
+        }
+    }
+
+    /// Current request state.
+    pub fn request(&self) -> RequestState {
+        self.request
+    }
+
+    /// The wrapped application.
+    pub fn app(&self) -> &A {
+        &self.vars.app
+    }
+
+    /// Exclusive access to the wrapped application.
+    pub fn app_mut(&mut self) -> &mut A {
+        &mut self.vars.app
+    }
+
+    /// Number of resets this process performed.
+    pub fn resets_performed(&self) -> u64 {
+        self.vars.resets
+    }
+
+    /// Externally requests a global reset.
+    pub fn request_reset(&mut self) -> bool {
+        self.request.try_request()
+    }
+}
+
+impl<A> Protocol for ResetProcess<A>
+where
+    A: Resettable + Clone + std::fmt::Debug + 'static,
+{
+    type Msg = PifMsg<ResetCmd, ResetAck>;
+    type Event = ResetEvent;
+    type State = ResetState;
+
+    fn activate(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Event>) -> bool {
+        let mut acted = false;
+        if self.request == RequestState::Wait {
+            self.request = RequestState::In;
+            self.pif.force_request(ResetCmd);
+            ctx.emit(ResetEvent::Started);
+            acted = true;
+        }
+        if self.request == RequestState::In && self.pif.request() == RequestState::Done {
+            // The initiator resets itself at the decision: afterwards the
+            // whole system has passed through `reset` within this wave.
+            self.vars.app.reset();
+            self.vars.resets += 1;
+            self.request = RequestState::Done;
+            ctx.emit(ResetEvent::WasReset);
+            ctx.emit(ResetEvent::Completed);
+            acted = true;
+        }
+        acted |= self.pif.activate(ctx);
+        acted
+    }
+
+    fn on_receive(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<'_, Self::Msg, Self::Event>,
+    ) {
+        let before = self.vars.resets;
+        self.pif.handle_receive(from, msg, &mut self.vars, ctx);
+        if self.vars.resets > before {
+            ctx.emit(ResetEvent::WasReset);
+        }
+    }
+
+    fn has_enabled_action(&self) -> bool {
+        self.request == RequestState::Wait
+            || (self.request == RequestState::In && self.pif.request() == RequestState::Done)
+            || self.pif.has_enabled_action()
+    }
+
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        self.request = RequestState::arbitrary(rng);
+        self.pif.corrupt(rng);
+        // The application's own corruption policy is the application's
+        // business (tests corrupt it through `app_mut`).
+    }
+
+    fn snapshot(&self) -> ResetState {
+        ResetState { request: self.request, pif: self.pif.snapshot() }
+    }
+
+    fn restore(&mut self, s: ResetState) {
+        self.request = s.request;
+        self.pif.restore(s.pif);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapstab_sim::{Capacity, CorruptionPlan, NetworkBuilder, RandomScheduler, Runner};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// A counter that resets to zero.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Counter(u32);
+
+    impl Resettable for Counter {
+        fn reset(&mut self) {
+            self.0 = 0;
+        }
+    }
+
+    fn system(n: usize, seed: u64) -> Runner<ResetProcess<Counter>, RandomScheduler> {
+        let processes = (0..n)
+            .map(|i| ResetProcess::new(p(i), n, Counter(100 + i as u32)))
+            .collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        Runner::new(processes, network, RandomScheduler::new(), seed)
+    }
+
+    #[test]
+    fn reset_wave_resets_everyone() {
+        let mut r = system(4, 1);
+        assert!(r.process_mut(p(0)).request_reset());
+        r.run_until(500_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .unwrap();
+        for i in 0..4 {
+            assert_eq!(r.process(p(i)).app(), &Counter(0), "P{i} must be reset");
+            assert!(r.process(p(i)).resets_performed() >= 1);
+        }
+    }
+
+    #[test]
+    fn reset_works_from_corrupted_protocol_state() {
+        for seed in 0..8 {
+            let mut r = system(3, seed);
+            let mut rng = SimRng::seed_from(seed);
+            CorruptionPlan::full().apply(&mut r, &mut rng);
+            // Application state dirty again after the burst.
+            for i in 0..3 {
+                r.process_mut(p(i)).app_mut().0 = 999;
+            }
+            let _ = r.run_until(500_000, |r| {
+                r.process(p(1)).request() == RequestState::Done
+            });
+            assert!(r.process_mut(p(1)).request_reset());
+            r.run_until(1_000_000, |r| r.process(p(1)).request() == RequestState::Done)
+                .unwrap();
+            for i in 0..3 {
+                assert_eq!(
+                    r.process(p(i)).app(),
+                    &Counter(0),
+                    "seed {seed}: P{i} reset by the first requested wave"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn each_wave_resets_receivers_once() {
+        let mut r = system(2, 3);
+        r.process_mut(p(0)).request_reset();
+        r.run_until(200_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .unwrap();
+        assert_eq!(r.process(p(1)).resets_performed(), 1);
+        r.process_mut(p(0)).request_reset();
+        r.run_until(200_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .unwrap();
+        assert_eq!(r.process(p(1)).resets_performed(), 2, "one reset per wave");
+    }
+
+    #[test]
+    fn was_reset_events_match_counts() {
+        let mut r = system(3, 4);
+        r.process_mut(p(0)).request_reset();
+        r.run_until(500_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .unwrap();
+        for i in 0..3 {
+            let events = r
+                .trace()
+                .protocol_events_of(p(i))
+                .filter(|(_, e)| matches!(e, ResetEvent::WasReset))
+                .count() as u64;
+            assert_eq!(events, r.process(p(i)).resets_performed(), "P{i}");
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut proc = ResetProcess::new(p(0), 3, Counter(5));
+        let mut rng = SimRng::seed_from(1);
+        proc.corrupt(&mut rng);
+        let snap = proc.snapshot();
+        proc.corrupt(&mut rng);
+        proc.restore(snap.clone());
+        assert_eq!(proc.snapshot(), snap);
+    }
+}

@@ -1,0 +1,326 @@
+//! Snap-stabilizing global snapshot: one requested wave collects every
+//! process's application value.
+//!
+//! The feedback mechanism of Algorithm 1 guarantees (Specification 1,
+//! Decision) that the initiator decides on exactly the `n − 1` answers its
+//! own broadcast provoked — so the collected vector is a faithful
+//! one-value-per-process snapshot taken *during* the wave, regardless of
+//! the initial configuration. (This is the paper's PIF-based "Snapshot"
+//! in the §4.1 sense — per-process values gathered by one wave — not a
+//! Chandy–Lamport consistent cut of channel states.)
+
+use snapstab_core::pif::{PifApp, PifCore, PifEvent, PifMsg, PifState};
+use snapstab_core::request::RequestState;
+use snapstab_sim::{ArbitraryState, Context, Message, PerNeighbor, ProcessId, Protocol, SimRng};
+
+/// The snapshot query broadcast.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SnapQuery;
+
+impl ArbitraryState for SnapQuery {
+    fn arbitrary(_rng: &mut SimRng) -> Self {
+        SnapQuery
+    }
+}
+
+/// Events of a snapshot process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SnapshotEvent<V> {
+    /// A snapshot computation started.
+    Started,
+    /// The snapshot decided; every collected value is available.
+    Decided,
+    /// An event of the underlying PIF.
+    Pif(PifEvent<SnapQuery, V>),
+}
+
+impl<V> From<PifEvent<SnapQuery, V>> for SnapshotEvent<V> {
+    fn from(e: PifEvent<SnapQuery, V>) -> Self {
+        SnapshotEvent::Pif(e)
+    }
+}
+
+/// Application-facing state split out for the `PifApp` upcalls.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct SnapVars<V> {
+    /// This process's current application value (answered to queries).
+    value: V,
+    /// Values collected by this process's own snapshot wave.
+    collected: PerNeighbor<Option<V>>,
+}
+
+impl<V: Message> PifApp<SnapQuery, V> for SnapVars<V> {
+    fn on_broadcast(&mut self, _from: ProcessId, _q: &SnapQuery) -> V {
+        self.value.clone()
+    }
+    fn on_feedback(&mut self, from: ProcessId, data: &V) {
+        self.collected.set(from, Some(data.clone()));
+    }
+}
+
+/// The state projection of a snapshot process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SnapshotState<V> {
+    /// The request variable.
+    pub request: RequestState,
+    /// The local application value.
+    pub value: V,
+    /// Collected values (own slot unused).
+    pub collected: Vec<Option<V>>,
+    /// The underlying PIF state.
+    pub pif: PifState<SnapQuery, V>,
+}
+
+/// A process participating in snap-stabilizing snapshots.
+#[derive(Clone, Debug)]
+pub struct SnapshotProcess<V> {
+    me: ProcessId,
+    n: usize,
+    request: RequestState,
+    vars: SnapVars<V>,
+    pif: PifCore<SnapQuery, V>,
+}
+
+impl<V: Message + ArbitraryState> SnapshotProcess<V> {
+    /// Creates a process whose current application value is `value`.
+    pub fn new(me: ProcessId, n: usize, value: V) -> Self {
+        SnapshotProcess {
+            me,
+            n,
+            request: RequestState::Done,
+            vars: SnapVars {
+                value: value.clone(),
+                collected: PerNeighbor::new(me, n, None),
+            },
+            pif: PifCore::new(me, n, SnapQuery, value),
+        }
+    }
+
+    /// Current request state.
+    pub fn request(&self) -> RequestState {
+        self.request
+    }
+
+    /// The local application value.
+    pub fn value(&self) -> &V {
+        &self.vars.value
+    }
+
+    /// Updates the local application value (the thing snapshots observe).
+    pub fn set_value(&mut self, value: V) {
+        self.vars.value = value;
+    }
+
+    /// Externally requests a snapshot; refused while one is pending or in
+    /// progress.
+    pub fn request_snapshot(&mut self) -> bool {
+        self.request.try_request()
+    }
+
+    /// The value collected from `q` by the last completed snapshot.
+    pub fn collected_from(&self, q: ProcessId) -> Option<&V> {
+        self.vars.collected.get(q).as_ref()
+    }
+
+    /// The full snapshot (own value in the owner's slot), if every peer
+    /// answered.
+    pub fn snapshot_vector(&self) -> Option<Vec<V>> {
+        let mut out = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            if i == self.me.index() {
+                out.push(self.vars.value.clone());
+            } else {
+                out.push(self.vars.collected.get(ProcessId::new(i)).clone()?);
+            }
+        }
+        Some(out)
+    }
+}
+
+impl<V: Message + ArbitraryState> Protocol for SnapshotProcess<V> {
+    type Msg = PifMsg<SnapQuery, V>;
+    type Event = SnapshotEvent<V>;
+    type State = SnapshotState<V>;
+
+    fn activate(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Event>) -> bool {
+        let mut acted = false;
+        // A1: start — clear the collection and launch the wave.
+        if self.request == RequestState::Wait {
+            self.request = RequestState::In;
+            self.vars.collected.fill_with(|_| None);
+            self.pif.force_request(SnapQuery);
+            ctx.emit(SnapshotEvent::Started);
+            acted = true;
+        }
+        // A2: the wave decided — the snapshot decides.
+        if self.request == RequestState::In && self.pif.request() == RequestState::Done {
+            self.request = RequestState::Done;
+            ctx.emit(SnapshotEvent::Decided);
+            acted = true;
+        }
+        acted |= self.pif.activate(ctx);
+        acted
+    }
+
+    fn on_receive(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<'_, Self::Msg, Self::Event>,
+    ) {
+        self.pif.handle_receive(from, msg, &mut self.vars, ctx);
+    }
+
+    fn has_enabled_action(&self) -> bool {
+        self.request == RequestState::Wait
+            || (self.request == RequestState::In && self.pif.request() == RequestState::Done)
+            || self.pif.has_enabled_action()
+    }
+
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        self.request = RequestState::arbitrary(rng);
+        // The application value is application state — corrupt it too:
+        // snapshots must be exact even about post-fault values.
+        self.vars.value = V::arbitrary(rng);
+        self.vars.collected.fill_with(|_| {
+            if bool::arbitrary(rng) {
+                Some(V::arbitrary(rng))
+            } else {
+                None
+            }
+        });
+        self.pif.corrupt(rng);
+    }
+
+    fn snapshot(&self) -> Self::State {
+        SnapshotState {
+            request: self.request,
+            value: self.vars.value.clone(),
+            collected: (0..self.n)
+                .map(|i| {
+                    if i == self.me.index() {
+                        None
+                    } else {
+                        self.vars.collected.get(ProcessId::new(i)).clone()
+                    }
+                })
+                .collect(),
+            pif: self.pif.snapshot(),
+        }
+    }
+
+    fn restore(&mut self, s: Self::State) {
+        self.request = s.request;
+        self.vars.value = s.value;
+        for i in 0..self.n {
+            if i != self.me.index() {
+                self.vars.collected.set(ProcessId::new(i), s.collected[i].clone());
+            }
+        }
+        self.pif.restore(s.pif);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapstab_sim::{Capacity, CorruptionPlan, NetworkBuilder, RandomScheduler, Runner};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn system(n: usize, seed: u64) -> Runner<SnapshotProcess<u32>, RandomScheduler> {
+        let processes = (0..n)
+            .map(|i| SnapshotProcess::new(p(i), n, 10 * i as u32))
+            .collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        Runner::new(processes, network, RandomScheduler::new(), seed)
+    }
+
+    #[test]
+    fn snapshot_collects_exact_values() {
+        let mut r = system(4, 1);
+        r.process_mut(p(2)).request_snapshot();
+        r.run_until(500_000, |r| r.process(p(2)).request() == RequestState::Done)
+            .unwrap();
+        assert_eq!(
+            r.process(p(2)).snapshot_vector(),
+            Some(vec![0, 10, 20, 30])
+        );
+    }
+
+    #[test]
+    fn snapshot_sees_post_fault_values_from_corrupted_start() {
+        for seed in 0..10 {
+            let mut r = system(3, seed);
+            let mut rng = SimRng::seed_from(seed + 77);
+            CorruptionPlan::full().apply(&mut r, &mut rng);
+            // Fix known values AFTER the fault burst (the app writes them).
+            for i in 0..3 {
+                r.process_mut(p(i)).set_value(500 + i as u32);
+            }
+            let _ = r.run_until(500_000, |r| {
+                r.process(p(0)).request() == RequestState::Done
+            });
+            assert!(r.process_mut(p(0)).request_snapshot());
+            r.run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+                .unwrap();
+            assert_eq!(
+                r.process(p(0)).snapshot_vector(),
+                Some(vec![500, 501, 502]),
+                "seed {seed}: first requested snapshot is exact"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_vector_none_until_complete() {
+        let r = system(3, 0);
+        assert_eq!(r.process(p(0)).snapshot_vector(), None);
+    }
+
+    #[test]
+    fn concurrent_snapshots_all_exact() {
+        let mut r = system(3, 5);
+        for i in 0..3 {
+            assert!(r.process_mut(p(i)).request_snapshot());
+        }
+        r.run_until(1_000_000, |r| {
+            (0..3).all(|i| r.process(p(i)).request() == RequestState::Done)
+        })
+        .unwrap();
+        for i in 0..3 {
+            assert_eq!(
+                r.process(p(i)).snapshot_vector(),
+                Some(vec![0, 10, 20]),
+                "initiator {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn values_can_change_between_snapshots() {
+        let mut r = system(2, 3);
+        r.process_mut(p(0)).request_snapshot();
+        r.run_until(100_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .unwrap();
+        assert_eq!(r.process(p(0)).collected_from(p(1)), Some(&10));
+        r.process_mut(p(1)).set_value(999);
+        r.process_mut(p(0)).request_snapshot();
+        r.run_until(100_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .unwrap();
+        assert_eq!(r.process(p(0)).collected_from(p(1)), Some(&999));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut proc = SnapshotProcess::new(p(0), 3, 7u32);
+        let mut rng = SimRng::seed_from(2);
+        proc.corrupt(&mut rng);
+        let snap = proc.snapshot();
+        proc.corrupt(&mut rng);
+        proc.restore(snap.clone());
+        assert_eq!(proc.snapshot(), snap);
+    }
+}

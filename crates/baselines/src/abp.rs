@@ -1,0 +1,347 @@
+//! The Afek–Brown self-stabilizing alternating-bit protocol.
+//!
+//! Afek and Brown [2 in the paper] showed that the alternating-bit
+//! protocol becomes self-stabilizing over unreliable channels when the
+//! 1-bit sequence number is replaced by a *random label* from a large
+//! space: a forged or stale acknowledgment then matches the sender's
+//! current label only with probability ≈ 1/L.
+//!
+//! This implementation parameterizes the label-space size `L`, which makes
+//! the contrast with snap-stabilization quantitative (experiment C1):
+//!
+//! * `L = 2` is the classic alternating-bit protocol: from a corrupted
+//!   configuration the first transfer is violated with probability ≈ 1/2;
+//! * growing `L` drives the violation probability to 0 — but never *to* 0:
+//!   self-stabilization is eventual and probabilistic, while the
+//!   snap-stabilizing PIF transfer (Algorithm 1) is violated with
+//!   probability exactly 0 from any configuration.
+//!
+//! The sender occupies process 0 and the receiver process 1 of a
+//! 2-process system (the data-link setting of the original paper).
+
+use snapstab_sim::{ArbitraryState, Context, ProcessId, Protocol, SimRng};
+
+/// Messages of the alternating-bit protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AbpMsg {
+    /// A data item with its label.
+    Data {
+        /// The payload.
+        item: u32,
+        /// The sender's current label.
+        label: u64,
+    },
+    /// An acknowledgment echoing a label.
+    Ack {
+        /// The acknowledged label.
+        label: u64,
+    },
+}
+
+impl ArbitraryState for AbpMsg {
+    /// Arbitrary messages draw labels from a small range so that forged
+    /// acknowledgments have observable collision probability in tests;
+    /// experiments that sweep the label space pre-load channels explicitly.
+    fn arbitrary(rng: &mut SimRng) -> Self {
+        if rng.gen_bool(0.5) {
+            AbpMsg::Data { item: u32::arbitrary(rng), label: rng.gen_u64() % 4 }
+        } else {
+            AbpMsg::Ack { label: rng.gen_u64() % 4 }
+        }
+    }
+}
+
+/// Observable events of the protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AbpEvent {
+    /// The receiver delivered an item to its application.
+    Delivered(u32),
+    /// The sender advanced to the item at this queue index.
+    AdvancedTo(usize),
+}
+
+/// Sender/receiver role and state.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AbpRole {
+    /// The transmitting side (process 0).
+    Sender {
+        /// The workload: items to transfer, in order.
+        queue: Vec<u32>,
+        /// Index of the item currently being transferred.
+        next: usize,
+        /// The current label.
+        label: u64,
+    },
+    /// The delivering side (process 1).
+    Receiver {
+        /// The label of the last delivered item.
+        last_label: u64,
+        /// Everything delivered so far (instrumentation).
+        delivered: Vec<u32>,
+    },
+}
+
+/// State projection of an ABP process.
+pub type AbpState = AbpRole;
+
+/// One endpoint of the alternating-bit link.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AbpProcess {
+    me: ProcessId,
+    peer: ProcessId,
+    /// Label-space size `L`: labels live in `0..L`.
+    label_space: u64,
+    role: AbpRole,
+}
+
+impl AbpProcess {
+    /// Creates the sender (process 0) with its workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label_space < 2`.
+    pub fn sender(queue: Vec<u32>, label_space: u64) -> Self {
+        assert!(label_space >= 2, "need at least two labels");
+        AbpProcess {
+            me: ProcessId::new(0),
+            peer: ProcessId::new(1),
+            label_space,
+            role: AbpRole::Sender { queue, next: 0, label: 0 },
+        }
+    }
+
+    /// Creates the receiver (process 1). Its initial `last_label` is
+    /// `L − 1`, distinct from the sender's initial label `0`, so a clean
+    /// start delivers the first item (the classic ABP initialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label_space < 2`.
+    pub fn receiver(label_space: u64) -> Self {
+        assert!(label_space >= 2, "need at least two labels");
+        AbpProcess {
+            me: ProcessId::new(1),
+            peer: ProcessId::new(0),
+            label_space,
+            role: AbpRole::Receiver { last_label: label_space - 1, delivered: Vec::new() },
+        }
+    }
+
+    /// The label-space size.
+    pub fn label_space(&self) -> u64 {
+        self.label_space
+    }
+
+    /// The role and state.
+    pub fn role(&self) -> &AbpRole {
+        &self.role
+    }
+
+    /// The receiver's delivered sequence (empty for a sender).
+    pub fn delivered(&self) -> &[u32] {
+        match &self.role {
+            AbpRole::Receiver { delivered, .. } => delivered,
+            AbpRole::Sender { .. } => &[],
+        }
+    }
+
+    /// The sender's progress: index of the item being transferred
+    /// (queue length once done). `None` for a receiver.
+    pub fn progress(&self) -> Option<usize> {
+        match &self.role {
+            AbpRole::Sender { next, .. } => Some(*next),
+            AbpRole::Receiver { .. } => None,
+        }
+    }
+
+    fn fresh_label(current: u64, space: u64, rng: &mut SimRng) -> u64 {
+        // A fresh label differs from the current one (the alternating
+        // guarantee); uniform over the remaining L − 1 labels.
+        let offset = 1 + rng.gen_u64() % (space - 1);
+        (current + offset) % space
+    }
+}
+
+impl Protocol for AbpProcess {
+    type Msg = AbpMsg;
+    type Event = AbpEvent;
+    type State = AbpState;
+
+    fn activate(&mut self, ctx: &mut Context<'_, AbpMsg, AbpEvent>) -> bool {
+        match &self.role {
+            AbpRole::Sender { queue, next, label } => {
+                if *next < queue.len() {
+                    // Retransmit the current item until acknowledged.
+                    ctx.send(self.peer, AbpMsg::Data { item: queue[*next], label: *label });
+                    true
+                } else {
+                    false
+                }
+            }
+            AbpRole::Receiver { .. } => false,
+        }
+    }
+
+    fn on_receive(
+        &mut self,
+        _from: ProcessId,
+        msg: AbpMsg,
+        ctx: &mut Context<'_, AbpMsg, AbpEvent>,
+    ) {
+        let peer = self.peer;
+        let space = self.label_space;
+        match (&mut self.role, msg) {
+            (AbpRole::Sender { queue, next, label }, AbpMsg::Ack { label: acked }) => {
+                if acked == *label && *next < queue.len() {
+                    *next += 1;
+                    *label = Self::fresh_label(*label, space, ctx.rng());
+                    ctx.emit(AbpEvent::AdvancedTo(*next));
+                }
+            }
+            (AbpRole::Receiver { last_label, delivered }, AbpMsg::Data { item, label }) => {
+                if label != *last_label {
+                    delivered.push(item);
+                    *last_label = label;
+                    ctx.emit(AbpEvent::Delivered(item));
+                }
+                ctx.send(peer, AbpMsg::Ack { label });
+            }
+            // Role/message mismatches (possible from forged initial
+            // messages): ignored.
+            _ => {}
+        }
+    }
+
+    fn has_enabled_action(&self) -> bool {
+        matches!(&self.role, AbpRole::Sender { queue, next, .. } if *next < queue.len())
+    }
+
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        // Transient faults hit the link state (labels); the workload queue
+        // and the delivery log are the experiment's ground truth.
+        match &mut self.role {
+            AbpRole::Sender { label, .. } => *label = rng.gen_u64() % self.label_space,
+            AbpRole::Receiver { last_label, .. } => {
+                *last_label = rng.gen_u64() % self.label_space
+            }
+        }
+    }
+
+    fn snapshot(&self) -> AbpState {
+        self.role.clone()
+    }
+
+    fn restore(&mut self, state: AbpState) {
+        self.role = state;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapstab_sim::{Capacity, LossModel, NetworkBuilder, RoundRobin, Runner};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn link(queue: Vec<u32>, space: u64, seed: u64) -> Runner<AbpProcess, RoundRobin> {
+        let processes = vec![AbpProcess::sender(queue, space), AbpProcess::receiver(space)];
+        let network = NetworkBuilder::new(2).capacity(Capacity::Bounded(1)).build();
+        Runner::new(processes, network, RoundRobin::new(), seed)
+    }
+
+    #[test]
+    fn transfers_in_order_from_clean_state() {
+        let mut r = link(vec![10, 20, 30], 1 << 32, 1);
+        r.run_until(100_000, |r| r.process(p(0)).progress() == Some(3))
+            .unwrap();
+        assert_eq!(r.process(p(1)).delivered(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn tolerates_message_loss() {
+        let mut r = link(vec![1, 2, 3, 4], 1 << 32, 2);
+        r.set_loss(LossModel::probabilistic(0.3));
+        r.run_until(500_000, |r| r.process(p(0)).progress() == Some(4))
+            .unwrap();
+        assert_eq!(r.process(p(1)).delivered(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn forged_matching_ack_skips_an_item() {
+        // The sender starts with label 0 (clean init); a forged Ack{0}
+        // delivered before the sender's first transmission makes it skip
+        // item 10 entirely — the self-stabilization safety violation.
+        let mut r = link(vec![10, 20], 4, 3);
+        r.network_mut()
+            .channel_mut(p(1), p(0))
+            .unwrap()
+            .preload([AbpMsg::Ack { label: 0 }]);
+        r.execute_move(snapstab_sim::Move::Deliver { from: p(1), to: p(0) })
+            .unwrap();
+        assert_eq!(r.process(p(0)).progress(), Some(1), "sender advanced on garbage");
+        r.run_until(100_000, |r| r.process(p(0)).progress() == Some(2))
+            .unwrap();
+        let delivered = r.process(p(1)).delivered();
+        assert!(
+            !delivered.contains(&10),
+            "item 10 must have been skipped, delivered = {delivered:?}"
+        );
+    }
+
+    #[test]
+    fn forged_nonmatching_ack_is_harmless() {
+        let mut r = link(vec![10, 20], 4, 4);
+        r.network_mut()
+            .channel_mut(p(1), p(0))
+            .unwrap()
+            .preload([AbpMsg::Ack { label: 3 }]);
+        r.run_until(100_000, |r| r.process(p(0)).progress() == Some(2))
+            .unwrap();
+        assert_eq!(r.process(p(1)).delivered(), &[10, 20]);
+    }
+
+    #[test]
+    fn receiver_label_collision_suppresses_delivery() {
+        // If the receiver's corrupted last_label equals the sender's first
+        // label, the first item is acknowledged but never delivered.
+        let mut r = link(vec![10], 4, 5);
+        let mut state = r.process(p(1)).snapshot();
+        if let AbpRole::Receiver { last_label, .. } = &mut state {
+            *last_label = 0; // collides with the sender's initial label 0
+        }
+        r.process_mut(p(1)).restore(state);
+        r.run_until(100_000, |r| r.process(p(0)).progress() == Some(1))
+            .unwrap();
+        assert!(r.process(p(1)).delivered().is_empty());
+    }
+
+    #[test]
+    fn fresh_labels_always_differ() {
+        let mut rng = SimRng::seed_from(9);
+        for space in [2u64, 3, 16] {
+            for cur in 0..space {
+                for _ in 0..20 {
+                    let next = AbpProcess::fresh_label(cur, space, &mut rng);
+                    assert_ne!(next, cur);
+                    assert!(next < space);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_preserves_workload() {
+        let mut s = AbpProcess::sender(vec![1, 2, 3], 8);
+        let mut rng = SimRng::seed_from(0);
+        s.corrupt(&mut rng);
+        if let AbpRole::Sender { queue, next, label } = s.role() {
+            assert_eq!(queue, &[1, 2, 3]);
+            assert_eq!(*next, 0);
+            assert!(*label < 8);
+        } else {
+            panic!("sender stayed a sender");
+        }
+    }
+}

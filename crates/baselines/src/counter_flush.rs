@@ -1,0 +1,345 @@
+//! A Varghese-style counter-flushing wave protocol.
+//!
+//! Counter flushing [33 in the paper] makes a request/reply wave
+//! self-stabilizing on bounded channels: the initiator stamps each wave
+//! with a counter `c ∈ {0..K-1}`, bumps it per wave, and accepts only
+//! replies echoing the current stamp. Stale messages are *flushed*: they
+//! can pollute at most the waves whose stamp they happen to carry.
+//!
+//! The contrast with the snap-stabilizing PIF (experiment C1):
+//!
+//! * from a corrupted configuration, the **first** wave collects a forged
+//!   reply whenever a stale reply in a channel carries the current stamp —
+//!   probability ≈ 1/K per polluted channel;
+//! * after one complete wave the channels are flushed and subsequent waves
+//!   are correct — *eventual* safety (self-stabilization), versus the PIF's
+//!   immediate safety for every started wave (snap-stabilization).
+
+use snapstab_core::request::RequestState;
+use snapstab_sim::{ArbitraryState, Context, PerNeighbor, ProcessId, Protocol, SimRng};
+
+/// Messages of the counter-flushing protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CfMsg {
+    /// A stamped query.
+    Query {
+        /// The wave stamp.
+        c: u64,
+    },
+    /// A stamped reply carrying the responder's datum.
+    Reply {
+        /// The echoed stamp.
+        c: u64,
+        /// The responder's datum.
+        data: u32,
+    },
+}
+
+impl ArbitraryState for CfMsg {
+    /// Stamps drawn from `0..8` so forged replies have observable
+    /// collision probability in tests; experiments sweeping `K` pre-load
+    /// channels explicitly.
+    fn arbitrary(rng: &mut SimRng) -> Self {
+        if rng.gen_bool(0.5) {
+            CfMsg::Query { c: rng.gen_u64() % 8 }
+        } else {
+            CfMsg::Reply { c: rng.gen_u64() % 8, data: u32::arbitrary(rng) }
+        }
+    }
+}
+
+/// Observable events of the protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CfEvent {
+    /// A wave started with this stamp.
+    Started {
+        /// The stamp of the new wave.
+        c: u64,
+    },
+    /// A reply was accepted for the current wave.
+    Collected {
+        /// The responder.
+        from: ProcessId,
+        /// The collected datum.
+        data: u32,
+    },
+    /// The wave decided (all replies collected).
+    Decided,
+}
+
+/// The state projection of a counter-flushing process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CfState {
+    /// The request variable.
+    pub request: RequestState,
+    /// The wave counter.
+    pub counter: u64,
+    /// Collected replies (own slot unused).
+    pub collected: Vec<Option<u32>>,
+}
+
+/// A counter-flushing process: initiator-capable, and answers queries with
+/// its fixed datum.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CfProcess {
+    me: ProcessId,
+    n: usize,
+    /// Counter domain size `K`.
+    k: u64,
+    /// The datum this process reports to queries.
+    data_value: u32,
+    request: RequestState,
+    counter: u64,
+    collected: PerNeighbor<Option<u32>>,
+}
+
+impl CfProcess {
+    /// Creates a correctly-initialized process with counter domain `K`
+    /// answering queries with `data_value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(me: ProcessId, n: usize, k: u64, data_value: u32) -> Self {
+        assert!(k >= 2, "counter domain needs at least two stamps");
+        CfProcess {
+            me,
+            n,
+            k,
+            data_value,
+            request: RequestState::Done,
+            counter: 0,
+            collected: PerNeighbor::new(me, n, None),
+        }
+    }
+
+    /// Current request state.
+    pub fn request(&self) -> RequestState {
+        self.request
+    }
+
+    /// The current wave stamp.
+    pub fn counter(&self) -> u64 {
+        self.counter
+    }
+
+    /// Externally requests a wave.
+    pub fn request_wave(&mut self) -> bool {
+        self.request.try_request()
+    }
+
+    /// The datum collected from `q` in the last completed/ongoing wave.
+    pub fn collected_from(&self, q: ProcessId) -> Option<u32> {
+        *self.collected.get(q)
+    }
+}
+
+impl Protocol for CfProcess {
+    type Msg = CfMsg;
+    type Event = CfEvent;
+    type State = CfState;
+
+    fn activate(&mut self, ctx: &mut Context<'_, CfMsg, CfEvent>) -> bool {
+        let mut acted = false;
+        if self.request == RequestState::Wait {
+            self.request = RequestState::In;
+            self.counter = (self.counter + 1) % self.k;
+            self.collected.fill_with(|_| None);
+            ctx.emit(CfEvent::Started { c: self.counter });
+            acted = true;
+        }
+        if self.request == RequestState::In {
+            if self.collected.all(Option::is_some) {
+                self.request = RequestState::Done;
+                ctx.emit(CfEvent::Decided);
+            } else {
+                // Retransmit to the still-missing responders (loss-tolerant,
+                // unlike the naive protocol).
+                let missing: Vec<ProcessId> = self
+                    .collected
+                    .iter()
+                    .filter(|(_, v)| v.is_none())
+                    .map(|(q, _)| q)
+                    .collect();
+                for q in missing {
+                    ctx.send(q, CfMsg::Query { c: self.counter });
+                }
+            }
+            acted = true;
+        }
+        acted
+    }
+
+    fn on_receive(
+        &mut self,
+        from: ProcessId,
+        msg: CfMsg,
+        ctx: &mut Context<'_, CfMsg, CfEvent>,
+    ) {
+        match msg {
+            CfMsg::Query { c } => {
+                ctx.send(from, CfMsg::Reply { c, data: self.data_value });
+            }
+            CfMsg::Reply { c, data } => {
+                // The flushing rule: accept only the current stamp. A stale
+                // reply that *happens* to carry it is indistinguishable
+                // from a genuine one — the 1/K violation window.
+                if self.request == RequestState::In
+                    && c == self.counter
+                    && self.collected.get(from).is_none()
+                {
+                    self.collected.set(from, Some(data));
+                    ctx.emit(CfEvent::Collected { from, data });
+                }
+            }
+        }
+    }
+
+    fn has_enabled_action(&self) -> bool {
+        matches!(self.request, RequestState::Wait | RequestState::In)
+    }
+
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        self.request = RequestState::arbitrary(rng);
+        self.counter = rng.gen_u64() % self.k;
+        self.collected.fill_with(|_| {
+            if bool::arbitrary(rng) {
+                Some(u32::arbitrary(rng))
+            } else {
+                None
+            }
+        });
+    }
+
+    fn snapshot(&self) -> CfState {
+        CfState {
+            request: self.request,
+            counter: self.counter,
+            collected: (0..self.n)
+                .map(|i| {
+                    if i == self.me.index() {
+                        None
+                    } else {
+                        *self.collected.get(ProcessId::new(i))
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn restore(&mut self, s: CfState) {
+        self.request = s.request;
+        self.counter = s.counter;
+        for i in 0..self.n {
+            if i != self.me.index() {
+                self.collected.set(ProcessId::new(i), s.collected[i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapstab_sim::{Capacity, LossModel, NetworkBuilder, RoundRobin, Runner};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn system(n: usize, k: u64, seed: u64) -> Runner<CfProcess, RoundRobin> {
+        let processes = (0..n).map(|i| CfProcess::new(p(i), n, k, 100 + i as u32)).collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        Runner::new(processes, network, RoundRobin::new(), seed)
+    }
+
+    #[test]
+    fn wave_collects_all_data_from_clean_state() {
+        let mut r = system(3, 4, 1);
+        r.process_mut(p(0)).request_wave();
+        r.run_until(50_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .unwrap();
+        assert_eq!(r.process(p(0)).collected_from(p(1)), Some(101));
+        assert_eq!(r.process(p(0)).collected_from(p(2)), Some(102));
+    }
+
+    #[test]
+    fn waves_survive_loss() {
+        let mut r = system(3, 4, 2);
+        r.set_loss(LossModel::probabilistic(0.3));
+        r.process_mut(p(0)).request_wave();
+        r.run_until(500_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .unwrap();
+        assert_eq!(r.process(p(0)).collected_from(p(1)), Some(101));
+    }
+
+    #[test]
+    fn stale_reply_with_matching_stamp_pollutes_first_wave() {
+        let mut r = system(2, 4, 3);
+        // The initiator's counter is 0; its next wave is stamped 1. Forge a
+        // stale reply already carrying stamp 1.
+        r.network_mut()
+            .channel_mut(p(1), p(0))
+            .unwrap()
+            .preload([CfMsg::Reply { c: 1, data: 666 }]);
+        r.process_mut(p(0)).request_wave();
+        r.run_until(50_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .unwrap();
+        assert_eq!(
+            r.process(p(0)).collected_from(p(1)),
+            Some(666),
+            "first wave collected the forged datum"
+        );
+        // The second wave is clean: the channels were flushed.
+        r.process_mut(p(0)).request_wave();
+        r.run_until(50_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .unwrap();
+        assert_eq!(r.process(p(0)).collected_from(p(1)), Some(101));
+    }
+
+    #[test]
+    fn stale_reply_with_other_stamp_is_flushed_harmlessly() {
+        let mut r = system(2, 4, 4);
+        r.network_mut()
+            .channel_mut(p(1), p(0))
+            .unwrap()
+            .preload([CfMsg::Reply { c: 3, data: 666 }]);
+        r.process_mut(p(0)).request_wave();
+        r.run_until(50_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .unwrap();
+        assert_eq!(r.process(p(0)).collected_from(p(1)), Some(101));
+    }
+
+    #[test]
+    fn corrupted_non_started_computation_terminates() {
+        let mut r = system(3, 4, 5);
+        let mut s = r.process(p(0)).snapshot();
+        s.request = RequestState::In;
+        s.collected = vec![None, None, None];
+        r.process_mut(p(0)).restore(s);
+        r.run_until(50_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .unwrap();
+    }
+
+    #[test]
+    fn counter_wraps_modulo_k() {
+        let mut r = system(2, 2, 6);
+        for _ in 0..3 {
+            r.process_mut(p(0)).request_wave();
+            r.run_until(50_000, |r| r.process(p(0)).request() == RequestState::Done)
+                .unwrap();
+            assert!(r.process(p(0)).counter() < 2);
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut proc = CfProcess::new(p(1), 3, 8, 5);
+        let mut rng = SimRng::seed_from(7);
+        proc.corrupt(&mut rng);
+        let snap = proc.snapshot();
+        proc.corrupt(&mut rng);
+        proc.restore(snap.clone());
+        assert_eq!(proc.snapshot(), snap);
+    }
+}

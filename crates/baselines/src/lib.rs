@@ -1,0 +1,37 @@
+//! # snapstab-baselines — comparison protocols
+//!
+//! The paper's headline qualitative claim is a *contrast*: a
+//! snap-stabilizing protocol satisfies the very first started request from
+//! any initial configuration, while a self-stabilizing protocol may
+//! violate safety until it converges, and a non-stabilizing protocol may
+//! never recover at all. This crate implements the comparators that make
+//! the contrast measurable:
+//!
+//! * [`naive_pif`] — the "naive attempt" of §4.1: a PIF with no handshake
+//!   flags and no retransmission. Deadlocks under message loss and accepts
+//!   forged feedback from corrupted channels (experiment Q3).
+//! * [`abp`] — the Afek–Brown alternating-bit protocol with randomized
+//!   labels (related work \[2\]): self-stabilizing with probability growing
+//!   in the label-space size; the violation probability of the first
+//!   transfer is ≈ 1/L (experiment C1).
+//! * [`counter_flush`] — a Varghese-style counter-flushing wave (related
+//!   work \[33\]): self-stabilizing once the counter has flushed the
+//!   channels; the *first* wave after faults can collect stale replies
+//!   with probability ≈ 1/K per channel (experiment C1).
+//! * [`token_ring`] — a Dijkstra K-state token circulation adapted to
+//!   message passing: self-stabilizing mutual exclusion whose convergence
+//!   phase exhibits real CS overlaps (experiment C1), unlike Algorithm 3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abp;
+pub mod counter_flush;
+pub mod naive_pif;
+pub mod token_ring;
+pub mod util;
+
+pub use abp::{AbpEvent, AbpMsg, AbpProcess};
+pub use counter_flush::{CfEvent, CfMsg, CfProcess};
+pub use naive_pif::{NaiveMsg, NaivePifProcess};
+pub use token_ring::{TokenRingProcess, TrEvent, TrMsg};

@@ -1,0 +1,300 @@
+//! The §4.1 "naive attempt" at a message-passing PIF.
+//!
+//! The paper motivates Algorithm 1 by first sketching the obvious protocol
+//! — broadcast once, wait for one feedback per neighbor — and showing it
+//! is *not* snap-stabilizing in the model:
+//!
+//! 1. **Deadlock under loss**: with unreliable channels, a lost broadcast
+//!    or feedback message leaves the initiator waiting forever (there is
+//!    no retransmission).
+//! 2. **Corrupted-channel acceptance**: an arbitrary initial configuration
+//!    can hold a forged feedback in a channel; the initiator accepts it as
+//!    a genuine acknowledgment and may decide on garbage, and a forged
+//!    broadcast triggers a spurious feedback at the receiver.
+//!
+//! Experiment Q3 quantifies both failure modes against Algorithm 1.
+
+use snapstab_core::pif::PifEvent;
+use snapstab_core::request::RequestState;
+use snapstab_sim::{ArbitraryState, Context, PerNeighbor, ProcessId, Protocol, SimRng};
+
+/// Messages of the naive protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NaiveMsg {
+    /// The broadcast, carrying the data.
+    Brd(u32),
+    /// A feedback, carrying the responder's answer.
+    Fck(u32),
+}
+
+impl ArbitraryState for NaiveMsg {
+    fn arbitrary(rng: &mut SimRng) -> Self {
+        if rng.gen_bool(0.5) {
+            NaiveMsg::Brd(u32::arbitrary(rng))
+        } else {
+            NaiveMsg::Fck(u32::arbitrary(rng))
+        }
+    }
+}
+
+/// The state projection of a naive process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NaiveState {
+    /// The request variable.
+    pub request: RequestState,
+    /// The broadcast data.
+    pub b_mes: u32,
+    /// Which neighbors have acknowledged (own slot unused).
+    pub acked: Vec<bool>,
+    /// Feedback values collected this wave (own slot unused).
+    pub collected: Vec<Option<u32>>,
+}
+
+/// A process running the naive PIF. It reuses [`PifEvent`] so the same
+/// Specification 1 checker judges it — and finds it wanting.
+#[derive(Clone, Debug)]
+pub struct NaivePifProcess {
+    me: ProcessId,
+    n: usize,
+    request: RequestState,
+    b_mes: u32,
+    /// The answer this process gives to any broadcast it receives.
+    feedback_value: u32,
+    acked: PerNeighbor<bool>,
+    collected: PerNeighbor<Option<u32>>,
+}
+
+impl NaivePifProcess {
+    /// Creates a correctly-initialized naive process answering broadcasts
+    /// with `feedback_value`.
+    pub fn new(me: ProcessId, n: usize, feedback_value: u32) -> Self {
+        NaivePifProcess {
+            me,
+            n,
+            request: RequestState::Done,
+            b_mes: 0,
+            feedback_value,
+            acked: PerNeighbor::new(me, n, false),
+            collected: PerNeighbor::new(me, n, None),
+        }
+    }
+
+    /// Current request state.
+    pub fn request(&self) -> RequestState {
+        self.request
+    }
+
+    /// Externally requests a broadcast of `b`.
+    pub fn request_broadcast(&mut self, b: u32) -> bool {
+        if self.request.accepts_request() {
+            self.b_mes = b;
+            self.request = RequestState::Wait;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The feedback value collected from neighbor `q` this wave (if any).
+    pub fn collected_from(&self, q: ProcessId) -> Option<u32> {
+        *self.collected.get(q)
+    }
+}
+
+impl Protocol for NaivePifProcess {
+    type Msg = NaiveMsg;
+    type Event = PifEvent<u32, u32>;
+    type State = NaiveState;
+
+    fn activate(&mut self, ctx: &mut Context<'_, NaiveMsg, Self::Event>) -> bool {
+        let mut acted = false;
+        // A1: start — broadcast ONCE to everyone (the naive flaw: no
+        // retransmission).
+        if self.request == RequestState::Wait {
+            self.request = RequestState::In;
+            self.acked.fill_with(|_| false);
+            self.collected.fill_with(|_| None);
+            ctx.emit(PifEvent::Started);
+            let targets: Vec<ProcessId> = ctx.neighbors().collect();
+            for q in targets {
+                ctx.send(q, NaiveMsg::Brd(self.b_mes));
+            }
+            acted = true;
+        }
+        // A2: decide once every neighbor acknowledged.
+        if self.request == RequestState::In && self.acked.all(|&a| a) {
+            self.request = RequestState::Done;
+            ctx.emit(PifEvent::Decided);
+            acted = true;
+        }
+        acted
+    }
+
+    fn on_receive(
+        &mut self,
+        from: ProcessId,
+        msg: NaiveMsg,
+        ctx: &mut Context<'_, NaiveMsg, Self::Event>,
+    ) {
+        match msg {
+            NaiveMsg::Brd(b) => {
+                ctx.emit(PifEvent::ReceiveBrd { from, data: b });
+                ctx.send(from, NaiveMsg::Fck(self.feedback_value));
+            }
+            NaiveMsg::Fck(f) => {
+                // The naive flaw: ANY feedback is accepted as genuine.
+                ctx.emit(PifEvent::ReceiveFck { from, data: f });
+                self.acked.set(from, true);
+                self.collected.set(from, Some(f));
+            }
+        }
+    }
+
+    fn has_enabled_action(&self) -> bool {
+        self.request == RequestState::Wait
+            || (self.request == RequestState::In && self.acked.all(|&a| a))
+    }
+
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        self.request = RequestState::arbitrary(rng);
+        self.b_mes = u32::arbitrary(rng);
+        self.acked.fill_with(|_| bool::arbitrary(rng));
+        self.collected.fill_with(|_| {
+            if bool::arbitrary(rng) {
+                Some(u32::arbitrary(rng))
+            } else {
+                None
+            }
+        });
+    }
+
+    fn snapshot(&self) -> NaiveState {
+        NaiveState {
+            request: self.request,
+            b_mes: self.b_mes,
+            acked: (0..self.n)
+                .map(|i| i != self.me.index() && *self.acked.get(ProcessId::new(i)))
+                .collect(),
+            collected: (0..self.n)
+                .map(|i| {
+                    if i == self.me.index() {
+                        None
+                    } else {
+                        *self.collected.get(ProcessId::new(i))
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn restore(&mut self, s: NaiveState) {
+        self.request = s.request;
+        self.b_mes = s.b_mes;
+        for i in 0..self.n {
+            if i != self.me.index() {
+                self.acked.set(ProcessId::new(i), s.acked[i]);
+                self.collected.set(ProcessId::new(i), s.collected[i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapstab_sim::{Capacity, LossModel, NetworkBuilder, RoundRobin, Runner};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn system(n: usize, loss: LossModel) -> Runner<NaivePifProcess, RoundRobin> {
+        let processes = (0..n)
+            .map(|i| NaivePifProcess::new(p(i), n, 100 + i as u32))
+            .collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let mut r = Runner::new(processes, network, RoundRobin::new(), 3);
+        r.set_loss(loss);
+        r
+    }
+
+    #[test]
+    fn completes_on_reliable_channels_from_clean_state() {
+        let mut r = system(3, LossModel::reliable());
+        r.process_mut(p(0)).request_broadcast(7);
+        let out = r
+            .run_until(10_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .unwrap();
+        assert_eq!(out.stopped, snapstab_sim::StopCondition::Predicate);
+        assert_eq!(r.process(p(0)).collected_from(p(1)), Some(101));
+        assert_eq!(r.process(p(0)).collected_from(p(2)), Some(102));
+    }
+
+    #[test]
+    fn deadlocks_when_a_broadcast_is_lost() {
+        // Lose the first message on the link 0 -> 1: the broadcast vanishes
+        // and the initiator waits forever (failure mode 1 of §4.1).
+        let mut r = system(2, LossModel::first_k(1));
+        r.process_mut(p(0)).request_broadcast(7);
+        let out = r.run_steps(50_000).unwrap();
+        // The system goes quiescent with the request still In: deadlock.
+        assert!(out.is_quiescent() || r.is_quiescent());
+        assert_eq!(r.process(p(0)).request(), RequestState::In);
+    }
+
+    #[test]
+    fn accepts_forged_feedback_from_corrupted_channel() {
+        // A forged Fck(666) sits in the channel 1 -> 0. The initiator
+        // accepts it as P1's acknowledgment (failure mode 2 of §4.1).
+        let mut r = system(2, LossModel::reliable());
+        r.network_mut()
+            .channel_mut(p(1), p(0))
+            .unwrap()
+            .preload([NaiveMsg::Fck(666)]);
+        r.process_mut(p(0)).request_broadcast(7);
+        r.run_until(10_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .unwrap();
+        assert_eq!(
+            r.process(p(0)).collected_from(p(1)),
+            Some(666),
+            "the decision took forged garbage into account"
+        );
+    }
+
+    #[test]
+    fn forged_broadcast_triggers_spurious_feedback() {
+        let mut r = system(2, LossModel::reliable());
+        r.network_mut()
+            .channel_mut(p(1), p(0))
+            .unwrap()
+            .preload([NaiveMsg::Brd(42)]);
+        r.run_steps(100).unwrap();
+        // P0 answered a broadcast nobody sent.
+        let spurious = r
+            .trace()
+            .protocol_events_of(p(0))
+            .any(|(_, e)| matches!(e, PifEvent::ReceiveBrd { data: 42, .. }));
+        assert!(spurious);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut proc = NaivePifProcess::new(p(0), 3, 5);
+        let mut rng = SimRng::seed_from(2);
+        proc.corrupt(&mut rng);
+        let snap = proc.snapshot();
+        proc.corrupt(&mut rng);
+        proc.restore(snap.clone());
+        assert_eq!(proc.snapshot(), snap);
+    }
+
+    #[test]
+    fn arbitrary_msg_covers_both_kinds() {
+        let mut rng = SimRng::seed_from(0);
+        let mut kinds = std::collections::HashSet::new();
+        for _ in 0..50 {
+            kinds.insert(std::mem::discriminant(&NaiveMsg::arbitrary(&mut rng)));
+        }
+        assert_eq!(kinds.len(), 2);
+    }
+}

@@ -1,0 +1,331 @@
+//! Dijkstra-style self-stabilizing token circulation over message passing.
+//!
+//! Dijkstra's K-state algorithm — the founding self-stabilizing protocol —
+//! adapted to the message-passing model: the processes form a virtual ring
+//! inside the fully-connected network, each repeatedly sends its value to
+//! its successor, and
+//!
+//! * the **root** (process 0) holds the token when the value it receives
+//!   from its predecessor *equals* its own; it then executes the CS and
+//!   increments its value mod `K`;
+//! * a **non-root** holds the token when the received value *differs*; it
+//!   executes the CS and adopts the received value.
+//!
+//! With `K ≥ n` the system converges from any configuration to exactly one
+//! circulating token — but *during* convergence several processes can hold
+//! tokens simultaneously, i.e. genuinely overlapping critical sections.
+//! Experiment C1 counts those overlaps and contrasts them with Algorithm
+//! 3's zero.
+
+use snapstab_sim::{ArbitraryState, Context, ProcessId, Protocol, SimRng};
+
+/// The single message of the token ring: a value announcement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TrMsg {
+    /// The sender's current value.
+    pub v: u64,
+}
+
+impl ArbitraryState for TrMsg {
+    /// Values drawn from `0..8` (experiments with larger `K` pre-load
+    /// explicitly).
+    fn arbitrary(rng: &mut SimRng) -> Self {
+        TrMsg { v: rng.gen_u64() % 8 }
+    }
+}
+
+/// Observable events.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TrEvent {
+    /// The process acquired the token and entered the CS.
+    CsEnter,
+    /// The process left the CS (and passed the token on).
+    CsExit,
+}
+
+/// State projection of a token-ring process.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TrState {
+    /// The Dijkstra value.
+    pub value: u64,
+    /// Remaining CS activations, if inside the CS.
+    pub in_cs: Option<u64>,
+    /// The pending value update to apply at CS exit.
+    pub pending: Option<u64>,
+}
+
+/// A process of the message-passing K-state token ring.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TokenRingProcess {
+    me: ProcessId,
+    n: usize,
+    /// Value domain size `K` (self-stabilizing iff `K ≥ n`).
+    k: u64,
+    /// CS duration in activations (≥ 1 so overlaps are observable).
+    cs_duration: u64,
+    value: u64,
+    in_cs: Option<u64>,
+    /// The value to adopt (non-root) or the increment marker (root) at CS
+    /// exit.
+    pending: Option<u64>,
+    /// CS executions (instrumentation).
+    cs_count: u64,
+}
+
+impl TokenRingProcess {
+    /// Creates a correctly-initialized process (root = process 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `cs_duration == 0`.
+    pub fn new(me: ProcessId, n: usize, k: u64, cs_duration: u64) -> Self {
+        assert!(k >= 2, "value domain needs at least two values");
+        assert!(cs_duration >= 1, "CS must take at least one activation");
+        TokenRingProcess {
+            me,
+            n,
+            k,
+            cs_duration,
+            value: 0,
+            in_cs: None,
+            pending: None,
+            cs_count: 0,
+        }
+    }
+
+    /// True for the distinguished root process.
+    pub fn is_root(&self) -> bool {
+        self.me.index() == 0
+    }
+
+    /// The current Dijkstra value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// True while holding the token inside the CS.
+    pub fn is_in_cs(&self) -> bool {
+        self.in_cs.is_some()
+    }
+
+    /// Number of CS executions so far.
+    pub fn cs_count(&self) -> u64 {
+        self.cs_count
+    }
+
+    fn successor(&self) -> ProcessId {
+        ProcessId::new((self.me.index() + 1) % self.n)
+    }
+}
+
+impl Protocol for TokenRingProcess {
+    type Msg = TrMsg;
+    type Event = TrEvent;
+    type State = TrState;
+
+    fn activate(&mut self, ctx: &mut Context<'_, TrMsg, TrEvent>) -> bool {
+        // CS continuation.
+        if let Some(remaining) = self.in_cs {
+            if remaining > 1 {
+                self.in_cs = Some(remaining - 1);
+            } else {
+                self.in_cs = None;
+                ctx.emit(TrEvent::CsExit);
+                match self.pending.take() {
+                    Some(adopt) => self.value = adopt,          // non-root
+                    None => self.value = (self.value + 1) % self.k, // root
+                }
+                // Pass the token on immediately.
+                ctx.send(self.successor(), TrMsg { v: self.value });
+            }
+            return true;
+        }
+        // Perpetual announcement to the successor (retransmission makes the
+        // ring loss-tolerant; extras are dropped by the full channel).
+        ctx.send(self.successor(), TrMsg { v: self.value });
+        true
+    }
+
+    fn on_receive(
+        &mut self,
+        from: ProcessId,
+        msg: TrMsg,
+        ctx: &mut Context<'_, TrMsg, TrEvent>,
+    ) {
+        // Only the ring predecessor's announcements matter.
+        let predecessor = ProcessId::new((self.me.index() + self.n - 1) % self.n);
+        if from != predecessor || self.in_cs.is_some() {
+            return;
+        }
+        let privileged = if self.is_root() {
+            msg.v == self.value
+        } else {
+            msg.v != self.value
+        };
+        if privileged {
+            self.in_cs = Some(self.cs_duration);
+            self.pending = if self.is_root() { None } else { Some(msg.v) };
+            self.cs_count += 1;
+            ctx.emit(TrEvent::CsEnter);
+        }
+    }
+
+    fn has_enabled_action(&self) -> bool {
+        true // perpetual protocol: always announcing or inside the CS
+    }
+
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        self.value = rng.gen_u64() % self.k;
+        self.in_cs = None;
+        self.pending = None;
+    }
+
+    fn snapshot(&self) -> TrState {
+        TrState { value: self.value, in_cs: self.in_cs, pending: self.pending }
+    }
+
+    fn restore(&mut self, s: TrState) {
+        self.value = s.value;
+        self.in_cs = s.in_cs;
+        self.pending = s.pending;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::extract_cs_intervals;
+    use snapstab_sim::{Capacity, NetworkBuilder, RoundRobin, Runner};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn ring(n: usize, k: u64, seed: u64) -> Runner<TokenRingProcess, RoundRobin> {
+        let processes = (0..n).map(|i| TokenRingProcess::new(p(i), n, k, 2)).collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        Runner::new(processes, network, RoundRobin::new(), seed)
+    }
+
+    #[test]
+    fn token_circulates_from_clean_state() {
+        let mut r = ring(3, 5, 1);
+        r.run_steps(20_000).unwrap();
+        for i in 0..3 {
+            assert!(
+                r.process(p(i)).cs_count() > 0,
+                "P{i} never held the token"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_start_has_no_overlapping_cs() {
+        let mut r = ring(4, 7, 2);
+        r.run_steps(30_000).unwrap();
+        let intervals = extract_cs_intervals(
+            r.trace(),
+            4,
+            |e| matches!(e, TrEvent::CsEnter),
+            |e| matches!(e, TrEvent::CsExit),
+        );
+        assert!(intervals.len() > 3);
+        for i in 0..intervals.len() {
+            for j in i + 1..intervals.len() {
+                assert!(
+                    intervals[i].p == intervals[j].p
+                        || !intervals[i].overlaps(&intervals[j]),
+                    "clean-start ring must have one token"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_start_can_overlap_but_converges() {
+        // Find a corrupted configuration exhibiting an overlap during
+        // convergence, then verify the suffix is overlap-free
+        // (self-stabilization: eventual, not immediate, safety).
+        let mut found_overlap = false;
+        for seed in 0..40u64 {
+            let mut r = ring(4, 5, seed);
+            let mut rng = SimRng::seed_from(seed);
+            for i in 0..4 {
+                r.process_mut(p(i)).corrupt(&mut rng);
+            }
+            r.run_steps(40_000).unwrap();
+            let intervals = extract_cs_intervals(
+                r.trace(),
+                4,
+                |e| matches!(e, TrEvent::CsEnter),
+                |e| matches!(e, TrEvent::CsExit),
+            );
+            let overlaps = intervals.iter().enumerate().any(|(i, a)| {
+                intervals[i + 1..]
+                    .iter()
+                    .any(|b| a.p != b.p && a.overlaps(b))
+            });
+            if overlaps {
+                found_overlap = true;
+                // Convergence: the last quarter of the run is clean.
+                let cutoff = r.step_count() * 3 / 4;
+                let late: Vec<_> =
+                    intervals.iter().filter(|iv| iv.enter >= cutoff).collect();
+                for i in 0..late.len() {
+                    for j in i + 1..late.len() {
+                        assert!(
+                            late[i].p == late[j].p || !late[i].overlaps(late[j]),
+                            "seed {seed}: ring must converge to one token"
+                        );
+                    }
+                }
+                break;
+            }
+        }
+        assert!(
+            found_overlap,
+            "some corrupted configuration must exhibit a convergence-phase overlap"
+        );
+    }
+
+    #[test]
+    fn corrupt_respects_value_domain() {
+        let mut proc = TokenRingProcess::new(p(1), 3, 5, 2);
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..30 {
+            proc.corrupt(&mut rng);
+            assert!(proc.value() < 5);
+            assert!(!proc.is_in_cs());
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut proc = TokenRingProcess::new(p(2), 3, 5, 2);
+        let mut rng = SimRng::seed_from(4);
+        proc.corrupt(&mut rng);
+        let snap = proc.snapshot();
+        proc.corrupt(&mut rng);
+        proc.restore(snap);
+        assert_eq!(proc.snapshot(), snap);
+    }
+
+    #[test]
+    fn non_predecessor_messages_ignored() {
+        let mut procs = vec![
+            TokenRingProcess::new(p(0), 3, 5, 2),
+            TokenRingProcess::new(p(1), 3, 5, 2),
+            TokenRingProcess::new(p(2), 3, 5, 2),
+        ];
+        let mut rng = SimRng::seed_from(0);
+        let mut sends = Vec::new();
+        let mut events = Vec::new();
+        let mut ctx = Context::new(p(2), 3, 0, &mut rng, &mut sends, &mut events);
+        // P2's predecessor is P1; a differing value from P0 must not grant
+        // the token.
+        procs[2].on_receive(p(0), TrMsg { v: 3 }, &mut ctx);
+        assert!(!procs[2].is_in_cs());
+        procs[2].on_receive(p(1), TrMsg { v: 3 }, &mut ctx);
+        assert!(procs[2].is_in_cs());
+    }
+}

@@ -1,0 +1,95 @@
+//! Trace-analysis helpers shared by the baseline experiments.
+
+use snapstab_core::spec::CsInterval;
+use snapstab_sim::{Message, ProcessId, Trace};
+
+/// Extracts critical-section intervals from a trace using caller-supplied
+/// event classifiers (the baseline protocols have their own event types,
+/// unlike Algorithm 3 whose analysis lives in `snapstab_core::spec`).
+///
+/// Unpaired entries at the end of the trace are closed at their entry
+/// step. All intervals are marked `genuine` (the baselines have no
+/// request/start discipline to distinguish).
+pub fn extract_cs_intervals<M, E>(
+    trace: &Trace<M, E>,
+    n: usize,
+    mut is_enter: impl FnMut(&E) -> bool,
+    mut is_exit: impl FnMut(&E) -> bool,
+) -> Vec<CsInterval>
+where
+    M: Message,
+    E: Clone + std::fmt::Debug + PartialEq,
+{
+    let mut intervals = Vec::new();
+    for i in 0..n {
+        let p = ProcessId::new(i);
+        let mut open: Option<u64> = None;
+        for (step, e) in trace.protocol_events_of(p) {
+            if is_enter(e) {
+                open = Some(step);
+            } else if is_exit(e) {
+                if let Some(enter) = open.take() {
+                    intervals.push(CsInterval { p, enter, exit: step, genuine: true });
+                }
+            }
+        }
+        if let Some(enter) = open {
+            intervals.push(CsInterval { p, enter, exit: enter, genuine: true });
+        }
+    }
+    intervals.sort_by_key(|iv| iv.enter);
+    intervals
+}
+
+/// Counts overlapping pairs among intervals of distinct processes.
+pub fn count_overlaps(intervals: &[CsInterval]) -> usize {
+    let mut count = 0;
+    for i in 0..intervals.len() {
+        for j in i + 1..intervals.len() {
+            if intervals[i].p != intervals[j].p && intervals[i].overlaps(&intervals[j]) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapstab_sim::TraceEvent;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    enum E {
+        In,
+        Out,
+    }
+
+    #[test]
+    fn extracts_and_counts() {
+        let mut t: Trace<u8, E> = Trace::new();
+        t.push(1, TraceEvent::Protocol { p: p(0), event: E::In });
+        t.push(5, TraceEvent::Protocol { p: p(0), event: E::Out });
+        t.push(3, TraceEvent::Protocol { p: p(1), event: E::In });
+        t.push(4, TraceEvent::Protocol { p: p(1), event: E::Out });
+        t.push(9, TraceEvent::Protocol { p: p(1), event: E::In }); // unpaired
+        let ivs = extract_cs_intervals(&t, 2, |e| *e == E::In, |e| *e == E::Out);
+        assert_eq!(ivs.len(), 3);
+        assert_eq!(count_overlaps(&ivs), 1, "[1,5] and [3,4] overlap");
+        assert_eq!(ivs[2].enter, 9);
+        assert_eq!(ivs[2].exit, 9);
+    }
+
+    #[test]
+    fn same_process_overlaps_not_counted() {
+        let ivs = vec![
+            CsInterval { p: p(0), enter: 0, exit: 10, genuine: true },
+            CsInterval { p: p(0), enter: 5, exit: 7, genuine: true },
+        ];
+        assert_eq!(count_overlaps(&ivs), 0);
+    }
+}

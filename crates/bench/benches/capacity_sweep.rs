@@ -1,0 +1,59 @@
+//! Criterion bench: the X1 capacity generalization — PIF wave latency as
+//! the known channel capacity grows, with the *matched* flag domain
+//! (`2c + 3` values, `FlagDomain::for_capacity`). Larger capacity admits
+//! more in-flight duplicates (fewer drop-on-full losses) but demands a
+//! longer handshake (`2c + 2` increments per neighbor); this measures the
+//! net effect of deploying the extension correctly.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use snapstab_core::pif::{PifApp, PifProcess};
+use snapstab_core::request::RequestState;
+use snapstab_sim::{Capacity, NetworkBuilder, ProcessId, RoundRobin, Runner};
+
+#[derive(Clone, Debug)]
+struct Zero;
+
+impl PifApp<u32, u32> for Zero {
+    fn on_broadcast(&mut self, _from: ProcessId, _data: &u32) -> u32 {
+        0
+    }
+    fn on_feedback(&mut self, _from: ProcessId, _data: &u32) {}
+}
+
+type Proc = PifProcess<u32, u32, Zero>;
+
+fn fresh(cap: usize) -> Runner<Proc, RoundRobin> {
+    let n = 4;
+    let processes: Vec<Proc> = (0..n)
+        .map(|i| PifProcess::for_capacity(ProcessId::new(i), n, 0, 0, cap, Zero))
+        .collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(cap)).build();
+    let mut runner = Runner::new(processes, network, RoundRobin::new(), 5);
+    runner.set_record_trace(false);
+    runner
+}
+
+fn bench_capacity_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pif_capacity");
+    for cap in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter_batched(
+                || fresh(cap),
+                |mut runner| {
+                    runner.process_mut(ProcessId::new(0)).request_broadcast(1);
+                    runner
+                        .run_until(10_000_000, |r| {
+                            r.process(ProcessId::new(0)).request() == RequestState::Done
+                        })
+                        .expect("wave decides");
+                    runner.step_count()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_capacity_sweep);
+criterion_main!(benches);

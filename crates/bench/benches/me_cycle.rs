@@ -1,0 +1,55 @@
+//! Criterion bench: mutual-exclusion request-to-service latency
+//! (wall-clock), clean and corrupted starts.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use snapstab_core::me::MeProcess;
+use snapstab_core::request::RequestState;
+use snapstab_sim::{
+    Capacity, CorruptionPlan, NetworkBuilder, ProcessId, RoundRobin, Runner, SimRng,
+};
+
+fn fresh(n: usize, corrupted: bool, seed: u64) -> Runner<MeProcess, RoundRobin> {
+    let processes: Vec<MeProcess> = (0..n)
+        .map(|i| MeProcess::new(ProcessId::new(i), n, 100 + i as u64))
+        .collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RoundRobin::new(), seed);
+    runner.set_record_trace(false);
+    if corrupted {
+        let mut rng = SimRng::seed_from(seed);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+    }
+    runner
+}
+
+fn serve_one(mut runner: Runner<MeProcess, RoundRobin>) -> u64 {
+    let requester = ProcessId::new(runner.n() - 1);
+    // Respect the user discipline: wait for Done before requesting.
+    let _ = runner.run_until(1_000_000, |r| {
+        r.process(requester).request() == RequestState::Done
+    });
+    assert!(runner.process_mut(requester).request_cs());
+    runner
+        .run_until(20_000_000, |r| {
+            r.process(requester).request() == RequestState::Done
+        })
+        .expect("request must be served");
+    runner.step_count()
+}
+
+fn bench_me_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("me_cycle");
+    group.sample_size(20);
+    for n in [3usize, 5] {
+        group.bench_with_input(BenchmarkId::new("clean", n), &n, |b, &n| {
+            b.iter_batched(|| fresh(n, false, 3), serve_one, BatchSize::SmallInput);
+        });
+        group.bench_with_input(BenchmarkId::new("corrupted", n), &n, |b, &n| {
+            b.iter_batched(|| fresh(n, true, 4), serve_one, BatchSize::SmallInput);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_me_cycle);
+criterion_main!(benches);

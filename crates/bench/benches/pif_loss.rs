@@ -1,0 +1,62 @@
+//! Criterion bench: PIF wave latency under message loss (experiment Q2's
+//! wall-clock companion).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use snapstab_core::pif::{PifApp, PifProcess};
+use snapstab_core::request::RequestState;
+use snapstab_sim::{Capacity, LossModel, NetworkBuilder, ProcessId, RoundRobin, Runner};
+
+#[derive(Clone, Debug)]
+struct Zero;
+
+impl PifApp<u32, u32> for Zero {
+    fn on_broadcast(&mut self, _from: ProcessId, _data: &u32) -> u32 {
+        0
+    }
+    fn on_feedback(&mut self, _from: ProcessId, _data: &u32) {}
+}
+
+type Proc = PifProcess<u32, u32, Zero>;
+
+fn fresh(loss: f64, seed: u64) -> Runner<Proc, RoundRobin> {
+    let n = 3;
+    let processes: Vec<Proc> = (0..n)
+        .map(|i| PifProcess::with_initial_f(ProcessId::new(i), n, 0, 0, Zero))
+        .collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RoundRobin::new(), seed);
+    runner.set_record_trace(false);
+    if loss > 0.0 {
+        runner.set_loss(LossModel::probabilistic(loss));
+    }
+    runner
+}
+
+fn bench_pif_loss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pif_loss");
+    for loss in [0.0f64, 0.1, 0.3, 0.5] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("p={loss:.1}")),
+            &loss,
+            |b, &loss| {
+                b.iter_batched(
+                    || fresh(loss, 7),
+                    |mut runner| {
+                        runner.process_mut(ProcessId::new(0)).request_broadcast(1);
+                        runner
+                            .run_until(10_000_000, |r| {
+                                r.process(ProcessId::new(0)).request() == RequestState::Done
+                            })
+                            .expect("wave decides");
+                        runner.step_count()
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pif_loss);
+criterion_main!(benches);

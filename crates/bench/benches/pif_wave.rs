@@ -1,0 +1,64 @@
+//! Criterion bench: PIF wave latency (wall-clock) vs system size, from
+//! clean and corrupted starts (experiment Q1's wall-clock companion).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use snapstab_core::pif::{PifApp, PifProcess};
+use snapstab_core::request::RequestState;
+use snapstab_sim::{
+    Capacity, CorruptionPlan, NetworkBuilder, ProcessId, RoundRobin, Runner, SimRng,
+};
+
+#[derive(Clone, Debug)]
+struct Zero;
+
+impl PifApp<u32, u32> for Zero {
+    fn on_broadcast(&mut self, _from: ProcessId, _data: &u32) -> u32 {
+        0
+    }
+    fn on_feedback(&mut self, _from: ProcessId, _data: &u32) {}
+}
+
+type Proc = PifProcess<u32, u32, Zero>;
+
+fn fresh(n: usize, corrupted: bool, seed: u64) -> Runner<Proc, RoundRobin> {
+    let processes: Vec<Proc> = (0..n)
+        .map(|i| PifProcess::with_initial_f(ProcessId::new(i), n, 0, 0, Zero))
+        .collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RoundRobin::new(), seed);
+    runner.set_record_trace(false);
+    if corrupted {
+        let mut rng = SimRng::seed_from(seed);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+        let _ = runner.run_until(1_000_000, |r| {
+            r.process(ProcessId::new(0)).request() == RequestState::Done
+        });
+    }
+    runner
+}
+
+fn run_wave(mut runner: Runner<Proc, RoundRobin>) -> u64 {
+    runner.process_mut(ProcessId::new(0)).request_broadcast(1);
+    runner
+        .run_until(10_000_000, |r| {
+            r.process(ProcessId::new(0)).request() == RequestState::Done
+        })
+        .expect("wave decides");
+    runner.step_count()
+}
+
+fn bench_pif_wave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pif_wave");
+    for n in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("clean", n), &n, |b, &n| {
+            b.iter_batched(|| fresh(n, false, 1), run_wave, BatchSize::SmallInput);
+        });
+        group.bench_with_input(BenchmarkId::new("corrupted", n), &n, |b, &n| {
+            b.iter_batched(|| fresh(n, true, 2), run_wave, BatchSize::SmallInput);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pif_wave);
+criterion_main!(benches);

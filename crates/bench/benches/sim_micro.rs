@@ -1,0 +1,89 @@
+//! Criterion bench: substrate micro-benchmarks (experiment Q4) — channel
+//! operations, network send/deliver, corrupted-configuration sampling.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use snapstab_core::idl::IdlProcess;
+use snapstab_sim::{
+    Capacity, Channel, CorruptionPlan, NetworkBuilder, ProcessId, RoundRobin, Runner, SimRng,
+};
+
+fn bench_channel_ops(c: &mut Criterion) {
+    c.bench_function("channel_offer_pop", |b| {
+        let mut ch: Channel<u64> = Channel::new(Capacity::Bounded(1));
+        b.iter(|| {
+            let _ = ch.offer(42);
+            std::hint::black_box(ch.pop())
+        });
+    });
+    c.bench_function("channel_offer_full", |b| {
+        let mut ch: Channel<u64> = Channel::new(Capacity::Bounded(1));
+        let _ = ch.offer(1);
+        b.iter(|| std::hint::black_box(ch.offer(2)));
+    });
+}
+
+fn bench_network_roundtrip(c: &mut Criterion) {
+    c.bench_function("network_send_deliver_n8", |b| {
+        let mut net = NetworkBuilder::<u64>::new(8).capacity(Capacity::Bounded(1)).build();
+        let (p, q) = (ProcessId::new(0), ProcessId::new(7));
+        b.iter(|| {
+            net.send(p, q, 9);
+            std::hint::black_box(net.deliver(p, q).unwrap())
+        });
+    });
+}
+
+fn bench_corruption(c: &mut Criterion) {
+    c.bench_function("corrupt_full_n8_idl", |b| {
+        b.iter_batched(
+            || {
+                let n = 8;
+                let processes: Vec<IdlProcess> = (0..n)
+                    .map(|i| IdlProcess::new(ProcessId::new(i), n, i as u64))
+                    .collect();
+                let network =
+                    NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+                Runner::new(processes, network, RoundRobin::new(), 0)
+            },
+            |mut runner| {
+                let mut rng = SimRng::seed_from(1);
+                CorruptionPlan::full().apply(&mut runner, &mut rng);
+                runner
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_step_throughput(c: &mut Criterion) {
+    c.bench_function("runner_steps_idl_wave_n8", |b| {
+        b.iter_batched(
+            || {
+                let n = 8;
+                let processes: Vec<IdlProcess> = (0..n)
+                    .map(|i| IdlProcess::new(ProcessId::new(i), n, i as u64))
+                    .collect();
+                let network =
+                    NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+                let mut runner = Runner::new(processes, network, RoundRobin::new(), 0);
+                runner.set_record_trace(false);
+                runner.process_mut(ProcessId::new(0)).request_learning();
+                runner
+            },
+            |mut runner| {
+                runner.run_steps(500).expect("steps run");
+                runner.step_count()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_channel_ops,
+    bench_network_roundtrip,
+    bench_corruption,
+    bench_step_throughput
+);
+criterion_main!(benches);

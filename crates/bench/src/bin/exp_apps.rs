@@ -1,0 +1,5 @@
+//! S12 (supplementary) — PIF applications' first-request exactness.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    print!("{}", snapstab_bench::experiments::apps::run(snapstab_bench::is_fast(&args)));
+}

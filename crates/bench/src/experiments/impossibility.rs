@@ -1,0 +1,74 @@
+//! **T1 — Theorem 1: the adversarial construction, end to end.**
+//!
+//! For each system size, records the two witness executions, composes the
+//! adversarial configuration `γ₀`, reports how many "sent by nobody"
+//! messages it needs per channel, probes feasibility across capacity
+//! bounds, and replays on unbounded channels to exhibit two genuine
+//! requesters simultaneously inside the critical section.
+//!
+//! The bounded-capacity control group (the §4 side of the dichotomy) is
+//! experiment T4: the same protocol on capacity-1 channels never exhibits
+//! a genuine overlap.
+
+use snapstab_impossibility::DoubleWinDemo;
+use snapstab_sim::ProcessId;
+
+use crate::table::Table;
+
+/// Runs the T1 experiment and renders the report.
+pub fn run(fast: bool) -> String {
+    let ns = if fast { vec![3] } else { vec![3, 4, 5] };
+    let probe = [1usize, 2, 4, 8, 16, 32, 64];
+
+    let mut out = String::new();
+    out.push_str("=== T1: Theorem 1 — impossibility with unbounded channels ===\n\n");
+    let mut table = Table::new(&[
+        "n", "max |MesSeq| per channel", "total preloaded", "infeasible for c <",
+        "violation on unbounded", "bad-factor step", "genuine CS overlaps",
+    ]);
+    let mut all_violated = true;
+    for &n in &ns {
+        let demo = DoubleWinDemo {
+            n,
+            a: ProcessId::new(1),
+            b: ProcessId::new(2),
+            cs_duration: 8,
+            seed: 0xD0 + n as u64,
+            max_steps: 4_000_000,
+        };
+        let outcome = demo.run(&probe).expect("demo must run");
+        let infeasible_below = outcome.max_channel_load;
+        all_violated &= outcome.violation_exhibited();
+        table.row(&[
+            n.to_string(),
+            outcome.max_channel_load.to_string(),
+            outcome.total_preloaded.to_string(),
+            infeasible_below.to_string(),
+            outcome.replay.violated().to_string(),
+            outcome
+                .replay
+                .bad_factor_step
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".into()),
+            outcome.report.genuine_overlaps.len().to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nverdict: with unbounded channels the mutual-exclusion bad factor is exhibited \
+         for every n: {}.\nWith capacity below the per-channel |MesSeq|, the construction's \
+         initial configuration does not exist — the paper's escape hatch (§4).\n",
+        if all_violated { "YES" } else { "NO" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_contains_verdict() {
+        let r = super::run(true);
+        assert!(r.contains("violation on unbounded"));
+        assert!(r.contains("YES"));
+    }
+}

@@ -1,0 +1,212 @@
+//! **T4 + L1 — Theorem 4 (Specification 3) and Lemmas 10–11.**
+//!
+//! Long mutual-exclusion runs from arbitrary initial configurations with
+//! randomly injected requests. Checks:
+//!
+//! * **Start** — every injected request is served (requests injected too
+//!   close to the end of the budget are excluded);
+//! * **Correctness** — no two *genuine* CS executions ever overlap, at any
+//!   CS duration; spurious executions (corrupted `Request = In`, footnote
+//!   1) are reported separately;
+//! * **Lemma 10** — every process visits phase 0 repeatedly;
+//! * **Lemma 11** — the leader's `Value` pointer keeps advancing.
+
+use snapstab_core::idl::Id;
+use snapstab_core::me::{MeConfig, MeProcess, ValueMode};
+use snapstab_core::request::RequestState;
+use snapstab_core::spec::analyze_me_trace;
+use snapstab_sim::{
+    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner,
+    SimRng,
+};
+
+use crate::stats::Summary;
+use crate::table::Table;
+
+/// Result of one long mutual-exclusion run.
+#[derive(Clone, Debug)]
+pub struct Trial {
+    /// Requests injected (excluding the tail margin).
+    pub requests: usize,
+    /// Requests served.
+    pub served: usize,
+    /// Genuine×genuine CS overlaps (must be 0).
+    pub genuine_overlaps: usize,
+    /// Overlaps involving spurious CS executions (allowed; informational).
+    pub spurious_overlaps: usize,
+    /// Service latencies (steps).
+    pub latencies: Vec<u64>,
+    /// Minimum phase-0 visits over all processes (Lemma 10).
+    pub min_phase_zero: u64,
+    /// Leader `Value` advances (Lemma 11).
+    pub leader_advances: u64,
+}
+
+/// Distinct identities; process 1 is the leader (an off-zero choice makes
+/// index/id confusions visible in tests).
+pub fn ids(n: usize) -> Vec<Id> {
+    (0..n)
+        .map(|i| if i == 1 { 7 } else { 500 + 31 * i as Id })
+        .collect()
+}
+
+/// Runs one long trial.
+pub fn trial(n: usize, loss: f64, cs_duration: u64, budget: u64, seed: u64) -> Trial {
+    let idv = ids(n);
+    let config = MeConfig { cs_duration, value_mode: ValueMode::Corrected, ..MeConfig::default() };
+    let processes: Vec<MeProcess> = (0..n)
+        .map(|i| MeProcess::with_config(ProcessId::new(i), n, idv[i], config))
+        .collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+    if loss > 0.0 {
+        runner.set_loss(LossModel::probabilistic(loss));
+    }
+    let mut rng = SimRng::seed_from(seed ^ 0x4D45); // "ME"
+    CorruptionPlan::full().apply(&mut runner, &mut rng);
+
+    // Run in chunks, injecting requests at idle processes with small
+    // probability per chunk. Requests injected after the margin are not
+    // counted against the Start property.
+    let margin = budget * 8 / 10;
+    let mut requests_counted = 0usize;
+    let chunk = 512u64;
+    let mut executed = 0u64;
+    while executed < budget {
+        let this = chunk.min(budget - executed);
+        let out = runner.run_steps(this).expect("fair run cannot error");
+        executed += out.steps;
+        if out.steps < this {
+            break; // quiescent (cannot happen for ME, defensive)
+        }
+        for i in 0..n {
+            let p = ProcessId::new(i);
+            if runner.process(p).request() == RequestState::Done && rng.gen_bool(0.02) {
+                runner.mark(p, "request");
+                assert!(runner.process_mut(p).request_cs());
+                if executed < margin {
+                    requests_counted += 1;
+                }
+            }
+        }
+    }
+
+    let report = analyze_me_trace(runner.trace(), n);
+    // Served among the counted (pre-margin) requests.
+    let served = report
+        .served
+        .iter()
+        .filter(|(_, req_step, _)| *req_step < margin)
+        .count();
+    let latencies = report
+        .served
+        .iter()
+        .map(|(_, req, srv)| srv - req)
+        .collect();
+    let min_phase_zero = (0..n)
+        .map(|i| runner.process(ProcessId::new(i)).counters().phase_zero_visits)
+        .min()
+        .unwrap_or(0);
+    let leader_advances = runner.process(ProcessId::new(1)).counters().value_advances;
+
+    Trial {
+        requests: requests_counted,
+        served,
+        genuine_overlaps: report.genuine_overlaps.len(),
+        spurious_overlaps: report.spurious_overlaps.len(),
+        latencies,
+        min_phase_zero,
+        leader_advances,
+    }
+}
+
+/// Runs the T4 + L1 sweep and renders the report.
+pub fn run(fast: bool) -> String {
+    let (budget, trials) = if fast { (60_000, 3) } else { (400_000, 10) };
+    let ns = if fast { vec![3, 5] } else { vec![3, 5, 8] };
+    let losses = [0.0, 0.2];
+    let durations = [0u64, 3];
+
+    let mut out = String::new();
+    out.push_str("=== T4 + L1: Specification 3 (Mutual Exclusion) from arbitrary configurations ===\n\n");
+    let mut table = Table::new(&[
+        "n", "loss", "cs_dur", "requests", "served", "genuine overlap", "spurious overlap",
+        "latency mean/p95", "min phase0", "leader Value++",
+    ]);
+    let mut exclusivity = true;
+    let mut all_served = true;
+    for &n in &ns {
+        for &loss in &losses {
+            for &d in &durations {
+                let mut requests = 0;
+                let mut served = 0;
+                let mut genuine = 0;
+                let mut spurious = 0;
+                let mut lats: Vec<u64> = Vec::new();
+                let mut min_p0 = u64::MAX;
+                let mut advances = 0;
+                for t in 0..trials {
+                    let r = trial(
+                        n,
+                        loss,
+                        d,
+                        budget,
+                        (n as u64) << 48 | (d << 32) | (loss * 10.0) as u64 ^ t,
+                    );
+                    requests += r.requests;
+                    served += r.served;
+                    genuine += r.genuine_overlaps;
+                    spurious += r.spurious_overlaps;
+                    lats.extend(r.latencies);
+                    min_p0 = min_p0.min(r.min_phase_zero);
+                    advances += r.leader_advances;
+                }
+                exclusivity &= genuine == 0;
+                all_served &= served >= requests;
+                table.row(&[
+                    n.to_string(),
+                    format!("{loss:.1}"),
+                    d.to_string(),
+                    requests.to_string(),
+                    served.to_string(),
+                    genuine.to_string(),
+                    spurious.to_string(),
+                    Summary::of_u64(lats).mean_p95(),
+                    min_p0.to_string(),
+                    advances.to_string(),
+                ]);
+            }
+        }
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nverdict: genuine CS exclusivity {}, all counted requests served {}\n",
+        if exclusivity { "HELD (0 overlaps)" } else { "VIOLATED" },
+        if all_served { "YES" } else { "NO" },
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_trial_no_genuine_overlap_and_lemmas_hold() {
+        for seed in 0..3 {
+            let t = trial(3, 0.0, 0, 40_000, seed);
+            assert_eq!(t.genuine_overlaps, 0, "seed {seed}: {t:?}");
+            assert!(t.min_phase_zero > 0, "Lemma 10: {t:?}");
+            assert!(t.leader_advances > 0, "Lemma 11: {t:?}");
+            assert!(t.served >= t.requests, "Start: {t:?}");
+        }
+    }
+
+    #[test]
+    fn duration_cs_still_exclusive() {
+        for seed in 0..2 {
+            let t = trial(3, 0.1, 3, 40_000, 77 + seed);
+            assert_eq!(t.genuine_overlaps, 0, "seed {seed}: {t:?}");
+        }
+    }
+}

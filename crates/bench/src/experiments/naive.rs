@@ -1,0 +1,205 @@
+//! **Q3 — the §4.1 naive protocol's failure modes, quantified.**
+//!
+//! The naive PIF (broadcast once, accept any feedback) against Algorithm 1
+//! on the two §4.1 failure axes:
+//!
+//! * **deadlock under loss** — fraction of waves that never decide within
+//!   a generous budget, as the loss probability grows;
+//! * **garbage acceptance from corrupted channels** — fraction of decided
+//!   waves whose decision took a forged feedback value into account.
+
+use snapstab_baselines::naive_pif::{NaiveMsg, NaivePifProcess};
+use snapstab_core::pif::{PifApp, PifProcess};
+use snapstab_core::request::RequestState;
+use snapstab_sim::{
+    Capacity, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner, SimRng,
+};
+
+use crate::table::Table;
+
+#[derive(Clone, Debug)]
+struct Answer(u32);
+
+impl PifApp<u32, u32> for Answer {
+    fn on_broadcast(&mut self, _from: ProcessId, _data: &u32) -> u32 {
+        self.0
+    }
+    fn on_feedback(&mut self, _from: ProcessId, _data: &u32) {}
+}
+
+/// Outcome of one naive-vs-snap comparison trial.
+#[derive(Clone, Copy, Debug)]
+pub struct Comparison {
+    /// The naive wave decided within budget.
+    pub naive_decided: bool,
+    /// The naive decision used only genuine feedback values.
+    pub naive_clean: bool,
+    /// The snap wave decided within budget (must always hold).
+    pub snap_decided: bool,
+    /// The snap decision used only genuine feedback values (must always
+    /// hold).
+    pub snap_clean: bool,
+}
+
+/// One trial: `loss` probability and optionally a forged feedback hidden
+/// in a channel toward the initiator.
+pub fn compare(n: usize, loss: f64, forge: bool, seed: u64, budget: u64) -> Comparison {
+    const FORGED: u32 = 666;
+    let expected = |i: usize| 100 + i as u32;
+
+    // Naive run.
+    let naive_procs: Vec<NaivePifProcess> = (0..n)
+        .map(|i| NaivePifProcess::new(ProcessId::new(i), n, expected(i)))
+        .collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut naive = Runner::new(naive_procs, network, RandomScheduler::new(), seed);
+    if loss > 0.0 {
+        naive.set_loss(LossModel::probabilistic(loss));
+    }
+    if forge {
+        naive
+            .network_mut()
+            .channel_mut(ProcessId::new(1), ProcessId::new(0))
+            .unwrap()
+            .preload([NaiveMsg::Fck(FORGED)]);
+    }
+    naive.process_mut(ProcessId::new(0)).request_broadcast(7);
+    let _ = naive.run_until(budget, |r| {
+        r.process(ProcessId::new(0)).request() == RequestState::Done
+    });
+    let naive_decided = naive.process(ProcessId::new(0)).request() == RequestState::Done;
+    let naive_clean = naive_decided
+        && (1..n).all(|i| {
+            naive
+                .process(ProcessId::new(0))
+                .collected_from(ProcessId::new(i))
+                == Some(expected(i))
+        });
+
+    // Snap run under identical conditions.
+    let snap_procs: Vec<PifProcess<u32, u32, Answer>> = (0..n)
+        .map(|i| {
+            PifProcess::with_initial_f(ProcessId::new(i), n, 0, 0, Answer(expected(i)))
+        })
+        .collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut snap = Runner::new(snap_procs, network, RandomScheduler::new(), seed);
+    if loss > 0.0 {
+        snap.set_loss(LossModel::probabilistic(loss));
+    }
+    if forge {
+        let mut rng = SimRng::seed_from(seed);
+        let junk = snapstab_core::pif::PifMsg {
+            broadcast: FORGED,
+            feedback: FORGED,
+            sender_state: snapstab_core::flag::Flag::new(rng.gen_range(0..5) as u8),
+            echoed_state: snapstab_core::flag::Flag::new(rng.gen_range(0..5) as u8),
+        };
+        snap.network_mut()
+            .channel_mut(ProcessId::new(1), ProcessId::new(0))
+            .unwrap()
+            .preload([junk]);
+    }
+    snap.mark(ProcessId::new(0), "request");
+    let req_step = snap.step_count();
+    snap.process_mut(ProcessId::new(0)).request_broadcast(7);
+    let _ = snap.run_until(budget, |r| {
+        r.process(ProcessId::new(0)).request() == RequestState::Done
+    });
+    let snap_decided = snap.process(ProcessId::new(0)).request() == RequestState::Done;
+    let verdict = snapstab_core::spec::check_bare_pif_wave(
+        snap.trace(),
+        ProcessId::new(0),
+        n,
+        req_step,
+        &7,
+        |q| expected(q.index()),
+    );
+    Comparison {
+        naive_decided,
+        naive_clean,
+        snap_decided,
+        snap_clean: verdict.holds(),
+    }
+}
+
+/// Runs the Q3 sweep and renders the report.
+pub fn run(fast: bool) -> String {
+    let trials = if fast { 20 } else { 200 };
+    let n = 3;
+    let budget = 300_000;
+
+    let mut out = String::new();
+    out.push_str("=== Q3: naive PIF (\u{a7}4.1) vs Algorithm 1 ===\n\n");
+
+    out.push_str("(a) deadlock under loss (no forged messages):\n");
+    let mut t = Table::new(&["loss p", "naive deadlocked", "snap deadlocked"]);
+    for p in [0.05, 0.1, 0.3, 0.5] {
+        let mut naive_dead = 0;
+        let mut snap_dead = 0;
+        for s in 0..trials {
+            let c = compare(n, p, false, (p * 100.0) as u64 * 7919 + s, budget);
+            naive_dead += usize::from(!c.naive_decided);
+            snap_dead += usize::from(!c.snap_decided);
+        }
+        t.row(&[
+            format!("{p:.2}"),
+            format!("{naive_dead}/{trials}"),
+            format!("{snap_dead}/{trials}"),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n(b) forged feedback hidden in a channel (no loss):\n");
+    let mut t = Table::new(&["protocol", "decided", "decisions on garbage"]);
+    let mut naive_garbage = 0;
+    let mut naive_decided = 0;
+    let mut snap_garbage = 0;
+    let mut snap_decided = 0;
+    for s in 0..trials {
+        let c = compare(n, 0.0, true, 31 + s, budget);
+        naive_decided += usize::from(c.naive_decided);
+        naive_garbage += usize::from(c.naive_decided && !c.naive_clean);
+        snap_decided += usize::from(c.snap_decided);
+        snap_garbage += usize::from(c.snap_decided && !c.snap_clean);
+    }
+    t.row(&["naive".into(), format!("{naive_decided}/{trials}"), format!("{naive_garbage}/{trials}")]);
+    t.row(&["snap (Alg. 1)".into(), format!("{snap_decided}/{trials}"), format!("{snap_garbage}/{trials}")]);
+    out.push_str(&t.render());
+    out.push_str(
+        "\nverdict: the naive protocol deadlocks under loss and decides on forged data; \
+         Algorithm 1 always decides and never accepts garbage.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_accepts_garbage_snap_does_not() {
+        let mut naive_bad = 0;
+        for s in 0..5 {
+            let c = compare(3, 0.0, true, s, 300_000);
+            assert!(c.snap_decided && c.snap_clean, "snap must stay clean: {c:?}");
+            if c.naive_decided && !c.naive_clean {
+                naive_bad += 1;
+            }
+        }
+        assert!(naive_bad > 0, "the forged feedback must poison some naive decision");
+    }
+
+    #[test]
+    fn naive_deadlocks_under_loss_sometimes() {
+        let mut dead = 0;
+        for s in 0..10 {
+            let c = compare(3, 0.5, false, 1000 + s, 100_000);
+            assert!(c.snap_decided, "snap never deadlocks: {c:?}");
+            if !c.naive_decided {
+                dead += 1;
+            }
+        }
+        assert!(dead > 0, "the naive protocol must deadlock sometimes at 50% loss");
+    }
+}

@@ -1,0 +1,117 @@
+//! **Q1 — message and step complexity of a PIF wave.**
+//!
+//! The handshake costs four echoes per neighbor, so one wave needs at
+//! least `4(n−1)` messages from the initiator and `4(n−1)` replies —
+//! `8(n−1)` total in the loss-free, perfectly scheduled case; fair
+//! schedulers add retransmissions (action A2 re-sends whenever activated
+//! mid-wave). The experiment measures messages and steps per wave against
+//! the analytic minimum, from clean and corrupted starts.
+
+use snapstab_core::pif::{PifApp, PifProcess};
+use snapstab_core::request::RequestState;
+use snapstab_sim::{
+    Capacity, CorruptionPlan, NetworkBuilder, ProcessId, RandomScheduler, Runner, SimRng,
+};
+
+use crate::stats::Summary;
+use crate::table::Table;
+
+#[derive(Clone, Debug)]
+struct Zero;
+
+impl PifApp<u32, u32> for Zero {
+    fn on_broadcast(&mut self, _from: ProcessId, _data: &u32) -> u32 {
+        0
+    }
+    fn on_feedback(&mut self, _from: ProcessId, _data: &u32) {}
+}
+
+/// Measured cost of one wave.
+#[derive(Clone, Copy, Debug)]
+pub struct WaveCost {
+    /// Send attempts during the wave.
+    pub messages: u64,
+    /// Steps from request to decision.
+    pub steps: u64,
+}
+
+/// Measures one wave at size `n`; `corrupted` draws an arbitrary initial
+/// configuration first.
+pub fn measure(n: usize, corrupted: bool, seed: u64) -> WaveCost {
+    let processes: Vec<PifProcess<u32, u32, Zero>> = (0..n)
+        .map(|i| PifProcess::with_initial_f(ProcessId::new(i), n, 0, 0, Zero))
+        .collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+    if corrupted {
+        let mut rng = SimRng::seed_from(seed ^ 0xCAFE);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+        let _ = runner.run_until(1_000_000, |r| {
+            r.process(ProcessId::new(0)).request() == RequestState::Done
+        });
+    }
+    let sends_before = runner.stats().sends_attempted;
+    let steps_before = runner.step_count();
+    runner.process_mut(ProcessId::new(0)).request_broadcast(1);
+    runner
+        .run_until(5_000_000, |r| {
+            r.process(ProcessId::new(0)).request() == RequestState::Done
+        })
+        .expect("wave must decide");
+    WaveCost {
+        messages: runner.stats().sends_attempted - sends_before,
+        steps: runner.step_count() - steps_before,
+    }
+}
+
+/// Runs the Q1 sweep and renders the report.
+pub fn run(fast: bool) -> String {
+    let trials = if fast { 5 } else { 30 };
+    let ns = if fast { vec![2, 4, 8] } else { vec![2, 4, 8, 16, 32] };
+
+    let mut out = String::new();
+    out.push_str("=== Q1: PIF wave complexity (messages and steps per wave) ===\n\n");
+    let mut table = Table::new(&[
+        "n", "analytic min msgs 8(n-1)", "clean msgs mean/p95", "clean steps mean/p95",
+        "corrupted msgs mean/p95", "corrupted steps mean/p95",
+    ]);
+    for &n in &ns {
+        let clean: Vec<WaveCost> =
+            (0..trials).map(|t| measure(n, false, 1000 + t)).collect();
+        let corr: Vec<WaveCost> =
+            (0..trials).map(|t| measure(n, true, 2000 + t)).collect();
+        table.row(&[
+            n.to_string(),
+            (8 * (n - 1)).to_string(),
+            Summary::of_u64(clean.iter().map(|c| c.messages)).mean_p95(),
+            Summary::of_u64(clean.iter().map(|c| c.steps)).mean_p95(),
+            Summary::of_u64(corr.iter().map(|c| c.messages)).mean_p95(),
+            Summary::of_u64(corr.iter().map(|c| c.steps)).mean_p95(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nnote: the fair random scheduler retransmits (A2 fires whenever the initiator is \
+         activated mid-wave), so measured messages sit a small constant factor above the \
+         analytic minimum and scale linearly in n.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wave_cost_at_least_analytic_minimum() {
+        let c = measure(3, false, 1);
+        assert!(c.messages >= 8 * 2, "measured {c:?}");
+        assert!(c.steps > 0);
+    }
+
+    #[test]
+    fn corrupted_start_also_completes() {
+        let c = measure(3, true, 2);
+        assert!(c.messages >= 8 * 2);
+    }
+}

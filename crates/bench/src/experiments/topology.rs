@@ -1,0 +1,201 @@
+//! **X2 — tree waves on general topologies (the §5 extension).**
+//!
+//! The paper's conclusion asks whether its results extend to general
+//! networks. `snapstab-topology` answers constructively with a
+//! tree-structured PIF; this experiment measures it:
+//!
+//! 1. **Correctness under corruption** — Specification 1 (lifted to
+//!    trees) pass rate over arbitrary corrupted starts, per topology
+//!    shape. Must be 100 %.
+//! 2. **The latency/message trade vs the flat protocol** — the flat PIF
+//!    on the complete graph completes a wave in depth-1 round trips but
+//!    needs `n − 1` simultaneous handshakes at the initiator; the tree
+//!    wave pipelines over `n − 1` edges and pays one handshake per tree
+//!    level. Steps- and messages-to-decision per topology, same n.
+
+use snapstab_core::pif::{PifApp, PifProcess};
+use snapstab_core::request::RequestState;
+use snapstab_sim::{
+    Capacity, CorruptionPlan, NetworkBuilder, ProcessId, RandomScheduler, RoundRobin, Runner,
+    SimRng, Topology,
+};
+use snapstab_topology::{check_tree_wave, Count, TreePifNode};
+
+use crate::table::Table;
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+type CountNode = TreePifNode<u8, u64, Count>;
+
+fn tree_system(topo: &Topology, seed: u64) -> Runner<CountNode, RandomScheduler> {
+    let n = topo.n();
+    let processes = (0..n).map(|i| TreePifNode::new(p(i), topo, 0u8, Count)).collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    Runner::new(processes, network, RandomScheduler::new(), seed)
+}
+
+/// One corrupted-start trial; returns whether the spec held (public so
+/// external sweeps can hunt for failing seeds).
+pub fn debug_trial(topo: &Topology, root: ProcessId, seed: u64) -> bool {
+    tree_trial(topo, root, seed)
+}
+
+fn tree_trial(topo: &Topology, root: ProcessId, seed: u64) -> bool {
+    let n = topo.n();
+    let mut runner = tree_system(topo, seed);
+    let mut rng = SimRng::seed_from(seed ^ 0x7090);
+    CorruptionPlan::full().apply(&mut runner, &mut rng);
+    let _ = runner.run_until(1_000_000, |r| r.process(root).request() == RequestState::Done);
+    if runner.process(root).request() != RequestState::Done {
+        return false; // drain failed: Termination violated
+    }
+    let req_step = runner.step_count();
+    if !runner.process_mut(root).request_wave(7) {
+        return false;
+    }
+    if runner
+        .run_until(5_000_000, |r| r.process(root).request() == RequestState::Done)
+        .is_err()
+    {
+        return false;
+    }
+    check_tree_wave(runner.trace(), root, n, req_step, &7, &(n as u64)).holds()
+}
+
+/// Steps and enqueued messages for one clean wave on a tree topology.
+fn tree_cost(topo: &Topology, root: ProcessId) -> (u64, u64) {
+    let mut runner = {
+        let n = topo.n();
+        let processes: Vec<CountNode> =
+            (0..n).map(|i| TreePifNode::new(p(i), topo, 0u8, Count)).collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        Runner::new(processes, network, RoundRobin::new(), 1)
+    };
+    runner.set_record_trace(false);
+    assert!(runner.process_mut(root).request_wave(7));
+    runner
+        .run_until(5_000_000, |r| r.process(root).request() == RequestState::Done)
+        .expect("clean wave decides");
+    let stats = runner.stats();
+    (stats.steps, stats.sends_enqueued)
+}
+
+#[derive(Clone, Debug)]
+struct Unit;
+
+impl PifApp<u8, u64> for Unit {
+    fn on_broadcast(&mut self, _from: ProcessId, _data: &u8) -> u64 {
+        1
+    }
+    fn on_feedback(&mut self, _from: ProcessId, _data: &u64) {}
+}
+
+/// Steps and messages for one clean flat-PIF wave on the complete graph.
+fn flat_cost(n: usize) -> (u64, u64) {
+    let processes: Vec<PifProcess<u8, u64, Unit>> =
+        (0..n).map(|i| PifProcess::with_initial_f(p(i), n, 0u8, 0u64, Unit)).collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RoundRobin::new(), 1);
+    runner.set_record_trace(false);
+    assert!(runner.process_mut(p(0)).request_broadcast(7));
+    runner
+        .run_until(5_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .expect("clean wave decides");
+    let stats = runner.stats();
+    (stats.steps, stats.sends_enqueued)
+}
+
+/// Runs the X2 experiment.
+pub fn run(fast: bool) -> String {
+    let mut out = String::new();
+    out.push_str("=== X2: tree waves on general topologies (the §5 extension) ===\n\n");
+
+    let trials = if fast { 10u64 } else { 60 };
+
+    // (1) Correctness under corruption, per shape.
+    let shapes: Vec<(&str, Topology, usize)> = vec![
+        ("path(6)", Topology::path(6), 0),
+        ("path(6), interior root", Topology::path(6), 3),
+        ("star(8)", Topology::star(8), 0),
+        ("binary_tree(7)", Topology::binary_tree(7), 0),
+        ("spanning(ring(8))", Topology::ring(8).bfs_spanning_tree(p(0)), 0),
+        ("spanning(complete(6))", Topology::complete(6).bfs_spanning_tree(p(0)), 0),
+    ];
+    let mut spec = Table::new(&["topology", "root", "diameter", "Spec pass"]);
+    for (name, topo, root) in &shapes {
+        let mut pass = 0;
+        for seed in 0..trials {
+            if tree_trial(topo, p(*root), seed) {
+                pass += 1;
+            }
+        }
+        spec.row(&[
+            (*name).into(),
+            root.to_string(),
+            topo.diameter().to_string(),
+            format!("{pass}/{trials}"),
+        ]);
+    }
+    out.push_str("tree-wave Specification over corrupted starts:\n");
+    out.push_str(&spec.render());
+    out.push('\n');
+
+    // (2) The latency/message trade vs the flat protocol.
+    let mut cost = Table::new(&[
+        "n",
+        "flat steps",
+        "flat msgs",
+        "path steps",
+        "path msgs",
+        "star steps",
+        "star msgs",
+        "btree steps",
+        "btree msgs",
+    ]);
+    let sizes: &[usize] = if fast { &[4, 8] } else { &[4, 8, 16, 24] };
+    for &n in sizes {
+        let (fs, fm) = flat_cost(n);
+        let (ps, pm) = tree_cost(&Topology::path(n), p(0));
+        let (ss, sm) = tree_cost(&Topology::star(n), p(0));
+        let (bs, bm) = tree_cost(&Topology::binary_tree(n), p(0));
+        cost.row(&[
+            n.to_string(),
+            fs.to_string(),
+            fm.to_string(),
+            ps.to_string(),
+            pm.to_string(),
+            ss.to_string(),
+            sm.to_string(),
+            bs.to_string(),
+            bm.to_string(),
+        ]);
+    }
+    out.push_str("\nclean-wave cost, flat complete-graph PIF vs tree PIF (round-robin):\n");
+    out.push_str(&cost.render());
+    out.push_str(
+        "\nverdict: the tree wave keeps the snap-stabilization contract on every shape; \
+         its cost grows with depth (path worst, star ≈ flat best), the expected trade.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_run_is_all_green() {
+        let s = run(true);
+        assert!(s.contains("10/10"), "{s}");
+        assert!(!s.contains(" 9/10"), "{s}");
+    }
+
+    #[test]
+    fn star_is_cheaper_than_path() {
+        let (ps, _) = tree_cost(&Topology::path(12), p(0));
+        let (ss, _) = tree_cost(&Topology::star(12), p(0));
+        assert!(ss < ps, "star {ss} < path {ps}");
+    }
+}

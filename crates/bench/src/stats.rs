@@ -1,0 +1,93 @@
+//! Small summary statistics for experiment series.
+
+/// Summary statistics of a sample.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample of values (empty samples produce zeros).
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Summary {
+        let mut v: Vec<f64> = values.into_iter().collect();
+        if v.is_empty() {
+            return Summary::default();
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        let count = v.len();
+        let mean = v.iter().sum::<f64>() / count as f64;
+        let pct = |p: f64| -> f64 {
+            let idx = ((count as f64 - 1.0) * p).round() as usize;
+            v[idx]
+        };
+        Summary {
+            count,
+            mean,
+            min: v[0],
+            p50: pct(0.5),
+            p95: pct(0.95),
+            max: v[count - 1],
+        }
+    }
+
+    /// Summarizes integer samples.
+    pub fn of_u64(values: impl IntoIterator<Item = u64>) -> Summary {
+        Summary::of(values.into_iter().map(|v| v as f64))
+    }
+
+    /// `"mean/p95"` rendering used in the report tables.
+    pub fn mean_p95(&self) -> String {
+        format!("{:.0}/{:.0}", self.mean, self.p95)
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} min={:.0} p50={:.0} p95={:.0} max={:.0}",
+            self.count, self.mean, self.min, self.p50, self.p95, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarizes_values() {
+        let s = Summary::of_u64([1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(s.count, 10);
+        assert!((s.mean - 5.5).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 10.0);
+        assert!(s.p50 >= 5.0 && s.p50 <= 6.0);
+        assert!(s.p95 >= 9.0);
+    }
+
+    #[test]
+    fn empty_sample_is_zeroed() {
+        let s = Summary::of(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn display_and_mean_p95() {
+        let s = Summary::of_u64([10, 20]);
+        assert!(s.to_string().contains("n=2"));
+        assert_eq!(s.mean_p95(), "15/20");
+    }
+}

@@ -1,0 +1,243 @@
+//! The CLI subcommands: run a protocol from a (optionally corrupted)
+//! start and report what happened.
+
+use snapstab_core::idl::IdlProcess;
+use snapstab_core::me::{MeConfig, MeProcess, ValueMode};
+use snapstab_core::request::RequestState;
+use snapstab_core::spec::{analyze_me_trace, check_idl_result};
+use snapstab_impossibility::DoubleWinDemo;
+use snapstab_sim::{
+    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner,
+    SimRng,
+};
+
+use crate::args::Args;
+
+/// The usage text.
+pub const USAGE: &str = "\
+snapstab — explore the snap-stabilizing protocols of Delaet et al. (2008)
+
+USAGE: snapstab <command> [options]
+
+COMMANDS
+  idl            one IDs-Learning computation (Algorithm 2)
+  me             a mutual-exclusion workload (Algorithm 3)
+  impossibility  the Theorem 1 construction and replay
+  help           this text
+
+COMMON OPTIONS
+  --n <int>      number of processes        (default 4)
+  --seed <int>   deterministic seed         (default 1)
+  --loss <f64>   per-message loss rate      (default 0.0)
+  --corrupt      start from an arbitrary (corrupted) configuration
+  --trace        print the execution timeline / service log
+
+COMMAND OPTIONS
+  me:            --steps <int> (default 60000), --requests <int> (default 3),
+                 --cs-duration <int> (default 0)
+  impossibility: --cs-duration <int> (default 8)
+";
+
+/// Runs the `idl` subcommand; returns the report text.
+pub fn cmd_idl(args: &Args) -> String {
+    let n: usize = args.get_or("n", 4);
+    let seed: u64 = args.get_or("seed", 1);
+    let loss: f64 = args.get_or("loss", 0.0);
+    let ids: Vec<u64> = (0..n).map(|i| 1 + ((7919 * (i as u64 + seed)) % 9973)).collect();
+
+    let processes: Vec<IdlProcess> = (0..n)
+        .map(|i| IdlProcess::new(ProcessId::new(i), n, ids[i]))
+        .collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+    if loss > 0.0 {
+        runner.set_loss(LossModel::probabilistic(loss));
+    }
+    let mut out = format!("IDs-Learning: n={n}, ids={ids:?}, loss={loss}, seed={seed}\n");
+    if args.has("corrupt") {
+        let mut rng = SimRng::seed_from(seed ^ 0xC0);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+        out.push_str("corrupted every variable and channel\n");
+    }
+    let learner = ProcessId::new(0);
+    let _ = runner.run_until(1_000_000, |r| {
+        r.process(learner).request() == RequestState::Done
+    });
+    runner.process_mut(learner).request_learning();
+    let before = runner.step_count();
+    runner
+        .run_until(5_000_000, |r| r.process(learner).request() == RequestState::Done)
+        .expect("computation decides");
+    let verdict = check_idl_result(runner.process(learner).idl(), learner, &ids, true, true);
+    out.push_str(&format!(
+        "decided in {} steps; minID = {} (true {}); spec holds: {}\n",
+        runner.step_count() - before,
+        runner.process(learner).idl().min_id(),
+        ids.iter().min().unwrap(),
+        verdict.holds(),
+    ));
+    if args.has("trace") {
+        out.push_str(&snapstab_sim::render_timeline(
+            runner.trace(),
+            n,
+            &snapstab_sim::RenderOptions::default(),
+        ));
+    }
+    out
+}
+
+/// Runs the `me` subcommand; returns the report text.
+pub fn cmd_me(args: &Args) -> String {
+    let n: usize = args.get_or("n", 4);
+    let seed: u64 = args.get_or("seed", 1);
+    let loss: f64 = args.get_or("loss", 0.0);
+    let steps: u64 = args.get_or("steps", 60_000);
+    let requests: u32 = args.get_or("requests", 3);
+    let cs_duration: u64 = args.get_or("cs-duration", 0);
+
+    let config = MeConfig { cs_duration, value_mode: ValueMode::Corrected, ..MeConfig::default() };
+    let processes: Vec<MeProcess> = (0..n)
+        .map(|i| MeProcess::with_config(ProcessId::new(i), n, 100 + i as u64, config))
+        .collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+    if loss > 0.0 {
+        runner.set_loss(LossModel::probabilistic(loss));
+    }
+    let mut out = format!(
+        "Mutual exclusion: n={n}, loss={loss}, cs_duration={cs_duration}, \
+         {requests} request(s) per process, budget {steps} steps\n"
+    );
+    let mut rng = SimRng::seed_from(seed ^ 0xE1);
+    if args.has("corrupt") {
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+        out.push_str("corrupted every variable and channel\n");
+    }
+    let mut pending = vec![requests; n];
+    let mut executed = 0;
+    while executed < steps {
+        executed += runner.run_steps(300).expect("run").steps;
+        for i in 0..n {
+            let p = ProcessId::new(i);
+            if pending[i] > 0 && runner.process(p).request() == RequestState::Done {
+                runner.mark(p, "request");
+                runner.process_mut(p).request_cs();
+                pending[i] -= 1;
+            }
+        }
+    }
+    let report = analyze_me_trace(runner.trace(), n);
+    out.push_str(&format!(
+        "served {} request(s); genuine CS overlaps: {}; spurious overlaps: {}\n",
+        report.served.len(),
+        report.genuine_overlaps.len(),
+        report.spurious_overlaps.len(),
+    ));
+    let lat = report.latencies();
+    if !lat.is_empty() {
+        out.push_str(&format!(
+            "service latency: min {} / max {} steps\n",
+            lat.iter().min().unwrap(),
+            lat.iter().max().unwrap(),
+        ));
+    }
+    if args.has("trace") {
+        for (p, req, srv) in &report.served {
+            out.push_str(&format!("  {p}: requested @{req}, served @{srv}\n"));
+        }
+    }
+    out
+}
+
+/// Runs the `impossibility` subcommand; returns the report text.
+pub fn cmd_impossibility(args: &Args) -> String {
+    let n: usize = args.get_or("n", 3);
+    let seed: u64 = args.get_or("seed", 0xD0);
+    let cs_duration: u64 = args.get_or("cs-duration", 8);
+    let demo = DoubleWinDemo {
+        n,
+        a: ProcessId::new(1),
+        b: ProcessId::new(2),
+        cs_duration,
+        seed,
+        max_steps: 4_000_000,
+    };
+    let outcome = demo.run(&[1, 2, 4, 8, 16]).expect("demo runs");
+    let mut out = format!(
+        "Theorem 1 construction: n={n}, cs_duration={cs_duration}, seed={seed}\n\
+         gamma_0 needs up to {} messages per channel ({} total, sent by nobody)\n",
+        outcome.max_channel_load, outcome.total_preloaded
+    );
+    for (cap, feasible) in &outcome.feasibility {
+        match cap {
+            Some(c) => out.push_str(&format!(
+                "  capacity {c:>2}: gamma_0 {}\n",
+                if *feasible { "exists" } else { "does NOT exist" }
+            )),
+            None => out.push_str(&format!(
+                "  unbounded  : gamma_0 {}\n",
+                if *feasible { "exists" } else { "does NOT exist" }
+            )),
+        }
+    }
+    out.push_str(&format!(
+        "replay on unbounded channels: bad factor reached = {} (step {:?}), \
+         genuine CS overlaps = {}\n",
+        outcome.replay.violated(),
+        outcome.replay.bad_factor_step,
+        outcome.report.genuine_overlaps.len(),
+    ));
+    out
+}
+
+/// Dispatches a parsed command line; returns the report text.
+pub fn dispatch(args: &Args) -> String {
+    match args.command.as_deref() {
+        Some("idl") => cmd_idl(args),
+        Some("me") => cmd_me(args),
+        Some("impossibility") => cmd_impossibility(args),
+        Some("help") | None => USAGE.to_string(),
+        Some(other) => format!("unknown command `{other}`\n\n{USAGE}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn idl_reports_success() {
+        let out = cmd_idl(&parse("idl --n 3 --seed 5"));
+        assert!(out.contains("spec holds: true"), "{out}");
+    }
+
+    #[test]
+    fn idl_corrupted_still_succeeds() {
+        let out = cmd_idl(&parse("idl --n 3 --seed 6 --corrupt --loss 0.2"));
+        assert!(out.contains("spec holds: true"), "{out}");
+    }
+
+    #[test]
+    fn me_serves_and_stays_exclusive() {
+        let out = cmd_me(&parse("me --n 3 --steps 80000 --requests 1 --corrupt"));
+        assert!(out.contains("genuine CS overlaps: 0"), "{out}");
+    }
+
+    #[test]
+    fn impossibility_reports_dichotomy() {
+        let out = cmd_impossibility(&parse("impossibility --n 3"));
+        assert!(out.contains("bad factor reached = true"), "{out}");
+        assert!(out.contains("does NOT exist"), "{out}");
+    }
+
+    #[test]
+    fn dispatch_routes() {
+        assert!(dispatch(&parse("help")).contains("USAGE"));
+        assert!(dispatch(&parse("")).contains("USAGE"));
+        assert!(dispatch(&parse("bogus")).contains("unknown command"));
+    }
+}

@@ -1,0 +1,10 @@
+//! `snapstab` — command-line explorer for the snap-stabilization
+//! reproduction. Run `snapstab help` for usage.
+
+mod args;
+mod commands;
+
+fn main() {
+    let parsed = args::Args::parse(std::env::args().skip(1));
+    print!("{}", commands::dispatch(&parsed));
+}

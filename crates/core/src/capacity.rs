@@ -1,0 +1,566 @@
+//! The "arbitrary but known bounded capacity" extension of §4.
+//!
+//! The paper proves snap-stabilization of the PIF for single-message
+//! channels and remarks that "the extension to an arbitrary but known
+//! bounded message capacity is straightforward" (§4, citing [6, 7]). This
+//! module makes the extension executable and **tight**:
+//!
+//! * For channel capacity `c`, the handshake flag domain must have
+//!   `2c + 3` values ([`FlagDomain::for_capacity`]). The generalized
+//!   counting argument (the Figure 1 adversary, scaled): an arbitrary
+//!   initial configuration hides at most
+//!
+//!   1. `c` messages in the channel `q → p`, each able to echo one future
+//!      value of `State_p[q]` — `c` stale increments;
+//!   2. one corrupted `NeigState_q[p]`, echoed by `q` until overwritten and
+//!      matching `State_p[q]` at most once — `1` stale increment;
+//!   3. `c` messages in the channel `p → q`, each overwriting
+//!      `NeigState_q[p]` with one crafted value that `q` then echoes,
+//!      matching at most once — `c` stale increments.
+//!
+//!   That is `2c + 1` stale-driven increments in total; the FIFO discipline
+//!   forces every hidden `p → q` message out before any post-start message
+//!   of `p` reaches `q`, so a domain demanding `2c + 2` increments makes
+//!   the final increment (and the feedback it delivers) necessarily
+//!   genuine. For `c = 1` this is the paper's five-valued domain and the
+//!   exact Figure 1 worst case.
+//!
+//! * The bound is *tight both ways*: [`StaleConfig::canonical`] constructs
+//!   the adversarial initial configuration that realizes all `2c + 1` stale
+//!   increments, so any domain with at most `2c + 2` values (completion
+//!   value ≤ `2c + 1`) lets a wave **complete on stale data alone** — a
+//!   violation of Specification 1's Correctness and Decision properties.
+//!   [`drive_stale`] executes the adversary and reports how far it got.
+//!
+//! The experiment `exp_capacity` sweeps capacities and domain sizes and
+//! prints the resulting dichotomy table; `tests/capacity_integration.rs`
+//! runs the full protocol stack (PIF, IDL, ME) over multi-message channels
+//! with the generalized domains.
+
+use snapstab_sim::{
+    ArbitraryState, Capacity, Move, NetworkBuilder, ProcessId, Protocol, RoundRobin, Runner,
+    SimRng,
+};
+
+use crate::flag::{Flag, FlagDomain};
+use crate::pif::{PifApp, PifProcess};
+use crate::request::RequestState;
+
+/// Feedback application used by the adversary driver: feeds back a
+/// constant, distinguishable from the garbage planted in stale messages.
+#[derive(Clone, Debug)]
+struct ConstFeedback(u32);
+
+impl PifApp<u32, u32> for ConstFeedback {
+    fn on_broadcast(&mut self, _from: ProcessId, _data: &u32) -> u32 {
+        self.0
+    }
+    fn on_feedback(&mut self, _from: ProcessId, _data: &u32) {}
+}
+
+type Proc = PifProcess<u32, u32, ConstFeedback>;
+
+/// The marker planted in every stale message's data fields, so a decision
+/// taken on stale feedback is detectable.
+pub const STALE_MARKER: u32 = 0xDEAD;
+
+/// The genuine feedback value `q` computes for a real broadcast.
+pub const GENUINE_FEEDBACK: u32 = 0x600D;
+
+fn p0() -> ProcessId {
+    ProcessId::new(0)
+}
+fn p1() -> ProcessId {
+    ProcessId::new(1)
+}
+
+/// An adversarial 2-process initial configuration for channels of capacity
+/// `capacity`: the flag fields of every hidden message plus `q`'s corrupted
+/// variables. Generalizes the Figure 1 `AdversaryConfig` to any capacity.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StaleConfig {
+    /// Channel capacity (also bounds the hidden-message vectors).
+    pub capacity: usize,
+    /// The flag domain under attack.
+    pub domain: FlagDomain,
+    /// Hidden messages in the channel `q → p`, head first:
+    /// `(sender_state, echoed_state)` per message.
+    pub qp_msgs: Vec<(Flag, Flag)>,
+    /// Hidden messages in the channel `p → q`, head first.
+    pub pq_msgs: Vec<(Flag, Flag)>,
+    /// `q`'s corrupted `NeigState_q[p]`.
+    pub neig_state_q: Flag,
+    /// `q`'s corrupted `State_q[p]`.
+    pub state_q: Flag,
+    /// `q`'s corrupted request variable.
+    pub request_q: RequestState,
+}
+
+impl StaleConfig {
+    /// The canonical worst-case adversary for `capacity` against `domain`:
+    /// `q → p` pre-loaded with echoes `0, 1, …, c−1`, `NeigState_q[p] = c`,
+    /// `q` mid-computation (`Request_q = In`, so its action A2 spontaneously
+    /// echoes the corrupted view), and `p → q` pre-loaded with sender flags
+    /// `c+1, …, 2c` (each overwrites `NeigState_q[p]` and is echoed back).
+    /// Realizes exactly `2c + 1` stale increments — the proven maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is `0`.
+    pub fn canonical(capacity: usize, domain: FlagDomain) -> Self {
+        assert!(capacity >= 1, "channel capacity must be at least 1");
+        let c = capacity as u8;
+        StaleConfig {
+            capacity,
+            domain,
+            // sender_state = domain max: p treats q as complete and sends no
+            // reply, keeping the schedule tight (replies are dropped on the
+            // full p→q channel anyway).
+            qp_msgs: (0..c).map(|i| (domain.max(), domain.clamp(Flag::new(i)))).collect(),
+            pq_msgs: (1..=c)
+                .map(|i| (domain.clamp(Flag::new(c + i)), domain.max()))
+                .collect(),
+            neig_state_q: domain.clamp(Flag::new(c)),
+            state_q: Flag::ZERO,
+            request_q: RequestState::In,
+        }
+    }
+
+    /// An arbitrary adversary: every hidden flag field and every corrupted
+    /// variable drawn uniformly from the domain, with full channels.
+    pub fn arbitrary(rng: &mut SimRng, capacity: usize, domain: FlagDomain) -> Self {
+        assert!(capacity >= 1, "channel capacity must be at least 1");
+        let mut flags = |k: usize| -> Vec<(Flag, Flag)> {
+            (0..k)
+                .map(|_| (domain.arbitrary_flag(rng), domain.arbitrary_flag(rng)))
+                .collect()
+        };
+        StaleConfig {
+            capacity,
+            domain,
+            qp_msgs: flags(capacity),
+            pq_msgs: flags(capacity),
+            neig_state_q: domain.arbitrary_flag(rng),
+            state_q: domain.arbitrary_flag(rng),
+            request_q: RequestState::arbitrary(rng),
+        }
+    }
+}
+
+/// Outcome of driving one adversarial configuration with stale data only,
+/// then letting the system run fairly to completion.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StaleOutcome {
+    /// Highest `State_p[q]` reached while only stale-derived messages were
+    /// delivered (no post-start message of `p` ever reached `q`).
+    pub max_stale_flag: Flag,
+    /// Whether `p` *decided* (`Request_p = Done`) within the stale phase —
+    /// a snap-stabilization violation: the feedback it counted is garbage.
+    pub stale_decided: bool,
+    /// Whether the wave completed after the fair continuation
+    /// (Specification 1's Termination; must always hold).
+    pub completed: bool,
+    /// Steps executed in the stale phase.
+    pub stale_steps: u64,
+}
+
+/// How the stale phase schedules its moves.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StaleSchedule {
+    /// The crafted worst-case order: drain `q → p`, activate `q`, then
+    /// alternate hidden `p → q` deliveries with the echoes they trigger.
+    Canonical,
+    /// A seeded random interleaving of the permitted stale moves.
+    Random {
+        /// RNG seed selecting the interleaving.
+        seed: u64,
+    },
+}
+
+fn build(config: &StaleConfig) -> Runner<Proc, RoundRobin> {
+    let domain = config.domain;
+    let mk = |i: usize| {
+        PifProcess::with_domain(
+            ProcessId::new(i),
+            2,
+            0u32,
+            0u32,
+            domain,
+            ConstFeedback(GENUINE_FEEDBACK),
+        )
+    };
+    let network = NetworkBuilder::new(2)
+        .capacity(Capacity::Bounded(config.capacity))
+        .build();
+    let mut runner = Runner::new(vec![mk(0), mk(1)], network, RoundRobin::new(), 0);
+
+    // Install q's corrupted variables.
+    {
+        let q = runner.process_mut(p1());
+        let mut s = q.core().snapshot();
+        s.neig_state[0] = config.neig_state_q;
+        s.state[0] = config.state_q;
+        s.request = config.request_q;
+        s.f_mes[0] = STALE_MARKER;
+        q.core_mut().restore(s);
+    }
+    // Hide the stale messages (data fields marked as garbage).
+    let plant = |(sender_state, echoed_state): (Flag, Flag)| crate::pif::PifMsg {
+        broadcast: STALE_MARKER,
+        feedback: STALE_MARKER,
+        sender_state,
+        echoed_state,
+    };
+    runner
+        .network_mut()
+        .channel_mut(p1(), p0())
+        .expect("2-process link")
+        .preload(config.qp_msgs.iter().copied().map(plant));
+    runner
+        .network_mut()
+        .channel_mut(p0(), p1())
+        .expect("2-process link")
+        .preload(config.pq_msgs.iter().copied().map(plant));
+
+    // p requests its wave.
+    runner.process_mut(p0()).request_broadcast(7);
+    runner
+}
+
+/// The moves permitted during the stale phase. Delivering on `p → q` is
+/// allowed only while hidden (pre-start) messages remain at its head —
+/// FIFO guarantees the first `|pq_msgs|` deliveries are exactly those, so
+/// no post-start message of `p` ever reaches `q` and every increment of
+/// `State_p[q]` in this phase is stale-driven by construction.
+fn stale_moves(runner: &Runner<Proc, RoundRobin>, pq_budget: usize) -> Vec<Move> {
+    let mut moves = Vec::with_capacity(4);
+    if runner.process(p0()).has_enabled_action() {
+        moves.push(Move::Activate(p0()));
+    }
+    if runner.process(p1()).has_enabled_action() {
+        moves.push(Move::Activate(p1()));
+    }
+    if !runner
+        .network()
+        .channel(p1(), p0())
+        .expect("2-process link")
+        .is_empty()
+    {
+        moves.push(Move::Deliver { from: p1(), to: p0() });
+    }
+    if pq_budget > 0
+        && !runner
+            .network()
+            .channel(p0(), p1())
+            .expect("2-process link")
+            .is_empty()
+    {
+        moves.push(Move::Deliver { from: p0(), to: p1() });
+    }
+    moves
+}
+
+/// The crafted worst-case move sequence realizing all `2c + 1` stale
+/// increments, in the order the counting argument prescribes: `p` starts
+/// (its A2 send drowns in the full `p → q` channel), the pre-loaded
+/// ascending echoes drain from `q → p`, `q` activates once and echoes its
+/// corrupted `NeigState_q[p]`, then each hidden `p → q` message is
+/// delivered (overwriting `NeigState_q[p]`, triggering a reply) and its
+/// echo consumed. A final activation of `p` runs the A2 decision check.
+pub fn canonical_script(capacity: usize) -> Vec<Move> {
+    let (d_qp, d_pq) = (
+        Move::Deliver { from: p1(), to: p0() },
+        Move::Deliver { from: p0(), to: p1() },
+    );
+    let mut script = vec![Move::Activate(p0())];
+    script.extend(std::iter::repeat(d_qp).take(capacity));
+    script.push(Move::Activate(p1()));
+    script.push(d_qp);
+    for _ in 0..capacity {
+        script.push(d_pq);
+        script.push(d_qp);
+    }
+    script.push(Move::Activate(p0()));
+    script
+}
+
+/// Drives `config` with stale-derived messages only, under `schedule`, then
+/// finishes the run fairly and reports the [`StaleOutcome`].
+pub fn drive_stale(config: &StaleConfig, schedule: StaleSchedule) -> StaleOutcome {
+    let mut runner = build(config);
+    runner.set_record_trace(false);
+    let mut pq_budget = config.pq_msgs.len();
+    let mut max_stale_flag = Flag::ZERO;
+
+    // Only post-start flag values count: `Request_p = In` holds exactly
+    // between action A1 (which resets `State_p[q]` to 0) and the decision.
+    let observe = |r: &Runner<Proc, RoundRobin>, max: &mut Flag| {
+        if r.process(p0()).request() == RequestState::In {
+            *max = (*max).max(r.process(p0()).core().state_of(p1()));
+        }
+    };
+
+    match schedule {
+        StaleSchedule::Canonical => {
+            for mv in canonical_script(config.capacity) {
+                if runner.process(p0()).request() == RequestState::Done {
+                    break;
+                }
+                let applicable = match mv {
+                    Move::Activate(_) => true,
+                    Move::Deliver { from, to } => {
+                        let ok = !runner
+                            .network()
+                            .channel(from, to)
+                            .expect("2-process link")
+                            .is_empty();
+                        ok && (from != p0() || pq_budget > 0)
+                    }
+                };
+                if !applicable {
+                    continue;
+                }
+                if mv == (Move::Deliver { from: p0(), to: p1() }) {
+                    pq_budget -= 1;
+                }
+                runner.execute_move(mv).expect("applicable move cannot error");
+                observe(&runner, &mut max_stale_flag);
+            }
+        }
+        StaleSchedule::Random { seed } => {
+            // A random interleaving of the permitted stale moves, with an
+            // activation cap to escape the A2 retransmission loop.
+            let mut rng = SimRng::seed_from(seed);
+            let mut activations_left = 16 * (config.capacity as u64 + 2);
+            loop {
+                if runner.process(p0()).request() == RequestState::Done {
+                    break;
+                }
+                let moves = stale_moves(&runner, pq_budget);
+                let deliveries: Vec<Move> = moves
+                    .iter()
+                    .copied()
+                    .filter(|m| matches!(m, Move::Deliver { .. }))
+                    .collect();
+                let mv = if moves.is_empty() {
+                    None
+                } else if activations_left == 0 {
+                    deliveries.first().copied()
+                } else if !deliveries.is_empty() && rng.gen_range(0..4) != 0 {
+                    Some(deliveries[rng.gen_range(0..deliveries.len())])
+                } else {
+                    Some(moves[rng.gen_range(0..moves.len())])
+                };
+                let Some(mv) = mv else { break };
+                if matches!(mv, Move::Activate(_)) {
+                    activations_left = activations_left.saturating_sub(1);
+                }
+                if let Move::Deliver { from, to } = mv {
+                    if from == p0() && to == p1() {
+                        pq_budget -= 1;
+                    }
+                }
+                runner.execute_move(mv).expect("permitted move is applicable");
+                observe(&runner, &mut max_stale_flag);
+            }
+        }
+    }
+
+    let stale_decided = runner.process(p0()).request() == RequestState::Done;
+    let stale_steps = runner.step_count();
+
+    // Fair continuation: Termination must hold regardless. The wave may not
+    // have started yet under a random schedule that never activated `p`.
+    let _ = runner.run_until(200_000, |r| r.process(p0()).request() == RequestState::Done);
+    let completed = runner.process(p0()).request() == RequestState::Done;
+
+    StaleOutcome { max_stale_flag, stale_decided, completed, stale_steps }
+}
+
+/// The worst [`StaleOutcome`] over the canonical schedule plus
+/// `random_schedules` random interleavings of the same configuration.
+pub fn max_stale(config: &StaleConfig, random_schedules: u64) -> StaleOutcome {
+    let mut best = drive_stale(config, StaleSchedule::Canonical);
+    for seed in 0..random_schedules {
+        let r = drive_stale(config, StaleSchedule::Random { seed });
+        if r.max_stale_flag > best.max_stale_flag || (r.stale_decided && !best.stale_decided) {
+            best = StaleOutcome { completed: best.completed && r.completed, ..r };
+        } else {
+            best.completed &= r.completed;
+        }
+    }
+    best
+}
+
+/// The dichotomy point for `capacity`: the minimum number of flag values
+/// that defeats every stale adversary (`2·capacity + 3`).
+pub fn required_domain_size(capacity: usize) -> usize {
+    2 * capacity + 3
+}
+
+/// Summary of an adversarial sweep at one `(capacity, domain)` cell:
+/// the worst stale drive over many arbitrary configurations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SweepOutcome {
+    /// Configurations tried.
+    pub configs: usize,
+    /// Worst stale-driven flag over the sweep.
+    pub max_stale_flag: Flag,
+    /// How many configurations produced a stale decision.
+    pub stale_decisions: usize,
+    /// Whether every run terminated (Specification 1's Termination).
+    pub all_completed: bool,
+}
+
+/// Sweeps the canonical adversary plus `extra_configs` arbitrary ones
+/// (each under the canonical schedule plus `random_schedules` random
+/// interleavings) against `(capacity, domain)`.
+pub fn sweep(
+    capacity: usize,
+    domain: FlagDomain,
+    extra_configs: usize,
+    random_schedules: u64,
+    seed: u64,
+) -> SweepOutcome {
+    let mut rng = SimRng::seed_from(seed);
+    let mut out = SweepOutcome {
+        configs: 0,
+        max_stale_flag: Flag::ZERO,
+        stale_decisions: 0,
+        all_completed: true,
+    };
+    let absorb = |r: StaleOutcome, out: &mut SweepOutcome| {
+        out.configs += 1;
+        out.max_stale_flag = out.max_stale_flag.max(r.max_stale_flag);
+        out.stale_decisions += r.stale_decided as usize;
+        out.all_completed &= r.completed;
+    };
+    absorb(
+        max_stale(&StaleConfig::canonical(capacity, domain), random_schedules),
+        &mut out,
+    );
+    for _ in 0..extra_configs {
+        let cfg = StaleConfig::arbitrary(&mut rng, capacity, domain);
+        absorb(max_stale(&cfg, random_schedules), &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_adversary_matches_figure_1_at_capacity_one() {
+        // c = 1, paper domain: stale data drives the flag to exactly 3,
+        // never completing the wave — the Figure 1 worst case.
+        let cfg = StaleConfig::canonical(1, FlagDomain::PAPER);
+        let r = drive_stale(&cfg, StaleSchedule::Canonical);
+        assert_eq!(r.max_stale_flag, Flag::new(3));
+        assert!(!r.stale_decided);
+        assert!(r.completed, "Termination holds");
+    }
+
+    #[test]
+    fn canonical_adversary_realizes_2c_plus_1_increments() {
+        for c in 1..=4usize {
+            let domain = FlagDomain::for_capacity(c);
+            let cfg = StaleConfig::canonical(c, domain);
+            let r = drive_stale(&cfg, StaleSchedule::Canonical);
+            assert_eq!(
+                r.max_stale_flag,
+                Flag::new(2 * c as u8 + 1),
+                "capacity {c}: the bound is tight"
+            );
+            assert!(!r.stale_decided, "capacity {c}: 2c+3 values are enough");
+            assert!(r.completed);
+        }
+    }
+
+    #[test]
+    fn paper_domain_breaks_at_capacity_two() {
+        // The headline of the extension: five flag values are NOT enough
+        // once channels hold two messages — the wave completes on stale
+        // data alone, violating Correctness and Decision.
+        let cfg = StaleConfig::canonical(2, FlagDomain::PAPER);
+        let r = drive_stale(&cfg, StaleSchedule::Canonical);
+        assert!(r.stale_decided, "5 values break at capacity 2: {r:?}");
+        assert!(r.max_stale_flag.is_complete(FlagDomain::PAPER));
+    }
+
+    #[test]
+    fn one_value_short_breaks_at_every_capacity() {
+        for c in 1..=4usize {
+            let domain = FlagDomain::with_max(2 * c as u8 + 1); // 2c+2 values
+            let cfg = StaleConfig::canonical(c, domain);
+            let r = drive_stale(&cfg, StaleSchedule::Canonical);
+            assert!(r.stale_decided, "capacity {c}, {} values: {r:?}", domain.size());
+        }
+    }
+
+    #[test]
+    fn random_schedules_never_beat_the_bound() {
+        for c in 1..=3usize {
+            let domain = FlagDomain::for_capacity(c);
+            let cfg = StaleConfig::canonical(c, domain);
+            let r = max_stale(&cfg, 20);
+            assert!(r.max_stale_flag <= Flag::new(2 * c as u8 + 1), "{c}: {r:?}");
+            assert!(!r.stale_decided);
+            assert!(r.completed);
+        }
+    }
+
+    #[test]
+    fn arbitrary_configs_never_beat_the_bound() {
+        let mut rng = SimRng::seed_from(42);
+        for c in 1..=3usize {
+            let domain = FlagDomain::for_capacity(c);
+            for _ in 0..30 {
+                let cfg = StaleConfig::arbitrary(&mut rng, c, domain);
+                let r = max_stale(&cfg, 5);
+                assert!(
+                    r.max_stale_flag <= Flag::new(2 * c as u8 + 1),
+                    "capacity {c}, {cfg:?}: {r:?}"
+                );
+                assert!(!r.stale_decided);
+                assert!(r.completed);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_reports_the_dichotomy() {
+        // Safe side.
+        let safe = sweep(2, FlagDomain::for_capacity(2), 10, 4, 1);
+        assert_eq!(safe.stale_decisions, 0);
+        assert!(safe.all_completed);
+        assert_eq!(safe.max_stale_flag, Flag::new(5));
+        // Broken side.
+        let broken = sweep(2, FlagDomain::PAPER, 10, 4, 1);
+        assert!(broken.stale_decisions >= 1, "{broken:?}");
+    }
+
+    #[test]
+    fn required_domain_size_formula() {
+        assert_eq!(required_domain_size(1), 5);
+        assert_eq!(required_domain_size(2), 7);
+        assert_eq!(required_domain_size(5), 13);
+    }
+
+    #[test]
+    fn empty_channels_are_benign() {
+        // Only the corrupted NeigState remains: at most one stale increment.
+        let cfg = StaleConfig {
+            capacity: 2,
+            domain: FlagDomain::PAPER,
+            qp_msgs: vec![],
+            pq_msgs: vec![],
+            neig_state_q: Flag::ZERO,
+            state_q: Flag::ZERO,
+            request_q: RequestState::In,
+        };
+        let r = max_stale(&cfg, 8);
+        assert!(r.max_stale_flag <= Flag::new(1), "{r:?}");
+        assert!(r.completed);
+    }
+}

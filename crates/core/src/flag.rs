@@ -1,0 +1,287 @@
+//! The five-valued handshake flag of Algorithm 1.
+//!
+//! Each process `p` keeps, per neighbor `q`, a flag `State_p[q] ∈ {0..4}`
+//! and its view `NeigState_p[q]` of the neighbor's flag. A PIF wave from
+//! `p` completes toward `q` only after `State_p[q]` has been incremented
+//! four times, each increment requiring a message from `q` echoing the
+//! current value. Because a single-message-capacity link can hide at most
+//! one stale message per direction plus one stale `NeigState` value, three
+//! increments can be driven by garbage (the Figure 1 worst case) — the
+//! fourth cannot. Five values (`0..=4`) are therefore exactly enough; the
+//! ablation experiment A1 runs smaller domains via [`FlagDomain`] and
+//! exhibits the resulting safety violations.
+
+use snapstab_sim::{ArbitraryState, SimRng};
+
+/// The flag domain `{0 ..= max}`. The paper's protocol uses
+/// [`FlagDomain::PAPER`] (`max = 4`, five values); other sizes exist only
+/// for the minimality ablation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FlagDomain {
+    max: u8,
+}
+
+impl FlagDomain {
+    /// The paper's domain `{0,1,2,3,4}`.
+    pub const PAPER: FlagDomain = FlagDomain { max: 4 };
+
+    /// A custom domain `{0 ..= max}` (ablation only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max == 0`: the handshake needs at least one increment.
+    pub fn with_max(max: u8) -> Self {
+        assert!(max >= 1, "flag domain needs at least two values");
+        FlagDomain { max }
+    }
+
+    /// The smallest flag domain that makes the PIF handshake snap-stabilizing
+    /// over channels of capacity `capacity`: `{0 ..= 2·capacity + 2}`, i.e.
+    /// `2·capacity + 3` values.
+    ///
+    /// The paper proves the single-message case and notes (§4) that "the
+    /// extension to an arbitrary but known bounded message capacity is
+    /// straightforward". The counting argument generalizing Figure 1: an
+    /// arbitrary initial configuration hides at most `capacity` messages in
+    /// the channel `q → p` (each can echo one future value of `State_p[q]`),
+    /// one corrupted `NeigState_q[p]` (echoed until overwritten, matching at
+    /// most once), and `capacity` messages in the channel `p → q` (each
+    /// overwrites `NeigState_q[p]` with one crafted value that `q` then
+    /// echoes, matching at most once). Stale sources therefore drive at most
+    /// `2·capacity + 1` increments, and FIFO order forces every stale
+    /// `p → q` message out of the channel before any post-start message of
+    /// `p` reaches `q` — so with `2·capacity + 2` increments required, the
+    /// last one is necessarily genuine. For `capacity = 1` this is the
+    /// paper's five-valued domain. See `snapstab_core::capacity` for the
+    /// executable tightness analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is `0` (no such channel) or too large for the
+    /// `u8`-backed flag (`capacity > 126`).
+    pub fn for_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "channel capacity must be at least 1");
+        assert!(capacity <= 126, "flag domain overflows u8 beyond capacity 126");
+        FlagDomain { max: 2 * capacity as u8 + 2 }
+    }
+
+    /// The largest channel capacity this domain tolerates while keeping the
+    /// handshake snap-stabilizing: `(max − 2) / 2`, or `0` if the domain is
+    /// too small for any capacity (a domain of fewer than five values is
+    /// breakable even on single-message channels).
+    pub fn max_tolerated_capacity(self) -> usize {
+        (self.max.saturating_sub(2) / 2) as usize
+    }
+
+    /// True if the handshake over this domain withstands arbitrary initial
+    /// configurations on channels of capacity `capacity`.
+    pub fn tolerates_capacity(self, capacity: usize) -> bool {
+        capacity >= 1 && self.max_tolerated_capacity() >= capacity
+    }
+
+    /// The number of flag increments an adversarial initial configuration
+    /// can drive without any genuine round trip, on channels of capacity
+    /// `capacity`: `2·capacity + 1` (capped at this domain's `max`).
+    pub fn stale_increment_bound(self, capacity: usize) -> u8 {
+        (2 * capacity as u8 + 1).min(self.max)
+    }
+
+    /// The completion value (the paper's `4`).
+    pub fn max(self) -> Flag {
+        Flag(self.max)
+    }
+
+    /// The broadcast-trigger value (the paper's `3`): a received
+    /// `sender_state` equal to this generates the `receive-brd` event.
+    pub fn broadcast_value(self) -> Flag {
+        Flag(self.max - 1)
+    }
+
+    /// Number of values in the domain (the paper's 5).
+    pub fn size(self) -> usize {
+        self.max as usize + 1
+    }
+
+    /// Draws an arbitrary in-domain flag (corrupted initial values are
+    /// arbitrary *within the domain*, as variables cannot hold values
+    /// outside their type).
+    pub fn arbitrary_flag(self, rng: &mut SimRng) -> Flag {
+        Flag(rng.gen_range(0..self.size()) as u8)
+    }
+
+    /// Clamps a (possibly forged) flag into this domain.
+    pub fn clamp(self, f: Flag) -> Flag {
+        Flag(f.0.min(self.max))
+    }
+}
+
+impl Default for FlagDomain {
+    fn default() -> Self {
+        FlagDomain::PAPER
+    }
+}
+
+/// A handshake flag value (`State_p[q]` / `NeigState_p[q]` and the two
+/// flag fields of every PIF message).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Flag(u8);
+
+impl Flag {
+    /// The zero flag (reset at the start of a wave).
+    pub const ZERO: Flag = Flag(0);
+
+    /// Constructs a flag from a raw value.
+    pub const fn new(v: u8) -> Self {
+        Flag(v)
+    }
+
+    /// The raw value.
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// The successor flag, saturating at the domain maximum.
+    pub fn incremented(self, domain: FlagDomain) -> Flag {
+        if self.0 < domain.max {
+            Flag(self.0 + 1)
+        } else {
+            self
+        }
+    }
+
+    /// True if this flag equals the domain's completion value.
+    pub fn is_complete(self, domain: FlagDomain) -> bool {
+        self.0 == domain.max
+    }
+}
+
+impl std::fmt::Display for Flag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl ArbitraryState for Flag {
+    /// Arbitrary flag in the *paper's* domain; ablation domains draw via
+    /// [`FlagDomain::arbitrary_flag`].
+    fn arbitrary(rng: &mut SimRng) -> Self {
+        FlagDomain::PAPER.arbitrary_flag(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_domain_shape() {
+        let d = FlagDomain::PAPER;
+        assert_eq!(d.size(), 5);
+        assert_eq!(d.max(), Flag::new(4));
+        assert_eq!(d.broadcast_value(), Flag::new(3));
+    }
+
+    #[test]
+    fn increments_saturate_at_max() {
+        let d = FlagDomain::PAPER;
+        let mut f = Flag::ZERO;
+        for expect in 1..=4u8 {
+            f = f.incremented(d);
+            assert_eq!(f.value(), expect);
+        }
+        assert_eq!(f.incremented(d), f, "saturates at 4");
+        assert!(f.is_complete(d));
+    }
+
+    #[test]
+    fn custom_domain() {
+        let d = FlagDomain::with_max(2);
+        assert_eq!(d.size(), 3);
+        assert_eq!(d.broadcast_value(), Flag::new(1));
+        assert!(Flag::new(2).is_complete(d));
+        assert!(!Flag::new(2).is_complete(FlagDomain::PAPER));
+    }
+
+    #[test]
+    fn clamp_pulls_into_domain() {
+        let d = FlagDomain::with_max(3);
+        assert_eq!(d.clamp(Flag::new(9)), Flag::new(3));
+        assert_eq!(d.clamp(Flag::new(2)), Flag::new(2));
+    }
+
+    #[test]
+    fn arbitrary_stays_in_paper_domain() {
+        let mut rng = SimRng::seed_from(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let f = Flag::arbitrary(&mut rng);
+            assert!(f.value() <= 4);
+            seen.insert(f.value());
+        }
+        assert_eq!(seen.len(), 5, "all five values occur");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two values")]
+    fn degenerate_domain_rejected() {
+        let _ = FlagDomain::with_max(0);
+    }
+
+    #[test]
+    fn ordering_matches_values() {
+        assert!(Flag::new(1) < Flag::new(3));
+        assert_eq!(Flag::default(), Flag::ZERO);
+    }
+
+    #[test]
+    fn capacity_one_gives_the_paper_domain() {
+        assert_eq!(FlagDomain::for_capacity(1), FlagDomain::PAPER);
+    }
+
+    #[test]
+    fn capacity_domain_has_2c_plus_3_values() {
+        for c in 1..=10usize {
+            let d = FlagDomain::for_capacity(c);
+            assert_eq!(d.size(), 2 * c + 3);
+            assert_eq!(d.max(), Flag::new(2 * c as u8 + 2));
+            assert_eq!(d.broadcast_value(), Flag::new(2 * c as u8 + 1));
+        }
+    }
+
+    #[test]
+    fn tolerated_capacity_is_the_inverse() {
+        for c in 1..=10usize {
+            let d = FlagDomain::for_capacity(c);
+            assert_eq!(d.max_tolerated_capacity(), c);
+            assert!(d.tolerates_capacity(c));
+            assert!(!d.tolerates_capacity(c + 1));
+        }
+        // The paper's domain tolerates exactly capacity 1.
+        assert!(FlagDomain::PAPER.tolerates_capacity(1));
+        assert!(!FlagDomain::PAPER.tolerates_capacity(2));
+        // Undersized domains tolerate nothing.
+        assert!(!FlagDomain::with_max(3).tolerates_capacity(1));
+        assert_eq!(FlagDomain::with_max(2).max_tolerated_capacity(), 0);
+    }
+
+    #[test]
+    fn stale_increment_bound_caps_at_max() {
+        assert_eq!(FlagDomain::PAPER.stale_increment_bound(1), 3);
+        assert_eq!(FlagDomain::for_capacity(2).stale_increment_bound(2), 5);
+        // Undersized: the bound saturates at the completion value — the
+        // adversary can complete the wave on stale data alone.
+        assert_eq!(FlagDomain::PAPER.stale_increment_bound(2), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_rejected() {
+        let _ = FlagDomain::for_capacity(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u8")]
+    fn huge_capacity_rejected() {
+        let _ = FlagDomain::for_capacity(127);
+    }
+}

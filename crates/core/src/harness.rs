@@ -1,0 +1,208 @@
+//! Convenience constructors for simulation experiments.
+//!
+//! These helpers standardize the setup used across the examples, tests and
+//! benches: a fully-connected single-message-capacity network, a fair
+//! scheduler, and seeded corruption into an arbitrary initial
+//! configuration.
+
+use snapstab_sim::{
+    ArbitraryState, Capacity, CorruptionPlan, NetworkBuilder, ProcessId, Protocol,
+    RandomScheduler, RoundRobin, Runner, SimError, SimRng,
+};
+
+use crate::idl::IdlProcess;
+use crate::me::MeProcess;
+use crate::pif::{PifApp, PifProcess};
+use crate::request::RequestState;
+
+/// Protocols that expose the paper's three-valued request interface.
+pub trait HasRequest {
+    /// The protocol's current request state.
+    fn request_state(&self) -> RequestState;
+}
+
+impl<B, F, A> HasRequest for PifProcess<B, F, A>
+where
+    B: Clone + std::fmt::Debug + PartialEq + 'static,
+    F: Clone + std::fmt::Debug + PartialEq + 'static,
+    A: PifApp<B, F>,
+{
+    fn request_state(&self) -> RequestState {
+        self.request()
+    }
+}
+
+impl HasRequest for IdlProcess {
+    fn request_state(&self) -> RequestState {
+        self.request()
+    }
+}
+
+impl HasRequest for MeProcess {
+    fn request_state(&self) -> RequestState {
+        self.request()
+    }
+}
+
+/// Builds a runner over a fully-connected network with the paper's §4
+/// single-message channel capacity and a deterministic round-robin
+/// scheduler. `make(i)` constructs process `i`.
+pub fn pif_system<P: Protocol>(
+    n: usize,
+    make: impl FnMut(usize) -> P,
+    seed: u64,
+) -> Runner<P, RoundRobin> {
+    system(n, Capacity::Bounded(1), make, seed)
+}
+
+/// Builds a runner with an explicit channel capacity (round-robin
+/// scheduler).
+pub fn system<P: Protocol>(
+    n: usize,
+    capacity: Capacity,
+    mut make: impl FnMut(usize) -> P,
+    seed: u64,
+) -> Runner<P, RoundRobin> {
+    let processes = (0..n).map(&mut make).collect();
+    let network = NetworkBuilder::new(n).capacity(capacity).build();
+    Runner::new(processes, network, RoundRobin::new(), seed)
+}
+
+/// Builds a runner with a uniformly random (fair w.p. 1) scheduler.
+pub fn random_system<P: Protocol>(
+    n: usize,
+    capacity: Capacity,
+    mut make: impl FnMut(usize) -> P,
+    seed: u64,
+) -> Runner<P, RandomScheduler> {
+    let processes = (0..n).map(&mut make).collect();
+    let network = NetworkBuilder::new(n).capacity(capacity).build();
+    Runner::new(processes, network, RandomScheduler::new(), seed)
+}
+
+/// Corrupts every process's variables (channels untouched) with a seeded
+/// draw — a transient fault burst hitting memories only.
+pub fn corrupt_processes<P: Protocol, S: snapstab_sim::Scheduler>(
+    runner: &mut Runner<P, S>,
+    seed: u64,
+) {
+    let mut rng = SimRng::seed_from(seed);
+    runner.corrupt_all_processes(&mut rng);
+}
+
+/// Draws a full arbitrary initial configuration: every variable of every
+/// process and every channel's contents (capacity-respecting).
+pub fn corrupt_everything<P, S>(runner: &mut Runner<P, S>, seed: u64)
+where
+    P: Protocol,
+    P::Msg: ArbitraryState,
+    S: snapstab_sim::Scheduler,
+{
+    let mut rng = SimRng::seed_from(seed);
+    CorruptionPlan::full().apply(runner, &mut rng);
+}
+
+/// Runs until process `p`'s request state is `Done` (the decision /
+/// service point).
+///
+/// # Errors
+///
+/// Returns [`SimError::StepBudgetExhausted`] if the decision does not
+/// happen within `max_steps`.
+pub fn run_to_decision<P, S>(
+    runner: &mut Runner<P, S>,
+    p: ProcessId,
+    max_steps: u64,
+) -> Result<u64, SimError>
+where
+    P: Protocol + HasRequest,
+    S: snapstab_sim::Scheduler,
+{
+    let out = runner.run_until(max_steps, |r| {
+        r.process(p).request_state() == RequestState::Done
+    })?;
+    if runner.process(p).request_state() == RequestState::Done {
+        Ok(out.steps)
+    } else {
+        Err(SimError::StepBudgetExhausted { budget: max_steps })
+    }
+}
+
+/// Runs until every process's request state is `Done`.
+///
+/// # Errors
+///
+/// Returns [`SimError::StepBudgetExhausted`] on budget exhaustion.
+pub fn run_to_all_decisions<P, S>(
+    runner: &mut Runner<P, S>,
+    max_steps: u64,
+) -> Result<u64, SimError>
+where
+    P: Protocol + HasRequest,
+    S: snapstab_sim::Scheduler,
+{
+    let n = runner.n();
+    let out = runner.run_until(max_steps, |r| {
+        (0..n).all(|i| r.process(ProcessId::new(i)).request_state() == RequestState::Done)
+    })?;
+    let all_done = (0..n)
+        .all(|i| runner.process(ProcessId::new(i)).request_state() == RequestState::Done);
+    if all_done {
+        Ok(out.steps)
+    } else {
+        Err(SimError::StepBudgetExhausted { budget: max_steps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::idl::IdlProcess;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn idl_roundtrip_via_harness() {
+        let mut r = pif_system(3, |i| IdlProcess::new(p(i), 3, 10 + i as u64), 1);
+        corrupt_everything(&mut r, 2);
+        // Drain corrupted computations, then request.
+        let _ = r.run_until(100_000, |r| {
+            (0..3).all(|i| r.process(p(i)).request_state() != RequestState::Wait)
+        });
+        r.process_mut(p(0)).request_learning();
+        // A corrupted Request may be In; wait for Done first then re-request.
+        if r.process(p(0)).request_state() != RequestState::Wait {
+            run_to_decision(&mut r, p(0), 200_000).unwrap();
+            r.process_mut(p(0)).request_learning();
+        }
+        run_to_decision(&mut r, p(0), 200_000).unwrap();
+        assert_eq!(r.process(p(0)).idl().min_id(), 10);
+    }
+
+    #[test]
+    fn run_to_all_decisions_works() {
+        let mut r = random_system(
+            3,
+            Capacity::Bounded(1),
+            |i| IdlProcess::new(p(i), 3, 10 + i as u64),
+            3,
+        );
+        for i in 0..3 {
+            r.process_mut(p(i)).request_learning();
+        }
+        run_to_all_decisions(&mut r, 500_000).unwrap();
+        for i in 0..3 {
+            assert_eq!(r.process(p(i)).idl().min_id(), 10);
+        }
+    }
+
+    #[test]
+    fn run_to_decision_budget_error() {
+        let mut r = pif_system(2, |i| IdlProcess::new(p(i), 2, i as u64), 0);
+        r.process_mut(p(0)).request_learning();
+        let err = run_to_decision(&mut r, p(0), 2).unwrap_err();
+        assert!(matches!(err, SimError::StepBudgetExhausted { .. }));
+    }
+}

@@ -1,0 +1,480 @@
+//! Algorithm 2 — the snap-stabilizing IDs-Learning protocol.
+//!
+//! A thin application of the PIF: when requested, a process broadcasts an
+//! `IDL` query; every neighbor feeds back its identity; at the decision the
+//! initiator knows `ID-Tab[q]` for every neighbor `q` and the minimum ID of
+//! the system (`minID`). Snap-stabilizing for Specification 2 (Theorem 3)
+//! by construction on top of Theorem 2.
+//!
+//! [`IdlCore`] holds the variables and actions and is reused verbatim by
+//! the mutual-exclusion protocol (Algorithm 3 embeds one IDL instance over
+//! its own PIF); [`IdlProcess`] is the standalone protocol.
+
+use snapstab_sim::{ArbitraryState, Context, PerNeighbor, ProcessId, Protocol, SimRng};
+
+use crate::pif::{PifApp, PifCore, PifEvent, PifMsg, PifState};
+use crate::request::RequestState;
+
+/// The `IDL` broadcast message content (the query carries no data).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct IdlQuery;
+
+impl ArbitraryState for IdlQuery {
+    fn arbitrary(_rng: &mut SimRng) -> Self {
+        IdlQuery
+    }
+}
+
+/// A process identity. The paper assumes distinct integer IDs; they are
+/// constants of the system (never corrupted by transient faults).
+pub type Id = u64;
+
+/// Protocol-level events of an IDs-Learning instance.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IdlEvent {
+    /// Action A1 executed (`Request`: `Wait → In`).
+    Started,
+    /// Action A2 executed (`Request`: `In → Done`); carries the learned
+    /// minimum ID for the checker.
+    Decided {
+        /// `minID` at the decision.
+        min_id: Id,
+    },
+    /// An event of the underlying PIF instance.
+    Pif(PifEvent<IdlQuery, Id>),
+}
+
+impl From<PifEvent<IdlQuery, Id>> for IdlEvent {
+    fn from(e: PifEvent<IdlQuery, Id>) -> Self {
+        IdlEvent::Pif(e)
+    }
+}
+
+/// The variables and actions of Algorithm 2 for one process, decoupled
+/// from the PIF instance they drive (the caller lends the PIF, which lets
+/// Algorithm 3 share a single PIF between its IDL layer and its own
+/// waves).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IdlCore {
+    me: ProcessId,
+    n: usize,
+    my_id: Id,
+    request: RequestState,
+    min_id: Id,
+    id_tab: PerNeighbor<Id>,
+}
+
+impl IdlCore {
+    /// Creates a correctly-initialized instance for a process whose
+    /// (constant) identity is `my_id`.
+    pub fn new(me: ProcessId, n: usize, my_id: Id) -> Self {
+        IdlCore {
+            me,
+            n,
+            my_id,
+            request: RequestState::Done,
+            min_id: my_id,
+            id_tab: PerNeighbor::new(me, n, 0),
+        }
+    }
+
+    /// This process's constant identity.
+    pub fn my_id(&self) -> Id {
+        self.my_id
+    }
+
+    /// Current request state.
+    pub fn request(&self) -> RequestState {
+        self.request
+    }
+
+    /// The learned minimum ID (meaningful after a complete computation).
+    pub fn min_id(&self) -> Id {
+        self.min_id
+    }
+
+    /// The learned identity of neighbor `q` (meaningful after a complete
+    /// computation).
+    pub fn id_of(&self, q: ProcessId) -> Id {
+        *self.id_tab.get(q)
+    }
+
+    /// Externally requests an IDs-Learning computation; refused while one
+    /// is pending or in progress.
+    pub fn try_request(&mut self) -> bool {
+        self.request.try_request()
+    }
+
+    /// Upper-layer start (`IDL.Request_p ← Wait` in Algorithm 3's A0):
+    /// unconditional.
+    pub fn force_request(&mut self) {
+        self.request = RequestState::Wait;
+    }
+
+    /// Action A1: `Request = Wait` → start; resets `minID` and launches the
+    /// PIF wave with broadcast content `idl_broadcast`.
+    pub fn action_a1<B, F>(&mut self, pif: &mut PifCore<B, F>, idl_broadcast: B) -> bool
+    where
+        B: Clone + std::fmt::Debug + PartialEq + 'static,
+        F: Clone + std::fmt::Debug + PartialEq + 'static,
+    {
+        if self.request != RequestState::Wait {
+            return false;
+        }
+        self.request = RequestState::In;
+        self.min_id = self.my_id;
+        pif.force_request(idl_broadcast);
+        true
+    }
+
+    /// Action A2: the PIF decided → the IDs-Learning computation decides.
+    pub fn action_a2<B, F>(&mut self, pif: &PifCore<B, F>) -> bool
+    where
+        B: Clone + std::fmt::Debug + PartialEq + 'static,
+        F: Clone + std::fmt::Debug + PartialEq + 'static,
+    {
+        if self.request == RequestState::In && pif.request() == RequestState::Done {
+            self.request = RequestState::Done;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Action A3 (`receive-brd⟨IDL⟩`): the feedback is this process's
+    /// identity.
+    pub fn broadcast_reply(&self) -> Id {
+        self.my_id
+    }
+
+    /// Action A4 (`receive-fck⟨qID⟩ from q`): record the neighbor's
+    /// identity and fold it into `minID`.
+    pub fn on_feedback_id(&mut self, from: ProcessId, qid: Id) {
+        self.id_tab.set(from, qid);
+        self.min_id = self.min_id.min(qid);
+    }
+
+    /// True if A1 or A2 is enabled (given the PIF this instance drives).
+    pub fn has_enabled_action<B, F>(&self, pif: &PifCore<B, F>) -> bool
+    where
+        B: Clone + std::fmt::Debug + PartialEq + 'static,
+        F: Clone + std::fmt::Debug + PartialEq + 'static,
+    {
+        self.request == RequestState::Wait
+            || (self.request == RequestState::In && pif.request() == RequestState::Done)
+    }
+
+    /// Overwrites the variables (`Request`, `minID`, `ID-Tab`) with
+    /// arbitrary values; `my_id` is a constant and survives.
+    pub fn corrupt(&mut self, rng: &mut SimRng) {
+        self.request = RequestState::arbitrary(rng);
+        self.min_id = Id::arbitrary(rng);
+        self.id_tab.fill_with(|_| Id::arbitrary(rng));
+    }
+
+    /// The state projection of the IDL variables.
+    pub fn snapshot(&self) -> IdlState {
+        IdlState {
+            request: self.request,
+            min_id: self.min_id,
+            id_tab: (0..self.n)
+                .map(|i| {
+                    if i == self.me.index() {
+                        0
+                    } else {
+                        *self.id_tab.get(ProcessId::new(i))
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores a state projection.
+    pub fn restore(&mut self, s: IdlState) {
+        assert_eq!(s.id_tab.len(), self.n, "state projection size mismatch");
+        self.request = s.request;
+        self.min_id = s.min_id;
+        for i in 0..self.n {
+            if i != self.me.index() {
+                self.id_tab.set(ProcessId::new(i), s.id_tab[i]);
+            }
+        }
+    }
+}
+
+/// The state projection of [`IdlCore`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IdlState {
+    /// The request variable.
+    pub request: RequestState,
+    /// The learned minimum ID.
+    pub min_id: Id,
+    /// Per-neighbor learned identities (own slot unused).
+    pub id_tab: Vec<Id>,
+}
+
+/// The standalone IDs-Learning process: an [`IdlCore`] over its own PIF.
+#[derive(Clone, Debug)]
+pub struct IdlProcess {
+    pif: PifCore<IdlQuery, Id>,
+    idl: IdlCore,
+}
+
+impl IdlProcess {
+    /// Creates a correctly-initialized process with identity `my_id`.
+    pub fn new(me: ProcessId, n: usize, my_id: Id) -> Self {
+        IdlProcess {
+            pif: PifCore::new(me, n, IdlQuery, 0),
+            idl: IdlCore::new(me, n, my_id),
+        }
+    }
+
+    /// Creates a process whose underlying PIF runs over a non-standard
+    /// flag domain (capacity extension and ablations).
+    pub fn with_domain(me: ProcessId, n: usize, my_id: Id, domain: crate::flag::FlagDomain) -> Self {
+        IdlProcess {
+            pif: PifCore::with_domain(me, n, IdlQuery, 0, domain),
+            idl: IdlCore::new(me, n, my_id),
+        }
+    }
+
+    /// Creates a process sized for channels of capacity `capacity`
+    /// (`2·capacity + 3` flag values — see [`crate::capacity`]).
+    pub fn for_capacity(me: ProcessId, n: usize, my_id: Id, capacity: usize) -> Self {
+        Self::with_domain(me, n, my_id, crate::flag::FlagDomain::for_capacity(capacity))
+    }
+
+    /// The IDL variables.
+    pub fn idl(&self) -> &IdlCore {
+        &self.idl
+    }
+
+    /// The underlying PIF.
+    pub fn pif(&self) -> &PifCore<IdlQuery, Id> {
+        &self.pif
+    }
+
+    /// Exclusive access to the underlying PIF (adversarial tests).
+    pub fn pif_mut(&mut self) -> &mut PifCore<IdlQuery, Id> {
+        &mut self.pif
+    }
+
+    /// Externally requests an IDs-Learning computation.
+    pub fn request_learning(&mut self) -> bool {
+        self.idl.try_request()
+    }
+
+    /// Current request state of the IDL layer.
+    pub fn request(&self) -> RequestState {
+        self.idl.request()
+    }
+}
+
+/// `PifApp` adapter for the standalone IDL process.
+impl PifApp<IdlQuery, Id> for IdlCore {
+    fn on_broadcast(&mut self, _from: ProcessId, _data: &IdlQuery) -> Id {
+        self.broadcast_reply()
+    }
+
+    fn on_feedback(&mut self, from: ProcessId, data: &Id) {
+        self.on_feedback_id(from, *data);
+    }
+}
+
+impl Protocol for IdlProcess {
+    type Msg = PifMsg<IdlQuery, Id>;
+    type Event = IdlEvent;
+    type State = (IdlState, PifState<IdlQuery, Id>);
+
+    fn activate(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Event>) -> bool {
+        let mut acted = false;
+        if self.idl.action_a1(&mut self.pif, IdlQuery) {
+            ctx.emit(IdlEvent::Started);
+            acted = true;
+        }
+        if self.idl.action_a2(&self.pif) {
+            ctx.emit(IdlEvent::Decided { min_id: self.idl.min_id() });
+            acted = true;
+        }
+        if self.pif.activate(ctx) {
+            acted = true;
+        }
+        acted
+    }
+
+    fn on_receive(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<'_, Self::Msg, Self::Event>,
+    ) {
+        self.pif.handle_receive(from, msg, &mut self.idl, ctx);
+    }
+
+    fn has_enabled_action(&self) -> bool {
+        self.idl.has_enabled_action(&self.pif) || self.pif.has_enabled_action()
+    }
+
+    fn corrupt(&mut self, rng: &mut SimRng) {
+        self.idl.corrupt(rng);
+        self.pif.corrupt(rng);
+    }
+
+    fn snapshot(&self) -> Self::State {
+        (self.idl.snapshot(), self.pif.snapshot())
+    }
+
+    fn restore(&mut self, state: Self::State) {
+        self.idl.restore(state.0);
+        self.pif.restore(state.1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapstab_sim::{Capacity, CorruptionPlan, NetworkBuilder, RoundRobin, Runner};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// Distinct, deliberately unordered identities.
+    fn ids(n: usize) -> Vec<Id> {
+        (0..n).map(|i| 1000 - 37 * i as Id).collect()
+    }
+
+    fn system(n: usize) -> Runner<IdlProcess, RoundRobin> {
+        let idv = ids(n);
+        let processes = (0..n).map(|i| IdlProcess::new(p(i), n, idv[i])).collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        Runner::new(processes, network, RoundRobin::new(), 5)
+    }
+
+    #[test]
+    fn learning_from_clean_state() {
+        let mut r = system(4);
+        let idv = ids(4);
+        let min = *idv.iter().min().unwrap();
+        assert!(r.process_mut(p(0)).request_learning());
+        r.run_until(100_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .unwrap();
+        assert_eq!(r.process(p(0)).idl().min_id(), min);
+        for q in 1..4 {
+            assert_eq!(r.process(p(0)).idl().id_of(p(q)), idv[q]);
+        }
+    }
+
+    #[test]
+    fn learning_from_corrupted_configurations() {
+        let idv = ids(3);
+        let min = *idv.iter().min().unwrap();
+        for seed in 0..25 {
+            let mut r = system(3);
+            let mut rng = SimRng::seed_from(seed);
+            CorruptionPlan::full().apply(&mut r, &mut rng);
+            // Let any corrupted-In computations flush, then genuinely request.
+            let _ = r.run_until(100_000, |r| {
+                (0..3).all(|i| r.process(p(i)).request() != RequestState::Wait)
+            });
+            r.process_mut(p(1)).idl.force_request();
+            let out = r
+                .run_until(300_000, |r| r.process(p(1)).request() == RequestState::Done)
+                .unwrap();
+            assert_eq!(
+                out.stopped,
+                snapstab_sim::StopCondition::Predicate,
+                "seed {seed}"
+            );
+            assert_eq!(r.process(p(1)).idl().min_id(), min, "seed {seed}");
+            assert_eq!(r.process(p(1)).idl().id_of(p(0)), idv[0], "seed {seed}");
+            assert_eq!(r.process(p(1)).idl().id_of(p(2)), idv[2], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn my_id_survives_corruption() {
+        let mut core = IdlCore::new(p(0), 3, 77);
+        let mut rng = SimRng::seed_from(1);
+        core.corrupt(&mut rng);
+        assert_eq!(core.my_id(), 77);
+        assert_eq!(core.broadcast_reply(), 77);
+    }
+
+    #[test]
+    fn feedback_folds_min() {
+        let mut core = IdlCore::new(p(0), 3, 50);
+        core.on_feedback_id(p(1), 80);
+        assert_eq!(core.min_id(), 50);
+        core.on_feedback_id(p(2), 7);
+        assert_eq!(core.min_id(), 7);
+        assert_eq!(core.id_of(p(1)), 80);
+        assert_eq!(core.id_of(p(2)), 7);
+    }
+
+    #[test]
+    fn a1_resets_min_and_starts_pif() {
+        let mut core = IdlCore::new(p(0), 2, 50);
+        let mut pif: PifCore<IdlQuery, Id> = PifCore::new(p(0), 2, IdlQuery, 0);
+        core.min_id = 1; // stale (e.g. corrupted) value
+        core.force_request();
+        assert!(core.action_a1(&mut pif, IdlQuery));
+        assert_eq!(core.min_id(), 50, "minID reset to own id");
+        assert_eq!(core.request(), RequestState::In);
+        assert_eq!(pif.request(), RequestState::Wait);
+        // A2 not yet enabled: PIF still to run.
+        assert!(!core.action_a2(&pif));
+    }
+
+    #[test]
+    fn concurrent_learners_all_decide_correctly() {
+        let mut r = system(3);
+        let idv = ids(3);
+        let min = *idv.iter().min().unwrap();
+        for i in 0..3 {
+            assert!(r.process_mut(p(i)).request_learning());
+        }
+        r.run_until(300_000, |r| {
+            (0..3).all(|i| r.process(p(i)).request() == RequestState::Done)
+        })
+        .unwrap();
+        for i in 0..3 {
+            assert_eq!(r.process(p(i)).idl().min_id(), min, "learner {i}");
+        }
+    }
+
+    #[test]
+    fn events_emitted_in_order() {
+        let mut r = system(2);
+        r.process_mut(p(0)).request_learning();
+        r.run_until_quiescent(100_000).unwrap();
+        let events: Vec<_> = r
+            .trace()
+            .protocol_events_of(p(0))
+            .map(|(_, e)| e.clone())
+            .collect();
+        let started = events.iter().position(|e| matches!(e, IdlEvent::Started));
+        let decided = events
+            .iter()
+            .position(|e| matches!(e, IdlEvent::Decided { .. }));
+        assert!(started.is_some() && decided.is_some());
+        assert!(started < decided);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut proc = IdlProcess::new(p(0), 3, 9);
+        let mut rng = SimRng::seed_from(4);
+        proc.corrupt(&mut rng);
+        let snap = proc.snapshot();
+        proc.corrupt(&mut rng);
+        proc.restore(snap.clone());
+        assert_eq!(proc.snapshot(), snap);
+    }
+
+    #[test]
+    fn idl_query_is_trivially_arbitrary() {
+        let mut rng = SimRng::seed_from(0);
+        assert_eq!(IdlQuery::arbitrary(&mut rng), IdlQuery);
+    }
+}

@@ -1,0 +1,73 @@
+//! # snapstab-core — the paper's snap-stabilizing protocols
+//!
+//! Rust implementation of the three snap-stabilizing protocols of Delaët,
+//! Devismes, Nesterenko and Tixeuil, *Snap-Stabilization in Message-Passing
+//! Systems* (2008), for fully-connected networks with bounded-capacity
+//! unreliable FIFO channels:
+//!
+//! * [`pif`] — **Algorithm 1**: Propagation of Information with Feedback.
+//!   The initiator's per-neighbor handshake flag `State[q]` must climb
+//!   `0 → 1 → 2 → 3 → 4`, each increment requiring an echo of the current
+//!   value; with single-message-capacity channels this guarantees the final
+//!   feedback causally depends on the started broadcast despite an
+//!   arbitrary initial configuration (Theorem 2).
+//! * [`idl`] — **Algorithm 2**: IDs-Learning, one PIF wave that teaches the
+//!   initiator every neighbor's ID and the minimum ID (Theorem 3).
+//! * [`me`] — **Algorithm 3**: Mutual exclusion. The minimum-ID process
+//!   (leader) arbitrates with a `Value` pointer; processes cycle through
+//!   phases 0–4 (IDL wave, ASK wave, EXIT wave, critical section, EXITCS
+//!   wave), and every *requesting* process enters the critical section
+//!   alone, from any initial configuration (Theorem 4).
+//! * [`spec`] — executable versions of Specifications 1–3 and Property 1:
+//!   trace predicates for Start, Correctness, Termination and Decision.
+//! * [`capacity`] — the §4 "arbitrary but known bounded capacity"
+//!   extension, made tight: capacity `c` needs exactly `2c + 3` flag
+//!   values ([`flag::FlagDomain::for_capacity`]); the canonical scaled
+//!   Figure 1 adversary realizes the `2c + 1` stale-increment bound and
+//!   breaks every smaller domain.
+//!
+//! Snap-stabilization (Definition 1): starting from *any* configuration,
+//! *any* execution satisfies the specification — the first requested
+//! computation already runs correctly, with no convergence phase. Contrast
+//! with the self-stabilizing baselines in `snapstab-baselines`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use snapstab_core::pif::{PifApp, PifProcess};
+//! use snapstab_core::harness;
+//! use snapstab_sim::ProcessId;
+//!
+//! // An application that answers every broadcast with its age — the
+//! // paper's "How old are you?" example (§4.1).
+//! #[derive(Clone, Debug)]
+//! struct Age(u32);
+//! impl PifApp<&'static str, u32> for Age {
+//!     fn on_broadcast(&mut self, _from: ProcessId, _q: &&'static str) -> u32 { self.0 }
+//!     fn on_feedback(&mut self, _from: ProcessId, _age: &u32) {}
+//! }
+//!
+//! // Build a 3-process system with corrupted initial state, request a
+//! // broadcast at P0, and run to the decision.
+//! let mut runner = harness::pif_system(3, |i| PifProcess::new(
+//!     ProcessId::new(i), 3, "how old are you?", Age(30 + i as u32),
+//! ), 0xBAD_5EED);
+//! harness::corrupt_processes(&mut runner, 7);
+//! runner.process_mut(ProcessId::new(0)).request_broadcast("how old are you?");
+//! harness::run_to_decision(&mut runner, ProcessId::new(0), 100_000).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod flag;
+pub mod harness;
+pub mod idl;
+pub mod me;
+pub mod pif;
+pub mod request;
+pub mod spec;
+
+pub use flag::{Flag, FlagDomain};
+pub use request::RequestState;

@@ -1,0 +1,118 @@
+//! The `Request` input/output variable (§4.1).
+//!
+//! Every snap-stabilizing protocol in the paper exposes a three-valued
+//! request variable to its external user (an application or a human):
+//!
+//! * the user sets it to `Wait` to request a computation — but only when it
+//!   currently reads `Done` (the paper: "we assume that p does not set
+//!   `Request_p` to `Wait` until the termination of the current
+//!   computation");
+//! * the protocol's starting action switches it `Wait → In`;
+//! * the protocol's termination/decision switches it `In → Done`.
+//!
+//! Because the initial configuration is arbitrary, the variable may
+//! *initially* hold any of the three values; the protocol's guarantees are
+//! attached only to computations whose `Wait` was set by the user.
+
+use snapstab_sim::{ArbitraryState, SimRng};
+
+/// The state of the external request interface of a snap-stabilizing
+/// protocol instance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum RequestState {
+    /// A computation has been requested but not yet started.
+    Wait,
+    /// A computation is in progress.
+    In,
+    /// No computation is requested or running (initial rest state for a
+    /// correctly initialized system; any value is possible after faults).
+    #[default]
+    Done,
+}
+
+impl RequestState {
+    /// True if the protocol may accept a new external request
+    /// (the Hypothesis 1 discipline).
+    pub fn accepts_request(self) -> bool {
+        self == RequestState::Done
+    }
+
+    /// External request: switches `Done → Wait`. Returns `false` (and
+    /// leaves the variable unchanged) if a computation is pending or in
+    /// progress, enforcing the paper's user discipline.
+    pub fn try_request(&mut self) -> bool {
+        if self.accepts_request() {
+            *self = RequestState::Wait;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl std::fmt::Display for RequestState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RequestState::Wait => "Wait",
+            RequestState::In => "In",
+            RequestState::Done => "Done",
+        };
+        f.write_str(s)
+    }
+}
+
+impl ArbitraryState for RequestState {
+    fn arbitrary(rng: &mut SimRng) -> Self {
+        match rng.gen_range(0..3) {
+            0 => RequestState::Wait,
+            1 => RequestState::In,
+            _ => RequestState::Done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_done() {
+        assert_eq!(RequestState::default(), RequestState::Done);
+    }
+
+    #[test]
+    fn request_discipline() {
+        let mut r = RequestState::Done;
+        assert!(r.try_request());
+        assert_eq!(r, RequestState::Wait);
+        // Pending request: a second request is refused.
+        assert!(!r.try_request());
+        r = RequestState::In;
+        assert!(!r.try_request());
+        assert_eq!(r, RequestState::In);
+    }
+
+    #[test]
+    fn accepts_request_only_when_done() {
+        assert!(RequestState::Done.accepts_request());
+        assert!(!RequestState::Wait.accepts_request());
+        assert!(!RequestState::In.accepts_request());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RequestState::Wait.to_string(), "Wait");
+        assert_eq!(RequestState::In.to_string(), "In");
+        assert_eq!(RequestState::Done.to_string(), "Done");
+    }
+
+    #[test]
+    fn arbitrary_covers_all_values() {
+        let mut rng = SimRng::seed_from(0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(RequestState::arbitrary(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

@@ -1,0 +1,599 @@
+//! Executable specifications: trace predicates for Specifications 1–3 and
+//! Property 1.
+//!
+//! The paper defines a specification as "a predicate defined on the
+//! executions"; snap-stabilization (Definition 1) demands that *every*
+//! execution from *every* initial configuration satisfies it. This module
+//! turns each specification into a checkable verdict over the typed traces
+//! produced by `snapstab-sim`, so the experiment harness can evaluate
+//! thousands of corrupted-start executions mechanically.
+
+use snapstab_sim::{Message, Network, ProcessId, Trace};
+
+use crate::idl::IdlCore;
+use crate::me::MeEvent;
+use crate::pif::{PifEvent, PifMsg};
+
+/// Verdict of the Specification 1 (PIF-Execution) checker for one
+/// requested wave.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PifVerdict {
+    /// Start: the requested broadcast was started (A1 executed after the
+    /// request).
+    pub started: bool,
+    /// Termination: the started computation decided.
+    pub decided: bool,
+    /// Correctness (broadcast half): every other process generated
+    /// `receive-brd` with the broadcast data during the computation.
+    pub broadcasts_received: bool,
+    /// Correctness (feedback half): the initiator generated `receive-fck`
+    /// from every other process with that process's expected feedback.
+    pub feedbacks_received: bool,
+    /// Decision: the decision took exactly the `n − 1` acknowledgments of
+    /// the last broadcast into account — one `receive-fck` per neighbor
+    /// between start and decision, all carrying expected data.
+    pub decision_exact: bool,
+    /// Step at which the wave started, if it did.
+    pub start_step: Option<u64>,
+    /// Step at which the wave decided, if it did.
+    pub decision_step: Option<u64>,
+}
+
+impl PifVerdict {
+    /// True if every property of Specification 1 holds for this wave.
+    pub fn holds(&self) -> bool {
+        self.started
+            && self.decided
+            && self.broadcasts_received
+            && self.feedbacks_received
+            && self.decision_exact
+    }
+
+    /// Steps from start to decision, if both occurred.
+    pub fn wave_steps(&self) -> Option<u64> {
+        Some(self.decision_step? - self.start_step?)
+    }
+}
+
+/// Checks Specification 1 for a wave requested at `initiator` at
+/// `request_step`, over a trace whose event type `E` embeds PIF events
+/// (extracted by `as_pif`; use the identity for bare [`PifEvent`] traces).
+///
+/// `expected_b` is the broadcast data of the requested wave and
+/// `expected_f(q)` the feedback process `q` is expected to produce.
+pub fn check_pif_wave<M, E, B, F>(
+    trace: &Trace<M, E>,
+    initiator: ProcessId,
+    n: usize,
+    request_step: u64,
+    expected_b: &B,
+    mut expected_f: impl FnMut(ProcessId) -> F,
+    mut as_pif: impl FnMut(&E) -> Option<&PifEvent<B, F>>,
+) -> PifVerdict
+where
+    M: Message,
+    E: Clone + std::fmt::Debug + PartialEq,
+    B: Clone + std::fmt::Debug + PartialEq,
+    F: Clone + std::fmt::Debug + PartialEq,
+{
+    // Start: first A1 at the initiator at or after the request.
+    let start_step = trace
+        .protocol_events_of(initiator)
+        .filter(|(s, _)| *s >= request_step)
+        .find(|(_, e)| matches!(as_pif(e), Some(PifEvent::Started)))
+        .map(|(s, _)| s);
+
+    let mut verdict = PifVerdict {
+        started: start_step.is_some(),
+        decided: false,
+        broadcasts_received: false,
+        feedbacks_received: false,
+        decision_exact: false,
+        start_step,
+        decision_step: None,
+    };
+    let Some(start) = start_step else {
+        return verdict;
+    };
+
+    // Termination/Decision step: first Decided after the start.
+    let decision_step = trace
+        .protocol_events_of(initiator)
+        .filter(|(s, _)| *s > start)
+        .find(|(_, e)| matches!(as_pif(e), Some(PifEvent::Decided)))
+        .map(|(s, _)| s);
+    verdict.decided = decision_step.is_some();
+    verdict.decision_step = decision_step;
+    let Some(decision) = decision_step else {
+        return verdict;
+    };
+
+    // Correctness, broadcast half: every q ≠ initiator saw receive-brd with
+    // the requested data inside (start, decision].
+    verdict.broadcasts_received = (0..n)
+        .filter(|&i| i != initiator.index())
+        .all(|i| {
+            trace
+                .protocol_events_of(ProcessId::new(i))
+                .filter(|(s, _)| *s > start && *s <= decision)
+                .any(|(_, e)| {
+                    matches!(
+                        as_pif(e),
+                        Some(PifEvent::ReceiveBrd { from, data })
+                            if *from == initiator && data == expected_b
+                    )
+                })
+        });
+
+    // Correctness, feedback half + Decision exactness: receive-fck events
+    // at the initiator inside (start, decision].
+    let fcks: Vec<(ProcessId, F)> = trace
+        .protocol_events_of(initiator)
+        .filter(|(s, _)| *s > start && *s <= decision)
+        .filter_map(|(_, e)| match as_pif(e) {
+            Some(PifEvent::ReceiveFck { from, data }) => Some((*from, data.clone())),
+            _ => None,
+        })
+        .collect();
+
+    verdict.feedbacks_received = (0..n)
+        .filter(|&i| i != initiator.index())
+        .all(|i| {
+            let q = ProcessId::new(i);
+            let want = expected_f(q);
+            fcks.iter().any(|(from, data)| *from == q && *data == want)
+        });
+
+    let mut froms: Vec<usize> = fcks.iter().map(|(from, _)| from.index()).collect();
+    froms.sort_unstable();
+    froms.dedup();
+    verdict.decision_exact =
+        fcks.len() == n - 1 && froms.len() == n - 1 && verdict.feedbacks_received;
+
+    verdict
+}
+
+/// Convenience wrapper of [`check_pif_wave`] for traces of the standalone
+/// PIF process (event type = [`PifEvent`]).
+pub fn check_bare_pif_wave<B, F>(
+    trace: &Trace<PifMsg<B, F>, PifEvent<B, F>>,
+    initiator: ProcessId,
+    n: usize,
+    request_step: u64,
+    expected_b: &B,
+    expected_f: impl FnMut(ProcessId) -> F,
+) -> PifVerdict
+where
+    B: Clone + std::fmt::Debug + PartialEq + 'static,
+    F: Clone + std::fmt::Debug + PartialEq + 'static,
+{
+    check_pif_wave(trace, initiator, n, request_step, expected_b, expected_f, |e| Some(e))
+}
+
+/// Verdict of the Specification 2 (IDs-Learning-Execution) checker.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IdlVerdict {
+    /// Start: the computation started after the request.
+    pub started: bool,
+    /// Termination: the computation decided.
+    pub decided: bool,
+    /// Correctness: `minID` equals the true minimum at the decision.
+    pub min_id_correct: bool,
+    /// Correctness: `ID-Tab[q]` equals `ID_q` for every neighbor.
+    pub id_tab_correct: bool,
+}
+
+impl IdlVerdict {
+    /// True if every property of Specification 2 holds.
+    pub fn holds(&self) -> bool {
+        self.started && self.decided && self.min_id_correct && self.id_tab_correct
+    }
+}
+
+/// Checks Specification 2 against the learner's final [`IdlCore`] state:
+/// `true_ids[i]` must be the identity of process `i`.
+pub fn check_idl_result(
+    core: &IdlCore,
+    me: ProcessId,
+    true_ids: &[crate::idl::Id],
+    started: bool,
+    decided: bool,
+) -> IdlVerdict {
+    let true_min = *true_ids.iter().min().expect("non-empty system");
+    IdlVerdict {
+        started,
+        decided,
+        min_id_correct: core.min_id() == true_min,
+        id_tab_correct: (0..true_ids.len())
+            .filter(|&i| i != me.index())
+            .all(|i| core.id_of(ProcessId::new(i)) == true_ids[i]),
+    }
+}
+
+/// One critical-section execution interval extracted from a trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CsInterval {
+    /// The executing process.
+    pub p: ProcessId,
+    /// Step of `CsEnter`.
+    pub enter: u64,
+    /// Step of `CsExit` (equal to `enter` for the paper's atomic CS).
+    pub exit: u64,
+    /// True if this CS execution served a *genuine* external request: a
+    /// `request` marker, then A0's `Started`, with no `Served` in between.
+    /// Footnote 1 of the paper: only genuine executions carry guarantees.
+    pub genuine: bool,
+}
+
+impl CsInterval {
+    /// Closed-interval overlap test.
+    pub fn overlaps(&self, other: &CsInterval) -> bool {
+        self.enter.max(other.enter) <= self.exit.min(other.exit)
+    }
+}
+
+/// Report of the Specification 3 (ME-Execution) analysis of a trace.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct MeReport {
+    /// Every CS interval, chronological by entry.
+    pub intervals: Vec<CsInterval>,
+    /// Pairs of *genuine* intervals that overlap — Correctness violations
+    /// (must be empty for a snap-stabilizing protocol).
+    pub genuine_overlaps: Vec<(CsInterval, CsInterval)>,
+    /// Overlapping pairs involving at least one non-genuine interval —
+    /// allowed by the specification (footnote 1), reported for visibility.
+    pub spurious_overlaps: Vec<(CsInterval, CsInterval)>,
+    /// `(process, request step, service step)` for every served request.
+    pub served: Vec<(ProcessId, u64, u64)>,
+    /// `(process, request step)` of requests not served within the trace —
+    /// Start violations if the run budget was generous.
+    pub unserved: Vec<(ProcessId, u64)>,
+}
+
+impl MeReport {
+    /// True if no two genuine CS executions overlapped.
+    pub fn exclusivity_holds(&self) -> bool {
+        self.genuine_overlaps.is_empty()
+    }
+
+    /// True if every observed request was served.
+    pub fn all_served(&self) -> bool {
+        self.unserved.is_empty()
+    }
+
+    /// Service latencies in steps.
+    pub fn latencies(&self) -> Vec<u64> {
+        self.served.iter().map(|(_, req, srv)| srv - req).collect()
+    }
+}
+
+/// Analyzes a mutual-exclusion trace for Specification 3: extracts CS
+/// intervals, classifies them genuine/spurious, finds overlaps and service
+/// latencies. Requests are recognized by `request` markers
+/// ([`snapstab_sim::Runner::mark`] with label `"request"`).
+pub fn analyze_me_trace<M: Message>(trace: &Trace<M, MeEvent>, n: usize) -> MeReport {
+    let mut report = MeReport::default();
+
+    for i in 0..n {
+        let p = ProcessId::new(i);
+        // Merge markers and protocol events for this process, by step (the
+        // trace is chronological; markers and events interleave correctly
+        // because both are pushed in order).
+        #[derive(Debug)]
+        enum Obs {
+            Request(u64),
+            Started,
+            CsEnter(u64),
+            CsExit(u64),
+            Served(u64),
+        }
+        let mut obs: Vec<(u64, Obs)> = Vec::new();
+        for (step, q, label) in trace.markers() {
+            if q == p && label == "request" {
+                obs.push((step, Obs::Request(step)));
+            }
+        }
+        for (step, e) in trace.protocol_events_of(p) {
+            match e {
+                MeEvent::Started => obs.push((step, Obs::Started)),
+                MeEvent::CsEnter => obs.push((step, Obs::CsEnter(step))),
+                MeEvent::CsExit => obs.push((step, Obs::CsExit(step))),
+                MeEvent::Served => obs.push((step, Obs::Served(step))),
+                MeEvent::Pif(_) => {}
+            }
+        }
+        obs.sort_by_key(|(step, o)| {
+            // Markers sort before events at the same step: a request marker
+            // recorded "between steps" precedes the next step's events.
+            (*step, !matches!(o, Obs::Request(_)) as u8)
+        });
+
+        let mut pending_request: Option<u64> = None;
+        let mut started_genuine = false;
+        let mut open_enter: Option<(u64, bool)> = None;
+        for (_, o) in obs {
+            match o {
+                Obs::Request(step) => {
+                    pending_request = Some(step);
+                    started_genuine = false;
+                }
+                Obs::Started => {
+                    if pending_request.is_some() {
+                        started_genuine = true;
+                    }
+                }
+                Obs::CsEnter(step) => {
+                    open_enter = Some((step, started_genuine));
+                }
+                Obs::CsExit(step) => {
+                    if let Some((enter, genuine)) = open_enter.take() {
+                        report.intervals.push(CsInterval { p, enter, exit: step, genuine });
+                    }
+                }
+                Obs::Served(step) => {
+                    if let Some(req) = pending_request.take() {
+                        report.served.push((p, req, step));
+                    }
+                    started_genuine = false;
+                }
+            }
+        }
+        // Trace ended mid-CS: close the interval at its entry step.
+        if let Some((enter, genuine)) = open_enter {
+            report.intervals.push(CsInterval { p, enter, exit: enter, genuine });
+        }
+        if let Some(req) = pending_request {
+            report.unserved.push((p, req));
+        }
+    }
+
+    report.intervals.sort_by_key(|iv| iv.enter);
+    for i in 0..report.intervals.len() {
+        for j in i + 1..report.intervals.len() {
+            let (a, b) = (report.intervals[i], report.intervals[j]);
+            if a.p != b.p && a.overlaps(&b) {
+                if a.genuine && b.genuine {
+                    report.genuine_overlaps.push((a, b));
+                } else {
+                    report.spurious_overlaps.push((a, b));
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Property 1: after a complete PIF from `p`, no initial-configuration
+/// message survives in the channels from and to `p`. `is_junk` identifies
+/// the pre-loaded messages (tests use sentinel payloads).
+pub fn channels_flushed<M: Message>(
+    network: &Network<M>,
+    p: ProcessId,
+    mut is_junk: impl FnMut(&M) -> bool,
+) -> bool {
+    for i in 0..network.n() {
+        if i == p.index() {
+            continue;
+        }
+        let q = ProcessId::new(i);
+        for (a, b) in [(p, q), (q, p)] {
+            let ch = network.channel(a, b).expect("valid link");
+            if ch.iter().any(&mut is_junk) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapstab_sim::TraceEvent;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    type PTrace = Trace<PifMsg<u32, u32>, PifEvent<u32, u32>>;
+
+    /// Hand-builds the trace of a perfect 2-process wave and checks the
+    /// verdict.
+    #[test]
+    fn pif_verdict_happy_path() {
+        let mut t = PTrace::new();
+        t.push_marker(0, p(0), "request");
+        t.push(1, TraceEvent::Protocol { p: p(0), event: PifEvent::Started });
+        t.push(
+            5,
+            TraceEvent::Protocol {
+                p: p(1),
+                event: PifEvent::ReceiveBrd { from: p(0), data: 7 },
+            },
+        );
+        t.push(
+            6,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: PifEvent::ReceiveFck { from: p(1), data: 101 },
+            },
+        );
+        t.push(7, TraceEvent::Protocol { p: p(0), event: PifEvent::Decided });
+        let v = check_bare_pif_wave(&t, p(0), 2, 0, &7, |_| 101);
+        assert!(v.holds(), "{v:?}");
+        assert_eq!(v.wave_steps(), Some(6));
+    }
+
+    #[test]
+    fn pif_verdict_detects_missing_broadcast() {
+        let mut t = PTrace::new();
+        t.push(1, TraceEvent::Protocol { p: p(0), event: PifEvent::Started });
+        t.push(
+            6,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: PifEvent::ReceiveFck { from: p(1), data: 101 },
+            },
+        );
+        t.push(7, TraceEvent::Protocol { p: p(0), event: PifEvent::Decided });
+        let v = check_bare_pif_wave(&t, p(0), 2, 0, &7, |_| 101);
+        assert!(!v.broadcasts_received);
+        assert!(!v.holds());
+    }
+
+    #[test]
+    fn pif_verdict_detects_wrong_feedback_data() {
+        let mut t = PTrace::new();
+        t.push(1, TraceEvent::Protocol { p: p(0), event: PifEvent::Started });
+        t.push(
+            2,
+            TraceEvent::Protocol {
+                p: p(1),
+                event: PifEvent::ReceiveBrd { from: p(0), data: 7 },
+            },
+        );
+        t.push(
+            3,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: PifEvent::ReceiveFck { from: p(1), data: 666 },
+            },
+        );
+        t.push(4, TraceEvent::Protocol { p: p(0), event: PifEvent::Decided });
+        let v = check_bare_pif_wave(&t, p(0), 2, 0, &7, |_| 101);
+        assert!(!v.feedbacks_received);
+        assert!(!v.decision_exact);
+    }
+
+    #[test]
+    fn pif_verdict_detects_duplicate_feedbacks() {
+        let mut t = PTrace::new();
+        t.push(1, TraceEvent::Protocol { p: p(0), event: PifEvent::Started });
+        for q in [1usize, 2] {
+            t.push(
+                2 + q as u64,
+                TraceEvent::Protocol {
+                    p: p(q),
+                    event: PifEvent::ReceiveBrd { from: p(0), data: 7 },
+                },
+            );
+        }
+        for (s, from) in [(5, 1usize), (6, 2), (7, 1)] {
+            t.push(
+                s,
+                TraceEvent::Protocol {
+                    p: p(0),
+                    event: PifEvent::ReceiveFck { from: p(from), data: 101 },
+                },
+            );
+        }
+        t.push(9, TraceEvent::Protocol { p: p(0), event: PifEvent::Decided });
+        let v = check_bare_pif_wave(&t, p(0), 3, 0, &7, |_| 101);
+        assert!(v.feedbacks_received);
+        assert!(!v.decision_exact, "three fck events for two neighbors");
+    }
+
+    #[test]
+    fn pif_verdict_unstarted() {
+        let t = PTrace::new();
+        let v = check_bare_pif_wave(&t, p(0), 2, 0, &7, |_| 101);
+        assert!(!v.started && !v.holds());
+    }
+
+    #[test]
+    fn idl_verdict_checks_values() {
+        let mut core = IdlCore::new(p(0), 3, 30);
+        core.on_feedback_id(p(1), 10);
+        core.on_feedback_id(p(2), 20);
+        let v = check_idl_result(&core, p(0), &[30, 10, 20], true, true);
+        assert!(v.holds());
+        let v = check_idl_result(&core, p(0), &[30, 11, 20], true, true);
+        assert!(!v.id_tab_correct);
+        let mut wrong = IdlCore::new(p(0), 3, 30);
+        wrong.on_feedback_id(p(1), 10);
+        wrong.on_feedback_id(p(2), 20);
+        let v = check_idl_result(&wrong, p(0), &[30, 10, 5], true, true);
+        assert!(!v.min_id_correct);
+    }
+
+    #[test]
+    fn cs_interval_overlap_geometry() {
+        let a = CsInterval { p: p(0), enter: 5, exit: 9, genuine: true };
+        let b = CsInterval { p: p(1), enter: 9, exit: 12, genuine: true };
+        let c = CsInterval { p: p(2), enter: 10, exit: 10, genuine: true };
+        assert!(a.overlaps(&b), "shared endpoint counts");
+        assert!(!a.overlaps(&c));
+        assert!(b.overlaps(&c));
+    }
+
+    type MTrace = Trace<crate::me::MeMsg, MeEvent>;
+
+    #[test]
+    fn me_report_classifies_genuine_and_spurious() {
+        let mut t = MTrace::new();
+        // P0: genuine request -> started -> CS [10, 12] -> served.
+        t.push_marker(1, p(0), "request");
+        t.push(2, TraceEvent::Protocol { p: p(0), event: MeEvent::Started });
+        t.push(10, TraceEvent::Protocol { p: p(0), event: MeEvent::CsEnter });
+        t.push(12, TraceEvent::Protocol { p: p(0), event: MeEvent::CsExit });
+        t.push(12, TraceEvent::Protocol { p: p(0), event: MeEvent::Served });
+        // P1: spurious CS (no request, corrupted Request=In) at [11, 11].
+        t.push(11, TraceEvent::Protocol { p: p(1), event: MeEvent::CsEnter });
+        t.push(11, TraceEvent::Protocol { p: p(1), event: MeEvent::CsExit });
+        let r = analyze_me_trace(&t, 3);
+        assert_eq!(r.intervals.len(), 2);
+        assert!(r.exclusivity_holds(), "spurious overlap is not a violation");
+        assert_eq!(r.spurious_overlaps.len(), 1);
+        assert_eq!(r.served, vec![(p(0), 1, 12)]);
+        assert!(r.all_served());
+        assert_eq!(r.latencies(), vec![11]);
+    }
+
+    #[test]
+    fn me_report_flags_genuine_overlap() {
+        let mut t = MTrace::new();
+        for (i, enter, exit) in [(0usize, 10u64, 14u64), (1, 12, 13)] {
+            t.push_marker(1, p(i), "request");
+            t.push(2, TraceEvent::Protocol { p: p(i), event: MeEvent::Started });
+            t.push(enter, TraceEvent::Protocol { p: p(i), event: MeEvent::CsEnter });
+            t.push(exit, TraceEvent::Protocol { p: p(i), event: MeEvent::CsExit });
+            t.push(exit, TraceEvent::Protocol { p: p(i), event: MeEvent::Served });
+        }
+        let r = analyze_me_trace(&t, 2);
+        assert_eq!(r.genuine_overlaps.len(), 1);
+        assert!(!r.exclusivity_holds());
+    }
+
+    #[test]
+    fn me_report_tracks_unserved() {
+        let mut t = MTrace::new();
+        t.push_marker(3, p(1), "request");
+        let r = analyze_me_trace(&t, 2);
+        assert_eq!(r.unserved, vec![(p(1), 3)]);
+        assert!(!r.all_served());
+    }
+
+    #[test]
+    fn me_report_closes_interval_at_trace_end() {
+        let mut t = MTrace::new();
+        t.push(4, TraceEvent::Protocol { p: p(0), event: MeEvent::CsEnter });
+        let r = analyze_me_trace(&t, 1);
+        assert_eq!(r.intervals.len(), 1);
+        assert_eq!(r.intervals[0].exit, 4);
+        assert!(!r.intervals[0].genuine);
+    }
+
+    #[test]
+    fn flush_checker_sees_junk() {
+        use snapstab_sim::{Capacity, NetworkBuilder};
+        let mut net: Network<u32> =
+            NetworkBuilder::new(3).capacity(Capacity::Bounded(1)).build();
+        assert!(channels_flushed(&net, p(0), |m| *m == 666));
+        net.channel_mut(p(1), p(0)).unwrap().preload([666]);
+        assert!(!channels_flushed(&net, p(0), |m| *m == 666));
+        // Junk on a link not incident to p is invisible to p's property.
+        net.channel_mut(p(1), p(0)).unwrap().clear();
+        net.channel_mut(p(1), p(2)).unwrap().preload([666]);
+        assert!(channels_flushed(&net, p(0), |m| *m == 666));
+    }
+}

@@ -1,0 +1,231 @@
+//! Assembling the adversarial initial configuration `γ₀` (Theorem 1).
+//!
+//! Per the proof: pick, for each process `r`, a witness window `W(r)` (the
+//! protagonists of the bad factor use their own; everyone else shares a
+//! base witness). Then
+//!
+//! * `φ_r(γ₀) = W(r).states[r]` — process states from the witnesses;
+//! * the channel `x → r` initially holds exactly `W(r).MesSeq_r^x` — every
+//!   message `r` will ever need is already in flight, "sent by nobody".
+//!
+//! The paper's parenthetical is the crux: *"Assuming channels with a
+//! bounded capacity `c`, no configuration satisfies Point (2) if there are
+//! two distinct processes `p`, `q` such that `|MesSeq_p^q| > c`."*
+//! [`AdversarialConstruction::feasibility`] computes exactly this.
+
+use std::collections::HashMap;
+
+use snapstab_sim::{Capacity, ProcessId, Protocol, Runner, Scheduler, SimError};
+
+use crate::witness::{LocalMove, WitnessWindow};
+
+/// Whether `γ₀` exists under a given channel-capacity regime.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Feasibility {
+    /// The configuration exists (all pre-loads fit).
+    Feasible,
+    /// The configuration does not exist: some channel would need to hold
+    /// more messages than the capacity bound allows.
+    Infeasible {
+        /// The offending links: `(from, to, required)` with `required > c`.
+        violations: Vec<(ProcessId, ProcessId, usize)>,
+        /// The capacity bound.
+        bound: usize,
+    },
+}
+
+impl Feasibility {
+    /// True if the configuration exists.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, Feasibility::Feasible)
+    }
+}
+
+/// The adversarial initial configuration plus the per-process replay
+/// schedules extracted from the witnesses.
+#[derive(Clone, Debug)]
+pub struct AdversarialConstruction<P: Protocol> {
+    /// Number of processes.
+    pub n: usize,
+    /// `φ_r(γ₀)` for every process.
+    pub initial_states: Vec<P::State>,
+    /// Initial channel contents: `(from, to) → messages` (head first).
+    pub channel_preload: HashMap<(ProcessId, ProcessId), Vec<P::Msg>>,
+    /// Per-process move sequences to replay.
+    pub schedules: Vec<Vec<LocalMove>>,
+}
+
+impl<P: Protocol> AdversarialConstruction<P> {
+    /// Composes the construction: `windows[r]` is the witness window chosen
+    /// for process `r` (protagonists get their own witness, everyone else a
+    /// shared base witness — the caller decides).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the windows disagree on the system size.
+    pub fn compose(windows: &[&WitnessWindow<P>]) -> Self {
+        let n = windows.len();
+        assert!(n >= 2, "need at least two processes");
+        for w in windows {
+            assert_eq!(w.n, n, "witness windows disagree on system size");
+        }
+        let initial_states: Vec<P::State> = windows
+            .iter()
+            .enumerate()
+            .map(|(r, w)| w.states[r].clone())
+            .collect();
+        let mut channel_preload: HashMap<(ProcessId, ProcessId), Vec<P::Msg>> = HashMap::new();
+        for (r, w) in windows.iter().enumerate() {
+            let to = ProcessId::new(r);
+            for from_idx in 0..n {
+                if from_idx == r {
+                    continue;
+                }
+                let from = ProcessId::new(from_idx);
+                let seq = w.mes_seq_for(from, to);
+                if !seq.is_empty() {
+                    channel_preload.insert((from, to), seq.to_vec());
+                }
+            }
+        }
+        let schedules: Vec<Vec<LocalMove>> = windows
+            .iter()
+            .enumerate()
+            .map(|(r, w)| w.local_moves[r].clone())
+            .collect();
+        AdversarialConstruction { n, initial_states, channel_preload, schedules }
+    }
+
+    /// The largest pre-load any single channel needs.
+    pub fn max_channel_load(&self) -> usize {
+        self.channel_preload.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total pre-loaded messages.
+    pub fn total_preloaded(&self) -> usize {
+        self.channel_preload.values().map(Vec::len).sum()
+    }
+
+    /// Does `γ₀` exist under `capacity`? (The paper's Point (2) check.)
+    pub fn feasibility(&self, capacity: Capacity) -> Feasibility {
+        match capacity {
+            Capacity::Unbounded => Feasibility::Feasible,
+            Capacity::Bounded(c) => {
+                let violations: Vec<(ProcessId, ProcessId, usize)> = self
+                    .channel_preload
+                    .iter()
+                    .filter(|(_, msgs)| msgs.len() > c)
+                    .map(|(&(from, to), msgs)| (from, to, msgs.len()))
+                    .collect();
+                if violations.is_empty() {
+                    Feasibility::Feasible
+                } else {
+                    Feasibility::Infeasible { violations, bound: c }
+                }
+            }
+        }
+    }
+
+    /// Installs `γ₀` into a runner: restores every process state and
+    /// pre-loads every channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CapacityExceeded`] if the runner's network
+    /// capacity cannot hold the construction (the Theorem 1 dichotomy) —
+    /// nothing is modified in that case.
+    pub fn install<S: Scheduler>(&self, runner: &mut Runner<P, S>) -> Result<(), SimError> {
+        assert_eq!(runner.n(), self.n, "runner size mismatch");
+        if let Feasibility::Infeasible { violations, bound } =
+            self.feasibility(runner.network().capacity())
+        {
+            let (from, to, required) = violations[0];
+            return Err(SimError::CapacityExceeded { from, to, required, bound });
+        }
+        for (r, state) in self.initial_states.iter().enumerate() {
+            runner.process_mut(ProcessId::new(r)).restore(state.clone());
+        }
+        for (&(from, to), msgs) in &self.channel_preload {
+            let ch = runner.network_mut().channel_mut(from, to).expect("valid link");
+            ch.clear();
+            ch.preload(msgs.iter().cloned());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::witness::record_window;
+    use snapstab_core::harness;
+    use snapstab_core::idl::IdlProcess;
+    use snapstab_core::request::RequestState;
+    use snapstab_sim::{NetworkBuilder, RoundRobin};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn idl_witness(initiator: usize) -> WitnessWindow<IdlProcess> {
+        let mut r = harness::pif_system(3, |i| IdlProcess::new(p(i), 3, 10 + i as u64), 7);
+        r.process_mut(p(initiator)).request_learning();
+        record_window(
+            &mut r,
+            |r| r.process(p(initiator)).request() == RequestState::Wait,
+            |r| r.process(p(initiator)).request() == RequestState::Done,
+            1_000_000,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn compose_and_feasibility_dichotomy() {
+        let w0 = idl_witness(0);
+        let w1 = idl_witness(1);
+        // P0 and P1 replay their own winning windows; P2 follows P0's world.
+        let c = AdversarialConstruction::compose(&[&w0, &w1, &w0]);
+        assert_eq!(c.n, 3);
+        assert!(c.max_channel_load() >= 4, "a wave needs ≥4 echoes per channel");
+        assert!(c.feasibility(Capacity::Unbounded).is_feasible());
+        match c.feasibility(Capacity::Bounded(1)) {
+            Feasibility::Infeasible { violations, bound } => {
+                assert_eq!(bound, 1);
+                assert!(!violations.is_empty());
+                assert!(violations.iter().all(|&(_, _, req)| req > 1));
+            }
+            Feasibility::Feasible => panic!("must be infeasible at capacity 1"),
+        }
+        // A bound at least as large as the max load is feasible.
+        assert!(c.feasibility(Capacity::Bounded(c.max_channel_load())).is_feasible());
+    }
+
+    #[test]
+    fn install_rejects_bounded_runner() {
+        let w0 = idl_witness(0);
+        let w1 = idl_witness(1);
+        let c = AdversarialConstruction::compose(&[&w0, &w1, &w0]);
+        let processes = (0..3).map(|i| IdlProcess::new(p(i), 3, 10 + i as u64)).collect();
+        let network = NetworkBuilder::new(3).capacity(Capacity::Bounded(1)).build();
+        let mut runner = Runner::new(processes, network, RoundRobin::new(), 0);
+        let err = c.install(&mut runner).unwrap_err();
+        assert!(matches!(err, SimError::CapacityExceeded { .. }));
+        // Nothing was pre-loaded.
+        assert!(runner.network().is_quiescent());
+    }
+
+    #[test]
+    fn install_succeeds_unbounded() {
+        let w0 = idl_witness(0);
+        let w1 = idl_witness(1);
+        let c = AdversarialConstruction::compose(&[&w0, &w1, &w0]);
+        let processes = (0..3).map(|i| IdlProcess::new(p(i), 3, 10 + i as u64)).collect();
+        let network = NetworkBuilder::new(3).capacity(Capacity::Unbounded).build();
+        let mut runner = Runner::new(processes, network, RoundRobin::new(), 0);
+        c.install(&mut runner).unwrap();
+        assert_eq!(runner.network().messages_in_flight(), c.total_preloaded());
+        // States restored: the protagonists' requests are pending again.
+        assert_eq!(runner.process(p(0)).request(), RequestState::Wait);
+        assert_eq!(runner.process(p(1)).request(), RequestState::Wait);
+    }
+}

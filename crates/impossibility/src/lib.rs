@@ -1,0 +1,42 @@
+//! # snapstab-impossibility — Theorem 1, executably
+//!
+//! The paper's impossibility result (§3):
+//!
+//! > **Theorem 1.** There exists no safety-distributed specification that
+//! > admits a snap-stabilizing solution in message-passing systems with
+//! > unbounded capacity channels.
+//!
+//! The proof is constructive, and this crate executes it:
+//!
+//! 1. [`witness`] records, from legal executions, each process's *state
+//!    projection* at a window start and the ordered sequences of messages
+//!    `MesSeq_p^q` it received during the window (Definitions 2–4).
+//! 2. [`construction`] assembles the adversarial initial configuration
+//!    `γ₀`: restore the recorded states and pre-load every channel with the
+//!    recorded message sequences. With `Capacity::Unbounded` this always
+//!    succeeds; with `Capacity::Bounded(c)` it **fails to exist** as soon as
+//!    some `|MesSeq| > c` — exactly the observation that lets §4 circumvent
+//!    the impossibility.
+//! 3. [`replay`] re-executes each process's recorded move sequence. The
+//!    processes are deterministic and every input they need is already in
+//!    the channels, so each one locally re-lives its witness execution —
+//!    and the interleaving is chosen so the *bad factor* appears: for
+//!    mutual exclusion, two requesting processes simultaneously inside the
+//!    critical section.
+//! 4. [`me_demo`] packages the full demonstration against the paper's own
+//!    mutual-exclusion protocol (Algorithm 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod construction;
+pub mod me_demo;
+pub mod replay;
+pub mod safety;
+pub mod witness;
+
+pub use construction::{AdversarialConstruction, Feasibility};
+pub use me_demo::{DemoOutcome, DoubleWinDemo};
+pub use replay::{replay_construction, ReplayReport};
+pub use safety::{BadFactor, MutualExclusionBad};
+pub use witness::{record_window, LocalMove, WitnessWindow};

@@ -1,0 +1,243 @@
+//! The end-to-end Theorem 1 demonstration against Algorithm 3.
+//!
+//! Mutual exclusion is safety-distributed (the paper's own example), so by
+//! Theorem 1 *no* protocol — including the paper's own Algorithm 3 — can
+//! snap-stabilize it over unbounded-capacity channels. This module builds
+//! the explicit counterexample:
+//!
+//! 1. Record witness execution `E_a`: a clean run in which process `a`
+//!    requests and is served (every message `a` and the bystanders receive
+//!    is logged).
+//! 2. Record witness execution `E_b`: likewise for process `b`.
+//! 3. Compose `γ₀`: `a` starts in its `E_a` state, `b` in its `E_b` state,
+//!    bystanders in their `E_a` states; the channel into each process is
+//!    pre-loaded with exactly the messages that process received in its
+//!    chosen witness — *messages that nobody ever sent in this execution*.
+//! 4. Replay: both `a` and `b` deterministically re-live their winning
+//!    runs and end up inside the critical section **simultaneously**, both
+//!    as genuine requesters — the bad factor.
+//!
+//! Against bounded capacity the very same construction is infeasible
+//! (`|MesSeq| > c`), which is why §4's protocols escape the theorem.
+
+use snapstab_core::me::{MeConfig, MeProcess, ValueMode};
+use snapstab_core::request::RequestState;
+use snapstab_core::spec::{analyze_me_trace, MeReport};
+use snapstab_sim::{Capacity, NetworkBuilder, ProcessId, RoundRobin, Runner, SimError};
+
+use crate::construction::{AdversarialConstruction, Feasibility};
+use crate::replay::{replay_for_cs_overlap, ReplayReport};
+use crate::safety::MutualExclusionBad;
+use crate::witness::{record_window, WitnessWindow};
+
+/// Configuration of the double-win demonstration.
+#[derive(Clone, Copy, Debug)]
+pub struct DoubleWinDemo {
+    /// System size (≥ 3: a leader plus two protagonists).
+    pub n: usize,
+    /// First protagonist (must not be the leader, process 0).
+    pub a: ProcessId,
+    /// Second protagonist (distinct from `a`, not the leader).
+    pub b: ProcessId,
+    /// Critical-section duration in activations (must be ≥ 1 so the CS
+    /// occupancies can overlap in an interleaving semantics).
+    pub cs_duration: u64,
+    /// Seed for the witness executions.
+    pub seed: u64,
+    /// Step budget for each witness recording.
+    pub max_steps: u64,
+}
+
+impl Default for DoubleWinDemo {
+    fn default() -> Self {
+        DoubleWinDemo {
+            n: 3,
+            a: ProcessId::new(1),
+            b: ProcessId::new(2),
+            cs_duration: 8,
+            seed: 0xD0,
+            max_steps: 2_000_000,
+        }
+    }
+}
+
+/// Everything the demonstration produced.
+#[derive(Clone, Debug)]
+pub struct DemoOutcome {
+    /// Longest per-channel pre-load the construction requires — the
+    /// capacity bound below which `γ₀` stops existing.
+    pub max_channel_load: usize,
+    /// Total pre-loaded ("sent by nobody") messages in `γ₀`.
+    pub total_preloaded: usize,
+    /// Feasibility verdicts over the probed capacities, `(capacity,
+    /// feasible)` with `None` meaning unbounded.
+    pub feasibility: Vec<(Option<usize>, bool)>,
+    /// The replay report (unbounded channels).
+    pub replay: ReplayReport,
+    /// Trace analysis of the replay: `genuine_overlaps` is non-empty iff
+    /// two genuine requesters overlapped in the CS.
+    pub report: MeReport,
+}
+
+impl DemoOutcome {
+    /// True if the demonstration exhibited the safety violation: two
+    /// genuine requesters simultaneously in the critical section.
+    pub fn violation_exhibited(&self) -> bool {
+        self.replay.violated() && !self.report.exclusivity_holds()
+    }
+}
+
+impl DoubleWinDemo {
+    fn ids(&self) -> Vec<u64> {
+        // Process 0 has the smallest id: it is the leader.
+        (0..self.n).map(|i| 100 + i as u64).collect()
+    }
+
+    fn config(&self) -> MeConfig {
+        MeConfig { cs_duration: self.cs_duration, value_mode: ValueMode::Corrected, ..MeConfig::default() }
+    }
+
+    fn clean_runner(&self, capacity: Capacity) -> Runner<MeProcess, RoundRobin> {
+        let ids = self.ids();
+        let config = self.config();
+        let processes = (0..self.n)
+            .map(|i| MeProcess::with_config(ProcessId::new(i), self.n, ids[i], config))
+            .collect();
+        let network = NetworkBuilder::new(self.n).capacity(capacity).build();
+        Runner::new(processes, network, RoundRobin::new(), self.seed)
+    }
+
+    /// Records the witness execution in which `winner` requests the CS from
+    /// a clean configuration and is served.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::StepBudgetExhausted`] if the witness run does
+    /// not serve the request within the budget.
+    pub fn record_witness(&self, winner: ProcessId) -> Result<WitnessWindow<MeProcess>, SimError> {
+        let mut runner = self.clean_runner(Capacity::Bounded(1));
+        assert!(
+            runner.process_mut(winner).request_cs(),
+            "clean configuration must accept the request"
+        );
+        record_window(
+            &mut runner,
+            |_| true, // the window opens at the request
+            |r| r.process(winner).request() == RequestState::Done,
+            self.max_steps,
+        )
+    }
+
+    /// Runs the full demonstration, probing feasibility at the given
+    /// bounded capacities plus unbounded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates witness-recording and replay errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is malformed (protagonists equal, the
+    /// leader chosen as protagonist, `n < 3`, or `cs_duration == 0`).
+    pub fn run(&self, probe_capacities: &[usize]) -> Result<DemoOutcome, SimError> {
+        assert!(self.n >= 3, "need a leader plus two protagonists");
+        assert_ne!(self.a, self.b, "protagonists must differ");
+        assert_ne!(self.a.index(), 0, "the leader cannot be a protagonist");
+        assert_ne!(self.b.index(), 0, "the leader cannot be a protagonist");
+        assert!(self.cs_duration >= 1, "overlap needs a non-atomic CS (D1)");
+
+        let wa = self.record_witness(self.a)?;
+        let wb = self.record_witness(self.b)?;
+
+        // Protagonists replay their own wins; bystanders follow E_a.
+        let windows: Vec<&WitnessWindow<MeProcess>> = (0..self.n)
+            .map(|r| {
+                if r == self.b.index() {
+                    &wb
+                } else {
+                    &wa
+                }
+            })
+            .collect();
+        let construction = AdversarialConstruction::compose(&windows);
+
+        let mut feasibility: Vec<(Option<usize>, bool)> = probe_capacities
+            .iter()
+            .map(|&c| {
+                (Some(c), construction.feasibility(Capacity::Bounded(c)).is_feasible())
+            })
+            .collect();
+        feasibility.push((
+            None,
+            matches!(construction.feasibility(Capacity::Unbounded), Feasibility::Feasible),
+        ));
+
+        // Install γ₀ on an unbounded network and replay.
+        let mut runner = self.clean_runner(Capacity::Unbounded);
+        construction.install(&mut runner)?;
+        runner.mark(self.a, "request");
+        runner.mark(self.b, "request");
+        let replay = replay_for_cs_overlap(
+            &mut runner,
+            &construction,
+            &MutualExclusionBad,
+            self.a,
+            self.b,
+        )?;
+        let report = analyze_me_trace(runner.trace(), self.n);
+
+        Ok(DemoOutcome {
+            max_channel_load: construction.max_channel_load(),
+            total_preloaded: construction.total_preloaded(),
+            feasibility,
+            replay,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_win_demo_violates_on_unbounded_and_not_on_bounded() {
+        let demo = DoubleWinDemo::default();
+        let outcome = demo.run(&[1, 2, 4]).expect("demo must run");
+
+        // The construction needs more than one message per channel, so it
+        // is infeasible at the paper's bounded capacities...
+        assert!(outcome.max_channel_load > 1);
+        for (cap, feasible) in &outcome.feasibility {
+            match cap {
+                Some(c) if *c < outcome.max_channel_load => {
+                    assert!(!feasible, "capacity {c} must refuse γ₀")
+                }
+                Some(_) => {}
+                None => assert!(feasible, "unbounded must accept γ₀"),
+            }
+        }
+
+        // ...and on unbounded channels the replay exhibits two genuine
+        // requesters in the CS simultaneously.
+        assert!(outcome.replay.violated(), "bad factor must be reached");
+        assert!(
+            !outcome.report.exclusivity_holds(),
+            "genuine CS overlap must be visible in the trace: {:?}",
+            outcome.report.genuine_overlaps.len()
+        );
+        assert!(outcome.violation_exhibited());
+    }
+
+    #[test]
+    fn witness_serves_the_requester() {
+        let demo = DoubleWinDemo::default();
+        let w = demo.record_witness(demo.a).unwrap();
+        assert!(w.total_messages() > 0);
+        assert!(w.max_mes_seq_len() > 1, "a win needs several messages per channel");
+        // The protagonist's schedule contains deliveries from the leader.
+        assert!(w.local_moves[demo.a.index()]
+            .iter()
+            .any(|m| matches!(m, crate::witness::LocalMove::DeliverFrom(q) if q.index() == 0)));
+    }
+}

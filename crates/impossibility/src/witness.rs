@@ -1,0 +1,195 @@
+//! Witness-execution recording (Definitions 2–4 of the paper).
+//!
+//! Given a legal execution `e_p` that can be split `e_p = e⁰_p e¹_p e²_p`,
+//! the Theorem 1 construction needs, for the factor `e¹_p`:
+//!
+//! * every process's **state projection** `φ_r(γ)` at the factor's first
+//!   configuration, and
+//! * for every ordered pair `(q, r)`, the sequence `MesSeq_r^q` of messages
+//!   `r` received from `q` during the factor, and
+//! * each process's local **move sequence** (its own activations and the
+//!   deliveries it consumed, in order) — enough to re-drive a deterministic
+//!   process through the factor.
+//!
+//! [`record_window`] captures all three from a live [`Runner`].
+
+use std::collections::HashMap;
+
+use snapstab_sim::{Move, ProcessId, Protocol, Runner, Scheduler, SimError, TraceEvent};
+
+/// One step of a single process's local schedule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LocalMove {
+    /// The process executed its enabled internal actions.
+    Activate,
+    /// The process consumed the head message of the channel from `0`.
+    DeliverFrom(ProcessId),
+}
+
+/// Everything Theorem 1 needs about one execution factor.
+#[derive(Clone, Debug)]
+pub struct WitnessWindow<P: Protocol> {
+    /// Number of processes.
+    pub n: usize,
+    /// `φ_r` of the factor's first configuration, for every `r`.
+    pub states: Vec<P::State>,
+    /// `MesSeq_to^from`: messages `to` received from `from` during the
+    /// factor, in receipt order.
+    pub mes_seq: HashMap<(ProcessId, ProcessId), Vec<P::Msg>>,
+    /// Per-process local move sequences during the factor.
+    pub local_moves: Vec<Vec<LocalMove>>,
+    /// Global step at which the factor started (diagnostics).
+    pub start_step: u64,
+    /// Global step at which the factor ended (diagnostics).
+    pub end_step: u64,
+}
+
+impl<P: Protocol> WitnessWindow<P> {
+    /// The longest received-message sequence over all ordered pairs — the
+    /// channel capacity the Theorem 1 construction requires.
+    pub fn max_mes_seq_len(&self) -> usize {
+        self.mes_seq.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total messages received across all pairs during the factor.
+    pub fn total_messages(&self) -> usize {
+        self.mes_seq.values().map(Vec::len).sum()
+    }
+
+    /// The received-message sequence for `(from, to)` (empty if none).
+    pub fn mes_seq_for(&self, from: ProcessId, to: ProcessId) -> &[P::Msg] {
+        self.mes_seq
+            .get(&(from, to))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+/// Records a witness window from a live runner: steps the execution until
+/// `start` holds (checked before each step), snapshots every process, then
+/// keeps stepping until `end` holds (checked after each step), collecting
+/// received messages and local moves.
+///
+/// # Errors
+///
+/// Returns [`SimError::StepBudgetExhausted`] if either predicate fails to
+/// hold within `max_steps` total steps, and propagates step errors.
+pub fn record_window<P, S>(
+    runner: &mut Runner<P, S>,
+    mut start: impl FnMut(&Runner<P, S>) -> bool,
+    mut end: impl FnMut(&Runner<P, S>) -> bool,
+    max_steps: u64,
+) -> Result<WitnessWindow<P>, SimError>
+where
+    P: Protocol,
+    S: Scheduler,
+{
+    let n = runner.n();
+    let mut budget = max_steps;
+
+    // Phase 1: reach the window start.
+    while !start(runner) {
+        if budget == 0 {
+            return Err(SimError::StepBudgetExhausted { budget: max_steps });
+        }
+        budget -= 1;
+        if runner.step()?.is_none() {
+            // Quiescent before the window opened: the predicate can no
+            // longer become true by itself.
+            return Err(SimError::StepBudgetExhausted { budget: max_steps });
+        }
+    }
+
+    let start_step = runner.step_count();
+    let states: Vec<P::State> = runner.processes().iter().map(P::snapshot).collect();
+    let mut mes_seq: HashMap<(ProcessId, ProcessId), Vec<P::Msg>> = HashMap::new();
+    let mut local_moves: Vec<Vec<LocalMove>> = vec![Vec::new(); n];
+    let trace_mark = runner.trace().len();
+
+    // Phase 2: record until the window end.
+    while !end(runner) {
+        if budget == 0 {
+            return Err(SimError::StepBudgetExhausted { budget: max_steps });
+        }
+        budget -= 1;
+        let Some(mv) = runner.step()? else {
+            return Err(SimError::StepBudgetExhausted { budget: max_steps });
+        };
+        match mv {
+            Move::Activate(p) => local_moves[p.index()].push(LocalMove::Activate),
+            Move::Deliver { from, to } => {
+                local_moves[to.index()].push(LocalMove::DeliverFrom(from));
+            }
+        }
+    }
+
+    // Collect the delivered messages from the trace suffix (delivery order
+    // per pair is exactly receipt order).
+    for entry in &runner.trace().entries()[trace_mark..] {
+        if let TraceEvent::Delivered { from, to, msg } = &entry.event {
+            mes_seq.entry((*from, *to)).or_default().push(msg.clone());
+        }
+    }
+
+    Ok(WitnessWindow {
+        n,
+        states,
+        mes_seq,
+        local_moves,
+        start_step,
+        end_step: runner.step_count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapstab_core::harness;
+    use snapstab_core::idl::IdlProcess;
+    use snapstab_core::request::RequestState;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn records_idl_wave_window() {
+        let mut r = harness::pif_system(3, |i| IdlProcess::new(p(i), 3, 10 + i as u64), 1);
+        r.process_mut(p(0)).request_learning();
+        let w = record_window(
+            &mut r,
+            |r| r.process(p(0)).request() == RequestState::Wait,
+            |r| r.process(p(0)).request() == RequestState::Done,
+            1_000_000,
+        )
+        .unwrap();
+        assert_eq!(w.n, 3);
+        // During a complete wave, P0 received at least 4 messages from each
+        // neighbor (the four echoes).
+        assert!(w.mes_seq_for(p(1), p(0)).len() >= 4, "{:?}", w.mes_seq_for(p(1), p(0)).len());
+        assert!(w.mes_seq_for(p(2), p(0)).len() >= 4);
+        assert!(w.max_mes_seq_len() >= 4);
+        assert!(w.total_messages() >= 16);
+        // P0 performed both activations and deliveries.
+        assert!(w.local_moves[0].contains(&LocalMove::Activate));
+        assert!(w.local_moves[0].contains(&LocalMove::DeliverFrom(p(1))));
+        assert!(w.end_step > w.start_step);
+        // The snapshot at window start has the request still pending.
+        assert_eq!(w.states[0].0.request, RequestState::Wait);
+    }
+
+    #[test]
+    fn budget_exhaustion_when_start_never_holds() {
+        let mut r = harness::pif_system(2, |i| IdlProcess::new(p(i), 2, i as u64), 0);
+        let err = record_window(&mut r, |_| false, |_| true, 50).unwrap_err();
+        assert!(matches!(err, SimError::StepBudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn empty_window_when_predicates_overlap() {
+        let mut r = harness::pif_system(2, |i| IdlProcess::new(p(i), 2, i as u64), 0);
+        let w = record_window(&mut r, |_| true, |_| true, 50).unwrap();
+        assert_eq!(w.total_messages(), 0);
+        assert_eq!(w.start_step, w.end_step);
+    }
+}

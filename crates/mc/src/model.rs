@@ -1,0 +1,377 @@
+//! The transition relation of the 2-process PIF model.
+//!
+//! Each move mirrors one atomic step of the simulator exactly (the
+//! conformance test `tests/mc_integration.rs` replays random walks against
+//! the real `PifCore` to certify the bisimulation):
+//!
+//! * `ActivateP` / `ActivateQ` — actions A1 + A2 in textual order;
+//! * `DeliverPq` / `DeliverQp` — action A3 for the head message;
+//! * `LosePq` / `LoseQp` — fair-lossy channels: the head message vanishes.
+//!
+//! The ghost provenance bits (never visible to the protocol) flow as
+//! follows: every message `p` sends after its start is `genuine`; a
+//! delivery of a genuine message at `q` makes `NeigState_q[p]`
+//! genuine-derived, and if it fires `receive-brd` it makes `F-Mes_q[p]`
+//! genuine-derived; `q`'s replies carry both bits. A **violation** is a
+//! completion increment at `p` (the `receive-fck` that lets `p` decide)
+//! whose consumed message is not genuine-derived — exactly a breach of
+//! Specification 1's Correctness (stale echo: the "round trip" never
+//! happened) or Decision (stale feedback: the acknowledgment is garbage).
+
+use crate::params::Params;
+use crate::state::{Config, MsgPq, MsgQp, ReqP, ReqQ};
+
+/// One scheduler move of the model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum McMove {
+    /// Activate `p` (actions A1 + A2).
+    ActivateP,
+    /// Activate `q`.
+    ActivateQ,
+    /// Deliver the head of `p → q`.
+    DeliverPq,
+    /// Deliver the head of `q → p`.
+    DeliverQp,
+    /// Lose the head of `p → q` in transit.
+    LosePq,
+    /// Lose the head of `q → p` in transit.
+    LoseQp,
+}
+
+impl McMove {
+    /// All six moves, in a fixed order.
+    pub const ALL: [McMove; 6] = [
+        McMove::ActivateP,
+        McMove::ActivateQ,
+        McMove::DeliverPq,
+        McMove::DeliverQp,
+        McMove::LosePq,
+        McMove::LoseQp,
+    ];
+}
+
+/// A safety violation detected on a transition.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Violation {
+    /// `p`'s completing increment consumed an echo that does not derive
+    /// from any post-start message of `p`: the causal round trip of
+    /// Lemma 4 never happened.
+    StaleEcho,
+    /// `p`'s completing increment consumed a feedback value computed from
+    /// a stale broadcast: the decision counts garbage (breach of
+    /// Specification 1's Decision property).
+    StaleFeedback,
+}
+
+/// Result of applying a move: the successor (if the move was applicable
+/// and changed anything) and any violation it triggered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Step {
+    /// The successor configuration.
+    pub next: Config,
+    /// A violation triggered by this step, if any.
+    pub violation: Option<Violation>,
+}
+
+/// Applies `mv` to `config`. Returns `None` if the move is inapplicable
+/// (empty channel) or a guaranteed no-op (activating a process with no
+/// enabled action), keeping the transition graph free of self-loops.
+pub fn apply(config: &Config, mv: McMove, params: Params) -> Option<Step> {
+    let max = params.max_flag();
+    let bcast = params.bcast_flag();
+    let mut c = *config;
+    let mut violation = None;
+    match mv {
+        McMove::ActivateP => {
+            // A1 never fires here (the wave already started: ReqP has no
+            // Wait state); A2 fires while In.
+            if c.req_p != ReqP::In {
+                return None;
+            }
+            if c.state_p == max {
+                c.req_p = ReqP::Done; // the decision
+            } else {
+                // Retransmit to q (drop-on-full).
+                let msg =
+                    MsgPq { sender: c.state_p, echoed: c.neig_p, genuine: true };
+                let _ = c.pq.push(msg, params.cap);
+            }
+        }
+        McMove::ActivateQ => {
+            // q's A1: Wait → In, reset its flag.
+            let mut acted = false;
+            if c.req_q == ReqQ::Wait {
+                c.req_q = ReqQ::In;
+                c.state_q = 0;
+                acted = true;
+            }
+            // q's A2.
+            if c.req_q == ReqQ::In {
+                if c.state_q == max {
+                    c.req_q = ReqQ::Done;
+                } else {
+                    let msg = MsgQp {
+                        sender: c.state_q,
+                        echoed: c.neig_q,
+                        echo_genuine: c.g_neig_q,
+                        fb_genuine: c.g_fmes_q,
+                    };
+                    let _ = c.qp.push(msg, params.cap);
+                }
+                acted = true;
+            }
+            if !acted {
+                return None;
+            }
+        }
+        McMove::DeliverPq => {
+            let msg = c.pq.pop()?;
+            // q's A3. (1) receive-brd: first sight of p's flag at bcast.
+            if c.neig_q != bcast && msg.sender == bcast {
+                c.g_fmes_q = msg.genuine;
+            }
+            // (2) NeigState update.
+            c.neig_q = msg.sender;
+            c.g_neig_q = msg.genuine;
+            // (3) echo check: q's own wave progresses.
+            if c.state_q == msg.echoed && c.state_q < max {
+                c.state_q += 1;
+            }
+            // (4) reply while p is still waving.
+            if msg.sender < max {
+                let reply = MsgQp {
+                    sender: c.state_q,
+                    echoed: c.neig_q,
+                    echo_genuine: c.g_neig_q,
+                    fb_genuine: c.g_fmes_q,
+                };
+                let _ = c.qp.push(reply, params.cap);
+            }
+        }
+        McMove::DeliverQp => {
+            let msg = c.qp.pop()?;
+            // p's A3. (1) receive-brd at p (no ghost tracked for p's view
+            // of q's wave — q's waves are not under verification).
+            // (2) NeigState update.
+            c.neig_p = msg.sender;
+            // (3) echo check — the verified increment.
+            if c.state_p == msg.echoed && c.state_p < max {
+                c.state_p += 1;
+                if c.state_p == max && c.req_p == ReqP::In {
+                    // The receive-fck that will let p decide: both ghost
+                    // bits must certify genuineness.
+                    if !msg.echo_genuine {
+                        violation = Some(Violation::StaleEcho);
+                    } else if !msg.fb_genuine {
+                        violation = Some(Violation::StaleFeedback);
+                    }
+                }
+            }
+            // (4) reply while q is still waving.
+            if msg.sender < max {
+                let reply =
+                    MsgPq { sender: c.state_p, echoed: c.neig_p, genuine: true };
+                let _ = c.pq.push(reply, params.cap);
+            }
+        }
+        McMove::LosePq => {
+            c.pq.pop()?;
+        }
+        McMove::LoseQp => {
+            c.qp.pop()?;
+        }
+    }
+    Some(Step { next: c, violation })
+}
+
+/// All applicable successor steps of `config`, paired with their moves.
+pub fn successors(config: &Config, params: Params) -> Vec<(McMove, Step)> {
+    McMove::ALL
+        .iter()
+        .filter_map(|&mv| apply(config, mv, params).map(|s| (mv, s)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::Fifo;
+
+    fn params() -> Params {
+        Params::paper()
+    }
+
+    fn quiet() -> Config {
+        Config {
+            req_p: ReqP::In,
+            state_p: 0,
+            neig_p: 0,
+            req_q: ReqQ::Done,
+            state_q: 4,
+            neig_q: 4,
+            g_neig_q: false,
+            g_fmes_q: false,
+            pq: Fifo::empty(),
+            qp: Fifo::empty(),
+        }
+    }
+
+    #[test]
+    fn activate_p_retransmits_while_in() {
+        let c = quiet();
+        let s = apply(&c, McMove::ActivateP, params()).expect("applicable");
+        assert_eq!(s.next.pq.len(), 1);
+        let msg = s.next.pq.head().expect("sent");
+        assert_eq!((msg.sender, msg.echoed, msg.genuine), (0, 0, true));
+    }
+
+    #[test]
+    fn activate_p_decides_at_max() {
+        let mut c = quiet();
+        c.state_p = 4;
+        let s = apply(&c, McMove::ActivateP, params()).expect("applicable");
+        assert_eq!(s.next.req_p, ReqP::Done);
+        assert!(s.violation.is_none(), "the decision itself is not the violation");
+    }
+
+    #[test]
+    fn activate_p_noop_when_done() {
+        let mut c = quiet();
+        c.req_p = ReqP::Done;
+        assert!(apply(&c, McMove::ActivateP, params()).is_none());
+    }
+
+    #[test]
+    fn activate_q_starts_a_pending_wave() {
+        let mut c = quiet();
+        c.req_q = ReqQ::Wait;
+        c.state_q = 3;
+        let s = apply(&c, McMove::ActivateQ, params()).expect("applicable");
+        assert_eq!(s.next.req_q, ReqQ::In);
+        assert_eq!(s.next.state_q, 0, "A1 reset");
+        assert_eq!(s.next.qp.len(), 1, "A2 sent");
+    }
+
+    #[test]
+    fn deliver_qp_increments_on_matching_echo() {
+        let mut c = quiet();
+        c.qp = Fifo::from_slice(&[MsgQp {
+            sender: 0,
+            echoed: 0,
+            echo_genuine: false,
+            fb_genuine: false,
+        }]);
+        let s = apply(&c, McMove::DeliverQp, params()).expect("applicable");
+        assert_eq!(s.next.state_p, 1);
+        assert!(s.violation.is_none(), "non-completing increments carry no verdict");
+        assert_eq!(s.next.pq.len(), 1, "replied: sender 0 < max");
+    }
+
+    #[test]
+    fn completing_on_stale_echo_is_a_violation() {
+        let mut c = quiet();
+        c.state_p = 3;
+        c.qp = Fifo::from_slice(&[MsgQp {
+            sender: 4,
+            echoed: 3,
+            echo_genuine: false,
+            fb_genuine: true,
+        }]);
+        let s = apply(&c, McMove::DeliverQp, params()).expect("applicable");
+        assert_eq!(s.next.state_p, 4);
+        assert_eq!(s.violation, Some(Violation::StaleEcho));
+    }
+
+    #[test]
+    fn completing_on_stale_feedback_is_a_violation() {
+        let mut c = quiet();
+        c.state_p = 3;
+        c.qp = Fifo::from_slice(&[MsgQp {
+            sender: 4,
+            echoed: 3,
+            echo_genuine: true,
+            fb_genuine: false,
+        }]);
+        let s = apply(&c, McMove::DeliverQp, params()).expect("applicable");
+        assert_eq!(s.violation, Some(Violation::StaleFeedback));
+    }
+
+    #[test]
+    fn completing_genuinely_is_clean() {
+        let mut c = quiet();
+        c.state_p = 3;
+        c.qp = Fifo::from_slice(&[MsgQp {
+            sender: 4,
+            echoed: 3,
+            echo_genuine: true,
+            fb_genuine: true,
+        }]);
+        let s = apply(&c, McMove::DeliverQp, params()).expect("applicable");
+        assert_eq!(s.next.state_p, 4);
+        assert!(s.violation.is_none());
+    }
+
+    #[test]
+    fn deliver_pq_fires_receive_brd_and_tracks_ghosts() {
+        let mut c = quiet();
+        c.req_q = ReqQ::Done;
+        c.neig_q = 0;
+        c.pq = Fifo::from_slice(&[MsgPq { sender: 3, echoed: 4, genuine: true }]);
+        let s = apply(&c, McMove::DeliverPq, params()).expect("applicable");
+        assert_eq!(s.next.neig_q, 3);
+        assert!(s.next.g_neig_q);
+        assert!(s.next.g_fmes_q, "receive-brd consumed a genuine broadcast");
+        assert_eq!(s.next.qp.len(), 1, "replied");
+        let reply = s.next.qp.head().expect("reply");
+        assert!(reply.echo_genuine && reply.fb_genuine);
+        assert_eq!(reply.echoed, 3);
+    }
+
+    #[test]
+    fn receive_brd_does_not_refire_when_neig_already_bcast() {
+        // The poison scenario: NeigState_q already 3 (stale), so a genuine
+        // flag-3 message does NOT rewrite F-Mes — g_fmes stays stale.
+        let mut c = quiet();
+        c.neig_q = 3;
+        c.g_neig_q = false;
+        c.g_fmes_q = false;
+        c.pq = Fifo::from_slice(&[MsgPq { sender: 3, echoed: 4, genuine: true }]);
+        let s = apply(&c, McMove::DeliverPq, params()).expect("applicable");
+        assert!(s.next.g_neig_q, "NeigState is now genuine-derived");
+        assert!(!s.next.g_fmes_q, "but F-Mes still derives from the stale brd");
+    }
+
+    #[test]
+    fn loss_moves_discard_heads() {
+        let mut c = quiet();
+        c.pq = Fifo::from_slice(&[MsgPq { sender: 0, echoed: 0, genuine: false }]);
+        let s = apply(&c, McMove::LosePq, params()).expect("applicable");
+        assert!(s.next.pq.is_empty());
+        assert!(apply(&s.next, McMove::LosePq, params()).is_none());
+    }
+
+    #[test]
+    fn drop_on_full_in_replies() {
+        let mut c = quiet();
+        c.qp = Fifo::from_slice(&[MsgQp {
+            sender: 0,
+            echoed: 4,
+            echo_genuine: false,
+            fb_genuine: false,
+        }]);
+        // p replies to sender 0 < max, but we refill qp first? qp is empty
+        // after pop; the reply goes to pq. Fill pq to the brim instead.
+        c.pq = Fifo::from_slice(&[MsgPq { sender: 0, echoed: 0, genuine: false }]);
+        let s = apply(&c, McMove::DeliverQp, params()).expect("applicable");
+        assert_eq!(s.next.pq.len(), 1, "reply dropped on full channel (cap 1)");
+        assert!(!s.next.pq.head().expect("head").genuine, "the stale head survived");
+    }
+
+    #[test]
+    fn successors_exclude_inapplicable_moves() {
+        let c = quiet();
+        let succ = successors(&c, params());
+        let moves: Vec<McMove> = succ.iter().map(|(m, _)| *m).collect();
+        assert_eq!(moves, vec![McMove::ActivateP], "{moves:?}");
+    }
+}

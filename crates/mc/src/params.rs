@@ -1,0 +1,126 @@
+//! Model parameters and the mixed-radix state encoding.
+//!
+//! A configuration of the 2-process model is packed into a single `u64`
+//! so that reachability sets of tens of millions of states fit in memory.
+//! The radices are derived from the flag-domain size `m` and the channel
+//! capacity `cap`; [`Params::state_space_bound`] reports the product (the
+//! enumeration is only attempted when it fits `u64`, which holds for every
+//! supported parameterization).
+
+/// Parameters of the model: flag-domain size and channel capacity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Params {
+    /// Number of flag values (`m`): flags range over `0 ..= m-1`, the
+    /// completion value is `m-1`, the broadcast-trigger value `m-2`.
+    /// The paper's protocol is `m = 5`; capacity `c` requires `2c + 3`.
+    pub m: u8,
+    /// Channel capacity (`1` or `2`; the state space at higher capacities
+    /// exceeds exhaustive reach).
+    pub cap: usize,
+}
+
+impl Params {
+    /// Creates parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 2` (the handshake needs at least one increment) or
+    /// `cap` is not 1 or 2 (larger capacities are out of exhaustive reach).
+    pub fn new(m: u8, cap: usize) -> Self {
+        assert!(m >= 2, "flag domain needs at least two values");
+        assert!((1..=2).contains(&cap), "exhaustive checking supports capacity 1 or 2");
+        Params { m, cap }
+    }
+
+    /// The paper's protocol at capacity 1: `m = 5`.
+    pub fn paper() -> Self {
+        Params::new(5, 1)
+    }
+
+    /// The completion flag value (`m − 1`, the paper's 4).
+    pub fn max_flag(self) -> u8 {
+        self.m - 1
+    }
+
+    /// The broadcast-trigger value (`m − 2`, the paper's 3).
+    pub fn bcast_flag(self) -> u8 {
+        self.m.saturating_sub(2)
+    }
+
+    /// Distinct `p → q` message kinds: `sender × echoed × genuine-bit`.
+    pub fn pq_msg_kinds(self) -> u64 {
+        u64::from(self.m) * u64::from(self.m) * 2
+    }
+
+    /// Distinct `q → p` message kinds:
+    /// `sender × echoed × echo-genuine × feedback-genuine`.
+    pub fn qp_msg_kinds(self) -> u64 {
+        u64::from(self.m) * u64::from(self.m) * 4
+    }
+
+    /// Distinct channel contents for a channel of `kinds` message kinds:
+    /// `1 + kinds + kinds² + …` up to the capacity.
+    pub fn channel_kinds(self, kinds: u64) -> u64 {
+        let mut total = 1u64;
+        let mut level = 1u64;
+        for _ in 0..self.cap {
+            level *= kinds;
+            total += level;
+        }
+        total
+    }
+
+    /// Upper bound on the packed state space (all radices multiplied).
+    pub fn state_space_bound(self) -> u64 {
+        let p_vars = 2 * u64::from(self.m) * u64::from(self.m); // req_p × state_p × neig_p
+        let q_vars = 3 * u64::from(self.m) * u64::from(self.m) * 2 * 2;
+        p_vars
+            .saturating_mul(q_vars)
+            .saturating_mul(self.channel_kinds(self.pq_msg_kinds()))
+            .saturating_mul(self.channel_kinds(self.qp_msg_kinds()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_params() {
+        let p = Params::paper();
+        assert_eq!(p.max_flag(), 4);
+        assert_eq!(p.bcast_flag(), 3);
+        assert_eq!(p.pq_msg_kinds(), 50);
+        assert_eq!(p.qp_msg_kinds(), 100);
+        assert_eq!(p.channel_kinds(50), 51);
+        assert_eq!(p.channel_kinds(100), 101);
+    }
+
+    #[test]
+    fn state_space_fits_u64_for_supported_params() {
+        for m in 2..=9u8 {
+            for cap in 1..=2usize {
+                let p = Params::new(m, cap);
+                assert!(p.state_space_bound() < u64::MAX / 2, "{p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_two_channel_kinds() {
+        let p = Params::new(5, 2);
+        assert_eq!(p.channel_kinds(50), 1 + 50 + 2500);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity 1 or 2")]
+    fn capacity_three_rejected() {
+        let _ = Params::new(5, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two values")]
+    fn tiny_domain_rejected() {
+        let _ = Params::new(1, 1);
+    }
+}

@@ -1,0 +1,394 @@
+//! The model configuration and its packed `u64` representation.
+
+use crate::params::Params;
+
+/// A message in flight from `p` (the verified initiator) to `q`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MsgPq {
+    /// `State_p[q]` as carried by the message (`sender_state`).
+    pub sender: u8,
+    /// `NeigState_p[q]` as carried (`echoed_state`).
+    pub echoed: u8,
+    /// Ghost bit: `true` iff `p` sent this message after its start (action
+    /// A1 of the verified wave). Initial-configuration messages are stale
+    /// (`false`).
+    pub genuine: bool,
+}
+
+/// A message in flight from `q` to `p`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MsgQp {
+    /// `State_q[p]` as carried.
+    pub sender: u8,
+    /// `NeigState_q[p]` as carried — the echo that drives `p`'s increments.
+    pub echoed: u8,
+    /// Ghost bit: `true` iff the echoed value derives from a post-start
+    /// message of `p` (i.e. `NeigState_q[p]` was last written by a genuine
+    /// delivery when `q` sent this message).
+    pub echo_genuine: bool,
+    /// Ghost bit: `true` iff `F-Mes_q[p]` derived from a genuine broadcast
+    /// of `p` when `q` sent this message (the `receive-brd` that computed
+    /// it consumed a genuine message).
+    pub fb_genuine: bool,
+}
+
+/// `p`'s request variable in the model. The wave under verification has
+/// already started (action A1 is applied to every seed — see the module
+/// docs of [`crate`] for why this is without loss of generality), so
+/// `Wait` never occurs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ReqP {
+    /// Mid-wave.
+    In,
+    /// Decided.
+    Done,
+}
+
+/// `q`'s request variable (arbitrary at initialization).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ReqQ {
+    /// A request is pending at `q` (it will start its own wave).
+    Wait,
+    /// `q` is mid-wave (possibly never started — a corrupted state).
+    In,
+    /// `q` is idle.
+    Done,
+}
+
+/// A fixed-capacity FIFO of at most 2 messages (the supported capacities).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Fifo<M: Copy> {
+    slots: [Option<M>; 2],
+    len: u8,
+}
+
+impl<M: Copy> Fifo<M> {
+    /// The empty FIFO.
+    pub fn empty() -> Self {
+        Fifo { slots: [None, None], len: 0 }
+    }
+
+    /// Builds from a head-first slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 2 messages are given.
+    pub fn from_slice(msgs: &[M]) -> Self {
+        assert!(msgs.len() <= 2, "model channels hold at most 2 messages");
+        let mut f = Fifo::empty();
+        for &m in msgs {
+            f.slots[f.len as usize] = Some(m);
+            f.len += 1;
+        }
+        f
+    }
+
+    /// Number of messages in flight.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The head message, if any.
+    pub fn head(&self) -> Option<M> {
+        self.slots[0]
+    }
+
+    /// Removes and returns the head.
+    pub fn pop(&mut self) -> Option<M> {
+        let h = self.slots[0]?;
+        self.slots[0] = self.slots[1];
+        self.slots[1] = None;
+        self.len -= 1;
+        Some(h)
+    }
+
+    /// Appends `m` if capacity (`cap`) allows; returns `false` (drop-on-
+    /// full, the §4 rule) otherwise.
+    pub fn push(&mut self, m: M, cap: usize) -> bool {
+        if (self.len as usize) < cap {
+            self.slots[self.len as usize] = Some(m);
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Head-first contents.
+    pub fn iter(&self) -> impl Iterator<Item = M> + '_ {
+        self.slots.iter().filter_map(|s| *s)
+    }
+}
+
+/// One configuration of the 2-process model: both processes' protocol
+/// variables, `q`'s ghost provenance bits, and both channel contents.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Config {
+    /// `p`'s request variable.
+    pub req_p: ReqP,
+    /// `State_p[q]`.
+    pub state_p: u8,
+    /// `NeigState_p[q]`.
+    pub neig_p: u8,
+    /// `q`'s request variable.
+    pub req_q: ReqQ,
+    /// `State_q[p]`.
+    pub state_q: u8,
+    /// `NeigState_q[p]`.
+    pub neig_q: u8,
+    /// Ghost: `NeigState_q[p]` was last written by a genuine delivery.
+    pub g_neig_q: bool,
+    /// Ghost: `F-Mes_q[p]` derives from a genuine broadcast.
+    pub g_fmes_q: bool,
+    /// The channel `p → q`.
+    pub pq: Fifo<MsgPq>,
+    /// The channel `q → p`.
+    pub qp: Fifo<MsgQp>,
+}
+
+fn pack_msg_pq(m: &MsgPq, params: Params) -> u64 {
+    (u64::from(m.sender) * u64::from(params.m) + u64::from(m.echoed)) * 2 + m.genuine as u64
+}
+
+fn unpack_msg_pq(v: u64, params: Params) -> MsgPq {
+    let genuine = v % 2 == 1;
+    let rest = v / 2;
+    MsgPq {
+        sender: (rest / u64::from(params.m)) as u8,
+        echoed: (rest % u64::from(params.m)) as u8,
+        genuine,
+    }
+}
+
+fn pack_msg_qp(m: &MsgQp, params: Params) -> u64 {
+    ((u64::from(m.sender) * u64::from(params.m) + u64::from(m.echoed)) * 2
+        + m.echo_genuine as u64)
+        * 2
+        + m.fb_genuine as u64
+}
+
+fn unpack_msg_qp(v: u64, params: Params) -> MsgQp {
+    let fb_genuine = v % 2 == 1;
+    let v = v / 2;
+    let echo_genuine = v % 2 == 1;
+    let rest = v / 2;
+    MsgQp {
+        sender: (rest / u64::from(params.m)) as u8,
+        echoed: (rest % u64::from(params.m)) as u8,
+        echo_genuine,
+        fb_genuine,
+    }
+}
+
+fn pack_fifo<M: Copy>(f: &Fifo<M>, kinds: u64, pack: impl Fn(&M) -> u64) -> u64 {
+    // Encoding: 0 = empty; 1 + k = one message of kind k;
+    // 1 + kinds + head_kind * kinds + second_kind = two messages.
+    match f.len() {
+        0 => 0,
+        1 => 1 + pack(&f.head().expect("len 1")),
+        2 => {
+            let msgs: Vec<u64> = f.iter().map(|m| pack(&m)).collect();
+            1 + kinds + msgs[0] * kinds + msgs[1]
+        }
+        _ => unreachable!("fifo holds at most 2"),
+    }
+}
+
+fn unpack_fifo<M: Copy>(v: u64, kinds: u64, unpack: impl Fn(u64) -> M) -> Fifo<M> {
+    if v == 0 {
+        Fifo::empty()
+    } else if v <= kinds {
+        Fifo::from_slice(&[unpack(v - 1)])
+    } else {
+        let rest = v - 1 - kinds;
+        Fifo::from_slice(&[unpack(rest / kinds), unpack(rest % kinds)])
+    }
+}
+
+impl Config {
+    /// Packs this configuration into a `u64` (mixed radix).
+    pub fn pack(&self, params: Params) -> u64 {
+        let m = u64::from(params.m);
+        let mut v = 0u64;
+        let mut push = |field: u64, radix: u64| {
+            debug_assert!(field < radix, "field {field} out of radix {radix}");
+            v = v * radix + field;
+        };
+        push(matches!(self.req_p, ReqP::Done) as u64, 2);
+        push(u64::from(self.state_p), m);
+        push(u64::from(self.neig_p), m);
+        push(
+            match self.req_q {
+                ReqQ::Wait => 0,
+                ReqQ::In => 1,
+                ReqQ::Done => 2,
+            },
+            3,
+        );
+        push(u64::from(self.state_q), m);
+        push(u64::from(self.neig_q), m);
+        push(self.g_neig_q as u64, 2);
+        push(self.g_fmes_q as u64, 2);
+        push(
+            pack_fifo(&self.pq, params.pq_msg_kinds(), |msg| pack_msg_pq(msg, params)),
+            params.channel_kinds(params.pq_msg_kinds()),
+        );
+        push(
+            pack_fifo(&self.qp, params.qp_msg_kinds(), |msg| pack_msg_qp(msg, params)),
+            params.channel_kinds(params.qp_msg_kinds()),
+        );
+        v
+    }
+
+    /// Unpacks a configuration previously packed with the same parameters.
+    pub fn unpack(mut v: u64, params: Params) -> Config {
+        let m = u64::from(params.m);
+        let mut pop = |radix: u64| -> u64 {
+            let f = v % radix;
+            v /= radix;
+            f
+        };
+        // Pop in reverse push order.
+        let qp_code = pop(params.channel_kinds(params.qp_msg_kinds()));
+        let pq_code = pop(params.channel_kinds(params.pq_msg_kinds()));
+        let g_fmes_q = pop(2) == 1;
+        let g_neig_q = pop(2) == 1;
+        let neig_q = pop(m) as u8;
+        let state_q = pop(m) as u8;
+        let req_q = match pop(3) {
+            0 => ReqQ::Wait,
+            1 => ReqQ::In,
+            _ => ReqQ::Done,
+        };
+        let neig_p = pop(m) as u8;
+        let state_p = pop(m) as u8;
+        let req_p = if pop(2) == 1 { ReqP::Done } else { ReqP::In };
+        Config {
+            req_p,
+            state_p,
+            neig_p,
+            req_q,
+            state_q,
+            neig_q,
+            g_neig_q,
+            g_fmes_q,
+            pq: unpack_fifo(pq_code, params.pq_msg_kinds(), |c| unpack_msg_pq(c, params)),
+            qp: unpack_fifo(qp_code, params.qp_msg_kinds(), |c| unpack_msg_qp(c, params)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(c: Config, params: Params) {
+        let packed = c.pack(params);
+        assert_eq!(Config::unpack(packed, params), c, "roundtrip for {c:?}");
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_exhaustive_fields() {
+        let params = Params::paper();
+        for state_p in 0..5u8 {
+            for neig_q in 0..5u8 {
+                for req_q in [ReqQ::Wait, ReqQ::In, ReqQ::Done] {
+                    roundtrip(
+                        Config {
+                            req_p: ReqP::In,
+                            state_p,
+                            neig_p: 4 - state_p,
+                            req_q,
+                            state_q: neig_q,
+                            neig_q,
+                            g_neig_q: state_p % 2 == 0,
+                            g_fmes_q: neig_q % 2 == 1,
+                            pq: Fifo::empty(),
+                            qp: Fifo::empty(),
+                        },
+                        params,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_unpack_with_messages() {
+        let params = Params::new(7, 2);
+        let pq = Fifo::from_slice(&[
+            MsgPq { sender: 6, echoed: 0, genuine: false },
+            MsgPq { sender: 3, echoed: 5, genuine: true },
+        ]);
+        let qp = Fifo::from_slice(&[MsgQp {
+            sender: 1,
+            echoed: 6,
+            echo_genuine: true,
+            fb_genuine: false,
+        }]);
+        roundtrip(
+            Config {
+                req_p: ReqP::Done,
+                state_p: 6,
+                neig_p: 2,
+                req_q: ReqQ::In,
+                state_q: 4,
+                neig_q: 5,
+                g_neig_q: true,
+                g_fmes_q: true,
+                pq,
+                qp,
+            },
+            params,
+        );
+    }
+
+    #[test]
+    fn fifo_is_fifo() {
+        let mut f: Fifo<u8> = Fifo::empty();
+        assert!(f.push(1, 2));
+        assert!(f.push(2, 2));
+        assert!(!f.push(3, 2), "drop on full");
+        assert_eq!(f.pop(), Some(1));
+        assert!(f.push(3, 2));
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), Some(3));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn fifo_respects_capacity_one() {
+        let mut f: Fifo<u8> = Fifo::empty();
+        assert!(f.push(1, 1));
+        assert!(!f.push(2, 1));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn distinct_configs_pack_distinctly() {
+        let params = Params::paper();
+        let base = Config {
+            req_p: ReqP::In,
+            state_p: 0,
+            neig_p: 0,
+            req_q: ReqQ::Done,
+            state_q: 0,
+            neig_q: 0,
+            g_neig_q: false,
+            g_fmes_q: false,
+            pq: Fifo::empty(),
+            qp: Fifo::empty(),
+        };
+        let mut other = base;
+        other.state_p = 1;
+        assert_ne!(base.pack(params), other.pack(params));
+        let mut ghost = base;
+        ghost.g_neig_q = true;
+        assert_ne!(base.pack(params), ghost.pack(params));
+    }
+}

@@ -1,0 +1,145 @@
+//! Possible-termination analysis: from every reachable configuration,
+//! some execution decides the wave.
+//!
+//! Specification 1's Termination property says every wave terminates under
+//! the fairness assumptions. The graph-level counterpart checked here is
+//! **possible termination**: every reachable configuration has *some* path
+//! to `Request_p = Done`. Its failure would exhibit a reachable sink
+//! component from which no scheduler — however kind — could ever finish
+//! the wave (a deadlock or an inescapable livelock); its success, combined
+//! with `p`'s unconditional retransmission (action A2 keeps `p` enabled
+//! until the decision), is what the paper's fairness hypotheses convert
+//! into the almost-sure termination the experiments measure.
+
+use std::collections::HashSet;
+
+use crate::model::successors;
+use crate::params::Params;
+use crate::state::{Config, ReqP};
+
+/// Outcome of the possible-termination analysis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TerminationReport {
+    /// Reachable configurations analyzed.
+    pub states: usize,
+    /// Configurations already decided (`Request_p = Done`).
+    pub decided: usize,
+    /// Configurations from which a decision is reachable.
+    pub can_terminate: usize,
+    /// Configurations from which **no** path decides — must be zero.
+    pub stuck: usize,
+    /// Fixpoint sweeps executed.
+    pub sweeps: usize,
+}
+
+impl TerminationReport {
+    /// True if every reachable configuration can still terminate.
+    pub fn holds(&self) -> bool {
+        self.stuck == 0
+    }
+}
+
+/// Computes possible termination over `reachable` (a set produced by
+/// [`crate::explore::explore_collect`]).
+///
+/// Fixpoint: `good₀` = decided configurations; `goodₖ₊₁` adds every
+/// configuration with a successor in `goodₖ`; `stuck` = reachable \ good∞.
+///
+/// `reachable` must be **successor-closed** (an *exhausted*, violation-free
+/// exploration): paths through states missing from the set cannot be seen,
+/// so a truncated set reports spurious `stuck` states.
+pub fn possible_termination(params: Params, reachable: &HashSet<u64>) -> TerminationReport {
+    let mut good: HashSet<u64> = HashSet::new();
+    let mut pending: Vec<u64> = Vec::new();
+    for &code in reachable {
+        let c = Config::unpack(code, params);
+        if c.req_p == ReqP::Done {
+            good.insert(code);
+        } else {
+            pending.push(code);
+        }
+    }
+    let decided = good.len();
+
+    let mut sweeps = 0usize;
+    loop {
+        sweeps += 1;
+        let before = pending.len();
+        pending.retain(|&code| {
+            let c = Config::unpack(code, params);
+            let escapes = successors(&c, params)
+                .into_iter()
+                .any(|(_, step)| good.contains(&step.next.pack(params)));
+            if escapes {
+                good.insert(code);
+                false
+            } else {
+                true
+            }
+        });
+        if pending.len() == before {
+            break;
+        }
+    }
+
+    TerminationReport {
+        states: reachable.len(),
+        decided,
+        can_terminate: good.len(),
+        stuck: pending.len(),
+        sweeps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore_collect, SeedSet};
+
+    #[test]
+    fn termination_holds_on_a_sampled_subspace() {
+        let params = Params::paper();
+        let (report, reachable) =
+            explore_collect(params, &SeedSet::Sampled { count: 300, rng_seed: 9 }, 5_000_000);
+        assert!(report.verified_safe(), "{report:?}");
+        assert!(report.exhausted);
+        let term = possible_termination(params, &reachable);
+        assert!(term.holds(), "{term:?}");
+        assert_eq!(term.can_terminate, term.states);
+    }
+
+    #[test]
+    fn termination_holds_exhaustively_from_empty_channel_seeds() {
+        // Every corrupted-variable seed with empty channels, closed under
+        // all moves: a fully enumerable, successor-closed subspace.
+        let params = Params::paper();
+        let mut seeds = Vec::new();
+        for neig_p in 0..5u8 {
+            for req_q in [crate::state::ReqQ::Wait, crate::state::ReqQ::In, crate::state::ReqQ::Done] {
+                for state_q in 0..5u8 {
+                    for neig_q in 0..5u8 {
+                        seeds.push(crate::state::Config {
+                            req_p: crate::state::ReqP::In,
+                            state_p: 0,
+                            neig_p,
+                            req_q,
+                            state_q,
+                            neig_q,
+                            g_neig_q: false,
+                            g_fmes_q: false,
+                            pq: crate::state::Fifo::empty(),
+                            qp: crate::state::Fifo::empty(),
+                        });
+                    }
+                }
+            }
+        }
+        let (report, reachable) =
+            explore_collect(params, &SeedSet::Explicit(seeds), 10_000_000);
+        assert!(report.exhausted, "{report:?}");
+        assert!(report.verified_safe(), "{report:?}");
+        let term = possible_termination(params, &reachable);
+        assert!(term.holds(), "{term:?}");
+        assert!(term.decided > 0, "some executions decided");
+    }
+}

@@ -1,0 +1,264 @@
+//! Sampling arbitrary initial configurations (`I = C`).
+//!
+//! Snap-stabilization is defined over systems whose set of initial
+//! configurations is the *whole* configuration space: process variables
+//! hold arbitrary values of their domains and channels hold arbitrary
+//! (capacity-respecting) message sequences. [`CorruptionPlan`] draws such a
+//! configuration, and can also be applied mid-run to model a transient
+//! fault burst.
+
+use crate::id::ProcessId;
+use crate::process::Protocol;
+use crate::rng::SimRng;
+use crate::runner::Runner;
+use crate::scheduler::Scheduler;
+
+/// Types whose values can be drawn uniformly-ish from their domain.
+///
+/// Implemented by protocol message types so corruption can forge arbitrary
+/// in-flight messages, and by helper types used in corrupted variables.
+pub trait ArbitraryState: Sized {
+    /// Draws an arbitrary value of the domain.
+    fn arbitrary(rng: &mut SimRng) -> Self;
+}
+
+impl ArbitraryState for bool {
+    fn arbitrary(rng: &mut SimRng) -> Self {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl ArbitraryState for u8 {
+    fn arbitrary(rng: &mut SimRng) -> Self {
+        (rng.gen_u64() & 0xff) as u8
+    }
+}
+
+impl ArbitraryState for u32 {
+    fn arbitrary(rng: &mut SimRng) -> Self {
+        (rng.gen_u64() & 0xffff_ffff) as u32
+    }
+}
+
+impl ArbitraryState for u64 {
+    fn arbitrary(rng: &mut SimRng) -> Self {
+        rng.gen_u64()
+    }
+}
+
+impl ArbitraryState for usize {
+    fn arbitrary(rng: &mut SimRng) -> Self {
+        rng.gen_u64() as usize
+    }
+}
+
+impl<T: ArbitraryState> ArbitraryState for Vec<T> {
+    /// A short arbitrary vector (length 0..4) — long forged payloads add
+    /// nothing to the adversary model.
+    fn arbitrary(rng: &mut SimRng) -> Self {
+        (0..rng.gen_range(0..4)).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+impl<T: ArbitraryState> ArbitraryState for Option<T> {
+    fn arbitrary(rng: &mut SimRng) -> Self {
+        if rng.gen_bool(0.5) {
+            Some(T::arbitrary(rng))
+        } else {
+            None
+        }
+    }
+}
+
+impl<A: ArbitraryState, B: ArbitraryState> ArbitraryState for (A, B) {
+    fn arbitrary(rng: &mut SimRng) -> Self {
+        (A::arbitrary(rng), B::arbitrary(rng))
+    }
+}
+
+impl ArbitraryState for ProcessId {
+    /// An arbitrary id in a small range — corruption targets small
+    /// systems; out-of-range ids are rejected by the receivers anyway.
+    fn arbitrary(rng: &mut SimRng) -> Self {
+        ProcessId::new(rng.gen_range(0..16))
+    }
+}
+
+impl ArbitraryState for &'static str {
+    /// Draws from a small pool of junk strings — convenient for protocols
+    /// whose payload domain is a set of string literals.
+    fn arbitrary(rng: &mut SimRng) -> Self {
+        const POOL: [&str; 6] = ["", "garbage", "stale", "forged", "noise", "junk"];
+        POOL[rng.gen_range(0..POOL.len())]
+    }
+}
+
+/// How to corrupt a system into an arbitrary configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CorruptionPlan {
+    /// Corrupt every process's variables.
+    pub corrupt_processes: bool,
+    /// Corrupt channel contents: fill each channel with between 0 and
+    /// `max_preload_per_channel` forged messages (clamped to the capacity
+    /// bound for bounded channels).
+    pub corrupt_channels: bool,
+    /// Upper bound on forged messages per channel (relevant for unbounded
+    /// channels; bounded channels clamp to their capacity).
+    pub max_preload_per_channel: usize,
+}
+
+impl Default for CorruptionPlan {
+    fn default() -> Self {
+        CorruptionPlan {
+            corrupt_processes: true,
+            corrupt_channels: true,
+            max_preload_per_channel: 1,
+        }
+    }
+}
+
+impl CorruptionPlan {
+    /// The full `I = C` plan for single-message-capacity systems: arbitrary
+    /// variables everywhere, every channel holding 0 or 1 forged message.
+    pub fn full() -> Self {
+        CorruptionPlan::default()
+    }
+
+    /// Corrupt only process variables, leaving channels untouched.
+    pub fn processes_only() -> Self {
+        CorruptionPlan {
+            corrupt_processes: true,
+            corrupt_channels: false,
+            max_preload_per_channel: 0,
+        }
+    }
+
+    /// Corrupt only channel contents.
+    pub fn channels_only(max_preload: usize) -> Self {
+        CorruptionPlan {
+            corrupt_processes: false,
+            corrupt_channels: true,
+            max_preload_per_channel: max_preload,
+        }
+    }
+
+    /// Applies the plan to a runner, drawing from `rng`. Channel contents
+    /// are cleared and replaced by forged messages; the number per channel
+    /// is drawn in `0..=limit` where `limit` respects the capacity bound.
+    pub fn apply<P, S>(&self, runner: &mut Runner<P, S>, rng: &mut SimRng)
+    where
+        P: Protocol,
+        P::Msg: ArbitraryState,
+        S: Scheduler,
+    {
+        if self.corrupt_processes {
+            runner.corrupt_all_processes(rng);
+        }
+        if self.corrupt_channels {
+            let links: Vec<(ProcessId, ProcessId)> = runner.network().links().collect();
+            for (from, to) in links {
+                let cap_limit = runner
+                    .network()
+                    .capacity()
+                    .bound()
+                    .unwrap_or(usize::MAX)
+                    .min(self.max_preload_per_channel);
+                let count = if cap_limit == 0 { 0 } else { rng.gen_range(0..cap_limit + 1) };
+                let forged: Vec<P::Msg> =
+                    (0..count).map(|_| P::Msg::arbitrary(rng)).collect();
+                let ch = runner
+                    .network_mut()
+                    .channel_mut(from, to)
+                    .expect("link enumerated from network");
+                ch.set_contents(forged);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::Capacity;
+    use crate::network::NetworkBuilder;
+    use crate::process::test_support::{PingMsg, PingProcess};
+    use crate::scheduler::RoundRobin;
+
+    impl ArbitraryState for PingMsg {
+        fn arbitrary(rng: &mut SimRng) -> Self {
+            PingMsg::Ping(u32::arbitrary(rng))
+        }
+    }
+
+    fn runner(cap: Capacity) -> Runner<PingProcess, RoundRobin> {
+        let n = 3;
+        let processes = (0..n)
+            .map(|i| PingProcess::new(ProcessId::new(i), n, 0))
+            .collect();
+        let network = NetworkBuilder::new(n).capacity(cap).build();
+        Runner::new(processes, network, RoundRobin::new(), 0)
+    }
+
+    #[test]
+    fn primitive_arbitraries_are_deterministic() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(1);
+        assert_eq!(u64::arbitrary(&mut a), u64::arbitrary(&mut b));
+        assert_eq!(bool::arbitrary(&mut a), bool::arbitrary(&mut b));
+        assert_eq!(u8::arbitrary(&mut a), u8::arbitrary(&mut b));
+        assert_eq!(u32::arbitrary(&mut a), u32::arbitrary(&mut b));
+        assert_eq!(usize::arbitrary(&mut a), usize::arbitrary(&mut b));
+    }
+
+    #[test]
+    fn full_plan_respects_bounded_capacity() {
+        let mut r = runner(Capacity::Bounded(1));
+        let mut rng = SimRng::seed_from(42);
+        CorruptionPlan::full().apply(&mut r, &mut rng);
+        for (f, t) in r.network().links().collect::<Vec<_>>() {
+            assert!(r.network().channel(f, t).unwrap().len() <= 1);
+        }
+    }
+
+    #[test]
+    fn channels_only_leaves_processes_alone() {
+        let mut r = runner(Capacity::Bounded(1));
+        let before: Vec<_> = r.processes().iter().map(|p| p.snapshot()).collect();
+        let mut rng = SimRng::seed_from(9);
+        CorruptionPlan::channels_only(1).apply(&mut r, &mut rng);
+        let after: Vec<_> = r.processes().iter().map(|p| p.snapshot()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn processes_only_leaves_channels_alone() {
+        let mut r = runner(Capacity::Bounded(1));
+        let mut rng = SimRng::seed_from(9);
+        CorruptionPlan::processes_only().apply(&mut r, &mut rng);
+        assert!(r.network().is_quiescent());
+    }
+
+    #[test]
+    fn unbounded_channels_respect_max_preload() {
+        let mut r = runner(Capacity::Unbounded);
+        let mut rng = SimRng::seed_from(3);
+        CorruptionPlan::channels_only(5).apply(&mut r, &mut rng);
+        for (f, t) in r.network().links().collect::<Vec<_>>() {
+            assert!(r.network().channel(f, t).unwrap().len() <= 5);
+        }
+    }
+
+    #[test]
+    fn some_seed_produces_nonempty_channels() {
+        let mut any = false;
+        for seed in 0..10 {
+            let mut r = runner(Capacity::Bounded(1));
+            let mut rng = SimRng::seed_from(seed);
+            CorruptionPlan::full().apply(&mut r, &mut rng);
+            if r.network().messages_in_flight() > 0 {
+                any = true;
+            }
+        }
+        assert!(any, "corruption should sometimes forge in-flight messages");
+    }
+}

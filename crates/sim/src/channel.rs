@@ -1,0 +1,267 @@
+//! FIFO channels with bounded or unbounded capacity.
+//!
+//! The paper's two regimes:
+//!
+//! * **Finite yet unbounded** capacity ([`Capacity::Unbounded`]): channels
+//!   can hold arbitrarily many messages. Theorem 1 shows snap-stabilization
+//!   of safety-distributed specifications is impossible here, because an
+//!   arbitrary initial configuration can hide an arbitrarily long sequence
+//!   of forged messages in a channel.
+//! * **Bounded, known** capacity ([`Capacity::Bounded`]): each channel holds
+//!   at most `c` messages and "if a process sends a message in a channel
+//!   that is full, then the message is lost" (§4). The paper's protocols are
+//!   designed for `c = 1`; the extension to arbitrary known `c` is
+//!   straightforward and supported here.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Capacity regime of a channel.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Capacity {
+    /// At most this many messages in flight; a send into a full channel
+    /// loses the message (paper §4 semantics).
+    Bounded(usize),
+    /// No bound: any finite number of messages can be in flight (paper §3
+    /// impossibility setting).
+    Unbounded,
+}
+
+impl Capacity {
+    /// The bound if bounded, `None` if unbounded.
+    pub fn bound(self) -> Option<usize> {
+        match self {
+            Capacity::Bounded(c) => Some(c),
+            Capacity::Unbounded => None,
+        }
+    }
+
+    /// True if a channel at this capacity holding `len` messages can accept
+    /// one more.
+    pub fn admits(self, len: usize) -> bool {
+        match self {
+            Capacity::Bounded(c) => len < c,
+            Capacity::Unbounded => true,
+        }
+    }
+}
+
+impl fmt::Display for Capacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Capacity::Bounded(c) => write!(f, "bounded({c})"),
+            Capacity::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
+/// Outcome of offering a message to a channel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SendOutcome {
+    /// The message was enqueued.
+    Enqueued,
+    /// The channel was full; the message was lost (bounded capacity only).
+    LostFull,
+}
+
+/// A FIFO channel between one ordered pair of processes.
+///
+/// ```
+/// use snapstab_sim::{Capacity, Channel};
+/// let mut ch: Channel<&str> = Channel::new(Capacity::Bounded(1));
+/// assert!(ch.offer("hello").is_enqueued());
+/// assert!(!ch.offer("dropped: channel full").is_enqueued());
+/// assert_eq!(ch.pop(), Some("hello"));
+/// assert!(ch.is_empty());
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Channel<M> {
+    capacity: Capacity,
+    queue: VecDeque<M>,
+}
+
+impl SendOutcome {
+    /// True if the message entered the channel.
+    pub fn is_enqueued(self) -> bool {
+        self == SendOutcome::Enqueued
+    }
+}
+
+impl<M> Channel<M> {
+    /// Creates an empty channel with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is `Bounded(0)`: the paper's model requires
+    /// every channel to be able to carry at least one message.
+    pub fn new(capacity: Capacity) -> Self {
+        if let Capacity::Bounded(0) = capacity {
+            panic!("channel capacity must be at least 1");
+        }
+        Channel {
+            capacity,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// The capacity regime of this channel.
+    pub fn capacity(&self) -> Capacity {
+        self.capacity
+    }
+
+    /// Number of messages currently in flight.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no message is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Offers a message to the channel. If the channel is full (bounded
+    /// capacity), the message is lost and [`SendOutcome::LostFull`] is
+    /// returned — the sender is *not* notified in-protocol, matching §4.
+    pub fn offer(&mut self, msg: M) -> SendOutcome {
+        if self.capacity.admits(self.queue.len()) {
+            self.queue.push_back(msg);
+            SendOutcome::Enqueued
+        } else {
+            SendOutcome::LostFull
+        }
+    }
+
+    /// Removes and returns the message at the head of the channel.
+    pub fn pop(&mut self) -> Option<M> {
+        self.queue.pop_front()
+    }
+
+    /// Peeks at the head of the channel without removing it.
+    pub fn peek(&self) -> Option<&M> {
+        self.queue.front()
+    }
+
+    /// Iterates over in-flight messages from head (next to be delivered) to
+    /// tail (most recently sent).
+    pub fn iter(&self) -> impl Iterator<Item = &M> {
+        self.queue.iter()
+    }
+
+    /// Removes every in-flight message.
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+
+    /// Force-loads messages into the channel **ignoring capacity**.
+    ///
+    /// This models the arbitrary initial configurations of the paper (the
+    /// adversary, not the protocol, decides the initial channel contents).
+    /// For bounded channels the caller is responsible for respecting the
+    /// bound when sampling `I = C`; the Theorem 1 machinery deliberately
+    /// checks feasibility before calling this.
+    pub fn preload(&mut self, msgs: impl IntoIterator<Item = M>) {
+        for m in msgs {
+            self.queue.push_back(m);
+        }
+    }
+
+    /// Replaces the channel contents (used when restoring a snapshot).
+    pub fn set_contents(&mut self, msgs: impl IntoIterator<Item = M>) {
+        self.queue.clear();
+        self.preload(msgs);
+    }
+}
+
+impl<M: Clone> Channel<M> {
+    /// A copy of the in-flight messages, head first.
+    pub fn contents(&self) -> Vec<M> {
+        self.queue.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_admits() {
+        assert!(Capacity::Bounded(1).admits(0));
+        assert!(!Capacity::Bounded(1).admits(1));
+        assert!(Capacity::Bounded(3).admits(2));
+        assert!(Capacity::Unbounded.admits(1_000_000));
+    }
+
+    #[test]
+    fn capacity_bound() {
+        assert_eq!(Capacity::Bounded(4).bound(), Some(4));
+        assert_eq!(Capacity::Unbounded.bound(), None);
+    }
+
+    #[test]
+    fn capacity_display() {
+        assert_eq!(Capacity::Bounded(1).to_string(), "bounded(1)");
+        assert_eq!(Capacity::Unbounded.to_string(), "unbounded");
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut ch = Channel::new(Capacity::Unbounded);
+        for i in 0..5 {
+            assert!(ch.offer(i).is_enqueued());
+        }
+        let drained: Vec<_> = std::iter::from_fn(|| ch.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bounded_send_on_full_is_lost() {
+        let mut ch = Channel::new(Capacity::Bounded(1));
+        assert_eq!(ch.offer('a'), SendOutcome::Enqueued);
+        assert_eq!(ch.offer('b'), SendOutcome::LostFull);
+        assert_eq!(ch.len(), 1);
+        assert_eq!(ch.pop(), Some('a'));
+        // After draining, the channel accepts again.
+        assert_eq!(ch.offer('c'), SendOutcome::Enqueued);
+    }
+
+    #[test]
+    fn bounded_capacity_two() {
+        let mut ch = Channel::new(Capacity::Bounded(2));
+        assert!(ch.offer(1).is_enqueued());
+        assert!(ch.offer(2).is_enqueued());
+        assert!(!ch.offer(3).is_enqueued());
+        assert_eq!(ch.contents(), vec![1, 2]);
+    }
+
+    #[test]
+    fn preload_ignores_capacity() {
+        let mut ch = Channel::new(Capacity::Bounded(1));
+        ch.preload([1, 2, 3]);
+        assert_eq!(ch.len(), 3);
+        assert_eq!(ch.contents(), vec![1, 2, 3]);
+        // But regular sends still respect the bound.
+        assert!(!ch.offer(4).is_enqueued());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut ch = Channel::new(Capacity::Unbounded);
+        ch.offer(42);
+        assert_eq!(ch.peek(), Some(&42));
+        assert_eq!(ch.len(), 1);
+    }
+
+    #[test]
+    fn set_contents_replaces() {
+        let mut ch = Channel::new(Capacity::Unbounded);
+        ch.offer(1);
+        ch.set_contents([7, 8]);
+        assert_eq!(ch.contents(), vec![7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_rejected() {
+        let _ = Channel::<u8>::new(Capacity::Bounded(0));
+    }
+}

@@ -1,0 +1,121 @@
+//! The per-step execution context handed to protocol actions.
+
+use crate::id::{neighbors, ProcessId};
+use crate::rng::SimRng;
+
+/// Capabilities available to a protocol action during one atomic step:
+/// sending messages, emitting protocol events, and (for randomized baseline
+/// protocols only — the paper's protocols are deterministic) drawing random
+/// values.
+///
+/// Sends are buffered and applied to the network by the runner *after* the
+/// action completes, preserving the paper's atomic-step semantics: the
+/// guard evaluation, the statement, and all its sends form one step.
+#[derive(Debug)]
+pub struct Context<'a, M, E> {
+    me: ProcessId,
+    n: usize,
+    step: u64,
+    rng: &'a mut SimRng,
+    sends: &'a mut Vec<(ProcessId, M)>,
+    events: &'a mut Vec<E>,
+}
+
+impl<'a, M, E> Context<'a, M, E> {
+    /// Creates a context; called by the runner (public for custom harnesses
+    /// and unit tests of protocol actions).
+    pub fn new(
+        me: ProcessId,
+        n: usize,
+        step: u64,
+        rng: &'a mut SimRng,
+        sends: &'a mut Vec<(ProcessId, M)>,
+        events: &'a mut Vec<E>,
+    ) -> Self {
+        Context {
+            me,
+            n,
+            step,
+            rng,
+            sends,
+            events,
+        }
+    }
+
+    /// The process executing the current action.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Number of processes in the system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The global step number of the current atomic step.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Buffers a message send to `to`. The runner applies channel capacity
+    /// and the loss model when the step commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is the executing process itself — the topology has no
+    /// self-channels.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        assert_ne!(to, self.me, "{} attempted to send to itself", self.me);
+        self.sends.push((to, msg));
+    }
+
+    /// Emits a protocol-level event into the trace (e.g. `receive-brd`,
+    /// `receive-fck`, CS entry).
+    pub fn emit(&mut self, event: E) {
+        self.events.push(event);
+    }
+
+    /// Iterates over the executing process's neighbors.
+    pub fn neighbors(&self) -> impl Iterator<Item = ProcessId> {
+        neighbors(self.me, self.n)
+    }
+
+    /// Deterministic, seeded randomness. The paper's protocols never use
+    /// this; it exists for randomized baselines (e.g. Afek–Brown labels).
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_accessors() {
+        let mut rng = SimRng::seed_from(0);
+        let mut sends: Vec<(ProcessId, u8)> = Vec::new();
+        let mut events: Vec<&'static str> = Vec::new();
+        let mut ctx = Context::new(ProcessId::new(1), 4, 17, &mut rng, &mut sends, &mut events);
+        assert_eq!(ctx.me(), ProcessId::new(1));
+        assert_eq!(ctx.n(), 4);
+        assert_eq!(ctx.step(), 17);
+        let ns: Vec<_> = ctx.neighbors().collect();
+        assert_eq!(ns.len(), 3);
+        ctx.send(ProcessId::new(0), 9);
+        ctx.emit("evt");
+        drop(ctx);
+        assert_eq!(sends, vec![(ProcessId::new(0), 9)]);
+        assert_eq!(events, vec!["evt"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "send to itself")]
+    fn self_send_rejected() {
+        let mut rng = SimRng::seed_from(0);
+        let mut sends: Vec<(ProcessId, u8)> = Vec::new();
+        let mut events: Vec<()> = Vec::new();
+        let mut ctx = Context::new(ProcessId::new(2), 4, 0, &mut rng, &mut sends, &mut events);
+        ctx.send(ProcessId::new(2), 1);
+    }
+}

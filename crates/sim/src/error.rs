@@ -1,0 +1,121 @@
+//! Error type for simulator operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::id::ProcessId;
+
+/// Errors reported by simulator operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// A process id referenced a process outside `0..n`.
+    UnknownProcess {
+        /// The offending id.
+        id: ProcessId,
+        /// Number of processes in the system.
+        n: usize,
+    },
+    /// An operation referenced the (nonexistent) channel from a process to
+    /// itself.
+    SelfChannel {
+        /// The process involved.
+        id: ProcessId,
+    },
+    /// A scripted scheduler or replay demanded a delivery from an empty
+    /// channel.
+    EmptyChannel {
+        /// Sender of the requested delivery.
+        from: ProcessId,
+        /// Receiver of the requested delivery.
+        to: ProcessId,
+    },
+    /// An initial-configuration construction does not fit in the channel
+    /// capacity bound (the Theorem 1 dichotomy).
+    CapacityExceeded {
+        /// Sender side of the infeasible channel.
+        from: ProcessId,
+        /// Receiver side of the infeasible channel.
+        to: ProcessId,
+        /// Messages the construction requires in flight.
+        required: usize,
+        /// The channel capacity bound.
+        bound: usize,
+    },
+    /// A run exhausted its step budget before meeting its stop condition.
+    StepBudgetExhausted {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownProcess { id, n } => {
+                write!(f, "unknown process {id} in a system of {n} processes")
+            }
+            SimError::SelfChannel { id } => {
+                write!(f, "process {id} has no channel to itself")
+            }
+            SimError::EmptyChannel { from, to } => {
+                write!(f, "channel {from} -> {to} is empty; cannot deliver")
+            }
+            SimError::CapacityExceeded {
+                from,
+                to,
+                required,
+                bound,
+            } => write!(
+                f,
+                "configuration requires {required} in-flight messages on {from} -> {to} \
+                 but the capacity bound is {bound}"
+            ),
+            SimError::StepBudgetExhausted { budget } => {
+                write!(f, "step budget of {budget} exhausted before stop condition")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::UnknownProcess {
+            id: ProcessId::new(9),
+            n: 3,
+        };
+        assert_eq!(e.to_string(), "unknown process P9 in a system of 3 processes");
+
+        let e = SimError::EmptyChannel {
+            from: ProcessId::new(0),
+            to: ProcessId::new(1),
+        };
+        assert!(e.to_string().contains("P0 -> P1"));
+
+        let e = SimError::CapacityExceeded {
+            from: ProcessId::new(1),
+            to: ProcessId::new(2),
+            required: 14,
+            bound: 1,
+        };
+        assert!(e.to_string().contains("14"));
+        assert!(e.to_string().contains("bound is 1"));
+
+        let e = SimError::StepBudgetExhausted { budget: 100 };
+        assert!(e.to_string().contains("100"));
+
+        let e = SimError::SelfChannel { id: ProcessId::new(4) };
+        assert!(e.to_string().contains("P4"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(SimError::StepBudgetExhausted { budget: 1 });
+    }
+}

@@ -1,0 +1,74 @@
+//! # snapstab-sim — a deterministic message-passing system simulator
+//!
+//! This crate implements the system model of Delaët, Devismes, Nesterenko
+//! and Tixeuil, *Snap-Stabilization in Message-Passing Systems* (2008), §2:
+//!
+//! * a finite set of `n` deterministic processes over a **fully-connected**
+//!   topology (every ordered pair of distinct processes is joined by a FIFO
+//!   channel);
+//! * channels that are **unreliable but fair**: messages may be lost, but if
+//!   a process sends infinitely many messages to a destination, infinitely
+//!   many of them are received ([`LossModel`]);
+//! * channel capacity that is either **bounded and known** (a send into a
+//!   full channel silently loses the message — §4) or **finite yet
+//!   unbounded** ([`Capacity`]), the distinction at the heart of the paper's
+//!   impossibility/possibility dichotomy;
+//! * processes expressed as collections of **guarded actions** executed
+//!   atomically ([`Protocol`]);
+//! * executions that may start from **any** configuration (`I = C`):
+//!   [`arbitrary`] draws every variable of every process uniformly from its
+//!   domain and pre-loads every channel with arbitrary messages.
+//!
+//! The simulator is single-threaded and fully deterministic given a seed, so
+//! every experiment in the reproduction is replayable.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use snapstab_sim::{Capacity, LossModel, NetworkBuilder, ProcessId};
+//!
+//! // A 4-process fully connected network with single-message channels that
+//! // drop 10% of sends (fair-lossy), as in the paper's positive results.
+//! let network = NetworkBuilder::<u32>::new(4)
+//!     .capacity(Capacity::Bounded(1))
+//!     .build();
+//! assert_eq!(network.n(), 4);
+//! assert_eq!(network.channel_count(), 12); // n * (n - 1)
+//! # let _ = LossModel::probabilistic(0.1);
+//! # let _ = ProcessId::new(0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod channel;
+pub mod context;
+pub mod error;
+pub mod id;
+pub mod loss;
+pub mod network;
+pub mod process;
+pub mod render;
+pub mod rng;
+pub mod runner;
+pub mod scheduler;
+pub mod stats;
+pub mod topology;
+pub mod trace;
+
+pub use arbitrary::{ArbitraryState, CorruptionPlan};
+pub use channel::{Capacity, Channel};
+pub use context::Context;
+pub use error::SimError;
+pub use id::{neighbors, PerNeighbor, ProcessId};
+pub use loss::LossModel;
+pub use network::{Network, NetworkBuilder};
+pub use process::{Message, Protocol};
+pub use render::{render_events, render_timeline, RenderOptions};
+pub use rng::SimRng;
+pub use runner::{RunOutcome, Runner, StopCondition};
+pub use scheduler::{Move, RandomScheduler, RoundRobin, Scheduler, ScriptedScheduler, SystemView};
+pub use stats::SimStats;
+pub use topology::Topology;
+pub use trace::{Trace, TraceEntry, TraceEvent};

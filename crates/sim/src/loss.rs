@@ -1,0 +1,221 @@
+//! Message-loss models for unreliable channels.
+//!
+//! The paper assumes channels "are FIFO but not necessarily reliable
+//! (messages can be lost)" subject to the fairness property: *if an origin
+//! process sends infinitely many messages to a destination, then infinitely
+//! many messages are eventually received*.
+//!
+//! [`LossModel::Probabilistic`] with `p < 1` satisfies the fairness property
+//! with probability 1. The deterministic models exist for adversarial unit
+//! tests (e.g. demonstrating the deadlock of the naive §4.1 protocol when
+//! specific messages vanish) and remain fair as long as they pass infinitely
+//! many messages.
+
+use crate::id::ProcessId;
+use crate::rng::SimRng;
+
+/// Decides whether a given send attempt loses its message in transit.
+///
+/// Loss is applied *at send time*, after the capacity check: a message that
+/// survives the loss model and finds room in the channel is guaranteed to be
+/// delivered eventually (the scheduler is fair), mirroring the paper's
+/// "any message that is never lost is received in a finite time".
+#[derive(Clone, Debug)]
+pub enum LossModel {
+    /// No message is ever lost.
+    Reliable,
+    /// Each send is independently lost with probability `p`.
+    Probabilistic {
+        /// Loss probability in `[0, 1)`. `1.0` would violate fairness and is
+        /// rejected by [`LossModel::probabilistic`].
+        p: f64,
+    },
+    /// Loses the first `k` sends on every ordered link, then none. Fair
+    /// (only finitely many losses) but adversarial about *which* messages
+    /// disappear.
+    FirstK {
+        /// How many initial sends per link are lost.
+        k: u64,
+    },
+    /// Loses exactly the send attempts whose global send-sequence numbers
+    /// (per ordered link) are in the script. Used by deterministic tests.
+    Scripted {
+        /// `(from, to, send_index)` triples to lose; `send_index` counts the
+        /// sends on the `(from, to)` link starting at 0.
+        drops: Vec<(ProcessId, ProcessId, u64)>,
+    },
+    /// Loses *every* message on the blocked directed links — a network
+    /// partition (or a restricted topology, the paper's other future-work
+    /// axis). Unfair on the blocked links by design; heal by swapping the
+    /// model back via [`crate::Runner::set_loss`].
+    Partition {
+        /// Directed links that drop everything.
+        blocked: Vec<(ProcessId, ProcessId)>,
+    },
+}
+
+impl LossModel {
+    /// A reliable model (no loss).
+    pub fn reliable() -> Self {
+        LossModel::Reliable
+    }
+
+    /// A fair-lossy model losing each message independently with
+    /// probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`: losing *every* message would
+    /// violate the paper's fairness assumption.
+    pub fn probabilistic(p: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "loss probability must be in [0,1) to preserve fairness, got {p}"
+        );
+        LossModel::Probabilistic { p }
+    }
+
+    /// Loses the first `k` messages on every link.
+    pub fn first_k(k: u64) -> Self {
+        LossModel::FirstK { k }
+    }
+
+    /// Loses exactly the scripted `(from, to, send_index)` attempts.
+    pub fn scripted(drops: Vec<(ProcessId, ProcessId, u64)>) -> Self {
+        LossModel::Scripted { drops }
+    }
+
+    /// Blocks the given directed links entirely (a partition). Blocking
+    /// both directions of a pair models a cut edge; blocking all links
+    /// across a node split models a full partition.
+    pub fn partition(blocked: Vec<(ProcessId, ProcessId)>) -> Self {
+        LossModel::Partition { blocked }
+    }
+
+    /// Convenience: blocks every link between `side_a` and `side_b`, both
+    /// directions — a two-sided split.
+    pub fn split(side_a: &[ProcessId], side_b: &[ProcessId]) -> Self {
+        let mut blocked = Vec::new();
+        for &a in side_a {
+            for &b in side_b {
+                blocked.push((a, b));
+                blocked.push((b, a));
+            }
+        }
+        LossModel::Partition { blocked }
+    }
+
+    /// Returns true if the `send_index`-th send on link `from → to` should
+    /// be lost in transit.
+    pub fn loses(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        send_index: u64,
+        rng: &mut SimRng,
+    ) -> bool {
+        match self {
+            LossModel::Reliable => false,
+            LossModel::Probabilistic { p } => rng.gen_bool(*p),
+            LossModel::FirstK { k } => send_index < *k,
+            LossModel::Scripted { drops } => drops
+                .iter()
+                .any(|&(f, t, i)| f == from && t == to && i == send_index),
+            LossModel::Partition { blocked } => {
+                blocked.iter().any(|&(f, t)| f == from && t == to)
+            }
+        }
+    }
+}
+
+impl Default for LossModel {
+    fn default() -> Self {
+        LossModel::Reliable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn reliable_never_loses() {
+        let m = LossModel::reliable();
+        let mut rng = SimRng::seed_from(0);
+        for i in 0..100 {
+            assert!(!m.loses(p(0), p(1), i, &mut rng));
+        }
+    }
+
+    #[test]
+    fn probabilistic_loses_roughly_p() {
+        let m = LossModel::probabilistic(0.3);
+        let mut rng = SimRng::seed_from(1);
+        let lost = (0..10_000)
+            .filter(|&i| m.loses(p(0), p(1), i, &mut rng))
+            .count();
+        assert!((2_500..3_500).contains(&lost), "lost {lost} of 10000");
+    }
+
+    #[test]
+    fn probabilistic_zero_never_loses() {
+        let m = LossModel::probabilistic(0.0);
+        let mut rng = SimRng::seed_from(2);
+        assert!((0..1000).all(|i| !m.loses(p(0), p(1), i, &mut rng)));
+    }
+
+    #[test]
+    #[should_panic(expected = "fairness")]
+    fn probabilistic_one_rejected() {
+        let _ = LossModel::probabilistic(1.0);
+    }
+
+    #[test]
+    fn first_k_loses_prefix_only() {
+        let m = LossModel::first_k(3);
+        let mut rng = SimRng::seed_from(3);
+        assert!(m.loses(p(0), p(1), 0, &mut rng));
+        assert!(m.loses(p(0), p(1), 2, &mut rng));
+        assert!(!m.loses(p(0), p(1), 3, &mut rng));
+        assert!(!m.loses(p(0), p(1), 100, &mut rng));
+    }
+
+    #[test]
+    fn scripted_loses_exact_triples() {
+        let m = LossModel::scripted(vec![(p(0), p(1), 5), (p(1), p(0), 0)]);
+        let mut rng = SimRng::seed_from(4);
+        assert!(m.loses(p(0), p(1), 5, &mut rng));
+        assert!(!m.loses(p(0), p(1), 4, &mut rng));
+        assert!(m.loses(p(1), p(0), 0, &mut rng));
+        assert!(!m.loses(p(2), p(1), 5, &mut rng));
+    }
+
+    #[test]
+    fn default_is_reliable() {
+        assert!(matches!(LossModel::default(), LossModel::Reliable));
+    }
+
+    #[test]
+    fn partition_blocks_listed_links_only() {
+        let m = LossModel::partition(vec![(p(0), p(1))]);
+        let mut rng = SimRng::seed_from(5);
+        assert!((0..20).all(|i| m.loses(p(0), p(1), i, &mut rng)));
+        assert!((0..20).all(|i| !m.loses(p(1), p(0), i, &mut rng)));
+        assert!(!m.loses(p(0), p(2), 0, &mut rng));
+    }
+
+    #[test]
+    fn split_blocks_both_directions_across_sides() {
+        let m = LossModel::split(&[p(0), p(1)], &[p(2)]);
+        let mut rng = SimRng::seed_from(6);
+        for a in [p(0), p(1)] {
+            assert!(m.loses(a, p(2), 0, &mut rng));
+            assert!(m.loses(p(2), a, 0, &mut rng));
+        }
+        assert!(!m.loses(p(0), p(1), 0, &mut rng), "intra-side links live");
+    }
+}

@@ -1,0 +1,186 @@
+//! Human-readable rendering of execution traces.
+//!
+//! [`render_timeline`] lays a trace out as one text lane per process —
+//! handy for eyeballing small executions (the `snapstab` CLI's `--trace`
+//! mode and the examples use it).
+
+use std::fmt::Write as _;
+
+
+use crate::trace::{Trace, TraceEvent};
+
+/// Options for [`render_timeline`].
+#[derive(Clone, Copy, Debug)]
+pub struct RenderOptions {
+    /// Maximum entries rendered (traces can be huge); `0` = unlimited.
+    pub max_entries: usize,
+    /// Include send events (they dominate long traces).
+    pub show_sends: bool,
+    /// Include delivery events.
+    pub show_deliveries: bool,
+    /// Include activation events that executed no action.
+    pub show_idle_activations: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            max_entries: 200,
+            show_sends: false,
+            show_deliveries: true,
+            show_idle_activations: false,
+        }
+    }
+}
+
+/// Renders a trace as a per-process lane timeline.
+///
+/// Each rendered line is `step | lane columns…` where the emitting
+/// process's lane holds a short event description. Protocol events are
+/// rendered with their `Debug` form (truncated to keep lanes readable).
+pub fn render_timeline<M, E>(trace: &Trace<M, E>, n: usize, options: &RenderOptions) -> String
+where
+    M: std::fmt::Debug,
+    E: std::fmt::Debug,
+{
+    let lane_width = 26usize;
+    let mut out = String::new();
+    let _ = write!(out, "{:>8} ", "step");
+    for i in 0..n {
+        let _ = write!(out, "| {:<width$} ", format!("P{i}"), width = lane_width);
+    }
+    out.push('\n');
+    let _ = write!(out, "{:->8}-", "");
+    for _ in 0..n {
+        let _ = write!(out, "+-{:-<width$}-", "", width = lane_width);
+    }
+    out.push('\n');
+
+    let mut rendered = 0usize;
+    for entry in trace.iter() {
+        if options.max_entries != 0 && rendered >= options.max_entries {
+            let _ = writeln!(out, "... ({} more entries)", trace.len() - rendered);
+            break;
+        }
+        let (lane, text) = match &entry.event {
+            TraceEvent::Activated { p, acted } => {
+                if !acted && !options.show_idle_activations {
+                    continue;
+                }
+                (p.index(), if *acted { "act".to_string() } else { "act (idle)".to_string() })
+            }
+            TraceEvent::Sent { from, to, fate, .. } => {
+                if !options.show_sends {
+                    continue;
+                }
+                (from.index(), format!("send->{} [{fate:?}]", to))
+            }
+            TraceEvent::Delivered { from, to, .. } => {
+                if !options.show_deliveries {
+                    continue;
+                }
+                (to.index(), format!("recv<-{from}"))
+            }
+            TraceEvent::Protocol { p, event } => (p.index(), format!("{event:?}")),
+            TraceEvent::Corrupted { p } => (p.index(), "CORRUPTED".to_string()),
+            TraceEvent::Marker { p, label } => (p.index(), format!("[{label}]")),
+        };
+        let mut text = text;
+        if text.len() > lane_width {
+            text.truncate(lane_width - 1);
+            text.push('…');
+        }
+        let _ = write!(out, "{:>8} ", entry.step);
+        for i in 0..n {
+            if i == lane {
+                let _ = write!(out, "| {text:<lane_width$} ");
+            } else {
+                let _ = write!(out, "| {:<lane_width$} ", "");
+            }
+        }
+        out.push('\n');
+        rendered += 1;
+    }
+    out
+}
+
+/// Renders only the protocol events of a trace, one line each.
+pub fn render_events<M, E>(trace: &Trace<M, E>, max: usize) -> String
+where
+    M: std::fmt::Debug,
+    E: std::fmt::Debug,
+{
+    let mut out = String::new();
+    for (i, (step, p, e)) in trace.protocol_events().enumerate() {
+        if max != 0 && i >= max {
+            out.push_str("...\n");
+            break;
+        }
+        let _ = writeln!(out, "{step:>8}  {p}: {e:?}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::ProcessId;
+    use crate::trace::SendFate;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn sample() -> Trace<u8, &'static str> {
+        let mut t = Trace::new();
+        t.push_marker(0, p(0), "request");
+        t.push(1, TraceEvent::Activated { p: p(0), acted: true });
+        t.push(1, TraceEvent::Sent { from: p(0), to: p(1), msg: 7, fate: SendFate::Enqueued });
+        t.push(2, TraceEvent::Delivered { from: p(0), to: p(1), msg: 7 });
+        t.push(2, TraceEvent::Protocol { p: p(1), event: "ReceiveBrd" });
+        t.push(3, TraceEvent::Activated { p: p(1), acted: false });
+        t.push(4, TraceEvent::Corrupted { p: p(0) });
+        t
+    }
+
+    #[test]
+    fn timeline_renders_lanes() {
+        let s = render_timeline(&sample(), 2, &RenderOptions::default());
+        assert!(s.contains("P0"));
+        assert!(s.contains("P1"));
+        assert!(s.contains("[request]"));
+        assert!(s.contains("recv<-P0"));
+        assert!(s.contains("ReceiveBrd"));
+        assert!(s.contains("CORRUPTED"));
+        // Idle activations and sends hidden by default.
+        assert!(!s.contains("act (idle)"));
+        assert!(!s.contains("send->"));
+    }
+
+    #[test]
+    fn timeline_options_toggle_noise() {
+        let opts = RenderOptions {
+            show_sends: true,
+            show_idle_activations: true,
+            ..RenderOptions::default()
+        };
+        let s = render_timeline(&sample(), 2, &opts);
+        assert!(s.contains("send->P1"));
+        assert!(s.contains("act (idle)"));
+    }
+
+    #[test]
+    fn timeline_truncates_at_max_entries() {
+        let opts = RenderOptions { max_entries: 2, ..RenderOptions::default() };
+        let s = render_timeline(&sample(), 2, &opts);
+        assert!(s.contains("more entries"));
+    }
+
+    #[test]
+    fn events_renderer_lists_protocol_events() {
+        let s = render_events(&sample(), 0);
+        assert!(s.contains("P1: \"ReceiveBrd\""));
+        let s = render_events(&sample(), 0);
+        assert_eq!(s.lines().count(), 1);
+    }
+}

@@ -1,0 +1,335 @@
+//! Schedulers: who takes the next atomic step.
+//!
+//! An execution of the paper's transition system is a maximal sequence of
+//! steps; the scheduler (the "daemon" of the self-stabilization literature)
+//! picks each step among the applicable moves:
+//!
+//! * `Activate(p)` — process `p` executes its enabled internal actions;
+//! * `Deliver(from → to)` — the head message of a non-empty channel is
+//!   received (its receive action executes).
+//!
+//! Fairness matters for the liveness claims (Start / Termination):
+//! [`RoundRobin`] is deterministically weakly fair; [`RandomScheduler`] is
+//! fair with probability 1. [`ScriptedScheduler`] replays an exact move
+//! sequence and is used by the Figure 1 and Theorem 1 reproductions.
+
+use crate::id::ProcessId;
+use crate::rng::SimRng;
+
+/// One schedulable step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Move {
+    /// Process `p` executes its enabled internal actions.
+    Activate(ProcessId),
+    /// The head message of channel `from → to` is delivered.
+    Deliver {
+        /// Sender side of the channel.
+        from: ProcessId,
+        /// Receiver side of the channel.
+        to: ProcessId,
+    },
+}
+
+/// What the scheduler can see when picking a move: which processes have
+/// enabled internal actions, and which channels are non-empty.
+#[derive(Clone, Debug)]
+pub struct SystemView {
+    /// `enabled[i]` is true if process `i` has an enabled internal action.
+    pub enabled: Vec<bool>,
+    /// All `(from, to)` links whose channel holds at least one message.
+    pub non_empty_links: Vec<(ProcessId, ProcessId)>,
+}
+
+impl SystemView {
+    /// All applicable moves, activations first, in id order.
+    pub fn applicable_moves(&self) -> Vec<Move> {
+        let mut moves: Vec<Move> = self
+            .enabled
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e)
+            .map(|(i, _)| Move::Activate(ProcessId::new(i)))
+            .collect();
+        moves.extend(
+            self.non_empty_links
+                .iter()
+                .map(|&(from, to)| Move::Deliver { from, to }),
+        );
+        moves
+    }
+
+    /// True if no move is applicable: the system is quiescent.
+    pub fn is_quiescent(&self) -> bool {
+        self.non_empty_links.is_empty() && self.enabled.iter().all(|&e| !e)
+    }
+}
+
+/// Chooses the next step of an execution.
+pub trait Scheduler {
+    /// Picks one applicable move, or `None` to end the execution (a
+    /// scheduler must return `None` if no move is applicable).
+    fn next_move(&mut self, view: &SystemView, rng: &mut SimRng) -> Option<Move>;
+}
+
+/// Deterministic, weakly fair scheduler: cycles through all potential moves
+/// (activations and deliveries) in a fixed order, executing the first
+/// applicable one at or after its cursor. Every continuously applicable
+/// move is executed within one full cycle.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// A fresh round-robin scheduler.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn next_move(&mut self, view: &SystemView, _rng: &mut SimRng) -> Option<Move> {
+        let moves = view.applicable_moves();
+        if moves.is_empty() {
+            return None;
+        }
+        let pick = moves[self.cursor % moves.len()];
+        self.cursor = self.cursor.wrapping_add(1);
+        Some(pick)
+    }
+}
+
+/// Uniformly random scheduler (fair with probability 1). The probability of
+/// picking a delivery over an activation can be tilted with
+/// [`RandomScheduler::delivery_bias`] to stress different interleavings.
+#[derive(Clone, Debug)]
+pub struct RandomScheduler {
+    bias: Option<f64>,
+}
+
+impl RandomScheduler {
+    /// Uniform over all applicable moves.
+    pub fn new() -> Self {
+        RandomScheduler { bias: None }
+    }
+
+    /// With probability `p`, pick among deliveries (if any); otherwise among
+    /// activations (if any).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn delivery_bias(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "bias must be a probability");
+        RandomScheduler { bias: Some(p) }
+    }
+}
+
+impl Default for RandomScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn next_move(&mut self, view: &SystemView, rng: &mut SimRng) -> Option<Move> {
+        let activations: Vec<Move> = view
+            .enabled
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e)
+            .map(|(i, _)| Move::Activate(ProcessId::new(i)))
+            .collect();
+        let deliveries: Vec<Move> = view
+            .non_empty_links
+            .iter()
+            .map(|&(from, to)| Move::Deliver { from, to })
+            .collect();
+        match (activations.is_empty(), deliveries.is_empty()) {
+            (true, true) => None,
+            (true, false) => Some(*rng.choose(&deliveries)),
+            (false, true) => Some(*rng.choose(&activations)),
+            (false, false) => {
+                let pick_delivery = match self.bias {
+                    Some(p) => rng.gen_bool(p),
+                    None => {
+                        let total = activations.len() + deliveries.len();
+                        rng.gen_range(0..total) >= activations.len()
+                    }
+                };
+                if pick_delivery {
+                    Some(*rng.choose(&deliveries))
+                } else {
+                    Some(*rng.choose(&activations))
+                }
+            }
+        }
+    }
+}
+
+/// Replays an exact sequence of moves, then stops. Used for the Figure 1
+/// worst-case replay and the Theorem 1 construction, where the adversary
+/// controls the schedule completely.
+#[derive(Clone, Debug)]
+pub struct ScriptedScheduler {
+    script: std::collections::VecDeque<Move>,
+    /// If true (default), a scripted move that is not currently applicable
+    /// is skipped rather than executed; if false the runner will surface an
+    /// error on an impossible delivery.
+    skip_inapplicable: bool,
+}
+
+impl ScriptedScheduler {
+    /// A scheduler replaying `script` in order.
+    pub fn new(script: impl IntoIterator<Item = Move>) -> Self {
+        ScriptedScheduler {
+            script: script.into_iter().collect(),
+            skip_inapplicable: true,
+        }
+    }
+
+    /// Makes inapplicable scripted moves an error instead of skipping them
+    /// (strict replay, used by the Theorem 1 machinery).
+    pub fn strict(mut self) -> Self {
+        self.skip_inapplicable = false;
+        self
+    }
+
+    /// Remaining scripted moves.
+    pub fn remaining(&self) -> usize {
+        self.script.len()
+    }
+}
+
+impl Scheduler for ScriptedScheduler {
+    fn next_move(&mut self, view: &SystemView, _rng: &mut SimRng) -> Option<Move> {
+        while let Some(mv) = self.script.pop_front() {
+            if !self.skip_inapplicable {
+                return Some(mv);
+            }
+            let applicable = match mv {
+                Move::Activate(p) => view.enabled.get(p.index()).copied().unwrap_or(false),
+                Move::Deliver { from, to } => view.non_empty_links.contains(&(from, to)),
+            };
+            if applicable {
+                return Some(mv);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn view(enabled: Vec<bool>, links: Vec<(ProcessId, ProcessId)>) -> SystemView {
+        SystemView { enabled, non_empty_links: links }
+    }
+
+    #[test]
+    fn applicable_moves_order() {
+        let v = view(vec![true, false, true], vec![(p(1), p(0))]);
+        assert_eq!(
+            v.applicable_moves(),
+            vec![
+                Move::Activate(p(0)),
+                Move::Activate(p(2)),
+                Move::Deliver { from: p(1), to: p(0) }
+            ]
+        );
+        assert!(!v.is_quiescent());
+        assert!(view(vec![false, false], vec![]).is_quiescent());
+    }
+
+    #[test]
+    fn round_robin_cycles_all_moves() {
+        let mut s = RoundRobin::new();
+        let mut rng = SimRng::seed_from(0);
+        let v = view(vec![true, true], vec![(p(0), p(1))]);
+        let picks: Vec<_> = (0..3).map(|_| s.next_move(&v, &mut rng).unwrap()).collect();
+        assert_eq!(
+            picks,
+            vec![
+                Move::Activate(p(0)),
+                Move::Activate(p(1)),
+                Move::Deliver { from: p(0), to: p(1) }
+            ]
+        );
+    }
+
+    #[test]
+    fn round_robin_none_when_quiescent() {
+        let mut s = RoundRobin::new();
+        let mut rng = SimRng::seed_from(0);
+        assert_eq!(s.next_move(&view(vec![false], vec![]), &mut rng), None);
+    }
+
+    #[test]
+    fn random_scheduler_picks_applicable() {
+        let mut s = RandomScheduler::new();
+        let mut rng = SimRng::seed_from(42);
+        let v = view(vec![true, false], vec![(p(1), p(0))]);
+        for _ in 0..50 {
+            match s.next_move(&v, &mut rng).unwrap() {
+                Move::Activate(q) => assert_eq!(q, p(0)),
+                Move::Deliver { from, to } => assert_eq!((from, to), (p(1), p(0))),
+            }
+        }
+    }
+
+    #[test]
+    fn random_scheduler_with_full_delivery_bias_prefers_delivery() {
+        let mut s = RandomScheduler::delivery_bias(1.0);
+        let mut rng = SimRng::seed_from(1);
+        let v = view(vec![true], vec![(p(0), p(1))]);
+        for _ in 0..20 {
+            assert!(matches!(
+                s.next_move(&v, &mut rng).unwrap(),
+                Move::Deliver { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn random_scheduler_eventually_picks_everything() {
+        let mut s = RandomScheduler::new();
+        let mut rng = SimRng::seed_from(3);
+        let v = view(vec![true, true], vec![(p(0), p(1))]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(format!("{:?}", s.next_move(&v, &mut rng).unwrap()));
+        }
+        assert_eq!(seen.len(), 3, "all three moves should appear");
+    }
+
+    #[test]
+    fn scripted_replays_in_order_and_skips() {
+        let mut s = ScriptedScheduler::new(vec![
+            Move::Activate(p(0)),
+            Move::Deliver { from: p(0), to: p(1) }, // will be inapplicable -> skipped
+            Move::Activate(p(1)),
+        ]);
+        let mut rng = SimRng::seed_from(0);
+        let v = view(vec![true, true], vec![]);
+        assert_eq!(s.next_move(&v, &mut rng), Some(Move::Activate(p(0))));
+        assert_eq!(s.next_move(&v, &mut rng), Some(Move::Activate(p(1))));
+        assert_eq!(s.next_move(&v, &mut rng), None);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn scripted_strict_returns_inapplicable_moves() {
+        let mut s = ScriptedScheduler::new(vec![Move::Deliver { from: p(0), to: p(1) }]).strict();
+        let mut rng = SimRng::seed_from(0);
+        let v = view(vec![false, false], vec![]);
+        assert_eq!(
+            s.next_move(&v, &mut rng),
+            Some(Move::Deliver { from: p(0), to: p(1) })
+        );
+    }
+}

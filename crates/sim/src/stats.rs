@@ -1,0 +1,65 @@
+//! Aggregate counters of a simulation run, consumed by the benches.
+
+/// Counters accumulated by a [`crate::Runner`] over an execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SimStats {
+    /// Atomic steps executed (activations + deliveries).
+    pub steps: u64,
+    /// Activation steps.
+    pub activations: u64,
+    /// Activation steps in which at least one action executed.
+    pub effective_activations: u64,
+    /// Delivery steps (messages received).
+    pub deliveries: u64,
+    /// Send attempts made by protocol actions.
+    pub sends_attempted: u64,
+    /// Send attempts that entered a channel.
+    pub sends_enqueued: u64,
+    /// Sends lost to the §4 drop-on-full rule.
+    pub lost_full: u64,
+    /// Sends lost by the loss model in transit.
+    pub lost_in_transit: u64,
+    /// Protocol-level events emitted.
+    pub protocol_events: u64,
+}
+
+impl SimStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        SimStats::default()
+    }
+
+    /// Total messages lost (full channels + transit loss).
+    pub fn total_lost(&self) -> u64 {
+        self.lost_full + self.lost_in_transit
+    }
+
+    /// Fraction of send attempts that were eventually delivered so far.
+    /// (Messages still in flight count against this, so it is a lower
+    /// bound during a run and exact once the network is quiescent.)
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sends_attempted == 0 {
+            1.0
+        } else {
+            self.deliveries as f64 / self.sends_attempted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_lost_sums_both_kinds() {
+        let s = SimStats { lost_full: 3, lost_in_transit: 4, ..SimStats::new() };
+        assert_eq!(s.total_lost(), 7);
+    }
+
+    #[test]
+    fn delivery_ratio_handles_zero_sends() {
+        assert_eq!(SimStats::new().delivery_ratio(), 1.0);
+        let s = SimStats { sends_attempted: 10, deliveries: 5, ..SimStats::new() };
+        assert!((s.delivery_ratio() - 0.5).abs() < 1e-9);
+    }
+}

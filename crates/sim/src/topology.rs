@@ -1,0 +1,326 @@
+//! Network topologies beyond the paper's fully-connected system.
+//!
+//! The paper proves its protocols for complete graphs and names general
+//! topologies as an open extension (§5). The simulator supports arbitrary
+//! undirected connected graphs: the fully-connected constructors remain
+//! the default everywhere, and the topology-aware extension protocols
+//! (crate `snapstab-topology`) restrict communication to graph edges.
+
+use crate::id::ProcessId;
+
+/// An undirected graph over processes `0 .. n`, stored as an adjacency
+/// matrix (systems are small; O(n²) bits is irrelevant).
+///
+/// ```
+/// use snapstab_sim::{ProcessId, Topology};
+/// let ring = Topology::ring(5);
+/// assert!(ring.is_connected());
+/// assert_eq!(ring.neighbors(ProcessId::new(0)).len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Topology {
+    n: usize,
+    adj: Vec<bool>,
+}
+
+impl Topology {
+    fn empty(n: usize) -> Self {
+        assert!(n >= 2, "a topology needs at least 2 processes");
+        Topology { n, adj: vec![false; n * n] }
+    }
+
+    fn idx(&self, a: ProcessId, b: ProcessId) -> usize {
+        a.index() * self.n + b.index()
+    }
+
+    /// The complete graph (the paper's setting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn complete(n: usize) -> Self {
+        let mut t = Topology::empty(n);
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    t.adj[a * n + b] = true;
+                }
+            }
+        }
+        t
+    }
+
+    /// The cycle `0 — 1 — … — n−1 — 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` (a 2-cycle is a multi-edge).
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 processes");
+        let mut t = Topology::empty(n);
+        for a in 0..n {
+            t.add_edge(ProcessId::new(a), ProcessId::new((a + 1) % n));
+        }
+        t
+    }
+
+    /// The path `0 — 1 — … — n−1`.
+    pub fn path(n: usize) -> Self {
+        let mut t = Topology::empty(n);
+        for a in 0..n - 1 {
+            t.add_edge(ProcessId::new(a), ProcessId::new(a + 1));
+        }
+        t
+    }
+
+    /// The star with center `0`.
+    pub fn star(n: usize) -> Self {
+        let mut t = Topology::empty(n);
+        for a in 1..n {
+            t.add_edge(ProcessId::new(0), ProcessId::new(a));
+        }
+        t
+    }
+
+    /// A complete binary tree rooted at `0` (node `i`'s children are
+    /// `2i + 1` and `2i + 2` where they exist).
+    pub fn binary_tree(n: usize) -> Self {
+        let mut t = Topology::empty(n);
+        for a in 1..n {
+            t.add_edge(ProcessId::new(a), ProcessId::new((a - 1) / 2));
+        }
+        t
+    }
+
+    /// A tree from a parent array: `parents[i]` is the parent of process
+    /// `i + 1` (process 0 is the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parent index is out of range or not smaller than its
+    /// child (which would allow cycles).
+    pub fn from_parents(parents: &[usize]) -> Self {
+        let n = parents.len() + 1;
+        let mut t = Topology::empty(n);
+        for (i, &par) in parents.iter().enumerate() {
+            let child = i + 1;
+            assert!(par < child, "parent {par} must precede child {child}");
+            t.add_edge(ProcessId::new(par), ProcessId::new(child));
+        }
+        t
+    }
+
+    /// An arbitrary graph from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or self-loops.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut t = Topology::empty(n);
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of range");
+            t.add_edge(ProcessId::new(a), ProcessId::new(b));
+        }
+        t
+    }
+
+    /// Adds the undirected edge `{a, b}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range ids.
+    pub fn add_edge(&mut self, a: ProcessId, b: ProcessId) {
+        assert!(a != b, "no self-loops");
+        assert!(a.index() < self.n && b.index() < self.n, "edge out of range");
+        let (i, j) = (self.idx(a, b), self.idx(b, a));
+        self.adj[i] = true;
+        self.adj[j] = true;
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// True if `{a, b}` is an edge.
+    pub fn has_edge(&self, a: ProcessId, b: ProcessId) -> bool {
+        a != b && self.adj[self.idx(a, b)]
+    }
+
+    /// The neighbors of `p`, in id order.
+    pub fn neighbors(&self, p: ProcessId) -> Vec<ProcessId> {
+        (0..self.n)
+            .map(ProcessId::new)
+            .filter(|&q| self.has_edge(p, q))
+            .collect()
+    }
+
+    /// Degree of `p`.
+    pub fn degree(&self, p: ProcessId) -> usize {
+        self.neighbors(p).len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().filter(|&&e| e).count() / 2
+    }
+
+    /// True if every process can reach every other over edges.
+    pub fn is_connected(&self) -> bool {
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(a) = stack.pop() {
+            for b in 0..self.n {
+                if self.adj[a * self.n + b] && !seen[b] {
+                    seen[b] = true;
+                    stack.push(b);
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    /// True if the graph is a tree (connected, `n − 1` edges).
+    pub fn is_tree(&self) -> bool {
+        self.is_connected() && self.edge_count() == self.n - 1
+    }
+
+    /// Graph diameter (longest shortest path), by BFS from every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected (no finite diameter).
+    pub fn diameter(&self) -> usize {
+        assert!(self.is_connected(), "diameter of a disconnected graph");
+        let mut best = 0usize;
+        for s in 0..self.n {
+            let mut dist = vec![usize::MAX; self.n];
+            dist[s] = 0;
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(a) = queue.pop_front() {
+                for b in 0..self.n {
+                    if self.adj[a * self.n + b] && dist[b] == usize::MAX {
+                        dist[b] = dist[a] + 1;
+                        queue.push_back(b);
+                    }
+                }
+            }
+            best = best.max(dist.into_iter().max().expect("non-empty"));
+        }
+        best
+    }
+
+    /// A breadth-first spanning tree rooted at `root` (for running the
+    /// tree protocols over non-tree graphs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected.
+    pub fn bfs_spanning_tree(&self, root: ProcessId) -> Topology {
+        assert!(self.is_connected(), "spanning tree of a disconnected graph");
+        let mut t = Topology::empty(self.n);
+        let mut seen = vec![false; self.n];
+        seen[root.index()] = true;
+        let mut queue = std::collections::VecDeque::from([root.index()]);
+        while let Some(a) = queue.pop_front() {
+            for b in 0..self.n {
+                if self.adj[a * self.n + b] && !seen[b] {
+                    seen[b] = true;
+                    t.add_edge(ProcessId::new(a), ProcessId::new(b));
+                    queue.push_back(b);
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn complete_graph_shape() {
+        let t = Topology::complete(4);
+        assert_eq!(t.edge_count(), 6);
+        assert!(t.is_connected());
+        assert!(!t.is_tree());
+        assert_eq!(t.diameter(), 1);
+        assert_eq!(t.degree(p(2)), 3);
+    }
+
+    #[test]
+    fn ring_shape() {
+        let t = Topology::ring(6);
+        assert_eq!(t.edge_count(), 6);
+        assert!(t.is_connected());
+        assert_eq!(t.diameter(), 3);
+        assert!(t.neighbors(p(0)).contains(&p(5)));
+    }
+
+    #[test]
+    fn path_and_star_are_trees() {
+        assert!(Topology::path(5).is_tree());
+        assert!(Topology::star(5).is_tree());
+        assert_eq!(Topology::path(5).diameter(), 4);
+        assert_eq!(Topology::star(5).diameter(), 2);
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let t = Topology::binary_tree(7);
+        assert!(t.is_tree());
+        assert_eq!(t.degree(p(0)), 2);
+        assert_eq!(t.degree(p(1)), 3);
+        assert_eq!(t.diameter(), 4);
+    }
+
+    #[test]
+    fn from_parents_builds_the_tree() {
+        // 0 is root; 1, 2 children of 0; 3 child of 2.
+        let t = Topology::from_parents(&[0, 0, 2]);
+        assert!(t.is_tree());
+        assert_eq!(t.neighbors(p(2)), vec![p(0), p(3)]);
+    }
+
+    #[test]
+    fn from_edges_and_connectivity() {
+        let t = Topology::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!t.is_connected());
+        let t2 = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(t2.is_connected());
+        assert!(!t2.is_tree());
+    }
+
+    #[test]
+    fn bfs_spanning_tree_spans() {
+        let t = Topology::complete(6);
+        let tree = t.bfs_spanning_tree(p(2));
+        assert!(tree.is_tree());
+        for q in 0..6 {
+            if q != 2 {
+                assert!(tree.has_edge(p(2), p(q)), "complete graph BFS tree is a star");
+            }
+        }
+        let ring_tree = Topology::ring(5).bfs_spanning_tree(p(0));
+        assert!(ring_tree.is_tree());
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-loops")]
+    fn self_loops_rejected() {
+        let mut t = Topology::path(3);
+        t.add_edge(p(1), p(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_rejected() {
+        let _ = Topology::ring(2);
+    }
+}

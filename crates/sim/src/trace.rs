@@ -1,0 +1,252 @@
+//! Typed execution traces.
+//!
+//! A trace is the observable record of an execution: one entry per atomic
+//! step (plus harness markers), carrying activations, sends (with their
+//! fate), deliveries, protocol events, and fault injections. The
+//! specification checkers of `snapstab-core` — Start, Correctness,
+//! Termination, Decision — are predicates over these traces, matching the
+//! paper's definition of a specification as "a predicate defined on the
+//! executions".
+
+use crate::id::ProcessId;
+
+/// The fate of a send attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SendFate {
+    /// The message entered the channel.
+    Enqueued,
+    /// The channel was full; the §4 drop-on-full rule lost the message.
+    LostFull,
+    /// The loss model lost the message in transit.
+    LostInTransit,
+}
+
+/// One observable event of an execution.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TraceEvent<M, E> {
+    /// A process executed its enabled internal actions (`acted` is false if
+    /// no guard was true).
+    Activated {
+        /// The activated process.
+        p: ProcessId,
+        /// Whether any action actually executed.
+        acted: bool,
+    },
+    /// A message send attempt and its fate.
+    Sent {
+        /// Sender.
+        from: ProcessId,
+        /// Receiver.
+        to: ProcessId,
+        /// The message.
+        msg: M,
+        /// What happened to it.
+        fate: SendFate,
+    },
+    /// A message was delivered (its receive action executed).
+    Delivered {
+        /// Sender.
+        from: ProcessId,
+        /// Receiver.
+        to: ProcessId,
+        /// The message.
+        msg: M,
+    },
+    /// A protocol-level event emitted by a process.
+    Protocol {
+        /// The emitting process.
+        p: ProcessId,
+        /// The event payload.
+        event: E,
+    },
+    /// A transient fault corrupted this process's variables.
+    Corrupted {
+        /// The corrupted process.
+        p: ProcessId,
+    },
+    /// A harness marker (e.g. "request injected at p").
+    Marker {
+        /// Process the marker concerns.
+        p: ProcessId,
+        /// Free-form label.
+        label: String,
+    },
+}
+
+/// A trace entry: an event stamped with the step at which it occurred.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TraceEntry<M, E> {
+    /// Global step number.
+    pub step: u64,
+    /// The event.
+    pub event: TraceEvent<M, E>,
+}
+
+/// An execution trace: a chronological sequence of [`TraceEntry`] values.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Trace<M, E> {
+    entries: Vec<TraceEntry<M, E>>,
+}
+
+impl<M, E> Default for Trace<M, E> {
+    fn default() -> Self {
+        Trace { entries: Vec::new() }
+    }
+}
+
+impl<M, E> Trace<M, E> {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event at the given step.
+    pub fn push(&mut self, step: u64, event: TraceEvent<M, E>) {
+        self.entries.push(TraceEntry { step, event });
+    }
+
+    /// Appends a harness marker.
+    pub fn push_marker(&mut self, step: u64, p: ProcessId, label: impl Into<String>) {
+        self.push(step, TraceEvent::Marker { p, label: label.into() });
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the trace has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries, chronologically.
+    pub fn entries(&self) -> &[TraceEntry<M, E>] {
+        &self.entries
+    }
+
+    /// Iterates over `(step, event)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry<M, E>> {
+        self.entries.iter()
+    }
+
+    /// Iterates over the protocol events of process `p` with their steps.
+    pub fn protocol_events_of(&self, p: ProcessId) -> impl Iterator<Item = (u64, &E)> {
+        self.entries.iter().filter_map(move |te| match &te.event {
+            TraceEvent::Protocol { p: q, event } if *q == p => Some((te.step, event)),
+            _ => None,
+        })
+    }
+
+    /// Iterates over all protocol events with their steps and emitters.
+    pub fn protocol_events(&self) -> impl Iterator<Item = (u64, ProcessId, &E)> {
+        self.entries.iter().filter_map(|te| match &te.event {
+            TraceEvent::Protocol { p, event } => Some((te.step, *p, event)),
+            _ => None,
+        })
+    }
+
+    /// Iterates over markers `(step, process, label)`.
+    pub fn markers(&self) -> impl Iterator<Item = (u64, ProcessId, &str)> {
+        self.entries.iter().filter_map(|te| match &te.event {
+            TraceEvent::Marker { p, label } => Some((te.step, *p, label.as_str())),
+            _ => None,
+        })
+    }
+
+    /// The step of the first event matching `pred`, searching entries at or
+    /// after `from_step`.
+    pub fn find_from(
+        &self,
+        from_step: u64,
+        mut pred: impl FnMut(&TraceEvent<M, E>) -> bool,
+    ) -> Option<u64> {
+        self.entries
+            .iter()
+            .filter(|te| te.step >= from_step)
+            .find(|te| pred(&te.event))
+            .map(|te| te.step)
+    }
+
+    /// Counts events matching `pred`.
+    pub fn count(&self, mut pred: impl FnMut(&TraceEvent<M, E>) -> bool) -> usize {
+        self.entries.iter().filter(|te| pred(&te.event)).count()
+    }
+
+    /// Clears the trace, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    type T = Trace<u8, &'static str>;
+
+    #[test]
+    fn push_and_query() {
+        let mut t = T::new();
+        assert!(t.is_empty());
+        t.push(0, TraceEvent::Activated { p: p(0), acted: true });
+        t.push(
+            1,
+            TraceEvent::Sent { from: p(0), to: p(1), msg: 7, fate: SendFate::Enqueued },
+        );
+        t.push(2, TraceEvent::Protocol { p: p(1), event: "brd" });
+        t.push(3, TraceEvent::Protocol { p: p(0), event: "fck" });
+        assert_eq!(t.len(), 4);
+
+        let of1: Vec<_> = t.protocol_events_of(p(1)).collect();
+        assert_eq!(of1, vec![(2, &"brd")]);
+
+        let all: Vec<_> = t.protocol_events().map(|(s, q, e)| (s, q, *e)).collect();
+        assert_eq!(all, vec![(2, p(1), "brd"), (3, p(0), "fck")]);
+    }
+
+    #[test]
+    fn find_from_respects_start() {
+        let mut t = T::new();
+        t.push(0, TraceEvent::Protocol { p: p(0), event: "x" });
+        t.push(5, TraceEvent::Protocol { p: p(0), event: "x" });
+        let is_x = |e: &TraceEvent<u8, &'static str>| {
+            matches!(e, TraceEvent::Protocol { event: "x", .. })
+        };
+        assert_eq!(t.find_from(0, is_x), Some(0));
+        assert_eq!(t.find_from(1, is_x), Some(5));
+        assert_eq!(t.find_from(6, is_x), None);
+    }
+
+    #[test]
+    fn markers_round_trip() {
+        let mut t = T::new();
+        t.push_marker(4, p(2), "request");
+        let ms: Vec<_> = t.markers().collect();
+        assert_eq!(ms, vec![(4, p(2), "request")]);
+    }
+
+    #[test]
+    fn count_matches() {
+        let mut t = T::new();
+        for i in 0..4 {
+            t.push(i, TraceEvent::Activated { p: p(0), acted: i % 2 == 0 });
+        }
+        assert_eq!(
+            t.count(|e| matches!(e, TraceEvent::Activated { acted: true, .. })),
+            2
+        );
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t = T::new();
+        t.push(0, TraceEvent::Corrupted { p: p(0) });
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Ready-made aggregations for tree waves: the applications §4.1 names
+//! (leader election, snapshot) plus basic census operations, each lifted
+//! from the complete graph to arbitrary trees.
+
+use snapstab_sim::ProcessId;
+
+use crate::node::TreeAggregate;
+
+/// Counts the processes the wave reached (a census / termination-size
+/// check). The root's result must equal `n`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Count;
+
+impl<B> TreeAggregate<B, u64> for Count {
+    fn local(&mut self, _me: ProcessId, _payload: &B) -> u64 {
+        1
+    }
+    fn combine(&mut self, acc: u64, child: u64) -> u64 {
+        // Saturating: corrupted (never-started) computations may combine
+        // arbitrary garbage; they owe no result, only termination.
+        acc.saturating_add(child)
+    }
+}
+
+/// Minimum identity over the tree — leader election (the tree analogue of
+/// the paper's IDs-Learning giving `minID`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MinId {
+    /// This process's constant identity.
+    pub my_id: u64,
+}
+
+impl<B> TreeAggregate<B, u64> for MinId {
+    fn local(&mut self, _me: ProcessId, _payload: &B) -> u64 {
+        self.my_id
+    }
+    fn combine(&mut self, acc: u64, child: u64) -> u64 {
+        acc.min(child)
+    }
+}
+
+/// Sums a per-process value (load aggregation).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SumValue {
+    /// This process's contribution.
+    pub mine: u64,
+}
+
+impl<B> TreeAggregate<B, u64> for SumValue {
+    fn local(&mut self, _me: ProcessId, _payload: &B) -> u64 {
+        self.mine
+    }
+    fn combine(&mut self, acc: u64, child: u64) -> u64 {
+        acc.saturating_add(child)
+    }
+}
+
+/// Gathers `(process, value)` pairs — a global snapshot over the tree.
+/// The root's result lists every process exactly once (sorted by id for
+/// determinism).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Gather {
+    /// This process's snapshot value.
+    pub mine: u64,
+}
+
+impl<B> TreeAggregate<B, Vec<(ProcessId, u64)>> for Gather {
+    fn local(&mut self, me: ProcessId, _payload: &B) -> Vec<(ProcessId, u64)> {
+        vec![(me, self.mine)]
+    }
+    fn combine(
+        &mut self,
+        mut acc: Vec<(ProcessId, u64)>,
+        child: Vec<(ProcessId, u64)>,
+    ) -> Vec<(ProcessId, u64)> {
+        acc.extend(child);
+        acc.sort_by_key(|&(p, _)| p);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn count_counts() {
+        let mut c = Count;
+        let one = <Count as TreeAggregate<u8, u64>>::local(&mut c, p(0), &0);
+        assert_eq!(<Count as TreeAggregate<u8, u64>>::combine(&mut c, one, 3), 4);
+    }
+
+    #[test]
+    fn min_id_elects() {
+        let mut m = MinId { my_id: 17 };
+        let mine = <MinId as TreeAggregate<u8, u64>>::local(&mut m, p(0), &0);
+        assert_eq!(<MinId as TreeAggregate<u8, u64>>::combine(&mut m, mine, 5), 5);
+        assert_eq!(<MinId as TreeAggregate<u8, u64>>::combine(&mut m, mine, 99), 17);
+    }
+
+    #[test]
+    fn gather_collects_sorted() {
+        let mut g = Gather { mine: 7 };
+        let a = <Gather as TreeAggregate<u8, _>>::local(&mut g, p(2), &0);
+        let b = vec![(p(0), 1), (p(1), 2)];
+        let merged = <Gather as TreeAggregate<u8, _>>::combine(&mut g, a, b);
+        assert_eq!(merged, vec![(p(0), 1), (p(1), 2), (p(2), 7)]);
+    }
+}

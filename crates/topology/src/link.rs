@@ -1,0 +1,398 @@
+//! The per-edge handshake: Algorithm 1's five-valued flag discipline
+//! distilled to a single directed link, with *deferred feedback*.
+//!
+//! Each directed link `u → w` runs one [`ProbeUnit`] at `u` (the wave
+//! initiator side) against one [`ResponderUnit`] at `w`. The probe carries
+//! `u`'s flag; the responder echoes it back; the probe's flag must climb
+//! `0 → max` one echo at a time, exactly as in Algorithm 1, so Lemma 4's
+//! causality argument applies per edge: the completing echo was sent by
+//! `w` *after* `w` received a post-start probe of `u`.
+//!
+//! The one deliberate deviation from the flat protocol: the responder may
+//! **withhold** its echo of the broadcast-trigger value (the paper's `3`)
+//! until the upper layer provides the feedback value. The initiator keeps
+//! retransmitting (Algorithm 1's A2), so termination is preserved as long
+//! as the feedback eventually arrives — the tree layer guarantees that by
+//! induction over subtree depth. Echoes of smaller flag values are never
+//! withheld (they carry no feedback obligation), keeping the `0 → 3` climb
+//! as fast as in the flat protocol.
+
+use snapstab_core::flag::{Flag, FlagDomain};
+use snapstab_core::request::RequestState;
+
+/// The initiator side of one directed link wave.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProbeUnit<B> {
+    domain: FlagDomain,
+    request: RequestState,
+    payload: B,
+    state: Flag,
+}
+
+/// What [`ProbeUnit::on_reply`] observed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProbeOutcome<V> {
+    /// The echo did not advance the handshake (stale or duplicate).
+    Ignored,
+    /// The flag advanced but the wave is not complete.
+    Advanced,
+    /// The final increment happened: the link wave is complete and this is
+    /// the feedback the responder attached (the `receive-fck`).
+    Completed(V),
+}
+
+impl<B: Clone> ProbeUnit<B> {
+    /// A quiescent unit (`Request = Done`).
+    pub fn new(domain: FlagDomain, idle_payload: B) -> Self {
+        ProbeUnit {
+            domain,
+            request: RequestState::Done,
+            payload: idle_payload,
+            state: domain.max(),
+        }
+    }
+
+    /// The flag domain.
+    pub fn domain(&self) -> FlagDomain {
+        self.domain
+    }
+
+    /// Current request state of this link wave.
+    pub fn request(&self) -> RequestState {
+        self.request
+    }
+
+    /// The current flag.
+    pub fn state(&self) -> Flag {
+        self.state
+    }
+
+    /// The payload being waved.
+    pub fn payload(&self) -> &B {
+        &self.payload
+    }
+
+    /// Unconditionally starts (or restarts) a wave of `payload` — the
+    /// upper layer's `Request ← Wait` plus the immediate A1.
+    pub fn force_start(&mut self, payload: B) {
+        self.payload = payload;
+        self.request = RequestState::In;
+        self.state = Flag::ZERO;
+    }
+
+    /// True while a wave is running.
+    pub fn is_busy(&self) -> bool {
+        self.request == RequestState::In
+    }
+
+    /// True in the corruption-only wedge `Request = In ∧ flag complete`:
+    /// the unit neither retransmits nor can ever be completed by an echo
+    /// (the protocol always sets `Done` atomically with the completing
+    /// increment, so only a transient fault produces this combination).
+    /// The owner must repair it via [`ProbeUnit::force_start`] or
+    /// [`ProbeUnit::abort`].
+    pub fn is_wedged(&self) -> bool {
+        self.request == RequestState::In && self.state.is_complete(self.domain)
+    }
+
+    /// Abandons the wave (`Request ← Done`, no feedback delivered). Used
+    /// to clear the corruption-only wedge when no live owner wants the
+    /// wave restarted.
+    pub fn abort(&mut self) {
+        self.request = RequestState::Done;
+    }
+
+    /// A2: the probe to retransmit, if the wave is running. The caller
+    /// sends `Probe { payload, sender_state }` on the link.
+    pub fn tick(&self) -> Option<(B, Flag)> {
+        if self.request == RequestState::In && !self.state.is_complete(self.domain) {
+            Some((self.payload.clone(), self.state))
+        } else {
+            None
+        }
+    }
+
+    /// A3 (initiator half): processes an echo. Completion **requires** an
+    /// attached feedback: a genuine broadcast-value echo always carries
+    /// one (the responder withholds until ready), so a `None` at the final
+    /// step is stale by construction and is ignored.
+    pub fn on_reply<V>(&mut self, echoed: Flag, feedback: Option<V>) -> ProbeOutcome<V> {
+        if self.request != RequestState::In {
+            return ProbeOutcome::Ignored;
+        }
+        if self.state != echoed || self.state.is_complete(self.domain) {
+            return ProbeOutcome::Ignored;
+        }
+        let next = self.state.incremented(self.domain);
+        if next.is_complete(self.domain) {
+            match feedback {
+                Some(v) => {
+                    self.state = next;
+                    self.request = RequestState::Done;
+                    ProbeOutcome::Completed(v)
+                }
+                // A broadcast-value echo without feedback cannot be
+                // genuine; refuse the increment and keep retransmitting.
+                None => ProbeOutcome::Ignored,
+            }
+        } else {
+            self.state = next;
+            ProbeOutcome::Advanced
+        }
+    }
+
+    /// Overwrites the variables with arbitrary in-domain values
+    /// (transient-fault injection). The payload is overwritten by the
+    /// caller, which knows `B`'s domain.
+    pub fn corrupt_flags(&mut self, request: RequestState, state: Flag) {
+        self.request = request;
+        self.state = self.domain.clamp(state);
+    }
+}
+
+/// The responder side of one directed link wave.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ResponderUnit<V> {
+    domain: FlagDomain,
+    neig_state: Flag,
+    feedback: Option<V>,
+}
+
+/// What [`ResponderUnit::on_probe`] decided.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProbeReceipt<V> {
+    /// The `receive-brd` event fired: this is the first sight of the
+    /// initiator's broadcast-trigger flag — the upper layer must reset its
+    /// relay context for this link and begin computing the feedback.
+    pub brd_fired: bool,
+    /// The reply to send back, if any: `(echoed_flag, feedback)`. `None`
+    /// when the echo is withheld (broadcast-trigger received but the
+    /// feedback is not ready) or the initiator is already complete.
+    pub reply: Option<(Flag, Option<V>)>,
+}
+
+impl<V: Clone> ResponderUnit<V> {
+    /// A quiescent unit.
+    pub fn new(domain: FlagDomain) -> Self {
+        ResponderUnit { domain, neig_state: domain.max(), feedback: None }
+    }
+
+    /// The last flag received from the initiator.
+    pub fn neig_state(&self) -> Flag {
+        self.neig_state
+    }
+
+    /// The currently attached feedback.
+    pub fn feedback(&self) -> Option<&V> {
+        self.feedback.as_ref()
+    }
+
+    /// Attaches the feedback (the upper layer's subtree aggregate is
+    /// ready); subsequent broadcast-trigger echoes will carry it.
+    pub fn set_feedback(&mut self, v: V) {
+        self.feedback = Some(v);
+    }
+
+    /// Detaches the feedback (a new wave began on this link).
+    pub fn clear_feedback(&mut self) {
+        self.feedback = None;
+    }
+
+    /// A3 (responder half): processes a probe carrying `sender_state`.
+    pub fn on_probe(&mut self, sender_state: Flag) -> ProbeReceipt<V> {
+        let sender_state = self.domain.clamp(sender_state);
+        let brd_fired = self.neig_state != self.domain.broadcast_value()
+            && sender_state == self.domain.broadcast_value();
+        if brd_fired {
+            // The new wave invalidates any previously attached feedback.
+            self.feedback = None;
+        }
+        self.neig_state = sender_state;
+        let reply = if sender_state.is_complete(self.domain) {
+            None // the initiator is done; nothing to echo (paper: qState = 4)
+        } else if sender_state == self.domain.broadcast_value() && self.feedback.is_none() {
+            None // withheld: feedback not ready yet
+        } else {
+            Some((sender_state, self.feedback.clone()))
+        };
+        ProbeReceipt { brd_fired, reply }
+    }
+
+    /// Overwrites the variables with arbitrary values (fault injection).
+    pub fn corrupt(&mut self, neig_state: Flag, feedback: Option<V>) {
+        self.neig_state = self.domain.clamp(neig_state);
+        self.feedback = feedback;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> FlagDomain {
+        FlagDomain::PAPER
+    }
+
+    /// Runs one clean link wave end to end over a lossless virtual link.
+    #[test]
+    fn clean_wave_completes_with_the_attached_feedback() {
+        let mut probe: ProbeUnit<&str> = ProbeUnit::new(domain(), "");
+        let mut resp: ResponderUnit<u32> = ResponderUnit::new(domain());
+        resp.corrupt(Flag::ZERO, None);
+        probe.force_start("hello");
+
+        let mut completed = None;
+        let mut brd_count = 0;
+        for _ in 0..16 {
+            if let Some((payload, s)) = probe.tick() {
+                assert_eq!(payload, "hello");
+                let receipt = resp.on_probe(s);
+                if receipt.brd_fired {
+                    brd_count += 1;
+                    resp.set_feedback(42); // upper layer: leaf is ready at once
+                }
+                if let Some((echoed, f)) = receipt.reply {
+                    if let ProbeOutcome::Completed(v) = probe.on_reply(echoed, f) {
+                        completed = Some(v);
+                        break;
+                    }
+                }
+            }
+        }
+        assert_eq!(completed, Some(42));
+        assert_eq!(brd_count, 1, "exactly one receive-brd per wave");
+        assert!(!probe.is_busy());
+    }
+
+    #[test]
+    fn withheld_echo_stalls_the_final_increment_only() {
+        let mut probe: ProbeUnit<u8> = ProbeUnit::new(domain(), 0);
+        let mut resp: ResponderUnit<u32> = ResponderUnit::new(domain());
+        resp.corrupt(Flag::ZERO, None);
+        probe.force_start(9);
+
+        // Climb to the broadcast value without feedback.
+        for _ in 0..8 {
+            if probe.state() == domain().broadcast_value() {
+                break;
+            }
+            let (_, s) = probe.tick().expect("busy");
+            if let Some((echoed, f)) = resp.on_probe(s).reply {
+                let _ = probe.on_reply::<u32>(echoed, f);
+            }
+        }
+        assert_eq!(probe.state(), domain().broadcast_value());
+
+        // Feedback not ready: the responder withholds; the probe stalls.
+        let (_, s) = probe.tick().expect("busy");
+        let receipt = resp.on_probe(s);
+        assert!(receipt.reply.is_none(), "withheld");
+        assert!(probe.is_busy());
+
+        // Feedback arrives; the next retransmission completes the wave.
+        resp.set_feedback(7);
+        let (_, s) = probe.tick().expect("busy");
+        let receipt = resp.on_probe(s);
+        let (echoed, f) = receipt.reply.expect("released");
+        assert_eq!(probe.on_reply(echoed, f), ProbeOutcome::Completed(7));
+    }
+
+    #[test]
+    fn completion_without_feedback_is_refused() {
+        let mut probe: ProbeUnit<u8> = ProbeUnit::new(domain(), 0);
+        probe.force_start(1);
+        // Force the flag to the broadcast value, then offer a bare echo.
+        let _ = probe.on_reply::<u32>(Flag::new(0), None);
+        let _ = probe.on_reply::<u32>(Flag::new(1), None);
+        let _ = probe.on_reply::<u32>(Flag::new(2), None);
+        assert_eq!(probe.state(), Flag::new(3));
+        assert_eq!(probe.on_reply::<u32>(Flag::new(3), None), ProbeOutcome::Ignored);
+        assert!(probe.is_busy(), "a feedback-less broadcast echo cannot complete the wave");
+    }
+
+    #[test]
+    fn receive_brd_resets_stale_feedback() {
+        // A corrupted responder holds ready garbage; the genuine wave's
+        // first broadcast-trigger probe clears it before any echo can
+        // carry it.
+        let mut resp: ResponderUnit<u32> = ResponderUnit::new(domain());
+        resp.corrupt(Flag::new(1), Some(666));
+        let receipt = resp.on_probe(Flag::new(3));
+        assert!(receipt.brd_fired);
+        assert!(receipt.reply.is_none(), "cleared and withheld, not leaked");
+        assert_eq!(resp.feedback(), None);
+    }
+
+    #[test]
+    fn non_trigger_echoes_are_never_withheld() {
+        let mut resp: ResponderUnit<u32> = ResponderUnit::new(domain());
+        resp.corrupt(Flag::ZERO, None);
+        for s in 0..3u8 {
+            let receipt = resp.on_probe(Flag::new(s));
+            assert!(receipt.reply.is_some(), "flag {s} echo flows freely");
+        }
+    }
+
+    #[test]
+    fn complete_initiators_get_no_reply() {
+        let mut resp: ResponderUnit<u32> = ResponderUnit::new(domain());
+        let receipt = resp.on_probe(Flag::new(4));
+        assert!(receipt.reply.is_none());
+    }
+
+    #[test]
+    fn stale_echoes_are_ignored() {
+        let mut probe: ProbeUnit<u8> = ProbeUnit::new(domain(), 0);
+        probe.force_start(1);
+        assert_eq!(probe.on_reply::<u32>(Flag::new(2), None), ProbeOutcome::Ignored);
+        assert_eq!(probe.state(), Flag::ZERO);
+        // Idle probes ignore everything.
+        let mut idle: ProbeUnit<u8> = ProbeUnit::new(domain(), 0);
+        assert_eq!(idle.on_reply::<u32>(Flag::new(4), Some(1)), ProbeOutcome::Ignored);
+    }
+
+    #[test]
+    fn wedge_is_detected_and_repairable() {
+        // The corruption-only combination: In with a complete flag.
+        let mut probe: ProbeUnit<u8> = ProbeUnit::new(domain(), 0);
+        probe.corrupt_flags(RequestState::In, Flag::new(4));
+        assert!(probe.is_wedged());
+        assert!(probe.tick().is_none(), "no retransmission from the wedge");
+        assert_eq!(probe.on_reply::<u32>(Flag::new(4), Some(1)), ProbeOutcome::Ignored);
+        // Repair path 1: abort.
+        let mut aborted = probe.clone();
+        aborted.abort();
+        assert!(!aborted.is_wedged());
+        assert!(!aborted.is_busy());
+        // Repair path 2: restart.
+        probe.force_start(5);
+        assert!(!probe.is_wedged());
+        assert!(probe.is_busy());
+        assert_eq!(probe.state(), Flag::ZERO);
+    }
+
+    #[test]
+    fn normal_operation_never_wedges() {
+        let mut probe: ProbeUnit<u8> = ProbeUnit::new(domain(), 0);
+        assert!(!probe.is_wedged(), "idle unit is not wedged");
+        probe.force_start(1);
+        for s in 0..3u8 {
+            assert!(!probe.is_wedged());
+            let _ = probe.on_reply::<u32>(Flag::new(s), None);
+        }
+        let _ = probe.on_reply(Flag::new(3), Some(9u32));
+        assert!(!probe.is_wedged(), "completion goes straight to Done");
+        assert!(!probe.is_busy());
+    }
+
+    #[test]
+    fn restart_resets_the_flag() {
+        let mut probe: ProbeUnit<u8> = ProbeUnit::new(domain(), 0);
+        probe.force_start(1);
+        let _ = probe.on_reply::<u32>(Flag::new(0), None);
+        assert_eq!(probe.state(), Flag::new(1));
+        probe.force_start(2);
+        assert_eq!(probe.state(), Flag::ZERO);
+        assert_eq!(probe.payload(), &2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Executable specification of a tree wave: Specification 1 lifted to
+//! trees, checked on recorded traces.
+
+use snapstab_sim::{ProcessId, Trace, TraceEvent};
+
+use crate::node::{TreeEvent, TreeMsg};
+
+/// Verdict for one started root wave.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TreeWaveVerdict {
+    /// Start: the root's starting action ran after the request.
+    pub started: bool,
+    /// Termination + Decision: the root decided after starting.
+    pub decided: bool,
+    /// Correctness (broadcast): every other process received the wave's
+    /// payload between the start and the decision.
+    pub all_received: bool,
+    /// Correctness (feedback): the decided result equals the expected
+    /// aggregate.
+    pub result_exact: bool,
+    /// Processes that never saw the payload (diagnostics).
+    pub missing: Vec<ProcessId>,
+}
+
+impl TreeWaveVerdict {
+    /// True if the wave satisfied the whole specification.
+    pub fn holds(&self) -> bool {
+        self.started && self.decided && self.all_received && self.result_exact
+    }
+}
+
+/// Checks the first root wave of `root` requested at `req_step`:
+/// `payload` is what was broadcast, `expected` the correct tree-wide
+/// aggregate.
+pub fn check_tree_wave<B, V>(
+    trace: &Trace<TreeMsg<B, V>, TreeEvent<B, V>>,
+    root: ProcessId,
+    n: usize,
+    req_step: u64,
+    payload: &B,
+    expected: &V,
+) -> TreeWaveVerdict
+where
+    B: Clone + std::fmt::Debug + PartialEq + 'static,
+    V: Clone + std::fmt::Debug + PartialEq + 'static,
+{
+    let mut start_step = None;
+    let mut decision_step = None;
+    let mut result_exact = false;
+
+    for entry in trace.iter() {
+        if entry.step < req_step {
+            continue;
+        }
+        if let TraceEvent::Protocol { p, event } = &entry.event {
+            if *p != root {
+                continue;
+            }
+            match event {
+                TreeEvent::RootStarted if start_step.is_none() => {
+                    start_step = Some(entry.step);
+                }
+                TreeEvent::RootDecided { result }
+                    if start_step.is_some() && decision_step.is_none() =>
+                {
+                    decision_step = Some(entry.step);
+                    result_exact = result == expected;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let (started, decided) = (start_step.is_some(), decision_step.is_some());
+    let lo = start_step.unwrap_or(u64::MAX);
+    let hi = decision_step.unwrap_or(u64::MAX);
+
+    let mut missing = Vec::new();
+    if started && decided {
+        for i in 0..n {
+            let q = ProcessId::new(i);
+            if q == root {
+                continue;
+            }
+            let got = trace.iter().any(|entry| {
+                entry.step >= lo
+                    && entry.step <= hi
+                    && matches!(
+                        &entry.event,
+                        TraceEvent::Protocol { p, event: TreeEvent::WaveReceived { payload: pl, .. } }
+                            if *p == q && pl == payload
+                    )
+            });
+            if !got {
+                missing.push(q);
+            }
+        }
+    }
+
+    TreeWaveVerdict {
+        started,
+        decided,
+        all_received: started && decided && missing.is_empty(),
+        result_exact,
+        missing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type T = Trace<TreeMsg<u8, u64>, TreeEvent<u8, u64>>;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn proto(t: &mut T, step: u64, who: usize, e: TreeEvent<u8, u64>) {
+        t.push(step, TraceEvent::Protocol { p: p(who), event: e });
+    }
+
+    #[test]
+    fn perfect_wave_passes() {
+        let mut t = T::new();
+        proto(&mut t, 1, 0, TreeEvent::RootStarted);
+        proto(&mut t, 2, 1, TreeEvent::WaveReceived { from: p(0), payload: 7 });
+        proto(&mut t, 3, 2, TreeEvent::WaveReceived { from: p(1), payload: 7 });
+        proto(&mut t, 4, 0, TreeEvent::RootDecided { result: 3 });
+        let v = check_tree_wave(&t, p(0), 3, 0, &7, &3);
+        assert!(v.holds(), "{v:?}");
+    }
+
+    #[test]
+    fn wrong_result_fails() {
+        let mut t = T::new();
+        proto(&mut t, 1, 0, TreeEvent::RootStarted);
+        proto(&mut t, 2, 1, TreeEvent::WaveReceived { from: p(0), payload: 7 });
+        proto(&mut t, 3, 0, TreeEvent::RootDecided { result: 9 });
+        let v = check_tree_wave(&t, p(0), 2, 0, &7, &2);
+        assert!(!v.result_exact);
+        assert!(!v.holds());
+    }
+
+    #[test]
+    fn missing_receiver_fails() {
+        let mut t = T::new();
+        proto(&mut t, 1, 0, TreeEvent::RootStarted);
+        proto(&mut t, 4, 0, TreeEvent::RootDecided { result: 3 });
+        let v = check_tree_wave(&t, p(0), 3, 0, &7, &3);
+        assert_eq!(v.missing, vec![p(1), p(2)]);
+        assert!(!v.holds());
+    }
+
+    #[test]
+    fn pre_request_events_do_not_count() {
+        let mut t = T::new();
+        proto(&mut t, 1, 0, TreeEvent::RootStarted); // stale (before the request)
+        proto(&mut t, 2, 0, TreeEvent::RootDecided { result: 3 });
+        let v = check_tree_wave(&t, p(0), 2, 5, &7, &3);
+        assert!(!v.started);
+    }
+
+    #[test]
+    fn stale_payload_receipts_do_not_count() {
+        let mut t = T::new();
+        proto(&mut t, 1, 0, TreeEvent::RootStarted);
+        proto(&mut t, 2, 1, TreeEvent::WaveReceived { from: p(0), payload: 99 });
+        proto(&mut t, 3, 0, TreeEvent::RootDecided { result: 2 });
+        let v = check_tree_wave(&t, p(0), 2, 0, &7, &2);
+        assert_eq!(v.missing, vec![p(1)]);
+    }
+}

@@ -1,0 +1,54 @@
+//! The snap-stabilization contract under *repeated* fault bursts: after
+//! every burst, the very next requested computation is already correct —
+//! there is no convergence window to wait out.
+//!
+//! Run with: `cargo run --example fault_injection`
+
+use snapstab_repro::core::harness;
+use snapstab_repro::core::idl::IdlProcess;
+use snapstab_repro::core::request::RequestState;
+use snapstab_repro::sim::{Capacity, CorruptionPlan, ProcessId, SimRng};
+
+fn main() {
+    let n = 4;
+    let ids: Vec<u64> = vec![44, 17, 91, 63];
+    let true_min = *ids.iter().min().unwrap();
+    let mut runner = harness::random_system(
+        n,
+        Capacity::Bounded(1),
+        |i| IdlProcess::new(ProcessId::new(i), n, ids[i]),
+        2024,
+    );
+    let mut rng = SimRng::seed_from(31);
+    let learner = ProcessId::new(3);
+
+    println!("alternating fault bursts and requests at {learner} (true minID = {true_min}):\n");
+    for burst in 1..=8 {
+        // A transient fault burst: arbitrary variables AND channel junk.
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+
+        // The user discipline: wait for Done, then request.
+        runner
+            .run_until(1_000_000, |r| {
+                r.process(learner).request() == RequestState::Done
+            })
+            .expect("corrupted computations drain");
+        assert!(runner.process_mut(learner).request_learning());
+        let before = runner.step_count();
+        harness::run_to_decision(&mut runner, learner, 2_000_000).expect("decision");
+        let steps = runner.step_count() - before;
+
+        let got = runner.process(learner).idl().min_id();
+        println!(
+            "  burst {burst}: first post-fault request decided in {steps:>5} steps, \
+             minID = {got} {}",
+            if got == true_min { "(exact)" } else { "(WRONG!)" }
+        );
+        assert_eq!(got, true_min, "the FIRST request after faults is already exact");
+    }
+    println!(
+        "\neight bursts, eight first-request-exact decisions — faults never cost a \
+         convergence phase (contrast: a self-stabilizing protocol may answer the first \
+         post-fault request wrongly; see `cargo run -p snapstab-bench --bin exp_baseline`)."
+    );
+}

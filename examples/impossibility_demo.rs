@@ -1,0 +1,53 @@
+//! Theorem 1, live: the adversarial initial configuration that defeats
+//! *any* snap-stabilizing mutual exclusion over unbounded channels —
+//! demonstrated against the paper's own Algorithm 3 — and why bounded
+//! channels escape it.
+//!
+//! Run with: `cargo run --example impossibility_demo`
+
+use snapstab_repro::impossibility::DoubleWinDemo;
+use snapstab_repro::sim::ProcessId;
+
+fn main() {
+    let demo = DoubleWinDemo {
+        n: 3,
+        a: ProcessId::new(1),
+        b: ProcessId::new(2),
+        cs_duration: 8,
+        seed: 0xD0,
+        max_steps: 2_000_000,
+    };
+    println!("recording witness executions: E_a (P1 wins the CS) and E_b (P2 wins) ...");
+    let outcome = demo.run(&[1, 2, 4, 8, 16, 32]).expect("demo runs");
+
+    println!("\nthe adversarial configuration γ0:");
+    println!("  total 'sent by nobody' messages pre-loaded: {}", outcome.total_preloaded);
+    println!("  largest single-channel pre-load (|MesSeq|):  {}", outcome.max_channel_load);
+
+    println!("\nfeasibility of γ0 by channel capacity:");
+    for (cap, feasible) in &outcome.feasibility {
+        match cap {
+            Some(c) => println!("  capacity {c:>3}: {}", if *feasible { "EXISTS" } else { "does not exist" }),
+            None => println!("  unbounded  : {}", if *feasible { "EXISTS" } else { "does not exist" }),
+        }
+    }
+
+    println!("\nreplaying from γ0 on unbounded channels ...");
+    println!(
+        "  bad factor (two requesting processes in the CS) reached: {} (step {:?})",
+        outcome.replay.violated(),
+        outcome.replay.bad_factor_step
+    );
+    println!(
+        "  genuine CS overlaps visible in the trace: {}",
+        outcome.report.genuine_overlaps.len()
+    );
+    assert!(outcome.violation_exhibited());
+
+    println!(
+        "\nconclusion: with unbounded channels, an initial configuration exists from which \
+         two genuine requesters execute the critical section simultaneously (Theorem 1). \
+         With the paper's bounded capacity 1, that configuration cannot exist — which is \
+         exactly the loophole Algorithms 1-3 exploit (§4)."
+    );
+}

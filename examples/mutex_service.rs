@@ -1,0 +1,71 @@
+//! Mutual exclusion (Algorithm 3): a workload of critical-section
+//! requests served from a corrupted start, with the trace analyzed for
+//! exclusivity.
+//!
+//! Run with: `cargo run --example mutex_service`
+
+use snapstab_repro::core::me::{MeConfig, MeProcess, ValueMode};
+use snapstab_repro::core::request::RequestState;
+use snapstab_repro::core::spec::analyze_me_trace;
+use snapstab_repro::sim::{
+    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner,
+    SimRng,
+};
+
+fn main() {
+    let n = 4;
+    let ids: Vec<u64> = vec![201, 13, 788, 454]; // P1 is the leader
+    let config = MeConfig { cs_duration: 5, value_mode: ValueMode::Corrected, ..MeConfig::default() };
+    let processes: Vec<MeProcess> = (0..n)
+        .map(|i| MeProcess::with_config(ProcessId::new(i), n, ids[i], config))
+        .collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), 0xCE11);
+    runner.set_loss(LossModel::probabilistic(0.1));
+
+    let mut rng = SimRng::seed_from(5);
+    CorruptionPlan::full().apply(&mut runner, &mut rng);
+    println!(
+        "4-process system (leader: P1, smallest ID {}), corrupted start, 10% loss, CS \
+         duration 5 activations",
+        ids.iter().min().unwrap()
+    );
+
+    // Inject a workload: every process requests the CS twice.
+    let mut pending = vec![2u32; n];
+    let mut executed = 0u64;
+    let budget = 600_000u64;
+    while executed < budget && pending.iter().any(|&k| k > 0) {
+        let out = runner.run_steps(500).expect("run");
+        executed += out.steps;
+        for i in 0..n {
+            let p = ProcessId::new(i);
+            if pending[i] > 0 && runner.process(p).request() == RequestState::Done {
+                runner.mark(p, "request");
+                assert!(runner.process_mut(p).request_cs());
+                pending[i] -= 1;
+            }
+        }
+    }
+    // Let the final requests drain.
+    while executed < budget
+        && (0..n).any(|i| runner.process(ProcessId::new(i)).request() != RequestState::Done)
+    {
+        executed += runner.run_steps(500).expect("run").steps;
+    }
+
+    let report = analyze_me_trace(runner.trace(), n);
+    println!("\nservice log (request step -> CS served step, latency):");
+    for (p, req, srv) in &report.served {
+        println!("  {p}: {req:>7} -> {srv:>7}  ({} steps)", srv - req);
+    }
+    println!("\nCS intervals observed: {}", report.intervals.len());
+    println!("genuine x genuine overlaps: {}", report.genuine_overlaps.len());
+    println!("overlaps involving spurious (corrupted-state) CS: {}", report.spurious_overlaps.len());
+    assert!(report.exclusivity_holds(), "Specification 3 Correctness");
+    assert_eq!(report.served.len(), 8, "all 8 requests served");
+    println!(
+        "\nall 8 requests served, zero genuine overlaps — Specification 3 holds from the \
+         corrupted start."
+    );
+}

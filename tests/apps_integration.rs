@@ -1,0 +1,214 @@
+//! Integration + property tests of the PIF applications (snapshot, leader
+//! election, reset, barrier): each inherits the snap-stabilization
+//! contract from Theorem 2 and must deliver it from arbitrary corrupted
+//! starts.
+
+use proptest::prelude::*;
+use snapstab_repro::apps::{
+    check_detection, BarrierProcess, LeaderProcess, ResetProcess, Resettable, SnapshotProcess,
+    TerminationProcess,
+};
+use snapstab_repro::core::request::RequestState;
+use snapstab_repro::sim::{
+    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner,
+    SimRng,
+};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Flagged(bool);
+
+impl Resettable for Flagged {
+    fn reset(&mut self) {
+        self.0 = false;
+    }
+}
+
+#[test]
+fn snapshot_then_leader_then_reset_pipeline() {
+    // The apps compose over the same substrate: run one of each kind in
+    // separate systems seeded identically and check all deliver.
+    let n = 3;
+    let mut snap = {
+        let processes = (0..n).map(|i| SnapshotProcess::new(p(i), n, i as u32)).collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        Runner::new(processes, network, RandomScheduler::new(), 7)
+    };
+    snap.process_mut(p(0)).request_snapshot();
+    snap.run_until(500_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .unwrap();
+    assert_eq!(snap.process(p(0)).snapshot_vector(), Some(vec![0, 1, 2]));
+
+    let mut lead = {
+        let processes = (0..n).map(|i| LeaderProcess::new(p(i), n, 100 - i as u64)).collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        Runner::new(processes, network, RandomScheduler::new(), 7)
+    };
+    lead.process_mut(p(0)).request_election();
+    lead.run_until(500_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .unwrap();
+    assert_eq!(lead.process(p(0)).elected(), Some((98, p(2))));
+
+    let mut reset = {
+        let processes = (0..n).map(|i| ResetProcess::new(p(i), n, Flagged(true))).collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        Runner::new(processes, network, RandomScheduler::new(), 7)
+    };
+    reset.process_mut(p(0)).request_reset();
+    reset
+        .run_until(500_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .unwrap();
+    for i in 0..n {
+        assert_eq!(reset.process(p(i)).app(), &Flagged(false));
+    }
+}
+
+#[test]
+fn barrier_under_loss_keeps_lockstep() {
+    let n = 3;
+    let processes = (0..n).map(|i| BarrierProcess::new(p(i), n)).collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), 8);
+    runner.set_loss(LossModel::probabilistic(0.2));
+    for round in 1..=3u64 {
+        for i in 0..n {
+            assert!(runner.process_mut(p(i)).finish_work());
+        }
+        runner
+            .run_until(2_000_000, |r| (0..n).all(|i| r.process(p(i)).phase() == round))
+            .unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// The first requested snapshot after arbitrary corruption is exact.
+    #[test]
+    fn snapshot_first_request_exact(seed in any::<u64>(), n in 2usize..6) {
+        let processes = (0..n).map(|i| SnapshotProcess::new(p(i), n, 7 * i as u32)).collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+        let mut rng = SimRng::seed_from(seed ^ 0x5A);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+        for i in 0..n {
+            runner.process_mut(p(i)).set_value(7 * i as u32);
+        }
+        let _ = runner.run_until(1_000_000, |r| {
+            r.process(p(0)).request() == RequestState::Done
+        });
+        prop_assert!(runner.process_mut(p(0)).request_snapshot());
+        runner
+            .run_until(3_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .expect("snapshot decides");
+        let expected: Vec<u32> = (0..n).map(|i| 7 * i as u32).collect();
+        prop_assert_eq!(runner.process(p(0)).snapshot_vector(), Some(expected));
+    }
+
+    /// The first requested election after arbitrary corruption is exact.
+    #[test]
+    fn leader_first_request_exact(seed in any::<u64>(), n in 2usize..6) {
+        let ids: Vec<u64> = (0..n).map(|i| 1000 - 13 * i as u64).collect();
+        let min_at = n - 1; // smallest id is at the last process
+        let processes = (0..n).map(|i| LeaderProcess::new(p(i), n, ids[i])).collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+        let mut rng = SimRng::seed_from(seed ^ 0x1E);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+        let _ = runner.run_until(1_000_000, |r| {
+            r.process(p(0)).request() == RequestState::Done
+        });
+        prop_assert!(runner.process_mut(p(0)).request_election());
+        runner
+            .run_until(3_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .expect("election decides");
+        prop_assert_eq!(runner.process(p(0)).elected(), Some((ids[min_at], p(min_at))));
+    }
+
+    /// Barrier processes re-synchronize to within one phase after
+    /// arbitrary corruption, under continuous work.
+    #[test]
+    fn barrier_resynchronizes(seed in any::<u64>()) {
+        let n = 3;
+        let processes = (0..n).map(|i| BarrierProcess::new(p(i), n)).collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+        let mut rng = SimRng::seed_from(seed ^ 0xBA);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+        let mut executed = 0;
+        while executed < 80_000 {
+            executed += runner.run_steps(400).expect("run").steps;
+            for i in 0..n {
+                let proc = runner.process_mut(p(i));
+                if !proc.is_syncing() {
+                    proc.finish_work();
+                }
+            }
+        }
+        let phases: Vec<u64> = (0..n).map(|i| runner.process(p(i)).phase()).collect();
+        let (min, max) = (
+            *phases.iter().min().unwrap(),
+            *phases.iter().max().unwrap(),
+        );
+        prop_assert!(max - min <= 1, "phases diverged: {phases:?}");
+        for i in 0..n {
+            prop_assert!(runner.process(p(i)).passes() > 0, "no progress at P{i}");
+        }
+    }
+}
+
+#[test]
+fn termination_detection_full_lifecycle() {
+    // Seed work, watch it diffuse and exhaust, and confirm via repeated
+    // detections — each window-sound — from a corrupted start.
+    for seed in 0..4u64 {
+        let n = 4;
+        let processes = (0..n).map(|i| TerminationProcess::new(p(i), n)).collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+        let mut rng = SimRng::seed_from(seed + 900);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+        runner.process_mut(p(2)).seed_work(14);
+        let _ = runner.run_until(2_000_000, |r| r.process(p(0)).request() == RequestState::Done);
+        assert_eq!(runner.process(p(0)).request(), RequestState::Done, "seed {seed}");
+
+        let mut confirmed = false;
+        for _round in 0..15 {
+            let req_step = runner.step_count();
+            assert!(runner.process_mut(p(0)).request_detection());
+            runner
+                .run_until(3_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+                .expect("detection decides");
+            let v = check_detection(runner.trace(), p(0), n, req_step);
+            assert!(v.holds(), "seed {seed}: {v:?}");
+            if runner.process(p(0)).verdict() == Some(true) {
+                confirmed = true;
+                break;
+            }
+        }
+        assert!(confirmed, "seed {seed}: detection eventually confirms termination");
+    }
+}
+
+#[test]
+fn termination_detection_under_loss() {
+    let n = 3;
+    let processes = (0..n).map(|i| TerminationProcess::new(p(i), n)).collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), 77);
+    runner.set_loss(LossModel::probabilistic(0.2));
+    runner.process_mut(p(1)).seed_work(6);
+    runner
+        .run_until(2_000_000, |r| (0..n).all(|i| !r.process(p(i)).is_active()))
+        .expect("work exhausts under loss");
+    let req_step = runner.step_count();
+    assert!(runner.process_mut(p(0)).request_detection());
+    runner
+        .run_until(3_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .expect("detection decides");
+    let v = check_detection(runner.trace(), p(0), n, req_step);
+    assert!(v.holds(), "{v:?}");
+}

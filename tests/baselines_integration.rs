@@ -1,0 +1,135 @@
+//! Integration tests of the baseline protocols: each baseline's documented
+//! failure/convergence behaviour holds on the shared simulator, and the
+//! snap-stabilizing counterpart is immune under identical conditions.
+
+use snapstab_repro::baselines::abp::{AbpMsg, AbpProcess};
+use snapstab_repro::baselines::counter_flush::{CfMsg, CfProcess};
+use snapstab_repro::baselines::naive_pif::{NaiveMsg, NaivePifProcess};
+use snapstab_repro::core::pif::{PifApp, PifProcess};
+use snapstab_repro::core::request::RequestState;
+use snapstab_repro::sim::{
+    Capacity, LossModel, NetworkBuilder, ProcessId, RandomScheduler, RoundRobin, Runner,
+};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+#[derive(Clone, Debug)]
+struct Answer(u32);
+
+impl PifApp<u32, u32> for Answer {
+    fn on_broadcast(&mut self, _from: ProcessId, _data: &u32) -> u32 {
+        self.0
+    }
+    fn on_feedback(&mut self, _from: ProcessId, _data: &u32) {}
+}
+
+#[test]
+fn naive_deadlocks_where_snap_completes_same_loss_schedule() {
+    // Lose exactly the first message on 0 -> 1 in both systems.
+    let loss = LossModel::scripted(vec![(p(0), p(1), 0)]);
+
+    let naive_procs: Vec<NaivePifProcess> =
+        (0..2).map(|i| NaivePifProcess::new(p(i), 2, 9)).collect();
+    let network = NetworkBuilder::new(2).capacity(Capacity::Bounded(1)).build();
+    let mut naive = Runner::new(naive_procs, network, RoundRobin::new(), 1);
+    naive.set_loss(loss.clone());
+    naive.process_mut(p(0)).request_broadcast(1);
+    naive.run_steps(20_000).expect("run");
+    assert_eq!(naive.process(p(0)).request(), RequestState::In, "naive deadlocked");
+
+    let snap_procs: Vec<PifProcess<u32, u32, Answer>> = (0..2)
+        .map(|i| PifProcess::with_initial_f(p(i), 2, 0, 0, Answer(9)))
+        .collect();
+    let network = NetworkBuilder::new(2).capacity(Capacity::Bounded(1)).build();
+    let mut snap = Runner::new(snap_procs, network, RoundRobin::new(), 1);
+    snap.set_loss(loss);
+    snap.process_mut(p(0)).request_broadcast(1);
+    snap.run_until(20_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .expect("snap completes");
+    assert_eq!(snap.process(p(0)).request(), RequestState::Done);
+}
+
+#[test]
+fn abp_eventually_transfers_suffix_after_corruption() {
+    // Self-stabilization: after the (possibly violated) first item, the
+    // remaining transfers succeed in order.
+    let queue: Vec<u32> = (1..=6).collect();
+    let processes = vec![AbpProcess::sender(queue.clone(), 64), AbpProcess::receiver(64)];
+    let network = NetworkBuilder::new(2).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), 8);
+    runner
+        .network_mut()
+        .channel_mut(p(1), p(0))
+        .unwrap()
+        .preload([AbpMsg::Ack { label: 0 }]); // matches the initial label
+    runner
+        .run_until(1_000_000, |r| r.process(p(0)).progress() == Some(queue.len()))
+        .expect("sender finishes");
+    let _ = runner.run_steps(200);
+    let delivered = runner.process(p(1)).delivered().to_vec();
+    // The delivered sequence is a subsequence of the queue and contains a
+    // suffix of it.
+    let mut qi = 0;
+    for d in &delivered {
+        while qi < queue.len() && queue[qi] != *d {
+            qi += 1;
+        }
+        assert!(qi < queue.len(), "delivered {d} out of order: {delivered:?}");
+        qi += 1;
+    }
+    assert!(
+        delivered.ends_with(&queue[queue.len() - 3..]),
+        "a suffix must transfer cleanly: {delivered:?}"
+    );
+}
+
+#[test]
+fn counter_flush_converges_after_one_wave() {
+    // Pollute every channel toward the initiator with a stale reply whose
+    // stamp will match the first wave exactly (worst case), then verify
+    // waves 2..5 are all clean.
+    let n = 3;
+    let k = 4;
+    let processes: Vec<CfProcess> =
+        (0..n).map(|i| CfProcess::new(p(i), n, k, 100 + i as u32)).collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RoundRobin::new(), 2);
+    for i in 1..n {
+        runner
+            .network_mut()
+            .channel_mut(p(i), p(0))
+            .unwrap()
+            .preload([CfMsg::Reply { c: 1, data: 666 }]); // counter starts 0; wave 1 is stamped 1
+    }
+    runner.process_mut(p(0)).request_wave();
+    runner
+        .run_until(100_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .expect("wave 1");
+    assert_eq!(
+        runner.process(p(0)).collected_from(p(1)),
+        Some(666),
+        "wave 1 is polluted by construction"
+    );
+    for wave in 2..=5 {
+        runner.process_mut(p(0)).request_wave();
+        runner
+            .run_until(100_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .expect("wave");
+        for i in 1..n {
+            assert_eq!(
+                runner.process(p(0)).collected_from(p(i)),
+                Some(100 + i as u32),
+                "wave {wave} must be clean (converged)"
+            );
+        }
+    }
+}
+
+#[test]
+fn naive_msg_and_cf_msg_shapes() {
+    // Guard the message contracts the experiments rely on.
+    assert_ne!(NaiveMsg::Brd(1), NaiveMsg::Fck(1));
+    assert_ne!(CfMsg::Query { c: 1 }, CfMsg::Reply { c: 1, data: 0 });
+}

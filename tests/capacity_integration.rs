@@ -1,0 +1,301 @@
+//! Cross-crate integration tests for the §4 bounded-capacity extension:
+//! the full protocol stack (PIF, IDL, ME) over channels holding more than
+//! one message, with the generalized `2c + 3`-valued flag domains, plus the
+//! deterministic demonstration that the paper's five-valued domain is
+//! *exactly* a capacity-1 artifact.
+
+use snapstab_repro::core::capacity::{drive_stale, StaleConfig, StaleSchedule};
+use snapstab_repro::core::flag::FlagDomain;
+use snapstab_repro::core::idl::IdlProcess;
+use snapstab_repro::core::me::MeProcess;
+use snapstab_repro::core::pif::{PifApp, PifProcess};
+use snapstab_repro::core::request::RequestState;
+use snapstab_repro::core::spec::{analyze_me_trace, channels_flushed, check_bare_pif_wave};
+use snapstab_repro::sim::{
+    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler,
+    RoundRobin, Runner, Scheduler, SimRng,
+};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+#[derive(Clone, Debug)]
+struct Tagger {
+    tag: u32,
+}
+
+impl PifApp<u32, u32> for Tagger {
+    fn on_broadcast(&mut self, _from: ProcessId, _data: &u32) -> u32 {
+        self.tag
+    }
+    fn on_feedback(&mut self, _from: ProcessId, _data: &u32) {}
+}
+
+type Proc = PifProcess<u32, u32, Tagger>;
+
+fn pif_runner<S: Scheduler>(
+    n: usize,
+    capacity: usize,
+    scheduler: S,
+    seed: u64,
+) -> Runner<Proc, S> {
+    let processes = (0..n)
+        .map(|i| {
+            PifProcess::for_capacity(p(i), n, 0u32, 0u32, capacity, Tagger { tag: 100 + i as u32 })
+        })
+        .collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(capacity)).build();
+    Runner::new(processes, network, scheduler, seed)
+}
+
+/// Drains corrupted computations, requests a wave at P0, and checks
+/// Specification 1 on the trace.
+fn wave_spec_holds<S: Scheduler>(mut runner: Runner<Proc, S>, n: usize) {
+    let initiator = p(0);
+    let _ = runner.run_until(500_000, |r| r.process(initiator).request() == RequestState::Done);
+    let req_step = runner.step_count();
+    runner.mark(initiator, "request");
+    assert!(runner.process_mut(initiator).request_broadcast(7));
+    runner
+        .run_until(5_000_000, |r| r.process(initiator).request() == RequestState::Done)
+        .expect("wave decides");
+    let verdict = check_bare_pif_wave(runner.trace(), initiator, n, req_step, &7, |q| {
+        100 + q.index() as u32
+    });
+    assert!(verdict.holds(), "{verdict:?}");
+}
+
+#[test]
+fn spec1_holds_at_capacity_two_from_corruption() {
+    for n in [2usize, 3, 5] {
+        for seed in 0..4 {
+            let mut runner = pif_runner(n, 2, RoundRobin::new(), seed);
+            let mut rng = SimRng::seed_from(seed * 37 + n as u64);
+            CorruptionPlan::full().apply(&mut runner, &mut rng);
+            wave_spec_holds(runner, n);
+        }
+    }
+}
+
+#[test]
+fn spec1_holds_at_capacity_three_with_loss() {
+    for seed in 0..4 {
+        let n = 3;
+        let mut runner = pif_runner(n, 3, RandomScheduler::new(), seed);
+        runner.set_loss(LossModel::probabilistic(0.2));
+        let mut rng = SimRng::seed_from(seed + 2_000);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+        wave_spec_holds(runner, n);
+    }
+}
+
+#[test]
+fn property1_flush_holds_at_capacity_two() {
+    // Pre-load every channel around P0 to the brim with junk; after one
+    // complete wave, none of it survives (Property 1 generalizes: the wave
+    // pushes at least one message through each channel direction and the
+    // junk ahead of it is delivered or overwritten).
+    let n = 3;
+    let capacity = 2;
+    let mut runner = pif_runner(n, capacity, RoundRobin::new(), 9);
+    let junk = snapstab_repro::core::pif::PifMsg {
+        broadcast: 0xDEAD_u32,
+        feedback: 0xDEAD_u32,
+        sender_state: snapstab_repro::core::flag::Flag::new(0),
+        echoed_state: snapstab_repro::core::flag::Flag::new(0),
+    };
+    for i in 1..n {
+        for (a, b) in [(p(0), p(i)), (p(i), p(0))] {
+            runner
+                .network_mut()
+                .channel_mut(a, b)
+                .unwrap()
+                .preload(std::iter::repeat(junk.clone()).take(capacity));
+        }
+    }
+    assert!(runner.process_mut(p(0)).request_broadcast(7));
+    runner
+        .run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .expect("wave decides");
+    assert_eq!(runner.process(p(0)).request(), RequestState::Done);
+    assert!(channels_flushed(runner.network(), p(0), |m| m.broadcast == 0xDEAD));
+}
+
+#[test]
+fn idl_learns_exactly_at_capacity_two() {
+    let n = 4;
+    let ids: Vec<u64> = vec![42, 7, 99, 23];
+    for seed in 0..4 {
+        let processes = (0..n).map(|i| IdlProcess::for_capacity(p(i), n, ids[i], 2)).collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(2)).build();
+        let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+        let mut rng = SimRng::seed_from(seed + 77);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+        // Drain corrupted computations, then request at P0.
+        let _ = runner.run_until(500_000, |r| {
+            (0..n).all(|i| r.process(p(i)).request() != RequestState::Wait)
+        });
+        if runner.process(p(0)).request() != RequestState::Done {
+            runner
+                .run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+                .expect("drain");
+        }
+        assert!(runner.process_mut(p(0)).request_learning());
+        runner
+            .run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .expect("IDL decides");
+        let learned = runner.process(p(0)).idl();
+        assert_eq!(learned.min_id(), 7);
+        for q in 1..n {
+            assert_eq!(learned.id_of(p(q)), ids[q], "ID-Tab[{q}]");
+        }
+    }
+}
+
+#[test]
+fn me_serves_requests_exclusively_at_capacity_two() {
+    let n = 3;
+    let ids = [30u64, 10, 20];
+    for seed in 0..3 {
+        let processes = (0..n).map(|i| MeProcess::for_capacity(p(i), n, ids[i], 2)).collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(2)).build();
+        let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+        let mut rng = SimRng::seed_from(seed + 300);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+
+        // Random request workload.
+        let mut executed = 0u64;
+        while executed < 150_000 {
+            executed += runner.run_steps(500).expect("run").steps;
+            for i in 0..n {
+                if runner.process(p(i)).request() == RequestState::Done && rng.gen_bool(0.3) {
+                    runner.mark(p(i), "request");
+                    assert!(runner.process_mut(p(i)).request_cs());
+                }
+            }
+        }
+        let report = analyze_me_trace(runner.trace(), n);
+        assert!(report.exclusivity_holds(), "seed {seed}: {report:?}");
+        assert!(!report.served.is_empty(), "seed {seed}: some request was served");
+    }
+}
+
+#[test]
+fn paper_domain_is_exactly_a_capacity_one_artifact() {
+    // Safe at its design capacity…
+    let safe = drive_stale(&StaleConfig::canonical(1, FlagDomain::PAPER), StaleSchedule::Canonical);
+    assert!(!safe.stale_decided);
+    assert_eq!(safe.max_stale_flag.value(), 3, "the Figure 1 bound");
+
+    // …and broken one capacity above: the wave completes on garbage.
+    let broken =
+        drive_stale(&StaleConfig::canonical(2, FlagDomain::PAPER), StaleSchedule::Canonical);
+    assert!(broken.stale_decided, "{broken:?}");
+
+    // The generalized domain restores the guarantee at capacity 2.
+    let fixed = drive_stale(
+        &StaleConfig::canonical(2, FlagDomain::for_capacity(2)),
+        StaleSchedule::Canonical,
+    );
+    assert!(!fixed.stale_decided, "{fixed:?}");
+    assert_eq!(fixed.max_stale_flag.value(), 5, "tight: 2c + 1 stale increments");
+}
+
+#[test]
+fn undersized_domain_fails_spec1_end_to_end_at_capacity_two() {
+    // Run the *whole protocol* (not just the driver) at capacity 2 with the
+    // paper's five-valued domain, from the canonical adversarial start, and
+    // watch Specification 1's Correctness fail: the initiator decides
+    // without q ever receiving its broadcast.
+    let n = 2;
+    let cfg = StaleConfig::canonical(2, FlagDomain::PAPER);
+    let processes: Vec<Proc> = (0..n)
+        .map(|i| {
+            PifProcess::with_domain(
+                p(i),
+                n,
+                0u32,
+                0u32,
+                FlagDomain::PAPER,
+                Tagger { tag: 100 + i as u32 },
+            )
+        })
+        .collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(2)).build();
+    let mut runner = Runner::new(processes, network, RoundRobin::new(), 0);
+
+    // Install the canonical adversary manually (same shape as the driver).
+    {
+        let q = runner.process_mut(p(1));
+        let mut s = q.core().snapshot();
+        s.neig_state[0] = cfg.neig_state_q;
+        s.state[0] = cfg.state_q;
+        s.request = cfg.request_q;
+        q.core_mut().restore(s);
+    }
+    let plant = |(ss, es): (snapstab_repro::core::flag::Flag, snapstab_repro::core::flag::Flag)| {
+        snapstab_repro::core::pif::PifMsg {
+            broadcast: 0xDEAD_u32,
+            feedback: 0xDEAD_u32,
+            sender_state: ss,
+            echoed_state: es,
+        }
+    };
+    runner
+        .network_mut()
+        .channel_mut(p(1), p(0))
+        .unwrap()
+        .preload(cfg.qp_msgs.iter().copied().map(plant));
+    runner
+        .network_mut()
+        .channel_mut(p(0), p(1))
+        .unwrap()
+        .preload(cfg.pq_msgs.iter().copied().map(plant));
+
+    let req_step = runner.step_count();
+    runner.mark(p(0), "request");
+    assert!(runner.process_mut(p(0)).request_broadcast(7));
+    // Deliver only stale-derived messages, as the canonical script does.
+    for mv in snapstab_repro::core::capacity::canonical_script(2) {
+        let applicable = match mv {
+            snapstab_repro::sim::Move::Activate(_) => true,
+            snapstab_repro::sim::Move::Deliver { from, to } => {
+                !runner.network().channel(from, to).unwrap().is_empty()
+            }
+        };
+        if applicable {
+            runner.execute_move(mv).unwrap();
+        }
+        if runner.process(p(0)).request() == RequestState::Done {
+            break;
+        }
+    }
+    assert_eq!(
+        runner.process(p(0)).request(),
+        RequestState::Done,
+        "the undersized domain decided on stale data"
+    );
+    let verdict = check_bare_pif_wave(runner.trace(), p(0), n, req_step, &7, |q| {
+        100 + q.index() as u32
+    });
+    assert!(
+        !verdict.holds(),
+        "Specification 1 must be violated by the undersized domain: {verdict:?}"
+    );
+}
+
+#[test]
+fn correct_initialization_needs_no_adversary_margin() {
+    // From clean starts, any domain ≥ 2 values completes a wave — the
+    // extra values only matter against corruption. (Sanity check that the
+    // generalized domain does not break the clean path.)
+    for capacity in 1..=4usize {
+        let n = 3;
+        let mut runner = pif_runner(n, capacity, RoundRobin::new(), 5);
+        assert!(runner.process_mut(p(0)).request_broadcast(7));
+        runner
+            .run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .expect("clean wave decides");
+    }
+}

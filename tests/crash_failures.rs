@@ -1,0 +1,129 @@
+//! Crash failures — the paper's conclusion: "it is worth investigating if
+//! the results presented in this paper could be extended to [networks]
+//! where nodes are subject to permanent aka crash failures".
+//!
+//! These tests *demonstrate why that is future work*: the paper's
+//! protocols hinge on collecting a feedback from **every** process, so a
+//! single crash blocks every in-flight wave (the Termination property is
+//! lost), while safety survives. They also confirm the simulator's crash
+//! semantics so downstream research on crash-tolerant variants has a
+//! substrate to build on.
+
+use snapstab_repro::core::idl::IdlProcess;
+use snapstab_repro::core::me::MeProcess;
+use snapstab_repro::core::request::RequestState;
+use snapstab_repro::core::spec::analyze_me_trace;
+use snapstab_repro::sim::{
+    Capacity, NetworkBuilder, ProcessId, RandomScheduler, Runner,
+};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+#[test]
+fn crashed_process_stops_participating() {
+    let n = 3;
+    let processes: Vec<IdlProcess> = (0..n)
+        .map(|i| IdlProcess::new(p(i), n, 10 + i as u64))
+        .collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), 1);
+    runner.crash(p(2));
+    assert!(runner.is_crashed(p(2)));
+    assert!(!runner.is_crashed(p(0)));
+    runner.process_mut(p(2)).request_learning();
+    // The crashed process never starts anything.
+    let out = runner.run_steps(5_000).unwrap();
+    assert!(out.is_quiescent() || runner.is_quiescent());
+    assert_eq!(runner.process(p(2)).request(), RequestState::Wait);
+}
+
+#[test]
+fn a_single_crash_blocks_every_wave() {
+    // Termination of a started wave requires a feedback from everyone: a
+    // crashed peer blocks it forever — the impossibility intuition behind
+    // the paper's future-work remark.
+    let n = 3;
+    let processes: Vec<IdlProcess> = (0..n)
+        .map(|i| IdlProcess::new(p(i), n, 10 + i as u64))
+        .collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), 2);
+    runner.crash(p(1));
+    runner.process_mut(p(0)).request_learning();
+    runner.run_steps(100_000).unwrap();
+    assert_eq!(
+        runner.process(p(0)).request(),
+        RequestState::In,
+        "the wave can never collect P1's feedback"
+    );
+    // The initiator's flag toward the live peer completed; toward the
+    // crashed peer it is stuck below completion.
+    assert!(runner.process(p(0)).pif().state_of(p(1)).value() < 4);
+    assert_eq!(runner.process(p(0)).pif().state_of(p(2)).value(), 4);
+}
+
+#[test]
+fn crash_preserves_me_safety_but_kills_liveness() {
+    let n = 3;
+    // P0 is the leader.
+    let processes: Vec<MeProcess> = (0..n)
+        .map(|i| MeProcess::new(p(i), n, 10 + i as u64))
+        .collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), 3);
+    // Let the system cycle, then crash the leader.
+    runner.run_steps(20_000).unwrap();
+    runner.crash(p(0));
+    runner.mark(p(1), "request");
+    let _ = runner.process_mut(p(1)).request_cs();
+    runner.run_steps(150_000).unwrap();
+    let report = analyze_me_trace(runner.trace(), n);
+    // Safety: still no genuine overlap.
+    assert!(report.exclusivity_holds());
+    // Liveness: the request starves — the leader's arbitration is gone.
+    assert!(
+        runner.process(p(1)).request() != RequestState::Done || report.served.is_empty(),
+        "a request served after the leader crashed would contradict the \
+         protocol's dependence on the leader"
+    );
+}
+
+#[test]
+fn crash_of_a_non_leader_also_blocks_waves() {
+    // Even a non-leader crash blocks progress: every PIF needs all n-1
+    // feedbacks, so ME's phase machine wedges at the first wave after the
+    // crash.
+    let n = 3;
+    let processes: Vec<MeProcess> = (0..n)
+        .map(|i| MeProcess::new(p(i), n, 10 + i as u64))
+        .collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), 4);
+    runner.run_steps(20_000).unwrap();
+    let cycles_before = runner.process(p(0)).counters().phase_zero_visits;
+    runner.crash(p(2));
+    runner.run_steps(100_000).unwrap();
+    let cycles_after = runner.process(p(0)).counters().phase_zero_visits;
+    assert!(
+        cycles_after <= cycles_before + 2,
+        "phase cycling must wedge within a couple of rounds: {cycles_before} -> {cycles_after}"
+    );
+}
+
+#[test]
+fn quiescence_accounts_for_crashed_processes() {
+    let n = 2;
+    let processes: Vec<IdlProcess> =
+        (0..n).map(|i| IdlProcess::new(p(i), n, i as u64)).collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), 5);
+    runner.process_mut(p(0)).request_learning();
+    runner.crash(p(0));
+    // P0 has an enabled action but is crashed; nothing is in flight: the
+    // system is (and reports) quiescent.
+    assert!(runner.is_quiescent());
+    let out = runner.run_steps(100).unwrap();
+    assert!(out.is_quiescent());
+}

@@ -1,0 +1,291 @@
+//! Cross-crate validation of the model checker:
+//!
+//! 1. **Conformance (bisimulation)** — the MC transition function and the
+//!    real `PifCore` agree on every protocol-visible variable along random
+//!    walks from random corrupted configurations;
+//! 2. **Counterexample replay** — an attack path found by the checker
+//!    against an undersized domain *executes on the real protocol* and
+//!    breaks Specification 1 there too;
+//! 3. the headline verdicts (paper safe, undersizings broken) as tests.
+
+use snapstab_repro::core::flag::{Flag, FlagDomain};
+use snapstab_repro::core::pif::{PifApp, PifMsg, PifProcess};
+use snapstab_repro::core::request::RequestState;
+use snapstab_repro::mc::{
+    apply, explore, successors, Config, Fifo, McMove, MsgPq, MsgQp, Params, ReqP, ReqQ, SeedSet,
+};
+use snapstab_repro::sim::{
+    Capacity, Move, NetworkBuilder, ProcessId, Runner, RoundRobin, SimRng,
+};
+
+fn p0() -> ProcessId {
+    ProcessId::new(0)
+}
+fn p1() -> ProcessId {
+    ProcessId::new(1)
+}
+
+#[derive(Clone, Debug)]
+struct Echo;
+
+impl PifApp<u32, u32> for Echo {
+    fn on_broadcast(&mut self, _from: ProcessId, _data: &u32) -> u32 {
+        1
+    }
+    fn on_feedback(&mut self, _from: ProcessId, _data: &u32) {}
+}
+
+type Proc = PifProcess<u32, u32, Echo>;
+
+/// Builds the real 2-process system mirroring an MC configuration.
+fn realize(config: &Config, params: Params) -> Runner<Proc, RoundRobin> {
+    let domain = FlagDomain::with_max(params.max_flag());
+    let mk = |i: usize| PifProcess::with_domain(ProcessId::new(i), 2, 0u32, 0u32, domain, Echo);
+    let network = NetworkBuilder::new(2).capacity(Capacity::Bounded(params.cap)).build();
+    let mut runner = Runner::new(vec![mk(0), mk(1)], network, RoundRobin::new(), 0);
+
+    {
+        let p = runner.process_mut(p0());
+        let mut s = p.core().snapshot();
+        s.request = match config.req_p {
+            ReqP::In => RequestState::In,
+            ReqP::Done => RequestState::Done,
+        };
+        s.state[1] = Flag::new(config.state_p);
+        s.neig_state[1] = Flag::new(config.neig_p);
+        p.core_mut().restore(s);
+    }
+    {
+        let q = runner.process_mut(p1());
+        let mut s = q.core().snapshot();
+        s.request = match config.req_q {
+            ReqQ::Wait => RequestState::Wait,
+            ReqQ::In => RequestState::In,
+            ReqQ::Done => RequestState::Done,
+        };
+        s.state[0] = Flag::new(config.state_q);
+        s.neig_state[0] = Flag::new(config.neig_q);
+        q.core_mut().restore(s);
+    }
+    runner.network_mut().channel_mut(p0(), p1()).unwrap().preload(config.pq.iter().map(
+        |m: MsgPq| PifMsg {
+            broadcast: 0u32,
+            feedback: 0u32,
+            sender_state: Flag::new(m.sender),
+            echoed_state: Flag::new(m.echoed),
+        },
+    ));
+    runner.network_mut().channel_mut(p1(), p0()).unwrap().preload(config.qp.iter().map(
+        |m: MsgQp| PifMsg {
+            broadcast: 0u32,
+            feedback: 0u32,
+            sender_state: Flag::new(m.sender),
+            echoed_state: Flag::new(m.echoed),
+        },
+    ));
+    runner
+}
+
+/// Protocol-visible observation of the real system, for comparison.
+fn observe(runner: &Runner<Proc, RoundRobin>) -> (RequestState, u8, u8, RequestState, u8, u8, Vec<(u8, u8)>, Vec<(u8, u8)>) {
+    let flags = |msgs: Vec<PifMsg<u32, u32>>| {
+        msgs.iter()
+            .map(|m| (m.sender_state.value(), m.echoed_state.value()))
+            .collect::<Vec<_>>()
+    };
+    (
+        runner.process(p0()).request(),
+        runner.process(p0()).core().state_of(p1()).value(),
+        runner.process(p0()).core().neig_state_of(p1()).value(),
+        runner.process(p1()).request(),
+        runner.process(p1()).core().state_of(p0()).value(),
+        runner.process(p1()).core().neig_state_of(p0()).value(),
+        flags(runner.network().channel(p0(), p1()).unwrap().contents()),
+        flags(runner.network().channel(p1(), p0()).unwrap().contents()),
+    )
+}
+
+/// The same observation of an MC configuration.
+fn observe_mc(c: &Config) -> (RequestState, u8, u8, RequestState, u8, u8, Vec<(u8, u8)>, Vec<(u8, u8)>) {
+    (
+        match c.req_p {
+            ReqP::In => RequestState::In,
+            ReqP::Done => RequestState::Done,
+        },
+        c.state_p,
+        c.neig_p,
+        match c.req_q {
+            ReqQ::Wait => RequestState::Wait,
+            ReqQ::In => RequestState::In,
+            ReqQ::Done => RequestState::Done,
+        },
+        c.state_q,
+        c.neig_q,
+        c.pq.iter().map(|m| (m.sender, m.echoed)).collect(),
+        c.qp.iter().map(|m| (m.sender, m.echoed)).collect(),
+    )
+}
+
+fn mirror_move(mv: McMove) -> Option<Move> {
+    match mv {
+        McMove::ActivateP => Some(Move::Activate(p0())),
+        McMove::ActivateQ => Some(Move::Activate(p1())),
+        McMove::DeliverPq => Some(Move::Deliver { from: p0(), to: p1() }),
+        McMove::DeliverQp => Some(Move::Deliver { from: p1(), to: p0() }),
+        // Losses are mirrored by popping the channel head directly.
+        McMove::LosePq | McMove::LoseQp => None,
+    }
+}
+
+/// Random seed in the MC seed space.
+fn random_config(params: Params, rng: &mut SimRng) -> Config {
+    let f = |rng: &mut SimRng| rng.gen_range(0..params.m as usize) as u8;
+    let mut pq = Fifo::empty();
+    for _ in 0..rng.gen_range(0..params.cap + 1) {
+        let _ = pq.push(MsgPq { sender: f(rng), echoed: f(rng), genuine: false }, params.cap);
+    }
+    let mut qp = Fifo::empty();
+    for _ in 0..rng.gen_range(0..params.cap + 1) {
+        let _ = qp.push(
+            MsgQp { sender: f(rng), echoed: f(rng), echo_genuine: false, fb_genuine: false },
+            params.cap,
+        );
+    }
+    Config {
+        req_p: ReqP::In,
+        state_p: f(rng),
+        neig_p: f(rng),
+        req_q: match rng.gen_range(0..3) {
+            0 => ReqQ::Wait,
+            1 => ReqQ::In,
+            _ => ReqQ::Done,
+        },
+        state_q: f(rng),
+        neig_q: f(rng),
+        g_neig_q: false,
+        g_fmes_q: false,
+        pq,
+        qp,
+    }
+}
+
+#[test]
+fn mc_model_bisimulates_the_real_protocol() {
+    // 60 random walks × 40 steps, at both supported capacities.
+    for (params, walks) in [(Params::paper(), 40u64), (Params::new(7, 2), 20)] {
+        for walk in 0..walks {
+            let mut rng = SimRng::seed_from(walk * 131 + params.cap as u64);
+            let mut mc = random_config(params, &mut rng);
+            let mut real = realize(&mc, params);
+            assert_eq!(observe_mc(&mc), observe(&real), "initial mirror, walk {walk}");
+
+            for step in 0..40 {
+                let succ = successors(&mc, params);
+                if succ.is_empty() {
+                    break;
+                }
+                let (mv, mc_step) = succ[rng.gen_range(0..succ.len())];
+                // Mirror on the real system.
+                match mirror_move(mv) {
+                    Some(real_mv) => real.execute_move(real_mv).expect("mirrored move applies"),
+                    None => {
+                        // A loss: pop the same channel head.
+                        let (a, b) = if mv == McMove::LosePq { (p0(), p1()) } else { (p1(), p0()) };
+                        real.network_mut()
+                            .channel_mut(a, b)
+                            .unwrap()
+                            .pop()
+                            .expect("loss mirrors a non-empty channel");
+                    }
+                }
+                mc = mc_step.next;
+                assert_eq!(
+                    observe_mc(&mc),
+                    observe(&real),
+                    "divergence at walk {walk} step {step} after {mv:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn counterexample_replays_as_a_real_attack() {
+    // Find the shortest attack against the undersized 4-value domain…
+    let params = Params::new(4, 1);
+    let report = explore(params, &SeedSet::Exhaustive, 10_000_000);
+    let cex = report.violation.expect("m = 4 breaks");
+
+    // …and run it against the real protocol.
+    let mut runner = realize(&cex.seed, params);
+    let req_step = runner.step_count();
+    runner.mark(p0(), "request");
+    for &mv in &cex.moves {
+        match mirror_move(mv) {
+            Some(real_mv) => runner.execute_move(real_mv).expect("attack move applies"),
+            None => {
+                let (a, b) = if mv == McMove::LosePq { (p0(), p1()) } else { (p1(), p0()) };
+                runner.network_mut().channel_mut(a, b).unwrap().pop().expect("loss applies");
+            }
+        }
+    }
+    // The handshake completed on stale data: State_p[q] is at the domain
+    // max although q never received any post-start message of p…
+    assert_eq!(
+        runner.process(p0()).core().state_of(p1()),
+        Flag::new(params.max_flag()),
+        "the attack completes the handshake"
+    );
+    // …so one activation later, p decides a wave nobody answered.
+    runner.execute_move(Move::Activate(p0())).unwrap();
+    assert_eq!(runner.process(p0()).request(), RequestState::Done);
+    let verdict = snapstab_repro::core::spec::check_bare_pif_wave(
+        runner.trace(),
+        p0(),
+        2,
+        req_step,
+        &0u32,
+        |_q| 1u32,
+    );
+    assert!(!verdict.holds(), "the MC attack breaks Specification 1 for real: {verdict:?}");
+}
+
+#[test]
+fn paper_domain_verified_safe_by_sampled_enumeration() {
+    let report = explore(Params::paper(), &SeedSet::Sampled { count: 20_000, rng_seed: 3 }, 5_000_000);
+    assert!(report.verified_safe(), "{report:?}");
+    assert!(report.exhausted);
+}
+
+#[test]
+fn every_undersized_domain_has_a_counterexample() {
+    for m in [2u8, 3, 4] {
+        let report = explore(Params::new(m, 1), &SeedSet::Exhaustive, 10_000_000);
+        let cex = report.violation.unwrap_or_else(|| panic!("m = {m} must break"));
+        // BFS gives shortest-by-construction: the attack needs at most
+        // 2 moves per stale increment plus bookkeeping.
+        assert!(cex.moves.len() <= 2 * m as usize + 2, "m = {m}: {}", cex.moves.len());
+    }
+}
+
+#[test]
+fn capacity_mismatch_counterexample_found_by_search() {
+    let report = explore(
+        Params::new(5, 2),
+        &SeedSet::Sampled { count: 50_000, rng_seed: 7 },
+        20_000_000,
+    );
+    assert!(report.violation.is_some(), "5 values at capacity 2 must break: {report:?}");
+}
+
+#[test]
+fn mc_move_application_is_deterministic() {
+    let params = Params::paper();
+    let mut rng = SimRng::seed_from(99);
+    for _ in 0..200 {
+        let c = random_config(params, &mut rng);
+        for mv in McMove::ALL {
+            assert_eq!(apply(&c, mv, params), apply(&c, mv, params));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Network partitions — the flip side of the §2 fairness assumption.
+//!
+//! The paper's liveness properties (Start, Termination) rest on fair-lossy
+//! channels: infinitely many sends imply infinitely many receipts. A
+//! partition breaks fairness on the cut links, so waves crossing the cut
+//! stall — safely. Once the partition heals (fairness restored), pending
+//! computations complete, and the *next* requested computation is exact:
+//! snap-stabilization treats a healed partition just like any other
+//! transient fault history.
+
+use snapstab_repro::core::idl::IdlProcess;
+use snapstab_repro::core::me::MeProcess;
+use snapstab_repro::core::request::RequestState;
+use snapstab_repro::core::spec::{analyze_me_trace, check_idl_result};
+use snapstab_repro::sim::{
+    Capacity, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner,
+};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn idl_system(n: usize, seed: u64) -> (Runner<IdlProcess, RandomScheduler>, Vec<u64>) {
+    let ids: Vec<u64> = (0..n).map(|i| 100 - 7 * i as u64).collect();
+    let processes = (0..n).map(|i| IdlProcess::new(p(i), n, ids[i])).collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    (Runner::new(processes, network, RandomScheduler::new(), seed), ids)
+}
+
+#[test]
+fn wave_stalls_across_a_partition() {
+    let (mut runner, _) = idl_system(4, 1);
+    runner.set_loss(LossModel::split(&[p(0), p(1)], &[p(2), p(3)]));
+    runner.process_mut(p(0)).request_learning();
+    runner.run_steps(100_000).unwrap();
+    assert_eq!(
+        runner.process(p(0)).request(),
+        RequestState::In,
+        "the wave cannot cross the cut"
+    );
+    // Within its side, the handshake completed.
+    assert_eq!(runner.process(p(0)).pif().state_of(p(1)).value(), 4);
+    assert!(runner.process(p(0)).pif().state_of(p(2)).value() < 4);
+}
+
+#[test]
+fn healed_partition_completes_the_pending_wave() {
+    let (mut runner, ids) = idl_system(4, 2);
+    runner.set_loss(LossModel::split(&[p(0)], &[p(2)]));
+    runner.process_mut(p(0)).request_learning();
+    runner.run_steps(50_000).unwrap();
+    assert_eq!(runner.process(p(0)).request(), RequestState::In);
+    // Heal.
+    runner.set_loss(LossModel::reliable());
+    runner
+        .run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .expect("the pending wave completes after healing");
+    let v = check_idl_result(runner.process(p(0)).idl(), p(0), &ids, true, true);
+    assert!(v.holds(), "{v:?}");
+}
+
+#[test]
+fn post_heal_requests_are_exact_with_leftover_cut_state() {
+    // Partition during heavy activity leaves arbitrary junk (half-finished
+    // handshakes, stale NeigStates) on both sides; after healing, the next
+    // request is exact — the leftover state is just another arbitrary
+    // configuration.
+    let (mut runner, ids) = idl_system(4, 3);
+    // Everyone requests during the partition.
+    runner.set_loss(LossModel::split(&[p(0), p(1)], &[p(2), p(3)]));
+    for i in 0..4 {
+        runner.process_mut(p(i)).request_learning();
+    }
+    runner.run_steps(60_000).unwrap();
+    runner.set_loss(LossModel::probabilistic(0.1)); // heal into a lossy (fair) network
+    runner
+        .run_until(2_000_000, |r| {
+            (0..4).all(|i| r.process(p(i)).request() == RequestState::Done)
+        })
+        .expect("all pending waves complete");
+    // Fresh request after the healing.
+    assert!(runner.process_mut(p(3)).request_learning());
+    runner
+        .run_until(2_000_000, |r| r.process(p(3)).request() == RequestState::Done)
+        .expect("post-heal wave completes");
+    let v = check_idl_result(runner.process(p(3)).idl(), p(3), &ids, true, true);
+    assert!(v.holds(), "{v:?}");
+}
+
+#[test]
+fn me_safety_survives_partitions() {
+    let n = 4;
+    let processes: Vec<MeProcess> = (0..n)
+        .map(|i| MeProcess::new(p(i), n, 10 + i as u64))
+        .collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), 4);
+    // Request on both sides, partition mid-run, heal, drain.
+    for i in [1usize, 3] {
+        runner.mark(p(i), "request");
+        runner.process_mut(p(i)).request_cs();
+    }
+    runner.run_steps(5_000).unwrap();
+    runner.set_loss(LossModel::split(&[p(0), p(1)], &[p(2), p(3)]));
+    runner.run_steps(30_000).unwrap();
+    runner.set_loss(LossModel::reliable());
+    runner
+        .run_until(2_000_000, |r| {
+            [1usize, 3].iter().all(|&i| r.process(p(i)).request() == RequestState::Done)
+        })
+        .expect("requests served after healing");
+    let report = analyze_me_trace(runner.trace(), n);
+    assert!(report.exclusivity_holds(), "{:?}", report.genuine_overlaps);
+    assert_eq!(report.served.len(), 2);
+}

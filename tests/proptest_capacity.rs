@@ -1,0 +1,152 @@
+//! Property-based tests for the bounded-capacity extension: the
+//! `2c + 3`-valued handshake keeps every specification intact for
+//! *arbitrary* capacities, seeds and corruption draws, and the stale
+//! adversary can never exceed its proven `2c + 1` increment bound.
+
+use proptest::prelude::*;
+use snapstab_repro::core::capacity::{max_stale, StaleConfig};
+use snapstab_repro::core::flag::{Flag, FlagDomain};
+use snapstab_repro::core::idl::IdlProcess;
+use snapstab_repro::core::pif::{PifApp, PifProcess};
+use snapstab_repro::core::request::RequestState;
+use snapstab_repro::core::spec::check_bare_pif_wave;
+use snapstab_repro::sim::{
+    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner,
+    SimRng,
+};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+#[derive(Clone, Debug)]
+struct Answer(u32);
+
+impl PifApp<u32, u32> for Answer {
+    fn on_broadcast(&mut self, _from: ProcessId, _data: &u32) -> u32 {
+        self.0
+    }
+    fn on_feedback(&mut self, _from: ProcessId, _data: &u32) {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, .. ProptestConfig::default() })]
+
+    /// The stale adversary never drives `State_p[q]` past `2c + 1` against
+    /// the generalized domain, for any configuration and schedule family.
+    #[test]
+    fn stale_bound_is_never_exceeded(
+        capacity in 1usize..4,
+        seed in any::<u64>(),
+        schedules in 1u64..6,
+    ) {
+        let domain = FlagDomain::for_capacity(capacity);
+        let mut rng = SimRng::seed_from(seed);
+        let cfg = StaleConfig::arbitrary(&mut rng, capacity, domain);
+        let out = max_stale(&cfg, schedules);
+        prop_assert!(
+            out.max_stale_flag <= Flag::new(2 * capacity as u8 + 1),
+            "capacity {capacity}: {out:?}"
+        );
+        prop_assert!(!out.stale_decided);
+        prop_assert!(out.completed, "Termination");
+    }
+
+    /// One value short of the required domain, the canonical adversary
+    /// always completes a wave on stale data — the bound is tight for
+    /// every capacity.
+    #[test]
+    fn one_value_short_always_breaks(capacity in 1usize..5) {
+        let undersized = FlagDomain::with_max(2 * capacity as u8 + 1);
+        let cfg = StaleConfig::canonical(capacity, undersized);
+        let out = max_stale(&cfg, 0);
+        prop_assert!(out.stale_decided, "capacity {capacity}: {out:?}");
+    }
+
+    /// Specification 1 holds at any sampled capacity with the matching
+    /// domain, from arbitrary corrupted starts, with loss.
+    #[test]
+    fn pif_spec1_holds_at_any_capacity(
+        capacity in 1usize..4,
+        n in 2usize..5,
+        seed in any::<u64>(),
+        loss in 0u8..3,
+    ) {
+        let loss = f64::from(loss) * 0.1;
+        let processes: Vec<PifProcess<u32, u32, Answer>> = (0..n)
+            .map(|i| PifProcess::for_capacity(p(i), n, 0, 0, capacity, Answer(100 + i as u32)))
+            .collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(capacity)).build();
+        let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+        if loss > 0.0 {
+            runner.set_loss(LossModel::probabilistic(loss));
+        }
+        let mut rng = SimRng::seed_from(seed ^ 0xCAFE);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+
+        let _ = runner.run_until(500_000, |r| r.process(p(0)).request() == RequestState::Done);
+        let req_step = runner.step_count();
+        prop_assert!(runner.process_mut(p(0)).request_broadcast(9));
+        runner
+            .run_until(5_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .expect("wave decides");
+        let verdict =
+            check_bare_pif_wave(runner.trace(), p(0), n, req_step, &9, |q| 100 + q.index() as u32);
+        prop_assert!(verdict.holds(), "{verdict:?}");
+    }
+
+    /// IDs-Learning stays exact over multi-message channels.
+    #[test]
+    fn idl_exact_at_any_capacity(
+        capacity in 1usize..4,
+        n in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let ids: Vec<u64> = (0..n).map(|i| 1 + ((i as u64) * 653 + seed % 97) % 4000).collect();
+        prop_assume!({
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            sorted.windows(2).all(|w| w[0] != w[1])
+        });
+        let min = *ids.iter().min().expect("non-empty");
+        let processes = (0..n)
+            .map(|i| IdlProcess::for_capacity(p(i), n, ids[i], capacity))
+            .collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(capacity)).build();
+        let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+        let mut rng = SimRng::seed_from(seed ^ 0xBEEF);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+
+        let _ = runner.run_until(500_000, |r| {
+            (0..n).all(|i| r.process(p(i)).request() != RequestState::Wait)
+        });
+        if runner.process(p(0)).request() != RequestState::Done {
+            runner
+                .run_until(2_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+                .expect("drain");
+        }
+        prop_assert!(runner.process_mut(p(0)).request_learning());
+        runner
+            .run_until(2_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .expect("IDL decides");
+        prop_assert_eq!(runner.process(p(0)).idl().min_id(), min);
+        for q in 1..n {
+            prop_assert_eq!(runner.process(p(0)).idl().id_of(p(q)), ids[q]);
+        }
+    }
+
+    /// Mismatched deployments (domain sized for a smaller capacity than
+    /// the channels actually hold) are vulnerable: the canonical adversary
+    /// completes a wave on stale data whenever `domain < 2c + 3`.
+    #[test]
+    fn mismatched_domain_is_always_vulnerable(
+        capacity in 2usize..5,
+        deficit in 1usize..3,
+    ) {
+        prop_assume!(capacity > deficit);
+        let domain = FlagDomain::for_capacity(capacity - deficit);
+        let cfg = StaleConfig::canonical(capacity, domain);
+        let out = max_stale(&cfg, 0);
+        prop_assert!(out.stale_decided, "capacity {capacity}, domain {domain:?}: {out:?}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the small building blocks: per-neighbor tables,
+//! the flag domain, loss-model fairness, and the request discipline.
+
+use proptest::prelude::*;
+use snapstab_repro::core::flag::{Flag, FlagDomain};
+use snapstab_repro::core::request::RequestState;
+use snapstab_repro::sim::{neighbors, LossModel, PerNeighbor, ProcessId, SimRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Neighbor iteration covers exactly everyone but the owner, in order.
+    #[test]
+    fn neighbors_cover_everyone_but_self(n in 1usize..50, me in 0usize..50) {
+        prop_assume!(me < n);
+        let ns: Vec<ProcessId> = neighbors(ProcessId::new(me), n).collect();
+        prop_assert_eq!(ns.len(), n - 1);
+        prop_assert!(ns.iter().all(|q| q.index() != me && q.index() < n));
+        prop_assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted");
+    }
+
+    /// PerNeighbor set/get round-trips and iteration order is stable.
+    #[test]
+    fn per_neighbor_roundtrip(
+        n in 2usize..12,
+        me in 0usize..12,
+        values in proptest::collection::vec(any::<u32>(), 12),
+    ) {
+        prop_assume!(me < n);
+        let owner = ProcessId::new(me);
+        let mut t = PerNeighbor::new(owner, n, 0u32);
+        for i in 0..n {
+            if i != me {
+                t.set(ProcessId::new(i), values[i]);
+            }
+        }
+        for i in 0..n {
+            if i != me {
+                prop_assert_eq!(*t.get(ProcessId::new(i)), values[i]);
+            }
+        }
+        let pairs: Vec<usize> = t.iter().map(|(q, _)| q.index()).collect();
+        prop_assert!(pairs.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(pairs.len(), n - 1);
+        prop_assert!(t.all(|_| true));
+    }
+
+    /// Flag increments are monotone and saturate exactly at the domain max;
+    /// clamping is idempotent and never exceeds the max.
+    #[test]
+    fn flag_domain_algebra(max in 1u8..10, start in 0u8..10, junk in 0u8..255) {
+        let d = FlagDomain::with_max(max);
+        prop_assume!(start <= max);
+        let mut f = Flag::new(start);
+        for _ in 0..20 {
+            let next = f.incremented(d);
+            prop_assert!(next.value() >= f.value());
+            prop_assert!(next.value() <= max);
+            f = next;
+        }
+        prop_assert!(f.is_complete(d));
+        let clamped = d.clamp(Flag::new(junk));
+        prop_assert!(clamped.value() <= max);
+        prop_assert_eq!(d.clamp(clamped), clamped, "idempotent");
+        prop_assert_eq!(d.size(), max as usize + 1);
+        prop_assert_eq!(d.broadcast_value().value(), max - 1);
+    }
+
+    /// Arbitrary in-domain flags really stay in the domain.
+    #[test]
+    fn flag_domain_arbitrary_in_domain(max in 1u8..10, seed in any::<u64>()) {
+        let d = FlagDomain::with_max(max);
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..50 {
+            prop_assert!(d.arbitrary_flag(&mut rng).value() <= max);
+        }
+    }
+
+    /// Probabilistic loss below 1.0 is fair: over a long horizon, some
+    /// messages always get through (and at p = 0, all of them do).
+    #[test]
+    fn loss_model_is_fair(p in 0.0f64..0.95, seed in any::<u64>()) {
+        let m = LossModel::probabilistic(p);
+        let mut rng = SimRng::seed_from(seed);
+        let survivors = (0..2_000u64)
+            .filter(|&i| !m.loses(ProcessId::new(0), ProcessId::new(1), i, &mut rng))
+            .count();
+        prop_assert!(survivors > 0, "fairness: infinitely many sends get through");
+        if p == 0.0 {
+            prop_assert_eq!(survivors, 2_000);
+        }
+    }
+
+    /// Scripted loss models affect exactly the scripted attempts.
+    #[test]
+    fn scripted_loss_is_exact(
+        drops in proptest::collection::btree_set(0u64..100, 0..20),
+        seed in any::<u64>(),
+    ) {
+        let from = ProcessId::new(0);
+        let to = ProcessId::new(1);
+        let m = LossModel::scripted(drops.iter().map(|&i| (from, to, i)).collect());
+        let mut rng = SimRng::seed_from(seed);
+        for i in 0..100u64 {
+            prop_assert_eq!(m.loses(from, to, i, &mut rng), drops.contains(&i));
+            // Other links unaffected.
+            prop_assert!(!m.loses(ProcessId::new(1), ProcessId::new(0), i, &mut rng));
+        }
+    }
+
+    /// The request discipline: from any state, `try_request` succeeds iff
+    /// the state was Done, and always leaves a legal state.
+    #[test]
+    fn request_discipline_total(start in 0u8..3) {
+        let mut r = match start {
+            0 => RequestState::Wait,
+            1 => RequestState::In,
+            _ => RequestState::Done,
+        };
+        let was_done = r == RequestState::Done;
+        let accepted = r.try_request();
+        prop_assert_eq!(accepted, was_done);
+        if accepted {
+            prop_assert_eq!(r, RequestState::Wait);
+        }
+    }
+}

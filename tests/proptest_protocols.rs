@@ -1,0 +1,151 @@
+//! Property-based tests: the snap-stabilization specifications hold for
+//! *arbitrary* seeds, sizes, loss rates and corruption draws — `I = C`
+//! sampled broadly rather than hand-picked.
+
+use proptest::prelude::*;
+use snapstab_repro::core::idl::IdlProcess;
+use snapstab_repro::core::me::{MeConfig, MeProcess, ValueMode};
+use snapstab_repro::core::pif::{PifApp, PifProcess};
+use snapstab_repro::core::request::RequestState;
+use snapstab_repro::core::spec::{analyze_me_trace, check_bare_pif_wave, check_idl_result};
+use snapstab_repro::sim::{
+    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner,
+    SimRng,
+};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+#[derive(Clone, Debug)]
+struct Answer(u32);
+
+impl PifApp<u32, u32> for Answer {
+    fn on_broadcast(&mut self, _from: ProcessId, _data: &u32) -> u32 {
+        self.0
+    }
+    fn on_feedback(&mut self, _from: ProcessId, _data: &u32) {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Specification 1 holds for every sampled corrupted start.
+    #[test]
+    fn pif_spec1_always_holds(
+        n in 2usize..6,
+        seed in any::<u64>(),
+        loss in 0u8..3,
+    ) {
+        let loss = f64::from(loss) * 0.15;
+        let processes: Vec<PifProcess<u32, u32, Answer>> = (0..n)
+            .map(|i| PifProcess::with_initial_f(p(i), n, 0, 0, Answer(100 + i as u32)))
+            .collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+        if loss > 0.0 {
+            runner.set_loss(LossModel::probabilistic(loss));
+        }
+        let mut rng = SimRng::seed_from(seed ^ 0xF00D);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+
+        let _ = runner.run_until(500_000, |r| r.process(p(0)).request() == RequestState::Done);
+        let req_step = runner.step_count();
+        prop_assert!(runner.process_mut(p(0)).request_broadcast(9));
+        runner
+            .run_until(5_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .expect("wave decides");
+        let verdict =
+            check_bare_pif_wave(runner.trace(), p(0), n, req_step, &9, |q| 100 + q.index() as u32);
+        prop_assert!(verdict.holds(), "{verdict:?}");
+    }
+
+    /// Specification 2 holds for every sampled corrupted start.
+    #[test]
+    fn idl_spec2_always_holds(
+        n in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let ids: Vec<u64> = (0..n).map(|i| 1 + ((i as u64) * 997 + seed % 89) % 5000).collect();
+        // Identities must be distinct for the leader to be well-defined.
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assume!(sorted.len() == n);
+
+        let processes: Vec<IdlProcess> =
+            (0..n).map(|i| IdlProcess::new(p(i), n, ids[i])).collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+        let mut rng = SimRng::seed_from(seed ^ 0x1D5);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+
+        let _ = runner.run_until(500_000, |r| r.process(p(0)).request() == RequestState::Done);
+        prop_assert!(runner.process_mut(p(0)).request_learning());
+        runner
+            .run_until(5_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .expect("computation decides");
+        let verdict = check_idl_result(runner.process(p(0)).idl(), p(0), &ids, true, true);
+        prop_assert!(verdict.holds(), "{verdict:?}");
+    }
+
+    /// Specification 3 Correctness: no genuine CS overlap, ever.
+    #[test]
+    fn me_exclusivity_always_holds(
+        seed in any::<u64>(),
+        cs_duration in 0u64..5,
+        loss in 0u8..2,
+    ) {
+        let n = 3;
+        let loss = f64::from(loss) * 0.2;
+        let config = MeConfig { cs_duration, value_mode: ValueMode::Corrected, ..MeConfig::default() };
+        let processes: Vec<MeProcess> = (0..n)
+            .map(|i| MeProcess::with_config(p(i), n, 50 + i as u64, config))
+            .collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+        if loss > 0.0 {
+            runner.set_loss(LossModel::probabilistic(loss));
+        }
+        let mut rng = SimRng::seed_from(seed ^ 0x3E);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+
+        let mut executed = 0;
+        while executed < 30_000 {
+            executed += runner.run_steps(500).expect("run").steps;
+            for i in 0..n {
+                if runner.process(p(i)).request() == RequestState::Done && rng.gen_bool(0.05) {
+                    runner.mark(p(i), "request");
+                    runner.process_mut(p(i)).request_cs();
+                }
+            }
+        }
+        let report = analyze_me_trace(runner.trace(), n);
+        prop_assert!(report.exclusivity_holds(), "{:?}", report.genuine_overlaps);
+    }
+
+    /// Flag monotonicity: within one wave, the initiator's handshake flag
+    /// toward any neighbor never decreases until the decision resets it.
+    #[test]
+    fn pif_flag_monotone_within_wave(seed in any::<u64>()) {
+        let n = 3;
+        let processes: Vec<PifProcess<u32, u32, Answer>> = (0..n)
+            .map(|i| PifProcess::with_initial_f(p(i), n, 0, 0, Answer(1)))
+            .collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+        runner.process_mut(p(0)).request_broadcast(2);
+        let mut prev = [0u8; 3];
+        for _ in 0..5_000 {
+            if runner.process(p(0)).request() == RequestState::Done {
+                break;
+            }
+            runner.step().expect("step");
+            for q in 1..n {
+                let now = runner.process(p(0)).core().state_of(p(q)).value();
+                prop_assert!(now >= prev[q], "flag toward P{q} decreased mid-wave");
+                prev[q] = now;
+            }
+        }
+    }
+}

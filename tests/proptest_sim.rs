@@ -1,0 +1,158 @@
+//! Property-based tests of the simulator substrate: channel/network
+//! invariants and execution determinism under arbitrary drive.
+
+use proptest::prelude::*;
+use snapstab_repro::core::idl::IdlProcess;
+use snapstab_repro::core::request::RequestState;
+use snapstab_repro::sim::{
+    Capacity, Channel, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, Protocol,
+    RandomScheduler, Runner, SimRng, TraceEvent,
+};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// A bounded channel never exceeds its capacity under any offer/pop
+    /// interleaving, and preserves FIFO order of the accepted messages.
+    #[test]
+    fn channel_capacity_and_fifo(
+        cap in 1usize..5,
+        ops in proptest::collection::vec(any::<Option<u16>>(), 1..200),
+    ) {
+        let mut ch: Channel<u16> = Channel::new(Capacity::Bounded(cap));
+        let mut model: std::collections::VecDeque<u16> = Default::default();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    let accepted = ch.offer(v).is_enqueued();
+                    prop_assert_eq!(accepted, model.len() < cap);
+                    if accepted {
+                        model.push_back(v);
+                    }
+                }
+                None => {
+                    prop_assert_eq!(ch.pop(), model.pop_front());
+                }
+            }
+            prop_assert!(ch.len() <= cap);
+            prop_assert_eq!(ch.len(), model.len());
+        }
+        let drained: Vec<u16> = std::iter::from_fn(|| ch.pop()).collect();
+        let expected: Vec<u16> = model.into_iter().collect();
+        prop_assert_eq!(drained, expected);
+    }
+
+    /// Message conservation over a full protocol run: enqueued sends plus
+    /// pre-loaded messages equal deliveries plus what is still in flight.
+    #[test]
+    fn message_conservation(seed in any::<u64>(), n in 2usize..6) {
+        let processes: Vec<IdlProcess> =
+            (0..n).map(|i| IdlProcess::new(p(i), n, 10 + i as u64)).collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+        runner.set_loss(LossModel::probabilistic(0.2));
+        let mut rng = SimRng::seed_from(seed);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+        let preloaded = runner.network().messages_in_flight() as u64;
+        runner.process_mut(p(0)).request_learning();
+        runner.run_steps(20_000).expect("run");
+        let stats = runner.stats();
+        let in_flight = runner.network().messages_in_flight() as u64;
+        prop_assert_eq!(
+            stats.sends_enqueued + preloaded,
+            stats.deliveries + in_flight,
+            "conservation: {:?}", stats
+        );
+        // And the trace agrees with the counters.
+        let sent_in_trace = runner.trace().count(|e| matches!(
+            e,
+            TraceEvent::Sent { fate: snapstab_repro::sim::trace::SendFate::Enqueued, .. }
+        )) as u64;
+        prop_assert_eq!(sent_in_trace, stats.sends_enqueued);
+        let delivered_in_trace =
+            runner.trace().count(|e| matches!(e, TraceEvent::Delivered { .. })) as u64;
+        prop_assert_eq!(delivered_in_trace, stats.deliveries);
+    }
+
+    /// Executions are a pure function of the seeds: identical runs produce
+    /// identical traces, stats and final states.
+    #[test]
+    fn execution_is_deterministic(seed in any::<u64>()) {
+        let run = || {
+            let n = 4;
+            let processes: Vec<IdlProcess> =
+                (0..n).map(|i| IdlProcess::new(p(i), n, 10 + i as u64)).collect();
+            let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+            let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+            runner.set_loss(LossModel::probabilistic(0.3));
+            let mut rng = SimRng::seed_from(seed ^ 1);
+            CorruptionPlan::full().apply(&mut runner, &mut rng);
+            runner.process_mut(p(1)).request_learning();
+            runner.run_steps(5_000).expect("run");
+            (
+                format!("{:?}", runner.stats()),
+                format!("{:?}", runner.trace().entries().len()),
+                format!("{:?}", (0..n).map(|i| runner.process(p(i)).snapshot()).collect::<Vec<_>>()),
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The corruption plan always respects channel capacity, and protocol
+    /// state domains survive (request is one of the three values, flags in
+    /// domain) — `I = C`, not `I ⊋ C`.
+    #[test]
+    fn corruption_stays_inside_the_configuration_space(
+        seed in any::<u64>(),
+        n in 2usize..6,
+        cap in 1usize..4,
+    ) {
+        let processes: Vec<IdlProcess> =
+            (0..n).map(|i| IdlProcess::new(p(i), n, 10 + i as u64)).collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(cap)).build();
+        let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+        let mut rng = SimRng::seed_from(seed);
+        CorruptionPlan {
+            corrupt_processes: true,
+            corrupt_channels: true,
+            max_preload_per_channel: cap,
+        }
+        .apply(&mut runner, &mut rng);
+        for (f, t) in runner.network().links().collect::<Vec<_>>() {
+            let ch = runner.network().channel(f, t).unwrap();
+            prop_assert!(ch.len() <= cap);
+            for m in ch.iter() {
+                prop_assert!(m.sender_state.value() <= 4);
+                prop_assert!(m.echoed_state.value() <= 4);
+            }
+        }
+        for i in 0..n {
+            let proc = runner.process(p(i));
+            prop_assert!(matches!(
+                proc.request(),
+                RequestState::Wait | RequestState::In | RequestState::Done
+            ));
+            prop_assert_eq!(proc.idl().my_id(), 10 + i as u64, "identities are constants");
+        }
+    }
+
+    /// Quiescence detection is sound: when the runner reports quiescence,
+    /// no message is in flight and no internal action is enabled.
+    #[test]
+    fn quiescence_is_sound(seed in any::<u64>()) {
+        let n = 3;
+        let processes: Vec<IdlProcess> =
+            (0..n).map(|i| IdlProcess::new(p(i), n, 10 + i as u64)).collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+        runner.process_mut(p(0)).request_learning();
+        let out = runner.run_until_quiescent(5_000_000).expect("wave drains");
+        prop_assert!(out.is_quiescent());
+        prop_assert_eq!(runner.network().messages_in_flight(), 0);
+        prop_assert_eq!(runner.process(p(0)).request(), RequestState::Done);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the general-topology extension: random tree
+//! shapes, random corruption, random roots — the tree-wave specification
+//! must always hold, and topology invariants must be preserved.
+
+use proptest::prelude::*;
+use snapstab_repro::core::request::RequestState;
+use snapstab_repro::sim::{
+    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner,
+    SimRng, Topology,
+};
+use snapstab_repro::topology::{check_tree_wave, Count, MinId, TreePifNode};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// A random tree over n nodes: node i+1 attaches to a parent in 0..=i.
+fn random_tree(n: usize, seed: u64) -> Topology {
+    let mut rng = SimRng::seed_from(seed);
+    let parents: Vec<usize> = (1..n).map(|i| rng.gen_range(0..i)).collect();
+    Topology::from_parents(&parents)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// The tree-wave specification holds on arbitrary trees from
+    /// arbitrary corrupted starts under arbitrary (fair) schedules.
+    #[test]
+    fn tree_wave_spec_always_holds(
+        n in 3usize..8,
+        shape_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+        root in 0usize..8,
+        loss in 0u8..3,
+    ) {
+        let root = root % n;
+        let topo = random_tree(n, shape_seed);
+        prop_assert!(topo.is_tree());
+        let processes: Vec<TreePifNode<u8, u64, Count>> =
+            (0..n).map(|i| TreePifNode::new(p(i), &topo, 0u8, Count)).collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let mut runner = Runner::new(processes, network, RandomScheduler::new(), run_seed);
+        if loss > 0 {
+            runner.set_loss(LossModel::probabilistic(f64::from(loss) * 0.1));
+        }
+        let mut rng = SimRng::seed_from(run_seed ^ 0x1EE7);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+
+        let root = p(root);
+        let _ = runner.run_until(1_500_000, |r| r.process(root).request() == RequestState::Done);
+        prop_assert_eq!(
+            runner.process(root).request(),
+            RequestState::Done,
+            "Termination of non-started computations"
+        );
+        let req_step = runner.step_count();
+        prop_assert!(runner.process_mut(root).request_wave(7));
+        runner
+            .run_until(8_000_000, |r| r.process(root).request() == RequestState::Done)
+            .expect("wave decides");
+        let verdict = check_tree_wave(runner.trace(), root, n, req_step, &7, &(n as u64));
+        prop_assert!(verdict.holds(), "{:?}", verdict);
+    }
+
+    /// Leader election (minimum id) is exact on arbitrary trees.
+    #[test]
+    fn min_id_is_exact_on_arbitrary_trees(
+        n in 3usize..7,
+        shape_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+    ) {
+        let topo = random_tree(n, shape_seed);
+        let ids: Vec<u64> = (0..n).map(|i| 1 + ((i as u64) * 2654435761 + run_seed % 1009) % 100_000).collect();
+        prop_assume!({
+            let mut s = ids.clone();
+            s.sort_unstable();
+            s.windows(2).all(|w| w[0] != w[1])
+        });
+        let min = *ids.iter().min().expect("non-empty");
+        let processes: Vec<TreePifNode<u8, u64, MinId>> = (0..n)
+            .map(|i| TreePifNode::new(p(i), &topo, 0u8, MinId { my_id: ids[i] }))
+            .collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let mut runner = Runner::new(processes, network, RandomScheduler::new(), run_seed);
+        let mut rng = SimRng::seed_from(run_seed ^ 0xFACE);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+        let _ = runner.run_until(1_500_000, |r| r.process(p(0)).request() == RequestState::Done);
+        prop_assert!(runner.process_mut(p(0)).request_wave(1));
+        runner
+            .run_until(8_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .expect("wave decides");
+        prop_assert_eq!(runner.process(p(0)).result(), Some(&min));
+    }
+
+    /// Topology invariants: random trees are trees; spanning trees of
+    /// random connected graphs span; diameters are consistent.
+    #[test]
+    fn topology_invariants(
+        n in 3usize..12,
+        seed in any::<u64>(),
+    ) {
+        let tree = random_tree(n, seed);
+        prop_assert!(tree.is_tree());
+        prop_assert_eq!(tree.edge_count(), n - 1);
+        prop_assert!(tree.diameter() <= n - 1);
+
+        // A random connected graph: a tree plus extra edges.
+        let mut g = tree.clone();
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..rng.gen_range(0..n) {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b {
+                g.add_edge(p(a), p(b));
+            }
+        }
+        prop_assert!(g.is_connected());
+        let span = g.bfs_spanning_tree(p(rng.gen_range(0..n)));
+        prop_assert!(span.is_tree());
+        prop_assert!(span.diameter() >= g.diameter() || g.diameter() <= span.diameter(),
+            "spanning tree cannot shrink distances");
+        // Every spanning-tree edge is a graph edge.
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && span.has_edge(p(a), p(b)) {
+                    prop_assert!(g.has_edge(p(a), p(b)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Robustness corners of the reproduction: the footnote-1 semantics
+//! (spurious critical sections from corrupted state), the D6 capacity
+//! generalization, and fault bursts landing *during* computations.
+
+use snapstab_repro::core::idl::IdlProcess;
+use snapstab_repro::core::me::{MeConfig, MeProcess, ValueMode};
+use snapstab_repro::core::pif::{PifApp, PifProcess};
+use snapstab_repro::core::request::RequestState;
+use snapstab_repro::core::spec::{analyze_me_trace, check_bare_pif_wave, check_idl_result};
+use snapstab_repro::sim::{
+    Capacity, CorruptionPlan, NetworkBuilder, ProcessId, Protocol, RandomScheduler,
+    RoundRobin, Runner, SimRng,
+};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// Footnote 1 of the paper: "Starting from any configuration, a
+/// snap-stabilizing protocol cannot prevent several (non-requesting)
+/// processes to execute the critical section simultaneously. However, it
+/// guarantees that every requesting process executes the critical section
+/// in an exclusive manner."
+///
+/// This test *forces* the corrupted state that makes a non-requesting
+/// process execute the CS spuriously, and checks the spec machinery
+/// classifies it as spurious (not a violation) while genuine requests stay
+/// protected.
+#[test]
+fn footnote1_spurious_cs_is_possible_and_classified() {
+    let n = 3;
+    let config = MeConfig { cs_duration: 4, value_mode: ValueMode::Corrected, ..MeConfig::default() };
+    // P0 is the leader (smallest id).
+    let ids = [5u64, 100, 200];
+    let processes: Vec<MeProcess> = (0..n)
+        .map(|i| MeProcess::with_config(p(i), n, ids[i], config))
+        .collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RoundRobin::new(), 3);
+
+    // Hand-craft P2's corrupted state: it believes (wrongly, nobody asked)
+    // that it is privileged and mid-protocol: phase 3, Request=In, a YES
+    // recorded from the leader, correct ID table, its own PIF idle.
+    let mut s = runner.process(p(2)).snapshot();
+    s.request = RequestState::In; // corrupted: no external request was made
+    s.phase = 3;
+    s.privileges = vec![true, false, false]; // "the leader said YES"
+    s.idl.min_id = 5;
+    s.idl.id_tab = vec![5, 100, 0];
+    s.idl.request = RequestState::Done;
+    s.pif.request = RequestState::Done;
+    runner.process_mut(p(2)).restore(s);
+
+    // One activation of P2 executes A3's CS branch spuriously.
+    runner
+        .execute_move(snapstab_repro::sim::Move::Activate(p(2)))
+        .unwrap();
+    assert!(runner.process(p(2)).is_in_cs(), "the spurious CS is real");
+
+    // Let the run continue; nobody requested, so the interval is spurious.
+    runner.run_steps(40_000).unwrap();
+    let report = analyze_me_trace(runner.trace(), n);
+    assert!(
+        report.intervals.iter().any(|iv| iv.p == p(2) && !iv.genuine),
+        "the checker must classify P2's CS as spurious: {:?}",
+        report.intervals
+    );
+    assert!(report.exclusivity_holds(), "no genuine pair overlapped");
+}
+
+/// D6: the protocols also work at known capacities larger than 1 — the
+/// paper: "the extension to an arbitrary but known bounded message
+/// capacity is straightforward".
+#[test]
+fn idl_correct_at_larger_capacities() {
+    for cap in [2usize, 4, 8] {
+        for seed in 0..3 {
+            let n = 3;
+            let ids: Vec<u64> = vec![30, 10, 20];
+            let processes: Vec<IdlProcess> =
+                (0..n).map(|i| IdlProcess::new(p(i), n, ids[i])).collect();
+            let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(cap)).build();
+            let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+            let mut rng = SimRng::seed_from(seed * 100 + cap as u64);
+            CorruptionPlan {
+                corrupt_processes: true,
+                corrupt_channels: true,
+                max_preload_per_channel: cap,
+            }
+            .apply(&mut runner, &mut rng);
+            let _ = runner.run_until(1_000_000, |r| {
+                r.process(p(0)).request() == RequestState::Done
+            });
+            assert!(runner.process_mut(p(0)).request_learning());
+            runner
+                .run_until(3_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+                .expect("decides");
+            let v = check_idl_result(runner.process(p(0)).idl(), p(0), &ids, true, true);
+            assert!(v.holds(), "capacity {cap}, seed {seed}: {v:?}");
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Answer(u32);
+
+impl PifApp<u32, u32> for Answer {
+    fn on_broadcast(&mut self, _from: ProcessId, _data: &u32) -> u32 {
+        self.0
+    }
+    fn on_feedback(&mut self, _from: ProcessId, _data: &u32) {}
+}
+
+/// Faults landing in the middle of a started wave void that wave's
+/// guarantee (the definition only covers executions where faults have
+/// ceased) — but the *next* requested wave is exact again. Snap-
+/// stabilization is about fault containment at the request boundary.
+#[test]
+fn mid_wave_corruption_next_wave_exact() {
+    for seed in 0..6 {
+        let n = 3;
+        let processes: Vec<PifProcess<u32, u32, Answer>> = (0..n)
+            .map(|i| PifProcess::with_initial_f(p(i), n, 0, 0, Answer(100 + i as u32)))
+            .collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+
+        // Start a wave and corrupt everything mid-flight.
+        runner.process_mut(p(0)).request_broadcast(1);
+        runner.run_steps(10).unwrap();
+        let mut rng = SimRng::seed_from(seed + 7);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+
+        // Drain whatever the corrupted system does, then request again.
+        let _ = runner.run_until(1_000_000, |r| {
+            r.process(p(0)).request() == RequestState::Done
+        });
+        let req_step = runner.step_count();
+        assert!(runner.process_mut(p(0)).request_broadcast(2));
+        runner
+            .run_until(2_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .expect("post-fault wave decides");
+        let verdict = check_bare_pif_wave(runner.trace(), p(0), n, req_step, &2, |q| {
+            100 + q.index() as u32
+        });
+        assert!(verdict.holds(), "seed {seed}: {verdict:?}");
+    }
+}
+
+/// Repeated alternation of faults and requests: the service never degrades
+/// (no accumulation of damage across bursts).
+#[test]
+fn sustained_fault_request_alternation() {
+    let n = 3;
+    let processes: Vec<IdlProcess> = (0..n)
+        .map(|i| IdlProcess::new(p(i), n, [44u64, 17, 91][i]))
+        .collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), 5);
+    let mut rng = SimRng::seed_from(60);
+    let mut latencies = Vec::new();
+    for _ in 0..12 {
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+        let _ = runner.run_until(1_000_000, |r| {
+            r.process(p(2)).request() == RequestState::Done
+        });
+        assert!(runner.process_mut(p(2)).request_learning());
+        let before = runner.step_count();
+        runner
+            .run_until(2_000_000, |r| r.process(p(2)).request() == RequestState::Done)
+            .expect("decides");
+        latencies.push(runner.step_count() - before);
+        assert_eq!(runner.process(p(2)).idl().min_id(), 17);
+    }
+    // No degradation trend: the last bursts are no slower than 10x the first.
+    let first = latencies[0].max(1);
+    assert!(
+        latencies.iter().all(|&l| l < first * 10 + 2_000),
+        "latencies must not degrade: {latencies:?}"
+    );
+}
+
+/// A corrupted `Phase` value outside `{0..4}` cannot happen by corruption
+/// (the domain is enforced) — but a corrupted PIF request in `Wait`
+/// combined with a mid-phase ME must still terminate its wave and keep
+/// cycling (Lemma 10 resilience spot check).
+#[test]
+fn me_keeps_cycling_from_nasty_mixed_states() {
+    for seed in 0..5 {
+        let n = 3;
+        let processes: Vec<MeProcess> = (0..n)
+            .map(|i| MeProcess::new(p(i), n, 100 + i as u64))
+            .collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+        let mut rng = SimRng::seed_from(seed);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+        runner.run_steps(50_000).unwrap();
+        for i in 0..n {
+            assert!(
+                runner.process(p(i)).counters().phase_zero_visits > 0,
+                "seed {seed}: P{i} must keep cycling"
+            );
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Cross-crate integration tests for the §5 general-topology extension:
+//! tree waves on paths, stars, binary trees and spanning trees of
+//! non-tree graphs, against Specification 1 lifted to trees, from clean
+//! and arbitrarily-corrupted starts, with loss and mid-run fault bursts.
+
+use snapstab_repro::core::request::RequestState;
+use snapstab_repro::sim::{
+    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler,
+    RoundRobin, Runner, Scheduler, SimRng, Topology,
+};
+use snapstab_repro::topology::{check_tree_wave, Count, Gather, MinId, TreePifNode};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+type CountNode = TreePifNode<u8, u64, Count>;
+
+fn count_system<S: Scheduler>(topo: &Topology, scheduler: S, seed: u64) -> Runner<CountNode, S> {
+    let n = topo.n();
+    let processes = (0..n).map(|i| TreePifNode::new(p(i), topo, 0u8, Count)).collect();
+    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    Runner::new(processes, network, scheduler, seed)
+}
+
+/// Drains corrupted computations, requests a wave at `root`, runs to the
+/// decision and checks the tree-wave specification.
+fn wave_spec_holds<S: Scheduler>(runner: Runner<CountNode, S>, root: ProcessId, n: usize) {
+    let mut runner = runner;
+    wave_spec_holds_mut(&mut runner, root, n);
+}
+
+/// Same as [`wave_spec_holds`] but borrows, for repeated waves.
+fn wave_spec_holds_mut<S: Scheduler>(runner: &mut Runner<CountNode, S>, root: ProcessId, n: usize) {
+    let _ = runner.run_until(1_000_000, |r| r.process(root).request() == RequestState::Done);
+    assert_eq!(
+        runner.process(root).request(),
+        RequestState::Done,
+        "corrupted computations drain (Termination)"
+    );
+    let req_step = runner.step_count();
+    runner.mark(root, "request");
+    assert!(runner.process_mut(root).request_wave(7));
+    runner
+        .run_until(5_000_000, |r| r.process(root).request() == RequestState::Done)
+        .expect("wave decides");
+    let verdict = check_tree_wave(runner.trace(), root, n, req_step, &7, &(n as u64));
+    assert!(verdict.holds(), "{verdict:?}");
+}
+
+#[test]
+fn spec_holds_on_every_tree_shape_from_corruption() {
+    for (name, topo) in [
+        ("path", Topology::path(6)),
+        ("star", Topology::star(6)),
+        ("binary", Topology::binary_tree(6)),
+    ] {
+        for seed in 0..4 {
+            let mut runner = count_system(&topo, RandomScheduler::new(), seed);
+            let mut rng = SimRng::seed_from(seed * 97 + 5);
+            CorruptionPlan::full().apply(&mut runner, &mut rng);
+            let n = topo.n();
+            wave_spec_holds(runner, p(0), n);
+            let _ = name;
+        }
+    }
+}
+
+#[test]
+fn spec_holds_from_interior_and_leaf_roots() {
+    let topo = Topology::binary_tree(7);
+    for root in [1usize, 3, 6] {
+        for seed in 0..3 {
+            let mut runner = count_system(&topo, RandomScheduler::new(), seed);
+            let mut rng = SimRng::seed_from(seed + root as u64 * 17);
+            CorruptionPlan::full().apply(&mut runner, &mut rng);
+            wave_spec_holds(runner, p(root), 7);
+        }
+    }
+}
+
+#[test]
+fn spec_holds_under_loss() {
+    let topo = Topology::path(5);
+    for seed in 0..4 {
+        let mut runner = count_system(&topo, RandomScheduler::new(), seed);
+        runner.set_loss(LossModel::probabilistic(0.25));
+        let mut rng = SimRng::seed_from(seed + 400);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+        wave_spec_holds(runner, p(0), 5);
+    }
+}
+
+#[test]
+fn spec_holds_on_spanning_trees_of_dense_graphs() {
+    for (graph, root) in [
+        (Topology::complete(6), 0usize),
+        (Topology::ring(7), 3),
+        (Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]), 2),
+    ] {
+        let tree = graph.bfs_spanning_tree(p(root));
+        assert!(tree.is_tree());
+        let n = tree.n();
+        for seed in 0..3 {
+            let mut runner = count_system(&tree, RandomScheduler::new(), seed);
+            let mut rng = SimRng::seed_from(seed + 800);
+            CorruptionPlan::full().apply(&mut runner, &mut rng);
+            wave_spec_holds(runner, p(root), n);
+        }
+    }
+}
+
+#[test]
+fn mid_run_fault_burst_is_contained_to_the_next_wave() {
+    // Snap-stabilization's contract: a wave *started after* faults cease
+    // satisfies the specification. Corrupt mid-run, then request.
+    let topo = Topology::binary_tree(6);
+    for seed in 0..4 {
+        let mut runner = count_system(&topo, RandomScheduler::new(), seed);
+        // A healthy first wave.
+        wave_spec_holds_mut(&mut runner, p(0), 6);
+        // Fault burst mid-operation.
+        let mut rng = SimRng::seed_from(seed + 1_000);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+        // The next started wave is again exact.
+        wave_spec_holds_mut(&mut runner, p(0), 6);
+    }
+}
+
+#[test]
+fn min_id_leader_election_on_a_tree() {
+    let topo = Topology::path(5);
+    let ids = [50u64, 20, 90, 10, 70];
+    for seed in 0..3 {
+        let processes: Vec<TreePifNode<u8, u64, MinId>> = (0..5)
+            .map(|i| TreePifNode::new(p(i), &topo, 0u8, MinId { my_id: ids[i] }))
+            .collect();
+        let network = NetworkBuilder::new(5).capacity(Capacity::Bounded(1)).build();
+        let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+        let mut rng = SimRng::seed_from(seed + 7);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+        let _ = runner.run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done);
+        assert!(runner.process_mut(p(0)).request_wave(1));
+        runner
+            .run_until(5_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .expect("wave decides");
+        assert_eq!(runner.process(p(0)).result(), Some(&10), "the minimum id wins");
+    }
+}
+
+#[test]
+fn gather_snapshot_collects_every_process_once() {
+    let topo = Topology::star(5);
+    let processes: Vec<TreePifNode<u8, Vec<(ProcessId, u64)>, Gather>> = (0..5)
+        .map(|i| TreePifNode::new(p(i), &topo, 0u8, Gather { mine: 100 + i as u64 }))
+        .collect();
+    let network = NetworkBuilder::new(5).capacity(Capacity::Bounded(1)).build();
+    let mut runner = Runner::new(processes, network, RoundRobin::new(), 3);
+    assert!(runner.process_mut(p(0)).request_wave(1));
+    runner
+        .run_until(2_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .expect("wave decides");
+    let got = runner.process(p(0)).result().expect("result").clone();
+    let expected: Vec<(ProcessId, u64)> = (0..5).map(|i| (p(i), 100 + i as u64)).collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn bounded_capacity_channels_work_with_the_matched_domain() {
+    use snapstab_repro::core::flag::FlagDomain;
+    let topo = Topology::path(4);
+    for seed in 0..3 {
+        let processes: Vec<CountNode> = (0..4)
+            .map(|i| {
+                TreePifNode::with_domain(p(i), &topo, 0u8, Count, FlagDomain::for_capacity(2))
+            })
+            .collect();
+        let network = NetworkBuilder::new(4).capacity(Capacity::Bounded(2)).build();
+        let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+        let mut rng = SimRng::seed_from(seed + 55);
+        CorruptionPlan::full().apply(&mut runner, &mut rng);
+        wave_spec_holds(runner, p(0), 4);
+    }
+}
