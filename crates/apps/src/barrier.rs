@@ -24,7 +24,9 @@ pub struct BarrierQuery {
 
 impl ArbitraryState for BarrierQuery {
     fn arbitrary(rng: &mut SimRng) -> Self {
-        BarrierQuery { phase: rng.gen_u64() % 8 }
+        BarrierQuery {
+            phase: rng.gen_u64() % 8,
+        }
     }
 }
 
@@ -39,7 +41,10 @@ pub struct BarrierReply {
 
 impl ArbitraryState for BarrierReply {
     fn arbitrary(rng: &mut SimRng) -> Self {
-        BarrierReply { phase: rng.gen_u64() % 8, done: rng.gen_bool(0.5) }
+        BarrierReply {
+            phase: rng.gen_u64() % 8,
+            done: rng.gen_bool(0.5),
+        }
     }
 }
 
@@ -79,7 +84,10 @@ struct BarrierVars {
 
 impl PifApp<BarrierQuery, BarrierReply> for BarrierVars {
     fn on_broadcast(&mut self, _from: ProcessId, _q: &BarrierQuery) -> BarrierReply {
-        BarrierReply { phase: self.phase, done: self.work_done }
+        BarrierReply {
+            phase: self.phase,
+            done: self.work_done,
+        }
     }
     fn on_feedback(&mut self, from: ProcessId, reply: &BarrierReply) {
         self.collected.set(from, Some(*reply));
@@ -127,9 +135,12 @@ impl BarrierProcess {
                 me,
                 n,
                 BarrierQuery { phase: 0 },
-                BarrierReply { phase: 0, done: false },
+                BarrierReply {
+                    phase: 0,
+                    done: false,
+                },
             ),
-        passes: 0,
+            passes: 0,
         }
     }
 
@@ -156,8 +167,9 @@ impl BarrierProcess {
         }
         self.vars.work_done = true;
         self.vars.collected.fill_with(|_| None);
-        self.pif
-            .force_request(BarrierQuery { phase: self.vars.phase });
+        self.pif.force_request(BarrierQuery {
+            phase: self.vars.phase,
+        });
         true
     }
 
@@ -198,8 +210,9 @@ impl Protocol for BarrierProcess {
             } else {
                 // Stragglers: ask again with a fresh wave.
                 self.vars.collected.fill_with(|_| None);
-                self.pif
-                    .force_request(BarrierQuery { phase: self.vars.phase });
+                self.pif.force_request(BarrierQuery {
+                    phase: self.vars.phase,
+                });
                 ctx.emit(BarrierEvent::Retry);
             }
             acted = true;
@@ -279,7 +292,9 @@ mod tests {
 
     fn system(n: usize, seed: u64) -> Runner<BarrierProcess, RandomScheduler> {
         let processes = (0..n).map(|i| BarrierProcess::new(p(i), n)).collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(1))
+            .build();
         Runner::new(processes, network, RandomScheduler::new(), seed)
     }
 
@@ -335,8 +350,14 @@ mod tests {
         let mut s = r.process(p(0)).snapshot();
         s.collected = vec![
             None,
-            Some(BarrierReply { phase: 0, done: true }),
-            Some(BarrierReply { phase: 0, done: true }),
+            Some(BarrierReply {
+                phase: 0,
+                done: true,
+            }),
+            Some(BarrierReply {
+                phase: 0,
+                done: true,
+            }),
         ];
         r.process_mut(p(0)).restore(s);
         r.run_steps(20_000).unwrap();
@@ -358,7 +379,8 @@ mod tests {
         s.work_done = false;
         r.process_mut(p(1)).restore(s);
         assert!(r.process_mut(p(0)).finish_work());
-        r.run_until(200_000, |r| r.process(p(0)).phase() >= 5).unwrap();
+        r.run_until(200_000, |r| r.process(p(0)).phase() >= 5)
+            .unwrap();
         assert_eq!(
             r.process(p(0)).phase(),
             5,

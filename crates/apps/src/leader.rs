@@ -180,8 +180,12 @@ mod tests {
 
     fn system(ids: &[Id], seed: u64) -> Runner<LeaderProcess, RandomScheduler> {
         let n = ids.len();
-        let processes = (0..n).map(|i| LeaderProcess::new(p(i), n, ids[i])).collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let processes = (0..n)
+            .map(|i| LeaderProcess::new(p(i), n, ids[i]))
+            .collect();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(1))
+            .build();
         Runner::new(processes, network, RandomScheduler::new(), seed)
     }
 
@@ -211,12 +215,12 @@ mod tests {
             let mut r = system(&[400, 20, 310, 55], seed);
             let mut rng = SimRng::seed_from(seed + 9);
             CorruptionPlan::full().apply(&mut r, &mut rng);
-            let _ = r.run_until(500_000, |r| {
-                r.process(p(3)).request() == RequestState::Done
-            });
+            let _ = r.run_until(500_000, |r| r.process(p(3)).request() == RequestState::Done);
             assert!(r.process_mut(p(3)).request_election());
-            r.run_until(1_000_000, |r| r.process(p(3)).request() == RequestState::Done)
-                .unwrap();
+            r.run_until(1_000_000, |r| {
+                r.process(p(3)).request() == RequestState::Done
+            })
+            .unwrap();
             assert_eq!(
                 r.process(p(3)).elected(),
                 Some((20, p(1))),

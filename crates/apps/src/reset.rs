@@ -189,7 +189,10 @@ where
     }
 
     fn snapshot(&self) -> ResetState {
-        ResetState { request: self.request, pif: self.pif.snapshot() }
+        ResetState {
+            request: self.request,
+            pif: self.pif.snapshot(),
+        }
     }
 
     fn restore(&mut self, s: ResetState) {
@@ -221,7 +224,9 @@ mod tests {
         let processes = (0..n)
             .map(|i| ResetProcess::new(p(i), n, Counter(100 + i as u32)))
             .collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(1))
+            .build();
         Runner::new(processes, network, RandomScheduler::new(), seed)
     }
 
@@ -247,12 +252,12 @@ mod tests {
             for i in 0..3 {
                 r.process_mut(p(i)).app_mut().0 = 999;
             }
-            let _ = r.run_until(500_000, |r| {
-                r.process(p(1)).request() == RequestState::Done
-            });
+            let _ = r.run_until(500_000, |r| r.process(p(1)).request() == RequestState::Done);
             assert!(r.process_mut(p(1)).request_reset());
-            r.run_until(1_000_000, |r| r.process(p(1)).request() == RequestState::Done)
-                .unwrap();
+            r.run_until(1_000_000, |r| {
+                r.process(p(1)).request() == RequestState::Done
+            })
+            .unwrap();
             for i in 0..3 {
                 assert_eq!(
                     r.process(p(i)).app(),

@@ -214,7 +214,9 @@ impl<V: Message + ArbitraryState> Protocol for SnapshotProcess<V> {
         self.vars.value = s.value;
         for i in 0..self.n {
             if i != self.me.index() {
-                self.vars.collected.set(ProcessId::new(i), s.collected[i].clone());
+                self.vars
+                    .collected
+                    .set(ProcessId::new(i), s.collected[i].clone());
             }
         }
         self.pif.restore(s.pif);
@@ -234,7 +236,9 @@ mod tests {
         let processes = (0..n)
             .map(|i| SnapshotProcess::new(p(i), n, 10 * i as u32))
             .collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(1))
+            .build();
         Runner::new(processes, network, RandomScheduler::new(), seed)
     }
 
@@ -244,10 +248,7 @@ mod tests {
         r.process_mut(p(2)).request_snapshot();
         r.run_until(500_000, |r| r.process(p(2)).request() == RequestState::Done)
             .unwrap();
-        assert_eq!(
-            r.process(p(2)).snapshot_vector(),
-            Some(vec![0, 10, 20, 30])
-        );
+        assert_eq!(r.process(p(2)).snapshot_vector(), Some(vec![0, 10, 20, 30]));
     }
 
     #[test]
@@ -260,12 +261,12 @@ mod tests {
             for i in 0..3 {
                 r.process_mut(p(i)).set_value(500 + i as u32);
             }
-            let _ = r.run_until(500_000, |r| {
-                r.process(p(0)).request() == RequestState::Done
-            });
+            let _ = r.run_until(500_000, |r| r.process(p(0)).request() == RequestState::Done);
             assert!(r.process_mut(p(0)).request_snapshot());
-            r.run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done)
-                .unwrap();
+            r.run_until(1_000_000, |r| {
+                r.process(p(0)).request() == RequestState::Done
+            })
+            .unwrap();
             assert_eq!(
                 r.process(p(0)).snapshot_vector(),
                 Some(vec![500, 501, 502]),

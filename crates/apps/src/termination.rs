@@ -40,7 +40,9 @@
 
 use snapstab_core::pif::{PifApp, PifCore, PifEvent, PifMsg, PifState};
 use snapstab_core::request::RequestState;
-use snapstab_sim::{ArbitraryState, Context, PerNeighbor, ProcessId, Protocol, SimRng, Trace, TraceEvent};
+use snapstab_sim::{
+    ArbitraryState, Context, PerNeighbor, ProcessId, Protocol, SimRng, Trace, TraceEvent,
+};
 
 /// Cap on work budgets (keeps corrupted computations short).
 pub const WORK_CAP: u8 = 24;
@@ -67,7 +69,10 @@ pub struct Report {
 
 impl ArbitraryState for Report {
     fn arbitrary(rng: &mut SimRng) -> Self {
-        Report { passive: bool::arbitrary(rng), quiet: bool::arbitrary(rng) }
+        Report {
+            passive: bool::arbitrary(rng),
+            quiet: bool::arbitrary(rng),
+        }
     }
 }
 
@@ -87,7 +92,9 @@ pub enum TdMsg {
 impl ArbitraryState for TdMsg {
     fn arbitrary(rng: &mut SimRng) -> Self {
         if rng.gen_range(0..3) == 0 {
-            TdMsg::Work { budget: (u8::arbitrary(rng)) % (WORK_CAP + 1) }
+            TdMsg::Work {
+                budget: (u8::arbitrary(rng)) % (WORK_CAP + 1),
+            }
         } else {
             TdMsg::Pif(PifMsg::arbitrary(rng))
         }
@@ -133,7 +140,10 @@ struct TdVars {
 
 impl PifApp<DetectQuery, Report> for TdVars {
     fn on_broadcast(&mut self, from: ProcessId, _q: &DetectQuery) -> Report {
-        let report = Report { passive: !self.active, quiet: !*self.dirty.get(from) };
+        let report = Report {
+            passive: !self.active,
+            quiet: !*self.dirty.get(from),
+        };
         self.dirty.set(from, false);
         report
     }
@@ -197,7 +207,15 @@ impl TerminationProcess {
             },
             wave1: PerNeighbor::new(me, n, None),
             verdict: None,
-            pif: PifCore::new(me, n, DetectQuery, Report { passive: true, quiet: true }),
+            pif: PifCore::new(
+                me,
+                n,
+                DetectQuery,
+                Report {
+                    passive: true,
+                    quiet: true,
+                },
+            ),
         }
     }
 
@@ -276,9 +294,15 @@ impl TerminationProcess {
             .wave1
             .iter()
             .all(|(_, r)| matches!(r, Some(Report { passive: true, .. })));
-        let w2_ok = second_wave
-            .iter()
-            .all(|(_, r)| matches!(r, Some(Report { passive: true, quiet: true })));
+        let w2_ok = second_wave.iter().all(|(_, r)| {
+            matches!(
+                r,
+                Some(Report {
+                    passive: true,
+                    quiet: true
+                })
+            )
+        });
         w1_ok && w2_ok && !self.vars.active && !self.vars.dirty_self
     }
 }
@@ -355,12 +379,7 @@ impl Protocol for TerminationProcess {
         acted || pif_acted
     }
 
-    fn on_receive(
-        &mut self,
-        from: ProcessId,
-        msg: TdMsg,
-        ctx: &mut Context<'_, TdMsg, TdEvent>,
-    ) {
+    fn on_receive(&mut self, from: ProcessId, msg: TdMsg, ctx: &mut Context<'_, TdMsg, TdEvent>) {
         match msg {
             TdMsg::Pif(m) => {
                 let (pif, vars) = (&mut self.pif, &mut self.vars);
@@ -392,7 +411,9 @@ impl Protocol for TerminationProcess {
         self.vars.budget = (u8::arbitrary(rng)) % (WORK_CAP + 1);
         self.vars.dirty.fill_with(|_| bool::arbitrary(rng));
         self.vars.dirty_self = bool::arbitrary(rng);
-        self.vars.collected.fill_with(|_| Option::<Report>::arbitrary(rng));
+        self.vars
+            .collected
+            .fill_with(|_| Option::<Report>::arbitrary(rng));
         self.wave1.fill_with(|_| Option::<Report>::arbitrary(rng));
         self.verdict = Option::<bool>::arbitrary(rng);
         self.pif.corrupt(rng);
@@ -490,9 +511,7 @@ pub fn check_detection(
             }
             match event {
                 TdEvent::Started if start_step.is_none() => start_step = Some(e.step),
-                TdEvent::Decided { terminated }
-                    if start_step.is_some() && decision.is_none() =>
-                {
+                TdEvent::Decided { terminated } if start_step.is_some() && decision.is_none() => {
                     decision = Some((e.step, *terminated));
                 }
                 _ => {}
@@ -568,7 +587,9 @@ pub fn check_detection(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snapstab_sim::{Capacity, CorruptionPlan, NetworkBuilder, RandomScheduler, RoundRobin, Runner};
+    use snapstab_sim::{
+        Capacity, CorruptionPlan, NetworkBuilder, RandomScheduler, RoundRobin, Runner,
+    };
 
     fn p(i: usize) -> ProcessId {
         ProcessId::new(i)
@@ -576,14 +597,21 @@ mod tests {
 
     fn system(n: usize, seed: u64) -> Runner<TerminationProcess, RoundRobin> {
         let processes = (0..n).map(|i| TerminationProcess::new(p(i), n)).collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(1))
+            .build();
         Runner::new(processes, network, RoundRobin::new(), seed)
     }
 
-    fn detect(runner: &mut Runner<TerminationProcess, impl snapstab_sim::Scheduler>, who: ProcessId) -> bool {
+    fn detect(
+        runner: &mut Runner<TerminationProcess, impl snapstab_sim::Scheduler>,
+        who: ProcessId,
+    ) -> bool {
         assert!(runner.process_mut(who).request_detection());
         runner
-            .run_until(2_000_000, |r| r.process(who).request() == RequestState::Done)
+            .run_until(2_000_000, |r| {
+                r.process(who).request() == RequestState::Done
+            })
             .expect("detection decides");
         runner.process(who).verdict().expect("verdict present")
     }
@@ -601,7 +629,8 @@ mod tests {
     fn work_runs_to_exhaustion_then_detection_confirms() {
         let mut runner = system(4, 2);
         runner.process_mut(p(1)).seed_work(10);
-        runner.run_until(1_000_000, |r| (0..4).all(|i| !r.process(p(i)).is_active()))
+        runner
+            .run_until(1_000_000, |r| (0..4).all(|i| !r.process(p(i)).is_active()))
             .expect("work exhausts");
         let verdict = detect(&mut runner, p(0));
         assert!(verdict);
@@ -617,7 +646,9 @@ mod tests {
         let req_step = runner.step_count();
         assert!(runner.process_mut(p(0)).request_detection());
         runner
-            .run_until(2_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .run_until(2_000_000, |r| {
+                r.process(p(0)).request() == RequestState::Done
+            })
             .expect("detection decides");
         // Whatever the verdict, the soundness property holds…
         let v = check_detection(runner.trace(), p(0), 3, req_step);
@@ -644,7 +675,11 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(verdicts.last(), Some(&true), "work exhausts, detection confirms");
+        assert_eq!(
+            verdicts.last(),
+            Some(&true),
+            "work exhausts, detection confirms"
+        );
     }
 
     #[test]
@@ -652,7 +687,9 @@ mod tests {
         for seed in 0..8 {
             let n = 3;
             let processes = (0..n).map(|i| TerminationProcess::new(p(i), n)).collect();
-            let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+            let network = NetworkBuilder::new(n)
+                .capacity(Capacity::Bounded(1))
+                .build();
             let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
             let mut rng = SimRng::seed_from(seed + 50);
             CorruptionPlan::full().apply(&mut runner, &mut rng);
@@ -660,12 +697,18 @@ mod tests {
             let _ = runner.run_until(2_000_000, |r| {
                 r.process(p(0)).request() == RequestState::Done
             });
-            assert_eq!(runner.process(p(0)).request(), RequestState::Done, "seed {seed}");
+            assert_eq!(
+                runner.process(p(0)).request(),
+                RequestState::Done,
+                "seed {seed}"
+            );
             // The first requested detection is window-sound.
             let req_step = runner.step_count();
             assert!(runner.process_mut(p(0)).request_detection());
             runner
-                .run_until(2_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+                .run_until(2_000_000, |r| {
+                    r.process(p(0)).request() == RequestState::Done
+                })
                 .expect("detection decides");
             let v = check_detection(runner.trace(), p(0), n, req_step);
             assert!(v.holds(), "seed {seed}: {v:?}");
@@ -683,9 +726,11 @@ mod tests {
             .preload([TdMsg::Work { budget: 6 }]);
         // It is delivered eventually; once the system re-quiesces, a
         // detection confirms termination again.
-        runner.run_until(1_000_000, |r| {
-            (0..3).all(|i| !r.process(p(i)).is_active()) && r.network().is_quiescent()
-        }).expect("planted work exhausts");
+        runner
+            .run_until(1_000_000, |r| {
+                (0..3).all(|i| !r.process(p(i)).is_active()) && r.network().is_quiescent()
+            })
+            .expect("planted work exhausts");
         let verdict = detect(&mut runner, p(0));
         assert!(verdict);
     }

@@ -44,9 +44,14 @@ impl ArbitraryState for AbpMsg {
     /// experiments that sweep the label space pre-load channels explicitly.
     fn arbitrary(rng: &mut SimRng) -> Self {
         if rng.gen_bool(0.5) {
-            AbpMsg::Data { item: u32::arbitrary(rng), label: rng.gen_u64() % 4 }
+            AbpMsg::Data {
+                item: u32::arbitrary(rng),
+                label: rng.gen_u64() % 4,
+            }
         } else {
-            AbpMsg::Ack { label: rng.gen_u64() % 4 }
+            AbpMsg::Ack {
+                label: rng.gen_u64() % 4,
+            }
         }
     }
 }
@@ -106,7 +111,11 @@ impl AbpProcess {
             me: ProcessId::new(0),
             peer: ProcessId::new(1),
             label_space,
-            role: AbpRole::Sender { queue, next: 0, label: 0 },
+            role: AbpRole::Sender {
+                queue,
+                next: 0,
+                label: 0,
+            },
         }
     }
 
@@ -123,7 +132,10 @@ impl AbpProcess {
             me: ProcessId::new(1),
             peer: ProcessId::new(0),
             label_space,
-            role: AbpRole::Receiver { last_label: label_space - 1, delivered: Vec::new() },
+            role: AbpRole::Receiver {
+                last_label: label_space - 1,
+                delivered: Vec::new(),
+            },
         }
     }
 
@@ -172,7 +184,13 @@ impl Protocol for AbpProcess {
             AbpRole::Sender { queue, next, label } => {
                 if *next < queue.len() {
                     // Retransmit the current item until acknowledged.
-                    ctx.send(self.peer, AbpMsg::Data { item: queue[*next], label: *label });
+                    ctx.send(
+                        self.peer,
+                        AbpMsg::Data {
+                            item: queue[*next],
+                            label: *label,
+                        },
+                    );
                     true
                 } else {
                     false
@@ -191,14 +209,20 @@ impl Protocol for AbpProcess {
         let peer = self.peer;
         let space = self.label_space;
         match (&mut self.role, msg) {
-            (AbpRole::Sender { queue, next, label }, AbpMsg::Ack { label: acked }) => {
-                if acked == *label && *next < queue.len() {
-                    *next += 1;
-                    *label = Self::fresh_label(*label, space, ctx.rng());
-                    ctx.emit(AbpEvent::AdvancedTo(*next));
-                }
+            (AbpRole::Sender { queue, next, label }, AbpMsg::Ack { label: acked })
+                if acked == *label && *next < queue.len() =>
+            {
+                *next += 1;
+                *label = Self::fresh_label(*label, space, ctx.rng());
+                ctx.emit(AbpEvent::AdvancedTo(*next));
             }
-            (AbpRole::Receiver { last_label, delivered }, AbpMsg::Data { item, label }) => {
+            (
+                AbpRole::Receiver {
+                    last_label,
+                    delivered,
+                },
+                AbpMsg::Data { item, label },
+            ) => {
                 if label != *last_label {
                     delivered.push(item);
                     *last_label = label;
@@ -221,9 +245,7 @@ impl Protocol for AbpProcess {
         // and the delivery log are the experiment's ground truth.
         match &mut self.role {
             AbpRole::Sender { label, .. } => *label = rng.gen_u64() % self.label_space,
-            AbpRole::Receiver { last_label, .. } => {
-                *last_label = rng.gen_u64() % self.label_space
-            }
+            AbpRole::Receiver { last_label, .. } => *last_label = rng.gen_u64() % self.label_space,
         }
     }
 
@@ -246,8 +268,13 @@ mod tests {
     }
 
     fn link(queue: Vec<u32>, space: u64, seed: u64) -> Runner<AbpProcess, RoundRobin> {
-        let processes = vec![AbpProcess::sender(queue, space), AbpProcess::receiver(space)];
-        let network = NetworkBuilder::new(2).capacity(Capacity::Bounded(1)).build();
+        let processes = vec![
+            AbpProcess::sender(queue, space),
+            AbpProcess::receiver(space),
+        ];
+        let network = NetworkBuilder::new(2)
+            .capacity(Capacity::Bounded(1))
+            .build();
         Runner::new(processes, network, RoundRobin::new(), seed)
     }
 
@@ -278,9 +305,16 @@ mod tests {
             .channel_mut(p(1), p(0))
             .unwrap()
             .preload([AbpMsg::Ack { label: 0 }]);
-        r.execute_move(snapstab_sim::Move::Deliver { from: p(1), to: p(0) })
-            .unwrap();
-        assert_eq!(r.process(p(0)).progress(), Some(1), "sender advanced on garbage");
+        r.execute_move(snapstab_sim::Move::Deliver {
+            from: p(1),
+            to: p(0),
+        })
+        .unwrap();
+        assert_eq!(
+            r.process(p(0)).progress(),
+            Some(1),
+            "sender advanced on garbage"
+        );
         r.run_until(100_000, |r| r.process(p(0)).progress() == Some(2))
             .unwrap();
         let delivered = r.process(p(1)).delivered();

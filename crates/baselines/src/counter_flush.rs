@@ -41,9 +41,14 @@ impl ArbitraryState for CfMsg {
     /// channels explicitly.
     fn arbitrary(rng: &mut SimRng) -> Self {
         if rng.gen_bool(0.5) {
-            CfMsg::Query { c: rng.gen_u64() % 8 }
+            CfMsg::Query {
+                c: rng.gen_u64() % 8,
+            }
         } else {
-            CfMsg::Reply { c: rng.gen_u64() % 8, data: u32::arbitrary(rng) }
+            CfMsg::Reply {
+                c: rng.gen_u64() % 8,
+                data: u32::arbitrary(rng),
+            }
         }
     }
 }
@@ -170,15 +175,16 @@ impl Protocol for CfProcess {
         acted
     }
 
-    fn on_receive(
-        &mut self,
-        from: ProcessId,
-        msg: CfMsg,
-        ctx: &mut Context<'_, CfMsg, CfEvent>,
-    ) {
+    fn on_receive(&mut self, from: ProcessId, msg: CfMsg, ctx: &mut Context<'_, CfMsg, CfEvent>) {
         match msg {
             CfMsg::Query { c } => {
-                ctx.send(from, CfMsg::Reply { c, data: self.data_value });
+                ctx.send(
+                    from,
+                    CfMsg::Reply {
+                        c,
+                        data: self.data_value,
+                    },
+                );
             }
             CfMsg::Reply { c, data } => {
                 // The flushing rule: accept only the current stamp. A stale
@@ -248,8 +254,12 @@ mod tests {
     }
 
     fn system(n: usize, k: u64, seed: u64) -> Runner<CfProcess, RoundRobin> {
-        let processes = (0..n).map(|i| CfProcess::new(p(i), n, k, 100 + i as u32)).collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let processes = (0..n)
+            .map(|i| CfProcess::new(p(i), n, k, 100 + i as u32))
+            .collect();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(1))
+            .build();
         Runner::new(processes, network, RoundRobin::new(), seed)
     }
 

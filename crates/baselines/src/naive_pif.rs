@@ -212,7 +212,9 @@ mod tests {
         let processes = (0..n)
             .map(|i| NaivePifProcess::new(p(i), n, 100 + i as u32))
             .collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(1))
+            .build();
         let mut r = Runner::new(processes, network, RoundRobin::new(), 3);
         r.set_loss(loss);
         r

@@ -30,7 +30,9 @@ impl ArbitraryState for TrMsg {
     /// Values drawn from `0..8` (experiments with larger `K` pre-load
     /// explicitly).
     fn arbitrary(rng: &mut SimRng) -> Self {
-        TrMsg { v: rng.gen_u64() % 8 }
+        TrMsg {
+            v: rng.gen_u64() % 8,
+        }
     }
 }
 
@@ -132,7 +134,7 @@ impl Protocol for TokenRingProcess {
                 self.in_cs = None;
                 ctx.emit(TrEvent::CsExit);
                 match self.pending.take() {
-                    Some(adopt) => self.value = adopt,          // non-root
+                    Some(adopt) => self.value = adopt,              // non-root
                     None => self.value = (self.value + 1) % self.k, // root
                 }
                 // Pass the token on immediately.
@@ -146,12 +148,7 @@ impl Protocol for TokenRingProcess {
         true
     }
 
-    fn on_receive(
-        &mut self,
-        from: ProcessId,
-        msg: TrMsg,
-        ctx: &mut Context<'_, TrMsg, TrEvent>,
-    ) {
+    fn on_receive(&mut self, from: ProcessId, msg: TrMsg, ctx: &mut Context<'_, TrMsg, TrEvent>) {
         // Only the ring predecessor's announcements matter.
         let predecessor = ProcessId::new((self.me.index() + self.n - 1) % self.n);
         if from != predecessor || self.in_cs.is_some() {
@@ -181,7 +178,11 @@ impl Protocol for TokenRingProcess {
     }
 
     fn snapshot(&self) -> TrState {
-        TrState { value: self.value, in_cs: self.in_cs, pending: self.pending }
+        TrState {
+            value: self.value,
+            in_cs: self.in_cs,
+            pending: self.pending,
+        }
     }
 
     fn restore(&mut self, s: TrState) {
@@ -202,8 +203,12 @@ mod tests {
     }
 
     fn ring(n: usize, k: u64, seed: u64) -> Runner<TokenRingProcess, RoundRobin> {
-        let processes = (0..n).map(|i| TokenRingProcess::new(p(i), n, k, 2)).collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let processes = (0..n)
+            .map(|i| TokenRingProcess::new(p(i), n, k, 2))
+            .collect();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(1))
+            .build();
         Runner::new(processes, network, RoundRobin::new(), seed)
     }
 
@@ -212,10 +217,7 @@ mod tests {
         let mut r = ring(3, 5, 1);
         r.run_steps(20_000).unwrap();
         for i in 0..3 {
-            assert!(
-                r.process(p(i)).cs_count() > 0,
-                "P{i} never held the token"
-            );
+            assert!(r.process(p(i)).cs_count() > 0, "P{i} never held the token");
         }
     }
 
@@ -233,8 +235,7 @@ mod tests {
         for i in 0..intervals.len() {
             for j in i + 1..intervals.len() {
                 assert!(
-                    intervals[i].p == intervals[j].p
-                        || !intervals[i].overlaps(&intervals[j]),
+                    intervals[i].p == intervals[j].p || !intervals[i].overlaps(&intervals[j]),
                     "clean-start ring must have one token"
                 );
             }
@@ -269,8 +270,7 @@ mod tests {
                 found_overlap = true;
                 // Convergence: the last quarter of the run is clean.
                 let cutoff = r.step_count() * 3 / 4;
-                let late: Vec<_> =
-                    intervals.iter().filter(|iv| iv.enter >= cutoff).collect();
+                let late: Vec<_> = intervals.iter().filter(|iv| iv.enter >= cutoff).collect();
                 for i in 0..late.len() {
                     for j in i + 1..late.len() {
                         assert!(
@@ -312,7 +312,7 @@ mod tests {
 
     #[test]
     fn non_predecessor_messages_ignored() {
-        let mut procs = vec![
+        let mut procs = [
             TokenRingProcess::new(p(0), 3, 5, 2),
             TokenRingProcess::new(p(1), 3, 5, 2),
             TokenRingProcess::new(p(2), 3, 5, 2),

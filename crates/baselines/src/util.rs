@@ -29,12 +29,22 @@ where
                 open = Some(step);
             } else if is_exit(e) {
                 if let Some(enter) = open.take() {
-                    intervals.push(CsInterval { p, enter, exit: step, genuine: true });
+                    intervals.push(CsInterval {
+                        p,
+                        enter,
+                        exit: step,
+                        genuine: true,
+                    });
                 }
             }
         }
         if let Some(enter) = open {
-            intervals.push(CsInterval { p, enter, exit: enter, genuine: true });
+            intervals.push(CsInterval {
+                p,
+                enter,
+                exit: enter,
+                genuine: true,
+            });
         }
     }
     intervals.sort_by_key(|iv| iv.enter);
@@ -72,11 +82,41 @@ mod tests {
     #[test]
     fn extracts_and_counts() {
         let mut t: Trace<u8, E> = Trace::new();
-        t.push(1, TraceEvent::Protocol { p: p(0), event: E::In });
-        t.push(5, TraceEvent::Protocol { p: p(0), event: E::Out });
-        t.push(3, TraceEvent::Protocol { p: p(1), event: E::In });
-        t.push(4, TraceEvent::Protocol { p: p(1), event: E::Out });
-        t.push(9, TraceEvent::Protocol { p: p(1), event: E::In }); // unpaired
+        t.push(
+            1,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: E::In,
+            },
+        );
+        t.push(
+            5,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: E::Out,
+            },
+        );
+        t.push(
+            3,
+            TraceEvent::Protocol {
+                p: p(1),
+                event: E::In,
+            },
+        );
+        t.push(
+            4,
+            TraceEvent::Protocol {
+                p: p(1),
+                event: E::Out,
+            },
+        );
+        t.push(
+            9,
+            TraceEvent::Protocol {
+                p: p(1),
+                event: E::In,
+            },
+        ); // unpaired
         let ivs = extract_cs_intervals(&t, 2, |e| *e == E::In, |e| *e == E::Out);
         assert_eq!(ivs.len(), 3);
         assert_eq!(count_overlaps(&ivs), 1, "[1,5] and [3,4] overlap");
@@ -87,8 +127,18 @@ mod tests {
     #[test]
     fn same_process_overlaps_not_counted() {
         let ivs = vec![
-            CsInterval { p: p(0), enter: 0, exit: 10, genuine: true },
-            CsInterval { p: p(0), enter: 5, exit: 7, genuine: true },
+            CsInterval {
+                p: p(0),
+                enter: 0,
+                exit: 10,
+                genuine: true,
+            },
+            CsInterval {
+                p: p(0),
+                enter: 5,
+                exit: 7,
+                genuine: true,
+            },
         ];
         assert_eq!(count_overlaps(&ivs), 0);
     }

@@ -27,7 +27,9 @@ fn fresh(cap: usize) -> Runner<Proc, RoundRobin> {
     let processes: Vec<Proc> = (0..n)
         .map(|i| PifProcess::for_capacity(ProcessId::new(i), n, 0, 0, cap, Zero))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(cap)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(cap))
+        .build();
     let mut runner = Runner::new(processes, network, RoundRobin::new(), 5);
     runner.set_record_trace(false);
     runner

@@ -12,7 +12,9 @@ fn fresh(n: usize, corrupted: bool, seed: u64) -> Runner<MeProcess, RoundRobin> 
     let processes: Vec<MeProcess> = (0..n)
         .map(|i| MeProcess::new(ProcessId::new(i), n, 100 + i as u64))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RoundRobin::new(), seed);
     runner.set_record_trace(false);
     if corrupted {

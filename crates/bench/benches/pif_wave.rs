@@ -24,7 +24,9 @@ fn fresh(n: usize, corrupted: bool, seed: u64) -> Runner<Proc, RoundRobin> {
     let processes: Vec<Proc> = (0..n)
         .map(|i| PifProcess::with_initial_f(ProcessId::new(i), n, 0, 0, Zero))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RoundRobin::new(), seed);
     runner.set_record_trace(false);
     if corrupted {

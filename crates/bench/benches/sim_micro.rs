@@ -24,7 +24,9 @@ fn bench_channel_ops(c: &mut Criterion) {
 
 fn bench_network_roundtrip(c: &mut Criterion) {
     c.bench_function("network_send_deliver_n8", |b| {
-        let mut net = NetworkBuilder::<u64>::new(8).capacity(Capacity::Bounded(1)).build();
+        let mut net = NetworkBuilder::<u64>::new(8)
+            .capacity(Capacity::Bounded(1))
+            .build();
         let (p, q) = (ProcessId::new(0), ProcessId::new(7));
         b.iter(|| {
             net.send(p, q, 9);
@@ -41,8 +43,9 @@ fn bench_corruption(c: &mut Criterion) {
                 let processes: Vec<IdlProcess> = (0..n)
                     .map(|i| IdlProcess::new(ProcessId::new(i), n, i as u64))
                     .collect();
-                let network =
-                    NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+                let network = NetworkBuilder::new(n)
+                    .capacity(Capacity::Bounded(1))
+                    .build();
                 Runner::new(processes, network, RoundRobin::new(), 0)
             },
             |mut runner| {
@@ -63,8 +66,9 @@ fn bench_step_throughput(c: &mut Criterion) {
                 let processes: Vec<IdlProcess> = (0..n)
                     .map(|i| IdlProcess::new(ProcessId::new(i), n, i as u64))
                     .collect();
-                let network =
-                    NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+                let network = NetworkBuilder::new(n)
+                    .capacity(Capacity::Bounded(1))
+                    .build();
                 let mut runner = Runner::new(processes, network, RoundRobin::new(), 0);
                 runner.set_record_trace(false);
                 runner.process_mut(ProcessId::new(0)).request_learning();
@@ -79,11 +83,48 @@ fn bench_step_throughput(c: &mut Criterion) {
     });
 }
 
+fn bench_step_loop_sizes(c: &mut Criterion) {
+    // The headline step-loop number: sustained IDL workload, trace
+    // recording off, fixed step budget per iteration — the incremental
+    // scheduler view keeps this O(changed-state) per step instead of
+    // O(n²).
+    let mut group = c.benchmark_group("step_loop");
+    for n in [8usize, 32, 128] {
+        group.bench_with_input(
+            criterion::BenchmarkId::new("idl_1k_steps", n),
+            &n,
+            |b, &n| {
+                b.iter_batched(
+                    || {
+                        let processes: Vec<IdlProcess> = (0..n)
+                            .map(|i| IdlProcess::new(ProcessId::new(i), n, i as u64))
+                            .collect();
+                        let network = NetworkBuilder::new(n)
+                            .capacity(Capacity::Bounded(1))
+                            .build();
+                        let mut runner = Runner::new(processes, network, RoundRobin::new(), 0);
+                        runner.set_record_trace(false);
+                        runner.process_mut(ProcessId::new(0)).request_learning();
+                        runner
+                    },
+                    |mut runner| {
+                        runner.run_steps(1_000).expect("steps run");
+                        runner.step_count()
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_channel_ops,
     bench_network_roundtrip,
     bench_corruption,
-    bench_step_throughput
+    bench_step_throughput,
+    bench_step_loop_sizes
 );
 criterion_main!(benches);

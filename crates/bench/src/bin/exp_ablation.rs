@@ -1,5 +1,8 @@
 //! A1 + A2 — flag-domain minimality and the mod (n+1) erratum.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    print!("{}", snapstab_bench::experiments::ablation::run(snapstab_bench::is_fast(&args)));
+    print!(
+        "{}",
+        snapstab_bench::experiments::ablation::run(snapstab_bench::is_fast(&args))
+    );
 }

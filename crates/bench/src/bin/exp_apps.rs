@@ -1,5 +1,8 @@
 //! S12 (supplementary) — PIF applications' first-request exactness.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    print!("{}", snapstab_bench::experiments::apps::run(snapstab_bench::is_fast(&args)));
+    print!(
+        "{}",
+        snapstab_bench::experiments::apps::run(snapstab_bench::is_fast(&args))
+    );
 }

@@ -1,5 +1,8 @@
 //! C1 — self-stabilizing baselines vs snap-stabilization.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    print!("{}", snapstab_bench::experiments::baseline::run(snapstab_bench::is_fast(&args)));
+    print!(
+        "{}",
+        snapstab_bench::experiments::baseline::run(snapstab_bench::is_fast(&args))
+    );
 }

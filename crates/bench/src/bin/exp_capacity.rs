@@ -1,5 +1,8 @@
 //! A3 — the bounded-capacity dichotomy (2c+3 flag values).
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    print!("{}", snapstab_bench::experiments::capacity::run(snapstab_bench::is_fast(&args)));
+    print!(
+        "{}",
+        snapstab_bench::experiments::capacity::run(snapstab_bench::is_fast(&args))
+    );
 }

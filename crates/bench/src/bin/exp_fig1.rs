@@ -1,5 +1,8 @@
 //! F1 — Figure 1 worst-case reproduction. `--fast` samples the sweep.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    print!("{}", snapstab_bench::experiments::fig1::run(snapstab_bench::is_fast(&args)));
+    print!(
+        "{}",
+        snapstab_bench::experiments::fig1::run(snapstab_bench::is_fast(&args))
+    );
 }

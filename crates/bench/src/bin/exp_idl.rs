@@ -1,5 +1,8 @@
 //! T3 — Specification 2 sweep.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    print!("{}", snapstab_bench::experiments::idl_props::run(snapstab_bench::is_fast(&args)));
+    print!(
+        "{}",
+        snapstab_bench::experiments::idl_props::run(snapstab_bench::is_fast(&args))
+    );
 }

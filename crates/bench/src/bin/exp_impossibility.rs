@@ -1,5 +1,8 @@
 //! T1 — Theorem 1 adversarial construction and replay.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    print!("{}", snapstab_bench::experiments::impossibility::run(snapstab_bench::is_fast(&args)));
+    print!(
+        "{}",
+        snapstab_bench::experiments::impossibility::run(snapstab_bench::is_fast(&args))
+    );
 }

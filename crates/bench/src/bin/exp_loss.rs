@@ -1,5 +1,8 @@
 //! Q2 — PIF loss-resilience sweep.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    print!("{}", snapstab_bench::experiments::loss::run(snapstab_bench::is_fast(&args)));
+    print!(
+        "{}",
+        snapstab_bench::experiments::loss::run(snapstab_bench::is_fast(&args))
+    );
 }

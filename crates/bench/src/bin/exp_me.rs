@@ -1,5 +1,8 @@
 //! T4 + L1 — Specification 3 and Lemmas 10-11 sweep.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    print!("{}", snapstab_bench::experiments::me_props::run(snapstab_bench::is_fast(&args)));
+    print!(
+        "{}",
+        snapstab_bench::experiments::me_props::run(snapstab_bench::is_fast(&args))
+    );
 }

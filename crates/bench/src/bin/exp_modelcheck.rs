@@ -1,5 +1,8 @@
 //! MC1 — exhaustive model checking of the PIF handshake.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    print!("{}", snapstab_bench::experiments::modelcheck::run(snapstab_bench::is_fast(&args)));
+    print!(
+        "{}",
+        snapstab_bench::experiments::modelcheck::run(snapstab_bench::is_fast(&args))
+    );
 }

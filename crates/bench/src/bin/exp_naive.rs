@@ -1,5 +1,8 @@
 //! Q3 — naive-PIF failure modes vs Algorithm 1.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    print!("{}", snapstab_bench::experiments::naive::run(snapstab_bench::is_fast(&args)));
+    print!(
+        "{}",
+        snapstab_bench::experiments::naive::run(snapstab_bench::is_fast(&args))
+    );
 }

@@ -1,5 +1,8 @@
 //! T2 + P1 — Specification 1 and Property 1 sweep.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    print!("{}", snapstab_bench::experiments::pif_props::run(snapstab_bench::is_fast(&args)));
+    print!(
+        "{}",
+        snapstab_bench::experiments::pif_props::run(snapstab_bench::is_fast(&args))
+    );
 }

@@ -1,5 +1,8 @@
 //! Q1 — PIF wave complexity sweep.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    print!("{}", snapstab_bench::experiments::scaling::run(snapstab_bench::is_fast(&args)));
+    print!(
+        "{}",
+        snapstab_bench::experiments::scaling::run(snapstab_bench::is_fast(&args))
+    );
 }

@@ -1,5 +1,8 @@
 //! X2 — tree waves on general topologies.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    print!("{}", snapstab_bench::experiments::topology::run(snapstab_bench::is_fast(&args)));
+    print!(
+        "{}",
+        snapstab_bench::experiments::topology::run(snapstab_bench::is_fast(&args))
+    );
 }

@@ -16,7 +16,9 @@ use snapstab_core::flag::{Flag, FlagDomain};
 use snapstab_core::me::{MeConfig, MeProcess, ValueMode};
 use snapstab_core::pif::{PifApp, PifMsg, PifProcess};
 use snapstab_core::request::RequestState;
-use snapstab_sim::{Capacity, Move, NetworkBuilder, ProcessId, Protocol, RoundRobin, Runner, SimRng};
+use snapstab_sim::{
+    Capacity, Move, NetworkBuilder, ProcessId, Protocol, RoundRobin, Runner, SimRng,
+};
 
 use crate::table::Table;
 
@@ -41,11 +43,26 @@ fn p1() -> ProcessId {
 /// Figure 1-style crafted stale drive, and seeded random delivery-heavy
 /// schedules.
 pub fn schedules(extra_random: u64) -> Vec<Vec<Move>> {
-    let (d10, d01) =
-        (Move::Deliver { from: p1(), to: p0() }, Move::Deliver { from: p0(), to: p1() });
+    let (d10, d01) = (
+        Move::Deliver {
+            from: p1(),
+            to: p0(),
+        },
+        Move::Deliver {
+            from: p0(),
+            to: p1(),
+        },
+    );
     let mut all = vec![
         Vec::new(),
-        vec![Move::Activate(p0()), d10, Move::Activate(p1()), d10, d01, d10],
+        vec![
+            Move::Activate(p0()),
+            d10,
+            Move::Activate(p1()),
+            d10,
+            d01,
+            d10,
+        ],
     ];
     for seed in 0..extra_random {
         let mut rng = SimRng::seed_from(seed);
@@ -81,9 +98,18 @@ pub fn forged_decision(
     const FORGED: u32 = 666;
     let domain = FlagDomain::with_max(max);
     let mk = |i: usize| {
-        PifProcess::with_domain(ProcessId::new(i), 2, 0u32, 0u32, domain, Answer(100 + i as u32))
+        PifProcess::with_domain(
+            ProcessId::new(i),
+            2,
+            0u32,
+            0u32,
+            domain,
+            Answer(100 + i as u32),
+        )
     };
-    let network = NetworkBuilder::new(2).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(2)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(vec![mk(0), mk(1)], network, RoundRobin::new(), 0);
 
     {
@@ -100,8 +126,16 @@ pub fn forged_decision(
         sender_state: Flag::new(ss),
         echoed_state: Flag::new(es),
     };
-    runner.network_mut().channel_mut(p1(), p0()).unwrap().preload([forge(msg_qp)]);
-    runner.network_mut().channel_mut(p0(), p1()).unwrap().preload([forge(msg_pq)]);
+    runner
+        .network_mut()
+        .channel_mut(p1(), p0())
+        .unwrap()
+        .preload([forge(msg_qp)]);
+    runner
+        .network_mut()
+        .channel_mut(p0(), p1())
+        .unwrap()
+        .preload([forge(msg_pq)]);
 
     runner.mark(p0(), "request");
     let req_step = runner.step_count();
@@ -109,12 +143,16 @@ pub fn forged_decision(
     for &mv in script {
         let applicable = match mv {
             Move::Activate(p) => runner.process(p).has_enabled_action(),
-            Move::Deliver { from, to } => {
-                !runner.network().channel(from, to).expect("valid link").is_empty()
-            }
+            Move::Deliver { from, to } => !runner
+                .network()
+                .channel(from, to)
+                .expect("valid link")
+                .is_empty(),
         };
         if applicable {
-            runner.execute_move(mv).expect("applicable move cannot error");
+            runner
+                .execute_move(mv)
+                .expect("applicable move cannot error");
         }
     }
     runner
@@ -123,14 +161,10 @@ pub fn forged_decision(
 
     // The full Specification 1 verdict: q must have answered THE broadcast
     // (data 7), and the decision must rest on exactly q's genuine feedback.
-    let verdict = snapstab_core::spec::check_bare_pif_wave(
-        runner.trace(),
-        p0(),
-        2,
-        req_step,
-        &7u32,
-        |_| 101u32,
-    );
+    let verdict =
+        snapstab_core::spec::check_bare_pif_wave(runner.trace(), p0(), 2, req_step, &7u32, |_| {
+            101u32
+        });
     let _ = FORGED;
     !verdict.holds()
 }
@@ -151,14 +185,12 @@ pub fn count_forged(max: u8, stride: usize) -> (usize, usize) {
                         for sq in [0, max / 2, max] {
                             for rq in reqs {
                                 idx += 1;
-                                if idx % stride != 0 {
+                                if !idx.is_multiple_of(stride) {
                                     continue;
                                 }
                                 total += 1;
                                 let any = schedules(3).iter().any(|script| {
-                                    forged_decision(
-                                        max, (s1, e1), (s2, e2), ns, sq, rq, script,
-                                    )
+                                    forged_decision(max, (s1, e1), (s2, e2), ns, sq, rq, script)
                                 });
                                 if any {
                                     violations += 1;
@@ -177,12 +209,18 @@ pub fn count_forged(max: u8, stride: usize) -> (usize, usize) {
 /// returns `(requests served, leader's final Value, n)`.
 pub fn value_mode_trial(mode: ValueMode, seed: u64) -> (usize, usize, usize) {
     let n = 3;
-    let config = MeConfig { cs_duration: 0, value_mode: mode, ..MeConfig::default() };
+    let config = MeConfig {
+        cs_duration: 0,
+        value_mode: mode,
+        ..MeConfig::default()
+    };
     // Ascending ids: process 0 is the leader.
     let processes: Vec<MeProcess> = (0..n)
         .map(|i| MeProcess::with_config(ProcessId::new(i), n, 10 + i as u64, config))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RoundRobin::new(), seed);
 
     // Warm-up: let the favour pointer rotate (in literal mode it reaches
@@ -209,7 +247,10 @@ pub fn run(fast: bool) -> String {
     out.push_str("=== A1: flag-domain minimality (Algorithm 1 over {0..m}) ===\n\n");
     let stride = if fast { 11 } else { 1 };
     let mut t = Table::new(&[
-        "m (domain size m+1)", "adversary configs", "forged decisions", "safe",
+        "m (domain size m+1)",
+        "adversary configs",
+        "forged decisions",
+        "safe",
     ]);
     let mut boundary_ok = true;
     for m in 1..=6u8 {
@@ -227,11 +268,20 @@ pub fn run(fast: bool) -> String {
     out.push_str(&format!(
         "\nverdict: domains smaller than the paper's five values admit forged decisions; \
          five values (m = 4) and above are safe — boundary exactly at the paper's choice: {}\n\n",
-        if boundary_ok { "CONFIRMED" } else { "NOT CONFIRMED" }
+        if boundary_ok {
+            "CONFIRMED"
+        } else {
+            "NOT CONFIRMED"
+        }
     ));
 
     out.push_str("=== A2: the `mod (n+1)` erratum (Algorithm 3, n = 3) ===\n\n");
-    let mut t = Table::new(&["value arithmetic", "requests served", "leader final Value", "livelocked"]);
+    let mut t = Table::new(&[
+        "value arithmetic",
+        "requests served",
+        "leader final Value",
+        "livelocked",
+    ]);
     for (label, mode) in [
         ("corrected: mod n", ValueMode::Corrected),
         ("paper literal: mod (n+1)", ValueMode::PaperLiteral),

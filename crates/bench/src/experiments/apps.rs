@@ -33,20 +33,28 @@ impl Resettable for Dirty {
 /// One corrupted-start snapshot trial: is the first requested snapshot
 /// exact?
 pub fn snapshot_trial(n: usize, seed: u64) -> bool {
-    let processes = (0..n).map(|i| SnapshotProcess::new(p(i), n, 3 * i as u32)).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let processes = (0..n)
+        .map(|i| SnapshotProcess::new(p(i), n, 3 * i as u32))
+        .collect();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
     let mut rng = SimRng::seed_from(seed ^ 0xA1);
     CorruptionPlan::full().apply(&mut runner, &mut rng);
     for i in 0..n {
         runner.process_mut(p(i)).set_value(3 * i as u32);
     }
-    let _ = runner.run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done);
+    let _ = runner.run_until(1_000_000, |r| {
+        r.process(p(0)).request() == RequestState::Done
+    });
     if !runner.process_mut(p(0)).request_snapshot() {
         return false;
     }
     if runner
-        .run_until(3_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .run_until(3_000_000, |r| {
+            r.process(p(0)).request() == RequestState::Done
+        })
         .is_err()
     {
         return false;
@@ -58,17 +66,25 @@ pub fn snapshot_trial(n: usize, seed: u64) -> bool {
 /// One corrupted-start election trial.
 pub fn leader_trial(n: usize, seed: u64) -> bool {
     let ids: Vec<u64> = (0..n).map(|i| 900 - 11 * i as u64).collect();
-    let processes = (0..n).map(|i| LeaderProcess::new(p(i), n, ids[i])).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let processes = (0..n)
+        .map(|i| LeaderProcess::new(p(i), n, ids[i]))
+        .collect();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
     let mut rng = SimRng::seed_from(seed ^ 0xA2);
     CorruptionPlan::full().apply(&mut runner, &mut rng);
-    let _ = runner.run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done);
+    let _ = runner.run_until(1_000_000, |r| {
+        r.process(p(0)).request() == RequestState::Done
+    });
     if !runner.process_mut(p(0)).request_election() {
         return false;
     }
     if runner
-        .run_until(3_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .run_until(3_000_000, |r| {
+            r.process(p(0)).request() == RequestState::Done
+        })
         .is_err()
     {
         return false;
@@ -78,20 +94,28 @@ pub fn leader_trial(n: usize, seed: u64) -> bool {
 
 /// One corrupted-start reset trial: did everyone pass through `reset`?
 pub fn reset_trial(n: usize, seed: u64) -> bool {
-    let processes = (0..n).map(|i| ResetProcess::new(p(i), n, Dirty(true))).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let processes = (0..n)
+        .map(|i| ResetProcess::new(p(i), n, Dirty(true)))
+        .collect();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
     let mut rng = SimRng::seed_from(seed ^ 0xA3);
     CorruptionPlan::full().apply(&mut runner, &mut rng);
     for i in 0..n {
         runner.process_mut(p(i)).app_mut().0 = true; // dirty again post-burst
     }
-    let _ = runner.run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done);
+    let _ = runner.run_until(1_000_000, |r| {
+        r.process(p(0)).request() == RequestState::Done
+    });
     if !runner.process_mut(p(0)).request_reset() {
         return false;
     }
     if runner
-        .run_until(3_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .run_until(3_000_000, |r| {
+            r.process(p(0)).request() == RequestState::Done
+        })
         .is_err()
     {
         return false;
@@ -103,13 +127,17 @@ pub fn reset_trial(n: usize, seed: u64) -> bool {
 /// re-synchronize to within one of each other?
 pub fn barrier_trial(n: usize, seed: u64) -> bool {
     let processes = (0..n).map(|i| BarrierProcess::new(p(i), n)).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
     let mut rng = SimRng::seed_from(seed ^ 0xA4);
     CorruptionPlan::full().apply(&mut runner, &mut rng);
     let mut executed = 0;
     while executed < 60_000 {
-        let Ok(out) = runner.run_steps(400) else { return false };
+        let Ok(out) = runner.run_steps(400) else {
+            return false;
+        };
         executed += out.steps;
         for i in 0..n {
             let proc = runner.process_mut(p(i));
@@ -128,13 +156,17 @@ pub fn barrier_trial(n: usize, seed: u64) -> bool {
 /// detection decides, and a `terminated` claim is window-sound.
 pub fn termination_trial(n: usize, seed: u64) -> bool {
     let processes = (0..n).map(|i| TerminationProcess::new(p(i), n)).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
     let mut rng = SimRng::seed_from(seed ^ 0xA5);
     CorruptionPlan::full().apply(&mut runner, &mut rng);
     // Fresh workload on top of the corruption.
     runner.process_mut(p(n - 1)).seed_work(8);
-    let _ = runner.run_until(2_000_000, |r| r.process(p(0)).request() == RequestState::Done);
+    let _ = runner.run_until(2_000_000, |r| {
+        r.process(p(0)).request() == RequestState::Done
+    });
     if runner.process(p(0)).request() != RequestState::Done {
         return false;
     }
@@ -143,7 +175,9 @@ pub fn termination_trial(n: usize, seed: u64) -> bool {
         return false;
     }
     if runner
-        .run_until(3_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .run_until(3_000_000, |r| {
+            r.process(p(0)).request() == RequestState::Done
+        })
         .is_err()
     {
         return false;
@@ -156,7 +190,9 @@ pub fn run(fast: bool) -> String {
     let trials = if fast { 15 } else { 100 };
     let ns = [3usize, 5];
     let mut out = String::new();
-    out.push_str("=== S12 (supplementary): PIF applications, first request after corruption ===\n\n");
+    out.push_str(
+        "=== S12 (supplementary): PIF applications, first request after corruption ===\n\n",
+    );
     let mut table = Table::new(&["app", "n", "trials", "exact"]);
     let mut all_ok = true;
     for &n in &ns {
@@ -180,7 +216,11 @@ pub fn run(fast: bool) -> String {
     out.push_str(&table.render());
     out.push_str(&format!(
         "\nverdict: every application inherits the first-request guarantee from Theorem 2: {}\n",
-        if all_ok { "YES" } else { "NO — VIOLATION FOUND" }
+        if all_ok {
+            "YES"
+        } else {
+            "NO — VIOLATION FOUND"
+        }
     ));
     out
 }

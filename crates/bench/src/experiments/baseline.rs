@@ -11,12 +11,15 @@
 //! * **token ring (Dijkstra K-state)** vs Algorithm 3 — CS overlaps during
 //!   convergence vs zero genuine overlaps, ever.
 
+use rayon::prelude::*;
 use snapstab_baselines::abp::{AbpMsg, AbpProcess};
 use snapstab_baselines::counter_flush::{CfMsg, CfProcess};
 use snapstab_baselines::token_ring::{TokenRingProcess, TrEvent};
 use snapstab_baselines::util::{count_overlaps, extract_cs_intervals};
 use snapstab_core::request::RequestState;
-use snapstab_sim::{Capacity, NetworkBuilder, ProcessId, Protocol, RandomScheduler, Runner, SimRng};
+use snapstab_sim::{
+    Capacity, NetworkBuilder, ProcessId, Protocol, RandomScheduler, Runner, SimRng,
+};
 
 use crate::table::Table;
 
@@ -32,7 +35,9 @@ pub fn abp_trial(label_space: u64, seed: u64) -> bool {
         AbpProcess::sender(queue.clone(), label_space),
         AbpProcess::receiver(label_space),
     ];
-    let network = NetworkBuilder::new(2).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(2)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
     let mut rng = SimRng::seed_from(seed ^ 0xAB);
     // Corrupt the link state: endpoint labels and one forged message per
@@ -48,7 +53,9 @@ pub fn abp_trial(label_space: u64, seed: u64) -> bool {
         .network_mut()
         .channel_mut(p(1), p(0))
         .unwrap()
-        .set_contents([AbpMsg::Ack { label: rng.gen_u64() % label_space }]);
+        .set_contents([AbpMsg::Ack {
+            label: rng.gen_u64() % label_space,
+        }]);
     let _ = runner.run_until(500_000, |r| r.process(p(0)).progress() == Some(3));
     // Let the last in-flight item land.
     let _ = runner.run_steps(200);
@@ -58,9 +65,12 @@ pub fn abp_trial(label_space: u64, seed: u64) -> bool {
 /// One counter-flushing trial: returns `(first_wave_polluted,
 /// second_wave_polluted)`.
 pub fn cf_trial(n: usize, k: u64, seed: u64) -> (bool, bool) {
-    let processes: Vec<CfProcess> =
-        (0..n).map(|i| CfProcess::new(p(i), n, k, 100 + i as u32)).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let processes: Vec<CfProcess> = (0..n)
+        .map(|i| CfProcess::new(p(i), n, k, 100 + i as u32))
+        .collect();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
     let mut rng = SimRng::seed_from(seed ^ 0xCF);
     // Corrupt the initiator's counter and forge one stale reply per
@@ -73,7 +83,10 @@ pub fn cf_trial(n: usize, k: u64, seed: u64) -> (bool, bool) {
             .network_mut()
             .channel_mut(p(i), p(0))
             .unwrap()
-            .set_contents([CfMsg::Reply { c: rng.gen_u64() % k, data: 666 }]);
+            .set_contents([CfMsg::Reply {
+                c: rng.gen_u64() % k,
+                data: 666,
+            }]);
     }
     let polluted = |r: &Runner<CfProcess, RandomScheduler>| {
         (1..n).any(|i| r.process(p(0)).collected_from(p(i)) == Some(666))
@@ -94,9 +107,12 @@ pub fn cf_trial(n: usize, k: u64, seed: u64) -> (bool, bool) {
 /// One token-ring trial: `(overlapping CS pairs, CS executions)` over the
 /// budget, from a corrupted configuration.
 pub fn ring_trial(n: usize, k: u64, budget: u64, seed: u64) -> (usize, usize) {
-    let processes: Vec<TokenRingProcess> =
-        (0..n).map(|i| TokenRingProcess::new(p(i), n, k, 2)).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let processes: Vec<TokenRingProcess> = (0..n)
+        .map(|i| TokenRingProcess::new(p(i), n, k, 2))
+        .collect();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
     let mut rng = SimRng::seed_from(seed ^ 0x41);
     for i in 0..n {
@@ -114,14 +130,20 @@ pub fn ring_trial(n: usize, k: u64, budget: u64, seed: u64) -> (usize, usize) {
 
 /// Runs the C1 comparison suite and renders the report.
 pub fn run(fast: bool) -> String {
-    let trials = if fast { 30 } else { 300 };
+    let trials: u64 = if fast { 30 } else { 300 };
     let mut out = String::new();
     out.push_str("=== C1: self-stabilizing baselines vs snap-stabilization ===\n\n");
 
     out.push_str("(a) ABP first-transfer violations vs label space L (snap PIF: 0, see T2):\n");
     let mut t = Table::new(&["L", "violated", "rate", "~1-(1-1/L)^2"]);
     for l in [2u64, 4, 16, 256, 65_536] {
-        let bad = (0..trials).filter(|&s| abp_trial(l, l * 1_000 + s)).count();
+        // Independent seeded trials run in parallel; the counts they fold
+        // into are order-independent, so reports are unchanged.
+        let violations: Vec<bool> = (0..trials)
+            .into_par_iter()
+            .map(|s| abp_trial(l, l * 1_000 + s))
+            .collect();
+        let bad = violations.iter().filter(|&&b| b).count();
         let expect = 1.0 - (1.0 - 1.0 / l as f64).powi(2);
         t.row(&[
             l.to_string(),
@@ -132,11 +154,21 @@ pub fn run(fast: bool) -> String {
     }
     out.push_str(&t.render());
 
-    out.push_str("\n(b) counter-flushing wave pollution vs counter domain K (n = 3; snap PIF: 0):\n");
-    let mut t = Table::new(&["K", "wave 1 polluted", "rate", "~1-(1-1/K)^2", "wave 2 polluted"]);
+    out.push_str(
+        "\n(b) counter-flushing wave pollution vs counter domain K (n = 3; snap PIF: 0):\n",
+    );
+    let mut t = Table::new(&[
+        "K",
+        "wave 1 polluted",
+        "rate",
+        "~1-(1-1/K)^2",
+        "wave 2 polluted",
+    ]);
     for k in [2u64, 4, 8, 16] {
-        let results: Vec<(bool, bool)> =
-            (0..trials).map(|s| cf_trial(3, k, k * 7_000 + s)).collect();
+        let results: Vec<(bool, bool)> = (0..trials)
+            .into_par_iter()
+            .map(|s| cf_trial(3, k, k * 7_000 + s))
+            .collect();
         let first = results.iter().filter(|(f, _)| *f).count();
         let second = results.iter().filter(|(_, s)| *s).count();
         let expect = 1.0 - (1.0 - 1.0 / k as f64).powi(2);
@@ -151,17 +183,25 @@ pub fn run(fast: bool) -> String {
     out.push_str(&t.render());
 
     out.push_str("\n(c) token-ring CS overlaps during convergence (n = 4, K = 5; snap ME genuine overlaps: 0, see T4):\n");
-    let ring_trials = if fast { 10 } else { 60 };
+    let ring_trials: u64 = if fast { 10 } else { 60 };
+    let ring_results: Vec<(usize, usize)> = (0..ring_trials)
+        .into_par_iter()
+        .map(|s| ring_trial(4, 5, 30_000, 90 + s))
+        .collect();
     let mut overlap_trials = 0;
     let mut total_overlaps = 0;
     let mut total_cs = 0;
-    for s in 0..ring_trials {
-        let (ov, cs) = ring_trial(4, 5, 30_000, 90 + s);
+    for (ov, cs) in ring_results {
         overlap_trials += usize::from(ov > 0);
         total_overlaps += ov;
         total_cs += cs;
     }
-    let mut t = Table::new(&["trials", "trials w/ overlap", "total overlap pairs", "total CS"]);
+    let mut t = Table::new(&[
+        "trials",
+        "trials w/ overlap",
+        "total overlap pairs",
+        "total CS",
+    ]);
     t.row(&[
         ring_trials.to_string(),
         overlap_trials.to_string(),

@@ -19,6 +19,7 @@
 //!    protocol over corrupted starts at each capacity with the matched
 //!    domain (must be 100 %).
 
+use rayon::prelude::*;
 use snapstab_core::capacity::{max_stale, required_domain_size, sweep, StaleConfig};
 use snapstab_core::flag::FlagDomain;
 use snapstab_core::pif::{PifApp, PifProcess};
@@ -44,38 +45,46 @@ fn p(i: usize) -> ProcessId {
     ProcessId::new(i)
 }
 
-/// Specification 1 pass count for the full PIF at `capacity` with `domain`
-/// over `trials` corrupted starts.
-fn spec1_pass_rate(capacity: usize, domain: FlagDomain, trials: u64, n: usize) -> (u64, u64) {
-    let mut passed = 0;
-    for seed in 0..trials {
-        let processes: Vec<PifProcess<u32, u32, Answer>> = (0..n)
-            .map(|i| {
-                PifProcess::with_domain(p(i), n, 0, 0, domain, Answer(100 + i as u32))
-            })
-            .collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(capacity)).build();
-        let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
-        let mut rng = SimRng::seed_from(seed ^ 0xA3);
-        CorruptionPlan::full().apply(&mut runner, &mut rng);
-        let _ = runner.run_until(500_000, |r| r.process(p(0)).request() == RequestState::Done);
-        let req_step = runner.step_count();
-        if !runner.process_mut(p(0)).request_broadcast(9) {
-            continue;
-        }
-        if runner
-            .run_until(5_000_000, |r| r.process(p(0)).request() == RequestState::Done)
-            .is_err()
-        {
-            continue;
-        }
-        let verdict = check_bare_pif_wave(runner.trace(), p(0), n, req_step, &9, |q| {
-            100 + q.index() as u32
-        });
-        if verdict.holds() {
-            passed += 1;
-        }
+/// One Specification 1 trial at `capacity` with `domain` from a corrupted
+/// start: true if the wave decides and the spec holds.
+fn spec1_trial(capacity: usize, domain: FlagDomain, seed: u64, n: usize) -> bool {
+    let processes: Vec<PifProcess<u32, u32, Answer>> = (0..n)
+        .map(|i| PifProcess::with_domain(p(i), n, 0, 0, domain, Answer(100 + i as u32)))
+        .collect();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(capacity))
+        .build();
+    let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
+    let mut rng = SimRng::seed_from(seed ^ 0xA3);
+    CorruptionPlan::full().apply(&mut runner, &mut rng);
+    let _ = runner.run_until(500_000, |r| r.process(p(0)).request() == RequestState::Done);
+    let req_step = runner.step_count();
+    if !runner.process_mut(p(0)).request_broadcast(9) {
+        return false;
     }
+    if runner
+        .run_until(5_000_000, |r| {
+            r.process(p(0)).request() == RequestState::Done
+        })
+        .is_err()
+    {
+        return false;
+    }
+    check_bare_pif_wave(runner.trace(), p(0), n, req_step, &9, |q| {
+        100 + q.index() as u32
+    })
+    .holds()
+}
+
+/// Specification 1 pass count for the full PIF at `capacity` with `domain`
+/// over `trials` corrupted starts (trials run in parallel; each owns its
+/// seed, so the count is deterministic).
+fn spec1_pass_rate(capacity: usize, domain: FlagDomain, trials: u64, n: usize) -> (u64, u64) {
+    let outcomes: Vec<bool> = (0..trials)
+        .into_par_iter()
+        .map(|seed| spec1_trial(capacity, domain, seed, n))
+        .collect();
+    let passed = outcomes.iter().filter(|&&ok| ok).count() as u64;
     (passed, trials)
 }
 

@@ -19,8 +19,7 @@ use snapstab_core::flag::Flag;
 use snapstab_core::pif::{PifApp, PifEvent, PifMsg, PifProcess};
 use snapstab_core::request::RequestState;
 use snapstab_sim::{
-    Capacity, Move, NetworkBuilder, ProcessId, Protocol, RoundRobin, Runner, SimRng,
-    TraceEvent,
+    Capacity, Move, NetworkBuilder, ProcessId, Protocol, RoundRobin, Runner, SimRng, TraceEvent,
 };
 
 use crate::table::Table;
@@ -98,7 +97,9 @@ fn build(config: &AdversaryConfig) -> Runner<Proc, RoundRobin> {
     let mk = |i: usize| {
         PifProcess::with_initial_f(ProcessId::new(i), 2, 0u32, 0u32, ConstApp(100 + i as u32))
     };
-    let network = NetworkBuilder::new(2).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(2)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(vec![mk(0), mk(1)], network, RoundRobin::new(), 0);
 
     // Install q's corrupted variables.
@@ -112,20 +113,28 @@ fn build(config: &AdversaryConfig) -> Runner<Proc, RoundRobin> {
     }
     // Hide the stale messages. Payload 666 marks them as "sent by nobody".
     if let Some((ss, es)) = config.msg_qp {
-        runner.network_mut().channel_mut(p1(), p0()).unwrap().preload([PifMsg {
-            broadcast: 666,
-            feedback: 666,
-            sender_state: Flag::new(ss),
-            echoed_state: Flag::new(es),
-        }]);
+        runner
+            .network_mut()
+            .channel_mut(p1(), p0())
+            .unwrap()
+            .preload([PifMsg {
+                broadcast: 666,
+                feedback: 666,
+                sender_state: Flag::new(ss),
+                echoed_state: Flag::new(es),
+            }]);
     }
     if let Some((ss, es)) = config.msg_pq {
-        runner.network_mut().channel_mut(p0(), p1()).unwrap().preload([PifMsg {
-            broadcast: 666,
-            feedback: 666,
-            sender_state: Flag::new(ss),
-            echoed_state: Flag::new(es),
-        }]);
+        runner
+            .network_mut()
+            .channel_mut(p0(), p1())
+            .unwrap()
+            .preload([PifMsg {
+                broadcast: 666,
+                feedback: 666,
+                sender_state: Flag::new(ss),
+                echoed_state: Flag::new(es),
+            }]);
     }
     // p requests its wave.
     runner.process_mut(p0()).request_broadcast(7);
@@ -138,7 +147,16 @@ fn build(config: &AdversaryConfig) -> Runner<Proc, RoundRobin> {
 /// its flag value, and deliver that echo — three stale increments — all
 /// before any post-start message of `p` reaches `q`.
 pub fn crafted_schedule() -> Vec<Move> {
-    let (d10, d01) = (Move::Deliver { from: p1(), to: p0() }, Move::Deliver { from: p0(), to: p1() });
+    let (d10, d01) = (
+        Move::Deliver {
+            from: p1(),
+            to: p0(),
+        },
+        Move::Deliver {
+            from: p0(),
+            to: p1(),
+        },
+    );
     vec![
         Move::Activate(p0()), // p starts; its send is lost (channel full)
         d10,                  // stale echo 0: State_p 0 -> 1
@@ -156,8 +174,14 @@ pub fn random_schedule(seed: u64, len: usize) -> Vec<Move> {
         .map(|_| match rng.gen_range(0..6) {
             0 => Move::Activate(p0()),
             1 => Move::Activate(p1()),
-            2 | 3 => Move::Deliver { from: p1(), to: p0() },
-            _ => Move::Deliver { from: p0(), to: p1() },
+            2 | 3 => Move::Deliver {
+                from: p1(),
+                to: p0(),
+            },
+            _ => Move::Deliver {
+                from: p0(),
+                to: p1(),
+            },
         })
         .collect()
 }
@@ -170,12 +194,16 @@ pub fn run_config(config: &AdversaryConfig, script: &[Move]) -> StaleDrive {
     for &mv in script {
         let applicable = match mv {
             Move::Activate(p) => runner.process(p).has_enabled_action(),
-            Move::Deliver { from, to } => {
-                !runner.network().channel(from, to).expect("valid link").is_empty()
-            }
+            Move::Deliver { from, to } => !runner
+                .network()
+                .channel(from, to)
+                .expect("valid link")
+                .is_empty(),
         };
         if applicable {
-            runner.execute_move(mv).expect("applicable move cannot error");
+            runner
+                .execute_move(mv)
+                .expect("applicable move cannot error");
         }
     }
     let out = runner
@@ -216,9 +244,7 @@ pub fn run_config(config: &AdversaryConfig, script: &[Move]) -> StaleDrive {
     let deliveries_pq: Vec<u64> = trace
         .iter()
         .filter_map(|te| match &te.event {
-            TraceEvent::Delivered { from, to, .. } if *from == p0() && *to == p1() => {
-                Some(te.step)
-            }
+            TraceEvent::Delivered { from, to, .. } if *from == p0() && *to == p1() => Some(te.step),
             _ => None,
         })
         .collect();
@@ -277,26 +303,21 @@ pub fn run_config(config: &AdversaryConfig, script: &[Move]) -> StaleDrive {
     let deliveries_qp: Vec<u64> = trace
         .iter()
         .filter_map(|te| match &te.event {
-            TraceEvent::Delivered { from, to, .. } if *from == p1() && *to == p0() => {
-                Some(te.step)
-            }
+            TraceEvent::Delivered { from, to, .. } if *from == p1() && *to == p0() => Some(te.step),
             _ => None,
         })
         .collect();
-    let t_reply = deliveries_qp
-        .iter()
-        .enumerate()
-        .find_map(|(idx, &dstep)| {
-            if idx < preload_qp {
-                return None; // stale preloaded message
-            }
-            let send_step = qp_send_steps.get(idx - preload_qp)?;
-            if genuine_reply_send_steps.contains(send_step) {
-                Some(dstep)
-            } else {
-                None
-            }
-        });
+    let t_reply = deliveries_qp.iter().enumerate().find_map(|(idx, &dstep)| {
+        if idx < preload_qp {
+            return None; // stale preloaded message
+        }
+        let send_step = qp_send_steps.get(idx - preload_qp)?;
+        if genuine_reply_send_steps.contains(send_step) {
+            Some(dstep)
+        } else {
+            None
+        }
+    });
 
     // Highest flag p reached strictly before the first genuine reply was
     // delivered: count increments, i.e. ReceiveFck marks 4; instead track
@@ -319,7 +340,11 @@ pub fn run_config(config: &AdversaryConfig, script: &[Move]) -> StaleDrive {
         }
     }
 
-    StaleDrive { max_stale_flag: stale_flag, completed, steps: out.steps }
+    StaleDrive {
+        max_stale_flag: stale_flag,
+        completed,
+        steps: out.steps,
+    }
 }
 
 /// The maximum stale drive over the schedule family: fair round-robin,
@@ -329,7 +354,10 @@ pub fn max_stale_over_schedules(config: &AdversaryConfig, extra_random: u64) -> 
     let mut best = run_config(config, &[]);
     let mut consider = |r: StaleDrive| {
         if r.max_stale_flag > best.max_stale_flag || !r.completed {
-            best = StaleDrive { completed: best.completed && r.completed, ..r };
+            best = StaleDrive {
+                completed: best.completed && r.completed,
+                ..r
+            };
         } else {
             best.completed &= r.completed;
         }
@@ -347,7 +375,10 @@ pub fn figure1_timeline() -> String {
     let mut runner = build(&config);
     let mut table = Table::new(&["step", "event", "State_p[q]", "NeigState_q[p]"]);
     let mut last = (Flag::new(9), Flag::new(9));
-    let record = |runner: &Runner<Proc, RoundRobin>, mv: Move, last: &mut (Flag, Flag), table: &mut Table| {
+    let record = |runner: &Runner<Proc, RoundRobin>,
+                  mv: Move,
+                  last: &mut (Flag, Flag),
+                  table: &mut Table| {
         let sp = runner.process(p0()).core().state_of(p1());
         let nq = runner.process(p1()).core().neig_state_of(p0());
         if (sp, nq) != *last {
@@ -361,7 +392,9 @@ pub fn figure1_timeline() -> String {
         }
     };
     for mv in crafted_schedule() {
-        runner.execute_move(mv).expect("crafted schedule is applicable");
+        runner
+            .execute_move(mv)
+            .expect("crafted schedule is applicable");
         record(&runner, mv, &mut last, &mut table);
     }
     for _ in 0..200_000u64 {
@@ -393,7 +426,12 @@ pub fn run(fast: bool) -> String {
 
     // (b) Exhaustive adversary enumeration.
     let reqs = [RequestState::Wait, RequestState::In, RequestState::Done];
-    let mut table = Table::new(&["adversary configs", "max stale flag", "completed", "stale=4"]);
+    let mut table = Table::new(&[
+        "adversary configs",
+        "max stale flag",
+        "completed",
+        "stale=4",
+    ]);
     let mut max_stale = 0u8;
     let mut all_completed = true;
     let mut stale_complete = 0usize;
@@ -408,7 +446,7 @@ pub fn run(fast: bool) -> String {
                         for sq in [0u8, 2, 4] {
                             for rq in reqs {
                                 idx += 1;
-                                if idx % stride != 0 {
+                                if !idx.is_multiple_of(stride) {
                                     continue;
                                 }
                                 let c = AdversaryConfig {

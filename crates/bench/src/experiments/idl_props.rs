@@ -8,8 +8,7 @@ use snapstab_core::idl::{Id, IdlEvent, IdlProcess};
 use snapstab_core::request::RequestState;
 use snapstab_core::spec::check_idl_result;
 use snapstab_sim::{
-    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner,
-    SimRng,
+    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner, SimRng,
 };
 
 use crate::stats::Summary;
@@ -35,7 +34,9 @@ pub fn trial(n: usize, loss: f64, seed: u64) -> Trial {
     let processes: Vec<IdlProcess> = (0..n)
         .map(|i| IdlProcess::new(ProcessId::new(i), n, idv[i]))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
     if loss > 0.0 {
         runner.set_loss(LossModel::probabilistic(loss));
@@ -52,9 +53,8 @@ pub fn trial(n: usize, loss: f64, seed: u64) -> Trial {
     let run = runner.run_until(2_000_000, |r| {
         r.process(learner).request() == RequestState::Done
     });
-    let decided = run.is_ok()
-        && requested
-        && runner.process(learner).request() == RequestState::Done;
+    let decided =
+        run.is_ok() && requested && runner.process(learner).request() == RequestState::Done;
 
     let started = runner
         .trace()
@@ -69,13 +69,20 @@ pub fn trial(n: usize, loss: f64, seed: u64) -> Trial {
         decided,
     );
     let steps = runner.step_count() - request_step;
-    Trial { spec_ok: verdict.holds(), steps }
+    Trial {
+        spec_ok: verdict.holds(),
+        steps,
+    }
 }
 
 /// Runs the T3 sweep and renders the report.
 pub fn run(fast: bool) -> String {
     let trials = if fast { 20 } else { 200 };
-    let ns = if fast { vec![2, 3, 5] } else { vec![2, 3, 5, 8] };
+    let ns = if fast {
+        vec![2, 3, 5]
+    } else {
+        vec![2, 3, 5, 8]
+    };
     let losses = [0.0, 0.2];
 
     let mut out = String::new();
@@ -102,7 +109,11 @@ pub fn run(fast: bool) -> String {
     out.push_str(&table.render());
     out.push_str(&format!(
         "\nverdict: every started IDs-Learning computation decided with exact IDs: {}\n",
-        if all_ok { "YES (snap-stabilizing)" } else { "NO — VIOLATION FOUND" }
+        if all_ok {
+            "YES (snap-stabilizing)"
+        } else {
+            "NO — VIOLATION FOUND"
+        }
     ));
     out
 }

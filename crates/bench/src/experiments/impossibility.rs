@@ -23,8 +23,13 @@ pub fn run(fast: bool) -> String {
     let mut out = String::new();
     out.push_str("=== T1: Theorem 1 — impossibility with unbounded channels ===\n\n");
     let mut table = Table::new(&[
-        "n", "max |MesSeq| per channel", "total preloaded", "infeasible for c <",
-        "violation on unbounded", "bad-factor step", "genuine CS overlaps",
+        "n",
+        "max |MesSeq| per channel",
+        "total preloaded",
+        "infeasible for c <",
+        "violation on unbounded",
+        "bad-factor step",
+        "genuine CS overlaps",
     ]);
     let mut all_violated = true;
     for &n in &ns {

@@ -5,6 +5,7 @@
 //! and shows graceful degradation of the steps-to-decision (roughly a
 //! `1/(1−p)²` round-trip inflation) with a 100 % completion rate.
 
+use rayon::prelude::*;
 use snapstab_core::pif::{PifApp, PifProcess};
 use snapstab_core::request::RequestState;
 use snapstab_sim::{Capacity, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner};
@@ -28,7 +29,9 @@ pub fn wave_under_loss(n: usize, p: f64, seed: u64, budget: u64) -> Option<u64> 
     let processes: Vec<PifProcess<u32, u32, Zero>> = (0..n)
         .map(|i| PifProcess::with_initial_f(ProcessId::new(i), n, 0, 0, Zero))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
     if p > 0.0 {
         runner.set_loss(LossModel::probabilistic(p));
@@ -49,17 +52,23 @@ pub fn wave_under_loss(n: usize, p: f64, seed: u64, budget: u64) -> Option<u64> 
 
 /// Runs the Q2 sweep and renders the report.
 pub fn run(fast: bool) -> String {
-    let trials = if fast { 10 } else { 100 };
+    let trials: u64 = if fast { 10 } else { 100 };
     let n = 3;
     let losses = [0.0, 0.1, 0.2, 0.4, 0.6, 0.8];
 
     let mut out = String::new();
     out.push_str("=== Q2: PIF under message loss (n = 3) ===\n\n");
-    let mut table =
-        Table::new(&["loss p", "trials", "completed", "steps mean/p95", "slowdown vs p=0"]);
+    let mut table = Table::new(&[
+        "loss p",
+        "trials",
+        "completed",
+        "steps mean/p95",
+        "slowdown vs p=0",
+    ]);
     let mut base_mean = 0.0;
     for &p in &losses {
         let results: Vec<Option<u64>> = (0..trials)
+            .into_par_iter()
             .map(|t| wave_under_loss(n, p, (p * 100.0) as u64 * 1000 + t, 10_000_000))
             .collect();
         let completed = results.iter().filter(|r| r.is_some()).count();
@@ -96,7 +105,9 @@ mod tests {
 
     #[test]
     fn higher_loss_costs_more_steps() {
-        let clean: u64 = (0..5).map(|s| wave_under_loss(2, 0.0, s, 1_000_000).unwrap()).sum();
+        let clean: u64 = (0..5)
+            .map(|s| wave_under_loss(2, 0.0, s, 1_000_000).unwrap())
+            .sum();
         let lossy: u64 = (0..5)
             .map(|s| wave_under_loss(2, 0.6, 100 + s, 10_000_000).unwrap())
             .sum();

@@ -16,8 +16,7 @@ use snapstab_core::me::{MeConfig, MeProcess, ValueMode};
 use snapstab_core::request::RequestState;
 use snapstab_core::spec::analyze_me_trace;
 use snapstab_sim::{
-    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner,
-    SimRng,
+    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner, SimRng,
 };
 
 use crate::stats::Summary;
@@ -53,11 +52,17 @@ pub fn ids(n: usize) -> Vec<Id> {
 /// Runs one long trial.
 pub fn trial(n: usize, loss: f64, cs_duration: u64, budget: u64, seed: u64) -> Trial {
     let idv = ids(n);
-    let config = MeConfig { cs_duration, value_mode: ValueMode::Corrected, ..MeConfig::default() };
+    let config = MeConfig {
+        cs_duration,
+        value_mode: ValueMode::Corrected,
+        ..MeConfig::default()
+    };
     let processes: Vec<MeProcess> = (0..n)
         .map(|i| MeProcess::with_config(ProcessId::new(i), n, idv[i], config))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
     if loss > 0.0 {
         runner.set_loss(LossModel::probabilistic(loss));
@@ -104,7 +109,12 @@ pub fn trial(n: usize, loss: f64, cs_duration: u64, budget: u64, seed: u64) -> T
         .map(|(_, req, srv)| srv - req)
         .collect();
     let min_phase_zero = (0..n)
-        .map(|i| runner.process(ProcessId::new(i)).counters().phase_zero_visits)
+        .map(|i| {
+            runner
+                .process(ProcessId::new(i))
+                .counters()
+                .phase_zero_visits
+        })
         .min()
         .unwrap_or(0);
     let leader_advances = runner.process(ProcessId::new(1)).counters().value_advances;
@@ -128,10 +138,20 @@ pub fn run(fast: bool) -> String {
     let durations = [0u64, 3];
 
     let mut out = String::new();
-    out.push_str("=== T4 + L1: Specification 3 (Mutual Exclusion) from arbitrary configurations ===\n\n");
+    out.push_str(
+        "=== T4 + L1: Specification 3 (Mutual Exclusion) from arbitrary configurations ===\n\n",
+    );
     let mut table = Table::new(&[
-        "n", "loss", "cs_dur", "requests", "served", "genuine overlap", "spurious overlap",
-        "latency mean/p95", "min phase0", "leader Value++",
+        "n",
+        "loss",
+        "cs_dur",
+        "requests",
+        "served",
+        "genuine overlap",
+        "spurious overlap",
+        "latency mean/p95",
+        "min phase0",
+        "leader Value++",
     ]);
     let mut exclusivity = true;
     let mut all_served = true;
@@ -181,7 +201,11 @@ pub fn run(fast: bool) -> String {
     out.push_str(&table.render());
     out.push_str(&format!(
         "\nverdict: genuine CS exclusivity {}, all counted requests served {}\n",
-        if exclusivity { "HELD (0 overlaps)" } else { "VIOLATED" },
+        if exclusivity {
+            "HELD (0 overlaps)"
+        } else {
+            "VIOLATED"
+        },
         if all_served { "YES" } else { "NO" },
     ));
     out

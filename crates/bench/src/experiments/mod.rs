@@ -13,4 +13,5 @@ pub mod modelcheck;
 pub mod naive;
 pub mod pif_props;
 pub mod scaling;
+pub mod stepbench;
 pub mod topology;

@@ -94,7 +94,10 @@ pub fn run(fast: bool) -> String {
     {
         let params = Params::paper();
         let seeds = if fast {
-            SeedSet::Sampled { count: 30_000, rng_seed: 5 }
+            SeedSet::Sampled {
+                count: 30_000,
+                rng_seed: 5,
+            }
         } else {
             SeedSet::Exhaustive
         };
@@ -121,7 +124,10 @@ pub fn run(fast: bool) -> String {
         let params = Params::new(5, 2);
         let r = explore(
             params,
-            &SeedSet::Sampled { count: if fast { 20_000 } else { 200_000 }, rng_seed: 7 },
+            &SeedSet::Sampled {
+                count: if fast { 20_000 } else { 200_000 },
+                rng_seed: 7,
+            },
             max_states,
         );
         let verdict = match &r.violation {
@@ -152,7 +158,10 @@ pub fn run(fast: bool) -> String {
         let params = Params::new(7, 2);
         let r = explore(
             params,
-            &SeedSet::Sampled { count: if fast { 5_000 } else { 50_000 }, rng_seed: 11 },
+            &SeedSet::Sampled {
+                count: if fast { 5_000 } else { 50_000 },
+                rng_seed: 11,
+            },
             max_states,
         );
         let verdict = if r.violation.is_some() {
@@ -178,7 +187,10 @@ pub fn run(fast: bool) -> String {
     {
         let params = Params::paper();
         let seeds = if fast {
-            SeedSet::Sampled { count: 10_000, rng_seed: 13 }
+            SeedSet::Sampled {
+                count: 10_000,
+                rng_seed: 13,
+            }
         } else {
             SeedSet::Exhaustive
         };
@@ -193,7 +205,11 @@ pub fn run(fast: bool) -> String {
                 term.can_terminate,
                 term.stuck,
                 term.sweeps,
-                if term.holds() { "HOLDS" } else { "FAILS (unexpected!)" },
+                if term.holds() {
+                    "HOLDS"
+                } else {
+                    "FAILS (unexpected!)"
+                },
             ));
         } else {
             out.push_str("possible termination skipped (exploration not exhausted)\n");

@@ -51,7 +51,9 @@ pub fn compare(n: usize, loss: f64, forge: bool, seed: u64, budget: u64) -> Comp
     let naive_procs: Vec<NaivePifProcess> = (0..n)
         .map(|i| NaivePifProcess::new(ProcessId::new(i), n, expected(i)))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut naive = Runner::new(naive_procs, network, RandomScheduler::new(), seed);
     if loss > 0.0 {
         naive.set_loss(LossModel::probabilistic(loss));
@@ -78,11 +80,11 @@ pub fn compare(n: usize, loss: f64, forge: bool, seed: u64, budget: u64) -> Comp
 
     // Snap run under identical conditions.
     let snap_procs: Vec<PifProcess<u32, u32, Answer>> = (0..n)
-        .map(|i| {
-            PifProcess::with_initial_f(ProcessId::new(i), n, 0, 0, Answer(expected(i)))
-        })
+        .map(|i| PifProcess::with_initial_f(ProcessId::new(i), n, 0, 0, Answer(expected(i))))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut snap = Runner::new(snap_procs, network, RandomScheduler::new(), seed);
     if loss > 0.0 {
         snap.set_loss(LossModel::probabilistic(loss));
@@ -163,8 +165,16 @@ pub fn run(fast: bool) -> String {
         snap_decided += usize::from(c.snap_decided);
         snap_garbage += usize::from(c.snap_decided && !c.snap_clean);
     }
-    t.row(&["naive".into(), format!("{naive_decided}/{trials}"), format!("{naive_garbage}/{trials}")]);
-    t.row(&["snap (Alg. 1)".into(), format!("{snap_decided}/{trials}"), format!("{snap_garbage}/{trials}")]);
+    t.row(&[
+        "naive".into(),
+        format!("{naive_decided}/{trials}"),
+        format!("{naive_garbage}/{trials}"),
+    ]);
+    t.row(&[
+        "snap (Alg. 1)".into(),
+        format!("{snap_decided}/{trials}"),
+        format!("{snap_garbage}/{trials}"),
+    ]);
     out.push_str(&t.render());
     out.push_str(
         "\nverdict: the naive protocol deadlocks under loss and decides on forged data; \
@@ -182,12 +192,18 @@ mod tests {
         let mut naive_bad = 0;
         for s in 0..5 {
             let c = compare(3, 0.0, true, s, 300_000);
-            assert!(c.snap_decided && c.snap_clean, "snap must stay clean: {c:?}");
+            assert!(
+                c.snap_decided && c.snap_clean,
+                "snap must stay clean: {c:?}"
+            );
             if c.naive_decided && !c.naive_clean {
                 naive_bad += 1;
             }
         }
-        assert!(naive_bad > 0, "the forged feedback must poison some naive decision");
+        assert!(
+            naive_bad > 0,
+            "the forged feedback must poison some naive decision"
+        );
     }
 
     #[test]
@@ -200,6 +216,9 @@ mod tests {
                 dead += 1;
             }
         }
-        assert!(dead > 0, "the naive protocol must deadlock sometimes at 50% loss");
+        assert!(
+            dead > 0,
+            "the naive protocol must deadlock sometimes at 50% loss"
+        );
     }
 }

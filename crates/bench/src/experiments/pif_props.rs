@@ -12,8 +12,7 @@ use snapstab_core::pif::{PifApp, PifMsg, PifProcess};
 use snapstab_core::request::RequestState;
 use snapstab_core::spec::{channels_flushed, check_bare_pif_wave};
 use snapstab_sim::{
-    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner,
-    SimRng,
+    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner, SimRng,
 };
 
 use crate::stats::Summary;
@@ -59,12 +58,20 @@ pub fn trial(n: usize, loss: f64, seed: u64) -> Trial {
     const JUNK: u32 = 0xDEAD_BEEF;
     let expected_b: u32 = 0xC0FF_EE00;
     let make = |i: usize| {
-        PifProcess::with_initial_f(ProcessId::new(i), n, 0u32, 0u32, IndexedApp {
-            value: 1000 + i as u32,
-        })
+        PifProcess::with_initial_f(
+            ProcessId::new(i),
+            n,
+            0u32,
+            0u32,
+            IndexedApp {
+                value: 1000 + i as u32,
+            },
+        )
     };
     let processes: Vec<Proc> = (0..n).map(make).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
     if loss > 0.0 {
         runner.set_loss(LossModel::probabilistic(loss));
@@ -83,7 +90,11 @@ pub fn trial(n: usize, loss: f64, seed: u64) -> Trial {
                 sender_state: snapstab_core::flag::Flag::new(rng.gen_range(0..5) as u8),
                 echoed_state: snapstab_core::flag::Flag::new(rng.gen_range(0..5) as u8),
             };
-            runner.network_mut().channel_mut(f, t).unwrap().set_contents([msg]);
+            runner
+                .network_mut()
+                .channel_mut(f, t)
+                .unwrap()
+                .set_contents([msg]);
         }
     }
 
@@ -99,9 +110,8 @@ pub fn trial(n: usize, loss: f64, seed: u64) -> Trial {
     let run = runner.run_until(2_000_000, |r| {
         r.process(initiator).request() == RequestState::Done
     });
-    let decided = run.is_ok()
-        && runner.process(initiator).request() == RequestState::Done
-        && requested;
+    let decided =
+        run.is_ok() && runner.process(initiator).request() == RequestState::Done && requested;
 
     let verdict = check_bare_pif_wave(
         runner.trace(),
@@ -129,13 +139,24 @@ pub fn trial(n: usize, loss: f64, seed: u64) -> Trial {
 /// Runs the T2 + P1 sweep and renders the report table.
 pub fn run(fast: bool) -> String {
     let trials = if fast { 20 } else { 200 };
-    let ns = if fast { vec![2, 3, 5] } else { vec![2, 3, 5, 8, 12] };
+    let ns = if fast {
+        vec![2, 3, 5]
+    } else {
+        vec![2, 3, 5, 8, 12]
+    };
     let losses = [0.0, 0.1, 0.3];
 
     let mut out = String::new();
     out.push_str("=== T2 + P1: Specification 1 (PIF) from arbitrary configurations ===\n\n");
     let mut table = Table::new(&[
-        "n", "loss", "trials", "start", "term", "correct", "decision", "flush(P1)",
+        "n",
+        "loss",
+        "trials",
+        "start",
+        "term",
+        "correct",
+        "decision",
+        "flush(P1)",
         "steps mean/p95",
     ]);
     let mut all_ok = true;
@@ -145,9 +166,7 @@ pub fn run(fast: bool) -> String {
                 .map(|t| trial(n, loss, (n as u64) << 32 | (loss * 100.0) as u64 ^ t))
                 .collect();
             let count = |f: fn(&Trial) -> bool| results.iter().filter(|t| f(t)).count();
-            let steps = Summary::of_u64(
-                results.iter().filter(|t| t.term_ok).map(|t| t.steps),
-            );
+            let steps = Summary::of_u64(results.iter().filter(|t| t.term_ok).map(|t| t.steps));
             all_ok &= results.iter().all(|t| t.spec_ok);
             table.row(&[
                 n.to_string(),
@@ -165,7 +184,11 @@ pub fn run(fast: bool) -> String {
     out.push_str(&table.render());
     out.push_str(&format!(
         "\nverdict: every started wave satisfied Specification 1 and Property 1: {}\n",
-        if all_ok { "YES (snap-stabilizing)" } else { "NO — VIOLATION FOUND" }
+        if all_ok {
+            "YES (snap-stabilizing)"
+        } else {
+            "NO — VIOLATION FOUND"
+        }
     ));
     out
 }

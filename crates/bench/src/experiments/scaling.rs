@@ -7,6 +7,7 @@
 //! mid-wave). The experiment measures messages and steps per wave against
 //! the analytic minimum, from clean and corrupted starts.
 
+use rayon::prelude::*;
 use snapstab_core::pif::{PifApp, PifProcess};
 use snapstab_core::request::RequestState;
 use snapstab_sim::{
@@ -41,7 +42,9 @@ pub fn measure(n: usize, corrupted: bool, seed: u64) -> WaveCost {
     let processes: Vec<PifProcess<u32, u32, Zero>> = (0..n)
         .map(|i| PifProcess::with_initial_f(ProcessId::new(i), n, 0, 0, Zero))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
     if corrupted {
         let mut rng = SimRng::seed_from(seed ^ 0xCAFE);
@@ -66,20 +69,35 @@ pub fn measure(n: usize, corrupted: bool, seed: u64) -> WaveCost {
 
 /// Runs the Q1 sweep and renders the report.
 pub fn run(fast: bool) -> String {
-    let trials = if fast { 5 } else { 30 };
-    let ns = if fast { vec![2, 4, 8] } else { vec![2, 4, 8, 16, 32] };
+    let trials: u64 = if fast { 5 } else { 30 };
+    let ns = if fast {
+        vec![2, 4, 8]
+    } else {
+        vec![2, 4, 8, 16, 32]
+    };
 
     let mut out = String::new();
     out.push_str("=== Q1: PIF wave complexity (messages and steps per wave) ===\n\n");
     let mut table = Table::new(&[
-        "n", "analytic min msgs 8(n-1)", "clean msgs mean/p95", "clean steps mean/p95",
-        "corrupted msgs mean/p95", "corrupted steps mean/p95",
+        "n",
+        "analytic min msgs 8(n-1)",
+        "clean msgs mean/p95",
+        "clean steps mean/p95",
+        "corrupted msgs mean/p95",
+        "corrupted steps mean/p95",
     ]);
     for &n in &ns {
-        let clean: Vec<WaveCost> =
-            (0..trials).map(|t| measure(n, false, 1000 + t)).collect();
-        let corr: Vec<WaveCost> =
-            (0..trials).map(|t| measure(n, true, 2000 + t)).collect();
+        // Trials are independent and own their seeds, so they run in
+        // parallel; collect preserves trial order, keeping the report
+        // byte-identical to the sequential driver.
+        let clean: Vec<WaveCost> = (0..trials)
+            .into_par_iter()
+            .map(|t| measure(n, false, 1000 + t))
+            .collect();
+        let corr: Vec<WaveCost> = (0..trials)
+            .into_par_iter()
+            .map(|t| measure(n, true, 2000 + t))
+            .collect();
         table.row(&[
             n.to_string(),
             (8 * (n - 1)).to_string(),

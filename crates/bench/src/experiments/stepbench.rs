@@ -1,0 +1,157 @@
+//! **Q5 — raw step-loop throughput of the simulator.**
+//!
+//! Drives a sustained IDs-Learning workload (the initiator re-requests a
+//! wave whenever the previous one decides) with trace recording off, and
+//! reports wall-clock nanoseconds per atomic step at several system sizes.
+//! The numbers are the repo's performance trajectory: every PR that touches
+//! the step loop reruns this and compares against the committed
+//! `BENCH_STEPLOOP.json`.
+
+use std::time::Instant;
+
+use snapstab_core::idl::IdlProcess;
+use snapstab_sim::{Capacity, NetworkBuilder, ProcessId, RoundRobin, Runner};
+
+use crate::table::Table;
+
+/// Wall-clock cost of the step loop at one system size.
+#[derive(Clone, Copy, Debug)]
+pub struct StepCost {
+    /// System size.
+    pub n: usize,
+    /// Atomic steps executed.
+    pub steps: u64,
+    /// Total wall time in nanoseconds.
+    pub wall_ns: u128,
+}
+
+impl StepCost {
+    /// Nanoseconds per atomic step.
+    pub fn ns_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            return f64::NAN;
+        }
+        self.wall_ns as f64 / self.steps as f64
+    }
+
+    /// Steps per second.
+    pub fn steps_per_sec(&self) -> f64 {
+        1e9 / self.ns_per_step()
+    }
+}
+
+/// Runs `target_steps` atomic steps of a sustained IDL workload at size
+/// `n` (trace recording off) and measures the wall time.
+pub fn measure(n: usize, target_steps: u64, seed: u64) -> StepCost {
+    let processes: Vec<IdlProcess> = (0..n)
+        .map(|i| IdlProcess::new(ProcessId::new(i), n, 10 + i as u64))
+        .collect();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
+    let mut runner = Runner::new(processes, network, RoundRobin::new(), seed);
+    runner.set_record_trace(false);
+    let initiator = ProcessId::new(0);
+    runner.process_mut(initiator).request_learning();
+
+    let chunk = 4_096u64.min(target_steps.max(1));
+    let mut executed = 0u64;
+    let start = Instant::now();
+    while executed < target_steps {
+        let out = runner
+            .run_steps(chunk.min(target_steps - executed))
+            .expect("step loop runs");
+        executed += out.steps;
+        if out.steps == 0 {
+            // Quiescent: the wave decided — start the next one to keep the
+            // workload sustained. If re-arming fails the workload is stuck;
+            // stop rather than spin.
+            if !runner.process_mut(initiator).request_learning() {
+                break;
+            }
+        }
+    }
+    StepCost {
+        n,
+        steps: executed,
+        wall_ns: start.elapsed().as_nanos(),
+    }
+}
+
+/// Runs the sweep at the standard sizes.
+pub fn sweep(fast: bool) -> Vec<StepCost> {
+    let sizes: &[usize] = if fast { &[8, 32] } else { &[8, 32, 128] };
+    let steps = if fast { 50_000 } else { 400_000 };
+    sizes.iter().map(|&n| measure(n, steps, 0xBEE5)).collect()
+}
+
+/// Renders already-measured results as the repo's standard ASCII table.
+pub fn render(results: &[StepCost]) -> String {
+    let mut out = String::new();
+    out.push_str("=== Q5: step-loop throughput (trace recording off) ===\n\n");
+    let mut table = Table::new(&["n", "steps", "wall ms", "ns/step", "steps/s"]);
+    for r in results {
+        table.row(&[
+            r.n.to_string(),
+            r.steps.to_string(),
+            format!("{:.1}", r.wall_ns as f64 / 1e6),
+            format!("{:.1}", r.ns_per_step()),
+            format!("{:.0}", r.steps_per_sec()),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Measures the sweep and renders it.
+pub fn run(fast: bool) -> String {
+    render(&sweep(fast))
+}
+
+/// The sweep as a JSON document (hand-rolled: the workspace is offline and
+/// carries no serde), shaped for trajectory comparison across PRs.
+pub fn to_json(results: &[StepCost]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"step_loop_throughput\",\n  \"unit\": \"ns_per_step\",\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"steps\": {}, \"wall_ns\": {}, \"ns_per_step\": {:.2}}}{}\n",
+            r.n,
+            r.steps,
+            r.wall_ns,
+            r.ns_per_step(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_executes_requested_steps() {
+        let c = measure(4, 2_000, 1);
+        assert_eq!(c.n, 4);
+        assert!(
+            c.steps >= 2_000,
+            "sustained workload should fill the budget, got {}",
+            c.steps
+        );
+        assert!(c.wall_ns > 0);
+        assert!(c.ns_per_step() > 0.0);
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = to_json(&[StepCost {
+            n: 8,
+            steps: 100,
+            wall_ns: 1000,
+        }]);
+        assert!(j.contains("\"n\": 8"));
+        assert!(j.contains("step_loop_throughput"));
+        assert!(j.trim_end().ends_with('}'));
+    }
+}

@@ -31,8 +31,12 @@ type CountNode = TreePifNode<u8, u64, Count>;
 
 fn tree_system(topo: &Topology, seed: u64) -> Runner<CountNode, RandomScheduler> {
     let n = topo.n();
-    let processes = (0..n).map(|i| TreePifNode::new(p(i), topo, 0u8, Count)).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let processes = (0..n)
+        .map(|i| TreePifNode::new(p(i), topo, 0u8, Count))
+        .collect();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     Runner::new(processes, network, RandomScheduler::new(), seed)
 }
 
@@ -47,7 +51,9 @@ fn tree_trial(topo: &Topology, root: ProcessId, seed: u64) -> bool {
     let mut runner = tree_system(topo, seed);
     let mut rng = SimRng::seed_from(seed ^ 0x7090);
     CorruptionPlan::full().apply(&mut runner, &mut rng);
-    let _ = runner.run_until(1_000_000, |r| r.process(root).request() == RequestState::Done);
+    let _ = runner.run_until(1_000_000, |r| {
+        r.process(root).request() == RequestState::Done
+    });
     if runner.process(root).request() != RequestState::Done {
         return false; // drain failed: Termination violated
     }
@@ -56,7 +62,9 @@ fn tree_trial(topo: &Topology, root: ProcessId, seed: u64) -> bool {
         return false;
     }
     if runner
-        .run_until(5_000_000, |r| r.process(root).request() == RequestState::Done)
+        .run_until(5_000_000, |r| {
+            r.process(root).request() == RequestState::Done
+        })
         .is_err()
     {
         return false;
@@ -68,15 +76,20 @@ fn tree_trial(topo: &Topology, root: ProcessId, seed: u64) -> bool {
 fn tree_cost(topo: &Topology, root: ProcessId) -> (u64, u64) {
     let mut runner = {
         let n = topo.n();
-        let processes: Vec<CountNode> =
-            (0..n).map(|i| TreePifNode::new(p(i), topo, 0u8, Count)).collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let processes: Vec<CountNode> = (0..n)
+            .map(|i| TreePifNode::new(p(i), topo, 0u8, Count))
+            .collect();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(1))
+            .build();
         Runner::new(processes, network, RoundRobin::new(), 1)
     };
     runner.set_record_trace(false);
     assert!(runner.process_mut(root).request_wave(7));
     runner
-        .run_until(5_000_000, |r| r.process(root).request() == RequestState::Done)
+        .run_until(5_000_000, |r| {
+            r.process(root).request() == RequestState::Done
+        })
         .expect("clean wave decides");
     let stats = runner.stats();
     (stats.steps, stats.sends_enqueued)
@@ -94,14 +107,19 @@ impl PifApp<u8, u64> for Unit {
 
 /// Steps and messages for one clean flat-PIF wave on the complete graph.
 fn flat_cost(n: usize) -> (u64, u64) {
-    let processes: Vec<PifProcess<u8, u64, Unit>> =
-        (0..n).map(|i| PifProcess::with_initial_f(p(i), n, 0u8, 0u64, Unit)).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let processes: Vec<PifProcess<u8, u64, Unit>> = (0..n)
+        .map(|i| PifProcess::with_initial_f(p(i), n, 0u8, 0u64, Unit))
+        .collect();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RoundRobin::new(), 1);
     runner.set_record_trace(false);
     assert!(runner.process_mut(p(0)).request_broadcast(7));
     runner
-        .run_until(5_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .run_until(5_000_000, |r| {
+            r.process(p(0)).request() == RequestState::Done
+        })
         .expect("clean wave decides");
     let stats = runner.stats();
     (stats.steps, stats.sends_enqueued)
@@ -120,8 +138,16 @@ pub fn run(fast: bool) -> String {
         ("path(6), interior root", Topology::path(6), 3),
         ("star(8)", Topology::star(8), 0),
         ("binary_tree(7)", Topology::binary_tree(7), 0),
-        ("spanning(ring(8))", Topology::ring(8).bfs_spanning_tree(p(0)), 0),
-        ("spanning(complete(6))", Topology::complete(6).bfs_spanning_tree(p(0)), 0),
+        (
+            "spanning(ring(8))",
+            Topology::ring(8).bfs_spanning_tree(p(0)),
+            0,
+        ),
+        (
+            "spanning(complete(6))",
+            Topology::complete(6).bfs_spanning_tree(p(0)),
+            0,
+        ),
     ];
     let mut spec = Table::new(&["topology", "root", "diameter", "Spec pass"]);
     for (name, topo, root) in &shapes {

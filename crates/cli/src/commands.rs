@@ -7,8 +7,7 @@ use snapstab_core::request::RequestState;
 use snapstab_core::spec::{analyze_me_trace, check_idl_result};
 use snapstab_impossibility::DoubleWinDemo;
 use snapstab_sim::{
-    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner,
-    SimRng,
+    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner, SimRng,
 };
 
 use crate::args::Args;
@@ -43,12 +42,16 @@ pub fn cmd_idl(args: &Args) -> String {
     let n: usize = args.get_or("n", 4);
     let seed: u64 = args.get_or("seed", 1);
     let loss: f64 = args.get_or("loss", 0.0);
-    let ids: Vec<u64> = (0..n).map(|i| 1 + ((7919 * (i as u64 + seed)) % 9973)).collect();
+    let ids: Vec<u64> = (0..n)
+        .map(|i| 1 + ((7919 * (i as u64 + seed)) % 9973))
+        .collect();
 
     let processes: Vec<IdlProcess> = (0..n)
         .map(|i| IdlProcess::new(ProcessId::new(i), n, ids[i]))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
     if loss > 0.0 {
         runner.set_loss(LossModel::probabilistic(loss));
@@ -66,7 +69,9 @@ pub fn cmd_idl(args: &Args) -> String {
     runner.process_mut(learner).request_learning();
     let before = runner.step_count();
     runner
-        .run_until(5_000_000, |r| r.process(learner).request() == RequestState::Done)
+        .run_until(5_000_000, |r| {
+            r.process(learner).request() == RequestState::Done
+        })
         .expect("computation decides");
     let verdict = check_idl_result(runner.process(learner).idl(), learner, &ids, true, true);
     out.push_str(&format!(
@@ -95,11 +100,17 @@ pub fn cmd_me(args: &Args) -> String {
     let requests: u32 = args.get_or("requests", 3);
     let cs_duration: u64 = args.get_or("cs-duration", 0);
 
-    let config = MeConfig { cs_duration, value_mode: ValueMode::Corrected, ..MeConfig::default() };
+    let config = MeConfig {
+        cs_duration,
+        value_mode: ValueMode::Corrected,
+        ..MeConfig::default()
+    };
     let processes: Vec<MeProcess> = (0..n)
         .map(|i| MeProcess::with_config(ProcessId::new(i), n, 100 + i as u64, config))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
     if loss > 0.0 {
         runner.set_loss(LossModel::probabilistic(loss));
@@ -117,12 +128,12 @@ pub fn cmd_me(args: &Args) -> String {
     let mut executed = 0;
     while executed < steps {
         executed += runner.run_steps(300).expect("run").steps;
-        for i in 0..n {
+        for (i, left) in pending.iter_mut().enumerate() {
             let p = ProcessId::new(i);
-            if pending[i] > 0 && runner.process(p).request() == RequestState::Done {
+            if *left > 0 && runner.process(p).request() == RequestState::Done {
                 runner.mark(p, "request");
                 runner.process_mut(p).request_cs();
-                pending[i] -= 1;
+                *left -= 1;
             }
         }
     }
@@ -172,11 +183,19 @@ pub fn cmd_impossibility(args: &Args) -> String {
         match cap {
             Some(c) => out.push_str(&format!(
                 "  capacity {c:>2}: gamma_0 {}\n",
-                if *feasible { "exists" } else { "does NOT exist" }
+                if *feasible {
+                    "exists"
+                } else {
+                    "does NOT exist"
+                }
             )),
             None => out.push_str(&format!(
                 "  unbounded  : gamma_0 {}\n",
-                if *feasible { "exists" } else { "does NOT exist" }
+                if *feasible {
+                    "exists"
+                } else {
+                    "does NOT exist"
+                }
             )),
         }
     }

@@ -38,8 +38,7 @@
 //! with the generalized domains.
 
 use snapstab_sim::{
-    ArbitraryState, Capacity, Move, NetworkBuilder, ProcessId, Protocol, RoundRobin, Runner,
-    SimRng,
+    ArbitraryState, Capacity, Move, NetworkBuilder, ProcessId, Protocol, RoundRobin, Runner, SimRng,
 };
 
 use crate::flag::{Flag, FlagDomain};
@@ -116,7 +115,9 @@ impl StaleConfig {
             // sender_state = domain max: p treats q as complete and sends no
             // reply, keeping the schedule tight (replies are dropped on the
             // full p→q channel anyway).
-            qp_msgs: (0..c).map(|i| (domain.max(), domain.clamp(Flag::new(i)))).collect(),
+            qp_msgs: (0..c)
+                .map(|i| (domain.max(), domain.clamp(Flag::new(i))))
+                .collect(),
             pq_msgs: (1..=c)
                 .map(|i| (domain.clamp(Flag::new(c + i)), domain.max()))
                 .collect(),
@@ -246,7 +247,10 @@ fn stale_moves(runner: &Runner<Proc, RoundRobin>, pq_budget: usize) -> Vec<Move>
         .expect("2-process link")
         .is_empty()
     {
-        moves.push(Move::Deliver { from: p1(), to: p0() });
+        moves.push(Move::Deliver {
+            from: p1(),
+            to: p0(),
+        });
     }
     if pq_budget > 0
         && !runner
@@ -255,7 +259,10 @@ fn stale_moves(runner: &Runner<Proc, RoundRobin>, pq_budget: usize) -> Vec<Move>
             .expect("2-process link")
             .is_empty()
     {
-        moves.push(Move::Deliver { from: p0(), to: p1() });
+        moves.push(Move::Deliver {
+            from: p0(),
+            to: p1(),
+        });
     }
     moves
 }
@@ -269,11 +276,17 @@ fn stale_moves(runner: &Runner<Proc, RoundRobin>, pq_budget: usize) -> Vec<Move>
 /// echo consumed. A final activation of `p` runs the A2 decision check.
 pub fn canonical_script(capacity: usize) -> Vec<Move> {
     let (d_qp, d_pq) = (
-        Move::Deliver { from: p1(), to: p0() },
-        Move::Deliver { from: p0(), to: p1() },
+        Move::Deliver {
+            from: p1(),
+            to: p0(),
+        },
+        Move::Deliver {
+            from: p0(),
+            to: p1(),
+        },
     );
     let mut script = vec![Move::Activate(p0())];
-    script.extend(std::iter::repeat(d_qp).take(capacity));
+    script.extend(std::iter::repeat_n(d_qp, capacity));
     script.push(Move::Activate(p1()));
     script.push(d_qp);
     for _ in 0..capacity {
@@ -320,10 +333,17 @@ pub fn drive_stale(config: &StaleConfig, schedule: StaleSchedule) -> StaleOutcom
                 if !applicable {
                     continue;
                 }
-                if mv == (Move::Deliver { from: p0(), to: p1() }) {
+                if mv
+                    == (Move::Deliver {
+                        from: p0(),
+                        to: p1(),
+                    })
+                {
                     pq_budget -= 1;
                 }
-                runner.execute_move(mv).expect("applicable move cannot error");
+                runner
+                    .execute_move(mv)
+                    .expect("applicable move cannot error");
                 observe(&runner, &mut max_stale_flag);
             }
         }
@@ -360,7 +380,9 @@ pub fn drive_stale(config: &StaleConfig, schedule: StaleSchedule) -> StaleOutcom
                         pq_budget -= 1;
                     }
                 }
-                runner.execute_move(mv).expect("permitted move is applicable");
+                runner
+                    .execute_move(mv)
+                    .expect("permitted move is applicable");
                 observe(&runner, &mut max_stale_flag);
             }
         }
@@ -374,7 +396,12 @@ pub fn drive_stale(config: &StaleConfig, schedule: StaleSchedule) -> StaleOutcom
     let _ = runner.run_until(200_000, |r| r.process(p0()).request() == RequestState::Done);
     let completed = runner.process(p0()).request() == RequestState::Done;
 
-    StaleOutcome { max_stale_flag, stale_decided, completed, stale_steps }
+    StaleOutcome {
+        max_stale_flag,
+        stale_decided,
+        completed,
+        stale_steps,
+    }
 }
 
 /// The worst [`StaleOutcome`] over the canonical schedule plus
@@ -384,7 +411,10 @@ pub fn max_stale(config: &StaleConfig, random_schedules: u64) -> StaleOutcome {
     for seed in 0..random_schedules {
         let r = drive_stale(config, StaleSchedule::Random { seed });
         if r.max_stale_flag > best.max_stale_flag || (r.stale_decided && !best.stale_decided) {
-            best = StaleOutcome { completed: best.completed && r.completed, ..r };
+            best = StaleOutcome {
+                completed: best.completed && r.completed,
+                ..r
+            };
         } else {
             best.completed &= r.completed;
         }
@@ -494,7 +524,11 @@ mod tests {
             let domain = FlagDomain::with_max(2 * c as u8 + 1); // 2c+2 values
             let cfg = StaleConfig::canonical(c, domain);
             let r = drive_stale(&cfg, StaleSchedule::Canonical);
-            assert!(r.stale_decided, "capacity {c}, {} values: {r:?}", domain.size());
+            assert!(
+                r.stale_decided,
+                "capacity {c}, {} values: {r:?}",
+                domain.size()
+            );
         }
     }
 

@@ -61,8 +61,13 @@ impl FlagDomain {
     /// `u8`-backed flag (`capacity > 126`).
     pub fn for_capacity(capacity: usize) -> Self {
         assert!(capacity >= 1, "channel capacity must be at least 1");
-        assert!(capacity <= 126, "flag domain overflows u8 beyond capacity 126");
-        FlagDomain { max: 2 * capacity as u8 + 2 }
+        assert!(
+            capacity <= 126,
+            "flag domain overflows u8 beyond capacity 126"
+        );
+        FlagDomain {
+            max: 2 * capacity as u8 + 2,
+        }
     }
 
     /// The largest channel capacity this domain tolerates while keeping the

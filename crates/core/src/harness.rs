@@ -6,8 +6,8 @@
 //! configuration.
 
 use snapstab_sim::{
-    ArbitraryState, Capacity, CorruptionPlan, NetworkBuilder, ProcessId, Protocol,
-    RandomScheduler, RoundRobin, Runner, SimError, SimRng,
+    ArbitraryState, Capacity, CorruptionPlan, NetworkBuilder, ProcessId, Protocol, RandomScheduler,
+    RoundRobin, Runner, SimError, SimRng,
 };
 
 use crate::idl::IdlProcess;
@@ -145,8 +145,8 @@ where
     let out = runner.run_until(max_steps, |r| {
         (0..n).all(|i| r.process(ProcessId::new(i)).request_state() == RequestState::Done)
     })?;
-    let all_done = (0..n)
-        .all(|i| runner.process(ProcessId::new(i)).request_state() == RequestState::Done);
+    let all_done =
+        (0..n).all(|i| runner.process(ProcessId::new(i)).request_state() == RequestState::Done);
     if all_done {
         Ok(out.steps)
     } else {

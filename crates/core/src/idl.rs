@@ -231,7 +231,12 @@ impl IdlProcess {
 
     /// Creates a process whose underlying PIF runs over a non-standard
     /// flag domain (capacity extension and ablations).
-    pub fn with_domain(me: ProcessId, n: usize, my_id: Id, domain: crate::flag::FlagDomain) -> Self {
+    pub fn with_domain(
+        me: ProcessId,
+        n: usize,
+        my_id: Id,
+        domain: crate::flag::FlagDomain,
+    ) -> Self {
         IdlProcess {
             pif: PifCore::with_domain(me, n, IdlQuery, 0, domain),
             idl: IdlCore::new(me, n, my_id),
@@ -241,7 +246,12 @@ impl IdlProcess {
     /// Creates a process sized for channels of capacity `capacity`
     /// (`2·capacity + 3` flag values — see [`crate::capacity`]).
     pub fn for_capacity(me: ProcessId, n: usize, my_id: Id, capacity: usize) -> Self {
-        Self::with_domain(me, n, my_id, crate::flag::FlagDomain::for_capacity(capacity))
+        Self::with_domain(
+            me,
+            n,
+            my_id,
+            crate::flag::FlagDomain::for_capacity(capacity),
+        )
     }
 
     /// The IDL variables.
@@ -293,7 +303,9 @@ impl Protocol for IdlProcess {
             acted = true;
         }
         if self.idl.action_a2(&self.pif) {
-            ctx.emit(IdlEvent::Decided { min_id: self.idl.min_id() });
+            ctx.emit(IdlEvent::Decided {
+                min_id: self.idl.min_id(),
+            });
             acted = true;
         }
         if self.pif.activate(ctx) {
@@ -347,7 +359,9 @@ mod tests {
     fn system(n: usize) -> Runner<IdlProcess, RoundRobin> {
         let idv = ids(n);
         let processes = (0..n).map(|i| IdlProcess::new(p(i), n, idv[i])).collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(1))
+            .build();
         Runner::new(processes, network, RoundRobin::new(), 5)
     }
 
@@ -360,8 +374,8 @@ mod tests {
         r.run_until(100_000, |r| r.process(p(0)).request() == RequestState::Done)
             .unwrap();
         assert_eq!(r.process(p(0)).idl().min_id(), min);
-        for q in 1..4 {
-            assert_eq!(r.process(p(0)).idl().id_of(p(q)), idv[q]);
+        for (q, &id) in idv.iter().enumerate().skip(1) {
+            assert_eq!(r.process(p(0)).idl().id_of(p(q)), id);
         }
     }
 

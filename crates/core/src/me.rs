@@ -523,12 +523,7 @@ impl Protocol for MeProcess {
         acted
     }
 
-    fn on_receive(
-        &mut self,
-        from: ProcessId,
-        msg: MeMsg,
-        ctx: &mut Context<'_, MeMsg, MeEvent>,
-    ) {
+    fn on_receive(&mut self, from: ProcessId, msg: MeMsg, ctx: &mut Context<'_, MeMsg, MeEvent>) {
         self.pif.handle_receive(from, msg, &mut self.vars, ctx);
     }
 
@@ -566,9 +561,7 @@ impl Protocol for MeProcess {
             phase: self.vars.phase,
             value: self.vars.value,
             privileges: (0..self.vars.n)
-                .map(|i| {
-                    i != self.vars.me.index() && *self.vars.privileges.get(ProcessId::new(i))
-                })
+                .map(|i| i != self.vars.me.index() && *self.vars.privileges.get(ProcessId::new(i)))
                 .collect(),
             in_cs: self.vars.in_cs,
             idl: self.vars.idl.snapshot(),
@@ -583,7 +576,9 @@ impl Protocol for MeProcess {
         self.vars.value = state.value;
         for i in 0..self.vars.n {
             if i != self.vars.me.index() {
-                self.vars.privileges.set(ProcessId::new(i), state.privileges[i]);
+                self.vars
+                    .privileges
+                    .set(ProcessId::new(i), state.privileges[i]);
             }
         }
         self.vars.in_cs = state.in_cs;
@@ -605,7 +600,9 @@ mod tests {
 
     /// Distinct ids; P1 is the leader in a 3+-process system.
     fn ids(n: usize) -> Vec<Id> {
-        (0..n).map(|i| if i == 1 { 5 } else { 100 + i as Id }).collect()
+        (0..n)
+            .map(|i| if i == 1 { 5 } else { 100 + i as Id })
+            .collect()
     }
 
     fn system_with<S: Scheduler>(
@@ -618,7 +615,9 @@ mod tests {
         let processes = (0..n)
             .map(|i| MeProcess::with_config(p(i), n, idv[i], config))
             .collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(1))
+            .build();
         Runner::new(processes, network, sched, seed)
     }
 
@@ -777,7 +776,11 @@ mod tests {
 
     #[test]
     fn paper_literal_mode_can_reach_favour_nobody() {
-        let config = MeConfig { cs_duration: 0, value_mode: ValueMode::PaperLiteral, ..MeConfig::default() };
+        let config = MeConfig {
+            cs_duration: 0,
+            value_mode: ValueMode::PaperLiteral,
+            ..MeConfig::default()
+        };
         let mut proc = MeProcess::with_config(p(0), 3, 7, config);
         proc.vars.value = 2;
         proc.vars.on_broadcast(p(2), &MeBroadcast::ExitCs);
@@ -806,10 +809,15 @@ mod tests {
 
     #[test]
     fn cs_duration_keeps_process_in_cs() {
-        let config = MeConfig { cs_duration: 3, value_mode: ValueMode::Corrected, ..MeConfig::default() };
+        let config = MeConfig {
+            cs_duration: 3,
+            value_mode: ValueMode::Corrected,
+            ..MeConfig::default()
+        };
         let mut r = system_with(3, config, RoundRobin::new(), 4);
         r.process_mut(p(1)).request_cs();
-        r.run_until(500_000, |r| r.process(p(1)).is_in_cs()).unwrap();
+        r.run_until(500_000, |r| r.process(p(1)).is_in_cs())
+            .unwrap();
         assert!(r.process(p(1)).is_in_cs());
         // The process leaves the CS after its duration elapses and is served.
         r.run_until(500_000, |r| r.process(p(1)).request() == RequestState::Done)

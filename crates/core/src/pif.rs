@@ -320,7 +320,11 @@ where
             let feedback = app.on_broadcast(from, &msg.broadcast);
             self.f_mes.set(from, feedback);
             ctx.emit(
-                PifEvent::ReceiveBrd { from, data: msg.broadcast.clone() }.into(),
+                PifEvent::ReceiveBrd {
+                    from,
+                    data: msg.broadcast.clone(),
+                }
+                .into(),
             );
         }
 
@@ -333,7 +337,11 @@ where
             if next.is_complete(domain) {
                 app.on_feedback(from, &msg.feedback);
                 ctx.emit(
-                    PifEvent::ReceiveFck { from, data: msg.feedback.clone() }.into(),
+                    PifEvent::ReceiveFck {
+                        from,
+                        data: msg.feedback.clone(),
+                    }
+                    .into(),
                 );
             }
         }
@@ -596,7 +604,11 @@ mod tests {
 
     impl Echo {
         fn new(value: u32) -> Self {
-            Echo { value, brd_seen: Vec::new(), fck_seen: Vec::new() }
+            Echo {
+                value,
+                brd_seen: Vec::new(),
+                fck_seen: Vec::new(),
+            }
         }
     }
 
@@ -616,7 +628,9 @@ mod tests {
         let processes: Vec<Proc> = (0..n)
             .map(|i| PifProcess::new(p(i), n, 0, Echo::new(100 + i as u32)))
             .collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(1))
+            .build();
         Runner::new(processes, network, RoundRobin::new(), 42)
     }
 
@@ -632,7 +646,10 @@ mod tests {
         let mut r = system(2);
         assert!(r.process_mut(p(0)).request_broadcast(7));
         assert_eq!(r.process(p(0)).request(), RequestState::Wait);
-        assert!(!r.process_mut(p(0)).request_broadcast(8), "second request refused");
+        assert!(
+            !r.process_mut(p(0)).request_broadcast(8),
+            "second request refused"
+        );
         r.execute_move(Move::Activate(p(0))).unwrap();
         assert_eq!(r.process(p(0)).request(), RequestState::In);
         assert_eq!(r.process(p(0)).core().state_of(p(1)), Flag::ZERO);
@@ -647,8 +664,14 @@ mod tests {
     fn two_process_wave_handshake_exact_steps() {
         let mut r = system(2);
         r.process_mut(p(0)).request_broadcast(7);
-        let deliver_01 = Move::Deliver { from: p(0), to: p(1) };
-        let deliver_10 = Move::Deliver { from: p(1), to: p(0) };
+        let deliver_01 = Move::Deliver {
+            from: p(0),
+            to: p(1),
+        };
+        let deliver_10 = Move::Deliver {
+            from: p(1),
+            to: p(0),
+        };
 
         for round in 0u8..4 {
             r.execute_move(Move::Activate(p(0))).unwrap(); // A1 (first round) + A2 send
@@ -697,9 +720,7 @@ mod tests {
             let mut rng = SimRng::seed_from(seed);
             snapstab_sim::CorruptionPlan::full().apply(&mut r, &mut rng);
             // Wait for the (possibly corrupted-In) computation to flush out.
-            let _ = r.run_until(100_000, |r| {
-                r.process(p(0)).request() == RequestState::Done
-            });
+            let _ = r.run_until(100_000, |r| r.process(p(0)).request() == RequestState::Done);
             // Clear app observation logs so we assert on post-request events
             // only (the corrupted computation legitimately delivers garbage;
             // snap-stabilization promises nothing about it).
@@ -709,10 +730,7 @@ mod tests {
             }
             r.process_mut(p(0)).core_mut().force_request(9);
             let out = r
-                .run_until(
-                    200_000,
-                    |r| r.process(p(0)).request() == RequestState::Done,
-                )
+                .run_until(200_000, |r| r.process(p(0)).request() == RequestState::Done)
                 .unwrap();
             assert_eq!(
                 out.stopped,
@@ -872,7 +890,11 @@ mod tests {
                 sender_state: Flag::new(200),
                 echoed_state: Flag::new(200),
             }]);
-        r.execute_move(Move::Deliver { from: p(1), to: p(0) }).unwrap();
+        r.execute_move(Move::Deliver {
+            from: p(1),
+            to: p(0),
+        })
+        .unwrap();
         assert!(r.process(p(0)).core().neig_state_of(p(1)).value() <= 4);
     }
 

@@ -110,20 +110,18 @@ where
 
     // Correctness, broadcast half: every q ≠ initiator saw receive-brd with
     // the requested data inside (start, decision].
-    verdict.broadcasts_received = (0..n)
-        .filter(|&i| i != initiator.index())
-        .all(|i| {
-            trace
-                .protocol_events_of(ProcessId::new(i))
-                .filter(|(s, _)| *s > start && *s <= decision)
-                .any(|(_, e)| {
-                    matches!(
-                        as_pif(e),
-                        Some(PifEvent::ReceiveBrd { from, data })
-                            if *from == initiator && data == expected_b
-                    )
-                })
-        });
+    verdict.broadcasts_received = (0..n).filter(|&i| i != initiator.index()).all(|i| {
+        trace
+            .protocol_events_of(ProcessId::new(i))
+            .filter(|(s, _)| *s > start && *s <= decision)
+            .any(|(_, e)| {
+                matches!(
+                    as_pif(e),
+                    Some(PifEvent::ReceiveBrd { from, data })
+                        if *from == initiator && data == expected_b
+                )
+            })
+    });
 
     // Correctness, feedback half + Decision exactness: receive-fck events
     // at the initiator inside (start, decision].
@@ -136,13 +134,11 @@ where
         })
         .collect();
 
-    verdict.feedbacks_received = (0..n)
-        .filter(|&i| i != initiator.index())
-        .all(|i| {
-            let q = ProcessId::new(i);
-            let want = expected_f(q);
-            fcks.iter().any(|(from, data)| *from == q && *data == want)
-        });
+    verdict.feedbacks_received = (0..n).filter(|&i| i != initiator.index()).all(|i| {
+        let q = ProcessId::new(i);
+        let want = expected_f(q);
+        fcks.iter().any(|(from, data)| *from == q && *data == want)
+    });
 
     let mut froms: Vec<usize> = fcks.iter().map(|(from, _)| from.index()).collect();
     froms.sort_unstable();
@@ -167,7 +163,15 @@ where
     B: Clone + std::fmt::Debug + PartialEq + 'static,
     F: Clone + std::fmt::Debug + PartialEq + 'static,
 {
-    check_pif_wave(trace, initiator, n, request_step, expected_b, expected_f, |e| Some(e))
+    check_pif_wave(
+        trace,
+        initiator,
+        n,
+        request_step,
+        expected_b,
+        expected_f,
+        |e| Some(e),
+    )
 }
 
 /// Verdict of the Specification 2 (IDs-Learning-Execution) checker.
@@ -327,7 +331,12 @@ pub fn analyze_me_trace<M: Message>(trace: &Trace<M, MeEvent>, n: usize) -> MeRe
                 }
                 Obs::CsExit(step) => {
                     if let Some((enter, genuine)) = open_enter.take() {
-                        report.intervals.push(CsInterval { p, enter, exit: step, genuine });
+                        report.intervals.push(CsInterval {
+                            p,
+                            enter,
+                            exit: step,
+                            genuine,
+                        });
                     }
                 }
                 Obs::Served(step) => {
@@ -340,7 +349,12 @@ pub fn analyze_me_trace<M: Message>(trace: &Trace<M, MeEvent>, n: usize) -> MeRe
         }
         // Trace ended mid-CS: close the interval at its entry step.
         if let Some((enter, genuine)) = open_enter {
-            report.intervals.push(CsInterval { p, enter, exit: enter, genuine });
+            report.intervals.push(CsInterval {
+                p,
+                enter,
+                exit: enter,
+                genuine,
+            });
         }
         if let Some(req) = pending_request {
             report.unserved.push((p, req));
@@ -403,22 +417,40 @@ mod tests {
     fn pif_verdict_happy_path() {
         let mut t = PTrace::new();
         t.push_marker(0, p(0), "request");
-        t.push(1, TraceEvent::Protocol { p: p(0), event: PifEvent::Started });
+        t.push(
+            1,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: PifEvent::Started,
+            },
+        );
         t.push(
             5,
             TraceEvent::Protocol {
                 p: p(1),
-                event: PifEvent::ReceiveBrd { from: p(0), data: 7 },
+                event: PifEvent::ReceiveBrd {
+                    from: p(0),
+                    data: 7,
+                },
             },
         );
         t.push(
             6,
             TraceEvent::Protocol {
                 p: p(0),
-                event: PifEvent::ReceiveFck { from: p(1), data: 101 },
+                event: PifEvent::ReceiveFck {
+                    from: p(1),
+                    data: 101,
+                },
             },
         );
-        t.push(7, TraceEvent::Protocol { p: p(0), event: PifEvent::Decided });
+        t.push(
+            7,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: PifEvent::Decided,
+            },
+        );
         let v = check_bare_pif_wave(&t, p(0), 2, 0, &7, |_| 101);
         assert!(v.holds(), "{v:?}");
         assert_eq!(v.wave_steps(), Some(6));
@@ -427,15 +459,30 @@ mod tests {
     #[test]
     fn pif_verdict_detects_missing_broadcast() {
         let mut t = PTrace::new();
-        t.push(1, TraceEvent::Protocol { p: p(0), event: PifEvent::Started });
+        t.push(
+            1,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: PifEvent::Started,
+            },
+        );
         t.push(
             6,
             TraceEvent::Protocol {
                 p: p(0),
-                event: PifEvent::ReceiveFck { from: p(1), data: 101 },
+                event: PifEvent::ReceiveFck {
+                    from: p(1),
+                    data: 101,
+                },
             },
         );
-        t.push(7, TraceEvent::Protocol { p: p(0), event: PifEvent::Decided });
+        t.push(
+            7,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: PifEvent::Decided,
+            },
+        );
         let v = check_bare_pif_wave(&t, p(0), 2, 0, &7, |_| 101);
         assert!(!v.broadcasts_received);
         assert!(!v.holds());
@@ -444,22 +491,40 @@ mod tests {
     #[test]
     fn pif_verdict_detects_wrong_feedback_data() {
         let mut t = PTrace::new();
-        t.push(1, TraceEvent::Protocol { p: p(0), event: PifEvent::Started });
+        t.push(
+            1,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: PifEvent::Started,
+            },
+        );
         t.push(
             2,
             TraceEvent::Protocol {
                 p: p(1),
-                event: PifEvent::ReceiveBrd { from: p(0), data: 7 },
+                event: PifEvent::ReceiveBrd {
+                    from: p(0),
+                    data: 7,
+                },
             },
         );
         t.push(
             3,
             TraceEvent::Protocol {
                 p: p(0),
-                event: PifEvent::ReceiveFck { from: p(1), data: 666 },
+                event: PifEvent::ReceiveFck {
+                    from: p(1),
+                    data: 666,
+                },
             },
         );
-        t.push(4, TraceEvent::Protocol { p: p(0), event: PifEvent::Decided });
+        t.push(
+            4,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: PifEvent::Decided,
+            },
+        );
         let v = check_bare_pif_wave(&t, p(0), 2, 0, &7, |_| 101);
         assert!(!v.feedbacks_received);
         assert!(!v.decision_exact);
@@ -468,13 +533,22 @@ mod tests {
     #[test]
     fn pif_verdict_detects_duplicate_feedbacks() {
         let mut t = PTrace::new();
-        t.push(1, TraceEvent::Protocol { p: p(0), event: PifEvent::Started });
+        t.push(
+            1,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: PifEvent::Started,
+            },
+        );
         for q in [1usize, 2] {
             t.push(
                 2 + q as u64,
                 TraceEvent::Protocol {
                     p: p(q),
-                    event: PifEvent::ReceiveBrd { from: p(0), data: 7 },
+                    event: PifEvent::ReceiveBrd {
+                        from: p(0),
+                        data: 7,
+                    },
                 },
             );
         }
@@ -483,11 +557,20 @@ mod tests {
                 s,
                 TraceEvent::Protocol {
                     p: p(0),
-                    event: PifEvent::ReceiveFck { from: p(from), data: 101 },
+                    event: PifEvent::ReceiveFck {
+                        from: p(from),
+                        data: 101,
+                    },
                 },
             );
         }
-        t.push(9, TraceEvent::Protocol { p: p(0), event: PifEvent::Decided });
+        t.push(
+            9,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: PifEvent::Decided,
+            },
+        );
         let v = check_bare_pif_wave(&t, p(0), 3, 0, &7, |_| 101);
         assert!(v.feedbacks_received);
         assert!(!v.decision_exact, "three fck events for two neighbors");
@@ -518,9 +601,24 @@ mod tests {
 
     #[test]
     fn cs_interval_overlap_geometry() {
-        let a = CsInterval { p: p(0), enter: 5, exit: 9, genuine: true };
-        let b = CsInterval { p: p(1), enter: 9, exit: 12, genuine: true };
-        let c = CsInterval { p: p(2), enter: 10, exit: 10, genuine: true };
+        let a = CsInterval {
+            p: p(0),
+            enter: 5,
+            exit: 9,
+            genuine: true,
+        };
+        let b = CsInterval {
+            p: p(1),
+            enter: 9,
+            exit: 12,
+            genuine: true,
+        };
+        let c = CsInterval {
+            p: p(2),
+            enter: 10,
+            exit: 10,
+            genuine: true,
+        };
         assert!(a.overlaps(&b), "shared endpoint counts");
         assert!(!a.overlaps(&c));
         assert!(b.overlaps(&c));
@@ -533,13 +631,49 @@ mod tests {
         let mut t = MTrace::new();
         // P0: genuine request -> started -> CS [10, 12] -> served.
         t.push_marker(1, p(0), "request");
-        t.push(2, TraceEvent::Protocol { p: p(0), event: MeEvent::Started });
-        t.push(10, TraceEvent::Protocol { p: p(0), event: MeEvent::CsEnter });
-        t.push(12, TraceEvent::Protocol { p: p(0), event: MeEvent::CsExit });
-        t.push(12, TraceEvent::Protocol { p: p(0), event: MeEvent::Served });
+        t.push(
+            2,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: MeEvent::Started,
+            },
+        );
+        t.push(
+            10,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: MeEvent::CsEnter,
+            },
+        );
+        t.push(
+            12,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: MeEvent::CsExit,
+            },
+        );
+        t.push(
+            12,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: MeEvent::Served,
+            },
+        );
         // P1: spurious CS (no request, corrupted Request=In) at [11, 11].
-        t.push(11, TraceEvent::Protocol { p: p(1), event: MeEvent::CsEnter });
-        t.push(11, TraceEvent::Protocol { p: p(1), event: MeEvent::CsExit });
+        t.push(
+            11,
+            TraceEvent::Protocol {
+                p: p(1),
+                event: MeEvent::CsEnter,
+            },
+        );
+        t.push(
+            11,
+            TraceEvent::Protocol {
+                p: p(1),
+                event: MeEvent::CsExit,
+            },
+        );
         let r = analyze_me_trace(&t, 3);
         assert_eq!(r.intervals.len(), 2);
         assert!(r.exclusivity_holds(), "spurious overlap is not a violation");
@@ -554,10 +688,34 @@ mod tests {
         let mut t = MTrace::new();
         for (i, enter, exit) in [(0usize, 10u64, 14u64), (1, 12, 13)] {
             t.push_marker(1, p(i), "request");
-            t.push(2, TraceEvent::Protocol { p: p(i), event: MeEvent::Started });
-            t.push(enter, TraceEvent::Protocol { p: p(i), event: MeEvent::CsEnter });
-            t.push(exit, TraceEvent::Protocol { p: p(i), event: MeEvent::CsExit });
-            t.push(exit, TraceEvent::Protocol { p: p(i), event: MeEvent::Served });
+            t.push(
+                2,
+                TraceEvent::Protocol {
+                    p: p(i),
+                    event: MeEvent::Started,
+                },
+            );
+            t.push(
+                enter,
+                TraceEvent::Protocol {
+                    p: p(i),
+                    event: MeEvent::CsEnter,
+                },
+            );
+            t.push(
+                exit,
+                TraceEvent::Protocol {
+                    p: p(i),
+                    event: MeEvent::CsExit,
+                },
+            );
+            t.push(
+                exit,
+                TraceEvent::Protocol {
+                    p: p(i),
+                    event: MeEvent::Served,
+                },
+            );
         }
         let r = analyze_me_trace(&t, 2);
         assert_eq!(r.genuine_overlaps.len(), 1);
@@ -576,7 +734,13 @@ mod tests {
     #[test]
     fn me_report_closes_interval_at_trace_end() {
         let mut t = MTrace::new();
-        t.push(4, TraceEvent::Protocol { p: p(0), event: MeEvent::CsEnter });
+        t.push(
+            4,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: MeEvent::CsEnter,
+            },
+        );
         let r = analyze_me_trace(&t, 1);
         assert_eq!(r.intervals.len(), 1);
         assert_eq!(r.intervals[0].exit, 4);
@@ -586,8 +750,9 @@ mod tests {
     #[test]
     fn flush_checker_sees_junk() {
         use snapstab_sim::{Capacity, NetworkBuilder};
-        let mut net: Network<u32> =
-            NetworkBuilder::new(3).capacity(Capacity::Bounded(1)).build();
+        let mut net: Network<u32> = NetworkBuilder::new(3)
+            .capacity(Capacity::Bounded(1))
+            .build();
         assert!(channels_flushed(&net, p(0), |m| *m == 666));
         net.channel_mut(p(1), p(0)).unwrap().preload([666]);
         assert!(!channels_flushed(&net, p(0), |m| *m == 666));

@@ -93,12 +93,21 @@ impl<P: Protocol> AdversarialConstruction<P> {
             .enumerate()
             .map(|(r, w)| w.local_moves[r].clone())
             .collect();
-        AdversarialConstruction { n, initial_states, channel_preload, schedules }
+        AdversarialConstruction {
+            n,
+            initial_states,
+            channel_preload,
+            schedules,
+        }
     }
 
     /// The largest pre-load any single channel needs.
     pub fn max_channel_load(&self) -> usize {
-        self.channel_preload.values().map(Vec::len).max().unwrap_or(0)
+        self.channel_preload
+            .values()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total pre-loaded messages.
@@ -120,7 +129,10 @@ impl<P: Protocol> AdversarialConstruction<P> {
                 if violations.is_empty() {
                     Feasibility::Feasible
                 } else {
-                    Feasibility::Infeasible { violations, bound: c }
+                    Feasibility::Infeasible {
+                        violations,
+                        bound: c,
+                    }
                 }
             }
         }
@@ -140,13 +152,21 @@ impl<P: Protocol> AdversarialConstruction<P> {
             self.feasibility(runner.network().capacity())
         {
             let (from, to, required) = violations[0];
-            return Err(SimError::CapacityExceeded { from, to, required, bound });
+            return Err(SimError::CapacityExceeded {
+                from,
+                to,
+                required,
+                bound,
+            });
         }
         for (r, state) in self.initial_states.iter().enumerate() {
             runner.process_mut(ProcessId::new(r)).restore(state.clone());
         }
         for (&(from, to), msgs) in &self.channel_preload {
-            let ch = runner.network_mut().channel_mut(from, to).expect("valid link");
+            let mut ch = runner
+                .network_mut()
+                .channel_mut(from, to)
+                .expect("valid link");
             ch.clear();
             ch.preload(msgs.iter().cloned());
         }
@@ -186,7 +206,10 @@ mod tests {
         // P0 and P1 replay their own winning windows; P2 follows P0's world.
         let c = AdversarialConstruction::compose(&[&w0, &w1, &w0]);
         assert_eq!(c.n, 3);
-        assert!(c.max_channel_load() >= 4, "a wave needs ≥4 echoes per channel");
+        assert!(
+            c.max_channel_load() >= 4,
+            "a wave needs ≥4 echoes per channel"
+        );
         assert!(c.feasibility(Capacity::Unbounded).is_feasible());
         match c.feasibility(Capacity::Bounded(1)) {
             Feasibility::Infeasible { violations, bound } => {
@@ -197,7 +220,9 @@ mod tests {
             Feasibility::Feasible => panic!("must be infeasible at capacity 1"),
         }
         // A bound at least as large as the max load is feasible.
-        assert!(c.feasibility(Capacity::Bounded(c.max_channel_load())).is_feasible());
+        assert!(c
+            .feasibility(Capacity::Bounded(c.max_channel_load()))
+            .is_feasible());
     }
 
     #[test]
@@ -205,8 +230,12 @@ mod tests {
         let w0 = idl_witness(0);
         let w1 = idl_witness(1);
         let c = AdversarialConstruction::compose(&[&w0, &w1, &w0]);
-        let processes = (0..3).map(|i| IdlProcess::new(p(i), 3, 10 + i as u64)).collect();
-        let network = NetworkBuilder::new(3).capacity(Capacity::Bounded(1)).build();
+        let processes = (0..3)
+            .map(|i| IdlProcess::new(p(i), 3, 10 + i as u64))
+            .collect();
+        let network = NetworkBuilder::new(3)
+            .capacity(Capacity::Bounded(1))
+            .build();
         let mut runner = Runner::new(processes, network, RoundRobin::new(), 0);
         let err = c.install(&mut runner).unwrap_err();
         assert!(matches!(err, SimError::CapacityExceeded { .. }));
@@ -219,7 +248,9 @@ mod tests {
         let w0 = idl_witness(0);
         let w1 = idl_witness(1);
         let c = AdversarialConstruction::compose(&[&w0, &w1, &w0]);
-        let processes = (0..3).map(|i| IdlProcess::new(p(i), 3, 10 + i as u64)).collect();
+        let processes = (0..3)
+            .map(|i| IdlProcess::new(p(i), 3, 10 + i as u64))
+            .collect();
         let network = NetworkBuilder::new(3).capacity(Capacity::Unbounded).build();
         let mut runner = Runner::new(processes, network, RoundRobin::new(), 0);
         c.install(&mut runner).unwrap();

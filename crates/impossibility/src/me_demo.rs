@@ -94,7 +94,11 @@ impl DoubleWinDemo {
     }
 
     fn config(&self) -> MeConfig {
-        MeConfig { cs_duration: self.cs_duration, value_mode: ValueMode::Corrected, ..MeConfig::default() }
+        MeConfig {
+            cs_duration: self.cs_duration,
+            value_mode: ValueMode::Corrected,
+            ..MeConfig::default()
+        }
     }
 
     fn clean_runner(&self, capacity: Capacity) -> Runner<MeProcess, RoundRobin> {
@@ -151,25 +155,25 @@ impl DoubleWinDemo {
 
         // Protagonists replay their own wins; bystanders follow E_a.
         let windows: Vec<&WitnessWindow<MeProcess>> = (0..self.n)
-            .map(|r| {
-                if r == self.b.index() {
-                    &wb
-                } else {
-                    &wa
-                }
-            })
+            .map(|r| if r == self.b.index() { &wb } else { &wa })
             .collect();
         let construction = AdversarialConstruction::compose(&windows);
 
         let mut feasibility: Vec<(Option<usize>, bool)> = probe_capacities
             .iter()
             .map(|&c| {
-                (Some(c), construction.feasibility(Capacity::Bounded(c)).is_feasible())
+                (
+                    Some(c),
+                    construction.feasibility(Capacity::Bounded(c)).is_feasible(),
+                )
             })
             .collect();
         feasibility.push((
             None,
-            matches!(construction.feasibility(Capacity::Unbounded), Feasibility::Feasible),
+            matches!(
+                construction.feasibility(Capacity::Unbounded),
+                Feasibility::Feasible
+            ),
         ));
 
         // Install γ₀ on an unbounded network and replay.
@@ -234,7 +238,10 @@ mod tests {
         let demo = DoubleWinDemo::default();
         let w = demo.record_witness(demo.a).unwrap();
         assert!(w.total_messages() > 0);
-        assert!(w.max_mes_seq_len() > 1, "a win needs several messages per channel");
+        assert!(
+            w.max_mes_seq_len() > 1,
+            "a win needs several messages per channel"
+        );
         // The protagonist's schedule contains deliveries from the leader.
         assert!(w.local_moves[demo.a.index()]
             .iter()

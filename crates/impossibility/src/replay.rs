@@ -67,19 +67,18 @@ where
 
     loop {
         let mut progressed = false;
-        for r in 0..n {
+        for (r, cursor) in cursors.iter_mut().enumerate() {
             let schedule = &construction.schedules[r];
-            if cursors[r] >= schedule.len() {
+            if *cursor >= schedule.len() {
                 continue;
             }
-            let mv = local_to_move(ProcessId::new(r), schedule[cursors[r]]);
-            cursors[r] += 1;
+            let mv = local_to_move(ProcessId::new(r), schedule[*cursor]);
+            *cursor += 1;
             runner.execute_move(mv)?;
             steps += 1;
             progressed = true;
             if bad_step.is_none() {
-                let config: Vec<P::State> =
-                    runner.processes().iter().map(P::snapshot).collect();
+                let config: Vec<P::State> = runner.processes().iter().map(P::snapshot).collect();
                 if bad.matches(&config) {
                     bad_step = Some(runner.step_count());
                 }
@@ -96,7 +95,11 @@ where
         .zip(&cursors)
         .map(|(s, &c)| s.len() - c)
         .sum();
-    Ok(ReplayReport { steps, bad_factor_step: bad_step, moves_remaining })
+    Ok(ReplayReport {
+        steps,
+        bad_factor_step: bad_step,
+        moves_remaining,
+    })
 }
 
 /// Replays with protagonist-priority interleaving: first drives
@@ -126,16 +129,14 @@ where
     let mut steps = 0u64;
     let mut bad_step = None;
 
-    let check_bad =
-        |runner: &Runner<P, S>, bad_step: &mut Option<u64>| {
-            if bad_step.is_none() {
-                let config: Vec<P::State> =
-                    runner.processes().iter().map(P::snapshot).collect();
-                if bad.matches(&config) {
-                    *bad_step = Some(runner.step_count());
-                }
+    let check_bad = |runner: &Runner<P, S>, bad_step: &mut Option<u64>| {
+        if bad_step.is_none() {
+            let config: Vec<P::State> = runner.processes().iter().map(P::snapshot).collect();
+            if bad.matches(&config) {
+                *bad_step = Some(runner.step_count());
             }
-        };
+        }
+    };
 
     // Phase 1: drive each protagonist (in order) until it is inside the CS
     // or its schedule ends.
@@ -155,12 +156,12 @@ where
     // Phase 2: finish every schedule round-robin.
     loop {
         let mut progressed = false;
-        for r in 0..n {
-            if cursors[r] >= construction.schedules[r].len() {
+        for (r, cursor) in cursors.iter_mut().enumerate() {
+            if *cursor >= construction.schedules[r].len() {
                 continue;
             }
-            let mv = local_to_move(ProcessId::new(r), construction.schedules[r][cursors[r]]);
-            cursors[r] += 1;
+            let mv = local_to_move(ProcessId::new(r), construction.schedules[r][*cursor]);
+            *cursor += 1;
             runner.execute_move(mv)?;
             steps += 1;
             progressed = true;
@@ -177,7 +178,11 @@ where
         .zip(&cursors)
         .map(|(s, &c)| s.len() - c)
         .sum();
-    Ok(ReplayReport { steps, bad_factor_step: bad_step, moves_remaining })
+    Ok(ReplayReport {
+        steps,
+        bad_factor_step: bad_step,
+        moves_remaining,
+    })
 }
 
 #[cfg(test)]
@@ -186,9 +191,17 @@ mod tests {
 
     #[test]
     fn report_violation_flag() {
-        let r = ReplayReport { steps: 10, bad_factor_step: None, moves_remaining: 0 };
+        let r = ReplayReport {
+            steps: 10,
+            bad_factor_step: None,
+            moves_remaining: 0,
+        };
         assert!(!r.violated());
-        let r = ReplayReport { steps: 10, bad_factor_step: Some(5), moves_remaining: 2 };
+        let r = ReplayReport {
+            steps: 10,
+            bad_factor_step: Some(5),
+            moves_remaining: 2,
+        };
         assert!(r.violated());
     }
 
@@ -198,7 +211,10 @@ mod tests {
         assert_eq!(local_to_move(p, LocalMove::Activate), Move::Activate(p));
         assert_eq!(
             local_to_move(p, LocalMove::DeliverFrom(ProcessId::new(0))),
-            Move::Deliver { from: ProcessId::new(0), to: p }
+            Move::Deliver {
+                from: ProcessId::new(0),
+                to: p
+            }
         );
     }
 }

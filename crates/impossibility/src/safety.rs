@@ -59,24 +59,34 @@ mod tests {
         let mut procs = vec![mk(0), mk(1), mk(2)];
         let bad = MutualExclusionBad;
         let config = |ps: &[MeProcess]| ps.iter().map(|p| p.snapshot()).collect::<Vec<_>>();
-        assert!(!<MutualExclusionBad as BadFactor<MeProcess>>::matches(&bad, &config(&procs)));
+        assert!(!<MutualExclusionBad as BadFactor<MeProcess>>::matches(
+            &bad,
+            &config(&procs)
+        ));
 
         // Put one process in the CS via its state projection.
         let mut s0 = procs[0].snapshot();
         s0.in_cs = Some(3);
         procs[0].restore(s0);
-        assert!(!<MutualExclusionBad as BadFactor<MeProcess>>::matches(&bad, &config(&procs)));
+        assert!(!<MutualExclusionBad as BadFactor<MeProcess>>::matches(
+            &bad,
+            &config(&procs)
+        ));
 
         let mut s2 = procs[2].snapshot();
         s2.in_cs = Some(1);
         procs[2].restore(s2);
-        assert!(<MutualExclusionBad as BadFactor<MeProcess>>::matches(&bad, &config(&procs)));
+        assert!(<MutualExclusionBad as BadFactor<MeProcess>>::matches(
+            &bad,
+            &config(&procs)
+        ));
         let _ = SimRng::seed_from(0); // silence unused-import lints in some cfgs
     }
 
     #[test]
     fn describe_mentions_cs() {
         let bad = MutualExclusionBad;
-        assert!(<MutualExclusionBad as BadFactor<MeProcess>>::describe(&bad).contains("critical section"));
+        assert!(<MutualExclusionBad as BadFactor<MeProcess>>::describe(&bad)
+            .contains("critical section"));
     }
 }

@@ -166,7 +166,11 @@ mod tests {
         assert_eq!(w.n, 3);
         // During a complete wave, P0 received at least 4 messages from each
         // neighbor (the four echoes).
-        assert!(w.mes_seq_for(p(1), p(0)).len() >= 4, "{:?}", w.mes_seq_for(p(1), p(0)).len());
+        assert!(
+            w.mes_seq_for(p(1), p(0)).len() >= 4,
+            "{:?}",
+            w.mes_seq_for(p(1), p(0)).len()
+        );
         assert!(w.mes_seq_for(p(2), p(0)).len() >= 4);
         assert!(w.max_mes_seq_len() >= 4);
         assert!(w.total_messages() >= 16);

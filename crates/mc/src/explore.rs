@@ -79,7 +79,11 @@ fn all_pq_msgs(params: Params) -> Vec<MsgPq> {
     let mut v = Vec::new();
     for sender in 0..params.m {
         for echoed in 0..params.m {
-            v.push(MsgPq { sender, echoed, genuine: false });
+            v.push(MsgPq {
+                sender,
+                echoed,
+                genuine: false,
+            });
         }
     }
     v
@@ -90,7 +94,12 @@ fn all_qp_msgs(params: Params) -> Vec<MsgQp> {
     let mut v = Vec::new();
     for sender in 0..params.m {
         for echoed in 0..params.m {
-            v.push(MsgQp { sender, echoed, echo_genuine: false, fb_genuine: false });
+            v.push(MsgQp {
+                sender,
+                echoed,
+                echo_genuine: false,
+                fb_genuine: false,
+            });
         }
     }
     v
@@ -151,7 +160,11 @@ fn sample_seed(params: Params, rng: &mut SimRng) -> Config {
     let qp_len = rng.gen_range(0..params.cap + 1);
     let mut pq = Fifo::empty();
     for _ in 0..pq_len {
-        let m = MsgPq { sender: flag(rng), echoed: flag(rng), genuine: false };
+        let m = MsgPq {
+            sender: flag(rng),
+            echoed: flag(rng),
+            genuine: false,
+        };
         let _ = pq.push(m, params.cap);
     }
     let mut qp = Fifo::empty();
@@ -377,7 +390,13 @@ mod tests {
     #[test]
     fn sampled_seeds_are_in_the_seed_space() {
         let params = Params::new(5, 2);
-        for s in seeds_of(&SeedSet::Sampled { count: 50, rng_seed: 3 }, params) {
+        for s in seeds_of(
+            &SeedSet::Sampled {
+                count: 50,
+                rng_seed: 3,
+            },
+            params,
+        ) {
             assert_eq!(s.req_p, ReqP::In);
             assert_eq!(s.state_p, 0);
             assert!(!s.g_neig_q && !s.g_fmes_q);

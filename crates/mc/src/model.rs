@@ -92,8 +92,11 @@ pub fn apply(config: &Config, mv: McMove, params: Params) -> Option<Step> {
                 c.req_p = ReqP::Done; // the decision
             } else {
                 // Retransmit to q (drop-on-full).
-                let msg =
-                    MsgPq { sender: c.state_p, echoed: c.neig_p, genuine: true };
+                let msg = MsgPq {
+                    sender: c.state_p,
+                    echoed: c.neig_p,
+                    genuine: true,
+                };
                 let _ = c.pq.push(msg, params.cap);
             }
         }
@@ -169,8 +172,11 @@ pub fn apply(config: &Config, mv: McMove, params: Params) -> Option<Step> {
             }
             // (4) reply while q is still waving.
             if msg.sender < max {
-                let reply =
-                    MsgPq { sender: c.state_p, echoed: c.neig_p, genuine: true };
+                let reply = MsgPq {
+                    sender: c.state_p,
+                    echoed: c.neig_p,
+                    genuine: true,
+                };
                 let _ = c.pq.push(reply, params.cap);
             }
         }
@@ -231,7 +237,10 @@ mod tests {
         c.state_p = 4;
         let s = apply(&c, McMove::ActivateP, params()).expect("applicable");
         assert_eq!(s.next.req_p, ReqP::Done);
-        assert!(s.violation.is_none(), "the decision itself is not the violation");
+        assert!(
+            s.violation.is_none(),
+            "the decision itself is not the violation"
+        );
     }
 
     #[test]
@@ -263,7 +272,10 @@ mod tests {
         }]);
         let s = apply(&c, McMove::DeliverQp, params()).expect("applicable");
         assert_eq!(s.next.state_p, 1);
-        assert!(s.violation.is_none(), "non-completing increments carry no verdict");
+        assert!(
+            s.violation.is_none(),
+            "non-completing increments carry no verdict"
+        );
         assert_eq!(s.next.pq.len(), 1, "replied: sender 0 < max");
     }
 
@@ -316,7 +328,11 @@ mod tests {
         let mut c = quiet();
         c.req_q = ReqQ::Done;
         c.neig_q = 0;
-        c.pq = Fifo::from_slice(&[MsgPq { sender: 3, echoed: 4, genuine: true }]);
+        c.pq = Fifo::from_slice(&[MsgPq {
+            sender: 3,
+            echoed: 4,
+            genuine: true,
+        }]);
         let s = apply(&c, McMove::DeliverPq, params()).expect("applicable");
         assert_eq!(s.next.neig_q, 3);
         assert!(s.next.g_neig_q);
@@ -335,16 +351,27 @@ mod tests {
         c.neig_q = 3;
         c.g_neig_q = false;
         c.g_fmes_q = false;
-        c.pq = Fifo::from_slice(&[MsgPq { sender: 3, echoed: 4, genuine: true }]);
+        c.pq = Fifo::from_slice(&[MsgPq {
+            sender: 3,
+            echoed: 4,
+            genuine: true,
+        }]);
         let s = apply(&c, McMove::DeliverPq, params()).expect("applicable");
         assert!(s.next.g_neig_q, "NeigState is now genuine-derived");
-        assert!(!s.next.g_fmes_q, "but F-Mes still derives from the stale brd");
+        assert!(
+            !s.next.g_fmes_q,
+            "but F-Mes still derives from the stale brd"
+        );
     }
 
     #[test]
     fn loss_moves_discard_heads() {
         let mut c = quiet();
-        c.pq = Fifo::from_slice(&[MsgPq { sender: 0, echoed: 0, genuine: false }]);
+        c.pq = Fifo::from_slice(&[MsgPq {
+            sender: 0,
+            echoed: 0,
+            genuine: false,
+        }]);
         let s = apply(&c, McMove::LosePq, params()).expect("applicable");
         assert!(s.next.pq.is_empty());
         assert!(apply(&s.next, McMove::LosePq, params()).is_none());
@@ -361,10 +388,17 @@ mod tests {
         }]);
         // p replies to sender 0 < max, but we refill qp first? qp is empty
         // after pop; the reply goes to pq. Fill pq to the brim instead.
-        c.pq = Fifo::from_slice(&[MsgPq { sender: 0, echoed: 0, genuine: false }]);
+        c.pq = Fifo::from_slice(&[MsgPq {
+            sender: 0,
+            echoed: 0,
+            genuine: false,
+        }]);
         let s = apply(&c, McMove::DeliverQp, params()).expect("applicable");
         assert_eq!(s.next.pq.len(), 1, "reply dropped on full channel (cap 1)");
-        assert!(!s.next.pq.head().expect("head").genuine, "the stale head survived");
+        assert!(
+            !s.next.pq.head().expect("head").genuine,
+            "the stale head survived"
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl Params {
     /// `cap` is not 1 or 2 (larger capacities are out of exhaustive reach).
     pub fn new(m: u8, cap: usize) -> Self {
         assert!(m >= 2, "flag domain needs at least two values");
-        assert!((1..=2).contains(&cap), "exhaustive checking supports capacity 1 or 2");
+        assert!(
+            (1..=2).contains(&cap),
+            "exhaustive checking supports capacity 1 or 2"
+        );
         Params { m, cap }
     }
 

@@ -65,7 +65,10 @@ pub struct Fifo<M: Copy> {
 impl<M: Copy> Fifo<M> {
     /// The empty FIFO.
     pub fn empty() -> Self {
-        Fifo { slots: [None, None], len: 0 }
+        Fifo {
+            slots: [None, None],
+            len: 0,
+        }
     }
 
     /// Builds from a head-first slice.
@@ -166,8 +169,7 @@ fn unpack_msg_pq(v: u64, params: Params) -> MsgPq {
 }
 
 fn pack_msg_qp(m: &MsgQp, params: Params) -> u64 {
-    ((u64::from(m.sender) * u64::from(params.m) + u64::from(m.echoed)) * 2
-        + m.echo_genuine as u64)
+    ((u64::from(m.sender) * u64::from(params.m) + u64::from(m.echoed)) * 2 + m.echo_genuine as u64)
         * 2
         + m.fb_genuine as u64
 }
@@ -235,11 +237,15 @@ impl Config {
         push(self.g_neig_q as u64, 2);
         push(self.g_fmes_q as u64, 2);
         push(
-            pack_fifo(&self.pq, params.pq_msg_kinds(), |msg| pack_msg_pq(msg, params)),
+            pack_fifo(&self.pq, params.pq_msg_kinds(), |msg| {
+                pack_msg_pq(msg, params)
+            }),
             params.channel_kinds(params.pq_msg_kinds()),
         );
         push(
-            pack_fifo(&self.qp, params.qp_msg_kinds(), |msg| pack_msg_qp(msg, params)),
+            pack_fifo(&self.qp, params.qp_msg_kinds(), |msg| {
+                pack_msg_qp(msg, params)
+            }),
             params.channel_kinds(params.qp_msg_kinds()),
         );
         v
@@ -322,8 +328,16 @@ mod tests {
     fn pack_unpack_with_messages() {
         let params = Params::new(7, 2);
         let pq = Fifo::from_slice(&[
-            MsgPq { sender: 6, echoed: 0, genuine: false },
-            MsgPq { sender: 3, echoed: 5, genuine: true },
+            MsgPq {
+                sender: 6,
+                echoed: 0,
+                genuine: false,
+            },
+            MsgPq {
+                sender: 3,
+                echoed: 5,
+                genuine: true,
+            },
         ]);
         let qp = Fifo::from_slice(&[MsgQp {
             sender: 1,

@@ -99,8 +99,14 @@ mod tests {
     #[test]
     fn termination_holds_on_a_sampled_subspace() {
         let params = Params::paper();
-        let (report, reachable) =
-            explore_collect(params, &SeedSet::Sampled { count: 300, rng_seed: 9 }, 5_000_000);
+        let (report, reachable) = explore_collect(
+            params,
+            &SeedSet::Sampled {
+                count: 300,
+                rng_seed: 9,
+            },
+            5_000_000,
+        );
         assert!(report.verified_safe(), "{report:?}");
         assert!(report.exhausted);
         let term = possible_termination(params, &reachable);
@@ -115,7 +121,11 @@ mod tests {
         let params = Params::paper();
         let mut seeds = Vec::new();
         for neig_p in 0..5u8 {
-            for req_q in [crate::state::ReqQ::Wait, crate::state::ReqQ::In, crate::state::ReqQ::Done] {
+            for req_q in [
+                crate::state::ReqQ::Wait,
+                crate::state::ReqQ::In,
+                crate::state::ReqQ::Done,
+            ] {
                 for state_q in 0..5u8 {
                     for neig_q in 0..5u8 {
                         seeds.push(crate::state::Config {
@@ -134,8 +144,7 @@ mod tests {
                 }
             }
         }
-        let (report, reachable) =
-            explore_collect(params, &SeedSet::Explicit(seeds), 10_000_000);
+        let (report, reachable) = explore_collect(params, &SeedSet::Explicit(seeds), 10_000_000);
         assert!(report.exhausted, "{report:?}");
         assert!(report.verified_safe(), "{report:?}");
         let term = possible_termination(params, &reachable);

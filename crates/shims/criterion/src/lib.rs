@@ -1,0 +1,287 @@
+//! Offline shim of the [criterion](https://crates.io/crates/criterion)
+//! benchmarking surface used by this workspace.
+//!
+//! The build environment has no registry access, so this in-tree crate
+//! provides a compatible subset: `Criterion`, `criterion_group!` /
+//! `criterion_main!`, benchmark groups, `Bencher::iter` /
+//! `Bencher::iter_batched`, `BenchmarkId` and `black_box`. Measurements are
+//! real wall-clock timings (median over samples), printed one line per
+//! benchmark in a `name ... time: X ns/iter` format; there is no HTML
+//! report or statistical regression analysis.
+//!
+//! Knobs (environment variables):
+//! * `BENCH_SAMPLE_MS` — target measurement time per benchmark in
+//!   milliseconds (default 120).
+//! * `BENCH_SAMPLES` — number of samples the median is taken over
+//!   (default 15).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How per-iteration setup output is sized relative to the routine (shape
+/// compatibility only; the shim times the routine alone either way).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small setup output: batches many iterations together.
+    SmallInput,
+    /// Large setup output: one setup per iteration.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs timing loops and records per-iteration cost.
+pub struct Bencher {
+    sample_time: Duration,
+    samples: usize,
+    /// Median ns per iteration of the last `iter*` call.
+    result_ns: f64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            sample_time: Duration::from_millis(env_u64("BENCH_SAMPLE_MS", 120)),
+            samples: env_u64("BENCH_SAMPLES", 15) as usize,
+            result_ns: 0.0,
+        }
+    }
+
+    /// Times `routine` repeatedly; the reported figure is the median over
+    /// samples of mean-ns-per-iteration.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: how many iterations fit in one sample slot.
+        let per_sample = self.sample_time / self.samples.max(1) as u32;
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= per_sample / 4 || iters_per_sample >= 1 << 40 {
+                if elapsed.as_nanos() > 0 {
+                    let target = per_sample.as_nanos() as u64;
+                    let scale = (target / elapsed.as_nanos().max(1) as u64).clamp(1, 1 << 20);
+                    iters_per_sample = (iters_per_sample * scale).max(1);
+                }
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+        let mut sample_means = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples.max(1) {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64;
+            sample_means.push(ns / iters_per_sample as f64);
+        }
+        sample_means.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = sample_means[sample_means.len() / 2];
+    }
+
+    /// Times `routine` on fresh input from `setup` each iteration; setup
+    /// cost is excluded from the timing.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut per_iter_ns: Vec<f64> = Vec::new();
+        let budget = self.sample_time;
+        while total < budget || iters < 10 {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            let d = start.elapsed();
+            black_box(out);
+            total += d;
+            per_iter_ns.push(d.as_nanos() as f64);
+            iters += 1;
+            if iters >= 100_000 {
+                break;
+            }
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = per_iter_ns[per_iter_ns.len() / 2];
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine borrows the input.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        size: BatchSize,
+    ) {
+        self.iter_batched(setup, |mut input| routine(&mut input), size);
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(name: &str, ns: f64) {
+    println!("{name:<58} time: {:>12}/iter  ({ns:.1} ns)", human_ns(ns));
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, b.result_ns);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Compatibility no-op (the shim sizes samples from wall-clock budget).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Compatibility no-op.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with an input parameter.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.result_ns);
+        self
+    }
+
+    /// Runs one benchmark without an input parameter.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.result_ns);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("BENCH_SAMPLE_MS", "5");
+        let mut b = Bencher::new();
+        b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+        assert!(b.result_ns >= 0.0);
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.result_ns >= 0.0);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p=0.1").to_string(), "p=0.1");
+    }
+}

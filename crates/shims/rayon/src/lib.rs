@@ -1,0 +1,256 @@
+//! Offline shim of the [rayon](https://crates.io/crates/rayon) data-parallel
+//! surface used by this workspace.
+//!
+//! The build environment has no registry access, so this in-tree crate
+//! provides the subset the experiment drivers rely on: `par_iter()` /
+//! `into_par_iter()` on slices, vectors and ranges, with `map` + `collect`
+//! / `for_each` / `sum`. Work is executed on `std::thread::scope` workers
+//! (one per available core, capped by item count) and `collect` preserves
+//! input order, so a parallel driver over per-trial seeds produces exactly
+//! the same `Vec` as the sequential loop it replaces.
+//!
+//! Set `RAYON_NUM_THREADS=1` to force sequential execution.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The traits user code imports (`use rayon::prelude::*`).
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+fn worker_count(items: usize) -> usize {
+    let env = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    env.unwrap_or(hw).min(items).max(1)
+}
+
+/// Runs `f(i)` for every index in `0..len` on a scoped worker pool and
+/// returns the results in index order.
+fn run_indexed<R: Send>(len: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let workers = worker_count(len);
+    if workers <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let out: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                let r = f(i);
+                *out[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// A parallel iterator: a materialized list of items plus the parallel
+/// consumer methods.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Lazily mapped parallel iterator.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// Types convertible into a [`ParIter`] by value.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Converts into a parallel iterator over owned items.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// Types offering a borrowing parallel iterator (`par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed element type.
+    type Item: Send + 'a;
+    /// A parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_into_par_iter!(u32, u64, usize, i32, i64);
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Parallel consumer methods shared by [`ParIter`] and [`ParMap`].
+pub trait ParallelIterator: Sized {
+    /// The element type produced.
+    type Item: Send;
+
+    /// Evaluates the pipeline, returning results in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps each element through `f` in parallel.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> ParMap<Self::Item, F>
+    where
+        Self: IntoItems,
+    {
+        ParMap {
+            items: self.into_items(),
+            f,
+        }
+    }
+
+    /// Collects results in input order.
+    fn collect<C: FromParallel<Self::Item>>(self) -> C {
+        C::from_ordered(self.run())
+    }
+
+    /// Runs `f` on every element.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F)
+    where
+        Self::Item: Sync,
+    {
+        for item in self.run() {
+            f(item);
+        }
+    }
+
+    /// Sums the elements.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+}
+
+/// Internal: pipelines that can surrender their source items.
+#[doc(hidden)]
+pub trait IntoItems: ParallelIterator {
+    fn into_items(self) -> Vec<Self::Item>;
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoItems for ParIter<T> {
+    fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParallelIterator for ParMap<T, F> {
+    type Item = R;
+    fn run(self) -> Vec<R> {
+        let slots: Vec<Mutex<Option<T>>> = self
+            .items
+            .into_iter()
+            .map(|t| Mutex::new(Some(t)))
+            .collect();
+        let f = &self.f;
+        run_indexed(slots.len(), move |i| {
+            let item = slots[i]
+                .lock()
+                .expect("item slot poisoned")
+                .take()
+                .expect("item taken once");
+            f(item)
+        })
+    }
+}
+
+/// Collection types buildable from ordered parallel results.
+pub trait FromParallel<T> {
+    /// Builds the collection from results already in input order.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallel<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..100).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1u32, 2, 3, 4];
+        let out: Vec<u32> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4, 5]);
+        assert_eq!(data.len(), 4);
+    }
+
+    #[test]
+    fn sum_works() {
+        let s: u64 = (1u64..=10)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| x)
+            .sum();
+        assert_eq!(s, 55);
+    }
+
+    #[test]
+    fn single_item_runs_on_one_worker() {
+        // worker_count caps at the item count, so this exercises the
+        // sequential path without touching the process environment (env
+        // mutation would race with sibling tests' workers reading it).
+        let out: Vec<usize> = (0usize..1).into_par_iter().map(|i| i + 41).collect();
+        assert_eq!(out, vec![41]);
+    }
+}

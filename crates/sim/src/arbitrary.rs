@@ -56,7 +56,9 @@ impl<T: ArbitraryState> ArbitraryState for Vec<T> {
     /// A short arbitrary vector (length 0..4) — long forged payloads add
     /// nothing to the adversary model.
     fn arbitrary(rng: &mut SimRng) -> Self {
-        (0..rng.gen_range(0..4)).map(|_| T::arbitrary(rng)).collect()
+        (0..rng.gen_range(0..4))
+            .map(|_| T::arbitrary(rng))
+            .collect()
     }
 }
 
@@ -163,10 +165,13 @@ impl CorruptionPlan {
                     .bound()
                     .unwrap_or(usize::MAX)
                     .min(self.max_preload_per_channel);
-                let count = if cap_limit == 0 { 0 } else { rng.gen_range(0..cap_limit + 1) };
-                let forged: Vec<P::Msg> =
-                    (0..count).map(|_| P::Msg::arbitrary(rng)).collect();
-                let ch = runner
+                let count = if cap_limit == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..cap_limit + 1)
+                };
+                let forged: Vec<P::Msg> = (0..count).map(|_| P::Msg::arbitrary(rng)).collect();
+                let mut ch = runner
                     .network_mut()
                     .channel_mut(from, to)
                     .expect("link enumerated from network");

@@ -147,6 +147,14 @@ impl<M> Channel<M> {
         self.queue.iter()
     }
 
+    /// The in-flight messages as a pair of borrowed slices, head first
+    /// (the ring buffer may wrap, hence two). Lets callers inspect channel
+    /// contents without cloning the queue — prefer this or
+    /// [`Channel::iter`] over [`Channel::contents`] on hot paths.
+    pub fn as_slices(&self) -> (&[M], &[M]) {
+        self.queue.as_slices()
+    }
+
     /// Removes every in-flight message.
     pub fn clear(&mut self) {
         self.queue.clear();
@@ -173,7 +181,9 @@ impl<M> Channel<M> {
 }
 
 impl<M: Clone> Channel<M> {
-    /// A copy of the in-flight messages, head first.
+    /// A copy of the in-flight messages, head first. Allocates a fresh
+    /// `Vec` per call; use [`Channel::iter`] or [`Channel::as_slices`]
+    /// when a borrow is enough.
     pub fn contents(&self) -> Vec<M> {
         self.queue.iter().cloned().collect()
     }
@@ -241,6 +251,23 @@ mod tests {
         assert_eq!(ch.contents(), vec![1, 2, 3]);
         // But regular sends still respect the bound.
         assert!(!ch.offer(4).is_enqueued());
+    }
+
+    #[test]
+    fn as_slices_covers_queue_head_first() {
+        let mut ch = Channel::new(Capacity::Unbounded);
+        for i in 0..6 {
+            ch.offer(i);
+        }
+        // Wrap the ring buffer: pop a few, push a few.
+        ch.pop();
+        ch.pop();
+        ch.offer(6);
+        ch.offer(7);
+        let (a, b) = ch.as_slices();
+        let joined: Vec<i32> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(joined, ch.contents());
+        assert_eq!(joined.len(), ch.len());
     }
 
     #[test]

@@ -104,7 +104,6 @@ mod tests {
         assert_eq!(ns.len(), 3);
         ctx.send(ProcessId::new(0), 9);
         ctx.emit("evt");
-        drop(ctx);
         assert_eq!(sends, vec![(ProcessId::new(0), 9)]);
         assert_eq!(events, vec!["evt"]);
     }

@@ -89,7 +89,10 @@ mod tests {
             id: ProcessId::new(9),
             n: 3,
         };
-        assert_eq!(e.to_string(), "unknown process P9 in a system of 3 processes");
+        assert_eq!(
+            e.to_string(),
+            "unknown process P9 in a system of 3 processes"
+        );
 
         let e = SimError::EmptyChannel {
             from: ProcessId::new(0),
@@ -109,7 +112,9 @@ mod tests {
         let e = SimError::StepBudgetExhausted { budget: 100 };
         assert!(e.to_string().contains("100"));
 
-        let e = SimError::SelfChannel { id: ProcessId::new(4) };
+        let e = SimError::SelfChannel {
+            id: ProcessId::new(4),
+        };
         assert!(e.to_string().contains("P4"));
     }
 

@@ -20,9 +20,10 @@ use crate::rng::SimRng;
 /// survives the loss model and finds room in the channel is guaranteed to be
 /// delivered eventually (the scheduler is fair), mirroring the paper's
 /// "any message that is never lost is received in a finite time".
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub enum LossModel {
     /// No message is ever lost.
+    #[default]
     Reliable,
     /// Each send is independently lost with probability `p`.
     Probabilistic {
@@ -107,13 +108,7 @@ impl LossModel {
 
     /// Returns true if the `send_index`-th send on link `from → to` should
     /// be lost in transit.
-    pub fn loses(
-        &self,
-        from: ProcessId,
-        to: ProcessId,
-        send_index: u64,
-        rng: &mut SimRng,
-    ) -> bool {
+    pub fn loses(&self, from: ProcessId, to: ProcessId, send_index: u64, rng: &mut SimRng) -> bool {
         match self {
             LossModel::Reliable => false,
             LossModel::Probabilistic { p } => rng.gen_bool(*p),
@@ -121,16 +116,8 @@ impl LossModel {
             LossModel::Scripted { drops } => drops
                 .iter()
                 .any(|&(f, t, i)| f == from && t == to && i == send_index),
-            LossModel::Partition { blocked } => {
-                blocked.iter().any(|&(f, t)| f == from && t == to)
-            }
+            LossModel::Partition { blocked } => blocked.iter().any(|&(f, t)| f == from && t == to),
         }
-    }
-}
-
-impl Default for LossModel {
-    fn default() -> Self {
-        LossModel::Reliable
     }
 }
 

@@ -6,7 +6,6 @@
 
 use std::fmt::Write as _;
 
-
 use crate::trace::{Trace, TraceEvent};
 
 /// Options for [`render_timeline`].
@@ -67,7 +66,14 @@ where
                 if !acted && !options.show_idle_activations {
                     continue;
                 }
-                (p.index(), if *acted { "act".to_string() } else { "act (idle)".to_string() })
+                (
+                    p.index(),
+                    if *acted {
+                        "act".to_string()
+                    } else {
+                        "act (idle)".to_string()
+                    },
+                )
             }
             TraceEvent::Sent { from, to, fate, .. } => {
                 if !options.show_sends {
@@ -134,11 +140,44 @@ mod tests {
     fn sample() -> Trace<u8, &'static str> {
         let mut t = Trace::new();
         t.push_marker(0, p(0), "request");
-        t.push(1, TraceEvent::Activated { p: p(0), acted: true });
-        t.push(1, TraceEvent::Sent { from: p(0), to: p(1), msg: 7, fate: SendFate::Enqueued });
-        t.push(2, TraceEvent::Delivered { from: p(0), to: p(1), msg: 7 });
-        t.push(2, TraceEvent::Protocol { p: p(1), event: "ReceiveBrd" });
-        t.push(3, TraceEvent::Activated { p: p(1), acted: false });
+        t.push(
+            1,
+            TraceEvent::Activated {
+                p: p(0),
+                acted: true,
+            },
+        );
+        t.push(
+            1,
+            TraceEvent::Sent {
+                from: p(0),
+                to: p(1),
+                msg: 7,
+                fate: SendFate::Enqueued,
+            },
+        );
+        t.push(
+            2,
+            TraceEvent::Delivered {
+                from: p(0),
+                to: p(1),
+                msg: 7,
+            },
+        );
+        t.push(
+            2,
+            TraceEvent::Protocol {
+                p: p(1),
+                event: "ReceiveBrd",
+            },
+        );
+        t.push(
+            3,
+            TraceEvent::Activated {
+                p: p(1),
+                acted: false,
+            },
+        );
         t.push(4, TraceEvent::Corrupted { p: p(0) });
         t
     }
@@ -171,7 +210,10 @@ mod tests {
 
     #[test]
     fn timeline_truncates_at_max_entries() {
-        let opts = RenderOptions { max_entries: 2, ..RenderOptions::default() };
+        let opts = RenderOptions {
+            max_entries: 2,
+            ..RenderOptions::default()
+        };
         let s = render_timeline(&sample(), 2, &opts);
         assert!(s.contains("more entries"));
     }

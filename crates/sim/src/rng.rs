@@ -3,9 +3,19 @@
 //! Every stochastic choice in the simulator (random scheduling, message
 //! loss, corrupted-configuration sampling, randomized baseline protocols)
 //! flows through [`SimRng`], so a run is a pure function of its seeds.
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman–Vigna) seeded
+//! through SplitMix64, so the simulator has no external dependency and the
+//! stream for a given seed is stable across platforms and compilers.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+/// SplitMix64 step: used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A seeded pseudo-random generator used throughout the simulator.
 ///
@@ -17,14 +27,20 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
@@ -32,7 +48,41 @@ impl SimRng {
     /// (scheduler, loss model, corruption) their own streams so adding a
     /// draw in one place does not perturb the others.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from(self.inner.gen())
+        SimRng::seed_from(self.next_u64())
+    }
+
+    /// The xoshiro256++ core step.
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Unbiased uniform draw below `bound` (Lemire's widening-multiply
+    /// rejection method).
+    fn gen_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform draw from a range.
@@ -41,18 +91,23 @@ impl SimRng {
     ///
     /// Panics if the range is empty.
     pub fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize {
-        self.inner.gen_range(range)
+        assert!(range.start < range.end, "cannot sample an empty range");
+        let span = (range.end - range.start) as u64;
+        range.start + self.gen_below(span) as usize
     }
 
     /// Uniform `u64`.
     pub fn gen_u64(&mut self) -> u64 {
-        self.inner.gen()
+        self.next_u64()
     }
 
     /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
     pub fn gen_bool(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen_bool(p)
+        // 53 random bits mapped to [0, 1); strict `<` makes p = 0.0 always
+        // false, and `x/2^53 < 1.0` makes p = 1.0 always true.
+        let x = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        x < p
     }
 
     /// Picks a uniformly random element of a non-empty slice.
@@ -122,5 +177,22 @@ mod tests {
             let v = r.gen_range(3..17);
             assert!((3..17).contains(&v));
         }
+    }
+
+    #[test]
+    fn gen_range_covers_span() {
+        let mut r = SimRng::seed_from(13);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[r.gen_range(0..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values should appear");
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut r = SimRng::seed_from(17);
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "got {heads}");
     }
 }

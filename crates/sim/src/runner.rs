@@ -64,6 +64,18 @@ pub struct Runner<P: Protocol, S> {
     crashed: Vec<bool>,
     send_buf: Vec<(ProcessId, P::Msg)>,
     event_buf: Vec<P::Event>,
+    /// Persistent scheduler view, updated incrementally: per-process
+    /// enabled flags refresh only for processes marked dirty since the
+    /// last step, and the link list resyncs only when the network's
+    /// live-link version moved. A steady-state step allocates nothing.
+    view_buf: SystemView,
+    /// Processes whose `has_enabled_action` must be re-read (stack).
+    dirty: Vec<ProcessId>,
+    /// Dedup flags for `dirty`.
+    dirty_flag: Vec<bool>,
+    /// Network link version `view_buf` was last synced against; `None`
+    /// forces a resync (initially, and after a crash changes the filter).
+    links_seen: Option<u64>,
 }
 
 impl<P: Protocol, S: Scheduler> Runner<P, S> {
@@ -92,6 +104,37 @@ impl<P: Protocol, S: Scheduler> Runner<P, S> {
             crashed: vec![false; n],
             send_buf: Vec::new(),
             event_buf: Vec::new(),
+            view_buf: SystemView::new(n),
+            dirty: (0..n).map(ProcessId::new).collect(),
+            dirty_flag: vec![true; n],
+            links_seen: None,
+        }
+    }
+
+    /// Marks process `p`'s cached enabled flag stale.
+    fn mark_dirty(&mut self, p: ProcessId) {
+        let i = p.index();
+        if i < self.dirty_flag.len() && !self.dirty_flag[i] {
+            self.dirty_flag[i] = true;
+            self.dirty.push(p);
+        }
+    }
+
+    /// Brings the persistent [`SystemView`] buffer up to date: re-reads
+    /// the enabled flag of each dirty process and resyncs the link list if
+    /// the network's live-link set changed. O(dirty + changed-links).
+    fn refresh_view(&mut self) {
+        let version = self.network.links_version();
+        if self.links_seen != Some(version) {
+            self.view_buf
+                .sync_links(self.network.non_empty_links(), &self.crashed);
+            self.links_seen = Some(version);
+        }
+        while let Some(p) = self.dirty.pop() {
+            let i = p.index();
+            self.dirty_flag[i] = false;
+            let enabled = !self.crashed[i] && self.processes[i].has_enabled_action();
+            self.view_buf.set_enabled(i, enabled);
         }
     }
 
@@ -124,7 +167,10 @@ impl<P: Protocol, S: Scheduler> Runner<P, S> {
     }
 
     /// Exclusive access to process `p` (request injection, corruption).
+    /// Invalidates `p`'s cached enabled flag, since the caller may change
+    /// any variable feeding its guards.
     pub fn process_mut(&mut self, p: ProcessId) -> &mut P {
+        self.mark_dirty(p);
         &mut self.processes[p.index()]
     }
 
@@ -170,6 +216,10 @@ impl<P: Protocol, S: Scheduler> Runner<P, S> {
     /// undelivered, and nothing it would have sent appears.
     pub fn crash(&mut self, p: ProcessId) {
         self.crashed[p.index()] = true;
+        // The crash disables p and removes every link into it from the
+        // scheduler's view.
+        self.mark_dirty(p);
+        self.links_seen = None;
         if self.record_trace {
             self.trace.push_marker(self.step, p, "crash");
         }
@@ -181,22 +231,12 @@ impl<P: Protocol, S: Scheduler> Runner<P, S> {
     }
 
     /// The scheduler's view of the current configuration (crashed
-    /// processes are never activated nor delivered to).
-    pub fn view(&self) -> SystemView {
-        SystemView {
-            enabled: self
-                .processes
-                .iter()
-                .enumerate()
-                .map(|(i, proc)| !self.crashed[i] && proc.has_enabled_action())
-                .collect(),
-            non_empty_links: self
-                .network
-                .non_empty_links()
-                .into_iter()
-                .filter(|(_, to)| !self.crashed[to.index()])
-                .collect(),
-        }
+    /// processes are never activated nor delivered to). Returns the
+    /// runner's persistent incrementally-maintained buffer after bringing
+    /// it up to date — no allocation, O(changed-state) work.
+    pub fn view(&mut self) -> &SystemView {
+        self.refresh_view();
+        &self.view_buf
     }
 
     /// True if no internal action is enabled (at a live process) and no
@@ -217,9 +257,16 @@ impl<P: Protocol, S: Scheduler> Runner<P, S> {
         for (i, proc) in self.processes.iter_mut().enumerate() {
             proc.corrupt(rng);
             if self.record_trace {
-                self.trace
-                    .push(self.step, TraceEvent::Corrupted { p: ProcessId::new(i) });
+                self.trace.push(
+                    self.step,
+                    TraceEvent::Corrupted {
+                        p: ProcessId::new(i),
+                    },
+                );
             }
+        }
+        for i in 0..self.processes.len() {
+            self.mark_dirty(ProcessId::new(i));
         }
     }
 
@@ -246,15 +293,23 @@ impl<P: Protocol, S: Scheduler> Runner<P, S> {
                 }
             };
             if self.record_trace {
-                self.trace
-                    .push(self.step, TraceEvent::Sent { from: me, to, msg, fate });
+                self.trace.push(
+                    self.step,
+                    TraceEvent::Sent {
+                        from: me,
+                        to,
+                        msg,
+                        fate,
+                    },
+                );
             }
         }
         // Record protocol events.
         for event in self.event_buf.drain(..) {
             self.stats.protocol_events += 1;
             if self.record_trace {
-                self.trace.push(self.step, TraceEvent::Protocol { p: me, event });
+                self.trace
+                    .push(self.step, TraceEvent::Protocol { p: me, event });
             }
         }
     }
@@ -267,8 +322,8 @@ impl<P: Protocol, S: Scheduler> Runner<P, S> {
     /// Returns [`SimError::EmptyChannel`] if a strict scripted scheduler
     /// demanded an impossible delivery.
     pub fn step(&mut self) -> Result<Option<Move>, SimError> {
-        let view = self.view();
-        let Some(mv) = self.scheduler.next_move(&view, &mut self.rng) else {
+        self.refresh_view();
+        let Some(mv) = self.scheduler.pick(&self.view_buf, &mut self.rng) else {
             return Ok(None);
         };
         self.execute_move(mv)?;
@@ -307,9 +362,11 @@ impl<P: Protocol, S: Scheduler> Runner<P, S> {
                     self.stats.effective_activations += 1;
                 }
                 if self.record_trace {
-                    self.trace.push(self.step, TraceEvent::Activated { p, acted });
+                    self.trace
+                        .push(self.step, TraceEvent::Activated { p, acted });
                 }
                 self.commit_context_effects(p);
+                self.mark_dirty(p);
             }
             Move::Deliver { from, to } => {
                 let msg = self.network.deliver(from, to)?;
@@ -317,7 +374,11 @@ impl<P: Protocol, S: Scheduler> Runner<P, S> {
                 if self.record_trace {
                     self.trace.push(
                         self.step,
-                        TraceEvent::Delivered { from, to, msg: msg.clone() },
+                        TraceEvent::Delivered {
+                            from,
+                            to,
+                            msg: msg.clone(),
+                        },
                     );
                 }
                 {
@@ -332,6 +393,7 @@ impl<P: Protocol, S: Scheduler> Runner<P, S> {
                     self.processes[to.index()].on_receive(from, msg, &mut ctx);
                 }
                 self.commit_context_effects(to);
+                self.mark_dirty(to);
             }
         }
         Ok(())
@@ -357,9 +419,14 @@ impl<P: Protocol, S: Scheduler> Runner<P, S> {
         let out = self.run_steps(max_steps)?;
         match out.stopped {
             StopCondition::Quiescent | StopCondition::SchedulerDone if self.is_quiescent() => {
-                Ok(RunOutcome { steps: out.steps, stopped: StopCondition::Quiescent })
+                Ok(RunOutcome {
+                    steps: out.steps,
+                    stopped: StopCondition::Quiescent,
+                })
             }
-            StopCondition::StepsExhausted => Err(SimError::StepBudgetExhausted { budget: max_steps }),
+            StopCondition::StepsExhausted => {
+                Err(SimError::StepBudgetExhausted { budget: max_steps })
+            }
             _ => Ok(out),
         }
     }
@@ -389,12 +456,18 @@ impl<P: Protocol, S: Scheduler> Runner<P, S> {
                 Some(_) => {
                     steps += 1;
                     if pred(self) {
-                        return Ok(RunOutcome { steps, stopped: StopCondition::Predicate });
+                        return Ok(RunOutcome {
+                            steps,
+                            stopped: StopCondition::Predicate,
+                        });
                     }
                 }
             }
         }
-        Ok(RunOutcome { steps, stopped: StopCondition::StepsExhausted })
+        Ok(RunOutcome {
+            steps,
+            stopped: StopCondition::StepsExhausted,
+        })
     }
 }
 
@@ -440,7 +513,10 @@ mod tests {
         assert_eq!(
             t.count(|e| matches!(
                 e,
-                TraceEvent::Protocol { event: PingEvent::Got(_), .. }
+                TraceEvent::Protocol {
+                    event: PingEvent::Got(_),
+                    ..
+                }
             )),
             2
         );
@@ -489,8 +565,14 @@ mod tests {
     #[test]
     fn scripted_strict_error_on_empty_delivery() {
         let processes = vec![PingProcess::new(p(0), 2, 0), PingProcess::new(p(1), 2, 0)];
-        let network = NetworkBuilder::new(2).capacity(Capacity::Bounded(1)).build();
-        let sched = ScriptedScheduler::new(vec![Move::Deliver { from: p(0), to: p(1) }]).strict();
+        let network = NetworkBuilder::new(2)
+            .capacity(Capacity::Bounded(1))
+            .build();
+        let sched = ScriptedScheduler::new(vec![Move::Deliver {
+            from: p(0),
+            to: p(1),
+        }])
+        .strict();
         let mut r = Runner::new(processes, network, sched, 0);
         assert!(matches!(r.step(), Err(SimError::EmptyChannel { .. })));
     }
@@ -498,7 +580,9 @@ mod tests {
     #[test]
     fn random_scheduler_also_reaches_quiescence() {
         let processes = (0..3).map(|i| PingProcess::new(p(i), 3, 2)).collect();
-        let network = NetworkBuilder::new(3).capacity(Capacity::Bounded(1)).build();
+        let network = NetworkBuilder::new(3)
+            .capacity(Capacity::Bounded(1))
+            .build();
         let mut r = Runner::new(processes, network, RandomScheduler::new(), 11);
         let out = r.run_until_quiescent(10_000).unwrap();
         assert!(out.is_quiescent());
@@ -508,7 +592,9 @@ mod tests {
     fn determinism_same_seed_same_trace() {
         let run = |seed| {
             let processes = (0..3).map(|i| PingProcess::new(p(i), 3, 2)).collect();
-            let network = NetworkBuilder::new(3).capacity(Capacity::Bounded(1)).build();
+            let network = NetworkBuilder::new(3)
+                .capacity(Capacity::Bounded(1))
+                .build();
             let mut r = Runner::new(processes, network, RandomScheduler::new(), seed);
             r.set_loss(LossModel::probabilistic(0.2));
             r.run_steps(200).unwrap();
@@ -523,7 +609,11 @@ mod tests {
         let mut r = ping_system(2, 1, Capacity::Bounded(1));
         let mut rng = SimRng::seed_from(3);
         r.corrupt_all_processes(&mut rng);
-        assert_eq!(r.trace().count(|e| matches!(e, TraceEvent::Corrupted { .. })), 2);
+        assert_eq!(
+            r.trace()
+                .count(|e| matches!(e, TraceEvent::Corrupted { .. })),
+            2
+        );
     }
 
     #[test]
@@ -549,6 +639,54 @@ mod tests {
         r.run_until_quiescent(100).unwrap();
         assert!(r.trace().is_empty());
         assert!(r.stats().deliveries > 0, "stats still collected");
+    }
+
+    #[test]
+    fn harness_channel_edits_are_visible_to_the_scheduler() {
+        // Budget 0: no process ever has an enabled action or sends.
+        let mut r = ping_system(2, 0, Capacity::Bounded(1));
+        assert!(r.is_quiescent());
+        assert_eq!(r.step().unwrap(), None);
+        // Preload a message behind the runner's back (fault injection):
+        // the cached view must pick it up via the network link version.
+        r.network_mut()
+            .channel_mut(p(0), p(1))
+            .unwrap()
+            .preload([PingMsg::Ping(9)]);
+        assert!(!r.is_quiescent());
+        assert_eq!(
+            r.step().unwrap(),
+            Some(Move::Deliver {
+                from: p(0),
+                to: p(1)
+            })
+        );
+        assert!(r.is_quiescent());
+    }
+
+    #[test]
+    fn crash_hides_activations_and_deliveries() {
+        let mut r = ping_system(2, 0, Capacity::Bounded(1));
+        r.network_mut()
+            .channel_mut(p(0), p(1))
+            .unwrap()
+            .preload([PingMsg::Ping(1)]);
+        r.crash(p(1));
+        // The only potential move was a delivery to the crashed process.
+        assert_eq!(r.step().unwrap(), None);
+        assert!(r.view().is_quiescent());
+        assert!(r.is_crashed(p(1)));
+    }
+
+    #[test]
+    fn cached_view_tracks_request_injection() {
+        let mut r = ping_system(2, 1, Capacity::Bounded(1));
+        // Prime the cache while nothing has happened yet.
+        let quiescent_before = r.view().activation_count();
+        assert_eq!(quiescent_before, 2, "both pingers start enabled");
+        r.run_until_quiescent(100).unwrap();
+        assert_eq!(r.view().activation_count(), 0);
+        assert!(r.view().is_quiescent());
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //! [`RoundRobin`] is deterministically weakly fair; [`RandomScheduler`] is
 //! fair with probability 1. [`ScriptedScheduler`] replays an exact move
 //! sequence and is used by the Figure 1 and Theorem 1 reproductions.
+//!
+//! Schedulers select by *index* over the applicable moves — activations in
+//! id order, then deliveries in row-major link order — through
+//! [`SystemView::nth_move`], so a step never materializes the move list.
+//! The view itself is a persistent buffer the runner updates incrementally
+//! (see [`crate::Runner`]); a scheduling decision is allocation-free.
 
 use crate::id::ProcessId;
 use crate::rng::SimRng;
@@ -32,43 +38,165 @@ pub enum Move {
 
 /// What the scheduler can see when picking a move: which processes have
 /// enabled internal actions, and which channels are non-empty.
-#[derive(Clone, Debug)]
+///
+/// The applicable moves are indexed `0..move_count()`: first the enabled
+/// processes in id order, then the non-empty links in row-major order —
+/// the same order [`SystemView::applicable_moves`] materializes, so
+/// index-based and list-based selection agree move for move.
+#[derive(Clone, Debug, Default)]
 pub struct SystemView {
     /// `enabled[i]` is true if process `i` has an enabled internal action.
-    pub enabled: Vec<bool>,
-    /// All `(from, to)` links whose channel holds at least one message.
-    pub non_empty_links: Vec<(ProcessId, ProcessId)>,
+    enabled: Vec<bool>,
+    /// The ids with `enabled[i] == true`, kept sorted.
+    enabled_ids: Vec<ProcessId>,
+    /// All `(from, to)` links whose channel holds at least one message,
+    /// sorted in row-major order.
+    links: Vec<(ProcessId, ProcessId)>,
 }
 
 impl SystemView {
-    /// All applicable moves, activations first, in id order.
-    pub fn applicable_moves(&self) -> Vec<Move> {
-        let mut moves: Vec<Move> = self
-            .enabled
+    /// An all-quiescent view of `n` processes (the runner's starting
+    /// buffer).
+    pub fn new(n: usize) -> Self {
+        SystemView {
+            enabled: vec![false; n],
+            enabled_ids: Vec::new(),
+            links: Vec::new(),
+        }
+    }
+
+    /// Builds a view from raw parts: per-process enabled flags and the
+    /// non-empty links (sorted and deduplicated here, so any order is
+    /// accepted).
+    pub fn from_parts(
+        enabled: Vec<bool>,
+        mut non_empty_links: Vec<(ProcessId, ProcessId)>,
+    ) -> Self {
+        non_empty_links.sort_unstable();
+        non_empty_links.dedup();
+        let enabled_ids = enabled
             .iter()
             .enumerate()
             .filter(|(_, &e)| e)
-            .map(|(i, _)| Move::Activate(ProcessId::new(i)))
+            .map(|(i, _)| ProcessId::new(i))
             .collect();
-        moves.extend(
-            self.non_empty_links
-                .iter()
-                .map(|&(from, to)| Move::Deliver { from, to }),
-        );
-        moves
+        SystemView {
+            enabled,
+            enabled_ids,
+            links: non_empty_links,
+        }
+    }
+
+    /// Number of processes in the view.
+    pub fn n(&self) -> usize {
+        self.enabled.len()
+    }
+
+    /// True if process `p` has an enabled internal action (false for ids
+    /// out of range).
+    pub fn is_enabled(&self, p: ProcessId) -> bool {
+        self.enabled.get(p.index()).copied().unwrap_or(false)
+    }
+
+    /// Per-process enabled flags, in id order.
+    pub fn enabled_flags(&self) -> &[bool] {
+        &self.enabled
+    }
+
+    /// The processes with enabled internal actions, in id order.
+    pub fn enabled_ids(&self) -> &[ProcessId] {
+        &self.enabled_ids
+    }
+
+    /// All `(from, to)` links whose channel holds at least one message, in
+    /// row-major order.
+    pub fn non_empty_links(&self) -> &[(ProcessId, ProcessId)] {
+        &self.links
+    }
+
+    /// True if the channel `from → to` holds at least one message.
+    pub fn has_link(&self, from: ProcessId, to: ProcessId) -> bool {
+        self.links.binary_search(&(from, to)).is_ok()
+    }
+
+    /// Number of applicable activations.
+    pub fn activation_count(&self) -> usize {
+        self.enabled_ids.len()
+    }
+
+    /// Number of applicable deliveries.
+    pub fn delivery_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of applicable moves.
+    pub fn move_count(&self) -> usize {
+        self.enabled_ids.len() + self.links.len()
+    }
+
+    /// The `i`-th applicable move: activations first in id order, then
+    /// deliveries in row-major link order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= move_count()`.
+    pub fn nth_move(&self, i: usize) -> Move {
+        let acts = self.enabled_ids.len();
+        if i < acts {
+            Move::Activate(self.enabled_ids[i])
+        } else {
+            let (from, to) = self.links[i - acts];
+            Move::Deliver { from, to }
+        }
+    }
+
+    /// All applicable moves, activations first, in id order. Materializes
+    /// a fresh `Vec` — schedulers use [`SystemView::nth_move`] instead;
+    /// this remains for harnesses and exhaustive exploration.
+    pub fn applicable_moves(&self) -> Vec<Move> {
+        (0..self.move_count()).map(|i| self.nth_move(i)).collect()
     }
 
     /// True if no move is applicable: the system is quiescent.
     pub fn is_quiescent(&self) -> bool {
-        self.non_empty_links.is_empty() && self.enabled.iter().all(|&e| !e)
+        self.links.is_empty() && self.enabled_ids.is_empty()
+    }
+
+    /// Sets process `i`'s enabled flag, maintaining the sorted id list.
+    /// O(1) when the flag is unchanged.
+    pub(crate) fn set_enabled(&mut self, i: usize, enabled: bool) {
+        if self.enabled[i] == enabled {
+            return;
+        }
+        self.enabled[i] = enabled;
+        let p = ProcessId::new(i);
+        match self.enabled_ids.binary_search(&p) {
+            Ok(pos) if !enabled => {
+                self.enabled_ids.remove(pos);
+            }
+            Err(pos) if enabled => {
+                self.enabled_ids.insert(pos, p);
+            }
+            _ => {}
+        }
+    }
+
+    /// Replaces the link list with `live`, dropping links whose receiver
+    /// has crashed. Reuses the buffer's capacity — allocation-free once
+    /// warm.
+    pub(crate) fn sync_links(&mut self, live: &[(ProcessId, ProcessId)], crashed: &[bool]) {
+        self.links.clear();
+        self.links
+            .extend(live.iter().copied().filter(|(_, to)| !crashed[to.index()]));
     }
 }
 
 /// Chooses the next step of an execution.
 pub trait Scheduler {
-    /// Picks one applicable move, or `None` to end the execution (a
-    /// scheduler must return `None` if no move is applicable).
-    fn next_move(&mut self, view: &SystemView, rng: &mut SimRng) -> Option<Move>;
+    /// Picks one applicable move by index over the view, or `None` to end
+    /// the execution (a scheduler must return `None` if no move is
+    /// applicable). Implementations must not allocate on this path.
+    fn pick(&mut self, view: &SystemView, rng: &mut SimRng) -> Option<Move>;
 }
 
 /// Deterministic, weakly fair scheduler: cycles through all potential moves
@@ -88,12 +216,12 @@ impl RoundRobin {
 }
 
 impl Scheduler for RoundRobin {
-    fn next_move(&mut self, view: &SystemView, _rng: &mut SimRng) -> Option<Move> {
-        let moves = view.applicable_moves();
-        if moves.is_empty() {
+    fn pick(&mut self, view: &SystemView, _rng: &mut SimRng) -> Option<Move> {
+        let total = view.move_count();
+        if total == 0 {
             return None;
         }
-        let pick = moves[self.cursor % moves.len()];
+        let pick = view.nth_move(self.cursor % total);
         self.cursor = self.cursor.wrapping_add(1);
         Some(pick)
     }
@@ -132,35 +260,34 @@ impl Default for RandomScheduler {
 }
 
 impl Scheduler for RandomScheduler {
-    fn next_move(&mut self, view: &SystemView, rng: &mut SimRng) -> Option<Move> {
-        let activations: Vec<Move> = view
-            .enabled
-            .iter()
-            .enumerate()
-            .filter(|(_, &e)| e)
-            .map(|(i, _)| Move::Activate(ProcessId::new(i)))
-            .collect();
-        let deliveries: Vec<Move> = view
-            .non_empty_links
-            .iter()
-            .map(|&(from, to)| Move::Deliver { from, to })
-            .collect();
-        match (activations.is_empty(), deliveries.is_empty()) {
+    fn pick(&mut self, view: &SystemView, rng: &mut SimRng) -> Option<Move> {
+        let ids = view.enabled_ids();
+        let links = view.non_empty_links();
+        // The draw sequence mirrors the list-materializing implementation
+        // exactly (one side-selection draw, then one uniform draw within
+        // the side): for a given RNG stream, index-based and list-based
+        // selection pick the same move. (The stream itself comes from
+        // SimRng, whose algorithm is a separate concern.)
+        match (ids.is_empty(), links.is_empty()) {
             (true, true) => None,
-            (true, false) => Some(*rng.choose(&deliveries)),
-            (false, true) => Some(*rng.choose(&activations)),
+            (true, false) => {
+                let (from, to) = links[rng.gen_range(0..links.len())];
+                Some(Move::Deliver { from, to })
+            }
+            (false, true) => Some(Move::Activate(ids[rng.gen_range(0..ids.len())])),
             (false, false) => {
                 let pick_delivery = match self.bias {
                     Some(p) => rng.gen_bool(p),
                     None => {
-                        let total = activations.len() + deliveries.len();
-                        rng.gen_range(0..total) >= activations.len()
+                        let total = ids.len() + links.len();
+                        rng.gen_range(0..total) >= ids.len()
                     }
                 };
                 if pick_delivery {
-                    Some(*rng.choose(&deliveries))
+                    let (from, to) = links[rng.gen_range(0..links.len())];
+                    Some(Move::Deliver { from, to })
                 } else {
-                    Some(*rng.choose(&activations))
+                    Some(Move::Activate(ids[rng.gen_range(0..ids.len())]))
                 }
             }
         }
@@ -202,14 +329,14 @@ impl ScriptedScheduler {
 }
 
 impl Scheduler for ScriptedScheduler {
-    fn next_move(&mut self, view: &SystemView, _rng: &mut SimRng) -> Option<Move> {
+    fn pick(&mut self, view: &SystemView, _rng: &mut SimRng) -> Option<Move> {
         while let Some(mv) = self.script.pop_front() {
             if !self.skip_inapplicable {
                 return Some(mv);
             }
             let applicable = match mv {
-                Move::Activate(p) => view.enabled.get(p.index()).copied().unwrap_or(false),
-                Move::Deliver { from, to } => view.non_empty_links.contains(&(from, to)),
+                Move::Activate(p) => view.is_enabled(p),
+                Move::Deliver { from, to } => view.has_link(from, to),
             };
             if applicable {
                 return Some(mv);
@@ -228,7 +355,7 @@ mod tests {
     }
 
     fn view(enabled: Vec<bool>, links: Vec<(ProcessId, ProcessId)>) -> SystemView {
-        SystemView { enabled, non_empty_links: links }
+        SystemView::from_parts(enabled, links)
     }
 
     #[test]
@@ -239,7 +366,10 @@ mod tests {
             vec![
                 Move::Activate(p(0)),
                 Move::Activate(p(2)),
-                Move::Deliver { from: p(1), to: p(0) }
+                Move::Deliver {
+                    from: p(1),
+                    to: p(0)
+                }
             ]
         );
         assert!(!v.is_quiescent());
@@ -247,17 +377,71 @@ mod tests {
     }
 
     #[test]
+    fn nth_move_matches_materialized_list() {
+        let v = view(
+            vec![false, true, true, false],
+            vec![(p(3), p(0)), (p(0), p(2)), (p(1), p(3))],
+        );
+        let moves = v.applicable_moves();
+        assert_eq!(moves.len(), v.move_count());
+        for (i, &mv) in moves.iter().enumerate() {
+            assert_eq!(v.nth_move(i), mv);
+        }
+        assert_eq!(v.activation_count(), 2);
+        assert_eq!(v.delivery_count(), 3);
+    }
+
+    #[test]
+    fn from_parts_sorts_and_dedups_links() {
+        let v = view(
+            vec![false; 4],
+            vec![(p(2), p(1)), (p(0), p(3)), (p(2), p(1))],
+        );
+        assert_eq!(v.non_empty_links(), &[(p(0), p(3)), (p(2), p(1))]);
+        assert!(v.has_link(p(2), p(1)));
+        assert!(!v.has_link(p(1), p(2)));
+    }
+
+    #[test]
+    fn set_enabled_maintains_sorted_ids() {
+        let mut v = SystemView::new(4);
+        v.set_enabled(2, true);
+        v.set_enabled(0, true);
+        v.set_enabled(3, true);
+        assert_eq!(v.enabled_ids(), &[p(0), p(2), p(3)]);
+        v.set_enabled(2, false);
+        v.set_enabled(2, false); // idempotent
+        assert_eq!(v.enabled_ids(), &[p(0), p(3)]);
+        assert!(v.is_enabled(p(0)));
+        assert!(!v.is_enabled(p(2)));
+        assert!(!v.is_enabled(p(17)));
+    }
+
+    #[test]
+    fn sync_links_filters_crashed_receivers() {
+        let mut v = SystemView::new(3);
+        v.sync_links(
+            &[(p(0), p(1)), (p(1), p(2)), (p(2), p(0))],
+            &[false, false, true],
+        );
+        assert_eq!(v.non_empty_links(), &[(p(0), p(1)), (p(2), p(0))]);
+    }
+
+    #[test]
     fn round_robin_cycles_all_moves() {
         let mut s = RoundRobin::new();
         let mut rng = SimRng::seed_from(0);
         let v = view(vec![true, true], vec![(p(0), p(1))]);
-        let picks: Vec<_> = (0..3).map(|_| s.next_move(&v, &mut rng).unwrap()).collect();
+        let picks: Vec<_> = (0..3).map(|_| s.pick(&v, &mut rng).unwrap()).collect();
         assert_eq!(
             picks,
             vec![
                 Move::Activate(p(0)),
                 Move::Activate(p(1)),
-                Move::Deliver { from: p(0), to: p(1) }
+                Move::Deliver {
+                    from: p(0),
+                    to: p(1)
+                }
             ]
         );
     }
@@ -266,7 +450,7 @@ mod tests {
     fn round_robin_none_when_quiescent() {
         let mut s = RoundRobin::new();
         let mut rng = SimRng::seed_from(0);
-        assert_eq!(s.next_move(&view(vec![false], vec![]), &mut rng), None);
+        assert_eq!(s.pick(&view(vec![false], vec![]), &mut rng), None);
     }
 
     #[test]
@@ -275,7 +459,7 @@ mod tests {
         let mut rng = SimRng::seed_from(42);
         let v = view(vec![true, false], vec![(p(1), p(0))]);
         for _ in 0..50 {
-            match s.next_move(&v, &mut rng).unwrap() {
+            match s.pick(&v, &mut rng).unwrap() {
                 Move::Activate(q) => assert_eq!(q, p(0)),
                 Move::Deliver { from, to } => assert_eq!((from, to), (p(1), p(0))),
             }
@@ -289,7 +473,7 @@ mod tests {
         let v = view(vec![true], vec![(p(0), p(1))]);
         for _ in 0..20 {
             assert!(matches!(
-                s.next_move(&v, &mut rng).unwrap(),
+                s.pick(&v, &mut rng).unwrap(),
                 Move::Deliver { .. }
             ));
         }
@@ -302,34 +486,64 @@ mod tests {
         let v = view(vec![true, true], vec![(p(0), p(1))]);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..200 {
-            seen.insert(format!("{:?}", s.next_move(&v, &mut rng).unwrap()));
+            seen.insert(format!("{:?}", s.pick(&v, &mut rng).unwrap()));
         }
         assert_eq!(seen.len(), 3, "all three moves should appear");
+    }
+
+    #[test]
+    fn random_scheduler_is_roughly_uniform_over_moves() {
+        // 2 activations + 2 deliveries: each move should get ~1/4 of the
+        // picks (the side draw is 1/2, then uniform within the side).
+        let mut s = RandomScheduler::new();
+        let mut rng = SimRng::seed_from(9);
+        let v = view(vec![true, true], vec![(p(0), p(1)), (p(1), p(0))]);
+        let mut counts = std::collections::HashMap::new();
+        let trials = 8_000;
+        for _ in 0..trials {
+            *counts
+                .entry(format!("{:?}", s.pick(&v, &mut rng).unwrap()))
+                .or_insert(0usize) += 1;
+        }
+        for (mv, c) in &counts {
+            let frac = *c as f64 / trials as f64;
+            assert!((0.20..0.30).contains(&frac), "move {mv} frequency {frac}");
+        }
     }
 
     #[test]
     fn scripted_replays_in_order_and_skips() {
         let mut s = ScriptedScheduler::new(vec![
             Move::Activate(p(0)),
-            Move::Deliver { from: p(0), to: p(1) }, // will be inapplicable -> skipped
+            Move::Deliver {
+                from: p(0),
+                to: p(1),
+            }, // will be inapplicable -> skipped
             Move::Activate(p(1)),
         ]);
         let mut rng = SimRng::seed_from(0);
         let v = view(vec![true, true], vec![]);
-        assert_eq!(s.next_move(&v, &mut rng), Some(Move::Activate(p(0))));
-        assert_eq!(s.next_move(&v, &mut rng), Some(Move::Activate(p(1))));
-        assert_eq!(s.next_move(&v, &mut rng), None);
+        assert_eq!(s.pick(&v, &mut rng), Some(Move::Activate(p(0))));
+        assert_eq!(s.pick(&v, &mut rng), Some(Move::Activate(p(1))));
+        assert_eq!(s.pick(&v, &mut rng), None);
         assert_eq!(s.remaining(), 0);
     }
 
     #[test]
     fn scripted_strict_returns_inapplicable_moves() {
-        let mut s = ScriptedScheduler::new(vec![Move::Deliver { from: p(0), to: p(1) }]).strict();
+        let mut s = ScriptedScheduler::new(vec![Move::Deliver {
+            from: p(0),
+            to: p(1),
+        }])
+        .strict();
         let mut rng = SimRng::seed_from(0);
         let v = view(vec![false, false], vec![]);
         assert_eq!(
-            s.next_move(&v, &mut rng),
-            Some(Move::Deliver { from: p(0), to: p(1) })
+            s.pick(&v, &mut rng),
+            Some(Move::Deliver {
+                from: p(0),
+                to: p(1)
+            })
         );
     }
 }

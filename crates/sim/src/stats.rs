@@ -52,14 +52,22 @@ mod tests {
 
     #[test]
     fn total_lost_sums_both_kinds() {
-        let s = SimStats { lost_full: 3, lost_in_transit: 4, ..SimStats::new() };
+        let s = SimStats {
+            lost_full: 3,
+            lost_in_transit: 4,
+            ..SimStats::new()
+        };
         assert_eq!(s.total_lost(), 7);
     }
 
     #[test]
     fn delivery_ratio_handles_zero_sends() {
         assert_eq!(SimStats::new().delivery_ratio(), 1.0);
-        let s = SimStats { sends_attempted: 10, deliveries: 5, ..SimStats::new() };
+        let s = SimStats {
+            sends_attempted: 10,
+            deliveries: 5,
+            ..SimStats::new()
+        };
         assert!((s.delivery_ratio() - 0.5).abs() < 1e-9);
     }
 }

@@ -26,7 +26,10 @@ pub struct Topology {
 impl Topology {
     fn empty(n: usize) -> Self {
         assert!(n >= 2, "a topology needs at least 2 processes");
-        Topology { n, adj: vec![false; n * n] }
+        Topology {
+            n,
+            adj: vec![false; n * n],
+        }
     }
 
     fn idx(&self, a: ProcessId, b: ProcessId) -> usize {
@@ -131,7 +134,10 @@ impl Topology {
     /// Panics on self-loops or out-of-range ids.
     pub fn add_edge(&mut self, a: ProcessId, b: ProcessId) {
         assert!(a != b, "no self-loops");
-        assert!(a.index() < self.n && b.index() < self.n, "edge out of range");
+        assert!(
+            a.index() < self.n && b.index() < self.n,
+            "edge out of range"
+        );
         let (i, j) = (self.idx(a, b), self.idx(b, a));
         self.adj[i] = true;
         self.adj[j] = true;
@@ -171,8 +177,9 @@ impl Topology {
         let mut stack = vec![0usize];
         seen[0] = true;
         while let Some(a) = stack.pop() {
-            for b in 0..self.n {
-                if self.adj[a * self.n + b] && !seen[b] {
+            let row = &self.adj[a * self.n..(a + 1) * self.n];
+            for (b, &edge) in row.iter().enumerate() {
+                if edge && !seen[b] {
                     seen[b] = true;
                     stack.push(b);
                 }
@@ -224,8 +231,9 @@ impl Topology {
         seen[root.index()] = true;
         let mut queue = std::collections::VecDeque::from([root.index()]);
         while let Some(a) = queue.pop_front() {
-            for b in 0..self.n {
-                if self.adj[a * self.n + b] && !seen[b] {
+            let row = &self.adj[a * self.n..(a + 1) * self.n];
+            for (b, &edge) in row.iter().enumerate() {
+                if edge && !seen[b] {
                     seen[b] = true;
                     t.add_edge(ProcessId::new(a), ProcessId::new(b));
                     queue.push_back(b);
@@ -304,7 +312,10 @@ mod tests {
         assert!(tree.is_tree());
         for q in 0..6 {
             if q != 2 {
-                assert!(tree.has_edge(p(2), p(q)), "complete graph BFS tree is a star");
+                assert!(
+                    tree.has_edge(p(2), p(q)),
+                    "complete graph BFS tree is a star"
+                );
             }
         }
         let ring_tree = Topology::ring(5).bfs_spanning_tree(p(0));

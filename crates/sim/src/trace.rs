@@ -90,7 +90,9 @@ pub struct Trace<M, E> {
 
 impl<M, E> Default for Trace<M, E> {
     fn default() -> Self {
-        Trace { entries: Vec::new() }
+        Trace {
+            entries: Vec::new(),
+        }
     }
 }
 
@@ -107,7 +109,13 @@ impl<M, E> Trace<M, E> {
 
     /// Appends a harness marker.
     pub fn push_marker(&mut self, step: u64, p: ProcessId, label: impl Into<String>) {
-        self.push(step, TraceEvent::Marker { p, label: label.into() });
+        self.push(
+            step,
+            TraceEvent::Marker {
+                p,
+                label: label.into(),
+            },
+        );
     }
 
     /// Number of entries.
@@ -193,13 +201,36 @@ mod tests {
     fn push_and_query() {
         let mut t = T::new();
         assert!(t.is_empty());
-        t.push(0, TraceEvent::Activated { p: p(0), acted: true });
+        t.push(
+            0,
+            TraceEvent::Activated {
+                p: p(0),
+                acted: true,
+            },
+        );
         t.push(
             1,
-            TraceEvent::Sent { from: p(0), to: p(1), msg: 7, fate: SendFate::Enqueued },
+            TraceEvent::Sent {
+                from: p(0),
+                to: p(1),
+                msg: 7,
+                fate: SendFate::Enqueued,
+            },
         );
-        t.push(2, TraceEvent::Protocol { p: p(1), event: "brd" });
-        t.push(3, TraceEvent::Protocol { p: p(0), event: "fck" });
+        t.push(
+            2,
+            TraceEvent::Protocol {
+                p: p(1),
+                event: "brd",
+            },
+        );
+        t.push(
+            3,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: "fck",
+            },
+        );
         assert_eq!(t.len(), 4);
 
         let of1: Vec<_> = t.protocol_events_of(p(1)).collect();
@@ -212,11 +243,22 @@ mod tests {
     #[test]
     fn find_from_respects_start() {
         let mut t = T::new();
-        t.push(0, TraceEvent::Protocol { p: p(0), event: "x" });
-        t.push(5, TraceEvent::Protocol { p: p(0), event: "x" });
-        let is_x = |e: &TraceEvent<u8, &'static str>| {
-            matches!(e, TraceEvent::Protocol { event: "x", .. })
-        };
+        t.push(
+            0,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: "x",
+            },
+        );
+        t.push(
+            5,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: "x",
+            },
+        );
+        let is_x =
+            |e: &TraceEvent<u8, &'static str>| matches!(e, TraceEvent::Protocol { event: "x", .. });
         assert_eq!(t.find_from(0, is_x), Some(0));
         assert_eq!(t.find_from(1, is_x), Some(5));
         assert_eq!(t.find_from(6, is_x), None);
@@ -234,7 +276,13 @@ mod tests {
     fn count_matches() {
         let mut t = T::new();
         for i in 0..4 {
-            t.push(i, TraceEvent::Activated { p: p(0), acted: i % 2 == 0 });
+            t.push(
+                i,
+                TraceEvent::Activated {
+                    p: p(0),
+                    acted: i % 2 == 0,
+                },
+            );
         }
         assert_eq!(
             t.count(|e| matches!(e, TraceEvent::Activated { acted: true, .. })),

@@ -91,15 +91,24 @@ mod tests {
     fn count_counts() {
         let mut c = Count;
         let one = <Count as TreeAggregate<u8, u64>>::local(&mut c, p(0), &0);
-        assert_eq!(<Count as TreeAggregate<u8, u64>>::combine(&mut c, one, 3), 4);
+        assert_eq!(
+            <Count as TreeAggregate<u8, u64>>::combine(&mut c, one, 3),
+            4
+        );
     }
 
     #[test]
     fn min_id_elects() {
         let mut m = MinId { my_id: 17 };
         let mine = <MinId as TreeAggregate<u8, u64>>::local(&mut m, p(0), &0);
-        assert_eq!(<MinId as TreeAggregate<u8, u64>>::combine(&mut m, mine, 5), 5);
-        assert_eq!(<MinId as TreeAggregate<u8, u64>>::combine(&mut m, mine, 99), 17);
+        assert_eq!(
+            <MinId as TreeAggregate<u8, u64>>::combine(&mut m, mine, 5),
+            5
+        );
+        assert_eq!(
+            <MinId as TreeAggregate<u8, u64>>::combine(&mut m, mine, 99),
+            17
+        );
     }
 
     #[test]

@@ -174,7 +174,11 @@ pub struct ProbeReceipt<V> {
 impl<V: Clone> ResponderUnit<V> {
     /// A quiescent unit.
     pub fn new(domain: FlagDomain) -> Self {
-        ResponderUnit { domain, neig_state: domain.max(), feedback: None }
+        ResponderUnit {
+            domain,
+            neig_state: domain.max(),
+            feedback: None,
+        }
     }
 
     /// The last flag received from the initiator.
@@ -199,6 +203,9 @@ impl<V: Clone> ResponderUnit<V> {
     }
 
     /// A3 (responder half): processes a probe carrying `sender_state`.
+    // Both `None` branches below are kept separate: they withhold the echo
+    // for different paper-mapped reasons (qState = 4 vs feedback pending).
+    #[allow(clippy::if_same_then_else)]
     pub fn on_probe(&mut self, sender_state: Flag) -> ProbeReceipt<V> {
         let sender_state = self.domain.clamp(sender_state);
         let brd_fired = self.neig_state != self.domain.broadcast_value()
@@ -306,8 +313,14 @@ mod tests {
         let _ = probe.on_reply::<u32>(Flag::new(1), None);
         let _ = probe.on_reply::<u32>(Flag::new(2), None);
         assert_eq!(probe.state(), Flag::new(3));
-        assert_eq!(probe.on_reply::<u32>(Flag::new(3), None), ProbeOutcome::Ignored);
-        assert!(probe.is_busy(), "a feedback-less broadcast echo cannot complete the wave");
+        assert_eq!(
+            probe.on_reply::<u32>(Flag::new(3), None),
+            ProbeOutcome::Ignored
+        );
+        assert!(
+            probe.is_busy(),
+            "a feedback-less broadcast echo cannot complete the wave"
+        );
     }
 
     #[test]
@@ -344,11 +357,17 @@ mod tests {
     fn stale_echoes_are_ignored() {
         let mut probe: ProbeUnit<u8> = ProbeUnit::new(domain(), 0);
         probe.force_start(1);
-        assert_eq!(probe.on_reply::<u32>(Flag::new(2), None), ProbeOutcome::Ignored);
+        assert_eq!(
+            probe.on_reply::<u32>(Flag::new(2), None),
+            ProbeOutcome::Ignored
+        );
         assert_eq!(probe.state(), Flag::ZERO);
         // Idle probes ignore everything.
         let mut idle: ProbeUnit<u8> = ProbeUnit::new(domain(), 0);
-        assert_eq!(idle.on_reply::<u32>(Flag::new(4), Some(1)), ProbeOutcome::Ignored);
+        assert_eq!(
+            idle.on_reply::<u32>(Flag::new(4), Some(1)),
+            ProbeOutcome::Ignored
+        );
     }
 
     #[test]
@@ -358,7 +377,10 @@ mod tests {
         probe.corrupt_flags(RequestState::In, Flag::new(4));
         assert!(probe.is_wedged());
         assert!(probe.tick().is_none(), "no retransmission from the wedge");
-        assert_eq!(probe.on_reply::<u32>(Flag::new(4), Some(1)), ProbeOutcome::Ignored);
+        assert_eq!(
+            probe.on_reply::<u32>(Flag::new(4), Some(1)),
+            ProbeOutcome::Ignored
+        );
         // Repair path 1: abort.
         let mut aborted = probe.clone();
         aborted.abort();

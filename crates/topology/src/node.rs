@@ -79,11 +79,18 @@ pub enum TreeMsg<B, V> {
 impl<B: ArbitraryState, V: ArbitraryState> ArbitraryState for TreeMsg<B, V> {
     fn arbitrary(rng: &mut SimRng) -> Self {
         if rng.gen_range(0..2) == 0 {
-            TreeMsg::Probe { payload: B::arbitrary(rng), sender_state: Flag::arbitrary(rng) }
+            TreeMsg::Probe {
+                payload: B::arbitrary(rng),
+                sender_state: Flag::arbitrary(rng),
+            }
         } else {
             TreeMsg::Reply {
                 echoed: Flag::arbitrary(rng),
-                feedback: if rng.gen_range(0..2) == 0 { None } else { Some(V::arbitrary(rng)) },
+                feedback: if rng.gen_range(0..2) == 0 {
+                    None
+                } else {
+                    Some(V::arbitrary(rng))
+                },
             }
         }
     }
@@ -208,7 +215,10 @@ where
         domain: FlagDomain,
     ) -> Self {
         let neighbors = topology.neighbors(me);
-        assert!(!neighbors.is_empty(), "process {me:?} is isolated in the topology");
+        assert!(
+            !neighbors.is_empty(),
+            "process {me:?} is isolated in the topology"
+        );
         let deg = neighbors.len();
         TreePifNode {
             me,
@@ -219,7 +229,9 @@ where
             root_payload: idle_payload.clone(),
             root_waiting: Vec::new(),
             root_acc: None,
-            probes: (0..deg).map(|_| ProbeUnit::new(domain, idle_payload.clone())).collect(),
+            probes: (0..deg)
+                .map(|_| ProbeUnit::new(domain, idle_payload.clone()))
+                .collect(),
             resps: (0..deg).map(|_| ResponderUnit::new(domain)).collect(),
             users: vec![None; deg],
             queues: vec![Vec::new(); deg],
@@ -330,14 +342,15 @@ where
             self.users[i] = None;
         }
         while self.users[i].is_none() {
-            let Some(user) = (!self.queues[i].is_empty()).then(|| self.queues[i].remove(0))
-            else {
+            let Some(user) = (!self.queues[i].is_empty()).then(|| self.queues[i].remove(0)) else {
                 return;
             };
             if !self.user_is_live(i, user) {
                 continue; // stale queue entry (corruption or superseded wave)
             }
-            let Some(payload) = self.user_payload(user) else { continue };
+            let Some(payload) = self.user_payload(user) else {
+                continue;
+            };
             self.probes[i].force_start(payload);
             self.users[i] = Some(user);
         }
@@ -345,12 +358,11 @@ where
 
     /// A probe wave on link `i` completed with feedback `v`: credit the
     /// owner.
-    fn credit(
-        &mut self,
-        i: usize,
-        v: V,
-        ctx: &mut Context<'_, TreeMsg<B, V>, TreeEvent<B, V>>,
-    ) {
+    // The suggested match-guard collapse would change which arm handles a
+    // completed probe whose root conditions fail (fall-through vs no-op),
+    // so the nested `if` stays.
+    #[allow(clippy::collapsible_match)]
+    fn credit(&mut self, i: usize, v: V, ctx: &mut Context<'_, TreeMsg<B, V>, TreeEvent<B, V>>) {
         let child = self.neighbors[i];
         match self.users[i].take() {
             Some(LinkUser::Root) => {
@@ -378,7 +390,10 @@ where
                     if ready {
                         let relay = self.relays[pi].take().expect("checked above");
                         self.resps[pi].set_feedback(relay.acc.clone());
-                        ctx.emit(TreeEvent::SubtreeReady { parent: par, value: relay.acc });
+                        ctx.emit(TreeEvent::SubtreeReady {
+                            parent: par,
+                            value: relay.acc,
+                        });
                     }
                 }
             }
@@ -437,7 +452,10 @@ where
                     // at the trigger flag forever.
                     let relay = self.relays[pi].take().expect("checked above");
                     self.resps[pi].set_feedback(relay.acc.clone());
-                    ctx.emit(TreeEvent::SubtreeReady { parent: par, value: relay.acc });
+                    ctx.emit(TreeEvent::SubtreeReady {
+                        parent: par,
+                        value: relay.acc,
+                    });
                     acted = true;
                     continue;
                 }
@@ -453,7 +471,13 @@ where
         for i in 0..self.probes.len() {
             self.dispatch(i);
             if let Some((payload, s)) = self.probes[i].tick() {
-                ctx.send(self.neighbors[i], TreeMsg::Probe { payload, sender_state: s });
+                ctx.send(
+                    self.neighbors[i],
+                    TreeMsg::Probe {
+                        payload,
+                        sender_state: s,
+                    },
+                );
                 acted = true;
             }
         }
@@ -486,7 +510,10 @@ where
             return; // not a topology neighbor: ignore (junk channel)
         };
         match msg {
-            TreeMsg::Probe { payload, sender_state } => {
+            TreeMsg::Probe {
+                payload,
+                sender_state,
+            } => {
                 let receipt = self.resps[i].on_probe(sender_state);
                 let no_ctx_to_ready = self.relays[i].is_none()
                     && self.resps[i].feedback().is_none()
@@ -497,14 +524,24 @@ where
                     // states where the echo would otherwise be withheld
                     // forever (Termination for never-started waves).
                     if receipt.brd_fired {
-                        ctx.emit(TreeEvent::WaveReceived { from, payload: payload.clone() });
+                        ctx.emit(TreeEvent::WaveReceived {
+                            from,
+                            payload: payload.clone(),
+                        });
                     }
                     let acc = self.app.local(self.me, &payload);
-                    let children: Vec<ProcessId> =
-                        self.neighbors.iter().copied().filter(|&q| q != from).collect();
+                    let children: Vec<ProcessId> = self
+                        .neighbors
+                        .iter()
+                        .copied()
+                        .filter(|&q| q != from)
+                        .collect();
                     if children.is_empty() {
                         self.resps[i].set_feedback(acc.clone());
-                        ctx.emit(TreeEvent::SubtreeReady { parent: from, value: acc });
+                        ctx.emit(TreeEvent::SubtreeReady {
+                            parent: from,
+                            value: acc,
+                        });
                         self.relays[i] = None;
                     } else {
                         // Supersede any wave this parent had running.
@@ -516,8 +553,11 @@ where
                                 self.probes[ci].force_start(payload.clone());
                             }
                         }
-                        self.relays[i] =
-                            Some(RelayCtx { payload, waiting: children.clone(), acc });
+                        self.relays[i] = Some(RelayCtx {
+                            payload,
+                            waiting: children.clone(),
+                            acc,
+                        });
                         for c in children {
                             if let Some(ci) = self.pos(c) {
                                 self.ensure_user(ci, LinkUser::Relay(from));
@@ -525,7 +565,10 @@ where
                                 if let Some((pl, s)) = self.probes[ci].tick() {
                                     ctx.send(
                                         self.neighbors[ci],
-                                        TreeMsg::Probe { payload: pl, sender_state: s },
+                                        TreeMsg::Probe {
+                                            payload: pl,
+                                            sender_state: s,
+                                        },
                                     );
                                 }
                             }
@@ -556,7 +599,13 @@ where
                         self.credit(i, v, ctx);
                         self.dispatch(i);
                         if let Some((pl, s)) = self.probes[i].tick() {
-                            ctx.send(from, TreeMsg::Probe { payload: pl, sender_state: s });
+                            ctx.send(
+                                from,
+                                TreeMsg::Probe {
+                                    payload: pl,
+                                    sender_state: s,
+                                },
+                            );
                         }
                     }
                     ProbeOutcome::Advanced | ProbeOutcome::Ignored => {}
@@ -573,16 +622,21 @@ where
 
     fn corrupt(&mut self, rng: &mut SimRng) {
         let deg = self.neighbors.len();
-        let rand_neighbor =
-            |rng: &mut SimRng, nb: &[ProcessId]| nb[rng.gen_range(0..nb.len())];
+        let rand_neighbor = |rng: &mut SimRng, nb: &[ProcessId]| nb[rng.gen_range(0..nb.len())];
         let rand_subset = |rng: &mut SimRng, nb: &[ProcessId]| -> Vec<ProcessId> {
-            nb.iter().copied().filter(|_| rng.gen_range(0..2) == 0).collect()
+            nb.iter()
+                .copied()
+                .filter(|_| rng.gen_range(0..2) == 0)
+                .collect()
         };
         self.request = RequestState::arbitrary(rng);
         self.root_payload = B::arbitrary(rng);
         self.root_waiting = rand_subset(rng, &self.neighbors.clone());
-        self.root_acc =
-            if rng.gen_range(0..2) == 0 { None } else { Some(V::arbitrary(rng)) };
+        self.root_acc = if rng.gen_range(0..2) == 0 {
+            None
+        } else {
+            Some(V::arbitrary(rng))
+        };
         for i in 0..deg {
             let mut probe = ProbeUnit::new(self.domain, B::arbitrary(rng));
             probe.corrupt_flags(
@@ -590,7 +644,11 @@ where
                 self.domain.arbitrary_flag(rng),
             );
             self.probes[i] = probe;
-            let fb = if rng.gen_range(0..2) == 0 { None } else { Some(V::arbitrary(rng)) };
+            let fb = if rng.gen_range(0..2) == 0 {
+                None
+            } else {
+                Some(V::arbitrary(rng))
+            };
             self.resps[i].corrupt(self.domain.arbitrary_flag(rng), fb);
             self.users[i] = match rng.gen_range(0..3) {
                 0 => None,
@@ -660,7 +718,8 @@ where
                 .relays
                 .iter()
                 .map(|r| {
-                    r.as_ref().map(|c| (c.payload.clone(), c.waiting.clone(), c.acc.clone()))
+                    r.as_ref()
+                        .map(|c| (c.payload.clone(), c.waiting.clone(), c.acc.clone()))
                 })
                 .collect(),
         }
@@ -690,8 +749,11 @@ where
             self.queues[i] = q.into_iter().map(decode).collect();
         }
         for (i, r) in state.relays.into_iter().enumerate() {
-            self.relays[i] =
-                r.map(|(payload, waiting, acc)| RelayCtx { payload, waiting, acc });
+            self.relays[i] = r.map(|(payload, waiting, acc)| RelayCtx {
+                payload,
+                waiting,
+                acc,
+            });
         }
     }
 }
@@ -714,16 +776,21 @@ mod tests {
         seed: u64,
     ) -> Runner<CountNode, S> {
         let n = topo.n();
-        let processes =
-            (0..n).map(|i| TreePifNode::new(p(i), topo, 0u8, Count)).collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let processes = (0..n)
+            .map(|i| TreePifNode::new(p(i), topo, 0u8, Count))
+            .collect();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(1))
+            .build();
         Runner::new(processes, network, scheduler, seed)
     }
 
     fn run_wave<S: Scheduler>(runner: &mut Runner<CountNode, S>, root: ProcessId) -> u64 {
         assert!(runner.process_mut(root).request_wave(7));
         runner
-            .run_until(2_000_000, |r| r.process(root).request() == RequestState::Done)
+            .run_until(2_000_000, |r| {
+                r.process(root).request() == RequestState::Done
+            })
             .expect("wave decides");
         assert_eq!(runner.process(root).request(), RequestState::Done);
         *runner.process(root).result().expect("result present")
@@ -758,11 +825,15 @@ mod tests {
         let processes: Vec<TreePifNode<u8, u64, MinId>> = (0..6)
             .map(|i| TreePifNode::new(p(i), &topo, 0u8, MinId { my_id: ids[i] }))
             .collect();
-        let network = NetworkBuilder::new(6).capacity(Capacity::Bounded(1)).build();
+        let network = NetworkBuilder::new(6)
+            .capacity(Capacity::Bounded(1))
+            .build();
         let mut runner = Runner::new(processes, network, RoundRobin::new(), 4);
         assert!(runner.process_mut(p(2)).request_wave(1));
         runner
-            .run_until(2_000_000, |r| r.process(p(2)).request() == RequestState::Done)
+            .run_until(2_000_000, |r| {
+                r.process(p(2)).request() == RequestState::Done
+            })
             .expect("wave decides");
         assert_eq!(runner.process(p(2)).result(), Some(&5));
     }
@@ -783,12 +854,12 @@ mod tests {
             let mut rng = SimRng::seed_from(seed + 100);
             snapstab_sim::CorruptionPlan::full().apply(&mut runner, &mut rng);
             // Drain corrupted computations first.
-            let _ = runner.run_until(500_000, |r| {
-                r.process(p(0)).request() != RequestState::Wait
-            });
+            let _ = runner.run_until(500_000, |r| r.process(p(0)).request() != RequestState::Wait);
             if runner.process(p(0)).request() != RequestState::Done {
                 runner
-                    .run_until(2_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+                    .run_until(2_000_000, |r| {
+                        r.process(p(0)).request() == RequestState::Done
+                    })
                     .expect("corrupted wave drains");
             }
             assert_eq!(run_wave(&mut runner, p(0)), 5, "seed {seed}");
@@ -836,10 +907,14 @@ mod tests {
     fn junk_from_non_neighbors_is_ignored() {
         let topo = Topology::path(3); // 0 - 1 - 2: 0 and 2 not adjacent
         let mut runner = count_system(&topo, RoundRobin::new(), 13);
-        runner.network_mut().channel_mut(p(2), p(0)).unwrap().preload([TreeMsg::Probe {
-            payload: 9u8,
-            sender_state: Flag::new(3),
-        }]);
+        runner
+            .network_mut()
+            .channel_mut(p(2), p(0))
+            .unwrap()
+            .preload([TreeMsg::Probe {
+                payload: 9u8,
+                sender_state: Flag::new(3),
+            }]);
         assert_eq!(run_wave(&mut runner, p(0)), 3);
     }
 
@@ -848,7 +923,10 @@ mod tests {
         let topo = Topology::path(3);
         let mut runner = count_system(&topo, RoundRobin::new(), 14);
         assert!(runner.process_mut(p(0)).request_wave(1));
-        assert!(!runner.process_mut(p(0)).request_wave(2), "pending wave refuses");
+        assert!(
+            !runner.process_mut(p(0)).request_wave(2),
+            "pending wave refuses"
+        );
     }
 
     #[test]
@@ -880,9 +958,10 @@ mod tests {
         let mut events = Vec::new();
         let mut ctx = Context::new(p(1), 3, 0, &mut rng2, &mut sends, &mut events);
         node.activate(&mut ctx);
-        drop(ctx);
         assert!(
-            events.iter().any(|e| matches!(e, TreeEvent::SubtreeReady { .. })),
+            events
+                .iter()
+                .any(|e| matches!(e, TreeEvent::SubtreeReady { .. })),
             "the empty context finalized: {events:?}"
         );
         let s = node.snapshot();

@@ -117,15 +117,37 @@ mod tests {
     }
 
     fn proto(t: &mut T, step: u64, who: usize, e: TreeEvent<u8, u64>) {
-        t.push(step, TraceEvent::Protocol { p: p(who), event: e });
+        t.push(
+            step,
+            TraceEvent::Protocol {
+                p: p(who),
+                event: e,
+            },
+        );
     }
 
     #[test]
     fn perfect_wave_passes() {
         let mut t = T::new();
         proto(&mut t, 1, 0, TreeEvent::RootStarted);
-        proto(&mut t, 2, 1, TreeEvent::WaveReceived { from: p(0), payload: 7 });
-        proto(&mut t, 3, 2, TreeEvent::WaveReceived { from: p(1), payload: 7 });
+        proto(
+            &mut t,
+            2,
+            1,
+            TreeEvent::WaveReceived {
+                from: p(0),
+                payload: 7,
+            },
+        );
+        proto(
+            &mut t,
+            3,
+            2,
+            TreeEvent::WaveReceived {
+                from: p(1),
+                payload: 7,
+            },
+        );
         proto(&mut t, 4, 0, TreeEvent::RootDecided { result: 3 });
         let v = check_tree_wave(&t, p(0), 3, 0, &7, &3);
         assert!(v.holds(), "{v:?}");
@@ -135,7 +157,15 @@ mod tests {
     fn wrong_result_fails() {
         let mut t = T::new();
         proto(&mut t, 1, 0, TreeEvent::RootStarted);
-        proto(&mut t, 2, 1, TreeEvent::WaveReceived { from: p(0), payload: 7 });
+        proto(
+            &mut t,
+            2,
+            1,
+            TreeEvent::WaveReceived {
+                from: p(0),
+                payload: 7,
+            },
+        );
         proto(&mut t, 3, 0, TreeEvent::RootDecided { result: 9 });
         let v = check_tree_wave(&t, p(0), 2, 0, &7, &2);
         assert!(!v.result_exact);
@@ -165,7 +195,15 @@ mod tests {
     fn stale_payload_receipts_do_not_count() {
         let mut t = T::new();
         proto(&mut t, 1, 0, TreeEvent::RootStarted);
-        proto(&mut t, 2, 1, TreeEvent::WaveReceived { from: p(0), payload: 99 });
+        proto(
+            &mut t,
+            2,
+            1,
+            TreeEvent::WaveReceived {
+                from: p(0),
+                payload: 99,
+            },
+        );
         proto(&mut t, 3, 0, TreeEvent::RootDecided { result: 2 });
         let v = check_tree_wave(&t, p(0), 2, 0, &7, &2);
         assert_eq!(v.missing, vec![p(1)]);

@@ -32,7 +32,10 @@ fn p(i: usize) -> ProcessId {
 
 fn main() {
     // Act 1 — the paper's protocol at its design capacity.
-    let fig1 = drive_stale(&StaleConfig::canonical(1, FlagDomain::PAPER), StaleSchedule::Canonical);
+    let fig1 = drive_stale(
+        &StaleConfig::canonical(1, FlagDomain::PAPER),
+        StaleSchedule::Canonical,
+    );
     println!(
         "act 1  [c=1, 5 values]  stale flag reaches {} (paper's Figure 1 bound: 3); \
          decided on garbage: {}",
@@ -40,15 +43,20 @@ fn main() {
     );
 
     // Act 2 — the same protocol on capacity-2 channels.
-    let broken = drive_stale(&StaleConfig::canonical(2, FlagDomain::PAPER), StaleSchedule::Canonical);
+    let broken = drive_stale(
+        &StaleConfig::canonical(2, FlagDomain::PAPER),
+        StaleSchedule::Canonical,
+    );
     println!(
         "act 2  [c=2, 5 values]  stale flag reaches {}; decided on garbage: {} ← BROKEN",
         broken.max_stale_flag, broken.stale_decided
     );
 
     // Act 3 — the generalized domain.
-    let fixed =
-        drive_stale(&StaleConfig::canonical(2, FlagDomain::for_capacity(2)), StaleSchedule::Canonical);
+    let fixed = drive_stale(
+        &StaleConfig::canonical(2, FlagDomain::for_capacity(2)),
+        StaleSchedule::Canonical,
+    );
     println!(
         "act 3  [c=2, 7 values]  stale flag reaches {} (bound 2c+1 = 5); decided on garbage: {}",
         fixed.max_stale_flag, fixed.stale_decided
@@ -57,8 +65,12 @@ fn main() {
     // …and the full stack on capacity-2 channels, corrupted start.
     let n = 4;
     let ids = [42u64, 7, 99, 23];
-    let processes = (0..n).map(|i| IdlProcess::for_capacity(p(i), n, ids[i], 2)).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(2)).build();
+    let processes = (0..n)
+        .map(|i| IdlProcess::for_capacity(p(i), n, ids[i], 2))
+        .collect();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(2))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 5);
     CorruptionPlan::full().apply(&mut runner, &mut SimRng::seed_from(11));
     let _ = runner.run_until(1_000_000, |r| {
@@ -66,17 +78,23 @@ fn main() {
     });
     if runner.process(p(0)).request() != RequestState::Done {
         runner
-            .run_until(2_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .run_until(2_000_000, |r| {
+                r.process(p(0)).request() == RequestState::Done
+            })
             .expect("drain");
     }
     runner.process_mut(p(0)).request_learning();
     runner
-        .run_until(2_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .run_until(2_000_000, |r| {
+            r.process(p(0)).request() == RequestState::Done
+        })
         .expect("IDs-Learning decides");
     println!(
         "\nfull stack on capacity-2 channels (7-valued flags), corrupted start:\n\
          P0 learned min id = {} (expected 7), neighbor table = {:?}",
         runner.process(p(0)).idl().min_id(),
-        (1..n).map(|q| runner.process(p(0)).idl().id_of(p(q))).collect::<Vec<_>>(),
+        (1..n)
+            .map(|q| runner.process(p(0)).idl().id_of(p(q)))
+            .collect::<Vec<_>>(),
     );
 }

@@ -42,9 +42,16 @@ fn main() {
         println!(
             "  burst {burst}: first post-fault request decided in {steps:>5} steps, \
              minID = {got} {}",
-            if got == true_min { "(exact)" } else { "(WRONG!)" }
+            if got == true_min {
+                "(exact)"
+            } else {
+                "(WRONG!)"
+            }
         );
-        assert_eq!(got, true_min, "the FIRST request after faults is already exact");
+        assert_eq!(
+            got, true_min,
+            "the FIRST request after faults is already exact"
+        );
     }
     println!(
         "\neight bursts, eight first-request-exact decisions — faults never cost a \

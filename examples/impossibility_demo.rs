@@ -21,14 +21,34 @@ fn main() {
     let outcome = demo.run(&[1, 2, 4, 8, 16, 32]).expect("demo runs");
 
     println!("\nthe adversarial configuration γ0:");
-    println!("  total 'sent by nobody' messages pre-loaded: {}", outcome.total_preloaded);
-    println!("  largest single-channel pre-load (|MesSeq|):  {}", outcome.max_channel_load);
+    println!(
+        "  total 'sent by nobody' messages pre-loaded: {}",
+        outcome.total_preloaded
+    );
+    println!(
+        "  largest single-channel pre-load (|MesSeq|):  {}",
+        outcome.max_channel_load
+    );
 
     println!("\nfeasibility of γ0 by channel capacity:");
     for (cap, feasible) in &outcome.feasibility {
         match cap {
-            Some(c) => println!("  capacity {c:>3}: {}", if *feasible { "EXISTS" } else { "does not exist" }),
-            None => println!("  unbounded  : {}", if *feasible { "EXISTS" } else { "does not exist" }),
+            Some(c) => println!(
+                "  capacity {c:>3}: {}",
+                if *feasible {
+                    "EXISTS"
+                } else {
+                    "does not exist"
+                }
+            ),
+            None => println!(
+                "  unbounded  : {}",
+                if *feasible {
+                    "EXISTS"
+                } else {
+                    "does not exist"
+                }
+            ),
         }
     }
 

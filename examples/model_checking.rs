@@ -8,8 +8,8 @@
 //! cargo run --release --example model_checking
 //! ```
 
-use snapstab_repro::mc::{explore, possible_termination, Params, SeedSet};
 use snapstab_repro::mc::explore_collect;
+use snapstab_repro::mc::{explore, possible_termination, Params, SeedSet};
 
 fn main() {
     // The paper's protocol: complete enumeration.
@@ -47,7 +47,10 @@ fn main() {
     // The capacity mismatch.
     let mismatch = explore(
         Params::new(5, 2),
-        &SeedSet::Sampled { count: 100_000, rng_seed: 7 },
+        &SeedSet::Sampled {
+            count: 100_000,
+            rng_seed: 7,
+        },
         50_000_000,
     );
     match mismatch.violation {

@@ -8,18 +8,23 @@ use snapstab_repro::core::me::{MeConfig, MeProcess, ValueMode};
 use snapstab_repro::core::request::RequestState;
 use snapstab_repro::core::spec::analyze_me_trace;
 use snapstab_repro::sim::{
-    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner,
-    SimRng,
+    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner, SimRng,
 };
 
 fn main() {
     let n = 4;
     let ids: Vec<u64> = vec![201, 13, 788, 454]; // P1 is the leader
-    let config = MeConfig { cs_duration: 5, value_mode: ValueMode::Corrected, ..MeConfig::default() };
+    let config = MeConfig {
+        cs_duration: 5,
+        value_mode: ValueMode::Corrected,
+        ..MeConfig::default()
+    };
     let processes: Vec<MeProcess> = (0..n)
         .map(|i| MeProcess::with_config(ProcessId::new(i), n, ids[i], config))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 0xCE11);
     runner.set_loss(LossModel::probabilistic(0.1));
 
@@ -38,12 +43,12 @@ fn main() {
     while executed < budget && pending.iter().any(|&k| k > 0) {
         let out = runner.run_steps(500).expect("run");
         executed += out.steps;
-        for i in 0..n {
+        for (i, left) in pending.iter_mut().enumerate() {
             let p = ProcessId::new(i);
-            if pending[i] > 0 && runner.process(p).request() == RequestState::Done {
+            if *left > 0 && runner.process(p).request() == RequestState::Done {
                 runner.mark(p, "request");
                 assert!(runner.process_mut(p).request_cs());
-                pending[i] -= 1;
+                *left -= 1;
             }
         }
     }
@@ -60,8 +65,14 @@ fn main() {
         println!("  {p}: {req:>7} -> {srv:>7}  ({} steps)", srv - req);
     }
     println!("\nCS intervals observed: {}", report.intervals.len());
-    println!("genuine x genuine overlaps: {}", report.genuine_overlaps.len());
-    println!("overlaps involving spurious (corrupted-state) CS: {}", report.spurious_overlaps.len());
+    println!(
+        "genuine x genuine overlaps: {}",
+        report.genuine_overlaps.len()
+    );
+    println!(
+        "overlaps involving spurious (corrupted-state) CS: {}",
+        report.spurious_overlaps.len()
+    );
     assert!(report.exclusivity_holds(), "Specification 3 Correctness");
     assert_eq!(report.served.len(), 8, "all 8 requests served");
     println!(

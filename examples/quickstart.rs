@@ -7,8 +7,7 @@
 use snapstab_repro::core::pif::{PifApp, PifEvent, PifProcess};
 use snapstab_repro::core::request::RequestState;
 use snapstab_repro::sim::{
-    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner,
-    SimRng,
+    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner, SimRng,
 };
 
 /// The application above the PIF: each process knows its age (`Old_p` in
@@ -43,11 +42,16 @@ fn main() {
                 n,
                 "How old are you?",
                 0,
-                AgeApp { old: ages[i], heard: Vec::new() },
+                AgeApp {
+                    old: ages[i],
+                    heard: Vec::new(),
+                },
             )
         })
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 42);
     runner.set_loss(LossModel::probabilistic(0.15)); // unreliable channels
 
@@ -80,7 +84,11 @@ fn main() {
     heard.dedup(); // the drained corrupted computation also produced feedbacks
     println!("\nP0 learned: {heard:?}");
     for (q, age) in &heard {
-        assert_eq!(*age, ages[q.index()], "snap-stabilization: the answer is exact");
+        assert_eq!(
+            *age,
+            ages[q.index()],
+            "snap-stabilization: the answer is exact"
+        );
     }
     println!(
         "every answer is exact despite the corrupted start and lossy channels \

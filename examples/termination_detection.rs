@@ -23,7 +23,9 @@ fn p(i: usize) -> ProcessId {
 fn main() {
     let n = 5;
     let processes = (0..n).map(|i| TerminationProcess::new(p(i), n)).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 2024);
 
     // An adversarial start: everything corrupted, then fresh work seeded.
@@ -33,21 +35,29 @@ fn main() {
 
     // Drain never-started computations (they owe termination only).
     runner
-        .run_until(2_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .run_until(2_000_000, |r| {
+            r.process(p(0)).request() == RequestState::Done
+        })
         .expect("drain");
 
     for round in 1.. {
         let req_step = runner.step_count();
         assert!(runner.process_mut(p(0)).request_detection());
         runner
-            .run_until(3_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .run_until(3_000_000, |r| {
+                r.process(p(0)).request() == RequestState::Done
+            })
             .expect("detection decides");
         let verdict = runner.process(p(0)).verdict().expect("verdict");
         let soundness = check_detection(runner.trace(), p(0), n, req_step);
         let budgets: Vec<u8> = (0..n).map(|i| runner.process(p(i)).budget()).collect();
         println!(
             "detection #{round}: verdict = {} | window-sound = {} | budgets now {:?}",
-            if verdict { "TERMINATED" } else { "still active" },
+            if verdict {
+                "TERMINATED"
+            } else {
+                "still active"
+            },
             soundness.holds(),
             budgets,
         );

@@ -1,3 +1,6 @@
+// Inline generic runner/checker types in assertions; aliasing them would hide
+// which instantiation is under test.
+#![allow(clippy::type_complexity)]
 //! Tree waves on general topologies — the paper's §5 extension, live.
 //!
 //! A 9-process system on a binary tree recovers from a full transient
@@ -11,8 +14,7 @@
 
 use snapstab_repro::core::request::RequestState;
 use snapstab_repro::sim::{
-    Capacity, CorruptionPlan, NetworkBuilder, ProcessId, RandomScheduler, Runner, SimRng,
-    Topology,
+    Capacity, CorruptionPlan, NetworkBuilder, ProcessId, RandomScheduler, Runner, SimRng, Topology,
 };
 use snapstab_repro::topology::{check_tree_wave, Count, Gather, MinId, TreePifNode};
 
@@ -23,23 +25,33 @@ fn p(i: usize) -> ProcessId {
 fn main() {
     let n = 9;
     let topo = Topology::binary_tree(n);
-    println!("topology: binary tree over {n} processes (diameter {})", topo.diameter());
+    println!(
+        "topology: binary tree over {n} processes (diameter {})",
+        topo.diameter()
+    );
 
     // 1) A census wave from the root, from a fully corrupted start.
-    let processes: Vec<TreePifNode<u8, u64, Count>> =
-        (0..n).map(|i| TreePifNode::new(p(i), &topo, 0u8, Count)).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let processes: Vec<TreePifNode<u8, u64, Count>> = (0..n)
+        .map(|i| TreePifNode::new(p(i), &topo, 0u8, Count))
+        .collect();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 42);
     let mut rng = SimRng::seed_from(7);
     CorruptionPlan::full().apply(&mut runner, &mut rng);
     println!("\n[census] every variable and channel corrupted; draining stale computations…");
     runner
-        .run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .run_until(1_000_000, |r| {
+            r.process(p(0)).request() == RequestState::Done
+        })
         .expect("drain");
     let req_step = runner.step_count();
     runner.process_mut(p(0)).request_wave(1);
     runner
-        .run_until(5_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .run_until(5_000_000, |r| {
+            r.process(p(0)).request() == RequestState::Done
+        })
         .expect("wave decides");
     let verdict = check_tree_wave(runner.trace(), p(0), n, req_step, &1, &(n as u64));
     println!(
@@ -49,20 +61,28 @@ fn main() {
     );
 
     // 2) Leader election: minimum identity over the tree.
-    let ids: Vec<u64> = (0..n).map(|i| ((i as u64) * 7919 + 13) % 1000 + 1).collect();
+    let ids: Vec<u64> = (0..n)
+        .map(|i| ((i as u64) * 7919 + 13) % 1000 + 1)
+        .collect();
     let min = *ids.iter().min().expect("non-empty");
     let processes: Vec<TreePifNode<u8, u64, MinId>> = (0..n)
         .map(|i| TreePifNode::new(p(i), &topo, 0u8, MinId { my_id: ids[i] }))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 43);
     CorruptionPlan::full().apply(&mut runner, &mut SimRng::seed_from(8));
     runner
-        .run_until(1_000_000, |r| r.process(p(4)).request() == RequestState::Done)
+        .run_until(1_000_000, |r| {
+            r.process(p(4)).request() == RequestState::Done
+        })
         .expect("drain");
     runner.process_mut(p(4)).request_wave(1);
     runner
-        .run_until(5_000_000, |r| r.process(p(4)).request() == RequestState::Done)
+        .run_until(5_000_000, |r| {
+            r.process(p(4)).request() == RequestState::Done
+        })
         .expect("wave decides");
     println!(
         "\n[leader] ids {ids:?}\n[leader] initiator P4 learned the leader id: {} (expected {min})",
@@ -73,13 +93,26 @@ fn main() {
     let ring = Topology::ring(7);
     let tree = ring.bfs_spanning_tree(p(0));
     let processes: Vec<TreePifNode<u8, Vec<(ProcessId, u64)>, Gather>> = (0..7)
-        .map(|i| TreePifNode::new(p(i), &tree, 0u8, Gather { mine: 100 + i as u64 }))
+        .map(|i| {
+            TreePifNode::new(
+                p(i),
+                &tree,
+                0u8,
+                Gather {
+                    mine: 100 + i as u64,
+                },
+            )
+        })
         .collect();
-    let network = NetworkBuilder::new(7).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(7)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 44);
     runner.process_mut(p(0)).request_wave(1);
     runner
-        .run_until(5_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .run_until(5_000_000, |r| {
+            r.process(p(0)).request() == RequestState::Done
+        })
         .expect("wave decides");
     println!(
         "\n[snapshot] ring(7) via its BFS spanning tree; gathered: {:?}",

@@ -3,7 +3,9 @@
 //!
 //! Run with: `cargo run --example wave_applications`
 
-use snapstab_repro::apps::{BarrierProcess, LeaderProcess, ResetProcess, Resettable, SnapshotProcess};
+use snapstab_repro::apps::{
+    BarrierProcess, LeaderProcess, ResetProcess, Resettable, SnapshotProcess,
+};
 use snapstab_repro::core::request::RequestState;
 use snapstab_repro::sim::{
     Capacity, CorruptionPlan, NetworkBuilder, ProcessId, RandomScheduler, Runner, SimRng,
@@ -18,9 +20,12 @@ fn main() {
 
     // ---- Snapshot -------------------------------------------------------
     println!("== global snapshot ==");
-    let processes: Vec<SnapshotProcess<u32>> =
-        (0..n).map(|i| SnapshotProcess::new(p(i), n, 11 * i as u32)).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let processes: Vec<SnapshotProcess<u32>> = (0..n)
+        .map(|i| SnapshotProcess::new(p(i), n, 11 * i as u32))
+        .collect();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 1);
     let mut rng = SimRng::seed_from(2);
     CorruptionPlan::full().apply(&mut runner, &mut rng);
@@ -30,7 +35,9 @@ fn main() {
     let _ = runner.run_until(500_000, |r| r.process(p(1)).request() == RequestState::Done);
     runner.process_mut(p(1)).request_snapshot();
     runner
-        .run_until(1_000_000, |r| r.process(p(1)).request() == RequestState::Done)
+        .run_until(1_000_000, |r| {
+            r.process(p(1)).request() == RequestState::Done
+        })
         .unwrap();
     println!(
         "P1's first post-fault snapshot: {:?}\n",
@@ -40,16 +47,21 @@ fn main() {
     // ---- Leader election -------------------------------------------------
     println!("== leader election ==");
     let ids = [509u64, 32, 284, 77];
-    let processes: Vec<LeaderProcess> =
-        (0..n).map(|i| LeaderProcess::new(p(i), n, ids[i])).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let processes: Vec<LeaderProcess> = (0..n)
+        .map(|i| LeaderProcess::new(p(i), n, ids[i]))
+        .collect();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 3);
     let mut rng = SimRng::seed_from(4);
     CorruptionPlan::full().apply(&mut runner, &mut rng);
     let _ = runner.run_until(500_000, |r| r.process(p(0)).request() == RequestState::Done);
     runner.process_mut(p(0)).request_election();
     runner
-        .run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .run_until(1_000_000, |r| {
+            r.process(p(0)).request() == RequestState::Done
+        })
         .unwrap();
     let (id, at) = runner.process(p(0)).elected().unwrap();
     println!("P0 elected the leader: id {id} at {at} (ids were {ids:?})\n");
@@ -66,11 +78,15 @@ fn main() {
     let processes: Vec<ResetProcess<Journal>> = (0..n)
         .map(|i| ResetProcess::new(p(i), n, Journal(vec!["stale", "entries"])))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 5);
     runner.process_mut(p(2)).request_reset();
     runner
-        .run_until(1_000_000, |r| r.process(p(2)).request() == RequestState::Done)
+        .run_until(1_000_000, |r| {
+            r.process(p(2)).request() == RequestState::Done
+        })
         .unwrap();
     for i in 0..n {
         assert!(runner.process(p(i)).app().0.is_empty());
@@ -80,14 +96,18 @@ fn main() {
     // ---- Phase barrier ----------------------------------------------------
     println!("== phase barrier ==");
     let processes: Vec<BarrierProcess> = (0..n).map(|i| BarrierProcess::new(p(i), n)).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 6);
     for round in 1..=3u64 {
         for i in 0..n {
             assert!(runner.process_mut(p(i)).finish_work());
         }
         runner
-            .run_until(1_000_000, |r| (0..n).all(|i| r.process(p(i)).phase() == round))
+            .run_until(1_000_000, |r| {
+                (0..n).all(|i| r.process(p(i)).phase() == round)
+            })
             .unwrap();
         println!("barrier {round} crossed by all {n} processes in lockstep");
     }

@@ -10,8 +10,7 @@ use snapstab_repro::apps::{
 };
 use snapstab_repro::core::request::RequestState;
 use snapstab_repro::sim::{
-    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner,
-    SimRng,
+    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner, SimRng,
 };
 
 fn p(i: usize) -> ProcessId {
@@ -33,8 +32,12 @@ fn snapshot_then_leader_then_reset_pipeline() {
     // separate systems seeded identically and check all deliver.
     let n = 3;
     let mut snap = {
-        let processes = (0..n).map(|i| SnapshotProcess::new(p(i), n, i as u32)).collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let processes = (0..n)
+            .map(|i| SnapshotProcess::new(p(i), n, i as u32))
+            .collect();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(1))
+            .build();
         Runner::new(processes, network, RandomScheduler::new(), 7)
     };
     snap.process_mut(p(0)).request_snapshot();
@@ -43,8 +46,12 @@ fn snapshot_then_leader_then_reset_pipeline() {
     assert_eq!(snap.process(p(0)).snapshot_vector(), Some(vec![0, 1, 2]));
 
     let mut lead = {
-        let processes = (0..n).map(|i| LeaderProcess::new(p(i), n, 100 - i as u64)).collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let processes = (0..n)
+            .map(|i| LeaderProcess::new(p(i), n, 100 - i as u64))
+            .collect();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(1))
+            .build();
         Runner::new(processes, network, RandomScheduler::new(), 7)
     };
     lead.process_mut(p(0)).request_election();
@@ -53,8 +60,12 @@ fn snapshot_then_leader_then_reset_pipeline() {
     assert_eq!(lead.process(p(0)).elected(), Some((98, p(2))));
 
     let mut reset = {
-        let processes = (0..n).map(|i| ResetProcess::new(p(i), n, Flagged(true))).collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let processes = (0..n)
+            .map(|i| ResetProcess::new(p(i), n, Flagged(true)))
+            .collect();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(1))
+            .build();
         Runner::new(processes, network, RandomScheduler::new(), 7)
     };
     reset.process_mut(p(0)).request_reset();
@@ -70,7 +81,9 @@ fn snapshot_then_leader_then_reset_pipeline() {
 fn barrier_under_loss_keeps_lockstep() {
     let n = 3;
     let processes = (0..n).map(|i| BarrierProcess::new(p(i), n)).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 8);
     runner.set_loss(LossModel::probabilistic(0.2));
     for round in 1..=3u64 {
@@ -78,7 +91,9 @@ fn barrier_under_loss_keeps_lockstep() {
             assert!(runner.process_mut(p(i)).finish_work());
         }
         runner
-            .run_until(2_000_000, |r| (0..n).all(|i| r.process(p(i)).phase() == round))
+            .run_until(2_000_000, |r| {
+                (0..n).all(|i| r.process(p(i)).phase() == round)
+            })
             .unwrap();
     }
 }
@@ -167,20 +182,30 @@ fn termination_detection_full_lifecycle() {
     for seed in 0..4u64 {
         let n = 4;
         let processes = (0..n).map(|i| TerminationProcess::new(p(i), n)).collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(1))
+            .build();
         let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
         let mut rng = SimRng::seed_from(seed + 900);
         CorruptionPlan::full().apply(&mut runner, &mut rng);
         runner.process_mut(p(2)).seed_work(14);
-        let _ = runner.run_until(2_000_000, |r| r.process(p(0)).request() == RequestState::Done);
-        assert_eq!(runner.process(p(0)).request(), RequestState::Done, "seed {seed}");
+        let _ = runner.run_until(2_000_000, |r| {
+            r.process(p(0)).request() == RequestState::Done
+        });
+        assert_eq!(
+            runner.process(p(0)).request(),
+            RequestState::Done,
+            "seed {seed}"
+        );
 
         let mut confirmed = false;
         for _round in 0..15 {
             let req_step = runner.step_count();
             assert!(runner.process_mut(p(0)).request_detection());
             runner
-                .run_until(3_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+                .run_until(3_000_000, |r| {
+                    r.process(p(0)).request() == RequestState::Done
+                })
                 .expect("detection decides");
             let v = check_detection(runner.trace(), p(0), n, req_step);
             assert!(v.holds(), "seed {seed}: {v:?}");
@@ -189,7 +214,10 @@ fn termination_detection_full_lifecycle() {
                 break;
             }
         }
-        assert!(confirmed, "seed {seed}: detection eventually confirms termination");
+        assert!(
+            confirmed,
+            "seed {seed}: detection eventually confirms termination"
+        );
     }
 }
 
@@ -197,7 +225,9 @@ fn termination_detection_full_lifecycle() {
 fn termination_detection_under_loss() {
     let n = 3;
     let processes = (0..n).map(|i| TerminationProcess::new(p(i), n)).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 77);
     runner.set_loss(LossModel::probabilistic(0.2));
     runner.process_mut(p(1)).seed_work(6);
@@ -207,7 +237,9 @@ fn termination_detection_under_loss() {
     let req_step = runner.step_count();
     assert!(runner.process_mut(p(0)).request_detection());
     runner
-        .run_until(3_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .run_until(3_000_000, |r| {
+            r.process(p(0)).request() == RequestState::Done
+        })
         .expect("detection decides");
     let v = check_detection(runner.trace(), p(0), n, req_step);
     assert!(v.holds(), "{v:?}");

@@ -32,17 +32,25 @@ fn naive_deadlocks_where_snap_completes_same_loss_schedule() {
 
     let naive_procs: Vec<NaivePifProcess> =
         (0..2).map(|i| NaivePifProcess::new(p(i), 2, 9)).collect();
-    let network = NetworkBuilder::new(2).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(2)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut naive = Runner::new(naive_procs, network, RoundRobin::new(), 1);
     naive.set_loss(loss.clone());
     naive.process_mut(p(0)).request_broadcast(1);
     naive.run_steps(20_000).expect("run");
-    assert_eq!(naive.process(p(0)).request(), RequestState::In, "naive deadlocked");
+    assert_eq!(
+        naive.process(p(0)).request(),
+        RequestState::In,
+        "naive deadlocked"
+    );
 
     let snap_procs: Vec<PifProcess<u32, u32, Answer>> = (0..2)
         .map(|i| PifProcess::with_initial_f(p(i), 2, 0, 0, Answer(9)))
         .collect();
-    let network = NetworkBuilder::new(2).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(2)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut snap = Runner::new(snap_procs, network, RoundRobin::new(), 1);
     snap.set_loss(loss);
     snap.process_mut(p(0)).request_broadcast(1);
@@ -56,8 +64,13 @@ fn abp_eventually_transfers_suffix_after_corruption() {
     // Self-stabilization: after the (possibly violated) first item, the
     // remaining transfers succeed in order.
     let queue: Vec<u32> = (1..=6).collect();
-    let processes = vec![AbpProcess::sender(queue.clone(), 64), AbpProcess::receiver(64)];
-    let network = NetworkBuilder::new(2).capacity(Capacity::Bounded(1)).build();
+    let processes = vec![
+        AbpProcess::sender(queue.clone(), 64),
+        AbpProcess::receiver(64),
+    ];
+    let network = NetworkBuilder::new(2)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 8);
     runner
         .network_mut()
@@ -65,7 +78,9 @@ fn abp_eventually_transfers_suffix_after_corruption() {
         .unwrap()
         .preload([AbpMsg::Ack { label: 0 }]); // matches the initial label
     runner
-        .run_until(1_000_000, |r| r.process(p(0)).progress() == Some(queue.len()))
+        .run_until(1_000_000, |r| {
+            r.process(p(0)).progress() == Some(queue.len())
+        })
         .expect("sender finishes");
     let _ = runner.run_steps(200);
     let delivered = runner.process(p(1)).delivered().to_vec();
@@ -76,7 +91,10 @@ fn abp_eventually_transfers_suffix_after_corruption() {
         while qi < queue.len() && queue[qi] != *d {
             qi += 1;
         }
-        assert!(qi < queue.len(), "delivered {d} out of order: {delivered:?}");
+        assert!(
+            qi < queue.len(),
+            "delivered {d} out of order: {delivered:?}"
+        );
         qi += 1;
     }
     assert!(
@@ -92,9 +110,12 @@ fn counter_flush_converges_after_one_wave() {
     // waves 2..5 are all clean.
     let n = 3;
     let k = 4;
-    let processes: Vec<CfProcess> =
-        (0..n).map(|i| CfProcess::new(p(i), n, k, 100 + i as u32)).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let processes: Vec<CfProcess> = (0..n)
+        .map(|i| CfProcess::new(p(i), n, k, 100 + i as u32))
+        .collect();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RoundRobin::new(), 2);
     for i in 1..n {
         runner

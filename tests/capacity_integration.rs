@@ -1,3 +1,5 @@
+// Index loops over parallel per-process arrays read clearer than enumerate here.
+#![allow(clippy::needless_range_loop)]
 //! Cross-crate integration tests for the §4 bounded-capacity extension:
 //! the full protocol stack (PIF, IDL, ME) over channels holding more than
 //! one message, with the generalized `2c + 3`-valued flag domains, plus the
@@ -12,8 +14,8 @@ use snapstab_repro::core::pif::{PifApp, PifProcess};
 use snapstab_repro::core::request::RequestState;
 use snapstab_repro::core::spec::{analyze_me_trace, channels_flushed, check_bare_pif_wave};
 use snapstab_repro::sim::{
-    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler,
-    RoundRobin, Runner, Scheduler, SimRng,
+    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, RoundRobin,
+    Runner, Scheduler, SimRng,
 };
 
 fn p(i: usize) -> ProcessId {
@@ -34,18 +36,24 @@ impl PifApp<u32, u32> for Tagger {
 
 type Proc = PifProcess<u32, u32, Tagger>;
 
-fn pif_runner<S: Scheduler>(
-    n: usize,
-    capacity: usize,
-    scheduler: S,
-    seed: u64,
-) -> Runner<Proc, S> {
+fn pif_runner<S: Scheduler>(n: usize, capacity: usize, scheduler: S, seed: u64) -> Runner<Proc, S> {
     let processes = (0..n)
         .map(|i| {
-            PifProcess::for_capacity(p(i), n, 0u32, 0u32, capacity, Tagger { tag: 100 + i as u32 })
+            PifProcess::for_capacity(
+                p(i),
+                n,
+                0u32,
+                0u32,
+                capacity,
+                Tagger {
+                    tag: 100 + i as u32,
+                },
+            )
         })
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(capacity)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(capacity))
+        .build();
     Runner::new(processes, network, scheduler, seed)
 }
 
@@ -53,12 +61,16 @@ fn pif_runner<S: Scheduler>(
 /// Specification 1 on the trace.
 fn wave_spec_holds<S: Scheduler>(mut runner: Runner<Proc, S>, n: usize) {
     let initiator = p(0);
-    let _ = runner.run_until(500_000, |r| r.process(initiator).request() == RequestState::Done);
+    let _ = runner.run_until(500_000, |r| {
+        r.process(initiator).request() == RequestState::Done
+    });
     let req_step = runner.step_count();
     runner.mark(initiator, "request");
     assert!(runner.process_mut(initiator).request_broadcast(7));
     runner
-        .run_until(5_000_000, |r| r.process(initiator).request() == RequestState::Done)
+        .run_until(5_000_000, |r| {
+            r.process(initiator).request() == RequestState::Done
+        })
         .expect("wave decides");
     let verdict = check_bare_pif_wave(runner.trace(), initiator, n, req_step, &7, |q| {
         100 + q.index() as u32
@@ -111,12 +123,14 @@ fn property1_flush_holds_at_capacity_two() {
                 .network_mut()
                 .channel_mut(a, b)
                 .unwrap()
-                .preload(std::iter::repeat(junk.clone()).take(capacity));
+                .preload(std::iter::repeat_n(junk.clone(), capacity));
         }
     }
     assert!(runner.process_mut(p(0)).request_broadcast(7));
     runner
-        .run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .run_until(1_000_000, |r| {
+            r.process(p(0)).request() == RequestState::Done
+        })
         .expect("wave decides");
     assert_eq!(runner.process(p(0)).request(), RequestState::Done);
     assert!(channels_flushed(runner.network(), p(0), |m| m.broadcast == 0xDEAD));
@@ -127,8 +141,12 @@ fn idl_learns_exactly_at_capacity_two() {
     let n = 4;
     let ids: Vec<u64> = vec![42, 7, 99, 23];
     for seed in 0..4 {
-        let processes = (0..n).map(|i| IdlProcess::for_capacity(p(i), n, ids[i], 2)).collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(2)).build();
+        let processes = (0..n)
+            .map(|i| IdlProcess::for_capacity(p(i), n, ids[i], 2))
+            .collect();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(2))
+            .build();
         let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
         let mut rng = SimRng::seed_from(seed + 77);
         CorruptionPlan::full().apply(&mut runner, &mut rng);
@@ -138,12 +156,16 @@ fn idl_learns_exactly_at_capacity_two() {
         });
         if runner.process(p(0)).request() != RequestState::Done {
             runner
-                .run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+                .run_until(1_000_000, |r| {
+                    r.process(p(0)).request() == RequestState::Done
+                })
                 .expect("drain");
         }
         assert!(runner.process_mut(p(0)).request_learning());
         runner
-            .run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .run_until(1_000_000, |r| {
+                r.process(p(0)).request() == RequestState::Done
+            })
             .expect("IDL decides");
         let learned = runner.process(p(0)).idl();
         assert_eq!(learned.min_id(), 7);
@@ -158,8 +180,12 @@ fn me_serves_requests_exclusively_at_capacity_two() {
     let n = 3;
     let ids = [30u64, 10, 20];
     for seed in 0..3 {
-        let processes = (0..n).map(|i| MeProcess::for_capacity(p(i), n, ids[i], 2)).collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(2)).build();
+        let processes = (0..n)
+            .map(|i| MeProcess::for_capacity(p(i), n, ids[i], 2))
+            .collect();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(2))
+            .build();
         let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
         let mut rng = SimRng::seed_from(seed + 300);
         CorruptionPlan::full().apply(&mut runner, &mut rng);
@@ -177,20 +203,28 @@ fn me_serves_requests_exclusively_at_capacity_two() {
         }
         let report = analyze_me_trace(runner.trace(), n);
         assert!(report.exclusivity_holds(), "seed {seed}: {report:?}");
-        assert!(!report.served.is_empty(), "seed {seed}: some request was served");
+        assert!(
+            !report.served.is_empty(),
+            "seed {seed}: some request was served"
+        );
     }
 }
 
 #[test]
 fn paper_domain_is_exactly_a_capacity_one_artifact() {
     // Safe at its design capacity…
-    let safe = drive_stale(&StaleConfig::canonical(1, FlagDomain::PAPER), StaleSchedule::Canonical);
+    let safe = drive_stale(
+        &StaleConfig::canonical(1, FlagDomain::PAPER),
+        StaleSchedule::Canonical,
+    );
     assert!(!safe.stale_decided);
     assert_eq!(safe.max_stale_flag.value(), 3, "the Figure 1 bound");
 
     // …and broken one capacity above: the wave completes on garbage.
-    let broken =
-        drive_stale(&StaleConfig::canonical(2, FlagDomain::PAPER), StaleSchedule::Canonical);
+    let broken = drive_stale(
+        &StaleConfig::canonical(2, FlagDomain::PAPER),
+        StaleSchedule::Canonical,
+    );
     assert!(broken.stale_decided, "{broken:?}");
 
     // The generalized domain restores the guarantee at capacity 2.
@@ -199,7 +233,11 @@ fn paper_domain_is_exactly_a_capacity_one_artifact() {
         StaleSchedule::Canonical,
     );
     assert!(!fixed.stale_decided, "{fixed:?}");
-    assert_eq!(fixed.max_stale_flag.value(), 5, "tight: 2c + 1 stale increments");
+    assert_eq!(
+        fixed.max_stale_flag.value(),
+        5,
+        "tight: 2c + 1 stale increments"
+    );
 }
 
 #[test]
@@ -218,11 +256,15 @@ fn undersized_domain_fails_spec1_end_to_end_at_capacity_two() {
                 0u32,
                 0u32,
                 FlagDomain::PAPER,
-                Tagger { tag: 100 + i as u32 },
+                Tagger {
+                    tag: 100 + i as u32,
+                },
             )
         })
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(2)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(2))
+        .build();
     let mut runner = Runner::new(processes, network, RoundRobin::new(), 0);
 
     // Install the canonical adversary manually (same shape as the driver).
@@ -234,7 +276,10 @@ fn undersized_domain_fails_spec1_end_to_end_at_capacity_two() {
         s.request = cfg.request_q;
         q.core_mut().restore(s);
     }
-    let plant = |(ss, es): (snapstab_repro::core::flag::Flag, snapstab_repro::core::flag::Flag)| {
+    let plant = |(ss, es): (
+        snapstab_repro::core::flag::Flag,
+        snapstab_repro::core::flag::Flag,
+    )| {
         snapstab_repro::core::pif::PifMsg {
             broadcast: 0xDEAD_u32,
             feedback: 0xDEAD_u32,
@@ -295,7 +340,9 @@ fn correct_initialization_needs_no_adversary_margin() {
         let mut runner = pif_runner(n, capacity, RoundRobin::new(), 5);
         assert!(runner.process_mut(p(0)).request_broadcast(7));
         runner
-            .run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .run_until(1_000_000, |r| {
+                r.process(p(0)).request() == RequestState::Done
+            })
             .expect("clean wave decides");
     }
 }

@@ -13,9 +13,7 @@ use snapstab_repro::core::idl::IdlProcess;
 use snapstab_repro::core::me::MeProcess;
 use snapstab_repro::core::request::RequestState;
 use snapstab_repro::core::spec::analyze_me_trace;
-use snapstab_repro::sim::{
-    Capacity, NetworkBuilder, ProcessId, RandomScheduler, Runner,
-};
+use snapstab_repro::sim::{Capacity, NetworkBuilder, ProcessId, RandomScheduler, Runner};
 
 fn p(i: usize) -> ProcessId {
     ProcessId::new(i)
@@ -27,7 +25,9 @@ fn crashed_process_stops_participating() {
     let processes: Vec<IdlProcess> = (0..n)
         .map(|i| IdlProcess::new(p(i), n, 10 + i as u64))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 1);
     runner.crash(p(2));
     assert!(runner.is_crashed(p(2)));
@@ -48,7 +48,9 @@ fn a_single_crash_blocks_every_wave() {
     let processes: Vec<IdlProcess> = (0..n)
         .map(|i| IdlProcess::new(p(i), n, 10 + i as u64))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 2);
     runner.crash(p(1));
     runner.process_mut(p(0)).request_learning();
@@ -71,7 +73,9 @@ fn crash_preserves_me_safety_but_kills_liveness() {
     let processes: Vec<MeProcess> = (0..n)
         .map(|i| MeProcess::new(p(i), n, 10 + i as u64))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 3);
     // Let the system cycle, then crash the leader.
     runner.run_steps(20_000).unwrap();
@@ -99,7 +103,9 @@ fn crash_of_a_non_leader_also_blocks_waves() {
     let processes: Vec<MeProcess> = (0..n)
         .map(|i| MeProcess::new(p(i), n, 10 + i as u64))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 4);
     runner.run_steps(20_000).unwrap();
     let cycles_before = runner.process(p(0)).counters().phase_zero_visits;
@@ -115,9 +121,10 @@ fn crash_of_a_non_leader_also_blocks_waves() {
 #[test]
 fn quiescence_accounts_for_crashed_processes() {
     let n = 2;
-    let processes: Vec<IdlProcess> =
-        (0..n).map(|i| IdlProcess::new(p(i), n, i as u64)).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let processes: Vec<IdlProcess> = (0..n).map(|i| IdlProcess::new(p(i), n, i as u64)).collect();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 5);
     runner.process_mut(p(0)).request_learning();
     runner.crash(p(0));

@@ -6,8 +6,7 @@
 use snapstab_repro::core::me::{MeConfig, MeProcess, ValueMode};
 use snapstab_repro::core::request::RequestState;
 use snapstab_repro::impossibility::{
-    replay_construction, AdversarialConstruction, DoubleWinDemo, Feasibility,
-    MutualExclusionBad,
+    replay_construction, AdversarialConstruction, DoubleWinDemo, Feasibility, MutualExclusionBad,
 };
 use snapstab_repro::sim::{Capacity, NetworkBuilder, ProcessId, RoundRobin, Runner, SimError};
 
@@ -47,7 +46,12 @@ fn construction_compose_and_install_roundtrip() {
     // Feasibility arithmetic matches the witness material.
     assert_eq!(
         construction.max_channel_load(),
-        construction.channel_preload.values().map(Vec::len).max().unwrap()
+        construction
+            .channel_preload
+            .values()
+            .map(Vec::len)
+            .max()
+            .unwrap()
     );
     assert!(matches!(
         construction.feasibility(Capacity::Bounded(construction.max_channel_load())),
@@ -59,7 +63,11 @@ fn construction_compose_and_install_roundtrip() {
     ));
 
     // Installation on a bounded runner is refused and non-destructive.
-    let config = MeConfig { cs_duration: demo.cs_duration, value_mode: ValueMode::Corrected, ..MeConfig::default() };
+    let config = MeConfig {
+        cs_duration: demo.cs_duration,
+        value_mode: ValueMode::Corrected,
+        ..MeConfig::default()
+    };
     let mk = |cap: Capacity| {
         let processes: Vec<MeProcess> = (0..3)
             .map(|i| MeProcess::with_config(p(i), 3, 100 + i as u64, config))
@@ -136,11 +144,17 @@ fn bounded_control_group_never_overlaps_on_witness_seeds() {
     use snapstab_repro::core::spec::analyze_me_trace;
     use snapstab_repro::sim::{CorruptionPlan, SimRng};
     for seed in 0..4 {
-        let config = MeConfig { cs_duration: 8, value_mode: ValueMode::Corrected, ..MeConfig::default() };
+        let config = MeConfig {
+            cs_duration: 8,
+            value_mode: ValueMode::Corrected,
+            ..MeConfig::default()
+        };
         let processes: Vec<MeProcess> = (0..3)
             .map(|i| MeProcess::with_config(p(i), 3, 100 + i as u64, config))
             .collect();
-        let network = NetworkBuilder::new(3).capacity(Capacity::Bounded(1)).build();
+        let network = NetworkBuilder::new(3)
+            .capacity(Capacity::Bounded(1))
+            .build();
         let mut runner = Runner::new(processes, network, RoundRobin::new(), seed);
         let mut rng = SimRng::seed_from(seed);
         CorruptionPlan::full().apply(&mut runner, &mut rng);

@@ -1,3 +1,6 @@
+// Inline generic runner/checker types in assertions; aliasing them would hide
+// which instantiation is under test.
+#![allow(clippy::type_complexity)]
 //! Cross-crate validation of the model checker:
 //!
 //! 1. **Conformance (bisimulation)** — the MC transition function and the
@@ -14,9 +17,7 @@ use snapstab_repro::core::request::RequestState;
 use snapstab_repro::mc::{
     apply, explore, successors, Config, Fifo, McMove, MsgPq, MsgQp, Params, ReqP, ReqQ, SeedSet,
 };
-use snapstab_repro::sim::{
-    Capacity, Move, NetworkBuilder, ProcessId, Runner, RoundRobin, SimRng,
-};
+use snapstab_repro::sim::{Capacity, Move, NetworkBuilder, ProcessId, RoundRobin, Runner, SimRng};
 
 fn p0() -> ProcessId {
     ProcessId::new(0)
@@ -41,7 +42,9 @@ type Proc = PifProcess<u32, u32, Echo>;
 fn realize(config: &Config, params: Params) -> Runner<Proc, RoundRobin> {
     let domain = FlagDomain::with_max(params.max_flag());
     let mk = |i: usize| PifProcess::with_domain(ProcessId::new(i), 2, 0u32, 0u32, domain, Echo);
-    let network = NetworkBuilder::new(2).capacity(Capacity::Bounded(params.cap)).build();
+    let network = NetworkBuilder::new(2)
+        .capacity(Capacity::Bounded(params.cap))
+        .build();
     let mut runner = Runner::new(vec![mk(0), mk(1)], network, RoundRobin::new(), 0);
 
     {
@@ -67,27 +70,42 @@ fn realize(config: &Config, params: Params) -> Runner<Proc, RoundRobin> {
         s.neig_state[0] = Flag::new(config.neig_q);
         q.core_mut().restore(s);
     }
-    runner.network_mut().channel_mut(p0(), p1()).unwrap().preload(config.pq.iter().map(
-        |m: MsgPq| PifMsg {
+    runner
+        .network_mut()
+        .channel_mut(p0(), p1())
+        .unwrap()
+        .preload(config.pq.iter().map(|m: MsgPq| PifMsg {
             broadcast: 0u32,
             feedback: 0u32,
             sender_state: Flag::new(m.sender),
             echoed_state: Flag::new(m.echoed),
-        },
-    ));
-    runner.network_mut().channel_mut(p1(), p0()).unwrap().preload(config.qp.iter().map(
-        |m: MsgQp| PifMsg {
+        }));
+    runner
+        .network_mut()
+        .channel_mut(p1(), p0())
+        .unwrap()
+        .preload(config.qp.iter().map(|m: MsgQp| PifMsg {
             broadcast: 0u32,
             feedback: 0u32,
             sender_state: Flag::new(m.sender),
             echoed_state: Flag::new(m.echoed),
-        },
-    ));
+        }));
     runner
 }
 
 /// Protocol-visible observation of the real system, for comparison.
-fn observe(runner: &Runner<Proc, RoundRobin>) -> (RequestState, u8, u8, RequestState, u8, u8, Vec<(u8, u8)>, Vec<(u8, u8)>) {
+fn observe(
+    runner: &Runner<Proc, RoundRobin>,
+) -> (
+    RequestState,
+    u8,
+    u8,
+    RequestState,
+    u8,
+    u8,
+    Vec<(u8, u8)>,
+    Vec<(u8, u8)>,
+) {
     let flags = |msgs: Vec<PifMsg<u32, u32>>| {
         msgs.iter()
             .map(|m| (m.sender_state.value(), m.echoed_state.value()))
@@ -106,7 +124,18 @@ fn observe(runner: &Runner<Proc, RoundRobin>) -> (RequestState, u8, u8, RequestS
 }
 
 /// The same observation of an MC configuration.
-fn observe_mc(c: &Config) -> (RequestState, u8, u8, RequestState, u8, u8, Vec<(u8, u8)>, Vec<(u8, u8)>) {
+fn observe_mc(
+    c: &Config,
+) -> (
+    RequestState,
+    u8,
+    u8,
+    RequestState,
+    u8,
+    u8,
+    Vec<(u8, u8)>,
+    Vec<(u8, u8)>,
+) {
     (
         match c.req_p {
             ReqP::In => RequestState::In,
@@ -130,8 +159,14 @@ fn mirror_move(mv: McMove) -> Option<Move> {
     match mv {
         McMove::ActivateP => Some(Move::Activate(p0())),
         McMove::ActivateQ => Some(Move::Activate(p1())),
-        McMove::DeliverPq => Some(Move::Deliver { from: p0(), to: p1() }),
-        McMove::DeliverQp => Some(Move::Deliver { from: p1(), to: p0() }),
+        McMove::DeliverPq => Some(Move::Deliver {
+            from: p0(),
+            to: p1(),
+        }),
+        McMove::DeliverQp => Some(Move::Deliver {
+            from: p1(),
+            to: p0(),
+        }),
         // Losses are mirrored by popping the channel head directly.
         McMove::LosePq | McMove::LoseQp => None,
     }
@@ -142,12 +177,24 @@ fn random_config(params: Params, rng: &mut SimRng) -> Config {
     let f = |rng: &mut SimRng| rng.gen_range(0..params.m as usize) as u8;
     let mut pq = Fifo::empty();
     for _ in 0..rng.gen_range(0..params.cap + 1) {
-        let _ = pq.push(MsgPq { sender: f(rng), echoed: f(rng), genuine: false }, params.cap);
+        let _ = pq.push(
+            MsgPq {
+                sender: f(rng),
+                echoed: f(rng),
+                genuine: false,
+            },
+            params.cap,
+        );
     }
     let mut qp = Fifo::empty();
     for _ in 0..rng.gen_range(0..params.cap + 1) {
         let _ = qp.push(
-            MsgQp { sender: f(rng), echoed: f(rng), echo_genuine: false, fb_genuine: false },
+            MsgQp {
+                sender: f(rng),
+                echoed: f(rng),
+                echo_genuine: false,
+                fb_genuine: false,
+            },
             params.cap,
         );
     }
@@ -177,7 +224,11 @@ fn mc_model_bisimulates_the_real_protocol() {
             let mut rng = SimRng::seed_from(walk * 131 + params.cap as u64);
             let mut mc = random_config(params, &mut rng);
             let mut real = realize(&mc, params);
-            assert_eq!(observe_mc(&mc), observe(&real), "initial mirror, walk {walk}");
+            assert_eq!(
+                observe_mc(&mc),
+                observe(&real),
+                "initial mirror, walk {walk}"
+            );
 
             for step in 0..40 {
                 let succ = successors(&mc, params);
@@ -190,7 +241,11 @@ fn mc_model_bisimulates_the_real_protocol() {
                     Some(real_mv) => real.execute_move(real_mv).expect("mirrored move applies"),
                     None => {
                         // A loss: pop the same channel head.
-                        let (a, b) = if mv == McMove::LosePq { (p0(), p1()) } else { (p1(), p0()) };
+                        let (a, b) = if mv == McMove::LosePq {
+                            (p0(), p1())
+                        } else {
+                            (p1(), p0())
+                        };
                         real.network_mut()
                             .channel_mut(a, b)
                             .unwrap()
@@ -224,8 +279,17 @@ fn counterexample_replays_as_a_real_attack() {
         match mirror_move(mv) {
             Some(real_mv) => runner.execute_move(real_mv).expect("attack move applies"),
             None => {
-                let (a, b) = if mv == McMove::LosePq { (p0(), p1()) } else { (p1(), p0()) };
-                runner.network_mut().channel_mut(a, b).unwrap().pop().expect("loss applies");
+                let (a, b) = if mv == McMove::LosePq {
+                    (p0(), p1())
+                } else {
+                    (p1(), p0())
+                };
+                runner
+                    .network_mut()
+                    .channel_mut(a, b)
+                    .unwrap()
+                    .pop()
+                    .expect("loss applies");
             }
         }
     }
@@ -247,12 +311,22 @@ fn counterexample_replays_as_a_real_attack() {
         &0u32,
         |_q| 1u32,
     );
-    assert!(!verdict.holds(), "the MC attack breaks Specification 1 for real: {verdict:?}");
+    assert!(
+        !verdict.holds(),
+        "the MC attack breaks Specification 1 for real: {verdict:?}"
+    );
 }
 
 #[test]
 fn paper_domain_verified_safe_by_sampled_enumeration() {
-    let report = explore(Params::paper(), &SeedSet::Sampled { count: 20_000, rng_seed: 3 }, 5_000_000);
+    let report = explore(
+        Params::paper(),
+        &SeedSet::Sampled {
+            count: 20_000,
+            rng_seed: 3,
+        },
+        5_000_000,
+    );
     assert!(report.verified_safe(), "{report:?}");
     assert!(report.exhausted);
 }
@@ -261,10 +335,16 @@ fn paper_domain_verified_safe_by_sampled_enumeration() {
 fn every_undersized_domain_has_a_counterexample() {
     for m in [2u8, 3, 4] {
         let report = explore(Params::new(m, 1), &SeedSet::Exhaustive, 10_000_000);
-        let cex = report.violation.unwrap_or_else(|| panic!("m = {m} must break"));
+        let cex = report
+            .violation
+            .unwrap_or_else(|| panic!("m = {m} must break"));
         // BFS gives shortest-by-construction: the attack needs at most
         // 2 moves per stale increment plus bookkeeping.
-        assert!(cex.moves.len() <= 2 * m as usize + 2, "m = {m}: {}", cex.moves.len());
+        assert!(
+            cex.moves.len() <= 2 * m as usize + 2,
+            "m = {m}: {}",
+            cex.moves.len()
+        );
     }
 }
 
@@ -272,10 +352,16 @@ fn every_undersized_domain_has_a_counterexample() {
 fn capacity_mismatch_counterexample_found_by_search() {
     let report = explore(
         Params::new(5, 2),
-        &SeedSet::Sampled { count: 50_000, rng_seed: 7 },
+        &SeedSet::Sampled {
+            count: 50_000,
+            rng_seed: 7,
+        },
         20_000_000,
     );
-    assert!(report.violation.is_some(), "5 values at capacity 2 must break: {report:?}");
+    assert!(
+        report.violation.is_some(),
+        "5 values at capacity 2 must break: {report:?}"
+    );
 }
 
 #[test]

@@ -1,3 +1,5 @@
+// Index loops over parallel per-process arrays read clearer than enumerate here.
+#![allow(clippy::needless_range_loop)]
 //! Cross-crate integration tests: mutual exclusion (Algorithm 3) end to
 //! end, plus the contrast with the self-stabilizing token ring.
 
@@ -7,26 +9,29 @@ use snapstab_repro::core::me::{MeConfig, MeProcess, ValueMode};
 use snapstab_repro::core::request::RequestState;
 use snapstab_repro::core::spec::analyze_me_trace;
 use snapstab_repro::sim::{
-    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner,
-    SimRng,
+    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner, SimRng,
 };
 
 fn p(i: usize) -> ProcessId {
     ProcessId::new(i)
 }
 
-fn me_system(
-    n: usize,
-    cs_duration: u64,
-    seed: u64,
-) -> Runner<MeProcess, RandomScheduler> {
-    let config = MeConfig { cs_duration, value_mode: ValueMode::Corrected, ..MeConfig::default() };
+fn me_system(n: usize, cs_duration: u64, seed: u64) -> Runner<MeProcess, RandomScheduler> {
+    let config = MeConfig {
+        cs_duration,
+        value_mode: ValueMode::Corrected,
+        ..MeConfig::default()
+    };
     // Unsorted ids; the leader is the process with the smallest.
-    let ids: Vec<u64> = (0..n).map(|i| ((i * 7919 + 13) % 1000) as u64 + 1).collect();
+    let ids: Vec<u64> = (0..n)
+        .map(|i| ((i * 7919 + 13) % 1000) as u64 + 1)
+        .collect();
     let processes = (0..n)
         .map(|i| MeProcess::with_config(p(i), n, ids[i], config))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     Runner::new(processes, network, RandomScheduler::new(), seed)
 }
 
@@ -42,9 +47,7 @@ fn workload(
     while executed < budget {
         executed += runner.run_steps(400).expect("run").steps;
         for i in 0..n {
-            if runner.process(p(i)).request() == RequestState::Done
-                && rng.gen_bool(request_prob)
-            {
+            if runner.process(p(i)).request() == RequestState::Done && rng.gen_bool(request_prob) {
                 runner.mark(p(i), "request");
                 assert!(runner.process_mut(p(i)).request_cs());
             }
@@ -65,7 +68,10 @@ fn exclusivity_from_many_corrupted_starts() {
             "seed {seed}: {:?}",
             report.genuine_overlaps
         );
-        assert!(!report.served.is_empty(), "seed {seed}: some request must be served");
+        assert!(
+            !report.served.is_empty(),
+            "seed {seed}: some request must be served"
+        );
     }
 }
 
@@ -88,7 +94,7 @@ fn every_request_is_eventually_served() {
     CorruptionPlan::full().apply(&mut runner, &mut rng);
     // One request per process, injected when possible; then a generous
     // drain.
-    let mut to_request = vec![true; 3];
+    let mut to_request = [true; 3];
     let mut executed = 0;
     while executed < 600_000 && to_request.iter().any(|&b| b) {
         executed += runner.run_steps(300).expect("run").steps;
@@ -138,9 +144,12 @@ fn token_ring_overlaps_but_me_does_not_on_same_corruption_seeds() {
     for seed in 0..12 {
         // Token ring from corrupted state.
         let n = 4;
-        let ring_procs: Vec<TokenRingProcess> =
-            (0..n).map(|i| TokenRingProcess::new(p(i), n, 5, 2)).collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let ring_procs: Vec<TokenRingProcess> = (0..n)
+            .map(|i| TokenRingProcess::new(p(i), n, 5, 2))
+            .collect();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(1))
+            .build();
         let mut ring = Runner::new(ring_procs, network, RandomScheduler::new(), seed);
         let mut rng = SimRng::seed_from(seed);
         for i in 0..n {
@@ -163,7 +172,10 @@ fn token_ring_overlaps_but_me_does_not_on_same_corruption_seeds() {
         let mut rng = SimRng::seed_from(seed);
         CorruptionPlan::full().apply(&mut me, &mut rng);
         let report = workload(&mut me, 25_000, 0.02, &mut rng);
-        assert!(report.exclusivity_holds(), "seed {seed}: ME must stay exclusive");
+        assert!(
+            report.exclusivity_holds(),
+            "seed {seed}: ME must stay exclusive"
+        );
     }
     assert!(
         ring_overlap_seeds > 0,
@@ -173,12 +185,18 @@ fn token_ring_overlaps_but_me_does_not_on_same_corruption_seeds() {
 
 #[test]
 fn paper_literal_value_mode_starves() {
-    let config = MeConfig { cs_duration: 0, value_mode: ValueMode::PaperLiteral, ..MeConfig::default() };
+    let config = MeConfig {
+        cs_duration: 0,
+        value_mode: ValueMode::PaperLiteral,
+        ..MeConfig::default()
+    };
     let n = 3;
     let processes: Vec<MeProcess> = (0..n)
         .map(|i| MeProcess::with_config(p(i), n, 10 + i as u64, config))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 3);
     runner.run_steps(80_000).expect("warmup");
     // The pointer is dead at n; a new request is never served.

@@ -6,7 +6,9 @@ use snapstab_repro::core::flag::Flag;
 use snapstab_repro::core::me::{MeBroadcast, MeFeedback, MeProcess};
 use snapstab_repro::core::pif::{PifApp, PifMsg, PifProcess};
 use snapstab_repro::core::request::RequestState;
-use snapstab_repro::sim::{Capacity, Move, NetworkBuilder, ProcessId, Protocol, RoundRobin, Runner};
+use snapstab_repro::sim::{
+    Capacity, Move, NetworkBuilder, ProcessId, Protocol, RoundRobin, Runner,
+};
 
 fn p(i: usize) -> ProcessId {
     ProcessId::new(i)
@@ -26,7 +28,9 @@ type Pif = PifProcess<u32, u32, Ans>;
 
 fn pif_pair() -> Runner<Pif, RoundRobin> {
     let mk = |i: usize| PifProcess::with_initial_f(p(i), 2, 0u32, 0u32, Ans(100 + i as u32));
-    let network = NetworkBuilder::new(2).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(2)
+        .capacity(Capacity::Bounded(1))
+        .build();
     Runner::new(vec![mk(0), mk(1)], network, RoundRobin::new(), 0)
 }
 
@@ -42,7 +46,11 @@ fn alg1_a1_start_resets_flags() {
     assert_eq!(r.process(p(0)).request(), RequestState::Wait);
     r.execute_move(Move::Activate(p(0))).unwrap();
     assert_eq!(r.process(p(0)).request(), RequestState::In, "Wait → In");
-    assert_eq!(r.process(p(0)).core().state_of(p(1)), Flag::ZERO, "State[q] ← 0");
+    assert_eq!(
+        r.process(p(0)).core().state_of(p(1)),
+        Flag::ZERO,
+        "State[q] ← 0"
+    );
 }
 
 /// **Algorithm 1, A2 (retransmit half)** :: while `Request = In` and some
@@ -89,14 +97,19 @@ fn alg1_a3_receive_brd_guard() {
         sender_state: Flag::new(ss),
         echoed_state: Flag::new(0),
     };
-    r.network_mut().channel_mut(p(1), p(0)).unwrap().preload([msg(3)]);
-    r.execute_move(Move::Deliver { from: p(1), to: p(0) }).unwrap();
+    r.network_mut()
+        .channel_mut(p(1), p(0))
+        .unwrap()
+        .preload([msg(3)]);
+    r.execute_move(Move::Deliver {
+        from: p(1),
+        to: p(0),
+    })
+    .unwrap();
     let brd_events = r
         .trace()
         .protocol_events_of(p(0))
-        .filter(|(_, e)| {
-            matches!(e, snapstab_repro::core::pif::PifEvent::ReceiveBrd { .. })
-        })
+        .filter(|(_, e)| matches!(e, snapstab_repro::core::pif::PifEvent::ReceiveBrd { .. }))
         .count();
     assert_eq!(brd_events, 0, "NeigState already 3: no event");
 
@@ -104,14 +117,19 @@ fn alg1_a3_receive_brd_guard() {
     let mut s = r.process(p(0)).core().snapshot();
     s.neig_state[1] = Flag::new(2);
     r.process_mut(p(0)).core_mut().restore(s);
-    r.network_mut().channel_mut(p(1), p(0)).unwrap().preload([msg(3)]);
-    r.execute_move(Move::Deliver { from: p(1), to: p(0) }).unwrap();
+    r.network_mut()
+        .channel_mut(p(1), p(0))
+        .unwrap()
+        .preload([msg(3)]);
+    r.execute_move(Move::Deliver {
+        from: p(1),
+        to: p(0),
+    })
+    .unwrap();
     let brd_events = r
         .trace()
         .protocol_events_of(p(0))
-        .filter(|(_, e)| {
-            matches!(e, snapstab_repro::core::pif::PifEvent::ReceiveBrd { .. })
-        })
+        .filter(|(_, e)| matches!(e, snapstab_repro::core::pif::PifEvent::ReceiveBrd { .. }))
         .count();
     assert_eq!(brd_events, 1);
     assert_eq!(r.process(p(0)).core().neig_state_of(p(1)), Flag::new(3));
@@ -133,12 +151,26 @@ fn alg1_a3_echo_increment_guard() {
         echoed_state: Flag::new(es),
     };
     // Mismatched echo: no increment.
-    r.network_mut().channel_mut(p(1), p(0)).unwrap().preload([msg(1)]);
-    r.execute_move(Move::Deliver { from: p(1), to: p(0) }).unwrap();
+    r.network_mut()
+        .channel_mut(p(1), p(0))
+        .unwrap()
+        .preload([msg(1)]);
+    r.execute_move(Move::Deliver {
+        from: p(1),
+        to: p(0),
+    })
+    .unwrap();
     assert_eq!(r.process(p(0)).core().state_of(p(1)), Flag::new(2));
     // Matching echo: increment by exactly one.
-    r.network_mut().channel_mut(p(1), p(0)).unwrap().preload([msg(2)]);
-    r.execute_move(Move::Deliver { from: p(1), to: p(0) }).unwrap();
+    r.network_mut()
+        .channel_mut(p(1), p(0))
+        .unwrap()
+        .preload([msg(2)]);
+    r.execute_move(Move::Deliver {
+        from: p(1),
+        to: p(0),
+    })
+    .unwrap();
     assert_eq!(r.process(p(0)).core().state_of(p(1)), Flag::new(3));
 }
 
@@ -154,20 +186,37 @@ fn alg1_a3_reply_guard() {
         echoed_state: Flag::new(4),
     };
     // qState = 4: no reply.
-    r.network_mut().channel_mut(p(1), p(0)).unwrap().preload([msg(4)]);
-    r.execute_move(Move::Deliver { from: p(1), to: p(0) }).unwrap();
+    r.network_mut()
+        .channel_mut(p(1), p(0))
+        .unwrap()
+        .preload([msg(4)]);
+    r.execute_move(Move::Deliver {
+        from: p(1),
+        to: p(0),
+    })
+    .unwrap();
     assert!(r.network().channel(p(0), p(1)).unwrap().is_empty());
     // qState = 2: reply sent.
-    r.network_mut().channel_mut(p(1), p(0)).unwrap().preload([msg(2)]);
-    r.execute_move(Move::Deliver { from: p(1), to: p(0) }).unwrap();
+    r.network_mut()
+        .channel_mut(p(1), p(0))
+        .unwrap()
+        .preload([msg(2)]);
+    r.execute_move(Move::Deliver {
+        from: p(1),
+        to: p(0),
+    })
+    .unwrap();
     assert_eq!(r.network().channel(p(0), p(1)).unwrap().len(), 1);
 }
 
 fn me_trio() -> Runner<MeProcess, RoundRobin> {
     // P0 is the leader (smallest id).
-    let processes: Vec<MeProcess> =
-        (0..3).map(|i| MeProcess::new(p(i), 3, 10 + i as u64)).collect();
-    let network = NetworkBuilder::new(3).capacity(Capacity::Bounded(1)).build();
+    let processes: Vec<MeProcess> = (0..3)
+        .map(|i| MeProcess::new(p(i), 3, 10 + i as u64))
+        .collect();
+    let network = NetworkBuilder::new(3)
+        .capacity(Capacity::Bounded(1))
+        .build();
     Runner::new(processes, network, RoundRobin::new(), 0)
 }
 
@@ -200,8 +249,15 @@ fn alg3_a5_ask_answer_follows_value() {
         sender_state: Flag::new(3),
         echoed_state: Flag::new(4),
     };
-    r.network_mut().channel_mut(p(1), p(0)).unwrap().preload([ask.clone()]);
-    r.execute_move(Move::Deliver { from: p(1), to: p(0) }).unwrap();
+    r.network_mut()
+        .channel_mut(p(1), p(0))
+        .unwrap()
+        .preload([ask.clone()]);
+    r.execute_move(Move::Deliver {
+        from: p(1),
+        to: p(0),
+    })
+    .unwrap();
     let reply = r.network().channel(p(0), p(1)).unwrap().peek().cloned();
     assert!(
         matches!(reply, Some(m) if m.feedback == MeFeedback::No),
@@ -225,8 +281,15 @@ fn alg3_a6_exit_resets_phase() {
     let mut s = r.process(p(2)).snapshot();
     s.pif.neig_state[1] = Flag::new(0);
     r.process_mut(p(2)).restore(s);
-    r.network_mut().channel_mut(p(1), p(2)).unwrap().set_contents([exit]);
-    r.execute_move(Move::Deliver { from: p(1), to: p(2) }).unwrap();
+    r.network_mut()
+        .channel_mut(p(1), p(2))
+        .unwrap()
+        .set_contents([exit]);
+    r.execute_move(Move::Deliver {
+        from: p(1),
+        to: p(2),
+    })
+    .unwrap();
     assert_eq!(r.process(p(2)).phase(), 0, "EXIT forces phase 0");
     let reply = r.network().channel(p(2), p(1)).unwrap().peek().cloned();
     assert!(matches!(reply, Some(m) if m.feedback == MeFeedback::Ok));
@@ -244,16 +307,30 @@ fn alg3_a7_exitcs_guarded_increment() {
         echoed_state: Flag::new(ns),
     };
     // Value_P0 = 0 (self); an EXITCS from P2 is not the favoured process.
-    r.network_mut().channel_mut(p(2), p(0)).unwrap().preload([exitcs(4)]);
-    r.execute_move(Move::Deliver { from: p(2), to: p(0) }).unwrap();
+    r.network_mut()
+        .channel_mut(p(2), p(0))
+        .unwrap()
+        .preload([exitcs(4)]);
+    r.execute_move(Move::Deliver {
+        from: p(2),
+        to: p(0),
+    })
+    .unwrap();
     assert_eq!(r.process(p(0)).value(), 0, "non-favoured release ignored");
     // Point Value at P2 and repeat: increment mod n.
     let mut s = r.process(p(0)).snapshot();
     s.value = 2;
     s.pif.neig_state = vec![Flag::new(0), Flag::new(0), Flag::new(0)];
     r.process_mut(p(0)).restore(s);
-    r.network_mut().channel_mut(p(2), p(0)).unwrap().set_contents([exitcs(4)]);
-    r.execute_move(Move::Deliver { from: p(2), to: p(0) }).unwrap();
+    r.network_mut()
+        .channel_mut(p(2), p(0))
+        .unwrap()
+        .set_contents([exitcs(4)]);
+    r.execute_move(Move::Deliver {
+        from: p(2),
+        to: p(0),
+    })
+    .unwrap();
     assert_eq!(r.process(p(0)).value(), 0, "(2 + 1) mod 3 = 0");
 }
 

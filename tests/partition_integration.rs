@@ -23,8 +23,13 @@ fn p(i: usize) -> ProcessId {
 fn idl_system(n: usize, seed: u64) -> (Runner<IdlProcess, RandomScheduler>, Vec<u64>) {
     let ids: Vec<u64> = (0..n).map(|i| 100 - 7 * i as u64).collect();
     let processes = (0..n).map(|i| IdlProcess::new(p(i), n, ids[i])).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
-    (Runner::new(processes, network, RandomScheduler::new(), seed), ids)
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
+    (
+        Runner::new(processes, network, RandomScheduler::new(), seed),
+        ids,
+    )
 }
 
 #[test]
@@ -53,7 +58,9 @@ fn healed_partition_completes_the_pending_wave() {
     // Heal.
     runner.set_loss(LossModel::reliable());
     runner
-        .run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .run_until(1_000_000, |r| {
+            r.process(p(0)).request() == RequestState::Done
+        })
         .expect("the pending wave completes after healing");
     let v = check_idl_result(runner.process(p(0)).idl(), p(0), &ids, true, true);
     assert!(v.holds(), "{v:?}");
@@ -81,7 +88,9 @@ fn post_heal_requests_are_exact_with_leftover_cut_state() {
     // Fresh request after the healing.
     assert!(runner.process_mut(p(3)).request_learning());
     runner
-        .run_until(2_000_000, |r| r.process(p(3)).request() == RequestState::Done)
+        .run_until(2_000_000, |r| {
+            r.process(p(3)).request() == RequestState::Done
+        })
         .expect("post-heal wave completes");
     let v = check_idl_result(runner.process(p(3)).idl(), p(3), &ids, true, true);
     assert!(v.holds(), "{v:?}");
@@ -93,7 +102,9 @@ fn me_safety_survives_partitions() {
     let processes: Vec<MeProcess> = (0..n)
         .map(|i| MeProcess::new(p(i), n, 10 + i as u64))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 4);
     // Request on both sides, partition mid-run, heal, drain.
     for i in [1usize, 3] {
@@ -106,7 +117,9 @@ fn me_safety_survives_partitions() {
     runner.set_loss(LossModel::reliable());
     runner
         .run_until(2_000_000, |r| {
-            [1usize, 3].iter().all(|&i| r.process(p(i)).request() == RequestState::Done)
+            [1usize, 3]
+                .iter()
+                .all(|&i| r.process(p(i)).request() == RequestState::Done)
         })
         .expect("requests served after healing");
     let report = analyze_me_trace(runner.trace(), n);

@@ -6,8 +6,8 @@ use snapstab_repro::core::pif::{PifApp, PifEvent, PifMsg, PifProcess};
 use snapstab_repro::core::request::RequestState;
 use snapstab_repro::core::spec::{channels_flushed, check_bare_pif_wave};
 use snapstab_repro::sim::{
-    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler,
-    RoundRobin, Runner, Scheduler, SimRng,
+    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, RoundRobin,
+    Runner, Scheduler, SimRng,
 };
 
 #[derive(Clone, Debug)]
@@ -31,17 +31,30 @@ fn p(i: usize) -> ProcessId {
 }
 
 fn make(i: usize, n: usize) -> Proc {
-    PifProcess::with_initial_f(p(i), n, 0, 0, Tagger { tag: 100 + i as u32, brd_log: vec![] })
+    PifProcess::with_initial_f(
+        p(i),
+        n,
+        0,
+        0,
+        Tagger {
+            tag: 100 + i as u32,
+            brd_log: vec![],
+        },
+    )
 }
 
 fn wave_spec_holds<S: Scheduler>(mut runner: Runner<Proc, S>, n: usize) {
     let initiator = p(0);
-    let _ = runner.run_until(500_000, |r| r.process(initiator).request() == RequestState::Done);
+    let _ = runner.run_until(500_000, |r| {
+        r.process(initiator).request() == RequestState::Done
+    });
     let req_step = runner.step_count();
     runner.mark(initiator, "request");
     assert!(runner.process_mut(initiator).request_broadcast(7));
     runner
-        .run_until(3_000_000, |r| r.process(initiator).request() == RequestState::Done)
+        .run_until(3_000_000, |r| {
+            r.process(initiator).request() == RequestState::Done
+        })
         .expect("wave decides");
     let verdict = check_bare_pif_wave(runner.trace(), initiator, n, req_step, &7, |q| {
         100 + q.index() as u32
@@ -54,7 +67,9 @@ fn spec1_holds_under_round_robin_from_corruption() {
     for n in [2usize, 3, 6] {
         for seed in 0..5 {
             let processes = (0..n).map(|i| make(i, n)).collect();
-            let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+            let network = NetworkBuilder::new(n)
+                .capacity(Capacity::Bounded(1))
+                .build();
             let mut runner = Runner::new(processes, network, RoundRobin::new(), seed);
             let mut rng = SimRng::seed_from(seed * 31 + n as u64);
             CorruptionPlan::full().apply(&mut runner, &mut rng);
@@ -68,7 +83,9 @@ fn spec1_holds_under_random_scheduler_with_loss() {
     for seed in 0..5 {
         let n = 4;
         let processes = (0..n).map(|i| make(i, n)).collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(1))
+            .build();
         let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
         runner.set_loss(LossModel::probabilistic(0.25));
         let mut rng = SimRng::seed_from(seed + 1_000);
@@ -83,7 +100,9 @@ fn spec1_holds_at_larger_channel_capacity() {
     for cap in [2usize, 4] {
         let n = 3;
         let processes = (0..n).map(|i| make(i, n)).collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(cap)).build();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(cap))
+            .build();
         let mut runner = Runner::new(processes, network, RandomScheduler::new(), 3);
         let mut rng = SimRng::seed_from(cap as u64);
         CorruptionPlan {
@@ -102,7 +121,9 @@ fn property1_flushes_initiators_channels() {
     for seed in 0..10 {
         let n = 3;
         let processes = (0..n).map(|i| make(i, n)).collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(1))
+            .build();
         let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
         let mut rng = SimRng::seed_from(seed);
         // Junk in every channel incident to the initiator.
@@ -110,17 +131,23 @@ fn property1_flushes_initiators_channels() {
         for (f, t) in links {
             if f == p(0) || t == p(0) {
                 let flag = snapstab_repro::core::flag::Flag::new(rng.gen_range(0..5) as u8);
-                runner.network_mut().channel_mut(f, t).unwrap().set_contents([PifMsg {
-                    broadcast: JUNK,
-                    feedback: JUNK,
-                    sender_state: flag,
-                    echoed_state: flag,
-                }]);
+                runner
+                    .network_mut()
+                    .channel_mut(f, t)
+                    .unwrap()
+                    .set_contents([PifMsg {
+                        broadcast: JUNK,
+                        feedback: JUNK,
+                        sender_state: flag,
+                        echoed_state: flag,
+                    }]);
             }
         }
         runner.process_mut(p(0)).request_broadcast(5);
         runner
-            .run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .run_until(1_000_000, |r| {
+                r.process(p(0)).request() == RequestState::Done
+            })
             .expect("wave decides");
         assert!(
             channels_flushed(runner.network(), p(0), |m: &PifMsg<u32, u32>| m.broadcast
@@ -134,13 +161,17 @@ fn property1_flushes_initiators_channels() {
 fn back_to_back_waves_each_satisfy_spec() {
     let n = 3;
     let processes = (0..n).map(|i| make(i, n)).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 9);
     for wave in 0..5u32 {
         let req_step = runner.step_count();
         assert!(runner.process_mut(p(0)).request_broadcast(wave));
         runner
-            .run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .run_until(1_000_000, |r| {
+                r.process(p(0)).request() == RequestState::Done
+            })
             .expect("wave decides");
         let verdict = check_bare_pif_wave(runner.trace(), p(0), n, req_step, &wave, |q| {
             100 + q.index() as u32
@@ -157,7 +188,9 @@ fn back_to_back_waves_each_satisfy_spec() {
 fn all_initiators_concurrently_still_satisfy_spec() {
     let n = 4;
     let processes = (0..n).map(|i| make(i, n)).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 5);
     for i in 0..n {
         assert!(runner.process_mut(p(i)).request_broadcast(10 + i as u32));
@@ -179,7 +212,9 @@ fn all_initiators_concurrently_still_satisfy_spec() {
 fn mid_run_fault_burst_next_wave_still_correct() {
     let n = 3;
     let processes = (0..n).map(|i| make(i, n)).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 11);
     let mut rng = SimRng::seed_from(77);
     for round in 0..4 {
@@ -191,7 +226,9 @@ fn mid_run_fault_burst_next_wave_still_correct() {
         let req_step = runner.step_count();
         assert!(runner.process_mut(p(0)).request_broadcast(round));
         runner
-            .run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .run_until(1_000_000, |r| {
+                r.process(p(0)).request() == RequestState::Done
+            })
             .expect("wave decides");
         let verdict = check_bare_pif_wave(runner.trace(), p(0), n, req_step, &round, |q| {
             100 + q.index() as u32
@@ -204,11 +241,15 @@ fn mid_run_fault_burst_next_wave_still_correct() {
 fn trace_events_are_well_ordered() {
     let n = 3;
     let processes = (0..n).map(|i| make(i, n)).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RoundRobin::new(), 2);
     runner.process_mut(p(0)).request_broadcast(1);
     runner
-        .run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .run_until(1_000_000, |r| {
+            r.process(p(0)).request() == RequestState::Done
+        })
         .expect("wave decides");
     // Steps never decrease along the trace.
     let steps: Vec<u64> = runner.trace().iter().map(|te| te.step).collect();
@@ -219,8 +260,14 @@ fn trace_events_are_well_ordered() {
         .protocol_events_of(p(0))
         .map(|(_, e)| e)
         .collect();
-    let started = events.iter().position(|e| matches!(e, PifEvent::Started)).unwrap();
-    let decided = events.iter().position(|e| matches!(e, PifEvent::Decided)).unwrap();
+    let started = events
+        .iter()
+        .position(|e| matches!(e, PifEvent::Started))
+        .unwrap();
+    let decided = events
+        .iter()
+        .position(|e| matches!(e, PifEvent::Decided))
+        .unwrap();
     for (i, e) in events.iter().enumerate() {
         if matches!(e, PifEvent::ReceiveFck { .. }) {
             assert!(started < i && i < decided);

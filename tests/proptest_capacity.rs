@@ -1,3 +1,5 @@
+// Index loops over parallel per-process arrays read clearer than enumerate here.
+#![allow(clippy::needless_range_loop)]
 //! Property-based tests for the bounded-capacity extension: the
 //! `2c + 3`-valued handshake keeps every specification intact for
 //! *arbitrary* capacities, seeds and corruption draws, and the stale
@@ -11,8 +13,7 @@ use snapstab_repro::core::pif::{PifApp, PifProcess};
 use snapstab_repro::core::request::RequestState;
 use snapstab_repro::core::spec::check_bare_pif_wave;
 use snapstab_repro::sim::{
-    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner,
-    SimRng,
+    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner, SimRng,
 };
 
 fn p(i: usize) -> ProcessId {

@@ -1,3 +1,5 @@
+// Index loops over parallel per-process arrays read clearer than enumerate here.
+#![allow(clippy::needless_range_loop)]
 //! Property-based tests of the small building blocks: per-neighbor tables,
 //! the flag domain, loss-model fairness, and the request discipline.
 

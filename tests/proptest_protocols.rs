@@ -1,3 +1,5 @@
+// Index loops over parallel per-process arrays read clearer than enumerate here.
+#![allow(clippy::needless_range_loop)]
 //! Property-based tests: the snap-stabilization specifications hold for
 //! *arbitrary* seeds, sizes, loss rates and corruption draws — `I = C`
 //! sampled broadly rather than hand-picked.
@@ -9,8 +11,7 @@ use snapstab_repro::core::pif::{PifApp, PifProcess};
 use snapstab_repro::core::request::RequestState;
 use snapstab_repro::core::spec::{analyze_me_trace, check_bare_pif_wave, check_idl_result};
 use snapstab_repro::sim::{
-    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner,
-    SimRng,
+    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, Runner, SimRng,
 };
 
 fn p(i: usize) -> ProcessId {

@@ -103,7 +103,7 @@ proptest! {
         let tree = random_tree(n, seed);
         prop_assert!(tree.is_tree());
         prop_assert_eq!(tree.edge_count(), n - 1);
-        prop_assert!(tree.diameter() <= n - 1);
+        prop_assert!(tree.diameter() < n);
 
         // A random connected graph: a tree plus extra edges.
         let mut g = tree.clone();

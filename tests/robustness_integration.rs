@@ -8,8 +8,8 @@ use snapstab_repro::core::pif::{PifApp, PifProcess};
 use snapstab_repro::core::request::RequestState;
 use snapstab_repro::core::spec::{analyze_me_trace, check_bare_pif_wave, check_idl_result};
 use snapstab_repro::sim::{
-    Capacity, CorruptionPlan, NetworkBuilder, ProcessId, Protocol, RandomScheduler,
-    RoundRobin, Runner, SimRng,
+    Capacity, CorruptionPlan, NetworkBuilder, ProcessId, Protocol, RandomScheduler, RoundRobin,
+    Runner, SimRng,
 };
 
 fn p(i: usize) -> ProcessId {
@@ -29,13 +29,19 @@ fn p(i: usize) -> ProcessId {
 #[test]
 fn footnote1_spurious_cs_is_possible_and_classified() {
     let n = 3;
-    let config = MeConfig { cs_duration: 4, value_mode: ValueMode::Corrected, ..MeConfig::default() };
+    let config = MeConfig {
+        cs_duration: 4,
+        value_mode: ValueMode::Corrected,
+        ..MeConfig::default()
+    };
     // P0 is the leader (smallest id).
     let ids = [5u64, 100, 200];
     let processes: Vec<MeProcess> = (0..n)
         .map(|i| MeProcess::with_config(p(i), n, ids[i], config))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RoundRobin::new(), 3);
 
     // Hand-craft P2's corrupted state: it believes (wrongly, nobody asked)
@@ -61,7 +67,10 @@ fn footnote1_spurious_cs_is_possible_and_classified() {
     runner.run_steps(40_000).unwrap();
     let report = analyze_me_trace(runner.trace(), n);
     assert!(
-        report.intervals.iter().any(|iv| iv.p == p(2) && !iv.genuine),
+        report
+            .intervals
+            .iter()
+            .any(|iv| iv.p == p(2) && !iv.genuine),
         "the checker must classify P2's CS as spurious: {:?}",
         report.intervals
     );
@@ -79,7 +88,9 @@ fn idl_correct_at_larger_capacities() {
             let ids: Vec<u64> = vec![30, 10, 20];
             let processes: Vec<IdlProcess> =
                 (0..n).map(|i| IdlProcess::new(p(i), n, ids[i])).collect();
-            let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(cap)).build();
+            let network = NetworkBuilder::new(n)
+                .capacity(Capacity::Bounded(cap))
+                .build();
             let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
             let mut rng = SimRng::seed_from(seed * 100 + cap as u64);
             CorruptionPlan {
@@ -93,7 +104,9 @@ fn idl_correct_at_larger_capacities() {
             });
             assert!(runner.process_mut(p(0)).request_learning());
             runner
-                .run_until(3_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+                .run_until(3_000_000, |r| {
+                    r.process(p(0)).request() == RequestState::Done
+                })
                 .expect("decides");
             let v = check_idl_result(runner.process(p(0)).idl(), p(0), &ids, true, true);
             assert!(v.holds(), "capacity {cap}, seed {seed}: {v:?}");
@@ -122,7 +135,9 @@ fn mid_wave_corruption_next_wave_exact() {
         let processes: Vec<PifProcess<u32, u32, Answer>> = (0..n)
             .map(|i| PifProcess::with_initial_f(p(i), n, 0, 0, Answer(100 + i as u32)))
             .collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(1))
+            .build();
         let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
 
         // Start a wave and corrupt everything mid-flight.
@@ -138,7 +153,9 @@ fn mid_wave_corruption_next_wave_exact() {
         let req_step = runner.step_count();
         assert!(runner.process_mut(p(0)).request_broadcast(2));
         runner
-            .run_until(2_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .run_until(2_000_000, |r| {
+                r.process(p(0)).request() == RequestState::Done
+            })
             .expect("post-fault wave decides");
         let verdict = check_bare_pif_wave(runner.trace(), p(0), n, req_step, &2, |q| {
             100 + q.index() as u32
@@ -155,7 +172,9 @@ fn sustained_fault_request_alternation() {
     let processes: Vec<IdlProcess> = (0..n)
         .map(|i| IdlProcess::new(p(i), n, [44u64, 17, 91][i]))
         .collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RandomScheduler::new(), 5);
     let mut rng = SimRng::seed_from(60);
     let mut latencies = Vec::new();
@@ -167,7 +186,9 @@ fn sustained_fault_request_alternation() {
         assert!(runner.process_mut(p(2)).request_learning());
         let before = runner.step_count();
         runner
-            .run_until(2_000_000, |r| r.process(p(2)).request() == RequestState::Done)
+            .run_until(2_000_000, |r| {
+                r.process(p(2)).request() == RequestState::Done
+            })
             .expect("decides");
         latencies.push(runner.step_count() - before);
         assert_eq!(runner.process(p(2)).idl().min_id(), 17);
@@ -191,7 +212,9 @@ fn me_keeps_cycling_from_nasty_mixed_states() {
         let processes: Vec<MeProcess> = (0..n)
             .map(|i| MeProcess::new(p(i), n, 100 + i as u64))
             .collect();
-        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+        let network = NetworkBuilder::new(n)
+            .capacity(Capacity::Bounded(1))
+            .build();
         let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
         let mut rng = SimRng::seed_from(seed);
         CorruptionPlan::full().apply(&mut runner, &mut rng);

@@ -1,3 +1,6 @@
+// Inline generic runner/checker types in assertions; aliasing them would hide
+// which instantiation is under test.
+#![allow(clippy::type_complexity)]
 //! Cross-crate integration tests for the §5 general-topology extension:
 //! tree waves on paths, stars, binary trees and spanning trees of
 //! non-tree graphs, against Specification 1 lifted to trees, from clean
@@ -5,8 +8,8 @@
 
 use snapstab_repro::core::request::RequestState;
 use snapstab_repro::sim::{
-    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler,
-    RoundRobin, Runner, Scheduler, SimRng, Topology,
+    Capacity, CorruptionPlan, LossModel, NetworkBuilder, ProcessId, RandomScheduler, RoundRobin,
+    Runner, Scheduler, SimRng, Topology,
 };
 use snapstab_repro::topology::{check_tree_wave, Count, Gather, MinId, TreePifNode};
 
@@ -18,8 +21,12 @@ type CountNode = TreePifNode<u8, u64, Count>;
 
 fn count_system<S: Scheduler>(topo: &Topology, scheduler: S, seed: u64) -> Runner<CountNode, S> {
     let n = topo.n();
-    let processes = (0..n).map(|i| TreePifNode::new(p(i), topo, 0u8, Count)).collect();
-    let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(1)).build();
+    let processes = (0..n)
+        .map(|i| TreePifNode::new(p(i), topo, 0u8, Count))
+        .collect();
+    let network = NetworkBuilder::new(n)
+        .capacity(Capacity::Bounded(1))
+        .build();
     Runner::new(processes, network, scheduler, seed)
 }
 
@@ -32,7 +39,9 @@ fn wave_spec_holds<S: Scheduler>(runner: Runner<CountNode, S>, root: ProcessId, 
 
 /// Same as [`wave_spec_holds`] but borrows, for repeated waves.
 fn wave_spec_holds_mut<S: Scheduler>(runner: &mut Runner<CountNode, S>, root: ProcessId, n: usize) {
-    let _ = runner.run_until(1_000_000, |r| r.process(root).request() == RequestState::Done);
+    let _ = runner.run_until(1_000_000, |r| {
+        r.process(root).request() == RequestState::Done
+    });
     assert_eq!(
         runner.process(root).request(),
         RequestState::Done,
@@ -42,7 +51,9 @@ fn wave_spec_holds_mut<S: Scheduler>(runner: &mut Runner<CountNode, S>, root: Pr
     runner.mark(root, "request");
     assert!(runner.process_mut(root).request_wave(7));
     runner
-        .run_until(5_000_000, |r| r.process(root).request() == RequestState::Done)
+        .run_until(5_000_000, |r| {
+            r.process(root).request() == RequestState::Done
+        })
         .expect("wave decides");
     let verdict = check_tree_wave(runner.trace(), root, n, req_step, &7, &(n as u64));
     assert!(verdict.holds(), "{verdict:?}");
@@ -96,7 +107,10 @@ fn spec_holds_on_spanning_trees_of_dense_graphs() {
     for (graph, root) in [
         (Topology::complete(6), 0usize),
         (Topology::ring(7), 3),
-        (Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]), 2),
+        (
+            Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]),
+            2,
+        ),
     ] {
         let tree = graph.bfs_spanning_tree(p(root));
         assert!(tree.is_tree());
@@ -135,16 +149,26 @@ fn min_id_leader_election_on_a_tree() {
         let processes: Vec<TreePifNode<u8, u64, MinId>> = (0..5)
             .map(|i| TreePifNode::new(p(i), &topo, 0u8, MinId { my_id: ids[i] }))
             .collect();
-        let network = NetworkBuilder::new(5).capacity(Capacity::Bounded(1)).build();
+        let network = NetworkBuilder::new(5)
+            .capacity(Capacity::Bounded(1))
+            .build();
         let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
         let mut rng = SimRng::seed_from(seed + 7);
         CorruptionPlan::full().apply(&mut runner, &mut rng);
-        let _ = runner.run_until(1_000_000, |r| r.process(p(0)).request() == RequestState::Done);
+        let _ = runner.run_until(1_000_000, |r| {
+            r.process(p(0)).request() == RequestState::Done
+        });
         assert!(runner.process_mut(p(0)).request_wave(1));
         runner
-            .run_until(5_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+            .run_until(5_000_000, |r| {
+                r.process(p(0)).request() == RequestState::Done
+            })
             .expect("wave decides");
-        assert_eq!(runner.process(p(0)).result(), Some(&10), "the minimum id wins");
+        assert_eq!(
+            runner.process(p(0)).result(),
+            Some(&10),
+            "the minimum id wins"
+        );
     }
 }
 
@@ -152,13 +176,26 @@ fn min_id_leader_election_on_a_tree() {
 fn gather_snapshot_collects_every_process_once() {
     let topo = Topology::star(5);
     let processes: Vec<TreePifNode<u8, Vec<(ProcessId, u64)>, Gather>> = (0..5)
-        .map(|i| TreePifNode::new(p(i), &topo, 0u8, Gather { mine: 100 + i as u64 }))
+        .map(|i| {
+            TreePifNode::new(
+                p(i),
+                &topo,
+                0u8,
+                Gather {
+                    mine: 100 + i as u64,
+                },
+            )
+        })
         .collect();
-    let network = NetworkBuilder::new(5).capacity(Capacity::Bounded(1)).build();
+    let network = NetworkBuilder::new(5)
+        .capacity(Capacity::Bounded(1))
+        .build();
     let mut runner = Runner::new(processes, network, RoundRobin::new(), 3);
     assert!(runner.process_mut(p(0)).request_wave(1));
     runner
-        .run_until(2_000_000, |r| r.process(p(0)).request() == RequestState::Done)
+        .run_until(2_000_000, |r| {
+            r.process(p(0)).request() == RequestState::Done
+        })
         .expect("wave decides");
     let got = runner.process(p(0)).result().expect("result").clone();
     let expected: Vec<(ProcessId, u64)> = (0..5).map(|i| (p(i), 100 + i as u64)).collect();
@@ -171,11 +208,11 @@ fn bounded_capacity_channels_work_with_the_matched_domain() {
     let topo = Topology::path(4);
     for seed in 0..3 {
         let processes: Vec<CountNode> = (0..4)
-            .map(|i| {
-                TreePifNode::with_domain(p(i), &topo, 0u8, Count, FlagDomain::for_capacity(2))
-            })
+            .map(|i| TreePifNode::with_domain(p(i), &topo, 0u8, Count, FlagDomain::for_capacity(2)))
             .collect();
-        let network = NetworkBuilder::new(4).capacity(Capacity::Bounded(2)).build();
+        let network = NetworkBuilder::new(4)
+            .capacity(Capacity::Bounded(2))
+            .build();
         let mut runner = Runner::new(processes, network, RandomScheduler::new(), seed);
         let mut rng = SimRng::seed_from(seed + 55);
         CorruptionPlan::full().apply(&mut runner, &mut rng);
