@@ -1,0 +1,26 @@
+//! Q6 — live-runtime mutex-service throughput sweep; writes
+//! `BENCH_RUNTIME.json` so future PRs have a live-path trajectory to
+//! compare against.
+//!
+//! Usage: `exp_rtbench [--fast|--quick] [--json PATH]` (default PATH:
+//! `BENCH_RUNTIME.json` in the current directory).
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fast = snapstab_bench::is_fast(&args) || args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_RUNTIME.json".to_string());
+
+    let results = snapstab_bench::experiments::rtbench::sweep(fast);
+
+    print!("{}", snapstab_bench::experiments::rtbench::render(&results));
+    let json = snapstab_bench::experiments::rtbench::to_json(&results);
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => eprintln!("\ncould not write {json_path}: {e}"),
+    }
+}

@@ -12,6 +12,7 @@ pub mod me_props;
 pub mod modelcheck;
 pub mod naive;
 pub mod pif_props;
+pub mod rtbench;
 pub mod scaling;
 pub mod stepbench;
 pub mod topology;

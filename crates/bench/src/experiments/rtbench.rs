@@ -1,0 +1,238 @@
+//! **Q6 — live-runtime mutex-service throughput.**
+//!
+//! Drives the `snapstab-runtime` [`MutexService`] — Algorithm 3 on one OS
+//! thread per process over the concurrent lossy transport — with a
+//! saturating client request stream, and reports end-to-end requests/sec,
+//! CS entries/sec and transport msgs/sec versus system size and loss
+//! rate. The committed numbers live in `BENCH_RUNTIME.json`; the full
+//! sweep pushes ≥10⁵ client requests through the service in total.
+
+use std::time::Duration;
+
+use snapstab_runtime::{run_mutex_service, LiveConfig, MutexServiceConfig};
+
+use crate::table::Table;
+
+/// One measured configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RtResult {
+    /// System size (worker threads).
+    pub n: usize,
+    /// In-transit loss probability.
+    pub loss: f64,
+    /// Requests injected into the protocol.
+    pub injected: u64,
+    /// Requests served end-to-end.
+    pub served: u64,
+    /// Critical-section entries.
+    pub cs_entries: u64,
+    /// Transport messages enqueued.
+    pub msgs: u64,
+    /// Wall-clock nanoseconds.
+    pub wall_ns: u128,
+    /// Mean service latency in nanoseconds (0 if nothing served).
+    pub mean_latency_ns: u128,
+}
+
+impl RtResult {
+    /// Served requests per second.
+    pub fn requests_per_sec(&self) -> f64 {
+        self.served as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    /// Critical-section entries per second.
+    pub fn cs_per_sec(&self) -> f64 {
+        self.cs_entries as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    /// Transport messages per second.
+    pub fn msgs_per_sec(&self) -> f64 {
+        self.msgs as f64 / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+/// Measures one configuration: `requests_per_process` client requests per
+/// process, stopping early at `budget`.
+pub fn measure(
+    n: usize,
+    loss: f64,
+    requests_per_process: u64,
+    budget: Duration,
+    seed: u64,
+) -> RtResult {
+    let cfg = MutexServiceConfig {
+        n,
+        requests_per_process,
+        cs_duration: 0,
+        live: LiveConfig {
+            loss,
+            seed,
+            record_trace: false,
+            ..LiveConfig::default()
+        },
+        time_budget: budget,
+    };
+    let report = run_mutex_service(&cfg);
+    let mean_latency_ns = if report.latencies.is_empty() {
+        0
+    } else {
+        report
+            .latencies
+            .iter()
+            .map(Duration::as_nanos)
+            .sum::<u128>()
+            / report.latencies.len() as u128
+    };
+    RtResult {
+        n,
+        loss,
+        injected: report.injected,
+        served: report.served,
+        cs_entries: report.cs_entries,
+        msgs: report.stats.links.enqueued,
+        wall_ns: report.wall.as_nanos(),
+        mean_latency_ns,
+    }
+}
+
+/// Runs the sweep: `n ∈ {8, 16, 32, 64}` × `loss ∈ {0, 0.1, 0.3}`
+/// (`--fast`: a smoke-sized subset so CI can exercise the binary).
+pub fn sweep(fast: bool) -> Vec<RtResult> {
+    let (sizes, losses): (&[usize], &[f64]) = if fast {
+        (&[4, 8], &[0.0, 0.1])
+    } else {
+        (&[8, 16, 32, 64], &[0.0, 0.1, 0.3])
+    };
+    let mut results = Vec::new();
+    for &n in sizes {
+        for &loss in losses {
+            // Size the request queues so the full sweep comfortably
+            // clears 10⁵ end-to-end requests in total: throughput is
+            // bounded by the leader's Value rotation (one CS grant per
+            // favoured-process cycle), so the per-process queue shrinks
+            // as n and loss grow.
+            let per_process: u64 = if fast {
+                5
+            } else {
+                let base: u64 = match n {
+                    8 => 6_000,
+                    16 => 1_000,
+                    32 => 150,
+                    _ => 40,
+                };
+                let factor = if loss == 0.0 {
+                    1.0
+                } else if loss < 0.2 {
+                    0.35
+                } else {
+                    0.2
+                };
+                ((base as f64 * factor) as u64).max(10)
+            };
+            let budget = if fast {
+                Duration::from_secs(20)
+            } else {
+                Duration::from_secs(150)
+            };
+            results.push(measure(n, loss, per_process, budget, 0xC0FFEE ^ n as u64));
+        }
+    }
+    results
+}
+
+/// Renders measured results as the repo's standard ASCII table.
+pub fn render(results: &[RtResult]) -> String {
+    let mut out = String::new();
+    out.push_str("=== Q6: live-runtime mutex service (1 OS thread per process) ===\n\n");
+    let mut table = Table::new(&[
+        "n",
+        "loss",
+        "injected",
+        "served",
+        "req/s",
+        "cs/s",
+        "msgs/s",
+        "mean lat ms",
+    ]);
+    for r in results {
+        table.row(&[
+            r.n.to_string(),
+            format!("{:.1}", r.loss),
+            r.injected.to_string(),
+            r.served.to_string(),
+            format!("{:.0}", r.requests_per_sec()),
+            format!("{:.0}", r.cs_per_sec()),
+            format!("{:.0}", r.msgs_per_sec()),
+            format!("{:.2}", r.mean_latency_ns as f64 / 1e6),
+        ]);
+    }
+    out.push_str(&table.render());
+    let total: u64 = results.iter().map(|r| r.served).sum();
+    out.push_str(&format!("\ntotal requests served end-to-end: {total}\n"));
+    out
+}
+
+/// Measures the sweep and renders it.
+pub fn run(fast: bool) -> String {
+    render(&sweep(fast))
+}
+
+/// The sweep as a JSON document (hand-rolled: the workspace is offline
+/// and carries no serde), shaped like `BENCH_STEPLOOP.json`.
+pub fn to_json(results: &[RtResult]) -> String {
+    let mut out = String::from(
+        "{\n  \"experiment\": \"live_runtime_mutex_service\",\n  \"unit\": \"requests_per_sec\",\n  \"results\": [\n",
+    );
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"loss\": {}, \"injected\": {}, \"served\": {}, \"cs_entries\": {}, \"msgs\": {}, \"wall_ns\": {}, \"requests_per_sec\": {:.1}, \"cs_per_sec\": {:.1}, \"msgs_per_sec\": {:.1}, \"mean_latency_ns\": {}}}{}\n",
+            r.n,
+            r.loss,
+            r.injected,
+            r.served,
+            r.cs_entries,
+            r.msgs,
+            r.wall_ns,
+            r.requests_per_sec(),
+            r.cs_per_sec(),
+            r.msgs_per_sec(),
+            r.mean_latency_ns,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    let total: u64 = results.iter().map(|r| r.served).sum();
+    out.push_str(&format!("  ],\n  \"total_served\": {total}\n}}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_serves_requests() {
+        let r = measure(3, 0.0, 2, Duration::from_secs(30), 1);
+        assert_eq!(r.n, 3);
+        assert_eq!(r.served, 6);
+        assert!(r.requests_per_sec() > 0.0);
+        assert!(r.msgs_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = to_json(&[RtResult {
+            n: 8,
+            loss: 0.1,
+            injected: 10,
+            served: 10,
+            cs_entries: 10,
+            msgs: 1000,
+            wall_ns: 1_000_000,
+            mean_latency_ns: 5_000,
+        }]);
+        assert!(j.contains("\"n\": 8"));
+        assert!(j.contains("live_runtime_mutex_service"));
+        assert!(j.contains("\"total_served\": 10"));
+        assert!(j.trim_end().ends_with('}'));
+    }
+}

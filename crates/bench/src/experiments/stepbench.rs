@@ -78,9 +78,12 @@ pub fn measure(n: usize, target_steps: u64, seed: u64) -> StepCost {
     }
 }
 
-/// Runs the sweep at the standard sizes.
+/// Runs the sweep at the standard sizes. The `n = 512` point exists to
+/// watch the delta-based link resync: before it, every step that moved
+/// the live-link version paid an O(live links) copy, which dominates at
+/// this size.
 pub fn sweep(fast: bool) -> Vec<StepCost> {
-    let sizes: &[usize] = if fast { &[8, 32] } else { &[8, 32, 128] };
+    let sizes: &[usize] = if fast { &[8, 32] } else { &[8, 32, 128, 512] };
     let steps = if fast { 50_000 } else { 400_000 };
     sizes.iter().map(|&n| measure(n, steps, 0xBEE5)).collect()
 }

@@ -15,6 +15,8 @@
 //! | Q3 | naive-protocol failure modes | [`experiments::naive`] |
 //! | C1 | snap- vs self-stabilization | [`experiments::baseline`] |
 //! | A1 + A2 | ablations (flag domain, mod n+1) | [`experiments::ablation`] |
+//! | Q5 | step-loop throughput trajectory | [`experiments::stepbench`] |
+//! | Q6 | live-runtime mutex-service throughput | [`experiments::rtbench`] |
 //!
 //! Every experiment is deterministic given its seeds and prints an ASCII
 //! table; `--bin all_experiments` runs the full suite.

@@ -19,8 +19,10 @@ snapstab — explore the snap-stabilizing protocols of Delaet et al. (2008)
 USAGE: snapstab <command> [options]
 
 COMMANDS
-  idl            one IDs-Learning computation (Algorithm 2)
-  me             a mutual-exclusion workload (Algorithm 3)
+  idl            one IDs-Learning computation (Algorithm 2, simulated)
+  me             a mutual-exclusion workload (Algorithm 3, simulated)
+  live           the mutex service on the live runtime: one OS thread per
+                 process over a concurrent lossy transport
   impossibility  the Theorem 1 construction and replay
   help           this text
 
@@ -34,6 +36,9 @@ COMMON OPTIONS
 COMMAND OPTIONS
   me:            --steps <int> (default 60000), --requests <int> (default 3),
                  --cs-duration <int> (default 0)
+  live:          --requests <int> per process (default 50),
+                 --cs-duration <int> (default 0), --budget-secs <int>
+                 (default 60), --check (record + spec-check the trace)
   impossibility: --cs-duration <int> (default 8)
 ";
 
@@ -160,6 +165,78 @@ pub fn cmd_me(args: &Args) -> String {
     out
 }
 
+/// Runs the `live` subcommand: the mutual-exclusion service on the live
+/// multi-threaded runtime. Returns the report text and an exit code —
+/// non-zero when requests went unserved within the budget or (under
+/// `--check`) the merged trace violates Specification 3, so scripts and
+/// CI can gate on a live regression.
+pub fn cmd_live(args: &Args) -> (String, i32) {
+    use snapstab_runtime::{LiveConfig, MutexServiceConfig};
+    let n: usize = args.get_or("n", 4);
+    let seed: u64 = args.get_or("seed", 1);
+    let loss: f64 = args.get_or("loss", 0.0);
+    let requests: u64 = args.get_or("requests", 50);
+    let cs_duration: u64 = args.get_or("cs-duration", 0);
+    let budget_secs: u64 = args.get_or("budget-secs", 60);
+    let check = args.has("check");
+
+    let cfg = MutexServiceConfig {
+        n,
+        requests_per_process: requests,
+        cs_duration,
+        live: LiveConfig {
+            loss,
+            seed,
+            record_trace: check,
+            ..LiveConfig::default()
+        },
+        time_budget: std::time::Duration::from_secs(budget_secs),
+    };
+    let mut out = format!(
+        "Live mutex service: n={n} worker threads, loss={loss}, \
+         {requests} request(s) per process, budget {budget_secs}s\n"
+    );
+    let report = snapstab_runtime::run_mutex_service(&cfg);
+    out.push_str(&format!(
+        "served {}/{} requests in {:.2}s: {:.0} req/s, {:.0} CS/s, {:.0} msgs/s\n",
+        report.served,
+        report.injected,
+        report.wall.as_secs_f64(),
+        report.requests_per_sec(),
+        report.cs_per_sec(),
+        report.msgs_per_sec(),
+    ));
+    if let Some((min, mean, max)) = report.latency_min_mean_max() {
+        out.push_str(&format!(
+            "service latency: min {:.2} / mean {:.2} / max {:.2} ms\n",
+            min.as_secs_f64() * 1e3,
+            mean.as_secs_f64() * 1e3,
+            max.as_secs_f64() * 1e3,
+        ));
+    }
+    let mut failed = report.served < report.injected;
+    if let Some(trace) = &report.trace {
+        let spec = analyze_me_trace(trace, n);
+        out.push_str(&format!(
+            "spec 3 on the merged live trace: genuine CS overlaps: {}; \
+             spurious: {}; exclusivity holds: {}\n",
+            spec.genuine_overlaps.len(),
+            spec.spurious_overlaps.len(),
+            spec.exclusivity_holds(),
+        ));
+        failed |= !spec.exclusivity_holds();
+    }
+    if args.has("trace") {
+        for (i, lat) in report.latencies.iter().take(20).enumerate() {
+            out.push_str(&format!(
+                "  request {i}: {:.2} ms\n",
+                lat.as_secs_f64() * 1e3
+            ));
+        }
+    }
+    (out, i32::from(failed))
+}
+
 /// Runs the `impossibility` subcommand; returns the report text.
 pub fn cmd_impossibility(args: &Args) -> String {
     let n: usize = args.get_or("n", 3);
@@ -209,14 +286,20 @@ pub fn cmd_impossibility(args: &Args) -> String {
     out
 }
 
-/// Dispatches a parsed command line; returns the report text.
-pub fn dispatch(args: &Args) -> String {
+/// Dispatches a parsed command line; returns the report text and the
+/// process exit code (non-zero for an unknown subcommand, so scripts and
+/// CI notice typos instead of silently getting the usage text).
+pub fn dispatch(args: &Args) -> (String, i32) {
+    if args.has("help") {
+        return (USAGE.to_string(), 0);
+    }
     match args.command.as_deref() {
-        Some("idl") => cmd_idl(args),
-        Some("me") => cmd_me(args),
-        Some("impossibility") => cmd_impossibility(args),
-        Some("help") | None => USAGE.to_string(),
-        Some(other) => format!("unknown command `{other}`\n\n{USAGE}"),
+        Some("idl") => (cmd_idl(args), 0),
+        Some("me") => (cmd_me(args), 0),
+        Some("live") => cmd_live(args),
+        Some("impossibility") => (cmd_impossibility(args), 0),
+        Some("help") | Some("-h") | None => (USAGE.to_string(), 0),
+        Some(other) => (format!("unknown command `{other}`\n\n{USAGE}"), 2),
     }
 }
 
@@ -254,9 +337,29 @@ mod tests {
     }
 
     #[test]
+    fn live_serves_and_reports_throughput() {
+        let (out, code) = cmd_live(&parse("live --n 3 --requests 2 --check --budget-secs 40"));
+        assert!(out.contains("served 6/6"), "{out}");
+        assert!(out.contains("exclusivity holds: true"), "{out}");
+        assert_eq!(code, 0, "healthy run exits 0");
+    }
+
+    #[test]
     fn dispatch_routes() {
-        assert!(dispatch(&parse("help")).contains("USAGE"));
-        assert!(dispatch(&parse("")).contains("USAGE"));
-        assert!(dispatch(&parse("bogus")).contains("unknown command"));
+        let (out, code) = dispatch(&parse("help"));
+        assert!(out.contains("USAGE") && code == 0);
+        let (out, code) = dispatch(&parse(""));
+        assert!(out.contains("USAGE") && code == 0);
+        let (out, code) = dispatch(&parse("--help"));
+        assert!(out.contains("USAGE") && code == 0);
+        let (out, code) = dispatch(&parse("bogus"));
+        assert!(out.contains("unknown command") && code != 0);
+    }
+
+    #[test]
+    fn usage_enumerates_every_subcommand() {
+        for cmd in ["idl", "me", "live", "impossibility", "help"] {
+            assert!(USAGE.contains(cmd), "usage must mention `{cmd}`");
+        }
     }
 }

@@ -6,5 +6,11 @@ mod commands;
 
 fn main() {
     let parsed = args::Args::parse(std::env::args().skip(1));
-    print!("{}", commands::dispatch(&parsed));
+    let (report, code) = commands::dispatch(&parsed);
+    if code == 0 {
+        print!("{report}");
+    } else {
+        eprint!("{report}");
+    }
+    std::process::exit(code);
 }

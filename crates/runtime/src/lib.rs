@@ -1,0 +1,83 @@
+//! # snapstab-runtime — the paper's protocols on real OS threads
+//!
+//! Everything else in this reproduction runs inside the single-threaded
+//! deterministic simulator (`snapstab-sim`). This crate is the *live*
+//! execution substrate: the same [`Protocol`](snapstab_sim::Protocol)
+//! implementations — `PifProcess`, `IdlProcess`, `MeProcess`, the apps
+//! layer — run **unchanged** with one worker thread per process, joined
+//! by a concurrent transport ([`LiveLink`]) that preserves the paper's
+//! channel semantics:
+//!
+//! * **bounded capacity, silent drop-on-full** (§4): a send into a full
+//!   link vanishes without notifying the sender;
+//! * **FIFO order** per directed link;
+//! * **seeded probabilistic loss** strictly below 1, satisfying the
+//!   fair-lossy assumption (infinitely many sends ⇒ infinitely many
+//!   receipts);
+//! * **optional delivery-delay jitter**, widening the set of real
+//!   interleavings a run explores.
+//!
+//! Workers reuse the simulator's [`Context`](snapstab_sim::Context) for
+//! every atomic action, so protocol code cannot tell which substrate it
+//! runs on. Each atomic action draws a ticket from a global atomic step
+//! counter and logs its events into a per-worker [`Trace`]
+//! (snapstab_sim::Trace); [`LiveRunner::stop`] merges the logs into one
+//! step-ordered trace — a total order consistent with program order and
+//! real-time causality — on which the executable specifications of
+//! `snapstab_core::spec` (Safety / Correctness / Decision) judge the
+//! *live* run exactly as they judge simulated ones.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use snapstab_core::idl::IdlProcess;
+//! use snapstab_core::request::RequestState;
+//! use snapstab_runtime::{LiveConfig, LiveRunner};
+//! use snapstab_sim::ProcessId;
+//! use std::time::Duration;
+//!
+//! // Three IDs-Learning processes on three OS threads, 10% message loss.
+//! let processes: Vec<IdlProcess> = (0..3)
+//!     .map(|i| IdlProcess::new(ProcessId::new(i), 3, 10 + i as u64))
+//!     .collect();
+//! let mut runner = LiveRunner::spawn(
+//!     processes,
+//!     LiveConfig { loss: 0.1, seed: 42, ..LiveConfig::default() },
+//! );
+//! runner.with_process(ProcessId::new(0), |p: &mut IdlProcess| p.request_learning());
+//! assert!(runner.wait_until(
+//!     ProcessId::new(0),
+//!     |p: &IdlProcess| p.request() == RequestState::Done,
+//!     Duration::from_secs(30),
+//! ));
+//! let report = runner.stop();
+//! assert_eq!(report.processes[0].idl().min_id(), 10);
+//! ```
+//!
+//! ## The mutex service
+//!
+//! [`run_mutex_service`] puts Algorithm 3 behind a client request queue:
+//! every worker's driver hook injects critical-section requests as fast
+//! as the protocol serves them, timing each one. `exp_rtbench` (in
+//! `snapstab-bench`) and the `snapstab live` CLI subcommand drive it at
+//! up to 64 threads and hundreds of thousands of requests; committed
+//! throughput numbers live in `BENCH_RUNTIME.json`.
+//!
+//! ## Crash and restart
+//!
+//! [`LiveRunner::crash`] joins a worker's thread mid-run (its state and
+//! log survive); [`LiveRunner::restart`] respawns it on a fresh thread.
+//! Because the protocols are snap-stabilizing, computations started after
+//! the restart satisfy their specifications immediately — the stress
+//! tests in `tests/live_runtime.rs` exercise exactly that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod runner;
+pub mod service;
+
+pub use link::{LinkStats, LiveLink};
+pub use runner::{Driver, LiveConfig, LiveReport, LiveRunner, LiveStats, Scribe, WorkerStats};
+pub use service::{run_mutex_service, MutexServiceConfig, ServiceReport};

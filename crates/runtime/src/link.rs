@@ -1,0 +1,265 @@
+//! `LiveLink` — one concurrent directed FIFO channel with the paper's
+//! semantics.
+//!
+//! A live link is the thread-safe counterpart of the simulator's
+//! [`snapstab_sim::Channel`]: bounded capacity with the §4 silent
+//! drop-on-full rule, FIFO delivery order, seeded probabilistic in-transit
+//! loss (the paper's fair-lossy channels: loss probability is strictly
+//! below 1, so infinitely many sends imply infinitely many receipts), and
+//! an optional uniform delivery-delay jitter that widens the set of real
+//! interleavings a run explores.
+//!
+//! The queue lives behind a [`Mutex`]; the receiving worker parks when it
+//! has nothing to do and the link unparks it on every successful enqueue,
+//! so delivery latency is bounded by a thread wake-up, not a poll
+//! interval.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::thread::Thread;
+use std::time::{Duration, Instant};
+
+use snapstab_sim::{ProcessId, SendFate, SimRng};
+
+/// Cumulative counters of one directed link.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LinkStats {
+    /// Send attempts offered to the link.
+    pub sends: u64,
+    /// Messages that entered the queue.
+    pub enqueued: u64,
+    /// Messages lost to the §4 drop-on-full rule.
+    pub lost_full: u64,
+    /// Messages lost in transit by the loss model.
+    pub lost_in_transit: u64,
+    /// Messages handed to the receiver.
+    pub delivered: u64,
+}
+
+impl LinkStats {
+    /// Folds another link's counters into this one.
+    pub fn absorb(&mut self, other: LinkStats) {
+        self.sends += other.sends;
+        self.enqueued += other.enqueued;
+        self.lost_full += other.lost_full;
+        self.lost_in_transit += other.lost_in_transit;
+        self.delivered += other.delivered;
+    }
+}
+
+struct LinkInner<M> {
+    /// In-flight messages with the instant they become deliverable
+    /// (`None` = immediately).
+    queue: VecDeque<(M, Option<Instant>)>,
+    /// Per-link loss/jitter stream, seeded from the runtime seed and the
+    /// link's endpoints, so the sequence of loss decisions on a link is
+    /// reproducible regardless of thread timing.
+    rng: SimRng,
+    stats: LinkStats,
+    /// The receiving worker's thread, unparked on enqueue. Re-registered
+    /// on worker restart.
+    receiver: Option<Thread>,
+}
+
+/// A concurrent directed FIFO channel `from → to` with bounded capacity,
+/// drop-on-full, seeded probabilistic loss and optional delivery jitter.
+pub struct LiveLink<M> {
+    from: ProcessId,
+    to: ProcessId,
+    capacity: usize,
+    loss: f64,
+    jitter: Option<Duration>,
+    inner: Mutex<LinkInner<M>>,
+}
+
+impl<M> LiveLink<M> {
+    /// Creates an empty link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (the model requires every channel to
+    /// carry at least one message) or `loss` is outside `[0, 1)` (loss
+    /// probability 1 would violate the paper's fairness assumption).
+    pub fn new(
+        from: ProcessId,
+        to: ProcessId,
+        capacity: usize,
+        loss: f64,
+        jitter: Option<Duration>,
+        seed: u64,
+    ) -> Self {
+        assert!(capacity >= 1, "channel capacity must be at least 1");
+        assert!(
+            (0.0..1.0).contains(&loss),
+            "loss probability must be in [0,1) to preserve fairness, got {loss}"
+        );
+        // Mix the endpoints into the seed so every link draws an
+        // independent, reproducible stream.
+        let link_seed = seed
+            ^ (from.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (to.index() as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        LiveLink {
+            from,
+            to,
+            capacity,
+            loss,
+            jitter,
+            inner: Mutex::new(LinkInner {
+                queue: VecDeque::with_capacity(capacity.min(64)),
+                rng: SimRng::seed_from(link_seed),
+                stats: LinkStats::default(),
+                receiver: None,
+            }),
+        }
+    }
+
+    /// Sender side of the link.
+    pub fn from(&self) -> ProcessId {
+        self.from
+    }
+
+    /// Receiver side of the link.
+    pub fn to(&self) -> ProcessId {
+        self.to
+    }
+
+    /// Registers (or replaces, after a worker restart) the receiving
+    /// thread to unpark on enqueue.
+    pub fn register_receiver(&self, receiver: Thread) {
+        self.inner.lock().expect("link poisoned").receiver = Some(receiver);
+    }
+
+    /// Offers a message: the loss model may destroy it in transit, a full
+    /// queue silently drops it (§4), otherwise it is enqueued (with a
+    /// jittered ready instant when configured) and the receiver is
+    /// unparked. Never blocks beyond the queue mutex.
+    pub fn send(&self, msg: M) -> SendFate {
+        let wake;
+        let fate;
+        {
+            let mut inner = self.inner.lock().expect("link poisoned");
+            inner.stats.sends += 1;
+            if self.loss > 0.0 && inner.rng.gen_bool(self.loss) {
+                inner.stats.lost_in_transit += 1;
+                return SendFate::LostInTransit;
+            }
+            if inner.queue.len() >= self.capacity {
+                inner.stats.lost_full += 1;
+                return SendFate::LostFull;
+            }
+            let ready = self.jitter.map(|j| {
+                let span = j.as_nanos().max(1) as usize;
+                Instant::now() + Duration::from_nanos(inner.rng.gen_range(0..span) as u64)
+            });
+            inner.queue.push_back((msg, ready));
+            inner.stats.enqueued += 1;
+            wake = inner.receiver.clone();
+            fate = SendFate::Enqueued;
+        }
+        if let Some(t) = wake {
+            t.unpark();
+        }
+        fate
+    }
+
+    /// Removes and returns the head message if one is present and its
+    /// jittered ready instant has passed.
+    pub fn try_recv(&self) -> Option<M> {
+        let mut inner = self.inner.lock().expect("link poisoned");
+        match inner.queue.front() {
+            None => None,
+            Some((_, Some(ready))) if Instant::now() < *ready => None,
+            Some(_) => {
+                inner.stats.delivered += 1;
+                inner.queue.pop_front().map(|(m, _)| m)
+            }
+        }
+    }
+
+    /// Number of messages currently in flight.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("link poisoned").queue.len()
+    }
+
+    /// True if nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the cumulative counters.
+    pub fn stats(&self) -> LinkStats {
+        self.inner.lock().expect("link poisoned").stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn fifo_order_and_drop_on_full() {
+        let link: LiveLink<u32> = LiveLink::new(p(0), p(1), 2, 0.0, None, 7);
+        assert_eq!(link.send(1), SendFate::Enqueued);
+        assert_eq!(link.send(2), SendFate::Enqueued);
+        assert_eq!(link.send(3), SendFate::LostFull, "silent drop on full");
+        assert_eq!(link.try_recv(), Some(1));
+        assert_eq!(link.try_recv(), Some(2));
+        assert_eq!(link.try_recv(), None);
+        let s = link.stats();
+        assert_eq!(
+            (s.sends, s.enqueued, s.lost_full, s.delivered),
+            (3, 2, 1, 2)
+        );
+    }
+
+    #[test]
+    fn probabilistic_loss_is_roughly_p_and_seeded() {
+        let run = |seed| {
+            let link: LiveLink<u32> = LiveLink::new(p(0), p(1), usize::MAX, 0.3, None, seed);
+            for i in 0..10_000 {
+                let _ = link.send(i);
+                let _ = link.try_recv();
+            }
+            link.stats().lost_in_transit
+        };
+        let lost = run(1);
+        assert!((2_500..3_500).contains(&lost), "lost {lost} of 10000");
+        assert_eq!(lost, run(1), "same seed, same loss sequence");
+        assert_ne!(lost, run(2), "different seed, different sequence");
+    }
+
+    #[test]
+    fn jitter_delays_delivery_but_not_forever() {
+        let link: LiveLink<u32> =
+            LiveLink::new(p(0), p(1), 1, 0.0, Some(Duration::from_millis(2)), 3);
+        assert_eq!(link.send(9), SendFate::Enqueued);
+        let deadline = Instant::now() + Duration::from_secs(1);
+        loop {
+            if let Some(m) = link.try_recv() {
+                assert_eq!(m, 9);
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "jittered message never became ready"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        let r = std::panic::catch_unwind(|| LiveLink::<u8>::new(p(0), p(1), 0, 0.0, None, 0));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn full_loss_rejected() {
+        let r = std::panic::catch_unwind(|| LiveLink::<u8>::new(p(0), p(1), 1, 1.0, None, 0));
+        assert!(r.is_err());
+    }
+}

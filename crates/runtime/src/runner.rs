@@ -1,0 +1,840 @@
+//! `LiveRunner` — one worker thread per process, event-driven, over
+//! [`LiveLink`] transports.
+//!
+//! Each worker owns its [`Protocol`] instance and loops: apply harness
+//! commands, drain deliverable messages from its incoming links (each
+//! delivery is one atomic receive action), run the driver hook, then
+//! execute one activation if an internal action is enabled. Every atomic
+//! action draws a ticket from one global [`AtomicU64`] step counter and
+//! logs its events into a per-worker [`Trace`] under that step, so the
+//! merged trace ([`Trace::merged`]) is a total order consistent with both
+//! per-process program order and real-time cross-thread causality — which
+//! is exactly what the executable specifications in `snapstab_core::spec`
+//! need to judge a live run.
+//!
+//! Workers never spin: an iteration that made no progress parks with an
+//! exponentially growing timeout (the timeout doubles as the
+//! retransmission period under loss), and senders unpark the receiver on
+//! every enqueue.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use snapstab_sim::{Context, ProcessId, Protocol, SimRng, Trace, TraceEvent};
+
+use crate::link::{LinkStats, LiveLink};
+
+/// Construction-time configuration of a live run.
+#[derive(Clone, Debug)]
+pub struct LiveConfig {
+    /// Per-link bounded capacity (§4 known-bound regime; the paper's
+    /// protocols are designed for 1). Unbounded capacity is deliberately
+    /// not offered: Theorem 1 shows snap-stabilization is impossible
+    /// there, and a live transport would also exhaust memory.
+    pub capacity: usize,
+    /// Per-message in-transit loss probability in `[0, 1)`.
+    pub loss: f64,
+    /// Optional maximum extra delivery delay, drawn uniformly per message.
+    pub jitter: Option<Duration>,
+    /// Seed for the per-link loss/jitter streams and per-worker RNGs.
+    pub seed: u64,
+    /// Record per-worker event logs for trace merging (benches switch
+    /// this off to measure raw throughput).
+    pub record_trace: bool,
+    /// Initial park timeout of an idle worker.
+    pub min_backoff: Duration,
+    /// Park timeout ceiling; also bounds the retransmission period under
+    /// loss and the latency of a jittered delivery.
+    pub max_backoff: Duration,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            capacity: 1,
+            loss: 0.0,
+            jitter: None,
+            seed: 0,
+            record_trace: true,
+            min_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Logging and stepping capabilities handed to harness closures and
+/// driver hooks executing *inside* a worker: the live counterpart of the
+/// runner-side accessors of the simulator.
+pub struct Scribe<'a, M, E> {
+    me: ProcessId,
+    counter: &'a AtomicU64,
+    log: &'a mut Trace<M, E>,
+    record: bool,
+}
+
+impl<M, E> Scribe<'_, M, E> {
+    /// The process this scribe writes for.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Records a harness marker (e.g. `"request"`) under a fresh global
+    /// step, so it is totally ordered against every protocol event.
+    /// Returns the step.
+    pub fn mark(&mut self, label: impl Into<String>) -> u64 {
+        let step = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.record {
+            self.log.push_marker(step, self.me, label);
+        }
+        step
+    }
+
+    /// The number of global atomic steps taken so far (approximate while
+    /// other workers run).
+    pub fn step_count(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+}
+
+/// A hook run once per worker-loop iteration, between message draining
+/// and the activation: the injection point for client workloads (see
+/// `MutexService`). Returns `true` if it made progress (keeps the worker
+/// from parking this iteration).
+pub type Driver<P> = Box<
+    dyn FnMut(&mut P, &mut Scribe<'_, <P as Protocol>::Msg, <P as Protocol>::Event>) -> bool + Send,
+>;
+
+type WithClosure<P> =
+    Box<dyn FnOnce(&mut P, &mut Scribe<'_, <P as Protocol>::Msg, <P as Protocol>::Event>) + Send>;
+
+enum Command<P: Protocol> {
+    /// Run a closure against the process, atomically with respect to its
+    /// protocol actions.
+    With(WithClosure<P>),
+    /// Exit the worker loop, returning the worker's state.
+    Stop,
+}
+
+/// Per-worker execution counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WorkerStats {
+    /// Activations executed (one per enabled-action sweep).
+    pub activations: u64,
+    /// Activations in which at least one action ran.
+    pub effective_activations: u64,
+    /// Receive actions executed.
+    pub deliveries: u64,
+    /// Protocol events emitted.
+    pub protocol_events: u64,
+}
+
+/// What a stopped worker hands back.
+struct WorkerReport<P: Protocol> {
+    protocol: P,
+    log: Trace<P::Msg, P::Event>,
+    stats: WorkerStats,
+    driver: Option<Driver<P>>,
+}
+
+/// Aggregate statistics of a live run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LiveStats {
+    /// Global atomic steps executed (activations + deliveries + markers).
+    pub steps: u64,
+    /// Sum of the workers' counters.
+    pub activations: u64,
+    /// Activations in which at least one action ran.
+    pub effective_activations: u64,
+    /// Receive actions executed.
+    pub deliveries: u64,
+    /// Protocol events emitted.
+    pub protocol_events: u64,
+    /// Sum of the links' counters.
+    pub links: LinkStats,
+}
+
+/// Everything a finished live run yields: final process states, the
+/// merged trace, and counters.
+pub struct LiveReport<P: Protocol> {
+    /// Final protocol states, in id order.
+    pub processes: Vec<P>,
+    /// The merged, step-ordered trace (empty when recording was off).
+    pub trace: Trace<P::Msg, P::Event>,
+    /// Aggregate counters.
+    pub stats: LiveStats,
+    /// Wall-clock duration from spawn to stop.
+    pub wall: Duration,
+}
+
+struct Worker<P: Protocol> {
+    me: ProcessId,
+    n: usize,
+    protocol: P,
+    rng: SimRng,
+    /// Incoming links, one per other process.
+    incoming: Vec<Arc<LiveLink<P::Msg>>>,
+    /// Outgoing links indexed by receiver (own slot `None`).
+    outgoing: Vec<Option<Arc<LiveLink<P::Msg>>>>,
+    commands: Receiver<Command<P>>,
+    counter: Arc<AtomicU64>,
+    log: Trace<P::Msg, P::Event>,
+    send_buf: Vec<(ProcessId, P::Msg)>,
+    event_buf: Vec<P::Event>,
+    record: bool,
+    driver: Option<Driver<P>>,
+    stats: WorkerStats,
+    min_backoff: Duration,
+    max_backoff: Duration,
+}
+
+impl<P> Worker<P>
+where
+    P: Protocol + Send + 'static,
+    P::Msg: Send,
+    P::Event: Send,
+{
+    fn next_step(&self) -> u64 {
+        self.counter.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Commits the context-buffered sends and events of the atomic action
+    /// stamped `step` — the live analogue of the simulator runner's
+    /// `commit_context_effects`.
+    fn commit(&mut self, step: u64) {
+        for (to, msg) in self.send_buf.drain(..) {
+            let link = self.outgoing[to.index()]
+                .as_ref()
+                .expect("protocol sent to itself or out of range");
+            if self.record {
+                let fate = link.send(msg.clone());
+                self.log.push(
+                    step,
+                    TraceEvent::Sent {
+                        from: self.me,
+                        to,
+                        msg,
+                        fate,
+                    },
+                );
+            } else {
+                link.send(msg);
+            }
+        }
+        for event in self.event_buf.drain(..) {
+            self.stats.protocol_events += 1;
+            if self.record {
+                self.log
+                    .push(step, TraceEvent::Protocol { p: self.me, event });
+            }
+        }
+    }
+
+    fn run(mut self) -> WorkerReport<P> {
+        let handle = std::thread::current();
+        for link in &self.incoming {
+            link.register_receiver(handle.clone());
+        }
+        let mut backoff = self.min_backoff;
+        let mut rotate = 0usize;
+        'main: loop {
+            // Harness commands first: they are atomic steps of their own.
+            let mut commanded = false;
+            loop {
+                match self.commands.try_recv() {
+                    Ok(Command::With(f)) => {
+                        let mut scribe = Scribe {
+                            me: self.me,
+                            counter: &self.counter,
+                            log: &mut self.log,
+                            record: self.record,
+                        };
+                        f(&mut self.protocol, &mut scribe);
+                        commanded = true;
+                    }
+                    Ok(Command::Stop) | Err(TryRecvError::Disconnected) => break 'main,
+                    Err(TryRecvError::Empty) => break,
+                }
+            }
+
+            // Drain every deliverable message; each is one atomic receive
+            // action. Rotate the starting link so no sender is favoured.
+            let mut received = 0usize;
+            let in_count = self.incoming.len();
+            for off in 0..in_count {
+                let idx = (rotate + off) % in_count;
+                while let Some(msg) = self.incoming[idx].try_recv() {
+                    let from = self.incoming[idx].from();
+                    let step = self.next_step();
+                    self.stats.deliveries += 1;
+                    if self.record {
+                        self.log.push(
+                            step,
+                            TraceEvent::Delivered {
+                                from,
+                                to: self.me,
+                                msg: msg.clone(),
+                            },
+                        );
+                    }
+                    let mut ctx = Context::new(
+                        self.me,
+                        self.n,
+                        step,
+                        &mut self.rng,
+                        &mut self.send_buf,
+                        &mut self.event_buf,
+                    );
+                    self.protocol.on_receive(from, msg, &mut ctx);
+                    self.commit(step);
+                    received += 1;
+                }
+            }
+            rotate = rotate.wrapping_add(1);
+
+            // Client workload injection (e.g. the mutex service).
+            let mut drove = false;
+            if let Some(driver) = self.driver.as_mut() {
+                let mut scribe = Scribe {
+                    me: self.me,
+                    counter: &self.counter,
+                    log: &mut self.log,
+                    record: self.record,
+                };
+                drove = driver(&mut self.protocol, &mut scribe);
+            }
+
+            // One activation sweep: all enabled internal actions, in
+            // textual order, atomically — exactly `Protocol::activate`.
+            if self.protocol.has_enabled_action() {
+                let step = self.next_step();
+                self.stats.activations += 1;
+                let mut ctx = Context::new(
+                    self.me,
+                    self.n,
+                    step,
+                    &mut self.rng,
+                    &mut self.send_buf,
+                    &mut self.event_buf,
+                );
+                let acted = self.protocol.activate(&mut ctx);
+                if acted {
+                    self.stats.effective_activations += 1;
+                }
+                if self.record {
+                    self.log
+                        .push(step, TraceEvent::Activated { p: self.me, acted });
+                }
+                self.commit(step);
+            }
+
+            if received == 0 && !commanded && !drove {
+                // Nothing arrived: park until a sender or the harness
+                // unparks us, or the backoff elapses (the backoff is the
+                // retransmission period that keeps lossy runs live).
+                std::thread::park_timeout(backoff);
+                backoff = (backoff * 2).min(self.max_backoff);
+            } else {
+                backoff = self.min_backoff;
+            }
+        }
+        WorkerReport {
+            protocol: self.protocol,
+            log: self.log,
+            stats: self.stats,
+            driver: self.driver,
+        }
+    }
+}
+
+/// A live multi-threaded run: `n` worker threads, one per process, wired
+/// by `n·(n−1)` [`LiveLink`]s. See the crate docs for a quick tour.
+pub struct LiveRunner<P: Protocol> {
+    n: usize,
+    config: LiveConfig,
+    counter: Arc<AtomicU64>,
+    /// Row-major `n × n` link matrix (diagonal `None`).
+    links: Vec<Option<Arc<LiveLink<P::Msg>>>>,
+    handles: Vec<Option<JoinHandle<WorkerReport<P>>>>,
+    senders: Vec<Sender<Command<P>>>,
+    /// State of workers whose thread was crashed ([`LiveRunner::crash`]),
+    /// kept for [`LiveRunner::restart`] or final collection.
+    parked: Vec<Option<WorkerReport<P>>>,
+    started: Instant,
+}
+
+impl<P> LiveRunner<P>
+where
+    P: Protocol + Send + 'static,
+    P::Msg: Send,
+    P::Event: Send,
+{
+    /// Spawns one worker thread per process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two processes are given or the configuration
+    /// is out of domain (zero capacity, loss outside `[0, 1)`).
+    pub fn spawn(processes: Vec<P>, config: LiveConfig) -> Self {
+        let drivers = processes.iter().map(|_| None).collect();
+        Self::spawn_with_drivers(processes, drivers, config)
+    }
+
+    /// Spawns one worker thread per process, each with an optional driver
+    /// hook run every loop iteration (client workload injection).
+    ///
+    /// # Panics
+    ///
+    /// See [`LiveRunner::spawn`]; additionally if the driver list length
+    /// differs from the process count.
+    pub fn spawn_with_drivers(
+        processes: Vec<P>,
+        drivers: Vec<Option<Driver<P>>>,
+        config: LiveConfig,
+    ) -> Self {
+        let n = processes.len();
+        assert!(
+            n >= 2,
+            "a message-passing system needs at least 2 processes"
+        );
+        assert_eq!(drivers.len(), n, "one driver slot per process");
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut links: Vec<Option<Arc<LiveLink<P::Msg>>>> = Vec::with_capacity(n * n);
+        for from in 0..n {
+            for to in 0..n {
+                links.push((from != to).then(|| {
+                    Arc::new(LiveLink::new(
+                        ProcessId::new(from),
+                        ProcessId::new(to),
+                        config.capacity,
+                        config.loss,
+                        config.jitter,
+                        config.seed,
+                    ))
+                }));
+            }
+        }
+        let mut runner = LiveRunner {
+            n,
+            config,
+            counter,
+            links,
+            handles: (0..n).map(|_| None).collect(),
+            senders: Vec::with_capacity(n),
+            parked: (0..n).map(|_| None).collect(),
+            // Placeholder; reset below once every worker is spawned, so
+            // wall-clock throughput excludes thread-spawn cost.
+            started: Instant::now(),
+        };
+        for (i, (protocol, driver)) in processes.into_iter().zip(drivers).enumerate() {
+            let (tx, rx) = mpsc::channel();
+            runner.senders.push(tx);
+            let handle = runner.spawn_worker(
+                i,
+                protocol,
+                Trace::new(),
+                WorkerStats::default(),
+                driver,
+                rx,
+            );
+            runner.handles[i] = Some(handle);
+        }
+        runner.started = Instant::now();
+        runner
+    }
+
+    fn spawn_worker(
+        &self,
+        i: usize,
+        protocol: P,
+        log: Trace<P::Msg, P::Event>,
+        stats: WorkerStats,
+        driver: Option<Driver<P>>,
+        commands: Receiver<Command<P>>,
+    ) -> JoinHandle<WorkerReport<P>> {
+        let me = ProcessId::new(i);
+        let incoming: Vec<Arc<LiveLink<P::Msg>>> = (0..self.n)
+            .filter(|&from| from != i)
+            .map(|from| {
+                self.links[from * self.n + i]
+                    .as_ref()
+                    .expect("off-diagonal")
+                    .clone()
+            })
+            .collect();
+        let outgoing: Vec<Option<Arc<LiveLink<P::Msg>>>> = (0..self.n)
+            .map(|to| self.links[i * self.n + to].clone())
+            .collect();
+        let worker = Worker {
+            me,
+            n: self.n,
+            protocol,
+            rng: SimRng::seed_from(
+                self.config.seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+            ),
+            incoming,
+            outgoing,
+            commands,
+            counter: self.counter.clone(),
+            log,
+            send_buf: Vec::new(),
+            event_buf: Vec::new(),
+            record: self.config.record_trace,
+            driver,
+            stats,
+            min_backoff: self.config.min_backoff,
+            max_backoff: self.config.max_backoff,
+        };
+        std::thread::Builder::new()
+            .name(format!("snapstab-worker-{i}"))
+            .spawn(move || worker.run())
+            .expect("spawn worker thread")
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Global atomic steps executed so far.
+    pub fn step_count(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+
+    /// True if worker `p` is currently crashed.
+    pub fn is_crashed(&self, p: ProcessId) -> bool {
+        self.parked[p.index()].is_some()
+    }
+
+    /// Runs a closure against process `p` with scribe access, atomically
+    /// with respect to its protocol actions, and returns its result. On a
+    /// crashed worker the closure runs directly on the parked state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker thread died abnormally (panicked protocol).
+    pub fn with_process_ctx<R, F>(&mut self, p: ProcessId, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut P, &mut Scribe<'_, P::Msg, P::Event>) -> R + Send + 'static,
+    {
+        let i = p.index();
+        if let Some(parked) = self.parked[i].as_mut() {
+            let mut scribe = Scribe {
+                me: p,
+                counter: &self.counter,
+                log: &mut parked.log,
+                record: self.config.record_trace,
+            };
+            return f(&mut parked.protocol, &mut scribe);
+        }
+        let (tx, rx) = mpsc::channel();
+        let cmd = Command::With(Box::new(
+            move |proto: &mut P, scribe: &mut Scribe<'_, _, _>| {
+                let _ = tx.send(f(proto, scribe));
+            },
+        ));
+        self.senders[i]
+            .send(cmd)
+            .expect("worker command channel closed");
+        if let Some(h) = self.handles[i].as_ref() {
+            h.thread().unpark();
+        }
+        rx.recv_timeout(Duration::from_secs(30))
+            .expect("worker did not answer within 30s")
+    }
+
+    /// Runs a closure against process `p` and returns its result.
+    pub fn with_process<R, F>(&mut self, p: ProcessId, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut P) -> R + Send + 'static,
+    {
+        self.with_process_ctx(p, move |proto, _scribe| f(proto))
+    }
+
+    /// Records a harness marker at process `p` under a fresh global step.
+    pub fn mark(&mut self, p: ProcessId, label: impl Into<String>) {
+        let label = label.into();
+        self.with_process_ctx(p, move |_proto, scribe| {
+            scribe.mark(label);
+        });
+    }
+
+    /// Polls `pred` on process `p` until it holds or `timeout` elapses.
+    /// Returns whether it held.
+    pub fn wait_until<F>(&mut self, p: ProcessId, pred: F, timeout: Duration) -> bool
+    where
+        F: Fn(&P) -> bool + Send + Sync + 'static,
+    {
+        let pred = Arc::new(pred);
+        let deadline = Instant::now() + timeout;
+        loop {
+            let pred = pred.clone();
+            if self.with_process(p, move |proto| pred(proto)) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Kills worker `p`'s thread: the live analogue of a crash failure.
+    /// The process state and event log survive for [`LiveRunner::restart`];
+    /// messages addressed to `p` stay in its incoming links undelivered
+    /// (new sends keep hitting the capacity bound), and nothing `p` would
+    /// have sent appears — exactly the simulator's crash semantics, but
+    /// enforced by an actually-dead thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is already crashed.
+    pub fn crash(&mut self, p: ProcessId) {
+        let i = p.index();
+        let handle = self.handles[i].take().expect("worker already crashed");
+        self.senders[i]
+            .send(Command::Stop)
+            .expect("command channel");
+        handle.thread().unpark();
+        let mut report = handle.join().expect("worker panicked");
+        if self.config.record_trace {
+            let step = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+            report.log.push_marker(step, p, "crash");
+        }
+        self.parked[i] = Some(report);
+    }
+
+    /// Respawns a previously crashed worker on a fresh OS thread, resuming
+    /// from its surviving process state. Its incoming links re-register
+    /// the new thread for wake-ups; backlogged messages get delivered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not crashed.
+    pub fn restart(&mut self, p: ProcessId) {
+        let i = p.index();
+        let mut report = self.parked[i].take().expect("worker is not crashed");
+        if self.config.record_trace {
+            let step = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+            report.log.push_marker(step, p, "restart");
+        }
+        let (tx, rx) = mpsc::channel();
+        self.senders[i] = tx;
+        let handle = self.spawn_worker(
+            i,
+            report.protocol,
+            report.log,
+            report.stats,
+            report.driver,
+            rx,
+        );
+        self.handles[i] = Some(handle);
+    }
+
+    /// Stops every worker, joins the threads, and merges the per-worker
+    /// logs into one step-ordered trace.
+    pub fn stop(mut self) -> LiveReport<P> {
+        for i in 0..self.n {
+            if self.handles[i].is_some() {
+                let _ = self.senders[i].send(Command::Stop);
+            }
+        }
+        let mut reports: Vec<WorkerReport<P>> = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            if let Some(h) = self.handles[i].take() {
+                h.thread().unpark();
+                reports.push(h.join().expect("worker panicked"));
+            } else {
+                reports.push(self.parked[i].take().expect("crashed worker state"));
+            }
+        }
+        let wall = self.started.elapsed();
+        let mut stats = LiveStats {
+            steps: self.counter.load(Ordering::Relaxed),
+            ..LiveStats::default()
+        };
+        for r in &reports {
+            stats.activations += r.stats.activations;
+            stats.effective_activations += r.stats.effective_activations;
+            stats.deliveries += r.stats.deliveries;
+            stats.protocol_events += r.stats.protocol_events;
+        }
+        for link in self.links.iter().flatten() {
+            stats.links.absorb(link.stats());
+        }
+        let mut processes = Vec::with_capacity(self.n);
+        let mut logs = Vec::with_capacity(self.n);
+        for r in reports {
+            processes.push(r.protocol);
+            logs.push(r.log);
+        }
+        LiveReport {
+            processes,
+            trace: Trace::merged(logs),
+            stats,
+            wall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapstab_core::idl::IdlProcess;
+    use snapstab_core::request::RequestState;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn idl_fleet(n: usize) -> Vec<IdlProcess> {
+        (0..n)
+            .map(|i| IdlProcess::new(p(i), n, 10 + i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn live_idl_wave_decides_and_learns_ids() {
+        let mut r = LiveRunner::spawn(idl_fleet(4), LiveConfig::default());
+        r.with_process(p(0), |m: &mut IdlProcess| m.request_learning());
+        assert!(
+            r.wait_until(
+                p(0),
+                |m: &IdlProcess| m.request() == RequestState::Done,
+                Duration::from_secs(20),
+            ),
+            "live IDL computation must decide"
+        );
+        let report = r.stop();
+        let learner = &report.processes[0];
+        assert_eq!(learner.idl().min_id(), 10);
+        for i in 1..4 {
+            assert_eq!(learner.idl().id_of(p(i)), 10 + i as u64);
+        }
+        assert!(report.stats.deliveries > 0);
+        assert!(report.stats.links.enqueued >= report.stats.links.delivered);
+    }
+
+    #[test]
+    fn merged_trace_is_step_ordered_and_causal() {
+        let mut r = LiveRunner::spawn(idl_fleet(3), LiveConfig::default());
+        r.mark(p(0), "request");
+        r.with_process(p(0), |m: &mut IdlProcess| m.request_learning());
+        assert!(r.wait_until(
+            p(0),
+            |m: &IdlProcess| m.request() == RequestState::Done,
+            Duration::from_secs(20),
+        ));
+        let report = r.stop();
+        let steps: Vec<u64> = report.trace.iter().map(|te| te.step).collect();
+        assert!(steps.windows(2).all(|w| w[0] <= w[1]), "monotone steps");
+        assert!(!report.trace.is_empty());
+        // Each delivery of a message follows some send of it: check counts.
+        let sends = report.trace.count(|e| {
+            matches!(
+                e,
+                TraceEvent::Sent {
+                    fate: snapstab_sim::SendFate::Enqueued,
+                    ..
+                }
+            )
+        });
+        let delivered = report
+            .trace
+            .count(|e| matches!(e, TraceEvent::Delivered { .. }));
+        assert!(
+            delivered <= sends,
+            "{delivered} deliveries from {sends} sends"
+        );
+    }
+
+    #[test]
+    fn record_trace_off_keeps_stats() {
+        let cfg = LiveConfig {
+            record_trace: false,
+            ..LiveConfig::default()
+        };
+        let mut r = LiveRunner::spawn(idl_fleet(3), cfg);
+        r.with_process(p(0), |m: &mut IdlProcess| m.request_learning());
+        assert!(r.wait_until(
+            p(0),
+            |m: &IdlProcess| m.request() == RequestState::Done,
+            Duration::from_secs(20),
+        ));
+        let report = r.stop();
+        assert!(report.trace.is_empty());
+        assert!(report.stats.deliveries > 0, "stats survive");
+    }
+
+    #[test]
+    fn lossy_wave_still_decides() {
+        let cfg = LiveConfig {
+            loss: 0.3,
+            seed: 5,
+            ..LiveConfig::default()
+        };
+        let mut r = LiveRunner::spawn(idl_fleet(3), cfg);
+        r.with_process(p(0), |m: &mut IdlProcess| m.request_learning());
+        assert!(
+            r.wait_until(
+                p(0),
+                |m: &IdlProcess| m.request() == RequestState::Done,
+                Duration::from_secs(30),
+            ),
+            "retransmission must push the wave through 30% loss"
+        );
+        let report = r.stop();
+        assert!(
+            report.stats.links.lost_in_transit > 0,
+            "loss actually happened"
+        );
+    }
+
+    #[test]
+    fn crash_blocks_wave_restart_unblocks_it() {
+        let mut r = LiveRunner::spawn(idl_fleet(3), LiveConfig::default());
+        r.crash(p(2));
+        assert!(r.is_crashed(p(2)));
+        r.with_process(p(0), |m: &mut IdlProcess| m.request_learning());
+        // The wave needs feedback from every process; with P2 dead it
+        // cannot decide.
+        assert!(
+            !r.wait_until(
+                p(0),
+                |m: &IdlProcess| m.request() == RequestState::Done,
+                Duration::from_millis(300),
+            ),
+            "wave must stall while a worker is crashed"
+        );
+        r.restart(p(2));
+        assert!(!r.is_crashed(p(2)));
+        assert!(
+            r.wait_until(
+                p(0),
+                |m: &IdlProcess| m.request() == RequestState::Done,
+                Duration::from_secs(30),
+            ),
+            "wave must complete after the restart"
+        );
+        let report = r.stop();
+        let markers: Vec<String> = report
+            .trace
+            .markers()
+            .map(|(_, _, l)| l.to_string())
+            .collect();
+        assert!(markers.contains(&"crash".to_string()));
+        assert!(markers.contains(&"restart".to_string()));
+    }
+
+    #[test]
+    fn stop_collects_crashed_worker_state() {
+        let mut r = LiveRunner::spawn(idl_fleet(2), LiveConfig::default());
+        r.crash(p(1));
+        let report = r.stop();
+        assert_eq!(report.processes.len(), 2);
+    }
+}

@@ -104,4 +104,4 @@ pub use runner::{RunOutcome, Runner, StopCondition};
 pub use scheduler::{Move, RandomScheduler, RoundRobin, Scheduler, ScriptedScheduler, SystemView};
 pub use stats::SimStats;
 pub use topology::Topology;
-pub use trace::{Trace, TraceEntry, TraceEvent};
+pub use trace::{SendFate, Trace, TraceEntry, TraceEvent};

@@ -34,7 +34,20 @@ pub struct Network<M> {
     /// derived state (the runner's [`crate::SystemView`] buffer) and
     /// resync only when something actually moved.
     links_version: u64,
+    /// Bounded change journal: entry `k` records the live-set transition
+    /// that produced version `journal_base + k + 1` as
+    /// `(from, to, non_empty_after)`. Callers that saw version `v ≥
+    /// journal_base` can catch up by replaying the suffix instead of
+    /// copying the whole live set ([`Network::links_changes_since`]).
+    journal: Vec<(ProcessId, ProcessId, bool)>,
+    /// Version number just before the first retained journal entry.
+    journal_base: u64,
 }
+
+/// Retained journal suffix: compaction keeps at least this many entries,
+/// comfortably more than any step can produce, so a per-step consumer
+/// never falls off the back.
+const JOURNAL_KEEP: usize = 1024;
 
 impl<M: Message> Network<M> {
     fn idx(&self, from: ProcessId, to: ProcessId) -> Result<usize, SimError> {
@@ -76,15 +89,28 @@ impl<M: Message> Network<M> {
             Ok(pos) => {
                 if !non_empty {
                     self.live.remove(pos);
-                    self.links_version += 1;
+                    self.record_change(from, to, false);
                 }
             }
             Err(pos) => {
                 if non_empty {
                     self.live.insert(pos, (from, to));
-                    self.links_version += 1;
+                    self.record_change(from, to, true);
                 }
             }
+        }
+    }
+
+    /// Appends one live-set transition to the journal (bumping the
+    /// version), compacting the journal's front once it grows past twice
+    /// the retained suffix.
+    fn record_change(&mut self, from: ProcessId, to: ProcessId, non_empty: bool) {
+        self.links_version += 1;
+        self.journal.push((from, to, non_empty));
+        if self.journal.len() >= 2 * JOURNAL_KEEP {
+            let drop = self.journal.len() - JOURNAL_KEEP;
+            self.journal.drain(..drop);
+            self.journal_base += drop as u64;
         }
     }
 
@@ -92,6 +118,26 @@ impl<M: Message> Network<M> {
     /// Callers caching derived state resync only when this moves.
     pub fn links_version(&self) -> u64 {
         self.links_version
+    }
+
+    /// The live-set transitions between `seen_version` and the current
+    /// [`Network::links_version`], oldest first, as
+    /// `(from, to, non_empty_after)` — applying them in order to a copy of
+    /// the live set as of `seen_version` reproduces the current set (later
+    /// entries for the same link supersede earlier ones).
+    ///
+    /// Returns `None` when the journal no longer reaches back to
+    /// `seen_version` (compacted away, or `seen_version` is from another
+    /// network's history): the caller must fall back to a full resync from
+    /// [`Network::non_empty_links`].
+    pub fn links_changes_since(
+        &self,
+        seen_version: u64,
+    ) -> Option<&[(ProcessId, ProcessId, bool)]> {
+        if seen_version > self.links_version || seen_version < self.journal_base {
+            return None;
+        }
+        Some(&self.journal[(seen_version - self.journal_base) as usize..])
     }
 
     /// Offers `msg` to the channel `from → to`, applying the §4 drop-on-full
@@ -236,9 +282,9 @@ impl<M: Message> Network<M> {
         for ch in &mut self.channels {
             ch.clear();
         }
-        if !self.live.is_empty() {
-            self.live.clear();
-            self.links_version += 1;
+        while let Some(&(from, to)) = self.live.last() {
+            self.live.pop();
+            self.record_change(from, to, false);
         }
     }
 
@@ -315,6 +361,8 @@ impl<M: Message> NetworkBuilder<M> {
             send_counts: vec![0; self.n * self.n],
             live: Vec::new(),
             links_version: 0,
+            journal: Vec::new(),
+            journal_base: 0,
         }
     }
 }
@@ -509,5 +557,64 @@ mod tests {
     #[should_panic(expected = "at least 2 processes")]
     fn tiny_network_rejected() {
         let _ = net(1, Capacity::Bounded(1));
+    }
+
+    /// Replays a journal suffix onto a sorted link set (the runner's delta
+    /// path, without the crash filter).
+    fn apply(
+        mut set: Vec<(ProcessId, ProcessId)>,
+        delta: &[(ProcessId, ProcessId, bool)],
+    ) -> Vec<(ProcessId, ProcessId)> {
+        for &(f, t, present) in delta {
+            match (set.binary_search(&(f, t)), present) {
+                (Ok(pos), false) => {
+                    set.remove(pos);
+                }
+                (Err(pos), true) => {
+                    set.insert(pos, (f, t));
+                }
+                _ => {}
+            }
+        }
+        set
+    }
+
+    #[test]
+    fn journal_replay_reproduces_live_set() {
+        let mut nw = net(4, Capacity::Bounded(1));
+        let v0 = nw.links_version();
+        let set0 = nw.non_empty_links().to_vec();
+        nw.send(p(0), p(1), 1);
+        nw.send(p(2), p(3), 2);
+        nw.deliver(p(0), p(1)).unwrap();
+        nw.send(p(1), p(0), 3);
+        nw.clear();
+        nw.send(p(3), p(2), 4);
+        let delta = nw.links_changes_since(v0).expect("journal covers v0");
+        assert_eq!(apply(set0, delta), nw.non_empty_links());
+    }
+
+    #[test]
+    fn journal_empty_delta_at_current_version() {
+        let mut nw = net(3, Capacity::Bounded(1));
+        nw.send(p(0), p(1), 1);
+        let v = nw.links_version();
+        assert_eq!(nw.links_changes_since(v), Some(&[][..]));
+    }
+
+    #[test]
+    fn journal_rejects_future_and_compacted_versions() {
+        let mut nw = net(2, Capacity::Unbounded);
+        assert_eq!(nw.links_changes_since(5), None, "future version");
+        // Churn one link empty<->non-empty far past the retained suffix.
+        for i in 0..3 * super::JOURNAL_KEEP as u32 {
+            nw.send(p(0), p(1), i);
+            nw.deliver(p(0), p(1)).unwrap();
+        }
+        assert_eq!(nw.links_changes_since(0), None, "compacted away");
+        // A recent version is still replayable.
+        let v = nw.links_version();
+        nw.send(p(0), p(1), 9);
+        assert_eq!(nw.links_changes_since(v).map(<[_]>::len), Some(1));
     }
 }

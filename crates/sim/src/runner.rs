@@ -122,12 +122,29 @@ impl<P: Protocol, S: Scheduler> Runner<P, S> {
 
     /// Brings the persistent [`SystemView`] buffer up to date: re-reads
     /// the enabled flag of each dirty process and resyncs the link list if
-    /// the network's live-link set changed. O(dirty + changed-links).
+    /// the network's live-link set changed. The link resync is
+    /// *delta-based*: it replays only the network's journal of live-set
+    /// transitions since the last seen version, so a step costs
+    /// O(dirty + links-changed) instead of O(live links); the full copy
+    /// remains as the fallback when the journal does not reach back far
+    /// enough (first sync, post-crash, harness churn).
     fn refresh_view(&mut self) {
         let version = self.network.links_version();
         if self.links_seen != Some(version) {
-            self.view_buf
-                .sync_links(self.network.non_empty_links(), &self.crashed);
+            let delta = self
+                .links_seen
+                .and_then(|seen| self.network.links_changes_since(seen));
+            match delta {
+                Some(changes) => {
+                    for &(from, to, present) in changes {
+                        let alive = present && !self.crashed[to.index()];
+                        self.view_buf.set_link(from, to, alive);
+                    }
+                }
+                None => self
+                    .view_buf
+                    .sync_links(self.network.non_empty_links(), &self.crashed),
+            }
             self.links_seen = Some(version);
         }
         while let Some(p) = self.dirty.pop() {

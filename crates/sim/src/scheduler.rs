@@ -189,6 +189,22 @@ impl SystemView {
         self.links
             .extend(live.iter().copied().filter(|(_, to)| !crashed[to.index()]));
     }
+
+    /// Inserts or removes one link, maintaining the row-major order.
+    /// Idempotent, so a journal suffix with repeated transitions of the
+    /// same link converges to the last one. O(log links) search plus the
+    /// shift; a steady-state step touches O(1) links.
+    pub(crate) fn set_link(&mut self, from: ProcessId, to: ProcessId, present: bool) {
+        match (self.links.binary_search(&(from, to)), present) {
+            (Ok(pos), false) => {
+                self.links.remove(pos);
+            }
+            (Err(pos), true) => {
+                self.links.insert(pos, (from, to));
+            }
+            _ => {}
+        }
+    }
 }
 
 /// Chooses the next step of an execution.

@@ -185,6 +185,19 @@ impl<M, E> Trace<M, E> {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// Merges per-process event logs into one chronological trace, ordered
+    /// by step. The sort is stable, so entries that share a step (all the
+    /// events of one atomic action, logged by one process in program
+    /// order) keep their relative order. This is how the live runtime
+    /// (`snapstab-runtime`) assembles the per-worker logs — each stamped
+    /// from one global atomic step counter — into a trace the executable
+    /// specifications can check.
+    pub fn merged(logs: impl IntoIterator<Item = Trace<M, E>>) -> Trace<M, E> {
+        let mut entries: Vec<TraceEntry<M, E>> = logs.into_iter().flat_map(|t| t.entries).collect();
+        entries.sort_by_key(|te| te.step);
+        Trace { entries }
+    }
 }
 
 #[cfg(test)]
@@ -296,5 +309,52 @@ mod tests {
         t.push(0, TraceEvent::Corrupted { p: p(0) });
         t.clear();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn merged_interleaves_by_step_stably() {
+        let mut a = T::new();
+        a.push(
+            1,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: "a1",
+            },
+        );
+        a.push(
+            4,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: "a4",
+            },
+        );
+        a.push(
+            4,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: "a4b",
+            },
+        );
+        let mut b = T::new();
+        b.push(
+            2,
+            TraceEvent::Protocol {
+                p: p(1),
+                event: "b2",
+            },
+        );
+        b.push(
+            5,
+            TraceEvent::Protocol {
+                p: p(1),
+                event: "b5",
+            },
+        );
+        let m = T::merged([a, b]);
+        let events: Vec<_> = m.protocol_events().map(|(s, _, e)| (s, *e)).collect();
+        assert_eq!(
+            events,
+            vec![(1, "a1"), (2, "b2"), (4, "a4"), (4, "a4b"), (5, "b5")]
+        );
     }
 }

@@ -263,4 +263,63 @@ proptest! {
             "traces diverged between incremental and rebuild-per-step execution"
         );
     }
+
+    /// The delta-based link resync in the runner's cached view agrees with
+    /// a crash-filtered fresh scan under any interleaving of steps,
+    /// guarded harness channel edits (which bump the link version several
+    /// times between refreshes) and crashes.
+    #[test]
+    fn delta_link_resync_matches_filtered_scan(
+        seed in any::<u64>(),
+        n in 2usize..5,
+        ops in proptest::collection::vec(any::<u64>(), 1..80),
+    ) {
+        let processes: Vec<IdlProcess> =
+            (0..n).map(|i| IdlProcess::new(p(i), n, 10 + i as u64)).collect();
+        let network = NetworkBuilder::new(n).capacity(Capacity::Bounded(2)).build();
+        let mut runner = Runner::new(processes, network, RoundRobin::new(), seed);
+        runner.process_mut(p(0)).request_learning();
+        for op in ops {
+            let from = p((op >> 8) as usize % n);
+            let to = p((op >> 16) as usize % n);
+            match op % 5 {
+                0 => {
+                    let _ = runner.step().expect("step");
+                }
+                1 if from != to => {
+                    runner
+                        .network_mut()
+                        .channel_mut(from, to)
+                        .unwrap()
+                        .preload([snapstab_repro::core::pif::PifMsg {
+                            broadcast: snapstab_repro::core::idl::IdlQuery,
+                            feedback: (op >> 24) & 0xFF,
+                            sender_state: snapstab_repro::core::flag::Flag::new((op % 5) as u8),
+                            echoed_state: snapstab_repro::core::flag::Flag::new((op % 3) as u8),
+                        }]);
+                }
+                2 if from != to => {
+                    runner.network_mut().channel_mut(from, to).unwrap().clear();
+                }
+                3 if op % 11 == 3 => {
+                    runner.crash(from);
+                }
+                _ => {
+                    let _ = runner.step().expect("step");
+                }
+            }
+            let crashed: Vec<bool> = (0..n).map(|i| runner.is_crashed(p(i))).collect();
+            let expected: Vec<_> = runner
+                .network()
+                .scan_non_empty_links()
+                .into_iter()
+                .filter(|(_, to)| !crashed[to.index()])
+                .collect();
+            prop_assert_eq!(
+                runner.view().non_empty_links(),
+                expected.as_slice(),
+                "delta-refreshed view diverged from the filtered scan"
+            );
+        }
+    }
 }
