@@ -1,9 +1,16 @@
-//! Q6 — live-runtime mutex-service throughput sweep; writes
-//! `BENCH_RUNTIME.json` so future PRs have a live-path trajectory to
-//! compare against.
+//! Q6 — live-runtime mutex-service throughput sweeps (single-leader
+//! baseline + sharded/batched); writes `BENCH_RUNTIME.json` so future PRs
+//! have a live-path trajectory to compare against.
+//!
+//! Before writing, the emitted JSON is parsed back through the bench's
+//! own schema (`rtbench::validate_roundtrip`): a missing, renamed or
+//! re-typed field fails the binary with exit code 1 instead of landing in
+//! the committed artifact.
 //!
 //! Usage: `exp_rtbench [--fast|--quick] [--json PATH]` (default PATH:
 //! `BENCH_RUNTIME.json` in the current directory).
+
+use snapstab_bench::experiments::rtbench;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -15,12 +22,18 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_RUNTIME.json".to_string());
 
-    let results = snapstab_bench::experiments::rtbench::sweep(fast);
+    let baseline = rtbench::sweep(fast);
+    let sharded = rtbench::sweep_sharded(fast);
 
-    print!("{}", snapstab_bench::experiments::rtbench::render(&results));
-    let json = snapstab_bench::experiments::rtbench::to_json(&results);
+    print!("{}", rtbench::render(&baseline, &sharded));
+    let json = rtbench::to_json(&baseline, &sharded);
+    if let Err(e) = rtbench::validate_roundtrip(&json, &baseline, &sharded) {
+        eprintln!("\nschema validation FAILED — not writing {json_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nschema validation: JSON round-trips through the bench's own parser");
     match std::fs::write(&json_path, &json) {
-        Ok(()) => println!("\nwrote {json_path}"),
-        Err(e) => eprintln!("\ncould not write {json_path}: {e}"),
+        Ok(()) => println!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
     }
 }

@@ -1,30 +1,54 @@
-//! **Q6 — live-runtime mutex-service throughput.**
+//! **Q6 — live-runtime mutex-service throughput, single-leader and
+//! sharded.**
 //!
-//! Drives the `snapstab-runtime` [`MutexService`] — Algorithm 3 on one OS
+//! Drives the `snapstab-runtime` mutex services — Algorithm 3 on one OS
 //! thread per process over the concurrent lossy transport — with a
 //! saturating client request stream, and reports end-to-end requests/sec,
-//! CS entries/sec and transport msgs/sec versus system size and loss
-//! rate. The committed numbers live in `BENCH_RUNTIME.json`; the full
-//! sweep pushes ≥10⁵ client requests through the service in total.
+//! grants/sec and transport msgs/sec.
+//!
+//! Two sweeps feed `BENCH_RUNTIME.json`:
+//!
+//! * the **baseline** `n × loss` sweep
+//!   ([`run_mutex_service`]: one leader, one request
+//!   per grant) — the protocol-bound curve PR 2 committed;
+//! * the **sharded** `shards × batch` sweep
+//!   ([`run_sharded_service`]: `S` leaders over
+//!   hash-partitioned resource keys, up to `batch` non-conflicting
+//!   requests per grant) — the curve that multiplies it.
+//!
+//! Every row serializes the latency *distribution* (mean, p50, p99), not
+//! just the mean, and the emitted JSON is parsed back through the bench's
+//! own schema ([`from_json`]) before it can land in the committed
+//! artifact — field drift fails the binary, not the next PR.
 
 use std::time::Duration;
 
-use snapstab_runtime::{run_mutex_service, LiveConfig, MutexServiceConfig};
+use snapstab_runtime::{
+    run_mutex_service, run_sharded_service, LiveConfig, MutexServiceConfig, ShardedServiceConfig,
+};
 
+use crate::jsonv::{self, Value};
+use crate::stats::Summary;
 use crate::table::Table;
 
-/// One measured configuration.
-#[derive(Clone, Copy, Debug)]
+/// One measured configuration (baseline rows have `shards == batch == 1`).
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct RtResult {
     /// System size (worker threads).
     pub n: usize,
     /// In-transit loss probability.
     pub loss: f64,
-    /// Requests injected into the protocol.
+    /// Independent protocol instances (leaders).
+    pub shards: usize,
+    /// Maximum client requests per critical-section grant.
+    pub batch: usize,
+    /// Requests injected into the service.
     pub injected: u64,
     /// Requests served end-to-end.
     pub served: u64,
-    /// Critical-section entries.
+    /// Critical-section grants performed.
+    pub grants: u64,
+    /// Critical-section entries summed over all processes and shards.
     pub cs_entries: u64,
     /// Transport messages enqueued.
     pub msgs: u64,
@@ -32,6 +56,10 @@ pub struct RtResult {
     pub wall_ns: u128,
     /// Mean service latency in nanoseconds (0 if nothing served).
     pub mean_latency_ns: u128,
+    /// Median service latency in nanoseconds.
+    pub p50_latency_ns: u128,
+    /// 99th-percentile service latency in nanoseconds.
+    pub p99_latency_ns: u128,
 }
 
 impl RtResult {
@@ -40,19 +68,38 @@ impl RtResult {
         self.served as f64 / (self.wall_ns as f64 / 1e9)
     }
 
-    /// Critical-section entries per second.
-    pub fn cs_per_sec(&self) -> f64 {
-        self.cs_entries as f64 / (self.wall_ns as f64 / 1e9)
+    /// Critical-section grants per second.
+    pub fn grants_per_sec(&self) -> f64 {
+        self.grants as f64 / (self.wall_ns as f64 / 1e9)
     }
 
     /// Transport messages per second.
     pub fn msgs_per_sec(&self) -> f64 {
         self.msgs as f64 / (self.wall_ns as f64 / 1e9)
     }
+
+    /// Mean requests served per grant (the realized batch factor).
+    pub fn mean_batch(&self) -> f64 {
+        if self.grants == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.grants as f64
+        }
+    }
 }
 
-/// Measures one configuration: `requests_per_process` client requests per
-/// process, stopping early at `budget`.
+/// Summarizes a latency sample into `(mean, p50, p99)` nanoseconds.
+fn latency_stats(latencies: &[Duration]) -> (u128, u128, u128) {
+    if latencies.is_empty() {
+        return (0, 0, 0);
+    }
+    let s = Summary::of(latencies.iter().map(|d| d.as_nanos() as f64));
+    (s.mean as u128, s.p50 as u128, s.p99 as u128)
+}
+
+/// Measures one baseline (single-leader, unbatched) configuration:
+/// `requests_per_process` client requests per process, stopping early at
+/// `budget`.
 pub fn measure(
     n: usize,
     loss: f64,
@@ -73,30 +120,79 @@ pub fn measure(
         time_budget: budget,
     };
     let report = run_mutex_service(&cfg);
-    let mean_latency_ns = if report.latencies.is_empty() {
-        0
-    } else {
-        report
-            .latencies
-            .iter()
-            .map(Duration::as_nanos)
-            .sum::<u128>()
-            / report.latencies.len() as u128
-    };
+    let (mean_latency_ns, p50_latency_ns, p99_latency_ns) = latency_stats(&report.latencies);
     RtResult {
         n,
         loss,
+        shards: 1,
+        batch: 1,
         injected: report.injected,
         served: report.served,
+        grants: report.served, // one grant per request in the baseline
         cs_entries: report.cs_entries,
         msgs: report.stats.links.enqueued,
         wall_ns: report.wall.as_nanos(),
         mean_latency_ns,
+        p50_latency_ns,
+        p99_latency_ns,
     }
 }
 
-/// Runs the sweep: `n ∈ {8, 16, 32, 64}` × `loss ∈ {0, 0.1, 0.3}`
-/// (`--fast`: a smoke-sized subset so CI can exercise the binary).
+/// Measures one sharded, batching configuration.
+pub fn measure_sharded(
+    n: usize,
+    loss: f64,
+    shards: usize,
+    batch: usize,
+    requests_per_process: u64,
+    budget: Duration,
+    seed: u64,
+) -> RtResult {
+    let cfg = ShardedServiceConfig {
+        n,
+        shards,
+        batch,
+        requests_per_process,
+        key_space: 1 << 16,
+        cs_duration: 0,
+        live: LiveConfig {
+            loss,
+            seed,
+            record_trace: false,
+            ..LiveConfig::default()
+        },
+        time_budget: budget,
+    };
+    let report = run_sharded_service(&cfg);
+    let cs_entries = report
+        .processes
+        .iter()
+        .map(|m| {
+            (0..m.shard_count())
+                .map(|s| m.shard(s).counters().cs_entries)
+                .sum::<u64>()
+        })
+        .sum();
+    let (mean_latency_ns, p50_latency_ns, p99_latency_ns) = latency_stats(&report.latencies);
+    RtResult {
+        n,
+        loss,
+        shards,
+        batch,
+        injected: report.injected.len() as u64,
+        served: report.served,
+        grants: report.grant_log.len() as u64,
+        cs_entries,
+        msgs: report.stats.links.enqueued,
+        wall_ns: report.wall.as_nanos(),
+        mean_latency_ns,
+        p50_latency_ns,
+        p99_latency_ns,
+    }
+}
+
+/// Runs the baseline sweep: `n ∈ {8, 16, 32, 64}` × `loss ∈ {0, 0.1,
+/// 0.3}` (`--fast`: a smoke-sized subset so CI can exercise the binary).
 pub fn sweep(fast: bool) -> Vec<RtResult> {
     let (sizes, losses): (&[usize], &[f64]) = if fast {
         (&[4, 8], &[0.0, 0.1])
@@ -140,69 +236,269 @@ pub fn sweep(fast: bool) -> Vec<RtResult> {
     results
 }
 
-/// Renders measured results as the repo's standard ASCII table.
-pub fn render(results: &[RtResult]) -> String {
-    let mut out = String::new();
-    out.push_str("=== Q6: live-runtime mutex service (1 OS thread per process) ===\n\n");
-    let mut table = Table::new(&[
-        "n",
-        "loss",
-        "injected",
-        "served",
-        "req/s",
-        "cs/s",
-        "msgs/s",
-        "mean lat ms",
-    ]);
+/// The expected single-leader req/s at `n` (the PR 2 baseline), used only
+/// to size the sharded sweep's request queues.
+fn baseline_reqs_per_sec(n: usize) -> f64 {
+    match n {
+        0..=8 => 950.0,
+        9..=16 => 296.0,
+        17..=32 => 106.0,
+        _ => 34.0,
+    }
+}
+
+/// Runs the sharded `shards × batch` sweep (loss 0). The full grid
+/// focuses on `n = 32` — the point where the baseline collapses to ~106
+/// req/s — plus `n ∈ {8, 64}` spot checks of the best configuration.
+pub fn sweep_sharded(fast: bool) -> Vec<RtResult> {
+    let grid: &[(usize, usize, usize)] = if fast {
+        &[(4, 2, 2)]
+    } else {
+        &[
+            (32, 1, 1), // in-sweep re-measure of the baseline point
+            (32, 1, 8), // batching alone
+            (32, 4, 1), // sharding alone
+            (32, 2, 4),
+            (32, 4, 4),
+            (32, 4, 8),
+            (32, 8, 8),
+            (8, 4, 4),
+            (64, 4, 4),
+        ]
+    };
+    let mut results = Vec::new();
+    for &(n, shards, batch) in grid {
+        let per_process: u64 = if fast {
+            4
+        } else {
+            // Pessimistic sizing: assume sharding halves the per-grant
+            // rate and batching multiplies it; target ~15s per row.
+            let expected = baseline_reqs_per_sec(n) * batch as f64 * 0.5;
+            (((expected * 15.0) / n as f64).ceil() as u64).max(10)
+        };
+        let budget = if fast {
+            Duration::from_secs(20)
+        } else {
+            Duration::from_secs(90)
+        };
+        let seed = 0xBA7C4 ^ (n as u64) ^ ((shards as u64) << 8) ^ ((batch as u64) << 16);
+        results.push(measure_sharded(
+            n,
+            0.0,
+            shards,
+            batch,
+            per_process,
+            budget,
+            seed,
+        ));
+    }
+    results
+}
+
+fn push_rows(table: &mut Table, results: &[RtResult]) {
     for r in results {
         table.row(&[
             r.n.to_string(),
             format!("{:.1}", r.loss),
-            r.injected.to_string(),
+            r.shards.to_string(),
+            r.batch.to_string(),
             r.served.to_string(),
             format!("{:.0}", r.requests_per_sec()),
-            format!("{:.0}", r.cs_per_sec()),
+            format!("{:.0}", r.grants_per_sec()),
+            format!("{:.2}", r.mean_batch()),
             format!("{:.0}", r.msgs_per_sec()),
             format!("{:.2}", r.mean_latency_ns as f64 / 1e6),
+            format!("{:.2}", r.p50_latency_ns as f64 / 1e6),
+            format!("{:.2}", r.p99_latency_ns as f64 / 1e6),
         ]);
     }
+}
+
+const COLUMNS: [&str; 12] = [
+    "n",
+    "loss",
+    "shards",
+    "batch",
+    "served",
+    "req/s",
+    "grants/s",
+    "batch eff",
+    "msgs/s",
+    "mean ms",
+    "p50 ms",
+    "p99 ms",
+];
+
+/// Renders both sweeps as the repo's standard ASCII tables.
+pub fn render(baseline: &[RtResult], sharded: &[RtResult]) -> String {
+    let mut out = String::new();
+    out.push_str("=== Q6: live-runtime mutex service (1 OS thread per process) ===\n\n");
+    out.push_str("baseline (single leader, one request per grant):\n");
+    let mut table = Table::new(&COLUMNS);
+    push_rows(&mut table, baseline);
     out.push_str(&table.render());
-    let total: u64 = results.iter().map(|r| r.served).sum();
+    if !sharded.is_empty() {
+        out.push_str("\nsharded multi-leader service with request batching:\n");
+        let mut table = Table::new(&COLUMNS);
+        push_rows(&mut table, sharded);
+        out.push_str(&table.render());
+    }
+    let total: u64 = baseline.iter().chain(sharded).map(|r| r.served).sum();
     out.push_str(&format!("\ntotal requests served end-to-end: {total}\n"));
     out
 }
 
-/// Measures the sweep and renders it.
+/// Measures both sweeps and renders them.
 pub fn run(fast: bool) -> String {
-    render(&sweep(fast))
+    render(&sweep(fast), &sweep_sharded(fast))
 }
 
-/// The sweep as a JSON document (hand-rolled: the workspace is offline
-/// and carries no serde), shaped like `BENCH_STEPLOOP.json`.
-pub fn to_json(results: &[RtResult]) -> String {
+fn row_json(r: &RtResult) -> String {
+    format!(
+        "{{\"n\": {}, \"loss\": {}, \"shards\": {}, \"batch\": {}, \"injected\": {}, \"served\": {}, \"grants\": {}, \"cs_entries\": {}, \"msgs\": {}, \"wall_ns\": {}, \"requests_per_sec\": {:.1}, \"grants_per_sec\": {:.1}, \"msgs_per_sec\": {:.1}, \"mean_latency_ns\": {}, \"p50_latency_ns\": {}, \"p99_latency_ns\": {}}}",
+        r.n,
+        r.loss,
+        r.shards,
+        r.batch,
+        r.injected,
+        r.served,
+        r.grants,
+        r.cs_entries,
+        r.msgs,
+        r.wall_ns,
+        r.requests_per_sec(),
+        r.grants_per_sec(),
+        r.msgs_per_sec(),
+        r.mean_latency_ns,
+        r.p50_latency_ns,
+        r.p99_latency_ns,
+    )
+}
+
+/// Both sweeps as a JSON document (hand-rolled: the workspace is offline
+/// and carries no serde), shaped like `BENCH_STEPLOOP.json`. Validate
+/// with [`from_json`] before committing.
+pub fn to_json(baseline: &[RtResult], sharded: &[RtResult]) -> String {
     let mut out = String::from(
         "{\n  \"experiment\": \"live_runtime_mutex_service\",\n  \"unit\": \"requests_per_sec\",\n  \"results\": [\n",
     );
-    for (i, r) in results.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"n\": {}, \"loss\": {}, \"injected\": {}, \"served\": {}, \"cs_entries\": {}, \"msgs\": {}, \"wall_ns\": {}, \"requests_per_sec\": {:.1}, \"cs_per_sec\": {:.1}, \"msgs_per_sec\": {:.1}, \"mean_latency_ns\": {}}}{}\n",
-            r.n,
-            r.loss,
-            r.injected,
-            r.served,
-            r.cs_entries,
-            r.msgs,
-            r.wall_ns,
-            r.requests_per_sec(),
-            r.cs_per_sec(),
-            r.msgs_per_sec(),
-            r.mean_latency_ns,
-            if i + 1 < results.len() { "," } else { "" }
-        ));
+    for (i, r) in baseline.iter().enumerate() {
+        let sep = if i + 1 < baseline.len() { "," } else { "" };
+        out.push_str(&format!("    {}{}\n", row_json(r), sep));
     }
-    let total: u64 = results.iter().map(|r| r.served).sum();
+    out.push_str("  ],\n  \"sharded\": [\n");
+    for (i, r) in sharded.iter().enumerate() {
+        let sep = if i + 1 < sharded.len() { "," } else { "" };
+        out.push_str(&format!("    {}{}\n", row_json(r), sep));
+    }
+    let total: u64 = baseline.iter().chain(sharded).map(|r| r.served).sum();
     out.push_str(&format!("  ],\n  \"total_served\": {total}\n}}\n"));
     out
+}
+
+/// The source (non-derived) numeric fields of one JSON row, in emission
+/// order — the schema the round-trip check enforces.
+const ROW_FIELDS: [&str; 16] = [
+    "n",
+    "loss",
+    "shards",
+    "batch",
+    "injected",
+    "served",
+    "grants",
+    "cs_entries",
+    "msgs",
+    "wall_ns",
+    "requests_per_sec",
+    "grants_per_sec",
+    "msgs_per_sec",
+    "mean_latency_ns",
+    "p50_latency_ns",
+    "p99_latency_ns",
+];
+
+fn row_from_value(row: &Value) -> Result<RtResult, String> {
+    for field in ROW_FIELDS {
+        match row.get(field) {
+            Some(Value::Num(_)) => {}
+            Some(_) => return Err(format!("field `{field}` is not a number")),
+            None => return Err(format!("missing field `{field}`")),
+        }
+    }
+    let num = |field: &str| row.get(field).and_then(Value::as_num).expect("checked");
+    Ok(RtResult {
+        n: num("n") as usize,
+        loss: num("loss"),
+        shards: num("shards") as usize,
+        batch: num("batch") as usize,
+        injected: num("injected") as u64,
+        served: num("served") as u64,
+        grants: num("grants") as u64,
+        cs_entries: num("cs_entries") as u64,
+        msgs: num("msgs") as u64,
+        wall_ns: num("wall_ns") as u128,
+        mean_latency_ns: num("mean_latency_ns") as u128,
+        p50_latency_ns: num("p50_latency_ns") as u128,
+        p99_latency_ns: num("p99_latency_ns") as u128,
+    })
+}
+
+/// Parses a `BENCH_RUNTIME.json` document back through the bench's own
+/// schema: `(baseline rows, sharded rows, total_served)`. Every row must
+/// carry every field of [`struct@RtResult`] (plus the derived rates) as a
+/// number; anything missing, extra-typed or structurally off is an error.
+/// `from_json(to_json(b, s))` reproduces `b`/`s` exactly (derived rates
+/// are recomputed from the source fields).
+pub fn from_json(doc: &str) -> Result<(Vec<RtResult>, Vec<RtResult>, u64), String> {
+    let value = jsonv::parse(doc)?;
+    if value.get("experiment").and_then(Value::as_str) != Some("live_runtime_mutex_service") {
+        return Err("wrong or missing `experiment` tag".into());
+    }
+    if value.get("unit").and_then(Value::as_str).is_none() {
+        return Err("missing `unit`".into());
+    }
+    let rows = |key: &str| -> Result<Vec<RtResult>, String> {
+        value
+            .get(key)
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("missing `{key}` array"))?
+            .iter()
+            .enumerate()
+            .map(|(i, row)| row_from_value(row).map_err(|e| format!("{key}[{i}]: {e}")))
+            .collect()
+    };
+    let baseline = rows("results")?;
+    let sharded = rows("sharded")?;
+    let total = value
+        .get("total_served")
+        .and_then(Value::as_num)
+        .ok_or("missing `total_served`")? as u64;
+    let served: u64 = baseline.iter().chain(&sharded).map(|r| r.served).sum();
+    if total != served {
+        return Err(format!(
+            "total_served {total} disagrees with the rows' sum {served}"
+        ));
+    }
+    Ok((baseline, sharded, total))
+}
+
+/// Validates that a document emitted by [`to_json`] round-trips through
+/// [`from_json`] to exactly the in-memory results. This is what
+/// `exp_rtbench` runs before writing `BENCH_RUNTIME.json`, so schema
+/// drift fails the binary instead of landing in the committed artifact.
+pub fn validate_roundtrip(
+    doc: &str,
+    baseline: &[RtResult],
+    sharded: &[RtResult],
+) -> Result<(), String> {
+    let (b, s, _) = from_json(doc)?;
+    if b != baseline {
+        return Err("baseline rows did not round-trip".into());
+    }
+    if s != sharded {
+        return Err("sharded rows did not round-trip".into());
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -214,25 +510,83 @@ mod tests {
         let r = measure(3, 0.0, 2, Duration::from_secs(30), 1);
         assert_eq!(r.n, 3);
         assert_eq!(r.served, 6);
+        assert_eq!((r.shards, r.batch), (1, 1));
         assert!(r.requests_per_sec() > 0.0);
         assert!(r.msgs_per_sec() > 0.0);
+        assert!(r.p50_latency_ns <= r.p99_latency_ns);
     }
 
     #[test]
-    fn json_shape() {
-        let j = to_json(&[RtResult {
-            n: 8,
+    fn measure_sharded_serves_and_batches() {
+        let r = measure_sharded(3, 0.0, 2, 2, 4, Duration::from_secs(40), 2);
+        assert_eq!(r.served, 12, "all requests served");
+        assert!(r.grants >= 6, "at most 2 requests per grant");
+        assert!(r.grants <= 12);
+        assert!(r.mean_batch() >= 1.0 && r.mean_batch() <= 2.0);
+        assert!(r.p50_latency_ns <= r.p99_latency_ns);
+    }
+
+    fn sample_row(n: usize, shards: usize, batch: usize) -> RtResult {
+        RtResult {
+            n,
             loss: 0.1,
+            shards,
+            batch,
             injected: 10,
             served: 10,
+            grants: 5,
             cs_entries: 10,
             msgs: 1000,
             wall_ns: 1_000_000,
             mean_latency_ns: 5_000,
-        }]);
-        assert!(j.contains("\"n\": 8"));
+            p50_latency_ns: 4_000,
+            p99_latency_ns: 9_000,
+        }
+    }
+
+    #[test]
+    fn json_shape_and_roundtrip() {
+        let baseline = vec![sample_row(8, 1, 1)];
+        let sharded = vec![sample_row(32, 4, 4), sample_row(32, 8, 8)];
+        let j = to_json(&baseline, &sharded);
         assert!(j.contains("live_runtime_mutex_service"));
-        assert!(j.contains("\"total_served\": 10"));
+        assert!(j.contains("\"p99_latency_ns\": 9000"));
+        assert!(j.contains("\"total_served\": 30"));
         assert!(j.trim_end().ends_with('}'));
+        let (b, s, total) = from_json(&j).expect("parses");
+        assert_eq!(b, baseline);
+        assert_eq!(s, sharded);
+        assert_eq!(total, 30);
+        validate_roundtrip(&j, &baseline, &sharded).expect("round-trips");
+    }
+
+    #[test]
+    fn from_json_rejects_field_drift() {
+        let baseline = vec![sample_row(8, 1, 1)];
+        let good = to_json(&baseline, &[]);
+        // Rename a field: the schema check must notice.
+        let renamed = good.replace("\"p99_latency_ns\"", "\"p99\"");
+        let err = from_json(&renamed).unwrap_err();
+        assert!(err.contains("p99_latency_ns"), "{err}");
+        // Corrupt the total: the cross-check must notice.
+        let wrong_total = good.replace("\"total_served\": 10", "\"total_served\": 11");
+        assert!(from_json(&wrong_total)
+            .unwrap_err()
+            .contains("total_served"));
+        // A stringly-typed number is drift too.
+        let stringly = good.replace("\"served\": 10", "\"served\": \"10\"");
+        assert!(from_json(&stringly).unwrap_err().contains("not a number"));
+        // And the round-trip validator catches value changes.
+        let off_by_one = good.replace("\"msgs\": 1000", "\"msgs\": 1001");
+        assert!(validate_roundtrip(&off_by_one, &baseline, &[]).is_err());
+    }
+
+    #[test]
+    fn render_includes_both_tables() {
+        let out = render(&[sample_row(8, 1, 1)], &[sample_row(32, 4, 4)]);
+        assert!(out.contains("baseline"));
+        assert!(out.contains("sharded multi-leader"));
+        assert!(out.contains("p99 ms"));
+        assert!(out.contains("total requests served end-to-end: 20"));
     }
 }

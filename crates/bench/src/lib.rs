@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod jsonv;
 pub mod stats;
 pub mod table;
 

@@ -13,6 +13,9 @@ pub struct Summary {
     pub p50: f64,
     /// 95th percentile.
     pub p95: f64,
+    /// 99th percentile (tail latency; equals `max` for samples smaller
+    /// than ~100).
+    pub p99: f64,
     /// Maximum.
     pub max: f64,
 }
@@ -37,6 +40,7 @@ impl Summary {
             min: v[0],
             p50: pct(0.5),
             p95: pct(0.95),
+            p99: pct(0.99),
             max: v[count - 1],
         }
     }
@@ -75,6 +79,26 @@ mod tests {
         assert_eq!(s.max, 10.0);
         assert!(s.p50 >= 5.0 && s.p50 <= 6.0);
         assert!(s.p95 >= 9.0);
+        assert!(s.p99 >= s.p95 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn percentiles_on_synthetic_latency_distribution() {
+        // A long-tailed synthetic sample: 990 fast responses at 1..=990 µs
+        // and 10 stragglers at 10 ms. The tail must show in p99 but not
+        // p50 — the exact regression the latency-distribution serializer
+        // (rtbench p50/p99 columns) guards against.
+        let sample = (1..=990u64).chain(std::iter::repeat_n(10_000, 10));
+        let s = Summary::of_u64(sample);
+        assert_eq!(s.count, 1000);
+        assert!((s.p50 - 501.0).abs() <= 1.0, "p50 was {}", s.p50);
+        assert!(s.p95 < 1000.0, "p95 stays in the bulk, was {}", s.p95);
+        assert_eq!(s.p99, 990.0, "p99 sits at the edge of the bulk");
+        assert_eq!(s.max, 10_000.0, "stragglers only surface at the max");
+        // Shift one percent more into the tail and p99 must jump.
+        let sample = (1..=980u64).chain(std::iter::repeat_n(10_000, 20));
+        let s = Summary::of_u64(sample);
+        assert_eq!(s.p99, 10_000.0, "a 2% tail lands in p99");
     }
 
     #[test]

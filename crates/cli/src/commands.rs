@@ -38,7 +38,10 @@ COMMAND OPTIONS
                  --cs-duration <int> (default 0)
   live:          --requests <int> per process (default 50),
                  --cs-duration <int> (default 0), --budget-secs <int>
-                 (default 60), --check (record + spec-check the trace)
+                 (default 60), --check (record + spec-check the trace),
+                 --shards <int> (default 1) and --batch <int> (default 1):
+                 with either > 1, runs the sharded multi-leader service
+                 with request batching (--key-space <int>, default 65536)
   impossibility: --cs-duration <int> (default 8)
 ";
 
@@ -170,15 +173,52 @@ pub fn cmd_me(args: &Args) -> String {
 /// non-zero when requests went unserved within the budget or (under
 /// `--check`) the merged trace violates Specification 3, so scripts and
 /// CI can gate on a live regression.
+/// The flags shared by both `live` variants, parsed once so their
+/// defaults cannot diverge.
+struct LiveFlags {
+    n: usize,
+    seed: u64,
+    loss: f64,
+    requests: u64,
+    cs_duration: u64,
+    budget_secs: u64,
+    check: bool,
+    shards: usize,
+    batch: usize,
+}
+
+impl LiveFlags {
+    fn parse(args: &Args) -> Self {
+        LiveFlags {
+            n: args.get_or("n", 4),
+            seed: args.get_or("seed", 1),
+            loss: args.get_or("loss", 0.0),
+            requests: args.get_or("requests", 50),
+            cs_duration: args.get_or("cs-duration", 0),
+            budget_secs: args.get_or("budget-secs", 60),
+            check: args.has("check"),
+            shards: args.get_or("shards", 1),
+            batch: args.get_or("batch", 1),
+        }
+    }
+}
+
 pub fn cmd_live(args: &Args) -> (String, i32) {
     use snapstab_runtime::{LiveConfig, MutexServiceConfig};
-    let n: usize = args.get_or("n", 4);
-    let seed: u64 = args.get_or("seed", 1);
-    let loss: f64 = args.get_or("loss", 0.0);
-    let requests: u64 = args.get_or("requests", 50);
-    let cs_duration: u64 = args.get_or("cs-duration", 0);
-    let budget_secs: u64 = args.get_or("budget-secs", 60);
-    let check = args.has("check");
+    let LiveFlags {
+        n,
+        seed,
+        loss,
+        requests,
+        cs_duration,
+        budget_secs,
+        check,
+        shards,
+        batch,
+    } = LiveFlags::parse(args);
+    if shards > 1 || batch > 1 {
+        return cmd_live_sharded(args);
+    }
 
     let cfg = MutexServiceConfig {
         n,
@@ -197,10 +237,14 @@ pub fn cmd_live(args: &Args) -> (String, i32) {
          {requests} request(s) per process, budget {budget_secs}s\n"
     );
     let report = snapstab_runtime::run_mutex_service(&cfg);
+    // Compare against the *requested* total, not `report.injected`: the
+    // drivers inject lazily, so a budget-capped run has injected ≈ served
+    // and would otherwise read (and exit) as complete.
+    let total = requests * n as u64;
     out.push_str(&format!(
         "served {}/{} requests in {:.2}s: {:.0} req/s, {:.0} CS/s, {:.0} msgs/s\n",
         report.served,
-        report.injected,
+        total,
         report.wall.as_secs_f64(),
         report.requests_per_sec(),
         report.cs_per_sec(),
@@ -214,7 +258,7 @@ pub fn cmd_live(args: &Args) -> (String, i32) {
             max.as_secs_f64() * 1e3,
         ));
     }
-    let mut failed = report.served < report.injected;
+    let mut failed = report.served < total;
     if let Some(trace) = &report.trace {
         let spec = analyze_me_trace(trace, n);
         out.push_str(&format!(
@@ -232,6 +276,102 @@ pub fn cmd_live(args: &Args) -> (String, i32) {
                 "  request {i}: {:.2} ms\n",
                 lat.as_secs_f64() * 1e3
             ));
+        }
+    }
+    (out, i32::from(failed))
+}
+
+/// The sharded variant of the `live` subcommand: S independent leaders
+/// over hash-partitioned resource keys, batched grants, grant-log audit —
+/// and, under `--check`, per-shard Specification 3 on the merged trace.
+fn cmd_live_sharded(args: &Args) -> (String, i32) {
+    use snapstab_core::shard::project_shard_trace;
+    use snapstab_runtime::{LiveConfig, ShardedServiceConfig};
+    let LiveFlags {
+        n,
+        seed,
+        loss,
+        requests,
+        cs_duration,
+        budget_secs,
+        check,
+        shards,
+        batch,
+    } = LiveFlags::parse(args);
+    let key_space: u64 = args.get_or("key-space", 1 << 16);
+
+    let cfg = ShardedServiceConfig {
+        n,
+        shards,
+        batch,
+        requests_per_process: requests,
+        key_space,
+        cs_duration,
+        live: LiveConfig {
+            loss,
+            seed,
+            record_trace: check,
+            ..LiveConfig::default()
+        },
+        time_budget: std::time::Duration::from_secs(budget_secs),
+    };
+    let mut out = format!(
+        "Live sharded mutex service: n={n} worker threads, {shards} shard(s) \
+         (one leader each), batch≤{batch}, loss={loss}, {requests} request(s) \
+         per process, budget {budget_secs}s\n"
+    );
+    let report = snapstab_runtime::run_sharded_service(&cfg);
+    out.push_str(&format!(
+        "served {}/{} requests in {:.2}s: {:.0} req/s over {} grants \
+         ({:.0} grants/s, {:.2} requests per grant), {:.0} msgs/s\n",
+        report.served,
+        report.injected.len(),
+        report.wall.as_secs_f64(),
+        report.requests_per_sec(),
+        report.grant_log.len(),
+        report.grants_per_sec(),
+        report.mean_batch(),
+        report.msgs_per_sec(),
+    ));
+    for (s, served) in report.per_shard_served.iter().enumerate() {
+        out.push_str(&format!("  shard {s}: {served} request(s) served\n"));
+    }
+    if let (Some((min, mean, max)), Some([p50, p99])) = (
+        report.latency_min_mean_max(),
+        report
+            .latency_quantiles(&[0.5, 0.99])
+            .map(|v| <[_; 2]>::try_from(v).expect("two quantiles")),
+    ) {
+        out.push_str(&format!(
+            "service latency: min {:.2} / mean {:.2} / p50 {:.2} / p99 {:.2} / max {:.2} ms\n",
+            min.as_secs_f64() * 1e3,
+            mean.as_secs_f64() * 1e3,
+            p50.as_secs_f64() * 1e3,
+            p99.as_secs_f64() * 1e3,
+            max.as_secs_f64() * 1e3,
+        ));
+    }
+    let audit = report.audit();
+    out.push_str(&format!(
+        "grant-log audit: conflict-free batches: {}; routing respected: {}; \
+         served exactly once: {}\n",
+        audit.conflicting_grants.is_empty(),
+        audit.misrouted_grants.is_empty(),
+        audit.unserved_ids.is_empty()
+            && audit.duplicate_ids.is_empty()
+            && audit.unknown_ids.is_empty(),
+    ));
+    let mut failed = (report.served as usize) < report.injected.len() || !audit.holds();
+    if let Some(trace) = &report.trace {
+        for s in 0..shards {
+            let spec = analyze_me_trace(&project_shard_trace(trace, s), n);
+            out.push_str(&format!(
+                "spec 3 on shard {s}'s projected trace: genuine CS overlaps: {}; \
+                 exclusivity holds: {}\n",
+                spec.genuine_overlaps.len(),
+                spec.exclusivity_holds(),
+            ));
+            failed |= !spec.exclusivity_holds();
         }
     }
     (out, i32::from(failed))
@@ -342,6 +482,27 @@ mod tests {
         assert!(out.contains("served 6/6"), "{out}");
         assert!(out.contains("exclusivity holds: true"), "{out}");
         assert_eq!(code, 0, "healthy run exits 0");
+    }
+
+    #[test]
+    fn live_sharded_serves_audits_and_exits_zero() {
+        let (out, code) = cmd_live(&parse(
+            "live --n 3 --shards 2 --batch 2 --requests 4 --key-space 4 --check --budget-secs 40",
+        ));
+        assert!(out.contains("2 shard(s)"), "{out}");
+        assert!(out.contains("served 12/12"), "{out}");
+        assert!(out.contains("conflict-free batches: true"), "{out}");
+        assert!(out.contains("spec 3 on shard 1"), "{out}");
+        assert!(!out.contains("exclusivity holds: false"), "{out}");
+        assert_eq!(code, 0, "healthy sharded run exits 0:\n{out}");
+    }
+
+    #[test]
+    fn live_batch_flag_alone_selects_sharded_path() {
+        let (out, code) = cmd_live(&parse("live --n 3 --batch 3 --requests 3 --budget-secs 40"));
+        assert!(out.contains("1 shard(s)"), "{out}");
+        assert!(out.contains("batch≤3"), "{out}");
+        assert_eq!(code, 0, "{out}");
     }
 
     #[test]

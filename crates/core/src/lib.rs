@@ -25,6 +25,12 @@
 //!   values ([`flag::FlagDomain::for_capacity`]); the canonical scaled
 //!   Figure 1 adversary realizes the `2c + 1` stale-increment bound and
 //!   breaks every smaller domain.
+//! * [`shard`] — the scaled *service* layer: `S` independent Algorithm 3
+//!   instances (one leader each, [`shard::ShardedMe`]) own
+//!   hash-partitioned slices of a resource space, and each
+//!   critical-section grant serves a batch of non-conflicting client
+//!   requests ([`request::BatchQueue`]); a [`shard::GrantLog`] makes the
+//!   composition auditable on top of each shard's Specification 3.
 //!
 //! Snap-stabilization (Definition 1): starting from *any* configuration,
 //! *any* execution satisfies the specification — the first requested
@@ -67,7 +73,9 @@ pub mod idl;
 pub mod me;
 pub mod pif;
 pub mod request;
+pub mod shard;
 pub mod spec;
 
 pub use flag::{Flag, FlagDomain};
-pub use request::RequestState;
+pub use request::{BatchQueue, ClientRequest, RequestState, ResourceKey};
+pub use shard::{shard_of, Grant, GrantAudit, GrantLog, ShardedMe, ShardedMeEvent, ShardedMeMsg};

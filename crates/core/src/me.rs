@@ -23,6 +23,14 @@
 //! configuration, every *requesting* process enters the critical section in
 //! finite time (Start) and executes it alone (Correctness).
 //!
+//! Throughput of a *service* built on this protocol is bounded by the
+//! leader's `Value` rotation — one critical-section grant per favoured
+//! process per rotation step. The [`crate::shard`] module multiplies that
+//! ceiling without touching the protocol: independent instances (one
+//! leader each) own hash-partitioned slices of the resource space, and
+//! each grant serves a whole batch of non-conflicting client requests
+//! ([`crate::request::BatchQueue`]).
+//!
 //! ## Deviations (documented in DESIGN.md)
 //!
 //! * **D1** — the critical section may be given a duration
@@ -363,8 +371,22 @@ impl MeProcess {
 
     /// Externally requests the critical section; refused while a request is
     /// pending or being served.
+    ///
+    /// One accepted request buys one critical-section grant. A service
+    /// that wants more than one client operation per grant batches them
+    /// *outside* the protocol — see [`crate::request::BatchQueue`] and the
+    /// sharded, batching service layer in [`crate::shard`].
     pub fn request_cs(&mut self) -> bool {
         self.vars.request.try_request()
+    }
+
+    /// True if this process currently believes it is the leader: its own
+    /// identity equals the minimum identity its IDs-Learning layer knows.
+    /// On a correctly-initialized fleet whose IDL waves have run, exactly
+    /// one process per instance answers `true`; the sharded service
+    /// ([`crate::shard`]) uses this to report leader placement per shard.
+    pub fn is_leader(&self) -> bool {
+        self.is_leader_by_idl()
     }
 
     /// The `Winner(p)` predicate: this process is the leader favouring
@@ -709,6 +731,16 @@ mod tests {
                 "P{i} entered CS without requesting"
             );
         }
+    }
+
+    #[test]
+    fn is_leader_tracks_idl_minimum() {
+        let mut proc = MeProcess::new(p(0), 3, 5);
+        // Fresh IDL state knows only its own id, so P0 believes it leads.
+        assert!(proc.is_leader());
+        // Learning a smaller id elsewhere revokes the belief.
+        proc.vars.idl.on_feedback_id(p(1), 1);
+        assert!(!proc.is_leader());
     }
 
     #[test]

@@ -20,8 +20,9 @@
 //! Workers reuse the simulator's [`Context`](snapstab_sim::Context) for
 //! every atomic action, so protocol code cannot tell which substrate it
 //! runs on. Each atomic action draws a ticket from a global atomic step
-//! counter and logs its events into a per-worker [`Trace`]
-//! (snapstab_sim::Trace); [`LiveRunner::stop`] merges the logs into one
+//! counter and logs its events into a per-worker
+//! [`Trace`](snapstab_sim::Trace); [`LiveRunner::stop`] merges the logs
+//! into one
 //! step-ordered trace — a total order consistent with program order and
 //! real-time causality — on which the executable specifications of
 //! `snapstab_core::spec` (Safety / Correctness / Decision) judge the
@@ -54,7 +55,7 @@
 //! assert_eq!(report.processes[0].idl().min_id(), 10);
 //! ```
 //!
-//! ## The mutex service
+//! ## The mutex service — single-leader and sharded
 //!
 //! [`run_mutex_service`] puts Algorithm 3 behind a client request queue:
 //! every worker's driver hook injects critical-section requests as fast
@@ -62,6 +63,32 @@
 //! `snapstab-bench`) and the `snapstab live` CLI subcommand drive it at
 //! up to 64 threads and hundreds of thousands of requests; committed
 //! throughput numbers live in `BENCH_RUNTIME.json`.
+//!
+//! That service is protocol-bound: one grant per leader `Value` rotation.
+//! [`run_sharded_service`] multiplies the ceiling — each worker hosts `S`
+//! independent protocol instances (`snapstab_core::shard::ShardedMe`,
+//! leaders spread round-robin), the resource space is hash-partitioned
+//! across shards, and every grant serves a batch of non-conflicting
+//! client requests atomically inside one critical section:
+//!
+//! ```
+//! use snapstab_runtime::{run_sharded_service, LiveConfig, ShardedServiceConfig};
+//! use std::time::Duration;
+//!
+//! let report = run_sharded_service(&ShardedServiceConfig {
+//!     n: 3,          // worker threads
+//!     shards: 2,     // independent leaders
+//!     batch: 2,      // max client requests per grant
+//!     requests_per_process: 2,
+//!     live: LiveConfig { seed: 7, ..LiveConfig::default() },
+//!     time_budget: Duration::from_secs(30),
+//!     ..ShardedServiceConfig::default()
+//! });
+//! assert_eq!(report.served, 6);
+//! // The grant log audits the composition: conflict-free batches,
+//! // correct shard routing, every request served exactly once.
+//! assert!(report.audit().holds());
+//! ```
 //!
 //! ## Crash and restart
 //!
@@ -78,6 +105,9 @@ pub mod link;
 pub mod runner;
 pub mod service;
 
-pub use link::{LinkStats, LiveLink};
+pub use link::{LaneOf, LinkStats, LiveLink};
 pub use runner::{Driver, LiveConfig, LiveReport, LiveRunner, LiveStats, Scribe, WorkerStats};
-pub use service::{run_mutex_service, MutexServiceConfig, ServiceReport};
+pub use service::{
+    run_mutex_service, run_sharded_service, MutexServiceConfig, ServiceReport, ShardedReport,
+    ShardedServiceConfig,
+};

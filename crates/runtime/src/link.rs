@@ -15,11 +15,14 @@
 //! interval.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread::Thread;
 use std::time::{Duration, Instant};
 
 use snapstab_sim::{ProcessId, SendFate, SimRng};
+
+/// Classifies messages into capacity lanes — see [`LiveLink::with_lanes`].
+pub type LaneOf<M> = Arc<dyn Fn(&M) -> usize + Send + Sync>;
 
 /// Cumulative counters of one directed link.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -49,8 +52,11 @@ impl LinkStats {
 
 struct LinkInner<M> {
     /// In-flight messages with the instant they become deliverable
-    /// (`None` = immediately).
-    queue: VecDeque<(M, Option<Instant>)>,
+    /// (`None` = immediately) and the lane they occupy.
+    queue: VecDeque<(M, Option<Instant>, usize)>,
+    /// Current occupancy per lane; the §4 capacity bound is enforced
+    /// against the message's lane, not the whole queue.
+    lane_len: Vec<usize>,
     /// Per-link loss/jitter stream, seeded from the runtime seed and the
     /// link's endpoints, so the sequence of loss decisions on a link is
     /// reproducible regardless of thread timing.
@@ -63,12 +69,31 @@ struct LinkInner<M> {
 
 /// A concurrent directed FIFO channel `from → to` with bounded capacity,
 /// drop-on-full, seeded probabilistic loss and optional delivery jitter.
+///
+/// ```
+/// use snapstab_runtime::LiveLink;
+/// use snapstab_sim::{ProcessId, SendFate};
+///
+/// // A capacity-2 lossless link: FIFO, with the §4 silent drop-on-full.
+/// let link: LiveLink<u32> = LiveLink::new(ProcessId::new(0), ProcessId::new(1), 2, 0.0, None, 42);
+/// assert_eq!(link.send(10), SendFate::Enqueued);
+/// assert_eq!(link.send(20), SendFate::Enqueued);
+/// assert_eq!(link.send(30), SendFate::LostFull); // the sender is not told
+/// assert_eq!(link.try_recv(), Some(10));
+/// assert_eq!(link.try_recv(), Some(20));
+/// assert_eq!(link.try_recv(), None);
+/// assert_eq!(link.stats().lost_full, 1);
+/// ```
 pub struct LiveLink<M> {
     from: ProcessId,
     to: ProcessId,
+    /// Capacity **per lane** (single-lane links: the plain §4 capacity).
     capacity: usize,
     loss: f64,
     jitter: Option<Duration>,
+    /// Maps a message to its lane; `None` = everything in lane 0.
+    lane_of: Option<LaneOf<M>>,
+    lanes: usize,
     inner: Mutex<LinkInner<M>>,
 }
 
@@ -88,6 +113,50 @@ impl<M> LiveLink<M> {
         jitter: Option<Duration>,
         seed: u64,
     ) -> Self {
+        Self::build(from, to, capacity, loss, jitter, seed, 1, None)
+    }
+
+    /// Creates an empty **multi-lane** link: one FIFO queue shared by
+    /// `lanes` message classes, with the §4 capacity bound (and its
+    /// silent drop-on-full) enforced *per lane*. `lane_of` classifies
+    /// each message; out-of-range lanes clamp to the last lane.
+    ///
+    /// This is how the sharded mutex service shares one physical link per
+    /// ordered process pair among `S` independent protocol instances:
+    /// every instance sees exactly a capacity-`capacity` channel of its
+    /// own (so the paper's flag-domain sizing still applies per
+    /// instance), while delivery order stays FIFO overall — and therefore
+    /// FIFO within each lane.
+    ///
+    /// # Panics
+    ///
+    /// As [`LiveLink::new`]; additionally if `lanes` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_lanes(
+        from: ProcessId,
+        to: ProcessId,
+        capacity: usize,
+        loss: f64,
+        jitter: Option<Duration>,
+        seed: u64,
+        lanes: usize,
+        lane_of: LaneOf<M>,
+    ) -> Self {
+        assert!(lanes >= 1, "a link needs at least one lane");
+        Self::build(from, to, capacity, loss, jitter, seed, lanes, Some(lane_of))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        from: ProcessId,
+        to: ProcessId,
+        capacity: usize,
+        loss: f64,
+        jitter: Option<Duration>,
+        seed: u64,
+        lanes: usize,
+        lane_of: Option<LaneOf<M>>,
+    ) -> Self {
         assert!(capacity >= 1, "channel capacity must be at least 1");
         assert!(
             (0.0..1.0).contains(&loss),
@@ -104,8 +173,11 @@ impl<M> LiveLink<M> {
             capacity,
             loss,
             jitter,
+            lane_of,
+            lanes,
             inner: Mutex::new(LinkInner {
-                queue: VecDeque::with_capacity(capacity.min(64)),
+                queue: VecDeque::with_capacity((capacity * lanes).min(64)),
+                lane_len: vec![0; lanes],
                 rng: SimRng::seed_from(link_seed),
                 stats: LinkStats::default(),
                 receiver: None,
@@ -134,6 +206,11 @@ impl<M> LiveLink<M> {
     /// jittered ready instant when configured) and the receiver is
     /// unparked. Never blocks beyond the queue mutex.
     pub fn send(&self, msg: M) -> SendFate {
+        let lane = self
+            .lane_of
+            .as_ref()
+            .map(|f| f(&msg).min(self.lanes - 1))
+            .unwrap_or(0);
         let wake;
         let fate;
         {
@@ -143,7 +220,7 @@ impl<M> LiveLink<M> {
                 inner.stats.lost_in_transit += 1;
                 return SendFate::LostInTransit;
             }
-            if inner.queue.len() >= self.capacity {
+            if inner.lane_len[lane] >= self.capacity {
                 inner.stats.lost_full += 1;
                 return SendFate::LostFull;
             }
@@ -151,7 +228,8 @@ impl<M> LiveLink<M> {
                 let span = j.as_nanos().max(1) as usize;
                 Instant::now() + Duration::from_nanos(inner.rng.gen_range(0..span) as u64)
             });
-            inner.queue.push_back((msg, ready));
+            inner.queue.push_back((msg, ready, lane));
+            inner.lane_len[lane] += 1;
             inner.stats.enqueued += 1;
             wake = inner.receiver.clone();
             fate = SendFate::Enqueued;
@@ -168,10 +246,12 @@ impl<M> LiveLink<M> {
         let mut inner = self.inner.lock().expect("link poisoned");
         match inner.queue.front() {
             None => None,
-            Some((_, Some(ready))) if Instant::now() < *ready => None,
+            Some((_, Some(ready), _)) if Instant::now() < *ready => None,
             Some(_) => {
+                let (m, _, lane) = inner.queue.pop_front().expect("front checked");
+                inner.lane_len[lane] -= 1;
                 inner.stats.delivered += 1;
-                inner.queue.pop_front().map(|(m, _)| m)
+                Some(m)
             }
         }
     }
@@ -249,6 +329,37 @@ mod tests {
             );
             std::thread::yield_now();
         }
+    }
+
+    #[test]
+    fn lanes_enforce_capacity_independently_and_keep_fifo() {
+        // Two lanes of capacity 1: even lane for even payloads.
+        let lane_of: super::LaneOf<u32> = Arc::new(|m: &u32| (*m % 2) as usize);
+        let link: LiveLink<u32> = LiveLink::with_lanes(p(0), p(1), 1, 0.0, None, 5, 2, lane_of);
+        assert_eq!(link.send(2), SendFate::Enqueued); // lane 0
+        assert_eq!(link.send(3), SendFate::Enqueued); // lane 1: not blocked by lane 0
+        assert_eq!(link.send(4), SendFate::LostFull, "lane 0 is full");
+        assert_eq!(link.send(5), SendFate::LostFull, "lane 1 is full");
+        assert_eq!(link.len(), 2);
+        // Global FIFO: lane 0's message went in first.
+        assert_eq!(link.try_recv(), Some(2));
+        // Its slot is free again while lane 1 still holds its message.
+        assert_eq!(link.send(6), SendFate::Enqueued);
+        assert_eq!(link.send(7), SendFate::LostFull);
+        assert_eq!(link.try_recv(), Some(3));
+        assert_eq!(link.try_recv(), Some(6));
+        assert_eq!(link.try_recv(), None);
+        let s = link.stats();
+        assert_eq!((s.enqueued, s.lost_full, s.delivered), (3, 3, 3));
+    }
+
+    #[test]
+    fn out_of_range_lane_clamps() {
+        let lane_of: super::LaneOf<u32> = Arc::new(|m: &u32| *m as usize);
+        let link: LiveLink<u32> = LiveLink::with_lanes(p(0), p(1), 1, 0.0, None, 5, 2, lane_of);
+        assert_eq!(link.send(99), SendFate::Enqueued, "clamped to lane 1");
+        assert_eq!(link.send(1), SendFate::LostFull, "lane 1 occupied");
+        assert_eq!(link.try_recv(), Some(99));
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use snapstab_sim::{Context, ProcessId, Protocol, SimRng, Trace, TraceEvent};
 
-use crate::link::{LinkStats, LiveLink};
+use crate::link::{LaneOf, LinkStats, LiveLink};
 
 /// Construction-time configuration of a live run.
 #[derive(Clone, Debug)]
@@ -351,6 +351,27 @@ where
 
 /// A live multi-threaded run: `n` worker threads, one per process, wired
 /// by `n·(n−1)` [`LiveLink`]s. See the crate docs for a quick tour.
+///
+/// ```
+/// use snapstab_core::idl::IdlProcess;
+/// use snapstab_core::request::RequestState;
+/// use snapstab_runtime::{LiveConfig, LiveRunner};
+/// use snapstab_sim::ProcessId;
+/// use std::time::Duration;
+///
+/// let fleet: Vec<IdlProcess> = (0..3)
+///     .map(|i| IdlProcess::new(ProcessId::new(i), 3, 10 + i as u64))
+///     .collect();
+/// let mut runner = LiveRunner::spawn(fleet, LiveConfig::default());
+/// runner.with_process(ProcessId::new(0), |p: &mut IdlProcess| p.request_learning());
+/// assert!(runner.wait_until(
+///     ProcessId::new(0),
+///     |p: &IdlProcess| p.request() == RequestState::Done,
+///     Duration::from_secs(30),
+/// ));
+/// let report = runner.stop();
+/// assert_eq!(report.processes[0].idl().min_id(), 10);
+/// ```
 pub struct LiveRunner<P: Protocol> {
     n: usize,
     config: LiveConfig,
@@ -394,6 +415,32 @@ where
         drivers: Vec<Option<Driver<P>>>,
         config: LiveConfig,
     ) -> Self {
+        Self::spawn_inner(processes, drivers, config, None)
+    }
+
+    /// Like [`LiveRunner::spawn_with_drivers`], but every link is a
+    /// multi-lane [`LiveLink::with_lanes`]: `lane_of` classifies each
+    /// message into one of `lanes` lanes, and the capacity bound (with
+    /// its §4 silent drop-on-full) is enforced per lane. This is how the
+    /// sharded mutex service shares one physical link per ordered process
+    /// pair among independent protocol instances without letting them
+    /// drop each other's messages.
+    pub fn spawn_with_drivers_laned(
+        processes: Vec<P>,
+        drivers: Vec<Option<Driver<P>>>,
+        config: LiveConfig,
+        lanes: usize,
+        lane_of: LaneOf<P::Msg>,
+    ) -> Self {
+        Self::spawn_inner(processes, drivers, config, Some((lanes, lane_of)))
+    }
+
+    fn spawn_inner(
+        processes: Vec<P>,
+        drivers: Vec<Option<Driver<P>>>,
+        config: LiveConfig,
+        lanes: Option<(usize, LaneOf<P::Msg>)>,
+    ) -> Self {
         let n = processes.len();
         assert!(
             n >= 2,
@@ -405,14 +452,26 @@ where
         for from in 0..n {
             for to in 0..n {
                 links.push((from != to).then(|| {
-                    Arc::new(LiveLink::new(
-                        ProcessId::new(from),
-                        ProcessId::new(to),
-                        config.capacity,
-                        config.loss,
-                        config.jitter,
-                        config.seed,
-                    ))
+                    Arc::new(match &lanes {
+                        None => LiveLink::new(
+                            ProcessId::new(from),
+                            ProcessId::new(to),
+                            config.capacity,
+                            config.loss,
+                            config.jitter,
+                            config.seed,
+                        ),
+                        Some((lanes, lane_of)) => LiveLink::with_lanes(
+                            ProcessId::new(from),
+                            ProcessId::new(to),
+                            config.capacity,
+                            config.loss,
+                            config.jitter,
+                            config.seed,
+                            *lanes,
+                            lane_of.clone(),
+                        ),
+                    })
                 }));
             }
         }

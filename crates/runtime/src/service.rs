@@ -1,21 +1,36 @@
-//! `MutexService` — a mutual-exclusion service absorbing a client
-//! request stream over the live runtime.
+//! The mutex service front-ends: a single-leader [`MeProcess`] service
+//! ([`run_mutex_service`]) and its sharded, batching generalization
+//! ([`run_sharded_service`]).
 //!
-//! The service runs one [`MeProcess`] (Algorithm 3) per worker thread and
-//! gives every worker a driver hook holding a queue of client
-//! critical-section requests: whenever the process's `Request` variable is
-//! `Done` and requests remain, the driver marks `"request"` in the log,
-//! calls `request_cs()`, and times the service latency. This is the
-//! front-end the ROADMAP's "heavy concurrent traffic" north star asks
-//! for: a high-volume request stream served by the paper's protocol under
-//! genuine thread interleavings and message loss.
+//! The single-leader service runs one [`MeProcess`] (Algorithm 3) per
+//! worker thread and gives every worker a driver hook holding a queue of
+//! client critical-section requests: whenever the process's `Request`
+//! variable is `Done` and requests remain, the driver marks `"request"`
+//! in the log, calls `request_cs()`, and times the service latency. This
+//! is the front-end the ROADMAP's "heavy concurrent traffic" north star
+//! asks for: a high-volume request stream served by the paper's protocol
+//! under genuine thread interleavings and message loss.
+//!
+//! Its throughput is protocol-bound — one grant per leader `Value`
+//! rotation — so the **sharded service** multiplies it: every worker
+//! hosts `S` independent protocol instances ([`ShardedMe`], leaders
+//! spread round-robin), the resource space is hash-partitioned across
+//! them ([`snapstab_core::shard::shard_of`]), and each grant serves a
+//! whole batch of non-conflicting client requests
+//! ([`snapstab_core::request::BatchQueue`]). A shared [`GrantLog`]
+//! records every batch for the service-level audit, and
+//! [`snapstab_core::shard::project_shard_trace`] slices the merged trace
+//! into per-shard traces for the Specification 3 checkers.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use snapstab_core::me::{MeConfig, MeEvent, MeMsg, MeProcess};
-use snapstab_core::request::RequestState;
+use snapstab_core::request::{ClientRequest, RequestState};
+use snapstab_core::shard::{
+    inject_requests, shard_marker, GrantAudit, GrantLog, ShardedMe, ShardedMeEvent, ShardedMeMsg,
+};
 use snapstab_sim::{ProcessId, Trace};
 
 use crate::runner::{Driver, LiveConfig, LiveRunner, LiveStats};
@@ -71,6 +86,14 @@ pub struct ServiceReport {
     pub latencies: Vec<Duration>,
 }
 
+/// `(min, mean, max)` of a latency sample, if it is non-empty.
+fn min_mean_max(latencies: &[Duration]) -> Option<(Duration, Duration, Duration)> {
+    let min = *latencies.iter().min()?;
+    let max = *latencies.iter().max()?;
+    let mean = latencies.iter().sum::<Duration>() / latencies.len() as u32;
+    Some((min, mean, max))
+}
+
 impl ServiceReport {
     /// Served requests per second.
     pub fn requests_per_sec(&self) -> f64 {
@@ -89,15 +112,26 @@ impl ServiceReport {
 
     /// `(min, mean, max)` service latency, if any request was served.
     pub fn latency_min_mean_max(&self) -> Option<(Duration, Duration, Duration)> {
-        let min = *self.latencies.iter().min()?;
-        let max = *self.latencies.iter().max()?;
-        let mean = self.latencies.iter().sum::<Duration>() / self.latencies.len() as u32;
-        Some((min, mean, max))
+        min_mean_max(&self.latencies)
     }
 }
 
 /// Runs a mutual-exclusion service workload to completion (all requests
 /// served) or to the time budget.
+///
+/// ```
+/// use snapstab_runtime::{run_mutex_service, MutexServiceConfig};
+/// use std::time::Duration;
+///
+/// let report = run_mutex_service(&MutexServiceConfig {
+///     n: 3,
+///     requests_per_process: 1,
+///     time_budget: Duration::from_secs(30),
+///     ..MutexServiceConfig::default()
+/// });
+/// assert_eq!(report.served, 3);
+/// assert!(report.requests_per_sec() > 0.0);
+/// ```
 pub fn run_mutex_service(cfg: &MutexServiceConfig) -> ServiceReport {
     let n = cfg.n;
     let processes: Vec<MeProcess> = (0..n)
@@ -177,6 +211,256 @@ pub fn run_mutex_service(cfg: &MutexServiceConfig) -> ServiceReport {
     }
 }
 
+/// Configuration of a sharded, batching mutex-service run
+/// ([`run_sharded_service`]).
+#[derive(Clone, Debug)]
+pub struct ShardedServiceConfig {
+    /// Number of processes (= worker threads). Each worker hosts every
+    /// shard's sub-instance.
+    pub n: usize,
+    /// Number of independent protocol instances (one leader each).
+    pub shards: usize,
+    /// Maximum client requests served per critical-section grant.
+    pub batch: usize,
+    /// Client requests queued per process (all injected upfront, so the
+    /// batch queues stay deep until the tail of the run).
+    pub requests_per_process: u64,
+    /// Resource keys are drawn uniformly from `0..key_space`; small
+    /// spaces force intra-batch conflicts, large ones keep batches full.
+    pub key_space: u64,
+    /// Critical-section duration in activations (0 = atomic CS).
+    pub cs_duration: u64,
+    /// Transport and scheduling configuration.
+    pub live: LiveConfig,
+    /// Wall-clock budget: the run stops when every request is served or
+    /// this much time has passed, whichever is first.
+    pub time_budget: Duration,
+}
+
+impl Default for ShardedServiceConfig {
+    fn default() -> Self {
+        ShardedServiceConfig {
+            n: 4,
+            shards: 2,
+            batch: 4,
+            requests_per_process: 10,
+            key_space: 1 << 16,
+            cs_duration: 0,
+            live: LiveConfig::default(),
+            time_budget: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Outcome of a sharded service run.
+pub struct ShardedReport {
+    /// Every injected client request (globally unique ids) — the audit's
+    /// reference set.
+    pub injected: Vec<ClientRequest>,
+    /// Requests served end-to-end (batch members of observed grants).
+    pub served: u64,
+    /// Requests served per shard.
+    pub per_shard_served: Vec<u64>,
+    /// The grant log: one entry per critical-section grant, carrying its
+    /// batch. [`ShardedReport::audit`] checks it.
+    pub grant_log: GrantLog,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Aggregate runtime counters.
+    pub stats: LiveStats,
+    /// The merged sharded trace (`None` when recording was off); project
+    /// per shard with [`snapstab_core::shard::project_shard_trace`].
+    pub trace: Option<Trace<ShardedMeMsg, ShardedMeEvent>>,
+    /// Final composite process states.
+    pub processes: Vec<ShardedMe>,
+    /// Per-request service latencies (batch bind to grant observation).
+    pub latencies: Vec<Duration>,
+}
+
+impl ShardedReport {
+    /// Served requests per second.
+    pub fn requests_per_sec(&self) -> f64 {
+        self.served as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Critical-section grants per second (sum over shards).
+    pub fn grants_per_sec(&self) -> f64 {
+        self.grant_log.len() as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Transport messages enqueued per second.
+    pub fn msgs_per_sec(&self) -> f64 {
+        self.stats.links.enqueued as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Mean requests served per grant (the realized batch factor).
+    pub fn mean_batch(&self) -> f64 {
+        if self.grant_log.is_empty() {
+            0.0
+        } else {
+            self.served as f64 / self.grant_log.len() as f64
+        }
+    }
+
+    /// Runs the grant-log audit: batches conflict-free, routing
+    /// respected, every injected request served exactly once.
+    pub fn audit(&self) -> GrantAudit {
+        self.grant_log
+            .audit(self.per_shard_served.len(), &self.injected)
+    }
+
+    /// The nearest-rank quantiles (each in 0.0–1.0) of the service
+    /// latencies, if any request was served — one sort feeds all of them,
+    /// so ask for p50 and p99 in one call.
+    pub fn latency_quantiles(&self, qs: &[f64]) -> Option<Vec<Duration>> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let mut v = self.latencies.clone();
+        v.sort_unstable();
+        Some(
+            qs.iter()
+                .map(|q| v[((v.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize])
+                .collect(),
+        )
+    }
+
+    /// The `q`-quantile of the service latencies; for several quantiles
+    /// prefer one [`ShardedReport::latency_quantiles`] call.
+    pub fn latency_quantile(&self, q: f64) -> Option<Duration> {
+        self.latency_quantiles(&[q]).map(|v| v[0])
+    }
+
+    /// `(min, mean, max)` service latency, if any request was served.
+    pub fn latency_min_mean_max(&self) -> Option<(Duration, Duration, Duration)> {
+        min_mean_max(&self.latencies)
+    }
+}
+
+/// Runs the sharded, batching mutual-exclusion service to completion (all
+/// requests served) or to the time budget.
+///
+/// Every worker thread hosts one [`ShardedMe`] (all `S` sub-instances);
+/// its driver hook walks the shards each loop iteration: an outstanding
+/// batch whose sub-instance returned to `Done` is recorded as a grant
+/// (latencies timed per member), and an idle sub-instance with queued
+/// requests binds the next conflict-free batch and calls `request_cs()`.
+/// With `shards == 1 && batch == 1` this degenerates to exactly
+/// [`run_mutex_service`]'s behaviour.
+pub fn run_sharded_service(cfg: &ShardedServiceConfig) -> ShardedReport {
+    let n = cfg.n;
+    let shards = cfg.shards;
+    // S shards share each directed link. A naive share would let sibling
+    // shards trigger the §4 drop-on-full rule against each other and
+    // collapse throughput into retransmission; instead the link runs one
+    // capacity lane per shard (`LiveRunner::spawn_with_drivers_laned`),
+    // so every instance sees exactly a capacity-`live.capacity` channel
+    // of its own and the per-instance flag domain is sized by the
+    // ordinary §4 rule for that capacity (the default `live.capacity = 1`
+    // keeps the paper's five flags).
+    let me_config = MeConfig {
+        cs_duration: cfg.cs_duration,
+        flag_domain: snapstab_core::flag::FlagDomain::for_capacity(cfg.live.capacity.max(1)),
+        ..MeConfig::default()
+    };
+    let processes: Vec<ShardedMe> = (0..n)
+        .map(|i| ShardedMe::new(ProcessId::new(i), n, shards, me_config))
+        .collect();
+
+    // The deterministic request workload is built by the same helper the
+    // simulator mirror uses (`shard::inject_requests`), so the sim-vs-live
+    // conformance tests always compare identical streams.
+    let (injected, queues) = inject_requests(
+        n,
+        cfg.requests_per_process,
+        cfg.key_space,
+        cfg.live.seed,
+        shards,
+        cfg.batch,
+    );
+    let total = injected.len() as u64;
+
+    let served = Arc::new(AtomicU64::new(0));
+    let per_shard_served: Arc<Vec<AtomicU64>> =
+        Arc::new((0..shards).map(|_| AtomicU64::new(0)).collect());
+    let grant_log: Arc<Mutex<GrantLog>> = Arc::new(Mutex::new(GrantLog::new(shards)));
+    let latencies: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let drivers: Vec<Option<Driver<ShardedMe>>> = queues
+        .into_iter()
+        .map(|mut shard_queues| {
+            let mut outstanding: Vec<Option<(Instant, Vec<ClientRequest>)>> = vec![None; shards];
+            let served = served.clone();
+            let per_shard_served = per_shard_served.clone();
+            let grant_log = grant_log.clone();
+            let latencies = latencies.clone();
+            let hook: Driver<ShardedMe> = Box::new(move |proc, scribe| {
+                let mut progressed = false;
+                for s in 0..proc.shard_count() {
+                    if proc.shard(s).request() != RequestState::Done {
+                        continue;
+                    }
+                    if let Some((since, batch)) = outstanding[s].take() {
+                        let step = scribe.mark(shard_marker("grant", s));
+                        let elapsed = since.elapsed();
+                        {
+                            let mut lat = latencies.lock().expect("latency log");
+                            lat.extend(batch.iter().map(|_| elapsed));
+                        }
+                        served.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        per_shard_served[s].fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        grant_log
+                            .lock()
+                            .expect("grant log")
+                            .record(s, scribe.me(), step, batch);
+                        progressed = true;
+                    }
+                    if !shard_queues[s].is_empty() {
+                        let batch = shard_queues[s].take_batch();
+                        scribe.mark(shard_marker("request", s));
+                        assert!(proc.shard_mut(s).request_cs(), "sub-instance was Done");
+                        outstanding[s] = Some((Instant::now(), batch));
+                        progressed = true;
+                    }
+                }
+                progressed
+            });
+            Some(hook)
+        })
+        .collect();
+
+    let record = cfg.live.record_trace;
+    let runner = LiveRunner::spawn_with_drivers_laned(
+        processes,
+        drivers,
+        cfg.live.clone(),
+        shards,
+        std::sync::Arc::new(|m: &ShardedMeMsg| m.shard as usize),
+    );
+    let deadline = Instant::now() + cfg.time_budget;
+    while served.load(Ordering::Relaxed) < total && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let report = runner.stop();
+
+    let latencies = std::mem::take(&mut *latencies.lock().expect("latency log"));
+    let grant_log = std::mem::take(&mut *grant_log.lock().expect("grant log"));
+    ShardedReport {
+        injected,
+        served: served.load(Ordering::Relaxed),
+        per_shard_served: per_shard_served
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect(),
+        grant_log,
+        wall: report.wall,
+        stats: report.stats,
+        trace: record.then_some(report.trace),
+        processes: report.processes,
+        latencies,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +489,69 @@ mod tests {
         );
         assert_eq!(me.served.len(), 6);
         assert!(me.all_served());
+    }
+
+    #[test]
+    fn sharded_service_serves_audits_and_batches() {
+        let cfg = ShardedServiceConfig {
+            n: 3,
+            shards: 2,
+            batch: 3,
+            requests_per_process: 6,
+            key_space: 4, // small space: conflicts must be split across grants
+            time_budget: Duration::from_secs(45),
+            ..ShardedServiceConfig::default()
+        };
+        let report = run_sharded_service(&cfg);
+        assert_eq!(report.served, 18, "all requests served");
+        assert_eq!(report.latencies.len(), 18);
+        let audit = report.audit();
+        assert!(audit.holds(), "{audit:?}");
+        assert_eq!(
+            report.per_shard_served.iter().sum::<u64>(),
+            report.served,
+            "per-shard counters add up"
+        );
+        assert!(report.mean_batch() >= 1.0);
+        assert!(report.latency_quantile(0.5) <= report.latency_quantile(0.99));
+        // Per-shard Specification 3 on the projected merged trace.
+        let trace = report.trace.expect("recording on by default");
+        for s in 0..cfg.shards {
+            let shard_trace = snapstab_core::shard::project_shard_trace(&trace, s);
+            let me = analyze_me_trace(&shard_trace, cfg.n);
+            assert!(
+                me.exclusivity_holds(),
+                "shard {s} genuine CS overlap: {:?}",
+                me.genuine_overlaps
+            );
+            assert!(me.all_served(), "shard {s} unserved: {:?}", me.unserved);
+        }
+    }
+
+    #[test]
+    fn sharded_service_with_one_shard_one_batch_degenerates() {
+        let cfg = ShardedServiceConfig {
+            n: 3,
+            shards: 1,
+            batch: 1,
+            requests_per_process: 2,
+            live: LiveConfig {
+                record_trace: false,
+                ..LiveConfig::default()
+            },
+            time_budget: Duration::from_secs(45),
+            ..ShardedServiceConfig::default()
+        };
+        let report = run_sharded_service(&cfg);
+        assert_eq!(report.served, 6);
+        assert_eq!(
+            report.grant_log.len(),
+            6,
+            "one grant per request when batch=1"
+        );
+        assert!((report.mean_batch() - 1.0).abs() < 1e-9);
+        assert!(report.audit().holds());
+        assert!(report.trace.is_none());
     }
 
     #[test]
