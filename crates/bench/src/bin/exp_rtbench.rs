@@ -1,6 +1,7 @@
 //! Q6 — live-runtime mutex-service throughput sweeps (single-leader
-//! baseline + sharded/batched); writes `BENCH_RUNTIME.json` so future PRs
-//! have a live-path trajectory to compare against.
+//! baseline + sharded/batched + in-memory-vs-UDP transport comparison);
+//! writes `BENCH_RUNTIME.json` so future PRs have a live-path trajectory
+//! to compare against.
 //!
 //! Before writing, the emitted JSON is parsed back through the bench's
 //! own schema (`rtbench::validate_roundtrip`): a missing, renamed or
@@ -24,10 +25,18 @@ fn main() {
 
     let baseline = rtbench::sweep(fast);
     let sharded = rtbench::sweep_sharded(fast);
+    let udp = rtbench::sweep_udp(fast);
+    if !fast && udp.is_empty() {
+        // A sandbox without sockets cannot measure the udp sweep; writing
+        // would silently erase the committed rows (the schema requires
+        // the array, and an empty one round-trips). Refuse, like drift.
+        eprintln!("\nudp sweep unavailable — not writing {json_path}: a full run must measure it");
+        std::process::exit(1);
+    }
 
-    print!("{}", rtbench::render(&baseline, &sharded));
-    let json = rtbench::to_json(&baseline, &sharded);
-    if let Err(e) = rtbench::validate_roundtrip(&json, &baseline, &sharded) {
+    print!("{}", rtbench::render(&baseline, &sharded, &udp));
+    let json = rtbench::to_json(&baseline, &sharded, &udp);
+    if let Err(e) = rtbench::validate_roundtrip(&json, &baseline, &sharded, &udp) {
         eprintln!("\nschema validation FAILED — not writing {json_path}: {e}");
         std::process::exit(1);
     }

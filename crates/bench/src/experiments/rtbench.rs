@@ -6,15 +6,22 @@
 //! saturating client request stream, and reports end-to-end requests/sec,
 //! grants/sec and transport msgs/sec.
 //!
-//! Two sweeps feed `BENCH_RUNTIME.json`:
+//! Three sweeps feed `BENCH_RUNTIME.json`:
 //!
 //! * the **baseline** `n × loss` sweep
-//!   ([`run_mutex_service`]: one leader, one request
+//!   ([`run_mutex_service_on`]: one leader, one request
 //!   per grant) — the protocol-bound curve PR 2 committed;
 //! * the **sharded** `shards × batch` sweep
 //!   ([`run_sharded_service`]: `S` leaders over
 //!   hash-partitioned resource keys, up to `batch` non-conflicting
-//!   requests per grant) — the curve that multiplies it.
+//!   requests per grant) — the curve that multiplies it — including a
+//!   shallow-vs-deep client-queue pair at `n = 64` (the `queue_depth`
+//!   lever);
+//! * the **udp** transport sweep: the same single-leader service at
+//!   `n ∈ {8, 16, 32}` over the in-memory transport and over real UDP
+//!   loopback sockets (`snapstab-net`), side by side, so the cost of
+//!   crossing the kernel's datagram stack is a committed number. Every
+//!   row carries a `transport` tag.
 //!
 //! Every row serializes the latency *distribution* (mean, p50, p99), not
 //! just the mean, and the emitted JSON is parsed back through the bench's
@@ -23,19 +30,51 @@
 
 use std::time::Duration;
 
+use snapstab_net::UdpLoopback;
 use snapstab_runtime::{
-    run_mutex_service, run_sharded_service, LiveConfig, MutexServiceConfig, ShardedServiceConfig,
+    run_mutex_service_on, run_sharded_service, InMemory, LiveConfig, MutexServiceConfig,
+    ShardedServiceConfig,
 };
 
 use crate::jsonv::{self, Value};
 use crate::stats::Summary;
 use crate::table::Table;
 
+/// The transport backend a row was measured on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RtTransport {
+    /// The in-process `LiveLink` transport (`snapstab_runtime::InMemory`).
+    InMem,
+    /// Real UDP loopback sockets (`snapstab_net::UdpLoopback`).
+    Udp,
+}
+
+impl RtTransport {
+    /// The JSON tag of this backend.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RtTransport::InMem => "inmem",
+            RtTransport::Udp => "udp",
+        }
+    }
+
+    /// Parses a JSON tag.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "inmem" => Some(RtTransport::InMem),
+            "udp" => Some(RtTransport::Udp),
+            _ => None,
+        }
+    }
+}
+
 /// One measured configuration (baseline rows have `shards == batch == 1`).
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct RtResult {
     /// System size (worker threads).
     pub n: usize,
+    /// The transport backend the row was measured on.
+    pub transport: RtTransport,
     /// In-transit loss probability.
     pub loss: f64,
     /// Independent protocol instances (leaders).
@@ -98,10 +137,11 @@ fn latency_stats(latencies: &[Duration]) -> (u128, u128, u128) {
 }
 
 /// Measures one baseline (single-leader, unbatched) configuration:
-/// `requests_per_process` client requests per process, stopping early at
-/// `budget`.
+/// `requests_per_process` client requests per process on the given
+/// transport backend, stopping early at `budget`.
 pub fn measure(
     n: usize,
+    transport: RtTransport,
     loss: f64,
     requests_per_process: u64,
     budget: Duration,
@@ -119,10 +159,15 @@ pub fn measure(
         },
         time_budget: budget,
     };
-    let report = run_mutex_service(&cfg);
+    let report = match transport {
+        RtTransport::InMem => run_mutex_service_on(&cfg, &InMemory),
+        RtTransport::Udp => run_mutex_service_on(&cfg, &UdpLoopback::new()),
+    }
+    .expect("transport setup (guard UDP rows with `udp_available`)");
     let (mean_latency_ns, p50_latency_ns, p99_latency_ns) = latency_stats(&report.latencies);
     RtResult {
         n,
+        transport,
         loss,
         shards: 1,
         batch: 1,
@@ -138,13 +183,17 @@ pub fn measure(
     }
 }
 
-/// Measures one sharded, batching configuration.
+/// Measures one sharded, batching configuration (in-memory transport).
+/// A non-zero `queue_depth` replaces `requests_per_process` with
+/// per-shard client queues starting `≈ queue_depth` deep.
+#[allow(clippy::too_many_arguments)]
 pub fn measure_sharded(
     n: usize,
     loss: f64,
     shards: usize,
     batch: usize,
     requests_per_process: u64,
+    queue_depth: u64,
     budget: Duration,
     seed: u64,
 ) -> RtResult {
@@ -163,6 +212,11 @@ pub fn measure_sharded(
         },
         time_budget: budget,
     };
+    let cfg = if queue_depth > 0 {
+        cfg.with_queue_depth(queue_depth)
+    } else {
+        cfg
+    };
     let report = run_sharded_service(&cfg);
     let cs_entries = report
         .processes
@@ -176,6 +230,7 @@ pub fn measure_sharded(
     let (mean_latency_ns, p50_latency_ns, p99_latency_ns) = latency_stats(&report.latencies);
     RtResult {
         n,
+        transport: RtTransport::InMem,
         loss,
         shards,
         batch,
@@ -230,7 +285,51 @@ pub fn sweep(fast: bool) -> Vec<RtResult> {
             } else {
                 Duration::from_secs(150)
             };
-            results.push(measure(n, loss, per_process, budget, 0xC0FFEE ^ n as u64));
+            results.push(measure(
+                n,
+                RtTransport::InMem,
+                loss,
+                per_process,
+                budget,
+                0xC0FFEE ^ n as u64,
+            ));
+        }
+    }
+    results
+}
+
+/// Runs the transport sweep: the single-leader service at
+/// `n ∈ {8, 16, 32}`, loss 0, over the in-memory transport and over UDP
+/// loopback, side by side (`--fast`: one `n = 4` pair). Returns an empty
+/// sweep — with a warning — when the environment forbids UDP sockets, so
+/// the binary still completes in restricted sandboxes.
+pub fn sweep_udp(fast: bool) -> Vec<RtResult> {
+    if !snapstab_net::udp_available() {
+        eprintln!("warning: UDP loopback unavailable in this sandbox; skipping the udp sweep");
+        return Vec::new();
+    }
+    let grid: &[(usize, u64)] = if fast {
+        &[(4, 5)]
+    } else {
+        // Sized for ~15–60s per row at the PR 2 baseline rates.
+        &[(8, 2_000), (16, 300), (32, 60)]
+    };
+    let budget = if fast {
+        Duration::from_secs(20)
+    } else {
+        Duration::from_secs(120)
+    };
+    let mut results = Vec::new();
+    for &(n, per_process) in grid {
+        for transport in [RtTransport::InMem, RtTransport::Udp] {
+            results.push(measure(
+                n,
+                transport,
+                0.0,
+                per_process,
+                budget,
+                0x0DD5 ^ n as u64,
+            ));
         }
     }
     results
@@ -249,25 +348,30 @@ fn baseline_reqs_per_sec(n: usize) -> f64 {
 
 /// Runs the sharded `shards × batch` sweep (loss 0). The full grid
 /// focuses on `n = 32` — the point where the baseline collapses to ~106
-/// req/s — plus `n ∈ {8, 64}` spot checks of the best configuration.
+/// req/s — plus `n ∈ {8, 64}` spot checks of the best configuration, and
+/// a shallow-vs-deep client-queue pair at `n = 64` (the last grid entry
+/// re-runs `(64, 4, 4)` with `queue_depth = 32`, attacking the
+/// batch-efficiency collapse the ROADMAP recorded for shallow queues).
 pub fn sweep_sharded(fast: bool) -> Vec<RtResult> {
-    let grid: &[(usize, usize, usize)] = if fast {
-        &[(4, 2, 2)]
+    // `(n, shards, batch, queue_depth)`; depth 0 = default request sizing.
+    let grid: &[(usize, usize, usize, u64)] = if fast {
+        &[(4, 2, 2, 0)]
     } else {
         &[
-            (32, 1, 1), // in-sweep re-measure of the baseline point
-            (32, 1, 8), // batching alone
-            (32, 4, 1), // sharding alone
-            (32, 2, 4),
-            (32, 4, 4),
-            (32, 4, 8),
-            (32, 8, 8),
-            (8, 4, 4),
-            (64, 4, 4),
+            (32, 1, 1, 0), // in-sweep re-measure of the baseline point
+            (32, 1, 8, 0), // batching alone
+            (32, 4, 1, 0), // sharding alone
+            (32, 2, 4, 0),
+            (32, 4, 4, 0),
+            (32, 4, 8, 0),
+            (32, 8, 8, 0),
+            (8, 4, 4, 0),
+            (64, 4, 4, 0),  // shallow queues: ~4 requests per shard queue
+            (64, 4, 4, 32), // deep queues: the before/after pair
         ]
     };
     let mut results = Vec::new();
-    for &(n, shards, batch) in grid {
+    for &(n, shards, batch, queue_depth) in grid {
         let per_process: u64 = if fast {
             4
         } else {
@@ -288,6 +392,7 @@ pub fn sweep_sharded(fast: bool) -> Vec<RtResult> {
             shards,
             batch,
             per_process,
+            queue_depth,
             budget,
             seed,
         ));
@@ -299,6 +404,7 @@ fn push_rows(table: &mut Table, results: &[RtResult]) {
     for r in results {
         table.row(&[
             r.n.to_string(),
+            r.transport.as_str().to_string(),
             format!("{:.1}", r.loss),
             r.shards.to_string(),
             r.batch.to_string(),
@@ -314,8 +420,9 @@ fn push_rows(table: &mut Table, results: &[RtResult]) {
     }
 }
 
-const COLUMNS: [&str; 12] = [
+const COLUMNS: [&str; 13] = [
     "n",
+    "transport",
     "loss",
     "shards",
     "batch",
@@ -329,8 +436,8 @@ const COLUMNS: [&str; 12] = [
     "p99 ms",
 ];
 
-/// Renders both sweeps as the repo's standard ASCII tables.
-pub fn render(baseline: &[RtResult], sharded: &[RtResult]) -> String {
+/// Renders all three sweeps as the repo's standard ASCII tables.
+pub fn render(baseline: &[RtResult], sharded: &[RtResult], udp: &[RtResult]) -> String {
     let mut out = String::new();
     out.push_str("=== Q6: live-runtime mutex service (1 OS thread per process) ===\n\n");
     out.push_str("baseline (single leader, one request per grant):\n");
@@ -343,20 +450,32 @@ pub fn render(baseline: &[RtResult], sharded: &[RtResult]) -> String {
         push_rows(&mut table, sharded);
         out.push_str(&table.render());
     }
-    let total: u64 = baseline.iter().chain(sharded).map(|r| r.served).sum();
+    if !udp.is_empty() {
+        out.push_str("\ntransport comparison (single leader, in-memory vs UDP loopback):\n");
+        let mut table = Table::new(&COLUMNS);
+        push_rows(&mut table, udp);
+        out.push_str(&table.render());
+    }
+    let total: u64 = baseline
+        .iter()
+        .chain(sharded)
+        .chain(udp)
+        .map(|r| r.served)
+        .sum();
     out.push_str(&format!("\ntotal requests served end-to-end: {total}\n"));
     out
 }
 
-/// Measures both sweeps and renders them.
+/// Measures all three sweeps and renders them.
 pub fn run(fast: bool) -> String {
-    render(&sweep(fast), &sweep_sharded(fast))
+    render(&sweep(fast), &sweep_sharded(fast), &sweep_udp(fast))
 }
 
 fn row_json(r: &RtResult) -> String {
     format!(
-        "{{\"n\": {}, \"loss\": {}, \"shards\": {}, \"batch\": {}, \"injected\": {}, \"served\": {}, \"grants\": {}, \"cs_entries\": {}, \"msgs\": {}, \"wall_ns\": {}, \"requests_per_sec\": {:.1}, \"grants_per_sec\": {:.1}, \"msgs_per_sec\": {:.1}, \"mean_latency_ns\": {}, \"p50_latency_ns\": {}, \"p99_latency_ns\": {}}}",
+        "{{\"n\": {}, \"transport\": \"{}\", \"loss\": {}, \"shards\": {}, \"batch\": {}, \"injected\": {}, \"served\": {}, \"grants\": {}, \"cs_entries\": {}, \"msgs\": {}, \"wall_ns\": {}, \"requests_per_sec\": {:.1}, \"grants_per_sec\": {:.1}, \"msgs_per_sec\": {:.1}, \"mean_latency_ns\": {}, \"p50_latency_ns\": {}, \"p99_latency_ns\": {}}}",
         r.n,
+        r.transport.as_str(),
         r.loss,
         r.shards,
         r.batch,
@@ -375,23 +494,30 @@ fn row_json(r: &RtResult) -> String {
     )
 }
 
-/// Both sweeps as a JSON document (hand-rolled: the workspace is offline
-/// and carries no serde), shaped like `BENCH_STEPLOOP.json`. Validate
-/// with [`from_json`] before committing.
-pub fn to_json(baseline: &[RtResult], sharded: &[RtResult]) -> String {
+/// All three sweeps as a JSON document (hand-rolled: the workspace is
+/// offline and carries no serde), shaped like `BENCH_STEPLOOP.json`.
+/// Validate with [`from_json`] before committing.
+pub fn to_json(baseline: &[RtResult], sharded: &[RtResult], udp: &[RtResult]) -> String {
     let mut out = String::from(
         "{\n  \"experiment\": \"live_runtime_mutex_service\",\n  \"unit\": \"requests_per_sec\",\n  \"results\": [\n",
     );
-    for (i, r) in baseline.iter().enumerate() {
-        let sep = if i + 1 < baseline.len() { "," } else { "" };
-        out.push_str(&format!("    {}{}\n", row_json(r), sep));
-    }
+    let push_array = |out: &mut String, rows: &[RtResult]| {
+        for (i, r) in rows.iter().enumerate() {
+            let sep = if i + 1 < rows.len() { "," } else { "" };
+            out.push_str(&format!("    {}{}\n", row_json(r), sep));
+        }
+    };
+    push_array(&mut out, baseline);
     out.push_str("  ],\n  \"sharded\": [\n");
-    for (i, r) in sharded.iter().enumerate() {
-        let sep = if i + 1 < sharded.len() { "," } else { "" };
-        out.push_str(&format!("    {}{}\n", row_json(r), sep));
-    }
-    let total: u64 = baseline.iter().chain(sharded).map(|r| r.served).sum();
+    push_array(&mut out, sharded);
+    out.push_str("  ],\n  \"udp\": [\n");
+    push_array(&mut out, udp);
+    let total: u64 = baseline
+        .iter()
+        .chain(sharded)
+        .chain(udp)
+        .map(|r| r.served)
+        .sum();
     out.push_str(&format!("  ],\n  \"total_served\": {total}\n}}\n"));
     out
 }
@@ -425,9 +551,17 @@ fn row_from_value(row: &Value) -> Result<RtResult, String> {
             None => return Err(format!("missing field `{field}`")),
         }
     }
+    let transport = match row.get("transport") {
+        Some(Value::Str(s)) => {
+            RtTransport::parse(s).ok_or_else(|| format!("unknown `transport` tag `{s}`"))?
+        }
+        Some(_) => return Err("field `transport` is not a string".into()),
+        None => return Err("missing field `transport`".into()),
+    };
     let num = |field: &str| row.get(field).and_then(Value::as_num).expect("checked");
     Ok(RtResult {
         n: num("n") as usize,
+        transport,
         loss: num("loss"),
         shards: num("shards") as usize,
         batch: num("batch") as usize,
@@ -444,12 +578,14 @@ fn row_from_value(row: &Value) -> Result<RtResult, String> {
 }
 
 /// Parses a `BENCH_RUNTIME.json` document back through the bench's own
-/// schema: `(baseline rows, sharded rows, total_served)`. Every row must
-/// carry every field of [`struct@RtResult`] (plus the derived rates) as a
-/// number; anything missing, extra-typed or structurally off is an error.
-/// `from_json(to_json(b, s))` reproduces `b`/`s` exactly (derived rates
-/// are recomputed from the source fields).
-pub fn from_json(doc: &str) -> Result<(Vec<RtResult>, Vec<RtResult>, u64), String> {
+/// schema: `(baseline rows, sharded rows, udp rows, total_served)`.
+/// Every row must carry every field of [`struct@RtResult`]: the numeric
+/// source fields (plus the derived rates) as numbers and the `transport`
+/// tag as a known string; anything missing, extra-typed or structurally
+/// off is an error. `from_json(to_json(b, s, u))` reproduces `b`/`s`/`u`
+/// exactly (derived rates are recomputed from the source fields).
+#[allow(clippy::type_complexity)]
+pub fn from_json(doc: &str) -> Result<(Vec<RtResult>, Vec<RtResult>, Vec<RtResult>, u64), String> {
     let value = jsonv::parse(doc)?;
     if value.get("experiment").and_then(Value::as_str) != Some("live_runtime_mutex_service") {
         return Err("wrong or missing `experiment` tag".into());
@@ -469,17 +605,23 @@ pub fn from_json(doc: &str) -> Result<(Vec<RtResult>, Vec<RtResult>, u64), Strin
     };
     let baseline = rows("results")?;
     let sharded = rows("sharded")?;
+    let udp = rows("udp")?;
     let total = value
         .get("total_served")
         .and_then(Value::as_num)
         .ok_or("missing `total_served`")? as u64;
-    let served: u64 = baseline.iter().chain(&sharded).map(|r| r.served).sum();
+    let served: u64 = baseline
+        .iter()
+        .chain(&sharded)
+        .chain(&udp)
+        .map(|r| r.served)
+        .sum();
     if total != served {
         return Err(format!(
             "total_served {total} disagrees with the rows' sum {served}"
         ));
     }
-    Ok((baseline, sharded, total))
+    Ok((baseline, sharded, udp, total))
 }
 
 /// Validates that a document emitted by [`to_json`] round-trips through
@@ -490,13 +632,17 @@ pub fn validate_roundtrip(
     doc: &str,
     baseline: &[RtResult],
     sharded: &[RtResult],
+    udp: &[RtResult],
 ) -> Result<(), String> {
-    let (b, s, _) = from_json(doc)?;
+    let (b, s, u, _) = from_json(doc)?;
     if b != baseline {
         return Err("baseline rows did not round-trip".into());
     }
     if s != sharded {
         return Err("sharded rows did not round-trip".into());
+    }
+    if u != udp {
+        return Err("udp rows did not round-trip".into());
     }
     Ok(())
 }
@@ -507,18 +653,31 @@ mod tests {
 
     #[test]
     fn measure_serves_requests() {
-        let r = measure(3, 0.0, 2, Duration::from_secs(30), 1);
+        let r = measure(3, RtTransport::InMem, 0.0, 2, Duration::from_secs(30), 1);
         assert_eq!(r.n, 3);
         assert_eq!(r.served, 6);
         assert_eq!((r.shards, r.batch), (1, 1));
+        assert_eq!(r.transport, RtTransport::InMem);
         assert!(r.requests_per_sec() > 0.0);
         assert!(r.msgs_per_sec() > 0.0);
         assert!(r.p50_latency_ns <= r.p99_latency_ns);
     }
 
     #[test]
+    fn measure_udp_serves_requests() {
+        if !snapstab_net::udp_available() {
+            eprintln!("warning: UDP loopback unavailable in this sandbox; skipping");
+            return;
+        }
+        let r = measure(3, RtTransport::Udp, 0.0, 2, Duration::from_secs(30), 1);
+        assert_eq!(r.served, 6);
+        assert_eq!(r.transport, RtTransport::Udp);
+        assert!(r.requests_per_sec() > 0.0);
+    }
+
+    #[test]
     fn measure_sharded_serves_and_batches() {
-        let r = measure_sharded(3, 0.0, 2, 2, 4, Duration::from_secs(40), 2);
+        let r = measure_sharded(3, 0.0, 2, 2, 4, 0, Duration::from_secs(40), 2);
         assert_eq!(r.served, 12, "all requests served");
         assert!(r.grants >= 6, "at most 2 requests per grant");
         assert!(r.grants <= 12);
@@ -526,9 +685,18 @@ mod tests {
         assert!(r.p50_latency_ns <= r.p99_latency_ns);
     }
 
+    #[test]
+    fn measure_sharded_queue_depth_sizes_the_workload() {
+        // queue_depth 3 × 2 shards × 3 processes = 18 requests, not 4×3.
+        let r = measure_sharded(3, 0.0, 2, 2, 4, 3, Duration::from_secs(40), 2);
+        assert_eq!(r.injected, 18);
+        assert_eq!(r.served, 18);
+    }
+
     fn sample_row(n: usize, shards: usize, batch: usize) -> RtResult {
         RtResult {
             n,
+            transport: RtTransport::InMem,
             loss: 0.1,
             shards,
             batch,
@@ -544,26 +712,37 @@ mod tests {
         }
     }
 
+    fn sample_udp_row(n: usize) -> RtResult {
+        RtResult {
+            transport: RtTransport::Udp,
+            ..sample_row(n, 1, 1)
+        }
+    }
+
     #[test]
     fn json_shape_and_roundtrip() {
         let baseline = vec![sample_row(8, 1, 1)];
         let sharded = vec![sample_row(32, 4, 4), sample_row(32, 8, 8)];
-        let j = to_json(&baseline, &sharded);
+        let udp = vec![sample_row(8, 1, 1), sample_udp_row(8)];
+        let j = to_json(&baseline, &sharded, &udp);
         assert!(j.contains("live_runtime_mutex_service"));
         assert!(j.contains("\"p99_latency_ns\": 9000"));
-        assert!(j.contains("\"total_served\": 30"));
+        assert!(j.contains("\"transport\": \"inmem\""));
+        assert!(j.contains("\"transport\": \"udp\""));
+        assert!(j.contains("\"total_served\": 50"));
         assert!(j.trim_end().ends_with('}'));
-        let (b, s, total) = from_json(&j).expect("parses");
+        let (b, s, u, total) = from_json(&j).expect("parses");
         assert_eq!(b, baseline);
         assert_eq!(s, sharded);
-        assert_eq!(total, 30);
-        validate_roundtrip(&j, &baseline, &sharded).expect("round-trips");
+        assert_eq!(u, udp);
+        assert_eq!(total, 50);
+        validate_roundtrip(&j, &baseline, &sharded, &udp).expect("round-trips");
     }
 
     #[test]
     fn from_json_rejects_field_drift() {
         let baseline = vec![sample_row(8, 1, 1)];
-        let good = to_json(&baseline, &[]);
+        let good = to_json(&baseline, &[], &[]);
         // Rename a field: the schema check must notice.
         let renamed = good.replace("\"p99_latency_ns\"", "\"p99\"");
         let err = from_json(&renamed).unwrap_err();
@@ -576,17 +755,38 @@ mod tests {
         // A stringly-typed number is drift too.
         let stringly = good.replace("\"served\": 10", "\"served\": \"10\"");
         assert!(from_json(&stringly).unwrap_err().contains("not a number"));
+        // So are a missing, mistyped or unknown transport tag.
+        let missing_transport = good.replace("\"transport\": \"inmem\", ", "");
+        assert!(from_json(&missing_transport)
+            .unwrap_err()
+            .contains("transport"));
+        let bad_tag = good.replace("\"transport\": \"inmem\"", "\"transport\": \"tcp\"");
+        assert!(from_json(&bad_tag).unwrap_err().contains("tcp"));
+        let numeric_tag = good.replace("\"transport\": \"inmem\"", "\"transport\": 3");
+        assert!(from_json(&numeric_tag)
+            .unwrap_err()
+            .contains("not a string"));
+        // A document missing the udp array entirely is drift.
+        let (head, _) = good.split_once("  \"udp\"").expect("udp array present");
+        let no_udp = format!("{head}  \"total_served\": 10\n}}\n");
+        assert!(from_json(&no_udp).unwrap_err().contains("udp"));
         // And the round-trip validator catches value changes.
         let off_by_one = good.replace("\"msgs\": 1000", "\"msgs\": 1001");
-        assert!(validate_roundtrip(&off_by_one, &baseline, &[]).is_err());
+        assert!(validate_roundtrip(&off_by_one, &baseline, &[], &[]).is_err());
     }
 
     #[test]
-    fn render_includes_both_tables() {
-        let out = render(&[sample_row(8, 1, 1)], &[sample_row(32, 4, 4)]);
+    fn render_includes_every_table() {
+        let out = render(
+            &[sample_row(8, 1, 1)],
+            &[sample_row(32, 4, 4)],
+            &[sample_row(8, 1, 1), sample_udp_row(8)],
+        );
         assert!(out.contains("baseline"));
         assert!(out.contains("sharded multi-leader"));
+        assert!(out.contains("transport comparison"));
+        assert!(out.contains("udp"));
         assert!(out.contains("p99 ms"));
-        assert!(out.contains("total requests served end-to-end: 20"));
+        assert!(out.contains("total requests served end-to-end: 40"));
     }
 }

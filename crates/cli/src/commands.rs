@@ -39,9 +39,14 @@ COMMAND OPTIONS
   live:          --requests <int> per process (default 50),
                  --cs-duration <int> (default 0), --budget-secs <int>
                  (default 60), --check (record + spec-check the trace),
+                 --transport {inmem|udp} (default inmem; udp runs the
+                 same protocol over real UDP loopback sockets),
                  --shards <int> (default 1) and --batch <int> (default 1):
                  with either > 1, runs the sharded multi-leader service
-                 with request batching (--key-space <int>, default 65536)
+                 with request batching (--key-space <int>, default 65536);
+                 --queue-depth <int> (default 0): when set, runs the
+                 sharded service with each per-shard client queue
+                 starting ~that deep instead of --requests
   impossibility: --cs-duration <int> (default 8)
 ";
 
@@ -185,6 +190,8 @@ struct LiveFlags {
     check: bool,
     shards: usize,
     batch: usize,
+    queue_depth: u64,
+    transport: String,
 }
 
 impl LiveFlags {
@@ -199,7 +206,30 @@ impl LiveFlags {
             check: args.has("check"),
             shards: args.get_or("shards", 1),
             batch: args.get_or("batch", 1),
+            queue_depth: args.get_or("queue-depth", 0),
+            transport: args.get_or("transport", "inmem".to_string()),
         }
+    }
+}
+
+/// The valid `--transport` backends, listed in the exit-2 error message.
+const TRANSPORTS: [&str; 2] = ["inmem", "udp"];
+
+/// Resolves `--transport` to a backend object, or an exit-2 usage error
+/// (matching the unknown-subcommand convention).
+fn parse_transport<M: snapstab_net::Wire + Send + 'static>(
+    name: &str,
+) -> Result<Box<dyn snapstab_runtime::Transport<M>>, (String, i32)> {
+    match name {
+        "inmem" => Ok(Box::new(snapstab_runtime::InMemory)),
+        "udp" => Ok(Box::new(snapstab_net::UdpLoopback::new())),
+        other => Err((
+            format!(
+                "unknown --transport `{other}`: valid values are {}\n\n{USAGE}",
+                TRANSPORTS.join(", ")
+            ),
+            2,
+        )),
     }
 }
 
@@ -215,10 +245,20 @@ pub fn cmd_live(args: &Args) -> (String, i32) {
         check,
         shards,
         batch,
+        queue_depth,
+        transport,
     } = LiveFlags::parse(args);
-    if shards > 1 || batch > 1 {
+    // --queue-depth sizes per-shard client queues, so (like --shards and
+    // --batch) it selects the sharded service — a 1-shard, batch-1
+    // sharded run degenerates to the plain service, and the flag is
+    // never silently ignored.
+    if shards > 1 || batch > 1 || queue_depth > 0 {
         return cmd_live_sharded(args);
     }
+    let backend = match parse_transport::<snapstab_core::me::MeMsg>(&transport) {
+        Ok(b) => b,
+        Err(err) => return err,
+    };
 
     let cfg = MutexServiceConfig {
         n,
@@ -233,10 +273,13 @@ pub fn cmd_live(args: &Args) -> (String, i32) {
         time_budget: std::time::Duration::from_secs(budget_secs),
     };
     let mut out = format!(
-        "Live mutex service: n={n} worker threads, loss={loss}, \
-         {requests} request(s) per process, budget {budget_secs}s\n"
+        "Live mutex service: n={n} worker threads ({transport} transport), \
+         loss={loss}, {requests} request(s) per process, budget {budget_secs}s\n"
     );
-    let report = snapstab_runtime::run_mutex_service(&cfg);
+    let report = match snapstab_runtime::run_mutex_service_on(&cfg, backend.as_ref()) {
+        Ok(report) => report,
+        Err(e) => return (format!("{out}transport setup failed: {e}\n"), 1),
+    };
     // Compare against the *requested* total, not `report.injected`: the
     // drivers inject lazily, so a budget-capped run has injected ≈ served
     // and would otherwise read (and exit) as complete.
@@ -297,8 +340,14 @@ fn cmd_live_sharded(args: &Args) -> (String, i32) {
         check,
         shards,
         batch,
+        queue_depth,
+        transport,
     } = LiveFlags::parse(args);
     let key_space: u64 = args.get_or("key-space", 1 << 16);
+    let backend = match parse_transport::<snapstab_core::shard::ShardedMeMsg>(&transport) {
+        Ok(b) => b,
+        Err(err) => return err,
+    };
 
     let cfg = ShardedServiceConfig {
         n,
@@ -315,12 +364,27 @@ fn cmd_live_sharded(args: &Args) -> (String, i32) {
         },
         time_budget: std::time::Duration::from_secs(budget_secs),
     };
+    // --queue-depth D sizes the workload by target per-shard queue depth
+    // instead of --requests.
+    let cfg = if queue_depth > 0 {
+        cfg.with_queue_depth(queue_depth)
+    } else {
+        cfg
+    };
+    let workload = if queue_depth > 0 {
+        format!("queue depth {queue_depth} per shard")
+    } else {
+        format!("{requests} request(s) per process")
+    };
     let mut out = format!(
-        "Live sharded mutex service: n={n} worker threads, {shards} shard(s) \
-         (one leader each), batch≤{batch}, loss={loss}, {requests} request(s) \
-         per process, budget {budget_secs}s\n"
+        "Live sharded mutex service: n={n} worker threads ({transport} \
+         transport), {shards} shard(s) (one leader each), batch≤{batch}, \
+         loss={loss}, {workload}, budget {budget_secs}s\n"
     );
-    let report = snapstab_runtime::run_sharded_service(&cfg);
+    let report = match snapstab_runtime::run_sharded_service_on(&cfg, backend.as_ref()) {
+        Ok(report) => report,
+        Err(e) => return (format!("{out}transport setup failed: {e}\n"), 1),
+    };
     out.push_str(&format!(
         "served {}/{} requests in {:.2}s: {:.0} req/s over {} grants \
          ({:.0} grants/s, {:.2} requests per grant), {:.0} msgs/s\n",
@@ -502,6 +566,59 @@ mod tests {
         let (out, code) = cmd_live(&parse("live --n 3 --batch 3 --requests 3 --budget-secs 40"));
         assert!(out.contains("1 shard(s)"), "{out}");
         assert!(out.contains("batch≤3"), "{out}");
+        assert_eq!(code, 0, "{out}");
+    }
+
+    #[test]
+    fn live_unknown_transport_exits_2_and_lists_valid_set() {
+        let (out, code) = cmd_live(&parse("live --n 3 --transport carrier-pigeon"));
+        assert_eq!(code, 2, "usage errors exit 2:\n{out}");
+        assert!(
+            out.contains("unknown --transport `carrier-pigeon`"),
+            "{out}"
+        );
+        assert!(out.contains("valid values are inmem, udp"), "{out}");
+        assert!(out.contains("USAGE"), "{out}");
+        // The sharded path applies the same validation.
+        let (out, code) = cmd_live(&parse("live --n 3 --shards 2 --transport tcp"));
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("valid values are inmem, udp"), "{out}");
+    }
+
+    #[test]
+    fn live_udp_transport_serves_and_checks() {
+        if !snapstab_net::udp_available() {
+            eprintln!("warning: UDP loopback unavailable in this sandbox; skipping");
+            return;
+        }
+        let (out, code) = cmd_live(&parse(
+            "live --n 3 --requests 2 --transport udp --check --budget-secs 40",
+        ));
+        assert!(out.contains("udp transport"), "{out}");
+        assert!(out.contains("served 6/6"), "{out}");
+        assert!(out.contains("exclusivity holds: true"), "{out}");
+        assert_eq!(code, 0, "healthy UDP run exits 0:\n{out}");
+    }
+
+    #[test]
+    fn live_queue_depth_sizes_the_sharded_workload() {
+        let (out, code) = cmd_live(&parse(
+            "live --n 3 --shards 2 --batch 2 --queue-depth 2 --key-space 64 --budget-secs 40",
+        ));
+        assert!(out.contains("queue depth 2 per shard"), "{out}");
+        // 3 processes × (2 shards × depth 2) = 12 requests.
+        assert!(out.contains("served 12/12"), "{out}");
+        assert_eq!(code, 0, "{out}");
+    }
+
+    #[test]
+    fn live_queue_depth_alone_selects_sharded_path() {
+        // Never silently ignored: without --shards/--batch the flag still
+        // drives a (1-shard) sharded run sized by the depth.
+        let (out, code) = cmd_live(&parse("live --n 3 --queue-depth 2 --budget-secs 40"));
+        assert!(out.contains("1 shard(s)"), "{out}");
+        assert!(out.contains("queue depth 2 per shard"), "{out}");
+        assert!(out.contains("served 6/6"), "{out}");
         assert_eq!(code, 0, "{out}");
     }
 

@@ -1,0 +1,286 @@
+//! [`UdpLink`] — one directed link carried by UDP datagrams, with the
+//! paper's §4 channel semantics enforced in the receive path.
+//!
+//! UDP already *is* most of the paper's computational model: datagrams
+//! are lost, duplicated and reordered by the network, and kernel socket
+//! buffers are finite. What UDP does not promise — FIFO order and a
+//! *known* per-link capacity bound — the receiving endpoint enforces:
+//!
+//! | §4 property | mechanism |
+//! |---|---|
+//! | FIFO, duplication-free | per-link sequence numbers; a datagram whose `seq` is not strictly greater than the last accepted one is dropped (`lost_reorder`) |
+//! | bounded capacity, silent drop-on-full | a bounded per-lane delivery queue; a datagram arriving at a full lane is dropped and counted (`lost_full`), the sender learns nothing |
+//! | fair loss (probability < 1) | the network's own loss, plus a seeded injected stream on the send side for reproducible experiments (`lost_in_transit`) |
+//! | eventual delivery | the workers' bounded park/retransmission backoff keeps offering; a fair-lossy link delivers infinitely often |
+//!
+//! One [`UdpLink`] object serves both ends on a loopback harness: the
+//! sending worker calls [`UdpLink::send`] (encode + `send_to`), the
+//! receiving endpoint's demultiplexer thread calls `UdpLink::deliver`
+//! with each datagram, and the receiving worker drains
+//! [`UdpLink::try_recv`] exactly as it drains a
+//! [`LiveLink`](snapstab_runtime::LiveLink).
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::{Arc, Mutex};
+use std::thread::Thread;
+use std::time::{Duration, Instant};
+
+use snapstab_runtime::{LaneOf, Link, LinkStats, LiveConfig};
+use snapstab_sim::{ProcessId, SendFate, SimRng};
+
+use crate::wire::{decode_exact, encode_datagram, Header, Wire};
+
+/// Send-side state: the sequence counter, the seeded injected-loss
+/// stream, and a reused encode buffer.
+struct SendState {
+    seq: u64,
+    rng: SimRng,
+    buf: Vec<u8>,
+    sends: u64,
+    lost_in_transit: u64,
+}
+
+/// Receive-side state: the bounded delivery queue and the FIFO guard.
+struct RecvState<M> {
+    /// Deliverable messages with their jittered ready instant (`None` =
+    /// immediately) and the lane they occupy.
+    queue: VecDeque<(M, Option<Instant>, usize)>,
+    /// Current occupancy per lane; the §4 capacity bound is enforced
+    /// against the datagram's lane.
+    lane_len: Vec<usize>,
+    /// Highest sequence number accepted so far (0 = none; `seq` starts
+    /// at 1). Anything not strictly above it is dropped.
+    last_seq: u64,
+    /// Per-link jitter stream (receive side).
+    rng: SimRng,
+    /// The receiving worker's thread, unparked on enqueue.
+    receiver: Option<Thread>,
+    enqueued: u64,
+    lost_full: u64,
+    lost_reorder: u64,
+    delivered: u64,
+}
+
+/// One directed UDP link `from → to`: datagrams out of the sender
+/// endpoint's socket, a bounded FIFO delivery queue fed by the receiver
+/// endpoint's demultiplexer.
+///
+/// Constructed by [`UdpLoopback`](crate::UdpLoopback); drive it through
+/// the [`Link`] trait.
+///
+/// ```
+/// use snapstab_net::UdpLoopback;
+/// use snapstab_runtime::{Link, LiveConfig, Transport};
+/// use snapstab_sim::SendFate;
+/// use std::time::{Duration, Instant};
+///
+/// # if !snapstab_net::udp_available() { return; } // skip in socketless sandboxes
+/// let transport = UdpLoopback::new();
+/// let links = Transport::<u32>::connect(&transport, 2, &LiveConfig::default(), None)
+///     .expect("bind loopback sockets");
+/// let link = links[0 * 2 + 1].as_ref().expect("link 0 -> 1");
+/// assert_eq!(link.send(42), SendFate::Enqueued); // handed to the socket
+/// let deadline = Instant::now() + Duration::from_secs(5);
+/// loop {
+///     if let Some(msg) = link.try_recv() {
+///         assert_eq!(msg, 42);
+///         break;
+///     }
+///     assert!(Instant::now() < deadline, "datagram never arrived");
+///     std::thread::yield_now();
+/// }
+/// assert_eq!(link.stats().delivered, 1);
+/// ```
+pub struct UdpLink<M> {
+    from: ProcessId,
+    to: ProcessId,
+    /// Capacity **per lane**, as in the in-memory link.
+    capacity: usize,
+    lanes: usize,
+    lane_of: Option<LaneOf<M>>,
+    loss: f64,
+    jitter: Option<Duration>,
+    /// The *sender* endpoint's socket (shared with its demux thread).
+    socket: Arc<UdpSocket>,
+    /// The *receiver* endpoint's bound address.
+    peer: SocketAddr,
+    send: Mutex<SendState>,
+    recv: Mutex<RecvState<M>>,
+}
+
+impl<M: Wire> UdpLink<M> {
+    /// Creates the link `from → to` sending out of `socket` toward
+    /// `peer`, with the channel parameters of `config`.
+    ///
+    /// # Panics
+    ///
+    /// As the in-memory link: zero `capacity`, `loss` outside `[0, 1)`
+    /// or zero `lanes` are out of the model's domain.
+    pub(crate) fn new(
+        from: ProcessId,
+        to: ProcessId,
+        socket: Arc<UdpSocket>,
+        peer: SocketAddr,
+        config: &LiveConfig,
+        lanes: usize,
+        lane_of: Option<LaneOf<M>>,
+    ) -> Self {
+        snapstab_runtime::transport::assert_channel_domain(config.capacity, config.loss, lanes);
+        // The backends share one per-link seed formula, split here into
+        // independent send (loss) and receive (jitter) streams.
+        let link_seed = snapstab_runtime::transport::link_seed(config.seed, from, to);
+        UdpLink {
+            from,
+            to,
+            capacity: config.capacity,
+            lanes,
+            lane_of,
+            loss: config.loss,
+            jitter: config.jitter,
+            socket,
+            peer,
+            send: Mutex::new(SendState {
+                seq: 0,
+                rng: SimRng::seed_from(link_seed ^ 0x5E4D_0000_0000_0001),
+                buf: Vec::with_capacity(64),
+                sends: 0,
+                lost_in_transit: 0,
+            }),
+            recv: Mutex::new(RecvState {
+                queue: VecDeque::new(),
+                lane_len: vec![0; lanes],
+                last_seq: 0,
+                rng: SimRng::seed_from(link_seed ^ 0x4ECF_0000_0000_0002),
+                receiver: None,
+                enqueued: 0,
+                lost_full: 0,
+                lost_reorder: 0,
+                delivered: 0,
+            }),
+        }
+    }
+
+    /// Feeds one received datagram into the delivery queue, enforcing the
+    /// §4 semantics. Called by the receiving endpoint's demultiplexer
+    /// thread with the already-split header and payload.
+    pub(crate) fn deliver(&self, header: Header, payload: &[u8]) {
+        // Decode before touching any state: a malformed datagram is
+        // foreign traffic and must not advance the FIFO guard.
+        let Some(msg) = decode_exact::<M>(payload) else {
+            return;
+        };
+        let lane = (header.lane as usize).min(self.lanes - 1);
+        let wake;
+        {
+            let mut recv = self.recv.lock().expect("recv state poisoned");
+            if header.seq <= recv.last_seq {
+                // Out-of-order or duplicated by the network: dropping it
+                // keeps the link FIFO and duplication-free (the drop
+                // itself is fair loss).
+                recv.lost_reorder += 1;
+                return;
+            }
+            recv.last_seq = header.seq;
+            if recv.lane_len[lane] >= self.capacity {
+                // §4 silent drop-on-full; the sender is not told.
+                recv.lost_full += 1;
+                return;
+            }
+            let ready = self.jitter.map(|j| {
+                let span = j.as_nanos().max(1) as usize;
+                Instant::now() + Duration::from_nanos(recv.rng.gen_range(0..span) as u64)
+            });
+            recv.queue.push_back((msg, ready, lane));
+            recv.lane_len[lane] += 1;
+            recv.enqueued += 1;
+            wake = recv.receiver.clone();
+        }
+        if let Some(t) = wake {
+            t.unpark();
+        }
+    }
+}
+
+impl<M: Wire + Send> Link<M> for UdpLink<M> {
+    fn from(&self) -> ProcessId {
+        self.from
+    }
+
+    fn to(&self) -> ProcessId {
+        self.to
+    }
+
+    fn register_receiver(&self, receiver: Thread) {
+        self.recv.lock().expect("recv state poisoned").receiver = Some(receiver);
+    }
+
+    /// Encodes the message and hands it to the socket. The returned fate
+    /// is the sender's *local* knowledge: `Enqueued` means the datagram
+    /// left for the network — a remote drop-on-full stays silent, exactly
+    /// as §4 demands. The seeded injected-loss stream (and any socket
+    /// error, e.g. a full kernel buffer) maps to `LostInTransit`.
+    fn send(&self, msg: M) -> SendFate {
+        let lane = self
+            .lane_of
+            .as_ref()
+            .map(|f| f(&msg).min(self.lanes - 1))
+            .unwrap_or(0);
+        let mut send = self.send.lock().expect("send state poisoned");
+        send.sends += 1;
+        if self.loss > 0.0 && send.rng.gen_bool(self.loss) {
+            send.lost_in_transit += 1;
+            return SendFate::LostInTransit;
+        }
+        send.seq += 1;
+        let header = Header {
+            from: self.from.index() as u16,
+            to: self.to.index() as u16,
+            lane: lane as u16,
+            seq: send.seq,
+        };
+        let SendState { buf, .. } = &mut *send;
+        encode_datagram(header, &msg, buf);
+        match self.socket.send_to(&send.buf, self.peer) {
+            Ok(_) => SendFate::Enqueued,
+            Err(_) => {
+                // The kernel refused the datagram (full buffer, transient
+                // error): indistinguishable from in-transit loss, and the
+                // fair-lossy model absorbs it.
+                send.lost_in_transit += 1;
+                SendFate::LostInTransit
+            }
+        }
+    }
+
+    fn try_recv(&self) -> Option<M> {
+        let mut recv = self.recv.lock().expect("recv state poisoned");
+        match recv.queue.front() {
+            None => None,
+            Some((_, Some(ready), _)) if Instant::now() < *ready => None,
+            Some(_) => {
+                let (m, _, lane) = recv.queue.pop_front().expect("front checked");
+                recv.lane_len[lane] -= 1;
+                recv.delivered += 1;
+                Some(m)
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.recv.lock().expect("recv state poisoned").queue.len()
+    }
+
+    fn stats(&self) -> LinkStats {
+        let send = self.send.lock().expect("send state poisoned");
+        let recv = self.recv.lock().expect("recv state poisoned");
+        LinkStats {
+            sends: send.sends,
+            enqueued: recv.enqueued,
+            lost_full: recv.lost_full,
+            lost_in_transit: send.lost_in_transit,
+            lost_reorder: recv.lost_reorder,
+            delivered: recv.delivered,
+        }
+    }
+}

@@ -90,6 +90,17 @@
 //! assert!(report.audit().holds());
 //! ```
 //!
+//! ## Pluggable transports
+//!
+//! The runner is generic over its message substrate: the [`Transport`]
+//! trait builds the directed [`Link`] matrix, and everything above it —
+//! workers, services, trace merging, the spec checkers — is
+//! backend-agnostic. [`InMemory`] (the default) wires [`LiveLink`]s;
+//! `snapstab-net`'s `UdpLoopback` wires real UDP datagram sockets with
+//! the same §4 semantics enforced in the receive path. Pass a backend to
+//! [`LiveRunner::spawn_with_transport`], [`run_mutex_service_on`] or
+//! [`run_sharded_service_on`].
+//!
 //! ## Crash and restart
 //!
 //! [`LiveRunner::crash`] joins a worker's thread mid-run (its state and
@@ -104,10 +115,12 @@
 pub mod link;
 pub mod runner;
 pub mod service;
+pub mod transport;
 
 pub use link::{LaneOf, LinkStats, LiveLink};
 pub use runner::{Driver, LiveConfig, LiveReport, LiveRunner, LiveStats, Scribe, WorkerStats};
 pub use service::{
-    run_mutex_service, run_sharded_service, MutexServiceConfig, ServiceReport, ShardedReport,
-    ShardedServiceConfig,
+    run_mutex_service, run_mutex_service_on, run_sharded_service, run_sharded_service_on,
+    MutexServiceConfig, ServiceReport, ShardedReport, ShardedServiceConfig,
 };
+pub use transport::{InMemory, Link, LinkMatrix, Transport};

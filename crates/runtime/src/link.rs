@@ -35,6 +35,10 @@ pub struct LinkStats {
     pub lost_full: u64,
     /// Messages lost in transit by the loss model.
     pub lost_in_transit: u64,
+    /// Messages dropped by a networked receiver to preserve FIFO order:
+    /// out-of-order or duplicate datagrams (always 0 for [`LiveLink`],
+    /// whose queue cannot reorder).
+    pub lost_reorder: u64,
     /// Messages handed to the receiver.
     pub delivered: u64,
 }
@@ -46,6 +50,7 @@ impl LinkStats {
         self.enqueued += other.enqueued;
         self.lost_full += other.lost_full;
         self.lost_in_transit += other.lost_in_transit;
+        self.lost_reorder += other.lost_reorder;
         self.delivered += other.delivered;
     }
 }
@@ -142,7 +147,6 @@ impl<M> LiveLink<M> {
         lanes: usize,
         lane_of: LaneOf<M>,
     ) -> Self {
-        assert!(lanes >= 1, "a link needs at least one lane");
         Self::build(from, to, capacity, loss, jitter, seed, lanes, Some(lane_of))
     }
 
@@ -157,16 +161,8 @@ impl<M> LiveLink<M> {
         lanes: usize,
         lane_of: Option<LaneOf<M>>,
     ) -> Self {
-        assert!(capacity >= 1, "channel capacity must be at least 1");
-        assert!(
-            (0.0..1.0).contains(&loss),
-            "loss probability must be in [0,1) to preserve fairness, got {loss}"
-        );
-        // Mix the endpoints into the seed so every link draws an
-        // independent, reproducible stream.
-        let link_seed = seed
-            ^ (from.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            ^ (to.index() as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        crate::transport::assert_channel_domain(capacity, loss, lanes);
+        let link_seed = crate::transport::link_seed(seed, from, to);
         LiveLink {
             from,
             to,
@@ -269,6 +265,38 @@ impl<M> LiveLink<M> {
     /// A copy of the cumulative counters.
     pub fn stats(&self) -> LinkStats {
         self.inner.lock().expect("link poisoned").stats
+    }
+}
+
+/// `LiveLink` is the in-memory [`Link`](crate::Link) backend — every
+/// trait method forwards to the inherent one.
+impl<M: Send> crate::transport::Link<M> for LiveLink<M> {
+    fn from(&self) -> ProcessId {
+        self.from
+    }
+
+    fn to(&self) -> ProcessId {
+        self.to
+    }
+
+    fn register_receiver(&self, receiver: Thread) {
+        LiveLink::register_receiver(self, receiver);
+    }
+
+    fn send(&self, msg: M) -> SendFate {
+        LiveLink::send(self, msg)
+    }
+
+    fn try_recv(&self) -> Option<M> {
+        LiveLink::try_recv(self)
+    }
+
+    fn len(&self) -> usize {
+        LiveLink::len(self)
+    }
+
+    fn stats(&self) -> LinkStats {
+        LiveLink::stats(self)
     }
 }
 

@@ -1,5 +1,6 @@
 //! `LiveRunner` — one worker thread per process, event-driven, over
-//! [`LiveLink`] transports.
+//! pluggable [`Link`] transports (in-memory [`crate::LiveLink`]s by
+//! default).
 //!
 //! Each worker owns its [`Protocol`] instance and loops: apply harness
 //! commands, drain deliverable messages from its incoming links (each
@@ -25,7 +26,8 @@ use std::time::{Duration, Instant};
 
 use snapstab_sim::{Context, ProcessId, Protocol, SimRng, Trace, TraceEvent};
 
-use crate::link::{LaneOf, LinkStats, LiveLink};
+use crate::link::{LaneOf, LinkStats};
+use crate::transport::{InMemory, Link, LinkMatrix, Transport};
 
 /// Construction-time configuration of a live run.
 #[derive(Clone, Debug)]
@@ -175,9 +177,9 @@ struct Worker<P: Protocol> {
     protocol: P,
     rng: SimRng,
     /// Incoming links, one per other process.
-    incoming: Vec<Arc<LiveLink<P::Msg>>>,
+    incoming: Vec<Arc<dyn Link<P::Msg>>>,
     /// Outgoing links indexed by receiver (own slot `None`).
-    outgoing: Vec<Option<Arc<LiveLink<P::Msg>>>>,
+    outgoing: Vec<Option<Arc<dyn Link<P::Msg>>>>,
     commands: Receiver<Command<P>>,
     counter: Arc<AtomicU64>,
     log: Trace<P::Msg, P::Event>,
@@ -350,7 +352,9 @@ where
 }
 
 /// A live multi-threaded run: `n` worker threads, one per process, wired
-/// by `n·(n−1)` [`LiveLink`]s. See the crate docs for a quick tour.
+/// by `n·(n−1)` [`Link`]s (in-memory [`crate::LiveLink`]s unless a
+/// different [`Transport`] is given). See the crate docs for a quick
+/// tour.
 ///
 /// ```
 /// use snapstab_core::idl::IdlProcess;
@@ -377,7 +381,7 @@ pub struct LiveRunner<P: Protocol> {
     config: LiveConfig,
     counter: Arc<AtomicU64>,
     /// Row-major `n × n` link matrix (diagonal `None`).
-    links: Vec<Option<Arc<LiveLink<P::Msg>>>>,
+    links: LinkMatrix<P::Msg>,
     handles: Vec<Option<JoinHandle<WorkerReport<P>>>>,
     senders: Vec<Sender<Command<P>>>,
     /// State of workers whose thread was crashed ([`LiveRunner::crash`]),
@@ -415,16 +419,17 @@ where
         drivers: Vec<Option<Driver<P>>>,
         config: LiveConfig,
     ) -> Self {
-        Self::spawn_inner(processes, drivers, config, None)
+        Self::spawn_with_transport(processes, drivers, config, &InMemory)
+            .expect("the in-memory transport is infallible")
     }
 
     /// Like [`LiveRunner::spawn_with_drivers`], but every link is a
-    /// multi-lane [`LiveLink::with_lanes`]: `lane_of` classifies each
-    /// message into one of `lanes` lanes, and the capacity bound (with
-    /// its §4 silent drop-on-full) is enforced per lane. This is how the
-    /// sharded mutex service shares one physical link per ordered process
-    /// pair among independent protocol instances without letting them
-    /// drop each other's messages.
+    /// multi-lane [`crate::LiveLink::with_lanes`]: `lane_of` classifies
+    /// each message into one of `lanes` lanes, and the capacity bound
+    /// (with its §4 silent drop-on-full) is enforced per lane. This is
+    /// how the sharded mutex service shares one physical link per ordered
+    /// process pair among independent protocol instances without letting
+    /// them drop each other's messages.
     pub fn spawn_with_drivers_laned(
         processes: Vec<P>,
         drivers: Vec<Option<Driver<P>>>,
@@ -432,14 +437,47 @@ where
         lanes: usize,
         lane_of: LaneOf<P::Msg>,
     ) -> Self {
-        Self::spawn_inner(processes, drivers, config, Some((lanes, lane_of)))
+        Self::spawn_with_transport_laned(processes, drivers, config, &InMemory, lanes, lane_of)
+            .expect("the in-memory transport is infallible")
+    }
+
+    /// Spawns the workers over an arbitrary [`Transport`] backend — the
+    /// in-memory [`InMemory`] links or real sockets (`snapstab-net`'s
+    /// `UdpLoopback`). Fallible because a networked backend binds OS
+    /// resources.
+    ///
+    /// # Panics
+    ///
+    /// See [`LiveRunner::spawn_with_drivers`].
+    pub fn spawn_with_transport(
+        processes: Vec<P>,
+        drivers: Vec<Option<Driver<P>>>,
+        config: LiveConfig,
+        transport: &dyn Transport<P::Msg>,
+    ) -> std::io::Result<Self> {
+        let links = transport.connect(processes.len(), &config, None)?;
+        Ok(Self::spawn_inner(processes, drivers, config, links))
+    }
+
+    /// The multi-lane variant of [`LiveRunner::spawn_with_transport`]
+    /// (see [`LiveRunner::spawn_with_drivers_laned`]).
+    pub fn spawn_with_transport_laned(
+        processes: Vec<P>,
+        drivers: Vec<Option<Driver<P>>>,
+        config: LiveConfig,
+        transport: &dyn Transport<P::Msg>,
+        lanes: usize,
+        lane_of: LaneOf<P::Msg>,
+    ) -> std::io::Result<Self> {
+        let links = transport.connect(processes.len(), &config, Some((lanes, lane_of)))?;
+        Ok(Self::spawn_inner(processes, drivers, config, links))
     }
 
     fn spawn_inner(
         processes: Vec<P>,
         drivers: Vec<Option<Driver<P>>>,
         config: LiveConfig,
-        lanes: Option<(usize, LaneOf<P::Msg>)>,
+        links: LinkMatrix<P::Msg>,
     ) -> Self {
         let n = processes.len();
         assert!(
@@ -447,34 +485,8 @@ where
             "a message-passing system needs at least 2 processes"
         );
         assert_eq!(drivers.len(), n, "one driver slot per process");
+        assert_eq!(links.len(), n * n, "transport built a full link matrix");
         let counter = Arc::new(AtomicU64::new(0));
-        let mut links: Vec<Option<Arc<LiveLink<P::Msg>>>> = Vec::with_capacity(n * n);
-        for from in 0..n {
-            for to in 0..n {
-                links.push((from != to).then(|| {
-                    Arc::new(match &lanes {
-                        None => LiveLink::new(
-                            ProcessId::new(from),
-                            ProcessId::new(to),
-                            config.capacity,
-                            config.loss,
-                            config.jitter,
-                            config.seed,
-                        ),
-                        Some((lanes, lane_of)) => LiveLink::with_lanes(
-                            ProcessId::new(from),
-                            ProcessId::new(to),
-                            config.capacity,
-                            config.loss,
-                            config.jitter,
-                            config.seed,
-                            *lanes,
-                            lane_of.clone(),
-                        ),
-                    })
-                }));
-            }
-        }
         let mut runner = LiveRunner {
             n,
             config,
@@ -514,7 +526,7 @@ where
         commands: Receiver<Command<P>>,
     ) -> JoinHandle<WorkerReport<P>> {
         let me = ProcessId::new(i);
-        let incoming: Vec<Arc<LiveLink<P::Msg>>> = (0..self.n)
+        let incoming: Vec<Arc<dyn Link<P::Msg>>> = (0..self.n)
             .filter(|&from| from != i)
             .map(|from| {
                 self.links[from * self.n + i]
@@ -523,7 +535,7 @@ where
                     .clone()
             })
             .collect();
-        let outgoing: Vec<Option<Arc<LiveLink<P::Msg>>>> = (0..self.n)
+        let outgoing: Vec<Option<Arc<dyn Link<P::Msg>>>> = (0..self.n)
             .map(|to| self.links[i * self.n + to].clone())
             .collect();
         let worker = Worker {

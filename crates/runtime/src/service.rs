@@ -34,6 +34,7 @@ use snapstab_core::shard::{
 use snapstab_sim::{ProcessId, Trace};
 
 use crate::runner::{Driver, LiveConfig, LiveRunner, LiveStats};
+use crate::transport::{InMemory, Transport};
 
 /// Configuration of a mutex-service run.
 #[derive(Clone, Debug)]
@@ -133,6 +134,16 @@ impl ServiceReport {
 /// assert!(report.requests_per_sec() > 0.0);
 /// ```
 pub fn run_mutex_service(cfg: &MutexServiceConfig) -> ServiceReport {
+    run_mutex_service_on(cfg, &InMemory).expect("the in-memory transport is infallible")
+}
+
+/// [`run_mutex_service`] over an arbitrary [`Transport`] backend (e.g.
+/// `snapstab-net`'s `UdpLoopback`). Fallible because a networked backend
+/// binds OS resources; the in-memory path cannot fail.
+pub fn run_mutex_service_on(
+    cfg: &MutexServiceConfig,
+    transport: &dyn Transport<MeMsg>,
+) -> std::io::Result<ServiceReport> {
     let n = cfg.n;
     let processes: Vec<MeProcess> = (0..n)
         .map(|i| {
@@ -186,7 +197,7 @@ pub fn run_mutex_service(cfg: &MutexServiceConfig) -> ServiceReport {
         .collect();
 
     let record = cfg.live.record_trace;
-    let runner = LiveRunner::spawn_with_drivers(processes, drivers, cfg.live.clone());
+    let runner = LiveRunner::spawn_with_transport(processes, drivers, cfg.live.clone(), transport)?;
     let deadline = Instant::now() + cfg.time_budget;
     while served.load(Ordering::Relaxed) < total && Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(2));
@@ -199,7 +210,7 @@ pub fn run_mutex_service(cfg: &MutexServiceConfig) -> ServiceReport {
         .map(|m| m.counters().cs_entries)
         .sum();
     let latencies = std::mem::take(&mut *latencies.lock().expect("latency log"));
-    ServiceReport {
+    Ok(ServiceReport {
         injected: injected.load(Ordering::Relaxed),
         served: served.load(Ordering::Relaxed),
         cs_entries,
@@ -208,7 +219,7 @@ pub fn run_mutex_service(cfg: &MutexServiceConfig) -> ServiceReport {
         trace: record.then_some(report.trace),
         processes: report.processes,
         latencies,
-    }
+    })
 }
 
 /// Configuration of a sharded, batching mutex-service run
@@ -223,7 +234,9 @@ pub struct ShardedServiceConfig {
     /// Maximum client requests served per critical-section grant.
     pub batch: usize,
     /// Client requests queued per process (all injected upfront, so the
-    /// batch queues stay deep until the tail of the run).
+    /// batch queues stay deep until the tail of the run). Size it by
+    /// target per-shard queue depth with
+    /// [`ShardedServiceConfig::with_queue_depth`].
     pub requests_per_process: u64,
     /// Resource keys are drawn uniformly from `0..key_space`; small
     /// spaces force intra-batch conflicts, large ones keep batches full.
@@ -235,6 +248,24 @@ pub struct ShardedServiceConfig {
     /// Wall-clock budget: the run stops when every request is served or
     /// this much time has passed, whichever is first.
     pub time_budget: Duration,
+}
+
+impl ShardedServiceConfig {
+    /// Returns a copy whose workload gives each per-shard client queue
+    /// an initial depth of `≈ depth`: every process injects
+    /// `depth * shards` requests, and the uniform hash partition spreads
+    /// them `≈ depth` per shard.
+    ///
+    /// Shallow queues starve
+    /// [`snapstab_core::request::BatchQueue::take_batch`] — with ~4
+    /// requests per shard queue at `n = 64` the realized batch factor
+    /// collapsed to 2.93 of 8 — so deepening them is the lever for batch
+    /// efficiency at large `n`. The CLI exposes this as
+    /// `snapstab live --queue-depth D`.
+    pub fn with_queue_depth(mut self, depth: u64) -> Self {
+        self.requests_per_process = depth * self.shards as u64;
+        self
+    }
 }
 
 impl Default for ShardedServiceConfig {
@@ -348,6 +379,16 @@ impl ShardedReport {
 /// With `shards == 1 && batch == 1` this degenerates to exactly
 /// [`run_mutex_service`]'s behaviour.
 pub fn run_sharded_service(cfg: &ShardedServiceConfig) -> ShardedReport {
+    run_sharded_service_on(cfg, &InMemory).expect("the in-memory transport is infallible")
+}
+
+/// [`run_sharded_service`] over an arbitrary [`Transport`] backend (e.g.
+/// `snapstab-net`'s `UdpLoopback`). Fallible because a networked backend
+/// binds OS resources; the in-memory path cannot fail.
+pub fn run_sharded_service_on(
+    cfg: &ShardedServiceConfig,
+    transport: &dyn Transport<ShardedMeMsg>,
+) -> std::io::Result<ShardedReport> {
     let n = cfg.n;
     let shards = cfg.shards;
     // S shards share each directed link. A naive share would let sibling
@@ -430,13 +471,14 @@ pub fn run_sharded_service(cfg: &ShardedServiceConfig) -> ShardedReport {
         .collect();
 
     let record = cfg.live.record_trace;
-    let runner = LiveRunner::spawn_with_drivers_laned(
+    let runner = LiveRunner::spawn_with_transport_laned(
         processes,
         drivers,
         cfg.live.clone(),
+        transport,
         shards,
         std::sync::Arc::new(|m: &ShardedMeMsg| m.shard as usize),
-    );
+    )?;
     let deadline = Instant::now() + cfg.time_budget;
     while served.load(Ordering::Relaxed) < total && Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(2));
@@ -445,7 +487,7 @@ pub fn run_sharded_service(cfg: &ShardedServiceConfig) -> ShardedReport {
 
     let latencies = std::mem::take(&mut *latencies.lock().expect("latency log"));
     let grant_log = std::mem::take(&mut *grant_log.lock().expect("grant log"));
-    ShardedReport {
+    Ok(ShardedReport {
         injected,
         served: served.load(Ordering::Relaxed),
         per_shard_served: per_shard_served
@@ -458,7 +500,7 @@ pub fn run_sharded_service(cfg: &ShardedServiceConfig) -> ShardedReport {
         trace: record.then_some(report.trace),
         processes: report.processes,
         latencies,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -552,6 +594,29 @@ mod tests {
         assert!((report.mean_batch() - 1.0).abs() < 1e-9);
         assert!(report.audit().holds());
         assert!(report.trace.is_none());
+    }
+
+    #[test]
+    fn queue_depth_overrides_requests_per_process() {
+        let cfg = ShardedServiceConfig {
+            n: 3,
+            shards: 2,
+            batch: 2,
+            requests_per_process: 1, // overwritten by with_queue_depth
+            live: LiveConfig {
+                record_trace: false,
+                ..LiveConfig::default()
+            },
+            time_budget: Duration::from_secs(45),
+            ..ShardedServiceConfig::default()
+        }
+        .with_queue_depth(3);
+        assert_eq!(cfg.requests_per_process, 6, "depth 3 × 2 shards");
+        let report = run_sharded_service(&cfg);
+        // 3 processes × (queue_depth 3 × 2 shards) requests each.
+        assert_eq!(report.injected.len(), 18);
+        assert_eq!(report.served, 18);
+        assert!(report.audit().holds());
     }
 
     #[test]

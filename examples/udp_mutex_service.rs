@@ -1,0 +1,69 @@
+//! The same mutual-exclusion service — but every message is a real UDP
+//! datagram: Algorithm 3 on one OS thread per process over loopback
+//! sockets (`snapstab-net`), with the paper's §4 channel semantics
+//! enforced in the receive path, judged by the unchanged Specification 3
+//! checker.
+//!
+//! Run with: `cargo run --release --example udp_mutex_service`
+
+use std::time::Duration;
+
+use snapstab_repro::core::spec::analyze_me_trace;
+use snapstab_repro::net::{udp_available, UdpLoopback};
+use snapstab_repro::runtime::{run_mutex_service_on, LiveConfig, MutexServiceConfig};
+
+fn main() {
+    if !udp_available() {
+        eprintln!("this environment forbids UDP loopback sockets; nothing to demo");
+        return;
+    }
+    let n = 8;
+    let cfg = MutexServiceConfig {
+        n,
+        requests_per_process: 25,
+        cs_duration: 0,
+        live: LiveConfig {
+            loss: 0.1, // injected on top of whatever the kernel loses
+            seed: 42,
+            record_trace: true, // keep the merged trace for the spec check
+            ..LiveConfig::default()
+        },
+        time_budget: Duration::from_secs(60),
+    };
+
+    println!(
+        "UDP mutex service: {n} worker threads, {} requests/process, 10% injected loss",
+        cfg.requests_per_process
+    );
+    // The transport object owns the demultiplexer threads; keep it alive
+    // for the duration of the run.
+    let transport = UdpLoopback::new();
+    let report = run_mutex_service_on(&cfg, &transport).expect("bind loopback sockets");
+
+    println!(
+        "served {}/{} requests in {:.2}s — {:.0} req/s, {:.0} datagrams/s through the sockets",
+        report.served,
+        report.injected,
+        report.wall.as_secs_f64(),
+        report.requests_per_sec(),
+        report.msgs_per_sec(),
+    );
+    let links = report.stats.links;
+    println!(
+        "link counters: {} sends, {} delivered, {} lost in transit, {} dropped on full lanes, {} dropped to keep FIFO",
+        links.sends, links.delivered, links.lost_in_transit, links.lost_full, links.lost_reorder,
+    );
+
+    // The same executable specification that judges simulated and
+    // in-memory live runs judges the UDP run.
+    let trace = report.trace.expect("recording was on");
+    let me = analyze_me_trace(&trace, n);
+    println!(
+        "Specification 3 on the merged trace: exclusivity holds = {}, {} of {} served",
+        me.exclusivity_holds(),
+        me.served.len(),
+        report.injected,
+    );
+    assert!(me.exclusivity_holds() && me.all_served());
+    println!("the UDP run satisfies the paper's mutual-exclusion specification");
+}

@@ -18,9 +18,13 @@
 //!   leader election, reset, phase barrier, termination detection), each
 //!   snap-stabilizing by construction on top of Theorem 2;
 //! * [`runtime`] — the *live* execution substrate: the same protocols on
-//!   real OS threads over a concurrent lossy transport, with merged
+//!   real OS threads over a pluggable concurrent transport, with merged
 //!   traces the spec checkers accept, and a mutual-exclusion service
 //!   front-end absorbing high-volume client request streams;
+//! * [`net`] — the UDP datagram backend of the runtime's `Transport`
+//!   abstraction: one socket per process, a 16-byte wire header, and the
+//!   §4 channel semantics (FIFO, bounded capacity, silent drop-on-full)
+//!   enforced in the receive path;
 //! * [`mc`] — an exhaustive explicit-state model checker: the 2-process
 //!   handshake verified over *every* initial configuration and *every*
 //!   interleaving, with machine-found shortest counterexamples for every
@@ -57,6 +61,7 @@ pub use snapstab_baselines as baselines;
 pub use snapstab_core as core;
 pub use snapstab_impossibility as impossibility;
 pub use snapstab_mc as mc;
+pub use snapstab_net as net;
 pub use snapstab_runtime as runtime;
 pub use snapstab_sim as sim;
 pub use snapstab_topology as topology;
