@@ -1,7 +1,7 @@
-//! Q6 — live-runtime mutex-service throughput sweeps (single-leader
-//! baseline + sharded/batched + in-memory-vs-UDP transport comparison);
-//! writes `BENCH_RUNTIME.json` so future PRs have a live-path trajectory
-//! to compare against.
+//! Q6 — live-runtime service throughput sweeps (single-leader mutex
+//! baseline + sharded/batched + in-memory-vs-UDP transport comparison +
+//! the snap-stabilizing forwarding service); writes `BENCH_RUNTIME.json`
+//! so future PRs have a live-path trajectory to compare against.
 //!
 //! Before writing, the emitted JSON is parsed back through the bench's
 //! own schema (`rtbench::validate_roundtrip`): a missing, renamed or
@@ -26,6 +26,7 @@ fn main() {
     let baseline = rtbench::sweep(fast);
     let sharded = rtbench::sweep_sharded(fast);
     let udp = rtbench::sweep_udp(fast);
+    let forwarding = rtbench::sweep_forwarding(fast);
     if !fast && udp.is_empty() {
         // A sandbox without sockets cannot measure the udp sweep; writing
         // would silently erase the committed rows (the schema requires
@@ -34,9 +35,12 @@ fn main() {
         std::process::exit(1);
     }
 
-    print!("{}", rtbench::render(&baseline, &sharded, &udp));
-    let json = rtbench::to_json(&baseline, &sharded, &udp);
-    if let Err(e) = rtbench::validate_roundtrip(&json, &baseline, &sharded, &udp) {
+    print!(
+        "{}",
+        rtbench::render(&baseline, &sharded, &udp, &forwarding)
+    );
+    let json = rtbench::to_json(&baseline, &sharded, &udp, &forwarding);
+    if let Err(e) = rtbench::validate_roundtrip(&json, &baseline, &sharded, &udp, &forwarding) {
         eprintln!("\nschema validation FAILED — not writing {json_path}: {e}");
         std::process::exit(1);
     }

@@ -6,7 +6,7 @@
 //! saturating client request stream, and reports end-to-end requests/sec,
 //! grants/sec and transport msgs/sec.
 //!
-//! Three sweeps feed `BENCH_RUNTIME.json`:
+//! Four sweeps feed `BENCH_RUNTIME.json`:
 //!
 //! * the **baseline** `n × loss` sweep
 //!   ([`run_mutex_service_on`]: one leader, one request
@@ -21,7 +21,13 @@
 //!   `n ∈ {8, 16, 32}` over the in-memory transport and over real UDP
 //!   loopback sockets (`snapstab-net`), side by side, so the cost of
 //!   crossing the kernel's datagram stack is a committed number. Every
-//!   row carries a `transport` tag.
+//!   row carries a `transport` tag;
+//! * the **forwarding** `n × loss` sweep
+//!   ([`run_forwarding_service_on`]: the snap-stabilizing message
+//!   forwarding protocol, every run starting from adversarially
+//!   stale-pre-filled buffers) — end-to-end payload delivery, the first
+//!   non-mutex workload in the artifact — plus an in-memory-vs-UDP pair
+//!   (rows tagged by `transport` like the udp sweep).
 //!
 //! Every row serializes the latency *distribution* (mean, p50, p99), not
 //! just the mean, and the emitted JSON is parsed back through the bench's
@@ -32,8 +38,8 @@ use std::time::Duration;
 
 use snapstab_net::UdpLoopback;
 use snapstab_runtime::{
-    run_mutex_service_on, run_sharded_service, InMemory, LiveConfig, MutexServiceConfig,
-    ShardedServiceConfig,
+    run_forwarding_service_on, run_mutex_service_on, run_sharded_service, ForwardingServiceConfig,
+    InMemory, LiveConfig, MutexServiceConfig, ShardedServiceConfig,
 };
 
 use crate::jsonv::{self, Value};
@@ -335,6 +341,131 @@ pub fn sweep_udp(fast: bool) -> Vec<RtResult> {
     results
 }
 
+/// Measures one forwarding configuration: `payloads_per_process` client
+/// payloads per process over the given transport backend, every run
+/// starting from adversarially stale-pre-filled buffers. In the
+/// [`struct@RtResult`] row, `served` (and `grants`) is the end-to-end
+/// delivered-payload count and `cs_entries` is 0 — forwarding has no
+/// critical sections.
+pub fn measure_forwarding(
+    n: usize,
+    transport: RtTransport,
+    loss: f64,
+    payloads_per_process: u64,
+    budget: Duration,
+    seed: u64,
+) -> RtResult {
+    let cfg = ForwardingServiceConfig {
+        n,
+        payloads_per_process,
+        buffer_cap: 4,
+        prefill_stale: true,
+        live: LiveConfig {
+            loss,
+            seed,
+            record_trace: false,
+            ..LiveConfig::default()
+        },
+        time_budget: budget,
+    };
+    let report = match transport {
+        RtTransport::InMem => run_forwarding_service_on(&cfg, &InMemory),
+        RtTransport::Udp => run_forwarding_service_on(&cfg, &UdpLoopback::new()),
+    }
+    .expect("transport setup (guard UDP rows with `udp_available`)");
+    let (mean_latency_ns, p50_latency_ns, p99_latency_ns) = latency_stats(&report.latencies);
+    RtResult {
+        n,
+        transport,
+        loss,
+        shards: 1,
+        batch: 1,
+        injected: report.injected,
+        served: report.delivered,
+        grants: report.delivered,
+        cs_entries: 0,
+        msgs: report.stats.links.enqueued,
+        wall_ns: report.wall.as_nanos(),
+        mean_latency_ns,
+        p50_latency_ns,
+        p99_latency_ns,
+    }
+}
+
+/// Runs the forwarding sweep: `n ∈ {8, 16, 32}` × `loss ∈ {0, 0.1,
+/// 0.3}` in-memory, plus an in-memory-vs-UDP pair at `n = 8` when the
+/// sandbox allows sockets (`--fast`: one tiny in-memory pair). Every
+/// run starts from stale-pre-filled buffers; the conformance tests
+/// assert the same configurations pass Specification 4.
+pub fn sweep_forwarding(fast: bool) -> Vec<RtResult> {
+    let grid: &[(usize, f64)] = if fast {
+        &[(4, 0.0), (4, 0.1)]
+    } else {
+        &[
+            (8, 0.0),
+            (8, 0.1),
+            (8, 0.3),
+            (16, 0.0),
+            (16, 0.1),
+            (16, 0.3),
+            (32, 0.0),
+            (32, 0.1),
+            (32, 0.3),
+        ]
+    };
+    let budget = if fast {
+        Duration::from_secs(20)
+    } else {
+        Duration::from_secs(120)
+    };
+    let mut results = Vec::new();
+    for &(n, loss) in grid {
+        let per_process: u64 = if fast {
+            4
+        } else {
+            // Hop-local transfers parallelize along the line, so the
+            // delivered rate falls much more slowly with n than the
+            // single-leader mutex service; sized for ~15–60s per row.
+            let base: u64 = match n {
+                8 => 3_000,
+                16 => 1_500,
+                _ => 700,
+            };
+            let factor = if loss == 0.0 {
+                1.0
+            } else if loss < 0.2 {
+                0.5
+            } else {
+                0.25
+            };
+            ((base as f64 * factor) as u64).max(10)
+        };
+        results.push(measure_forwarding(
+            n,
+            RtTransport::InMem,
+            loss,
+            per_process,
+            budget,
+            0xF0D ^ n as u64,
+        ));
+    }
+    if !fast {
+        if snapstab_net::udp_available() {
+            for transport in [RtTransport::InMem, RtTransport::Udp] {
+                results.push(measure_forwarding(
+                    8, transport, 0.0, 400, budget, 0xF0D_0DD5,
+                ));
+            }
+        } else {
+            eprintln!(
+                "warning: UDP loopback unavailable in this sandbox; \
+                 skipping the forwarding udp pair"
+            );
+        }
+    }
+    results
+}
+
 /// The expected single-leader req/s at `n` (the PR 2 baseline), used only
 /// to size the sharded sweep's request queues.
 fn baseline_reqs_per_sec(n: usize) -> f64 {
@@ -436,10 +567,15 @@ const COLUMNS: [&str; 13] = [
     "p99 ms",
 ];
 
-/// Renders all three sweeps as the repo's standard ASCII tables.
-pub fn render(baseline: &[RtResult], sharded: &[RtResult], udp: &[RtResult]) -> String {
+/// Renders all four sweeps as the repo's standard ASCII tables.
+pub fn render(
+    baseline: &[RtResult],
+    sharded: &[RtResult],
+    udp: &[RtResult],
+    forwarding: &[RtResult],
+) -> String {
     let mut out = String::new();
-    out.push_str("=== Q6: live-runtime mutex service (1 OS thread per process) ===\n\n");
+    out.push_str("=== Q6: live-runtime services (1 OS thread per process) ===\n\n");
     out.push_str("baseline (single leader, one request per grant):\n");
     let mut table = Table::new(&COLUMNS);
     push_rows(&mut table, baseline);
@@ -456,19 +592,34 @@ pub fn render(baseline: &[RtResult], sharded: &[RtResult], udp: &[RtResult]) -> 
         push_rows(&mut table, udp);
         out.push_str(&table.render());
     }
+    if !forwarding.is_empty() {
+        out.push_str(
+            "\nforwarding service (stale-pre-filled buffers; served = \
+             payloads delivered end-to-end):\n",
+        );
+        let mut table = Table::new(&COLUMNS);
+        push_rows(&mut table, forwarding);
+        out.push_str(&table.render());
+    }
     let total: u64 = baseline
         .iter()
         .chain(sharded)
         .chain(udp)
+        .chain(forwarding)
         .map(|r| r.served)
         .sum();
     out.push_str(&format!("\ntotal requests served end-to-end: {total}\n"));
     out
 }
 
-/// Measures all three sweeps and renders them.
+/// Measures all four sweeps and renders them.
 pub fn run(fast: bool) -> String {
-    render(&sweep(fast), &sweep_sharded(fast), &sweep_udp(fast))
+    render(
+        &sweep(fast),
+        &sweep_sharded(fast),
+        &sweep_udp(fast),
+        &sweep_forwarding(fast),
+    )
 }
 
 fn row_json(r: &RtResult) -> String {
@@ -494,10 +645,15 @@ fn row_json(r: &RtResult) -> String {
     )
 }
 
-/// All three sweeps as a JSON document (hand-rolled: the workspace is
+/// All four sweeps as a JSON document (hand-rolled: the workspace is
 /// offline and carries no serde), shaped like `BENCH_STEPLOOP.json`.
 /// Validate with [`from_json`] before committing.
-pub fn to_json(baseline: &[RtResult], sharded: &[RtResult], udp: &[RtResult]) -> String {
+pub fn to_json(
+    baseline: &[RtResult],
+    sharded: &[RtResult],
+    udp: &[RtResult],
+    forwarding: &[RtResult],
+) -> String {
     let mut out = String::from(
         "{\n  \"experiment\": \"live_runtime_mutex_service\",\n  \"unit\": \"requests_per_sec\",\n  \"results\": [\n",
     );
@@ -512,10 +668,13 @@ pub fn to_json(baseline: &[RtResult], sharded: &[RtResult], udp: &[RtResult]) ->
     push_array(&mut out, sharded);
     out.push_str("  ],\n  \"udp\": [\n");
     push_array(&mut out, udp);
+    out.push_str("  ],\n  \"forwarding\": [\n");
+    push_array(&mut out, forwarding);
     let total: u64 = baseline
         .iter()
         .chain(sharded)
         .chain(udp)
+        .chain(forwarding)
         .map(|r| r.served)
         .sum();
     out.push_str(&format!("  ],\n  \"total_served\": {total}\n}}\n"));
@@ -578,14 +737,27 @@ fn row_from_value(row: &Value) -> Result<RtResult, String> {
 }
 
 /// Parses a `BENCH_RUNTIME.json` document back through the bench's own
-/// schema: `(baseline rows, sharded rows, udp rows, total_served)`.
+/// schema: `(baseline rows, sharded rows, udp rows, forwarding rows,
+/// total_served)`.
 /// Every row must carry every field of [`struct@RtResult`]: the numeric
 /// source fields (plus the derived rates) as numbers and the `transport`
 /// tag as a known string; anything missing, extra-typed or structurally
-/// off is an error. `from_json(to_json(b, s, u))` reproduces `b`/`s`/`u`
-/// exactly (derived rates are recomputed from the source fields).
+/// off is an error. `from_json(to_json(b, s, u, f))` reproduces
+/// `b`/`s`/`u`/`f` exactly (derived rates are recomputed from the source
+/// fields).
 #[allow(clippy::type_complexity)]
-pub fn from_json(doc: &str) -> Result<(Vec<RtResult>, Vec<RtResult>, Vec<RtResult>, u64), String> {
+pub fn from_json(
+    doc: &str,
+) -> Result<
+    (
+        Vec<RtResult>,
+        Vec<RtResult>,
+        Vec<RtResult>,
+        Vec<RtResult>,
+        u64,
+    ),
+    String,
+> {
     let value = jsonv::parse(doc)?;
     if value.get("experiment").and_then(Value::as_str) != Some("live_runtime_mutex_service") {
         return Err("wrong or missing `experiment` tag".into());
@@ -606,6 +778,7 @@ pub fn from_json(doc: &str) -> Result<(Vec<RtResult>, Vec<RtResult>, Vec<RtResul
     let baseline = rows("results")?;
     let sharded = rows("sharded")?;
     let udp = rows("udp")?;
+    let forwarding = rows("forwarding")?;
     let total = value
         .get("total_served")
         .and_then(Value::as_num)
@@ -614,6 +787,7 @@ pub fn from_json(doc: &str) -> Result<(Vec<RtResult>, Vec<RtResult>, Vec<RtResul
         .iter()
         .chain(&sharded)
         .chain(&udp)
+        .chain(&forwarding)
         .map(|r| r.served)
         .sum();
     if total != served {
@@ -621,7 +795,7 @@ pub fn from_json(doc: &str) -> Result<(Vec<RtResult>, Vec<RtResult>, Vec<RtResul
             "total_served {total} disagrees with the rows' sum {served}"
         ));
     }
-    Ok((baseline, sharded, udp, total))
+    Ok((baseline, sharded, udp, forwarding, total))
 }
 
 /// Validates that a document emitted by [`to_json`] round-trips through
@@ -633,8 +807,9 @@ pub fn validate_roundtrip(
     baseline: &[RtResult],
     sharded: &[RtResult],
     udp: &[RtResult],
+    forwarding: &[RtResult],
 ) -> Result<(), String> {
-    let (b, s, u, _) = from_json(doc)?;
+    let (b, s, u, f, _) = from_json(doc)?;
     if b != baseline {
         return Err("baseline rows did not round-trip".into());
     }
@@ -643,6 +818,9 @@ pub fn validate_roundtrip(
     }
     if u != udp {
         return Err("udp rows did not round-trip".into());
+    }
+    if f != forwarding {
+        return Err("forwarding rows did not round-trip".into());
     }
     Ok(())
 }
@@ -719,30 +897,63 @@ mod tests {
         }
     }
 
+    fn sample_forwarding_row(n: usize) -> RtResult {
+        RtResult {
+            cs_entries: 0,
+            ..sample_row(n, 1, 1)
+        }
+    }
+
+    #[test]
+    fn measure_forwarding_delivers_payloads() {
+        let r = measure_forwarding(3, RtTransport::InMem, 0.0, 2, Duration::from_secs(30), 1);
+        assert_eq!(r.n, 3);
+        assert_eq!(r.served, 6, "all payloads delivered");
+        assert_eq!(r.cs_entries, 0, "forwarding has no critical sections");
+        assert_eq!((r.shards, r.batch), (1, 1));
+        assert!(r.requests_per_sec() > 0.0);
+        assert!(r.msgs_per_sec() > 0.0);
+        assert!(r.p50_latency_ns <= r.p99_latency_ns);
+    }
+
+    #[test]
+    fn measure_forwarding_udp_delivers_payloads() {
+        if !snapstab_net::udp_available() {
+            eprintln!("warning: UDP loopback unavailable in this sandbox; skipping");
+            return;
+        }
+        let r = measure_forwarding(3, RtTransport::Udp, 0.0, 2, Duration::from_secs(30), 1);
+        assert_eq!(r.served, 6);
+        assert_eq!(r.transport, RtTransport::Udp);
+    }
+
     #[test]
     fn json_shape_and_roundtrip() {
         let baseline = vec![sample_row(8, 1, 1)];
         let sharded = vec![sample_row(32, 4, 4), sample_row(32, 8, 8)];
         let udp = vec![sample_row(8, 1, 1), sample_udp_row(8)];
-        let j = to_json(&baseline, &sharded, &udp);
+        let forwarding = vec![sample_forwarding_row(8), sample_forwarding_row(16)];
+        let j = to_json(&baseline, &sharded, &udp, &forwarding);
         assert!(j.contains("live_runtime_mutex_service"));
         assert!(j.contains("\"p99_latency_ns\": 9000"));
         assert!(j.contains("\"transport\": \"inmem\""));
         assert!(j.contains("\"transport\": \"udp\""));
-        assert!(j.contains("\"total_served\": 50"));
+        assert!(j.contains("\"forwarding\": ["));
+        assert!(j.contains("\"total_served\": 70"));
         assert!(j.trim_end().ends_with('}'));
-        let (b, s, u, total) = from_json(&j).expect("parses");
+        let (b, s, u, f, total) = from_json(&j).expect("parses");
         assert_eq!(b, baseline);
         assert_eq!(s, sharded);
         assert_eq!(u, udp);
-        assert_eq!(total, 50);
-        validate_roundtrip(&j, &baseline, &sharded, &udp).expect("round-trips");
+        assert_eq!(f, forwarding);
+        assert_eq!(total, 70);
+        validate_roundtrip(&j, &baseline, &sharded, &udp, &forwarding).expect("round-trips");
     }
 
     #[test]
     fn from_json_rejects_field_drift() {
         let baseline = vec![sample_row(8, 1, 1)];
-        let good = to_json(&baseline, &[], &[]);
+        let good = to_json(&baseline, &[], &[], &[]);
         // Rename a field: the schema check must notice.
         let renamed = good.replace("\"p99_latency_ns\"", "\"p99\"");
         let err = from_json(&renamed).unwrap_err();
@@ -767,12 +978,22 @@ mod tests {
             .unwrap_err()
             .contains("not a string"));
         // A document missing the udp array entirely is drift.
-        let (head, _) = good.split_once("  \"udp\"").expect("udp array present");
-        let no_udp = format!("{head}  \"total_served\": 10\n}}\n");
+        let (head, tail) = good.split_once("  \"udp\"").expect("udp array present");
+        let udp_tail = tail.split_once("  ],\n").expect("udp array closes").1;
+        let no_udp = format!("{head}{udp_tail}");
         assert!(from_json(&no_udp).unwrap_err().contains("udp"));
+        // So is a document missing the forwarding array (a PR-4-era file
+        // must be regenerated, not silently accepted).
+        let (head, _) = good
+            .split_once("  \"forwarding\"")
+            .expect("forwarding array present");
+        let no_forwarding = format!("{head}  \"total_served\": 10\n}}\n");
+        assert!(from_json(&no_forwarding)
+            .unwrap_err()
+            .contains("forwarding"));
         // And the round-trip validator catches value changes.
         let off_by_one = good.replace("\"msgs\": 1000", "\"msgs\": 1001");
-        assert!(validate_roundtrip(&off_by_one, &baseline, &[], &[]).is_err());
+        assert!(validate_roundtrip(&off_by_one, &baseline, &[], &[], &[]).is_err());
     }
 
     #[test]
@@ -781,12 +1002,14 @@ mod tests {
             &[sample_row(8, 1, 1)],
             &[sample_row(32, 4, 4)],
             &[sample_row(8, 1, 1), sample_udp_row(8)],
+            &[sample_forwarding_row(8)],
         );
         assert!(out.contains("baseline"));
         assert!(out.contains("sharded multi-leader"));
         assert!(out.contains("transport comparison"));
         assert!(out.contains("udp"));
+        assert!(out.contains("forwarding service"));
         assert!(out.contains("p99 ms"));
-        assert!(out.contains("total requests served end-to-end: 40"));
+        assert!(out.contains("total requests served end-to-end: 50"));
     }
 }

@@ -21,8 +21,10 @@ USAGE: snapstab <command> [options]
 COMMANDS
   idl            one IDs-Learning computation (Algorithm 2, simulated)
   me             a mutual-exclusion workload (Algorithm 3, simulated)
-  live           the mutex service on the live runtime: one OS thread per
+  live           a service on the live runtime: one OS thread per
                  process over a concurrent lossy transport
+                 (--app mutex: the mutual-exclusion service;
+                  --app forward: snap-stabilizing message forwarding)
   impossibility  the Theorem 1 construction and replay
   help           this text
 
@@ -36,7 +38,8 @@ COMMON OPTIONS
 COMMAND OPTIONS
   me:            --steps <int> (default 60000), --requests <int> (default 3),
                  --cs-duration <int> (default 0)
-  live:          --requests <int> per process (default 50),
+  live:          --app {mutex|forward} (default mutex),
+                 --requests <int> per process (default 50),
                  --cs-duration <int> (default 0), --budget-secs <int>
                  (default 60), --check (record + spec-check the trace),
                  --transport {inmem|udp} (default inmem; udp runs the
@@ -46,7 +49,10 @@ COMMAND OPTIONS
                  with request batching (--key-space <int>, default 65536);
                  --queue-depth <int> (default 0): when set, runs the
                  sharded service with each per-shard client queue
-                 starting ~that deep instead of --requests
+                 starting ~that deep instead of --requests;
+                 forward only: --buffer <int> (default 4) per-lane
+                 buffer capacity, --stale (adversarially pre-fill every
+                 buffer with stale entries before starting)
   impossibility: --cs-duration <int> (default 8)
 ";
 
@@ -215,6 +221,26 @@ impl LiveFlags {
 /// The valid `--transport` backends, listed in the exit-2 error message.
 const TRANSPORTS: [&str; 2] = ["inmem", "udp"];
 
+/// The valid `--app` workloads of the `live` subcommand, listed in the
+/// exit-2 error message (same convention as `--transport`).
+const APPS: [&str; 2] = ["mutex", "forward"];
+
+/// Validates `--app`, or an exit-2 usage error matching the
+/// `--transport` precedent.
+fn parse_app(name: &str) -> Result<&str, (String, i32)> {
+    if APPS.contains(&name) {
+        Ok(name)
+    } else {
+        Err((
+            format!(
+                "unknown --app `{name}`: valid values are {}\n\n{USAGE}",
+                APPS.join(", ")
+            ),
+            2,
+        ))
+    }
+}
+
 /// Resolves `--transport` to a backend object, or an exit-2 usage error
 /// (matching the unknown-subcommand convention).
 fn parse_transport<M: snapstab_net::Wire + Send + 'static>(
@@ -235,6 +261,11 @@ fn parse_transport<M: snapstab_net::Wire + Send + 'static>(
 
 pub fn cmd_live(args: &Args) -> (String, i32) {
     use snapstab_runtime::{LiveConfig, MutexServiceConfig};
+    match parse_app(&args.get_or("app", "mutex".to_string())) {
+        Ok("forward") => return cmd_live_forward(args),
+        Ok(_) => {}
+        Err(err) => return err,
+    }
     let LiveFlags {
         n,
         seed,
@@ -441,6 +472,111 @@ fn cmd_live_sharded(args: &Args) -> (String, i32) {
     (out, i32::from(failed))
 }
 
+/// The forwarding variant of the `live` subcommand
+/// (`--app forward`): the snap-stabilizing message-forwarding service —
+/// payload delivery under loss and (with `--stale`) adversarially
+/// pre-filled buffers — judged, under `--check`, by executable
+/// Specification 4 on the merged trace.
+fn cmd_live_forward(args: &Args) -> (String, i32) {
+    use snapstab_core::spec::analyze_forwarding_trace;
+    use snapstab_runtime::{ForwardingServiceConfig, LiveConfig};
+    // The shared flags come from the same parse as the mutex variants,
+    // so their defaults cannot diverge; `--requests` doubles as the
+    // per-process payload count.
+    let LiveFlags {
+        n,
+        seed,
+        loss,
+        requests: payloads,
+        budget_secs,
+        check,
+        transport,
+        ..
+    } = LiveFlags::parse(args);
+    let buffer_cap: usize = args.get_or("buffer", 4);
+    if buffer_cap == 0 {
+        return (
+            format!("invalid --buffer 0: lanes need at least one slot\n\n{USAGE}"),
+            2,
+        );
+    }
+    let stale = args.has("stale");
+    let backend = match parse_transport::<snapstab_core::forward::ForwardMsg>(&transport) {
+        Ok(b) => b,
+        Err(err) => return err,
+    };
+
+    let cfg = ForwardingServiceConfig {
+        n,
+        payloads_per_process: payloads,
+        buffer_cap,
+        prefill_stale: stale,
+        live: LiveConfig {
+            loss,
+            seed,
+            record_trace: check,
+            ..LiveConfig::default()
+        },
+        time_budget: std::time::Duration::from_secs(budget_secs),
+    };
+    let mut out = format!(
+        "Live forwarding service: n={n} worker threads ({transport} transport), \
+         loss={loss}, {payloads} payload(s) per process, buffer cap {buffer_cap}\
+         {}, budget {budget_secs}s\n",
+        if stale {
+            ", stale-pre-filled buffers"
+        } else {
+            ""
+        }
+    );
+    let report = match snapstab_runtime::run_forwarding_service_on(&cfg, backend.as_ref()) {
+        Ok(report) => report,
+        Err(e) => return (format!("{out}transport setup failed: {e}\n"), 1),
+    };
+    let total = payloads * n as u64;
+    out.push_str(&format!(
+        "delivered {}/{} payloads in {:.2}s: {:.0} payloads/s, {:.0} msgs/s, \
+         {} spurious stale flush(es)\n",
+        report.delivered,
+        total,
+        report.wall.as_secs_f64(),
+        report.payloads_per_sec(),
+        report.msgs_per_sec(),
+        report.spurious,
+    ));
+    if let Some((min, mean, max)) = report.latency_min_mean_max() {
+        out.push_str(&format!(
+            "end-to-end latency: min {:.2} / mean {:.2} / max {:.2} ms\n",
+            min.as_secs_f64() * 1e3,
+            mean.as_secs_f64() * 1e3,
+            max.as_secs_f64() * 1e3,
+        ));
+    }
+    let mut failed = report.delivered < total;
+    if let Some(trace) = &report.trace {
+        let spec = analyze_forwarding_trace(trace, n);
+        out.push_str(&format!(
+            "spec 4 on the merged live trace: lost: {}; duplicated ids: {}; \
+             corrupt deliveries: {}; spurious: {}; holds: {}\n",
+            spec.lost.len(),
+            spec.duplicate_ids.len(),
+            spec.corrupt_deliveries.len(),
+            spec.spurious,
+            spec.holds(),
+        ));
+        failed |= !spec.holds();
+    }
+    if args.has("trace") {
+        for (i, lat) in report.latencies.iter().take(20).enumerate() {
+            out.push_str(&format!(
+                "  payload {i}: {:.2} ms\n",
+                lat.as_secs_f64() * 1e3
+            ));
+        }
+    }
+    (out, i32::from(failed))
+}
+
 /// Runs the `impossibility` subcommand; returns the report text.
 pub fn cmd_impossibility(args: &Args) -> String {
     let n: usize = args.get_or("n", 3);
@@ -583,6 +719,57 @@ mod tests {
         let (out, code) = cmd_live(&parse("live --n 3 --shards 2 --transport tcp"));
         assert_eq!(code, 2, "{out}");
         assert!(out.contains("valid values are inmem, udp"), "{out}");
+    }
+
+    #[test]
+    fn live_unknown_app_exits_2_and_lists_valid_set() {
+        let (out, code) = cmd_live(&parse("live --n 3 --app carrier-pigeon"));
+        assert_eq!(code, 2, "usage errors exit 2:\n{out}");
+        assert!(out.contains("unknown --app `carrier-pigeon`"), "{out}");
+        assert!(out.contains("valid values are mutex, forward"), "{out}");
+        assert!(out.contains("USAGE"), "{out}");
+    }
+
+    #[test]
+    fn live_forward_delivers_and_checks_spec4() {
+        let (out, code) = cmd_live(&parse(
+            "live --app forward --n 3 --requests 2 --stale --check --budget-secs 40",
+        ));
+        assert!(out.contains("Live forwarding service"), "{out}");
+        assert!(out.contains("stale-pre-filled buffers"), "{out}");
+        assert!(out.contains("delivered 6/6"), "{out}");
+        assert!(out.contains("holds: true"), "{out}");
+        assert_eq!(code, 0, "healthy forwarding run exits 0:\n{out}");
+    }
+
+    #[test]
+    fn live_forward_zero_buffer_exits_2() {
+        let (out, code) = cmd_live(&parse("live --app forward --n 3 --buffer 0"));
+        assert_eq!(code, 2, "usage errors exit 2:\n{out}");
+        assert!(out.contains("invalid --buffer 0"), "{out}");
+        assert!(out.contains("USAGE"), "{out}");
+    }
+
+    #[test]
+    fn live_forward_validates_transport_too() {
+        let (out, code) = cmd_live(&parse("live --app forward --n 3 --transport tcp"));
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("valid values are inmem, udp"), "{out}");
+    }
+
+    #[test]
+    fn live_forward_udp_transport_delivers() {
+        if !snapstab_net::udp_available() {
+            eprintln!("warning: UDP loopback unavailable in this sandbox; skipping");
+            return;
+        }
+        let (out, code) = cmd_live(&parse(
+            "live --app forward --n 3 --requests 1 --transport udp --check --budget-secs 40",
+        ));
+        assert!(out.contains("udp transport"), "{out}");
+        assert!(out.contains("delivered 3/3"), "{out}");
+        assert!(out.contains("holds: true"), "{out}");
+        assert_eq!(code, 0, "healthy UDP forwarding run exits 0:\n{out}");
     }
 
     #[test]

@@ -25,6 +25,12 @@
 //!   values ([`flag::FlagDomain::for_capacity`]); the canonical scaled
 //!   Figure 1 adversary realizes the `2c + 1` stale-increment bound and
 //!   breaks every smaller domain.
+//! * [`forward`] — the snap-stabilizing *message forwarding* application
+//!   (the Cournier–Dubois–Villain line of work built on this paper):
+//!   client payloads routed hop-by-hop through bounded buffers, each hop
+//!   transfer validated by the paper's per-link flag handshake, with the
+//!   end-to-end exactly-once promise executable as Specification 4
+//!   ([`spec::analyze_forwarding_trace`]).
 //! * [`shard`] — the scaled *service* layer: `S` independent Algorithm 3
 //!   instances (one leader each, [`shard::ShardedMe`]) own
 //!   hash-partitioned slices of a resource space, and each
@@ -68,6 +74,7 @@
 
 pub mod capacity;
 pub mod flag;
+pub mod forward;
 pub mod harness;
 pub mod idl;
 pub mod me;

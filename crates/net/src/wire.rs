@@ -26,6 +26,7 @@
 //! dropped (a fair-lossy channel is allowed to lose them).
 
 use snapstab_core::flag::Flag;
+use snapstab_core::forward::{ForwardMsg, HopAck, Payload};
 use snapstab_core::idl::IdlQuery;
 use snapstab_core::me::{MeBroadcast, MeFeedback};
 use snapstab_core::pif::PifMsg;
@@ -271,6 +272,70 @@ impl<B: Wire, F: Wire> Wire for PifMsg<B, F> {
     }
 }
 
+impl Wire for Payload {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.src.encode(out);
+        self.dst.encode(out);
+        self.id.encode(out);
+        self.data.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        Some(Payload {
+            src: u16::decode(r)?,
+            dst: u16::decode(r)?,
+            id: u64::decode(r)?,
+            data: u64::decode(r)?,
+        })
+    }
+}
+
+impl Wire for HopAck {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            HopAck::Refused => out.push(0),
+            HopAck::Accepted(id) => {
+                out.push(1);
+                id.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        Some(match r.u8()? {
+            0 => HopAck::Refused,
+            1 => HopAck::Accepted(u64::decode(r)?),
+            _ => return None,
+        })
+    }
+}
+
+impl Wire for ForwardMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match &self.payload {
+            None => out.push(0),
+            Some(p) => {
+                out.push(1);
+                p.encode(out);
+            }
+        }
+        self.ack.encode(out);
+        self.sender_state.encode(out);
+        self.echoed_state.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        let payload = match r.u8()? {
+            0 => None,
+            1 => Some(Payload::decode(r)?),
+            _ => return None,
+        };
+        Some(ForwardMsg {
+            payload,
+            ack: HopAck::decode(r)?,
+            sender_state: Flag::decode(r)?,
+            echoed_state: Flag::decode(r)?,
+        })
+    }
+}
+
 impl Wire for ShardedMeMsg {
     fn encode(&self, out: &mut Vec<u8>) {
         self.shard.encode(out);
@@ -336,6 +401,55 @@ mod tests {
                 echoed_state: Flag::new(4),
             },
         });
+    }
+
+    #[test]
+    fn forward_messages_round_trip() {
+        let payload = Payload {
+            src: 2,
+            dst: 5,
+            id: 0x8000_0000_0000_0007,
+            data: 0xDEAD_BEEF_CAFE_F00D,
+        };
+        for p in [None, Some(payload)] {
+            for ack in [HopAck::Refused, HopAck::Accepted(0x42)] {
+                roundtrip(ForwardMsg {
+                    payload: p,
+                    ack,
+                    sender_state: Flag::new(3),
+                    echoed_state: Flag::new(1),
+                });
+            }
+        }
+        roundtrip(payload);
+        roundtrip(HopAck::Accepted(u64::MAX));
+        roundtrip(HopAck::Refused);
+    }
+
+    #[test]
+    fn forward_invalid_tags_rejected() {
+        // Unknown payload-option tag.
+        assert_eq!(decode_exact::<ForwardMsg>(&[9]), None);
+        // Unknown ack tag.
+        assert_eq!(decode_exact::<HopAck>(&[7]), None);
+        // Truncated payload.
+        let mut buf = Vec::new();
+        ForwardMsg {
+            payload: Some(Payload {
+                src: 0,
+                dst: 1,
+                id: 1,
+                data: 2,
+            }),
+            ack: HopAck::Refused,
+            sender_state: Flag::new(0),
+            echoed_state: Flag::new(0),
+        }
+        .encode(&mut buf);
+        assert_eq!(decode_exact::<ForwardMsg>(&buf[..buf.len() - 1]), None);
+        // Trailing bytes are malformed too.
+        buf.push(0);
+        assert_eq!(decode_exact::<ForwardMsg>(&buf), None);
     }
 
     #[test]

@@ -90,6 +90,18 @@
 //! assert!(report.audit().holds());
 //! ```
 //!
+//! ## The forwarding service
+//!
+//! [`run_forwarding_service`] drives the snap-stabilizing *message
+//! forwarding* protocol (`snapstab_core::forward`): every worker hosts
+//! one hop of the process line, a per-process injection queue feeds
+//! client payloads, and end-to-end delivery latencies are timed from
+//! source to destination. Runs may start from adversarially pre-filled
+//! buffers (`prefill_stale`), and the merged trace is judged by
+//! executable Specification 4
+//! (`snapstab_core::spec::analyze_forwarding_trace`) — the same checker
+//! the simulator harness uses.
+//!
 //! ## Pluggable transports
 //!
 //! The runner is generic over its message substrate: the [`Transport`]
@@ -120,7 +132,8 @@ pub mod transport;
 pub use link::{LaneOf, LinkStats, LiveLink};
 pub use runner::{Driver, LiveConfig, LiveReport, LiveRunner, LiveStats, Scribe, WorkerStats};
 pub use service::{
-    run_mutex_service, run_mutex_service_on, run_sharded_service, run_sharded_service_on,
+    run_forwarding_service, run_forwarding_service_on, run_mutex_service, run_mutex_service_on,
+    run_sharded_service, run_sharded_service_on, ForwardingServiceConfig, ForwardingServiceReport,
     MutexServiceConfig, ServiceReport, ShardedReport, ShardedServiceConfig,
 };
 pub use transport::{InMemory, Link, LinkMatrix, Transport};

@@ -1,6 +1,7 @@
-//! The mutex service front-ends: a single-leader [`MeProcess`] service
-//! ([`run_mutex_service`]) and its sharded, batching generalization
-//! ([`run_sharded_service`]).
+//! The service front-ends: a single-leader [`MeProcess`] mutex service
+//! ([`run_mutex_service`]), its sharded, batching generalization
+//! ([`run_sharded_service`]), and the end-to-end message-forwarding
+//! service ([`run_forwarding_service`]).
 //!
 //! The single-leader service runs one [`MeProcess`] (Algorithm 3) per
 //! worker thread and gives every worker a driver hook holding a queue of
@@ -22,16 +23,20 @@
 //! [`snapstab_core::shard::project_shard_trace`] slices the merged trace
 //! into per-shard traces for the Specification 3 checkers.
 
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use snapstab_core::forward::{
+    forward_workload, ForwardConfig, ForwardEvent, ForwardMsg, ForwardProcess, STALE_ID_BIT,
+};
 use snapstab_core::me::{MeConfig, MeEvent, MeMsg, MeProcess};
 use snapstab_core::request::{ClientRequest, RequestState};
 use snapstab_core::shard::{
     inject_requests, shard_marker, GrantAudit, GrantLog, ShardedMe, ShardedMeEvent, ShardedMeMsg,
 };
-use snapstab_sim::{ProcessId, Trace};
+use snapstab_sim::{ProcessId, SimRng, Trace};
 
 use crate::runner::{Driver, LiveConfig, LiveRunner, LiveStats};
 use crate::transport::{InMemory, Transport};
@@ -503,6 +508,211 @@ pub fn run_sharded_service_on(
     })
 }
 
+/// Configuration of a forwarding-service run
+/// ([`run_forwarding_service`]).
+#[derive(Clone, Debug)]
+pub struct ForwardingServiceConfig {
+    /// Number of processes on the line (= worker threads).
+    pub n: usize,
+    /// Client payloads injected per process (destinations drawn
+    /// uniformly by the shared
+    /// [`forward_workload`] stream).
+    pub payloads_per_process: u64,
+    /// Per-lane buffer capacity of every process.
+    pub buffer_cap: usize,
+    /// Start from adversarially pre-filled buffers: every process's
+    /// lanes and hop slots are stuffed with distinct stale entries
+    /// before the workers spawn
+    /// ([`ForwardProcess::prefill_stale`]) — the
+    /// arbitrary-initial-buffer configuration Specification 4 is judged
+    /// against.
+    pub prefill_stale: bool,
+    /// Transport and scheduling configuration. The per-hop flag domain
+    /// is sized from `live.capacity` by the §4 rule.
+    pub live: LiveConfig,
+    /// Wall-clock budget: the run stops when every genuine payload is
+    /// delivered or this much time has passed, whichever is first.
+    pub time_budget: Duration,
+}
+
+impl Default for ForwardingServiceConfig {
+    fn default() -> Self {
+        ForwardingServiceConfig {
+            n: 4,
+            payloads_per_process: 10,
+            buffer_cap: 4,
+            prefill_stale: false,
+            live: LiveConfig::default(),
+            time_budget: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Outcome of a forwarding-service run.
+pub struct ForwardingServiceReport {
+    /// Genuine payloads handed to the protocol (`request_send`
+    /// accepted).
+    pub injected: u64,
+    /// Genuine payloads delivered end-to-end at their destinations.
+    pub delivered: u64,
+    /// Spurious deliveries: stale pre-filled entries flushed end-to-end
+    /// (allowed by Specification 4, at most once each).
+    pub spurious: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Aggregate runtime counters.
+    pub stats: LiveStats,
+    /// The merged trace (`None` when recording was off), ready for
+    /// [`snapstab_core::spec::analyze_forwarding_trace`].
+    pub trace: Option<Trace<ForwardMsg, ForwardEvent>>,
+    /// Final process states.
+    pub processes: Vec<ForwardProcess>,
+    /// Per-payload end-to-end latencies (injection to delivery at the
+    /// destination).
+    pub latencies: Vec<Duration>,
+}
+
+impl ForwardingServiceReport {
+    /// Genuine payloads delivered per second.
+    pub fn payloads_per_sec(&self) -> f64 {
+        self.delivered as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Transport messages enqueued per second.
+    pub fn msgs_per_sec(&self) -> f64 {
+        self.stats.links.enqueued as f64 / self.wall.as_secs_f64()
+    }
+
+    /// `(min, mean, max)` end-to-end latency, if anything was delivered.
+    pub fn latency_min_mean_max(&self) -> Option<(Duration, Duration, Duration)> {
+        min_mean_max(&self.latencies)
+    }
+}
+
+/// Runs the snap-stabilizing forwarding service to completion (every
+/// genuine payload delivered) or to the time budget: one
+/// [`ForwardProcess`] per worker thread, a per-process injection queue
+/// fed by the deterministic [`forward_workload`] stream, and end-to-end
+/// delivery latencies timed from injection at the source to collection
+/// at the destination.
+///
+/// ```
+/// use snapstab_runtime::{run_forwarding_service, ForwardingServiceConfig};
+/// use snapstab_core::spec::analyze_forwarding_trace;
+/// use std::time::Duration;
+///
+/// let report = run_forwarding_service(&ForwardingServiceConfig {
+///     n: 3,
+///     payloads_per_process: 2,
+///     prefill_stale: true, // adversarial initial buffers
+///     time_budget: Duration::from_secs(30),
+///     ..ForwardingServiceConfig::default()
+/// });
+/// assert_eq!(report.delivered, 6);
+/// // The merged live trace passes executable Specification 4.
+/// let spec = analyze_forwarding_trace(&report.trace.unwrap(), 3);
+/// assert!(spec.holds());
+/// ```
+pub fn run_forwarding_service(cfg: &ForwardingServiceConfig) -> ForwardingServiceReport {
+    run_forwarding_service_on(cfg, &InMemory).expect("the in-memory transport is infallible")
+}
+
+/// [`run_forwarding_service`] over an arbitrary [`Transport`] backend
+/// (e.g. `snapstab-net`'s `UdpLoopback`). Fallible because a networked
+/// backend binds OS resources; the in-memory path cannot fail.
+pub fn run_forwarding_service_on(
+    cfg: &ForwardingServiceConfig,
+    transport: &dyn Transport<ForwardMsg>,
+) -> std::io::Result<ForwardingServiceReport> {
+    let n = cfg.n;
+    let config = ForwardConfig {
+        buffer_cap: cfg.buffer_cap,
+        // §4: the per-hop handshake domain is sized by the channel
+        // capacity the transport enforces.
+        flag_domain: snapstab_core::flag::FlagDomain::for_capacity(cfg.live.capacity.max(1)),
+    };
+    let mut processes: Vec<ForwardProcess> = (0..n)
+        .map(|i| ForwardProcess::new(ProcessId::new(i), n, config))
+        .collect();
+    if cfg.prefill_stale {
+        let mut rng = SimRng::seed_from(cfg.live.seed ^ 0x57A1_EB0F);
+        for proc in &mut processes {
+            proc.prefill_stale(&mut rng);
+        }
+    }
+
+    let workload = forward_workload(n, cfg.payloads_per_process, cfg.live.seed);
+    let total: u64 = workload.iter().map(|w| w.len() as u64).sum();
+    let injected = Arc::new(AtomicU64::new(0));
+    let delivered = Arc::new(AtomicU64::new(0));
+    let spurious = Arc::new(AtomicU64::new(0));
+    // Injection timestamps by payload id, written at the source and read
+    // at the destination (different worker threads).
+    let inject_times: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    let latencies: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let drivers: Vec<Option<Driver<ForwardProcess>>> = workload
+        .into_iter()
+        .map(|stream| {
+            let mut queue: VecDeque<_> = stream.into();
+            let injected = injected.clone();
+            let delivered = delivered.clone();
+            let spurious = spurious.clone();
+            let inject_times = inject_times.clone();
+            let latencies = latencies.clone();
+            let hook: Driver<ForwardProcess> = Box::new(move |proc, _scribe| {
+                let mut progressed = false;
+                for payload in proc.take_delivered() {
+                    if payload.id & STALE_ID_BIT == 0 {
+                        delivered.fetch_add(1, Ordering::Relaxed);
+                        let since = inject_times.lock().expect("timestamps").remove(&payload.id);
+                        if let Some(since) = since {
+                            latencies.lock().expect("latency log").push(since.elapsed());
+                        }
+                    } else {
+                        spurious.fetch_add(1, Ordering::Relaxed);
+                    }
+                    progressed = true;
+                }
+                if proc.can_inject() {
+                    if let Some(&payload) = queue.front() {
+                        inject_times
+                            .lock()
+                            .expect("timestamps")
+                            .insert(payload.id, Instant::now());
+                        assert!(proc.request_send(payload), "workload stays in domain");
+                        queue.pop_front();
+                        injected.fetch_add(1, Ordering::Relaxed);
+                        progressed = true;
+                    }
+                }
+                progressed
+            });
+            Some(hook)
+        })
+        .collect();
+
+    let record = cfg.live.record_trace;
+    let runner = LiveRunner::spawn_with_transport(processes, drivers, cfg.live.clone(), transport)?;
+    let deadline = Instant::now() + cfg.time_budget;
+    while delivered.load(Ordering::Relaxed) < total && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let report = runner.stop();
+
+    let latencies = std::mem::take(&mut *latencies.lock().expect("latency log"));
+    Ok(ForwardingServiceReport {
+        injected: injected.load(Ordering::Relaxed),
+        delivered: delivered.load(Ordering::Relaxed),
+        spurious: spurious.load(Ordering::Relaxed),
+        wall: report.wall,
+        stats: report.stats,
+        trace: record.then_some(report.trace),
+        processes: report.processes,
+        latencies,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -617,6 +827,49 @@ mod tests {
         assert_eq!(report.injected.len(), 18);
         assert_eq!(report.served, 18);
         assert!(report.audit().holds());
+    }
+
+    #[test]
+    fn forwarding_service_delivers_everything() {
+        let cfg = ForwardingServiceConfig {
+            n: 3,
+            payloads_per_process: 3,
+            time_budget: Duration::from_secs(45),
+            ..ForwardingServiceConfig::default()
+        };
+        let report = run_forwarding_service(&cfg);
+        assert_eq!(report.injected, 9);
+        assert_eq!(report.delivered, 9);
+        assert_eq!(report.spurious, 0, "clean start flushes nothing");
+        assert_eq!(report.latencies.len(), 9);
+        assert!(report.latency_min_mean_max().is_some());
+        assert!(report.payloads_per_sec() > 0.0);
+        let trace = report.trace.expect("recording on by default");
+        let spec = snapstab_core::spec::analyze_forwarding_trace(&trace, cfg.n);
+        assert!(spec.holds(), "{spec:?}");
+        assert_eq!(spec.delivered.len(), 9);
+    }
+
+    #[test]
+    fn forwarding_service_with_stale_buffers_and_loss_still_holds() {
+        let cfg = ForwardingServiceConfig {
+            n: 4,
+            payloads_per_process: 2,
+            buffer_cap: 2,
+            prefill_stale: true,
+            live: LiveConfig {
+                loss: 0.2,
+                seed: 0xF0D,
+                ..LiveConfig::default()
+            },
+            time_budget: Duration::from_secs(45),
+        };
+        let report = run_forwarding_service(&cfg);
+        assert_eq!(report.delivered, 8, "all genuine payloads delivered");
+        assert!(report.stats.links.lost_in_transit > 0, "loss was active");
+        let trace = report.trace.expect("recording on by default");
+        let spec = snapstab_core::spec::analyze_forwarding_trace(&trace, cfg.n);
+        assert!(spec.holds(), "{spec:?}");
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //!   adversarial schedulers, arbitrary initial configurations;
 //! * [`core`] — the paper's contribution: the snap-stabilizing PIF
 //!   (Algorithm 1), IDs-Learning (Algorithm 2), and Mutual Exclusion
-//!   (Algorithm 3), plus executable Specifications 1–3 and Property 1;
+//!   (Algorithm 3), plus executable Specifications 1–3 and Property 1 —
+//!   and the first application layer the follow-up literature built on
+//!   them: snap-stabilizing end-to-end *message forwarding*
+//!   (`core::forward`, judged by executable Specification 4);
 //! * [`baselines`] — the §4.1 naive PIF and three self-stabilizing
 //!   comparators (Afek–Brown ABP, counter flushing, Dijkstra token ring);
 //! * [`impossibility`] — Theorem 1 as a program: witness recording, the
