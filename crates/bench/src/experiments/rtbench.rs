@@ -6,7 +6,7 @@
 //! saturating client request stream, and reports end-to-end requests/sec,
 //! grants/sec and transport msgs/sec.
 //!
-//! Four sweeps feed `BENCH_RUNTIME.json`:
+//! Five sweeps feed `BENCH_RUNTIME.json`:
 //!
 //! * the **baseline** `n × loss` sweep
 //!   ([`run_mutex_service_on`]: one leader, one request
@@ -27,7 +27,16 @@
 //!   forwarding protocol, every run starting from adversarially
 //!   stale-pre-filled buffers) — end-to-end payload delivery, the first
 //!   non-mutex workload in the artifact — plus an in-memory-vs-UDP pair
-//!   (rows tagged by `transport` like the udp sweep).
+//!   (rows tagged by `transport` like the udp sweep);
+//! * the **chaos** sweep ([`run_mutex_service_chaos_on`]): the
+//!   single-leader service under every seeded fault mix
+//!   (`corrupt`, `crash`, `partition`, `storm`, `all`) with the
+//!   supervised self-healing runtime, over the in-memory transport and
+//!   over UDP loopback. Each row commits the *recovery time* — fault
+//!   burst to next end-to-end completion — as p50/p99, plus the
+//!   supervisor intervention count and the number of trace epochs the
+//!   per-epoch Specification 3 checker judged (every row asserts the
+//!   verdict holds before it can land in the artifact).
 //!
 //! Every row serializes the latency *distribution* (mean, p50, p99), not
 //! just the mean, and the emitted JSON is parsed back through the bench's
@@ -36,10 +45,12 @@
 
 use std::time::Duration;
 
+use snapstab_core::spec::analyze_me_epochs;
 use snapstab_net::UdpLoopback;
 use snapstab_runtime::{
-    run_forwarding_service_on, run_mutex_service_on, run_sharded_service, ForwardingServiceConfig,
-    InMemory, LiveConfig, MutexServiceConfig, ShardedServiceConfig,
+    run_forwarding_service_on, run_mutex_service_chaos_on, run_mutex_service_on,
+    run_sharded_service, ChaosMix, ChaosPlan, ForwardingServiceConfig, InMemory, LiveConfig,
+    MutexServiceConfig, ShardedServiceConfig,
 };
 
 use crate::jsonv::{self, Value};
@@ -531,6 +542,182 @@ pub fn sweep_sharded(fast: bool) -> Vec<RtResult> {
     results
 }
 
+/// One measured chaos configuration: the single-leader mutex service
+/// under a seeded [`ChaosPlan`] of fault bursts, with the supervised
+/// self-healing runtime, judged per epoch by executable Specification 3.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ChaosRow {
+    /// System size (worker threads).
+    pub n: usize,
+    /// The transport backend the row was measured on.
+    pub transport: RtTransport,
+    /// The fault mix the chaos plan drew bursts from.
+    pub mix: ChaosMix,
+    /// Background in-transit loss probability (chaos drops come on top).
+    pub loss: f64,
+    /// Fault bursts the engine fired mid-run.
+    pub bursts: u64,
+    /// Authoritative state-corruption fault marks (epoch boundaries).
+    pub faults: u64,
+    /// Supervisor interventions (crashed/wedged workers healed).
+    pub interventions: u64,
+    /// Trace epochs the per-epoch checker judged (`faults + 1`).
+    pub epochs: u64,
+    /// Requests served end-to-end despite the chaos.
+    pub served: u64,
+    /// Median fault-burst-to-next-completion recovery time (ns).
+    pub recovery_p50_ns: u128,
+    /// 99th-percentile recovery time (ns).
+    pub recovery_p99_ns: u128,
+    /// Wall-clock nanoseconds.
+    pub wall_ns: u128,
+}
+
+impl ChaosRow {
+    /// Served requests per second (under chaos).
+    pub fn requests_per_sec(&self) -> f64 {
+        self.served as f64 / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+/// Measures one chaos configuration: `requests_per_process` client
+/// requests per process while a seeded plan of `bursts` fault bursts
+/// (profile of `mix`, reshaped to `quiet`/`disruption`) fires against
+/// the live run, the supervisor healing crashed and wedged workers with
+/// corrupted state. The merged trace is segmented at the authoritative
+/// fault steps and judged per epoch; a failed verdict panics — a chaos
+/// row that violates the paper's specification must never be committed.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_chaos(
+    n: usize,
+    transport: RtTransport,
+    mix: ChaosMix,
+    loss: f64,
+    requests_per_process: u64,
+    quiet: Duration,
+    disruption: Duration,
+    budget: Duration,
+    seed: u64,
+) -> ChaosRow {
+    let cfg = MutexServiceConfig {
+        n,
+        requests_per_process,
+        cs_duration: 0,
+        live: LiveConfig {
+            loss,
+            seed,
+            record_trace: true,
+            ..LiveConfig::default()
+        },
+        time_budget: budget,
+    };
+    let plan = ChaosPlan {
+        quiet,
+        disruption,
+        ..ChaosPlan::profile(mix, seed)
+    };
+    let (report, chaos) = match transport {
+        RtTransport::InMem => run_mutex_service_chaos_on(&cfg, &InMemory, &plan),
+        RtTransport::Udp => run_mutex_service_chaos_on(&cfg, &UdpLoopback::new(), &plan),
+    }
+    .expect("transport setup (guard UDP rows with `udp_available`)");
+    let trace = report.trace.as_ref().expect("chaos rows record the trace");
+    let epochs = analyze_me_epochs(trace, n, &chaos.fault_steps);
+    assert!(
+        epochs.holds(),
+        "per-epoch Specification 3 FAILED under `{}` chaos (n = {n}, {}, seed {seed})",
+        mix.as_str(),
+        transport.as_str(),
+    );
+    let recovery = |q: f64| {
+        chaos
+            .recovery_quantile(q)
+            .expect("every burst must be followed by a completion")
+            .as_nanos()
+    };
+    ChaosRow {
+        n,
+        transport,
+        mix,
+        loss,
+        bursts: u64::from(chaos.bursts_fired),
+        faults: chaos.fault_steps.len() as u64,
+        interventions: chaos.interventions.len() as u64,
+        epochs: epochs.epochs_checked() as u64,
+        served: report.served,
+        recovery_p50_ns: recovery(0.5),
+        recovery_p99_ns: recovery(0.99),
+        wall_ns: report.wall.as_nanos(),
+    }
+}
+
+/// Runs the chaos sweep: every fault mix at `n = 8`, loss 0, over the
+/// in-memory transport, plus the same five mixes over UDP loopback when
+/// the sandbox allows sockets (`--fast`: one tiny in-memory `all`-mix
+/// row). Workloads are sized so client requests outlast the fault
+/// schedule — every burst lands mid-run and every row records a finite
+/// recovery-time distribution.
+pub fn sweep_chaos(fast: bool) -> Vec<ChaosRow> {
+    const MIXES: [ChaosMix; 5] = [
+        ChaosMix::Corrupt,
+        ChaosMix::Crash,
+        ChaosMix::Partition,
+        ChaosMix::Storm,
+        ChaosMix::All,
+    ];
+    if fast {
+        return vec![measure_chaos(
+            3,
+            RtTransport::InMem,
+            ChaosMix::All,
+            0.0,
+            40,
+            Duration::from_millis(30),
+            Duration::from_millis(20),
+            Duration::from_secs(60),
+            0xC405,
+        )];
+    }
+    let mut rows = Vec::new();
+    for (i, mix) in MIXES.into_iter().enumerate() {
+        // ~950 req/s at n = 8; 3 bursts × 200ms quiet ≈ 0.8s of
+        // schedule, so 400 × 8 = 3200 requests (~3.4s) comfortably
+        // outlast it even when the chaos halves throughput.
+        rows.push(measure_chaos(
+            8,
+            RtTransport::InMem,
+            mix,
+            0.0,
+            400,
+            Duration::from_millis(200),
+            Duration::from_millis(100),
+            Duration::from_secs(150),
+            0xC405 ^ ((i as u64) << 4),
+        ));
+    }
+    if snapstab_net::udp_available() {
+        for (i, mix) in MIXES.into_iter().enumerate() {
+            rows.push(measure_chaos(
+                8,
+                RtTransport::Udp,
+                mix,
+                0.0,
+                150,
+                Duration::from_millis(250),
+                Duration::from_millis(120),
+                Duration::from_secs(150),
+                0xC405_0DD5 ^ ((i as u64) << 4),
+            ));
+        }
+    } else {
+        eprintln!(
+            "warning: UDP loopback unavailable in this sandbox; \
+             skipping the chaos udp rows"
+        );
+    }
+    rows
+}
+
 fn push_rows(table: &mut Table, results: &[RtResult]) {
     for r in results {
         table.row(&[
@@ -567,12 +754,45 @@ const COLUMNS: [&str; 13] = [
     "p99 ms",
 ];
 
-/// Renders all four sweeps as the repo's standard ASCII tables.
+const CHAOS_COLUMNS: [&str; 11] = [
+    "n",
+    "transport",
+    "mix",
+    "served",
+    "req/s",
+    "bursts",
+    "faults",
+    "healed",
+    "epochs",
+    "rec p50 ms",
+    "rec p99 ms",
+];
+
+fn push_chaos_rows(table: &mut Table, rows: &[ChaosRow]) {
+    for r in rows {
+        table.row(&[
+            r.n.to_string(),
+            r.transport.as_str().to_string(),
+            r.mix.as_str().to_string(),
+            r.served.to_string(),
+            format!("{:.0}", r.requests_per_sec()),
+            r.bursts.to_string(),
+            r.faults.to_string(),
+            r.interventions.to_string(),
+            r.epochs.to_string(),
+            format!("{:.2}", r.recovery_p50_ns as f64 / 1e6),
+            format!("{:.2}", r.recovery_p99_ns as f64 / 1e6),
+        ]);
+    }
+}
+
+/// Renders all five sweeps as the repo's standard ASCII tables.
 pub fn render(
     baseline: &[RtResult],
     sharded: &[RtResult],
     udp: &[RtResult],
     forwarding: &[RtResult],
+    chaos: &[ChaosRow],
 ) -> String {
     let mut out = String::new();
     out.push_str("=== Q6: live-runtime services (1 OS thread per process) ===\n\n");
@@ -601,24 +821,35 @@ pub fn render(
         push_rows(&mut table, forwarding);
         out.push_str(&table.render());
     }
+    if !chaos.is_empty() {
+        out.push_str(
+            "\nchaos engine + supervised self-healing (per-epoch spec \
+             verdicts all hold; rec = fault burst to next completion):\n",
+        );
+        let mut table = Table::new(&CHAOS_COLUMNS);
+        push_chaos_rows(&mut table, chaos);
+        out.push_str(&table.render());
+    }
     let total: u64 = baseline
         .iter()
         .chain(sharded)
         .chain(udp)
         .chain(forwarding)
         .map(|r| r.served)
+        .chain(chaos.iter().map(|r| r.served))
         .sum();
     out.push_str(&format!("\ntotal requests served end-to-end: {total}\n"));
     out
 }
 
-/// Measures all four sweeps and renders them.
+/// Measures all five sweeps and renders them.
 pub fn run(fast: bool) -> String {
     render(
         &sweep(fast),
         &sweep_sharded(fast),
         &sweep_udp(fast),
         &sweep_forwarding(fast),
+        &sweep_chaos(fast),
     )
 }
 
@@ -645,7 +876,26 @@ fn row_json(r: &RtResult) -> String {
     )
 }
 
-/// All four sweeps as a JSON document (hand-rolled: the workspace is
+fn chaos_row_json(r: &ChaosRow) -> String {
+    format!(
+        "{{\"n\": {}, \"transport\": \"{}\", \"mix\": \"{}\", \"loss\": {}, \"bursts\": {}, \"faults\": {}, \"interventions\": {}, \"epochs\": {}, \"served\": {}, \"requests_per_sec\": {:.1}, \"recovery_p50_ns\": {}, \"recovery_p99_ns\": {}, \"wall_ns\": {}}}",
+        r.n,
+        r.transport.as_str(),
+        r.mix.as_str(),
+        r.loss,
+        r.bursts,
+        r.faults,
+        r.interventions,
+        r.epochs,
+        r.served,
+        r.requests_per_sec(),
+        r.recovery_p50_ns,
+        r.recovery_p99_ns,
+        r.wall_ns,
+    )
+}
+
+/// All five sweeps as a JSON document (hand-rolled: the workspace is
 /// offline and carries no serde), shaped like `BENCH_STEPLOOP.json`.
 /// Validate with [`from_json`] before committing.
 pub fn to_json(
@@ -653,6 +903,7 @@ pub fn to_json(
     sharded: &[RtResult],
     udp: &[RtResult],
     forwarding: &[RtResult],
+    chaos: &[ChaosRow],
 ) -> String {
     let mut out = String::from(
         "{\n  \"experiment\": \"live_runtime_mutex_service\",\n  \"unit\": \"requests_per_sec\",\n  \"results\": [\n",
@@ -670,12 +921,18 @@ pub fn to_json(
     push_array(&mut out, udp);
     out.push_str("  ],\n  \"forwarding\": [\n");
     push_array(&mut out, forwarding);
+    out.push_str("  ],\n  \"chaos\": [\n");
+    for (i, r) in chaos.iter().enumerate() {
+        let sep = if i + 1 < chaos.len() { "," } else { "" };
+        out.push_str(&format!("    {}{}\n", chaos_row_json(r), sep));
+    }
     let total: u64 = baseline
         .iter()
         .chain(sharded)
         .chain(udp)
         .chain(forwarding)
         .map(|r| r.served)
+        .chain(chaos.iter().map(|r| r.served))
         .sum();
     out.push_str(&format!("  ],\n  \"total_served\": {total}\n}}\n"));
     out
@@ -736,15 +993,74 @@ fn row_from_value(row: &Value) -> Result<RtResult, String> {
     })
 }
 
+/// The source (non-derived) numeric fields of one chaos JSON row, in
+/// emission order — the schema the round-trip check enforces. `transport`
+/// and `mix` ride alongside as string tags.
+const CHAOS_ROW_FIELDS: [&str; 10] = [
+    "n",
+    "loss",
+    "bursts",
+    "faults",
+    "interventions",
+    "epochs",
+    "served",
+    "recovery_p50_ns",
+    "recovery_p99_ns",
+    "wall_ns",
+];
+
+fn chaos_row_from_value(row: &Value) -> Result<ChaosRow, String> {
+    for field in CHAOS_ROW_FIELDS {
+        match row.get(field) {
+            Some(Value::Num(_)) => {}
+            Some(_) => return Err(format!("field `{field}` is not a number")),
+            None => return Err(format!("missing field `{field}`")),
+        }
+    }
+    let transport = match row.get("transport") {
+        Some(Value::Str(s)) => {
+            RtTransport::parse(s).ok_or_else(|| format!("unknown `transport` tag `{s}`"))?
+        }
+        Some(_) => return Err("field `transport` is not a string".into()),
+        None => return Err("missing field `transport`".into()),
+    };
+    let mix = match row.get("mix") {
+        Some(Value::Str(s)) => ChaosMix::parse(s).ok_or_else(|| {
+            format!(
+                "unknown `mix` tag `{s}` (valid: {})",
+                ChaosMix::NAMES.join(", ")
+            )
+        })?,
+        Some(_) => return Err("field `mix` is not a string".into()),
+        None => return Err("missing field `mix`".into()),
+    };
+    let num = |field: &str| row.get(field).and_then(Value::as_num).expect("checked");
+    Ok(ChaosRow {
+        n: num("n") as usize,
+        transport,
+        mix,
+        loss: num("loss"),
+        bursts: num("bursts") as u64,
+        faults: num("faults") as u64,
+        interventions: num("interventions") as u64,
+        epochs: num("epochs") as u64,
+        served: num("served") as u64,
+        recovery_p50_ns: num("recovery_p50_ns") as u128,
+        recovery_p99_ns: num("recovery_p99_ns") as u128,
+        wall_ns: num("wall_ns") as u128,
+    })
+}
+
 /// Parses a `BENCH_RUNTIME.json` document back through the bench's own
 /// schema: `(baseline rows, sharded rows, udp rows, forwarding rows,
-/// total_served)`.
-/// Every row must carry every field of [`struct@RtResult`]: the numeric
-/// source fields (plus the derived rates) as numbers and the `transport`
-/// tag as a known string; anything missing, extra-typed or structurally
-/// off is an error. `from_json(to_json(b, s, u, f))` reproduces
-/// `b`/`s`/`u`/`f` exactly (derived rates are recomputed from the source
-/// fields).
+/// chaos rows, total_served)`.
+/// Every row must carry every field of [`struct@RtResult`] (chaos rows:
+/// every field of [`struct@ChaosRow`]): the numeric source fields (plus
+/// the derived rates) as numbers and the `transport`/`mix` tags as known
+/// strings; anything missing, extra-typed or structurally off is an
+/// error — including a pre-chaos-era document without the `chaos` array.
+/// `from_json(to_json(b, s, u, f, c))` reproduces `b`/`s`/`u`/`f`/`c`
+/// exactly (derived rates are recomputed from the source fields).
 #[allow(clippy::type_complexity)]
 pub fn from_json(
     doc: &str,
@@ -754,6 +1070,7 @@ pub fn from_json(
         Vec<RtResult>,
         Vec<RtResult>,
         Vec<RtResult>,
+        Vec<ChaosRow>,
         u64,
     ),
     String,
@@ -779,6 +1096,14 @@ pub fn from_json(
     let sharded = rows("sharded")?;
     let udp = rows("udp")?;
     let forwarding = rows("forwarding")?;
+    let chaos: Vec<ChaosRow> = value
+        .get("chaos")
+        .and_then(Value::as_arr)
+        .ok_or("missing `chaos` array")?
+        .iter()
+        .enumerate()
+        .map(|(i, row)| chaos_row_from_value(row).map_err(|e| format!("chaos[{i}]: {e}")))
+        .collect::<Result<_, _>>()?;
     let total = value
         .get("total_served")
         .and_then(Value::as_num)
@@ -789,13 +1114,14 @@ pub fn from_json(
         .chain(&udp)
         .chain(&forwarding)
         .map(|r| r.served)
+        .chain(chaos.iter().map(|r| r.served))
         .sum();
     if total != served {
         return Err(format!(
             "total_served {total} disagrees with the rows' sum {served}"
         ));
     }
-    Ok((baseline, sharded, udp, forwarding, total))
+    Ok((baseline, sharded, udp, forwarding, chaos, total))
 }
 
 /// Validates that a document emitted by [`to_json`] round-trips through
@@ -808,8 +1134,9 @@ pub fn validate_roundtrip(
     sharded: &[RtResult],
     udp: &[RtResult],
     forwarding: &[RtResult],
+    chaos: &[ChaosRow],
 ) -> Result<(), String> {
-    let (b, s, u, f, _) = from_json(doc)?;
+    let (b, s, u, f, c, _) = from_json(doc)?;
     if b != baseline {
         return Err("baseline rows did not round-trip".into());
     }
@@ -821,6 +1148,9 @@ pub fn validate_roundtrip(
     }
     if f != forwarding {
         return Err("forwarding rows did not round-trip".into());
+    }
+    if c != chaos {
+        return Err("chaos rows did not round-trip".into());
     }
     Ok(())
 }
@@ -904,6 +1234,23 @@ mod tests {
         }
     }
 
+    fn sample_chaos_row(n: usize, mix: ChaosMix) -> ChaosRow {
+        ChaosRow {
+            n,
+            transport: RtTransport::InMem,
+            mix,
+            loss: 0.0,
+            bursts: 3,
+            faults: 5,
+            interventions: 2,
+            epochs: 6,
+            served: 10,
+            recovery_p50_ns: 2_000_000,
+            recovery_p99_ns: 7_000_000,
+            wall_ns: 1_000_000,
+        }
+    }
+
     #[test]
     fn measure_forwarding_delivers_payloads() {
         let r = measure_forwarding(3, RtTransport::InMem, 0.0, 2, Duration::from_secs(30), 1);
@@ -933,27 +1280,39 @@ mod tests {
         let sharded = vec![sample_row(32, 4, 4), sample_row(32, 8, 8)];
         let udp = vec![sample_row(8, 1, 1), sample_udp_row(8)];
         let forwarding = vec![sample_forwarding_row(8), sample_forwarding_row(16)];
-        let j = to_json(&baseline, &sharded, &udp, &forwarding);
+        let chaos = vec![
+            sample_chaos_row(8, ChaosMix::Corrupt),
+            ChaosRow {
+                transport: RtTransport::Udp,
+                ..sample_chaos_row(8, ChaosMix::All)
+            },
+        ];
+        let j = to_json(&baseline, &sharded, &udp, &forwarding, &chaos);
         assert!(j.contains("live_runtime_mutex_service"));
         assert!(j.contains("\"p99_latency_ns\": 9000"));
         assert!(j.contains("\"transport\": \"inmem\""));
         assert!(j.contains("\"transport\": \"udp\""));
         assert!(j.contains("\"forwarding\": ["));
-        assert!(j.contains("\"total_served\": 70"));
+        assert!(j.contains("\"chaos\": ["));
+        assert!(j.contains("\"mix\": \"corrupt\""));
+        assert!(j.contains("\"recovery_p99_ns\": 7000000"));
+        assert!(j.contains("\"total_served\": 90"));
         assert!(j.trim_end().ends_with('}'));
-        let (b, s, u, f, total) = from_json(&j).expect("parses");
+        let (b, s, u, f, c, total) = from_json(&j).expect("parses");
         assert_eq!(b, baseline);
         assert_eq!(s, sharded);
         assert_eq!(u, udp);
         assert_eq!(f, forwarding);
-        assert_eq!(total, 70);
-        validate_roundtrip(&j, &baseline, &sharded, &udp, &forwarding).expect("round-trips");
+        assert_eq!(c, chaos);
+        assert_eq!(total, 90);
+        validate_roundtrip(&j, &baseline, &sharded, &udp, &forwarding, &chaos)
+            .expect("round-trips");
     }
 
     #[test]
     fn from_json_rejects_field_drift() {
         let baseline = vec![sample_row(8, 1, 1)];
-        let good = to_json(&baseline, &[], &[], &[]);
+        let good = to_json(&baseline, &[], &[], &[], &[]);
         // Rename a field: the schema check must notice.
         let renamed = good.replace("\"p99_latency_ns\"", "\"p99\"");
         let err = from_json(&renamed).unwrap_err();
@@ -993,7 +1352,44 @@ mod tests {
             .contains("forwarding"));
         // And the round-trip validator catches value changes.
         let off_by_one = good.replace("\"msgs\": 1000", "\"msgs\": 1001");
-        assert!(validate_roundtrip(&off_by_one, &baseline, &[], &[], &[]).is_err());
+        assert!(validate_roundtrip(&off_by_one, &baseline, &[], &[], &[], &[]).is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_chaos_drift() {
+        let baseline = vec![sample_row(8, 1, 1)];
+        let chaos = vec![sample_chaos_row(8, ChaosMix::All)];
+        let good = to_json(&baseline, &[], &[], &[], &chaos);
+        // A pre-chaos-era document without the chaos array is drift: it
+        // must be regenerated, not silently accepted.
+        let (head, tail) = good.split_once("  \"chaos\"").expect("chaos array present");
+        let chaos_tail = tail.split_once("  ],\n").expect("chaos array closes").1;
+        let no_chaos = format!("{head}{chaos_tail}");
+        let err = from_json(&no_chaos).unwrap_err();
+        assert!(err.contains("chaos"), "{err}");
+        // A renamed recovery field is drift.
+        let renamed = good.replace("\"recovery_p99_ns\"", "\"rec_p99\"");
+        assert!(from_json(&renamed).unwrap_err().contains("recovery_p99_ns"));
+        // An unknown, mistyped or missing fault-mix tag is drift.
+        let bad_mix = good.replace("\"mix\": \"all\"", "\"mix\": \"meteor\"");
+        let err = from_json(&bad_mix).unwrap_err();
+        assert!(err.contains("meteor") && err.contains("corrupt"), "{err}");
+        let numeric_mix = good.replace("\"mix\": \"all\"", "\"mix\": 4");
+        assert!(from_json(&numeric_mix)
+            .unwrap_err()
+            .contains("not a string"));
+        let missing_mix = good.replace("\"mix\": \"all\", ", "");
+        assert!(from_json(&missing_mix).unwrap_err().contains("mix"));
+        // Chaos served counts toward the total cross-check.
+        let wrong_total = good.replace("\"total_served\": 20", "\"total_served\": 10");
+        assert!(from_json(&wrong_total)
+            .unwrap_err()
+            .contains("total_served"));
+        // The round-trip validator catches chaos value changes too.
+        let off = good.replace("\"interventions\": 2", "\"interventions\": 3");
+        assert!(validate_roundtrip(&off, &baseline, &[], &[], &[], &chaos)
+            .unwrap_err()
+            .contains("chaos"));
     }
 
     #[test]
@@ -1003,6 +1399,7 @@ mod tests {
             &[sample_row(32, 4, 4)],
             &[sample_row(8, 1, 1), sample_udp_row(8)],
             &[sample_forwarding_row(8)],
+            &[sample_chaos_row(8, ChaosMix::Partition)],
         );
         assert!(out.contains("baseline"));
         assert!(out.contains("sharded multi-leader"));
@@ -1010,6 +1407,32 @@ mod tests {
         assert!(out.contains("udp"));
         assert!(out.contains("forwarding service"));
         assert!(out.contains("p99 ms"));
-        assert!(out.contains("total requests served end-to-end: 50"));
+        assert!(out.contains("chaos engine"));
+        assert!(out.contains("partition"));
+        assert!(out.contains("rec p99 ms"));
+        assert!(out.contains("total requests served end-to-end: 60"));
+    }
+
+    #[test]
+    fn measure_chaos_recovers_and_reports_finite_quantiles() {
+        // A tiny live chaos row: every burst must land mid-run, the
+        // per-epoch verdict must hold (measure_chaos asserts it), and
+        // the recovery distribution must be finite and non-empty.
+        let r = measure_chaos(
+            3,
+            RtTransport::InMem,
+            ChaosMix::All,
+            0.0,
+            30,
+            Duration::from_millis(25),
+            Duration::from_millis(15),
+            Duration::from_secs(60),
+            0xC405,
+        );
+        assert_eq!(r.served, 90, "all requests served despite the chaos");
+        assert_eq!(r.bursts, 3, "every planned burst fired mid-run");
+        assert_eq!(r.epochs, r.faults + 1);
+        assert!(r.recovery_p50_ns > 0);
+        assert!(r.recovery_p50_ns <= r.recovery_p99_ns);
     }
 }

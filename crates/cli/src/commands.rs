@@ -44,6 +44,12 @@ COMMAND OPTIONS
                  (default 60), --check (record + spec-check the trace),
                  --transport {inmem|udp} (default inmem; udp runs the
                  same protocol over real UDP loopback sockets),
+                 --chaos {corrupt|crash|partition|storm|all}: inject a
+                 seeded schedule of mid-run transient faults (state
+                 corruption, crash storms healed by the supervisor with
+                 adversarially corrupted restarts, link partitions, drop
+                 storms); implies --check, with the spec judged per
+                 fault-delimited epoch (not with --shards/--batch),
                  --shards <int> (default 1) and --batch <int> (default 1):
                  with either > 1, runs the sharded multi-leader service
                  with request batching (--key-space <int>, default 65536);
@@ -241,6 +247,78 @@ fn parse_app(name: &str) -> Result<&str, (String, i32)> {
     }
 }
 
+/// Resolves `--chaos` to a fault-mix profile: `Ok(None)` when absent, an
+/// exit-2 usage error listing the valid set for an unknown (or missing)
+/// profile — the same contract as `parse_transport` / `--app`.
+fn parse_chaos(args: &Args) -> Result<Option<snapstab_runtime::ChaosMix>, (String, i32)> {
+    use snapstab_runtime::ChaosMix;
+    let raw = args.get_or("chaos", String::new());
+    if raw.is_empty() {
+        if args.has("chaos") {
+            return Err((
+                format!(
+                    "missing --chaos profile: valid values are {}\n\n{USAGE}",
+                    ChaosMix::NAMES.join(", ")
+                ),
+                2,
+            ));
+        }
+        return Ok(None);
+    }
+    match ChaosMix::parse(&raw) {
+        Some(mix) => Ok(Some(mix)),
+        None => Err((
+            format!(
+                "unknown --chaos `{raw}`: valid values are {}\n\n{USAGE}",
+                ChaosMix::NAMES.join(", ")
+            ),
+            2,
+        )),
+    }
+}
+
+/// The transport's aggregate link counters, printed in every `live`
+/// report so degradation (drop-on-full, in-transit loss, UDP reorder,
+/// chaos drops) is visible without reading the trace.
+fn link_counters_line(links: &snapstab_runtime::LinkStats) -> String {
+    format!(
+        "link counters: {} sends, {} enqueued, {} delivered; lost: {} full, \
+         {} in transit, {} reorder\n",
+        links.sends,
+        links.enqueued,
+        links.delivered,
+        links.lost_full,
+        links.lost_in_transit,
+        links.lost_reorder,
+    )
+}
+
+/// The chaos summary and recovery quantiles of a run's
+/// [`ChaosReport`](snapstab_runtime::ChaosReport).
+fn chaos_summary(mix: snapstab_runtime::ChaosMix, c: &snapstab_runtime::ChaosReport) -> String {
+    let mut out = format!(
+        "chaos ({} profile): {} burst(s) — {} corruption(s), {} crash(es), \
+         {} partition(s), {} storm(s); {} message(s) destroyed; \
+         {} supervisor intervention(s)\n",
+        mix.as_str(),
+        c.bursts_fired,
+        c.corruptions,
+        c.crashes,
+        c.partitions,
+        c.storms,
+        c.chaos_drops,
+        c.interventions.len(),
+    );
+    if let (Some(p50), Some(p99)) = (c.recovery_quantile(0.5), c.recovery_quantile(0.99)) {
+        out.push_str(&format!(
+            "recovery time (burst to next completion): p50 {:.2} / p99 {:.2} ms\n",
+            p50.as_secs_f64() * 1e3,
+            p99.as_secs_f64() * 1e3,
+        ));
+    }
+    out
+}
+
 /// Resolves `--transport` to a backend object, or an exit-2 usage error
 /// (matching the unknown-subcommand convention).
 fn parse_transport<M: snapstab_net::Wire + Send + 'static>(
@@ -279,11 +357,24 @@ pub fn cmd_live(args: &Args) -> (String, i32) {
         queue_depth,
         transport,
     } = LiveFlags::parse(args);
+    let chaos = match parse_chaos(args) {
+        Ok(c) => c,
+        Err(err) => return err,
+    };
     // --queue-depth sizes per-shard client queues, so (like --shards and
     // --batch) it selects the sharded service — a 1-shard, batch-1
     // sharded run degenerates to the plain service, and the flag is
     // never silently ignored.
     if shards > 1 || batch > 1 || queue_depth > 0 {
+        if chaos.is_some() {
+            return (
+                format!(
+                    "--chaos is not supported with the sharded service \
+                     (--shards/--batch/--queue-depth)\n\n{USAGE}"
+                ),
+                2,
+            );
+        }
         return cmd_live_sharded(args);
     }
     let backend = match parse_transport::<snapstab_core::me::MeMsg>(&transport) {
@@ -298,7 +389,9 @@ pub fn cmd_live(args: &Args) -> (String, i32) {
         live: LiveConfig {
             loss,
             seed,
-            record_trace: check,
+            // --chaos implies recording: the epoch verdicts need the
+            // merged trace.
+            record_trace: check || chaos.is_some(),
             ..LiveConfig::default()
         },
         time_budget: std::time::Duration::from_secs(budget_secs),
@@ -307,9 +400,16 @@ pub fn cmd_live(args: &Args) -> (String, i32) {
         "Live mutex service: n={n} worker threads ({transport} transport), \
          loss={loss}, {requests} request(s) per process, budget {budget_secs}s\n"
     );
-    let report = match snapstab_runtime::run_mutex_service_on(&cfg, backend.as_ref()) {
-        Ok(report) => report,
-        Err(e) => return (format!("{out}transport setup failed: {e}\n"), 1),
+    let plan = chaos.map(|mix| snapstab_runtime::ChaosPlan::profile(mix, seed));
+    let (report, chaos_report) = match &plan {
+        Some(p) => match snapstab_runtime::run_mutex_service_chaos_on(&cfg, backend.as_ref(), p) {
+            Ok((report, c)) => (report, Some(c)),
+            Err(e) => return (format!("{out}transport setup failed: {e}\n"), 1),
+        },
+        None => match snapstab_runtime::run_mutex_service_on(&cfg, backend.as_ref()) {
+            Ok(report) => (report, None),
+            Err(e) => return (format!("{out}transport setup failed: {e}\n"), 1),
+        },
     };
     // Compare against the *requested* total, not `report.injected`: the
     // drivers inject lazily, so a budget-capped run has injected ≈ served
@@ -324,6 +424,10 @@ pub fn cmd_live(args: &Args) -> (String, i32) {
         report.cs_per_sec(),
         report.msgs_per_sec(),
     ));
+    out.push_str(&link_counters_line(&report.stats.links));
+    if let (Some(mix), Some(c)) = (chaos, &chaos_report) {
+        out.push_str(&chaos_summary(mix, c));
+    }
     if let Some((min, mean, max)) = report.latency_min_mean_max() {
         out.push_str(&format!(
             "service latency: min {:.2} / mean {:.2} / max {:.2} ms\n",
@@ -334,15 +438,29 @@ pub fn cmd_live(args: &Args) -> (String, i32) {
     }
     let mut failed = report.served < total;
     if let Some(trace) = &report.trace {
-        let spec = analyze_me_trace(trace, n);
-        out.push_str(&format!(
-            "spec 3 on the merged live trace: genuine CS overlaps: {}; \
-             spurious: {}; exclusivity holds: {}\n",
-            spec.genuine_overlaps.len(),
-            spec.spurious_overlaps.len(),
-            spec.exclusivity_holds(),
-        ));
-        failed |= !spec.exclusivity_holds();
+        if let Some(c) = &chaos_report {
+            let epochs = snapstab_core::spec::analyze_me_epochs(trace, n, &c.fault_steps);
+            out.push_str(&format!(
+                "spec 3 per epoch: {} epoch(s), {} served, {} interrupted at \
+                 fault boundaries, {} forged fault mark(s); holds: {}\n",
+                epochs.epochs_checked(),
+                epochs.served_total(),
+                epochs.interrupted_total(),
+                epochs.forged_marks.len(),
+                epochs.holds(),
+            ));
+            failed |= !epochs.holds();
+        } else {
+            let spec = analyze_me_trace(trace, n);
+            out.push_str(&format!(
+                "spec 3 on the merged live trace: genuine CS overlaps: {}; \
+                 spurious: {}; exclusivity holds: {}\n",
+                spec.genuine_overlaps.len(),
+                spec.spurious_overlaps.len(),
+                spec.exclusivity_holds(),
+            ));
+            failed |= !spec.exclusivity_holds();
+        }
     }
     if args.has("trace") {
         for (i, lat) in report.latencies.iter().take(20).enumerate() {
@@ -428,6 +546,7 @@ fn cmd_live_sharded(args: &Args) -> (String, i32) {
         report.mean_batch(),
         report.msgs_per_sec(),
     ));
+    out.push_str(&link_counters_line(&report.stats.links));
     for (s, served) in report.per_shard_served.iter().enumerate() {
         out.push_str(&format!("  shard {s}: {served} request(s) served\n"));
     }
@@ -501,6 +620,10 @@ fn cmd_live_forward(args: &Args) -> (String, i32) {
         );
     }
     let stale = args.has("stale");
+    let chaos = match parse_chaos(args) {
+        Ok(c) => c,
+        Err(err) => return err,
+    };
     let backend = match parse_transport::<snapstab_core::forward::ForwardMsg>(&transport) {
         Ok(b) => b,
         Err(err) => return err,
@@ -514,7 +637,9 @@ fn cmd_live_forward(args: &Args) -> (String, i32) {
         live: LiveConfig {
             loss,
             seed,
-            record_trace: check,
+            // --chaos implies recording: the epoch verdicts need the
+            // merged trace.
+            record_trace: check || chaos.is_some(),
             ..LiveConfig::default()
         },
         time_budget: std::time::Duration::from_secs(budget_secs),
@@ -529,9 +654,18 @@ fn cmd_live_forward(args: &Args) -> (String, i32) {
             ""
         }
     );
-    let report = match snapstab_runtime::run_forwarding_service_on(&cfg, backend.as_ref()) {
-        Ok(report) => report,
-        Err(e) => return (format!("{out}transport setup failed: {e}\n"), 1),
+    let plan = chaos.map(|mix| snapstab_runtime::ChaosPlan::profile(mix, seed));
+    let (report, chaos_report) = match &plan {
+        Some(p) => {
+            match snapstab_runtime::run_forwarding_service_chaos_on(&cfg, backend.as_ref(), p) {
+                Ok((report, c)) => (report, Some(c)),
+                Err(e) => return (format!("{out}transport setup failed: {e}\n"), 1),
+            }
+        }
+        None => match snapstab_runtime::run_forwarding_service_on(&cfg, backend.as_ref()) {
+            Ok(report) => (report, None),
+            Err(e) => return (format!("{out}transport setup failed: {e}\n"), 1),
+        },
     };
     let total = payloads * n as u64;
     out.push_str(&format!(
@@ -544,6 +678,10 @@ fn cmd_live_forward(args: &Args) -> (String, i32) {
         report.msgs_per_sec(),
         report.spurious,
     ));
+    out.push_str(&link_counters_line(&report.stats.links));
+    if let (Some(mix), Some(c)) = (chaos, &chaos_report) {
+        out.push_str(&chaos_summary(mix, c));
+    }
     if let Some((min, mean, max)) = report.latency_min_mean_max() {
         out.push_str(&format!(
             "end-to-end latency: min {:.2} / mean {:.2} / max {:.2} ms\n",
@@ -552,19 +690,39 @@ fn cmd_live_forward(args: &Args) -> (String, i32) {
             max.as_secs_f64() * 1e3,
         ));
     }
-    let mut failed = report.delivered < total;
+    // Under chaos, state corruption may destroy payloads in flight
+    // through protocol buffers; the epoch verdict (which classifies them
+    // as interrupted at a fault boundary) is the pass/fail signal, not
+    // the raw delivery count.
+    let mut failed = chaos_report.is_none() && report.delivered < total;
     if let Some(trace) = &report.trace {
-        let spec = analyze_forwarding_trace(trace, n);
-        out.push_str(&format!(
-            "spec 4 on the merged live trace: lost: {}; duplicated ids: {}; \
-             corrupt deliveries: {}; spurious: {}; holds: {}\n",
-            spec.lost.len(),
-            spec.duplicate_ids.len(),
-            spec.corrupt_deliveries.len(),
-            spec.spurious,
-            spec.holds(),
-        ));
-        failed |= !spec.holds();
+        if let Some(c) = &chaos_report {
+            let epochs = snapstab_core::spec::analyze_forwarding_epochs(trace, n, &c.fault_steps);
+            out.push_str(&format!(
+                "spec 4 per epoch: {} epoch(s), {} delivered, {} interrupted at \
+                 fault boundaries, {} epoch-crossing, {} forged fault mark(s); \
+                 holds: {}\n",
+                epochs.epochs_checked(),
+                epochs.delivered_total(),
+                epochs.interrupted_total(),
+                epochs.crossing.len(),
+                epochs.forged_marks.len(),
+                epochs.holds(),
+            ));
+            failed |= !epochs.holds();
+        } else {
+            let spec = analyze_forwarding_trace(trace, n);
+            out.push_str(&format!(
+                "spec 4 on the merged live trace: lost: {}; duplicated ids: {}; \
+                 corrupt deliveries: {}; spurious: {}; holds: {}\n",
+                spec.lost.len(),
+                spec.duplicate_ids.len(),
+                spec.corrupt_deliveries.len(),
+                spec.spurious,
+                spec.holds(),
+            ));
+            failed |= !spec.holds();
+        }
     }
     if args.has("trace") {
         for (i, lat) in report.latencies.iter().take(20).enumerate() {
@@ -807,6 +965,68 @@ mod tests {
         assert!(out.contains("queue depth 2 per shard"), "{out}");
         assert!(out.contains("served 6/6"), "{out}");
         assert_eq!(code, 0, "{out}");
+    }
+
+    #[test]
+    fn live_unknown_chaos_exits_2_and_lists_valid_set() {
+        let (out, code) = cmd_live(&parse("live --n 3 --chaos gremlins"));
+        assert_eq!(code, 2, "usage errors exit 2:\n{out}");
+        assert!(out.contains("unknown --chaos `gremlins`"), "{out}");
+        assert!(
+            out.contains("valid values are corrupt, crash, partition, storm, all"),
+            "{out}"
+        );
+        assert!(out.contains("USAGE"), "{out}");
+        // A bare `--chaos` switch (no profile) gets the same treatment.
+        let (out, code) = cmd_live(&parse("live --n 3 --chaos"));
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("missing --chaos profile"), "{out}");
+        // The forwarding app applies the same validation.
+        let (out, code) = cmd_live(&parse("live --app forward --n 3 --chaos gremlins"));
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("unknown --chaos `gremlins`"), "{out}");
+    }
+
+    #[test]
+    fn live_chaos_with_sharded_flags_exits_2() {
+        let (out, code) = cmd_live(&parse("live --n 3 --shards 2 --chaos all"));
+        assert_eq!(code, 2, "usage errors exit 2:\n{out}");
+        assert!(out.contains("--chaos is not supported"), "{out}");
+    }
+
+    #[test]
+    fn live_reports_link_counters() {
+        let (out, code) = cmd_live(&parse(
+            "live --n 3 --requests 1 --loss 0.2 --budget-secs 40",
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("link counters:"), "{out}");
+        assert!(out.contains("in transit"), "{out}");
+        assert!(out.contains("reorder"), "{out}");
+    }
+
+    #[test]
+    fn live_chaos_run_serves_and_reports_epochs() {
+        let (out, code) = cmd_live(&parse(
+            "live --n 3 --requests 3 --chaos all --seed 9 --budget-secs 60",
+        ));
+        assert!(out.contains("chaos (all profile):"), "{out}");
+        assert!(out.contains("served 9/9"), "{out}");
+        // --chaos implies --check: the epoch verdict is always printed.
+        assert!(out.contains("spec 3 per epoch:"), "{out}");
+        assert!(out.contains("holds: true"), "{out}");
+        assert_eq!(code, 0, "healthy chaos run exits 0:\n{out}");
+    }
+
+    #[test]
+    fn live_forward_chaos_run_reports_epochs() {
+        let (out, code) = cmd_live(&parse(
+            "live --app forward --n 3 --requests 2 --chaos partition --seed 4 --budget-secs 60",
+        ));
+        assert!(out.contains("chaos (partition profile):"), "{out}");
+        assert!(out.contains("spec 4 per epoch:"), "{out}");
+        assert!(out.contains("holds: true"), "{out}");
+        assert_eq!(code, 0, "healthy forwarding chaos run exits 0:\n{out}");
     }
 
     #[test]

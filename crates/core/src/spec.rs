@@ -538,6 +538,286 @@ pub fn analyze_forwarding_trace(
     report
 }
 
+/// The marker-label prefix reserved for *authoritative* transient-fault
+/// injections (mid-run state corruption by the chaos engine or the
+/// supervisor's adversarial restarts). Epoch segmentation splits traces at
+/// these marks; any marker carrying this prefix at a step the harness did
+/// not vouch for is a *forged* fault mark and fails the epoch verdict —
+/// otherwise a buggy protocol could excuse its violations by planting
+/// fault marks around them.
+pub const CHAOS_MARK_PREFIX: &str = "chaos:";
+
+/// Sorted, deduplicated copy of an authoritative fault-step list.
+fn normalize_faults(faults: &[u64]) -> Vec<u64> {
+    let mut f = faults.to_vec();
+    f.sort_unstable();
+    f.dedup();
+    f
+}
+
+/// Markers carrying [`CHAOS_MARK_PREFIX`] at steps *not* in the
+/// authoritative fault list: forged fault marks.
+fn forged_chaos_marks<M, E>(trace: &Trace<M, E>, faults: &[u64]) -> Vec<(ProcessId, u64, String)> {
+    let mut forged: Vec<(ProcessId, u64, String)> = trace
+        .markers()
+        .filter(|(step, _, label)| {
+            label.starts_with(CHAOS_MARK_PREFIX) && faults.binary_search(step).is_err()
+        })
+        .map(|(step, q, label)| (q, step, label.to_string()))
+        .collect();
+    forged.sort_unstable_by_key(|(q, step, _)| (*step, q.index()));
+    forged
+}
+
+/// Splits a merged trace into *fault epochs* at the given authoritative
+/// fault steps (mid-run transient-fault injections): epoch `k` holds every
+/// entry whose step is at least the `k`-th fault step and below the next
+/// one. The fault mark itself opens its epoch, so everything *caused* by
+/// the corrupted state (stamped at later steps) is judged inside the new
+/// epoch. With no faults the whole trace is one epoch.
+///
+/// This is the executable rendering of the paper's footnote-1 semantics
+/// extended to faults landing mid-run: guarantees re-attach to every
+/// request started after the last transient fault, so each epoch is judged
+/// as a fresh snap-stabilizing run whose "arbitrary initial configuration"
+/// is whatever the fault left behind.
+pub fn split_at_faults<M: Clone, E: Clone>(
+    trace: &Trace<M, E>,
+    faults: &[u64],
+) -> Vec<Trace<M, E>> {
+    let faults = normalize_faults(faults);
+    let mut parts: Vec<Trace<M, E>> = (0..=faults.len()).map(|_| Trace::new()).collect();
+    for te in trace.iter() {
+        let k = faults.partition_point(|&f| f <= te.step);
+        parts[k].push(te.step, te.event.clone());
+    }
+    parts
+}
+
+/// One epoch's Specification 3 verdict — see [`analyze_me_epochs`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MeEpochVerdict {
+    /// First step of the epoch: 0, or the fault step that opened it.
+    pub start: u64,
+    /// The plain Specification 3 report over this epoch's sub-trace.
+    /// In non-final epochs its `unserved` list has been emptied into
+    /// [`MeEpochVerdict::interrupted`].
+    pub report: MeReport,
+    /// Requests pending when the epoch's closing fault landed: in-flight
+    /// at a fault boundary, so footnote 1 voids their guarantee. They are
+    /// *classified* here — visible, counted — rather than silently
+    /// excused, exactly like stale forwarding entries.
+    pub interrupted: Vec<(ProcessId, u64)>,
+}
+
+/// Epoch-segmented Specification 3 verdict — see [`analyze_me_epochs`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MeEpochReport {
+    /// Per-epoch verdicts, chronological; always at least one.
+    pub epochs: Vec<MeEpochVerdict>,
+    /// `(process, step, label)` of chaos-prefixed markers at steps the
+    /// harness did not vouch for. Non-empty ⇒ the trace is untrustworthy
+    /// and the verdict fails.
+    pub forged_marks: Vec<(ProcessId, u64, String)>,
+}
+
+impl MeEpochReport {
+    /// True if the epoch-segmented Specification 3 holds: no forged fault
+    /// marks, and within every epoch no two genuine CS executions overlap
+    /// and every request *started in that epoch and not interrupted by
+    /// its closing fault* was served in it.
+    pub fn holds(&self) -> bool {
+        self.forged_marks.is_empty()
+            && self
+                .epochs
+                .iter()
+                .all(|e| e.report.exclusivity_holds() && e.report.all_served())
+    }
+
+    /// Number of epochs judged.
+    pub fn epochs_checked(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Requests served across all epochs.
+    pub fn served_total(&self) -> usize {
+        self.epochs.iter().map(|e| e.report.served.len()).sum()
+    }
+
+    /// Requests interrupted at fault boundaries across all epochs.
+    pub fn interrupted_total(&self) -> usize {
+        self.epochs.iter().map(|e| e.interrupted.len()).sum()
+    }
+}
+
+/// Epoch-segmented Specification 3: splits the trace at the authoritative
+/// fault steps ([`split_at_faults`]) and runs [`analyze_me_trace`] per
+/// epoch. Requests started after the last fault of an epoch must satisfy
+/// the specification exactly; requests in flight when a fault lands are
+/// reclassified from `unserved` to [`MeEpochVerdict::interrupted`]
+/// (classified, not excused — footnote 1 voids only *their* guarantee).
+/// A CS interval crossing a boundary is judged non-genuine in the new
+/// epoch (its request marker belongs to the old one), so it can never
+/// mask a post-fault exclusivity violation. Chaos-prefixed markers not in
+/// `faults` are collected as [`MeEpochReport::forged_marks`] and fail the
+/// verdict.
+pub fn analyze_me_epochs<M: Message>(
+    trace: &Trace<M, MeEvent>,
+    n: usize,
+    faults: &[u64],
+) -> MeEpochReport {
+    let faults = normalize_faults(faults);
+    let forged_marks = forged_chaos_marks(trace, &faults);
+    let parts = split_at_faults(trace, &faults);
+    let last = parts.len() - 1;
+    let epochs = parts
+        .iter()
+        .enumerate()
+        .map(|(k, part)| {
+            let mut report = analyze_me_trace(part, n);
+            let interrupted = if k < last {
+                std::mem::take(&mut report.unserved)
+            } else {
+                Vec::new()
+            };
+            MeEpochVerdict {
+                start: if k == 0 { 0 } else { faults[k - 1] },
+                report,
+                interrupted,
+            }
+        })
+        .collect();
+    MeEpochReport {
+        epochs,
+        forged_marks,
+    }
+}
+
+/// One epoch's Specification 4 verdict — see
+/// [`analyze_forwarding_epochs`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ForwardingEpochVerdict {
+    /// First step of the epoch: 0, or the fault step that opened it.
+    pub start: u64,
+    /// The plain Specification 4 report over this epoch's sub-trace. In
+    /// non-final epochs its `lost` list has been emptied into
+    /// [`ForwardingEpochVerdict::interrupted`].
+    pub report: ForwardingReport,
+    /// Payloads injected in this epoch but still in flight when its
+    /// closing fault landed — classified, not silently excused.
+    pub interrupted: Vec<Payload>,
+}
+
+/// Epoch-segmented Specification 4 verdict — see
+/// [`analyze_forwarding_epochs`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ForwardingEpochReport {
+    /// Per-epoch verdicts, chronological; always at least one.
+    pub epochs: Vec<ForwardingEpochVerdict>,
+    /// Forged chaos marks (see [`MeEpochReport::forged_marks`]).
+    pub forged_marks: Vec<(ProcessId, u64, String)>,
+    /// Ids injected in one epoch and delivered in a *later* one: the
+    /// fault between voids their exactly-once guarantee (their deliveries
+    /// land in the later epoch's `spurious`/`stale_duplicates` counts),
+    /// but they are classified here so boundary-crossers stay visible.
+    pub crossing: Vec<u64>,
+}
+
+impl ForwardingEpochReport {
+    /// True if the epoch-segmented Specification 4 holds: no forged fault
+    /// marks, and within every epoch no duplicated injected id, no
+    /// corrupted delivery, and every payload injected after the epoch's
+    /// opening fault and not interrupted by its closing one delivered in
+    /// it.
+    pub fn holds(&self) -> bool {
+        self.forged_marks.is_empty()
+            && self.epochs.iter().all(|e| {
+                e.report.duplicate_ids.is_empty()
+                    && e.report.corrupt_deliveries.is_empty()
+                    && e.report.lost.is_empty()
+            })
+    }
+
+    /// Number of epochs judged.
+    pub fn epochs_checked(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Payloads delivered intact within their own epoch, across epochs.
+    pub fn delivered_total(&self) -> usize {
+        self.epochs.iter().map(|e| e.report.delivered.len()).sum()
+    }
+
+    /// Payloads interrupted at fault boundaries across all epochs.
+    pub fn interrupted_total(&self) -> usize {
+        self.epochs.iter().map(|e| e.interrupted.len()).sum()
+    }
+}
+
+/// Epoch-segmented Specification 4: splits the trace at the authoritative
+/// fault steps and runs [`analyze_forwarding_trace`] per epoch. Payloads
+/// injected after the last fault of an epoch must be delivered exactly
+/// once within it; payloads in flight at a fault boundary are reclassified
+/// from `lost` to [`ForwardingEpochVerdict::interrupted`], and deliveries
+/// of pre-fault ids landing after the fault are classified in
+/// [`ForwardingEpochReport::crossing`]. Forged chaos marks fail the
+/// verdict.
+pub fn analyze_forwarding_epochs(
+    trace: &Trace<ForwardMsg, ForwardEvent>,
+    n: usize,
+    faults: &[u64],
+) -> ForwardingEpochReport {
+    let faults = normalize_faults(faults);
+    let forged_marks = forged_chaos_marks(trace, &faults);
+    let parts = split_at_faults(trace, &faults);
+    let last = parts.len() - 1;
+
+    // Classify boundary-crossing ids from the whole trace: injection
+    // epoch per id, then any delivery of it in a strictly later epoch.
+    let epoch_of = |step: u64| faults.partition_point(|&f| f <= step);
+    let mut inject_epoch: HashMap<u64, usize> = HashMap::new();
+    for (step, _, event) in trace.protocol_events() {
+        if let ForwardEvent::Injected { payload } = event {
+            inject_epoch.entry(payload.id).or_insert(epoch_of(step));
+        }
+    }
+    let mut crossing: Vec<u64> = trace
+        .protocol_events()
+        .filter_map(|(step, _, event)| match event {
+            ForwardEvent::Delivered { payload, .. } => inject_epoch
+                .get(&payload.id)
+                .filter(|&&inj| epoch_of(step) > inj)
+                .map(|_| payload.id),
+            _ => None,
+        })
+        .collect();
+    crossing.sort_unstable();
+    crossing.dedup();
+
+    let epochs = parts
+        .iter()
+        .enumerate()
+        .map(|(k, part)| {
+            let mut report = analyze_forwarding_trace(part, n);
+            let interrupted = if k < last {
+                std::mem::take(&mut report.lost)
+            } else {
+                Vec::new()
+            };
+            ForwardingEpochVerdict {
+                start: if k == 0 { 0 } else { faults[k - 1] },
+                report,
+                interrupted,
+            }
+        })
+        .collect();
+    ForwardingEpochReport {
+        epochs,
+        forged_marks,
+        crossing,
+    }
+}
+
 /// Property 1: after a complete PIF from `p`, no initial-configuration
 /// message survives in the channels from and to `p`. `is_junk` identifies
 /// the pre-loaded messages (tests use sentinel payloads).
@@ -1064,6 +1344,220 @@ mod tests {
         push_injected(&mut t, 4, m);
         let r = analyze_forwarding_trace(&t, 3);
         assert!(!r.holds(), "{r:?}");
+    }
+
+    /// Pushes the full genuine service pattern for one request at `p_i`:
+    /// request marker, Started, CS `[enter, enter]`, Served.
+    fn push_served_request(t: &mut MTrace, p_i: usize, req: u64, enter: u64) {
+        t.push_marker(req, p(p_i), "request");
+        for (step, event) in [
+            (req + 1, MeEvent::Started),
+            (enter, MeEvent::CsEnter),
+            (enter, MeEvent::CsExit),
+            (enter, MeEvent::Served),
+        ] {
+            t.push(step, TraceEvent::Protocol { p: p(p_i), event });
+        }
+    }
+
+    #[test]
+    fn split_at_faults_opens_epoch_at_fault_step() {
+        let mut t = MTrace::new();
+        t.push_marker(3, p(0), "request");
+        t.push_marker(5, p(1), "chaos:corrupt");
+        t.push_marker(7, p(0), "request");
+        let parts = split_at_faults(&t, &[5]);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].len(), 1, "pre-fault entries only");
+        // The fault mark itself opens the new epoch.
+        let steps: Vec<u64> = parts[1].iter().map(|te| te.step).collect();
+        assert_eq!(steps, vec![5, 7]);
+        // No faults: one epoch, the whole trace.
+        assert_eq!(split_at_faults(&t, &[]).len(), 1);
+    }
+
+    /// Fault mid-wave: the pre-fault request is classified `interrupted`
+    /// (exempt from the epoch verdict), and the post-fault epoch is
+    /// judged on its own.
+    #[test]
+    fn me_epochs_classify_prefault_request_as_interrupted() {
+        let mut t = MTrace::new();
+        // P0's request is in flight when the fault lands at step 10 —
+        // never served.
+        t.push_marker(4, p(0), "request");
+        t.push(
+            5,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: MeEvent::Started,
+            },
+        );
+        t.push_marker(10, p(1), "chaos:corrupt");
+        // P1's post-fault request runs the full genuine pattern.
+        push_served_request(&mut t, 1, 12, 20);
+        let r = analyze_me_epochs(&t, 2, &[10]);
+        assert_eq!(r.epochs_checked(), 2);
+        assert!(r.holds(), "{r:?}");
+        assert_eq!(r.epochs[0].interrupted, vec![(p(0), 4)]);
+        assert!(r.epochs[0].report.unserved.is_empty(), "moved, not kept");
+        assert_eq!(r.epochs[1].start, 10);
+        assert_eq!(r.served_total(), 1);
+        assert_eq!(r.interrupted_total(), 1);
+        // The same trace WITHOUT epoch segmentation fails: the plain
+        // checker has no license to excuse the interrupted request.
+        assert!(!analyze_me_trace(&t, 2).all_served());
+    }
+
+    /// A post-fault violation is NOT excused by the fault: two genuine
+    /// overlapping CS executions inside the new epoch still fail.
+    #[test]
+    fn me_epochs_post_fault_violation_still_fails() {
+        let mut t = MTrace::new();
+        t.push_marker(5, p(0), "chaos:corrupt");
+        // Both requests start after the fault; their CS intervals overlap.
+        for (i, req, enter) in [(0usize, 10u64, 20u64), (1, 11, 20)] {
+            push_served_request(&mut t, i, req, enter);
+        }
+        let r = analyze_me_epochs(&t, 2, &[5]);
+        assert!(!r.holds());
+        assert_eq!(r.epochs[1].report.genuine_overlaps.len(), 1);
+        assert!(r.forged_marks.is_empty());
+    }
+
+    /// A CS interval crossing the fault boundary is non-genuine in the
+    /// new epoch (its request belongs to the old one) — it cannot mask a
+    /// violation, and it cannot count as service of the old request.
+    #[test]
+    fn me_epochs_boundary_crossing_interval_is_not_genuine() {
+        let mut t = MTrace::new();
+        t.push_marker(2, p(0), "request");
+        t.push(
+            3,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: MeEvent::Started,
+            },
+        );
+        t.push(
+            4,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: MeEvent::CsEnter,
+            },
+        );
+        t.push_marker(6, p(1), "chaos:corrupt");
+        // Exit + Served land after the fault.
+        for event in [MeEvent::CsExit, MeEvent::Served] {
+            t.push(8, TraceEvent::Protocol { p: p(0), event });
+        }
+        let r = analyze_me_epochs(&t, 2, &[6]);
+        assert!(r.holds(), "{r:?}");
+        // Old epoch: the request is interrupted, its interval closed at
+        // the boundary. New epoch: no genuine interval, no served.
+        assert_eq!(r.epochs[0].interrupted, vec![(p(0), 2)]);
+        assert!(r.epochs[1].report.intervals.iter().all(|iv| !iv.genuine));
+        assert_eq!(r.served_total(), 0);
+    }
+
+    /// Forged fault marks — chaos-prefixed markers at steps the harness
+    /// did not vouch for — fail the verdict even on an otherwise clean
+    /// trace.
+    #[test]
+    fn me_epochs_reject_forged_fault_marks() {
+        let mut t = MTrace::new();
+        push_served_request(&mut t, 0, 2, 8);
+        // A protocol (or adversary) planting its own fault mark to buy an
+        // excuse: not in the authoritative list.
+        t.push_marker(5, p(0), "chaos:corrupt");
+        let r = analyze_me_epochs(&t, 1, &[]);
+        assert!(!r.holds());
+        assert_eq!(r.forged_marks.len(), 1);
+        assert_eq!(r.forged_marks[0].1, 5);
+        // The same mark, vouched for, is fine.
+        assert!(analyze_me_epochs(&t, 1, &[5]).holds());
+        // Non-chaos markers are never forged marks.
+        let mut clean = MTrace::new();
+        push_served_request(&mut clean, 0, 2, 8);
+        clean.push_marker(5, p(0), "crash");
+        assert!(analyze_me_epochs(&clean, 1, &[]).holds());
+    }
+
+    #[test]
+    fn me_epochs_with_no_faults_match_plain_checker() {
+        let mut t = MTrace::new();
+        push_served_request(&mut t, 0, 2, 8);
+        push_served_request(&mut t, 1, 3, 12);
+        let plain = analyze_me_trace(&t, 2);
+        let epochs = analyze_me_epochs(&t, 2, &[]);
+        assert_eq!(epochs.epochs_checked(), 1);
+        assert_eq!(epochs.epochs[0].report, plain);
+        assert!(epochs.holds());
+    }
+
+    /// Forwarding: a payload in flight at the fault boundary is
+    /// interrupted; its post-fault delivery is classified `crossing`; a
+    /// post-fault injected payload still gets the strict verdict.
+    #[test]
+    fn forwarding_epochs_classify_interrupted_and_crossing() {
+        let mut t = FTrace::new();
+        let a = fwd_payload(0, 2, 1); // in flight at the fault
+        let b = fwd_payload(2, 0, 2); // injected + delivered post-fault
+        push_injected(&mut t, 2, a);
+        t.push_marker(5, p(1), "chaos:corrupt");
+        push_injected(&mut t, 6, b);
+        push_delivered(&mut t, 8, 2, a); // crosses the boundary
+        push_delivered(&mut t, 9, 0, b);
+        let r = analyze_forwarding_epochs(&t, 3, &[5]);
+        assert!(r.holds(), "{r:?}");
+        assert_eq!(r.epochs_checked(), 2);
+        assert_eq!(r.epochs[0].interrupted, vec![a]);
+        assert_eq!(r.crossing, vec![1]);
+        assert_eq!(r.delivered_total(), 1, "only b counts in-epoch");
+        // Without segmentation the same trace is simply clean (a was
+        // delivered) — segmentation is *stricter* bookkeeping, looser
+        // only about what the fault itself voided.
+        assert!(analyze_forwarding_trace(&t, 3).holds());
+    }
+
+    /// A post-fault duplicate delivery of a post-fault injection still
+    /// fails: the fault cannot excuse violations inside the new epoch.
+    #[test]
+    fn forwarding_epochs_post_fault_duplicate_fails() {
+        let mut t = FTrace::new();
+        t.push_marker(3, p(0), "chaos:corrupt");
+        let m = fwd_payload(0, 2, 7);
+        push_injected(&mut t, 4, m);
+        push_delivered(&mut t, 6, 2, m);
+        push_delivered(&mut t, 8, 2, m);
+        let r = analyze_forwarding_epochs(&t, 3, &[3]);
+        assert!(!r.holds());
+        assert_eq!(r.epochs[1].report.duplicate_ids, vec![7]);
+    }
+
+    /// Forwarding: a lost payload in the FINAL epoch is a real loss —
+    /// only a closing fault excuses in-flight payloads.
+    #[test]
+    fn forwarding_epochs_final_epoch_loss_fails() {
+        let mut t = FTrace::new();
+        t.push_marker(3, p(0), "chaos:corrupt");
+        push_injected(&mut t, 5, fwd_payload(0, 2, 9));
+        let r = analyze_forwarding_epochs(&t, 3, &[3]);
+        assert!(!r.holds());
+        assert_eq!(r.epochs[1].report.lost.len(), 1);
+        assert_eq!(r.interrupted_total(), 0);
+    }
+
+    #[test]
+    fn forwarding_epochs_reject_forged_marks() {
+        let mut t = FTrace::new();
+        let m = fwd_payload(0, 2, 4);
+        push_injected(&mut t, 1, m);
+        push_delivered(&mut t, 3, 2, m);
+        t.push_marker(2, p(1), "chaos:restart-corrupt");
+        let r = analyze_forwarding_epochs(&t, 3, &[]);
+        assert!(!r.holds());
+        assert_eq!(r.forged_marks.len(), 1);
+        assert!(analyze_forwarding_epochs(&t, 3, &[2]).holds());
     }
 
     #[test]

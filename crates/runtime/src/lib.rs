@@ -120,20 +120,42 @@
 //! Because the protocols are snap-stabilizing, computations started after
 //! the restart satisfy their specifications immediately — the stress
 //! tests in `tests/live_runtime.rs` exercise exactly that.
+//!
+//! ## Chaos and supervision
+//!
+//! The [`chaos`] module turns "from any configuration" into a live
+//! experiment: a [`ChaosEngine`] walks a seeded [`ChaosPlan`] of fault
+//! bursts against a running service — mid-flight state corruption,
+//! crash storms, link partitions and drop storms (the latter two through
+//! [`ChaosTransport`], a [`Transport`] decorator degrading in-memory and
+//! UDP links identically) — while a [`Supervisor`] watchdog detects
+//! crashed or wedged workers and restarts them with *adversarially
+//! corrupted* state under bounded exponential backoff. The resulting
+//! [`ChaosReport`] carries the authoritative fault steps at which
+//! `snapstab_core::spec::analyze_me_epochs` /
+//! `analyze_forwarding_epochs` segment the merged trace, requiring the
+//! paper's specifications to hold per epoch. [`run_mutex_service_chaos_on`]
+//! and [`run_forwarding_service_chaos_on`] package the whole loop.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod link;
 pub mod runner;
 pub mod service;
 pub mod transport;
 
+pub use chaos::{
+    ChaosEngine, ChaosHarness, ChaosMix, ChaosPlan, ChaosReport, ChaosTransport, FaultPlane,
+    Intervention, InterventionKind, Supervisor, SupervisorConfig,
+};
 pub use link::{LaneOf, LinkStats, LiveLink};
 pub use runner::{Driver, LiveConfig, LiveReport, LiveRunner, LiveStats, Scribe, WorkerStats};
 pub use service::{
-    run_forwarding_service, run_forwarding_service_on, run_mutex_service, run_mutex_service_on,
-    run_sharded_service, run_sharded_service_on, ForwardingServiceConfig, ForwardingServiceReport,
-    MutexServiceConfig, ServiceReport, ShardedReport, ShardedServiceConfig,
+    run_forwarding_service, run_forwarding_service_chaos_on, run_forwarding_service_on,
+    run_mutex_service, run_mutex_service_chaos_on, run_mutex_service_on, run_sharded_service,
+    run_sharded_service_on, ForwardingServiceConfig, ForwardingServiceReport, MutexServiceConfig,
+    ServiceReport, ShardedReport, ShardedServiceConfig,
 };
 pub use transport::{InMemory, Link, LinkMatrix, Transport};

@@ -182,6 +182,10 @@ struct Worker<P: Protocol> {
     outgoing: Vec<Option<Arc<dyn Link<P::Msg>>>>,
     commands: Receiver<Command<P>>,
     counter: Arc<AtomicU64>,
+    /// Shared liveness counter, bumped on every delivery and effective
+    /// activation so a supervisor can detect wedged workers from outside
+    /// without round-tripping a command.
+    activity: Arc<AtomicU64>,
     log: Trace<P::Msg, P::Event>,
     send_buf: Vec<(ProcessId, P::Msg)>,
     event_buf: Vec<P::Event>,
@@ -271,6 +275,7 @@ where
                     let from = self.incoming[idx].from();
                     let step = self.next_step();
                     self.stats.deliveries += 1;
+                    self.activity.fetch_add(1, Ordering::Relaxed);
                     if self.record {
                         self.log.push(
                             step,
@@ -324,6 +329,7 @@ where
                 let acted = self.protocol.activate(&mut ctx);
                 if acted {
                     self.stats.effective_activations += 1;
+                    self.activity.fetch_add(1, Ordering::Relaxed);
                 }
                 if self.record {
                     self.log
@@ -387,6 +393,13 @@ pub struct LiveRunner<P: Protocol> {
     /// State of workers whose thread was crashed ([`LiveRunner::crash`]),
     /// kept for [`LiveRunner::restart`] or final collection.
     parked: Vec<Option<WorkerReport<P>>>,
+    /// Per-worker liveness counters (deliveries + effective activations),
+    /// shared with the worker threads — see [`LiveRunner::activity`].
+    activity: Vec<Arc<AtomicU64>>,
+    /// Crash calls on an already-crashed worker (counted no-ops).
+    crash_noops: u64,
+    /// Restart calls on a live worker (counted no-ops).
+    restart_noops: u64,
     started: Instant,
 }
 
@@ -495,6 +508,9 @@ where
             handles: (0..n).map(|_| None).collect(),
             senders: Vec::with_capacity(n),
             parked: (0..n).map(|_| None).collect(),
+            activity: (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect(),
+            crash_noops: 0,
+            restart_noops: 0,
             // Placeholder; reset below once every worker is spawned, so
             // wall-clock throughput excludes thread-spawn cost.
             started: Instant::now(),
@@ -549,6 +565,7 @@ where
             outgoing,
             commands,
             counter: self.counter.clone(),
+            activity: self.activity[i].clone(),
             log,
             send_buf: Vec::new(),
             event_buf: Vec::new(),
@@ -577,6 +594,27 @@ where
     /// True if worker `p` is currently crashed.
     pub fn is_crashed(&self, p: ProcessId) -> bool {
         self.parked[p.index()].is_some()
+    }
+
+    /// Worker `p`'s liveness counter: deliveries plus effective
+    /// activations, bumped by the worker thread itself. A supervisor
+    /// polls this to detect *wedged* workers (no effective progress
+    /// within a deadline) without round-tripping a command through the
+    /// worker — a wedged worker might be slow to answer one.
+    pub fn activity(&self, p: ProcessId) -> u64 {
+        self.activity[p.index()].load(Ordering::Relaxed)
+    }
+
+    /// How many [`LiveRunner::crash`] calls were no-ops (worker already
+    /// crashed).
+    pub fn crash_noops(&self) -> u64 {
+        self.crash_noops
+    }
+
+    /// How many [`LiveRunner::restart`] calls were no-ops (worker not
+    /// crashed).
+    pub fn restart_noops(&self) -> u64 {
+        self.restart_noops
     }
 
     /// Runs a closure against process `p` with scribe access, atomically
@@ -661,15 +699,24 @@ where
     /// have sent appears — exactly the simulator's crash semantics, but
     /// enforced by an actually-dead thread.
     ///
+    /// Idempotent: crashing an already-crashed worker is a counted no-op
+    /// ([`LiveRunner::crash_noops`]) returning `false`, so a supervisor
+    /// and a chaos schedule can race without tearing the runner down.
+    /// Returns `true` if the worker was actually crashed by this call.
+    ///
     /// # Panics
     ///
-    /// Panics if `p` is already crashed.
-    pub fn crash(&mut self, p: ProcessId) {
+    /// Panics only if the worker thread itself panicked (a protocol bug).
+    pub fn crash(&mut self, p: ProcessId) -> bool {
         let i = p.index();
-        let handle = self.handles[i].take().expect("worker already crashed");
-        self.senders[i]
-            .send(Command::Stop)
-            .expect("command channel");
+        let Some(handle) = self.handles[i].take() else {
+            self.crash_noops += 1;
+            return false;
+        };
+        // The worker exits on a disconnected command channel too, so a
+        // failed send (it already observed Stop and dropped the receiver)
+        // is fine — never panic on the race.
+        let _ = self.senders[i].send(Command::Stop);
         handle.thread().unpark();
         let mut report = handle.join().expect("worker panicked");
         if self.config.record_trace {
@@ -677,18 +724,22 @@ where
             report.log.push_marker(step, p, "crash");
         }
         self.parked[i] = Some(report);
+        true
     }
 
     /// Respawns a previously crashed worker on a fresh OS thread, resuming
     /// from its surviving process state. Its incoming links re-register
     /// the new thread for wake-ups; backlogged messages get delivered.
     ///
-    /// # Panics
-    ///
-    /// Panics if `p` is not crashed.
-    pub fn restart(&mut self, p: ProcessId) {
+    /// Idempotent: restarting a never-crashed or already-restarted worker
+    /// is a counted no-op ([`LiveRunner::restart_noops`]) returning
+    /// `false`. Returns `true` if a thread was actually respawned.
+    pub fn restart(&mut self, p: ProcessId) -> bool {
         let i = p.index();
-        let mut report = self.parked[i].take().expect("worker is not crashed");
+        let Some(mut report) = self.parked[i].take() else {
+            self.restart_noops += 1;
+            return false;
+        };
         if self.config.record_trace {
             let step = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
             report.log.push_marker(step, p, "restart");
@@ -704,6 +755,7 @@ where
             rx,
         );
         self.handles[i] = Some(handle);
+        true
     }
 
     /// Stops every worker, joins the threads, and merges the per-worker
@@ -907,5 +959,61 @@ mod tests {
         r.crash(p(1));
         let report = r.stop();
         assert_eq!(report.processes.len(), 2);
+    }
+
+    /// Satellite regression: crash/restart are idempotent counted no-ops,
+    /// never panics — a supervisor and a chaos schedule may race.
+    #[test]
+    fn crash_restart_idempotent_counted_noops() {
+        let mut r = LiveRunner::spawn(idl_fleet(3), LiveConfig::default());
+        // Restart of a never-crashed worker: no-op.
+        assert!(!r.restart(p(1)));
+        assert_eq!(r.restart_noops(), 1);
+        // First crash acts; second is a no-op.
+        assert!(r.crash(p(1)));
+        assert!(!r.crash(p(1)));
+        assert_eq!(r.crash_noops(), 1);
+        assert!(r.is_crashed(p(1)));
+        // First restart acts; second (already restarted) is a no-op.
+        assert!(r.restart(p(1)));
+        assert!(!r.restart(p(1)));
+        assert_eq!(r.restart_noops(), 2);
+        assert!(!r.is_crashed(p(1)));
+        // The restarted worker is actually alive: it still answers and
+        // makes protocol progress.
+        r.with_process(p(1), |m: &mut IdlProcess| m.request_learning());
+        assert!(r.wait_until(
+            p(1),
+            |m: &IdlProcess| m.request() == RequestState::Done,
+            Duration::from_secs(30),
+        ));
+        let report = r.stop();
+        // Exactly one crash/restart marker pair despite the double calls.
+        let count = |label: &str| {
+            report
+                .trace
+                .markers()
+                .filter(|(_, _, l)| *l == label)
+                .count()
+        };
+        assert_eq!(count("crash"), 1);
+        assert_eq!(count("restart"), 1);
+    }
+
+    #[test]
+    fn activity_counter_tracks_worker_progress() {
+        let mut r = LiveRunner::spawn(idl_fleet(3), LiveConfig::default());
+        let before = r.activity(p(0));
+        r.with_process(p(0), |m: &mut IdlProcess| m.request_learning());
+        assert!(r.wait_until(
+            p(0),
+            |m: &IdlProcess| m.request() == RequestState::Done,
+            Duration::from_secs(30),
+        ));
+        assert!(
+            r.activity(p(0)) > before,
+            "a wave must register as activity"
+        );
+        r.stop();
     }
 }

@@ -38,6 +38,7 @@ use snapstab_core::shard::{
 };
 use snapstab_sim::{ProcessId, SimRng, Trace};
 
+use crate::chaos::{ChaosHarness, ChaosPlan, ChaosReport, ChaosTransport};
 use crate::runner::{Driver, LiveConfig, LiveRunner, LiveStats};
 use crate::transport::{InMemory, Transport};
 
@@ -149,6 +150,32 @@ pub fn run_mutex_service_on(
     cfg: &MutexServiceConfig,
     transport: &dyn Transport<MeMsg>,
 ) -> std::io::Result<ServiceReport> {
+    mutex_service_impl(cfg, transport, None).map(|(report, _)| report)
+}
+
+/// [`run_mutex_service_on`] under a live chaos schedule: the transport is
+/// wrapped in a [`ChaosTransport`] and a [`ChaosHarness`] injects the
+/// plan's fault bursts *mid-run* — state corruption, crash storms healed
+/// by the supervisor's adversarially corrupted restarts, partitions and
+/// drop storms — while the client workload runs. The loop continues until
+/// every request is served **and** the schedule has drained (so every
+/// planned burst really lands), or the time budget expires. The returned
+/// [`ChaosReport`] carries the authoritative fault steps for
+/// `snapstab_core::spec::analyze_me_epochs` over the merged trace.
+pub fn run_mutex_service_chaos_on(
+    cfg: &MutexServiceConfig,
+    transport: &dyn Transport<MeMsg>,
+    plan: &ChaosPlan,
+) -> std::io::Result<(ServiceReport, ChaosReport)> {
+    mutex_service_impl(cfg, transport, Some(plan))
+        .map(|(report, chaos)| (report, chaos.expect("chaos plan was given")))
+}
+
+fn mutex_service_impl(
+    cfg: &MutexServiceConfig,
+    transport: &dyn Transport<MeMsg>,
+    plan: Option<&ChaosPlan>,
+) -> std::io::Result<(ServiceReport, Option<ChaosReport>)> {
     let n = cfg.n;
     let processes: Vec<MeProcess> = (0..n)
         .map(|i| {
@@ -202,11 +229,28 @@ pub fn run_mutex_service_on(
         .collect();
 
     let record = cfg.live.record_trace;
-    let runner = LiveRunner::spawn_with_transport(processes, drivers, cfg.live.clone(), transport)?;
+    let chaos_transport = plan.map(|_| ChaosTransport::new(transport, n));
+    let mut runner = match &chaos_transport {
+        Some(ct) => LiveRunner::spawn_with_transport(processes, drivers, cfg.live.clone(), ct)?,
+        None => LiveRunner::spawn_with_transport(processes, drivers, cfg.live.clone(), transport)?,
+    };
+    let mut harness = plan.map(|p| {
+        let plane = chaos_transport.as_ref().expect("wrapped above").plane();
+        ChaosHarness::new(p, plane, n, &cfg.live)
+    });
     let deadline = Instant::now() + cfg.time_budget;
-    while served.load(Ordering::Relaxed) < total && Instant::now() < deadline {
+    loop {
+        let work_done = served.load(Ordering::Relaxed) >= total;
+        let chaos_done = harness.as_ref().is_none_or(|h| h.done(&runner));
+        if (work_done && chaos_done) || Instant::now() >= deadline {
+            break;
+        }
         std::thread::sleep(Duration::from_millis(2));
+        if let Some(h) = harness.as_mut() {
+            h.tick(&mut runner, served.load(Ordering::Relaxed));
+        }
     }
+    let chaos_report = harness.map(|h| h.finish(&mut runner));
     let report = runner.stop();
 
     let cs_entries = report
@@ -215,16 +259,19 @@ pub fn run_mutex_service_on(
         .map(|m| m.counters().cs_entries)
         .sum();
     let latencies = std::mem::take(&mut *latencies.lock().expect("latency log"));
-    Ok(ServiceReport {
-        injected: injected.load(Ordering::Relaxed),
-        served: served.load(Ordering::Relaxed),
-        cs_entries,
-        wall: report.wall,
-        stats: report.stats,
-        trace: record.then_some(report.trace),
-        processes: report.processes,
-        latencies,
-    })
+    Ok((
+        ServiceReport {
+            injected: injected.load(Ordering::Relaxed),
+            served: served.load(Ordering::Relaxed),
+            cs_entries,
+            wall: report.wall,
+            stats: report.stats,
+            trace: record.then_some(report.trace),
+            processes: report.processes,
+            latencies,
+        },
+        chaos_report,
+    ))
 }
 
 /// Configuration of a sharded, batching mutex-service run
@@ -624,6 +671,30 @@ pub fn run_forwarding_service_on(
     cfg: &ForwardingServiceConfig,
     transport: &dyn Transport<ForwardMsg>,
 ) -> std::io::Result<ForwardingServiceReport> {
+    forwarding_service_impl(cfg, transport, None).map(|(report, _)| report)
+}
+
+/// [`run_forwarding_service_on`] under a live chaos schedule (see
+/// [`run_mutex_service_chaos_on`]). One forwarding-specific caveat:
+/// state corruption can destroy payloads *in flight through protocol
+/// buffers*, so unlike the fault-free service a chaos run may end below
+/// its delivery total when the budget expires — the epoch checker
+/// (`snapstab_core::spec::analyze_forwarding_epochs`) classifies those
+/// payloads as interrupted at a fault boundary rather than lost.
+pub fn run_forwarding_service_chaos_on(
+    cfg: &ForwardingServiceConfig,
+    transport: &dyn Transport<ForwardMsg>,
+    plan: &ChaosPlan,
+) -> std::io::Result<(ForwardingServiceReport, ChaosReport)> {
+    forwarding_service_impl(cfg, transport, Some(plan))
+        .map(|(report, chaos)| (report, chaos.expect("chaos plan was given")))
+}
+
+fn forwarding_service_impl(
+    cfg: &ForwardingServiceConfig,
+    transport: &dyn Transport<ForwardMsg>,
+    plan: Option<&ChaosPlan>,
+) -> std::io::Result<(ForwardingServiceReport, Option<ChaosReport>)> {
     let n = cfg.n;
     let config = ForwardConfig {
         buffer_cap: cfg.buffer_cap,
@@ -693,24 +764,47 @@ pub fn run_forwarding_service_on(
         .collect();
 
     let record = cfg.live.record_trace;
-    let runner = LiveRunner::spawn_with_transport(processes, drivers, cfg.live.clone(), transport)?;
+    let chaos_transport = plan.map(|_| ChaosTransport::new(transport, n));
+    let mut runner = match &chaos_transport {
+        Some(ct) => LiveRunner::spawn_with_transport(processes, drivers, cfg.live.clone(), ct)?,
+        None => LiveRunner::spawn_with_transport(processes, drivers, cfg.live.clone(), transport)?,
+    };
+    let mut harness = plan.map(|p| {
+        let plane = chaos_transport.as_ref().expect("wrapped above").plane();
+        ChaosHarness::new(p, plane, n, &cfg.live)
+    });
     let deadline = Instant::now() + cfg.time_budget;
-    while delivered.load(Ordering::Relaxed) < total && Instant::now() < deadline {
+    loop {
+        // Recovery is judged on *any* end-to-end completion, spurious
+        // flushes included — a corrupted run may finish below `total`.
+        let completed = delivered.load(Ordering::Relaxed) + spurious.load(Ordering::Relaxed);
+        let work_done = delivered.load(Ordering::Relaxed) >= total;
+        let chaos_done = harness.as_ref().is_none_or(|h| h.done(&runner));
+        if (work_done && chaos_done) || Instant::now() >= deadline {
+            break;
+        }
         std::thread::sleep(Duration::from_millis(2));
+        if let Some(h) = harness.as_mut() {
+            h.tick(&mut runner, completed);
+        }
     }
+    let chaos_report = harness.map(|h| h.finish(&mut runner));
     let report = runner.stop();
 
     let latencies = std::mem::take(&mut *latencies.lock().expect("latency log"));
-    Ok(ForwardingServiceReport {
-        injected: injected.load(Ordering::Relaxed),
-        delivered: delivered.load(Ordering::Relaxed),
-        spurious: spurious.load(Ordering::Relaxed),
-        wall: report.wall,
-        stats: report.stats,
-        trace: record.then_some(report.trace),
-        processes: report.processes,
-        latencies,
-    })
+    Ok((
+        ForwardingServiceReport {
+            injected: injected.load(Ordering::Relaxed),
+            delivered: delivered.load(Ordering::Relaxed),
+            spurious: spurious.load(Ordering::Relaxed),
+            wall: report.wall,
+            stats: report.stats,
+            trace: record.then_some(report.trace),
+            processes: report.processes,
+            latencies,
+        },
+        chaos_report,
+    ))
 }
 
 #[cfg(test)]
@@ -870,6 +964,39 @@ mod tests {
         let trace = report.trace.expect("recording on by default");
         let spec = snapstab_core::spec::analyze_forwarding_trace(&trace, cfg.n);
         assert!(spec.holds(), "{spec:?}");
+    }
+
+    #[test]
+    fn chaos_mutex_service_serves_and_epochs_hold() {
+        use crate::chaos::{ChaosMix, ChaosPlan};
+        let cfg = MutexServiceConfig {
+            n: 3,
+            requests_per_process: 4,
+            live: LiveConfig {
+                seed: 3,
+                ..LiveConfig::default()
+            },
+            time_budget: Duration::from_secs(60),
+            ..MutexServiceConfig::default()
+        };
+        let plan = ChaosPlan {
+            bursts: 2,
+            quiet: Duration::from_millis(25),
+            disruption: Duration::from_millis(15),
+            ..ChaosPlan::profile(ChaosMix::All, 3)
+        };
+        let (report, chaos) =
+            run_mutex_service_chaos_on(&cfg, &InMemory, &plan).expect("in-memory");
+        assert_eq!(report.served, 12, "every request served despite chaos");
+        assert_eq!(chaos.bursts_fired, 2, "both bursts landed mid-run");
+        assert!(!chaos.fault_steps.is_empty(), "corruption was injected");
+        let trace = report.trace.expect("recording on by default");
+        let epochs = snapstab_core::spec::analyze_me_epochs(&trace, cfg.n, &chaos.fault_steps);
+        assert!(
+            epochs.holds(),
+            "per-epoch Specification 3 verdict: {epochs:?}"
+        );
+        assert_eq!(epochs.epochs_checked(), chaos.fault_steps.len() + 1);
     }
 
     #[test]
