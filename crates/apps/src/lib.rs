@@ -37,5 +37,5 @@ pub mod termination;
 pub use barrier::{BarrierEvent, BarrierProcess};
 pub use leader::{LeaderEvent, LeaderProcess};
 pub use reset::{ResetEvent, ResetProcess, Resettable};
-pub use snapshot::{SnapshotEvent, SnapshotProcess};
+pub use snapshot::{SnapQuery, SnapshotEvent, SnapshotProcess, SnapshotState};
 pub use termination::{check_detection, DetectionVerdict, TdEvent, TdMsg, TerminationProcess};

@@ -1,8 +1,9 @@
 //! Q6 — live-runtime service throughput sweeps (single-leader mutex
 //! baseline + sharded/batched + in-memory-vs-UDP transport comparison +
 //! the snap-stabilizing forwarding service + the chaos-engine recovery
-//! sweep); writes `BENCH_RUNTIME.json` so future PRs have a live-path
-//! trajectory to compare against.
+//! sweep + the snapshot-monitor observability overhead pairs); writes
+//! `BENCH_RUNTIME.json` so future PRs have a live-path trajectory to
+//! compare against.
 //!
 //! Before writing, the emitted JSON is parsed back through the bench's
 //! own schema (`rtbench::validate_roundtrip`): a missing, renamed or
@@ -29,6 +30,7 @@ fn main() {
     let udp = rtbench::sweep_udp(fast);
     let forwarding = rtbench::sweep_forwarding(fast);
     let chaos = rtbench::sweep_chaos(fast);
+    let observability = rtbench::sweep_observability(fast);
     if !fast && udp.is_empty() {
         // A sandbox without sockets cannot measure the udp sweep; writing
         // would silently erase the committed rows (the schema requires
@@ -39,12 +41,32 @@ fn main() {
 
     print!(
         "{}",
-        rtbench::render(&baseline, &sharded, &udp, &forwarding, &chaos)
+        rtbench::render(
+            &baseline,
+            &sharded,
+            &udp,
+            &forwarding,
+            &chaos,
+            &observability
+        )
     );
-    let json = rtbench::to_json(&baseline, &sharded, &udp, &forwarding, &chaos);
-    if let Err(e) =
-        rtbench::validate_roundtrip(&json, &baseline, &sharded, &udp, &forwarding, &chaos)
-    {
+    let json = rtbench::to_json(
+        &baseline,
+        &sharded,
+        &udp,
+        &forwarding,
+        &chaos,
+        &observability,
+    );
+    if let Err(e) = rtbench::validate_roundtrip(
+        &json,
+        &baseline,
+        &sharded,
+        &udp,
+        &forwarding,
+        &chaos,
+        &observability,
+    ) {
         eprintln!("\nschema validation FAILED — not writing {json_path}: {e}");
         std::process::exit(1);
     }

@@ -54,6 +54,12 @@ impl Args {
         }
     }
 
+    /// The raw (unparsed) value of an option, if present — for callers
+    /// that validate with a usage error instead of a panic.
+    pub fn get_raw(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
     /// True if the boolean switch is present.
     pub fn has(&self, key: &str) -> bool {
         self.switches.iter().any(|s| s == key)

@@ -56,6 +56,16 @@ COMMAND OPTIONS
                  --queue-depth <int> (default 0): when set, runs the
                  sharded service with each per-shard client queue
                  starting ~that deep instead of --requests;
+                 --monitor: run a snap-stabilizing snapshot monitor
+                 alongside the service on the same transport — periodic
+                 global cuts (state digests, queue depths, in-flight
+                 counts, link counters) without pausing workers; prints
+                 per-cut summaries and a final JSON metrics block;
+                 with --check, the cuts are judged by Specification 5
+                 (not with --shards/--batch/--queue-depth);
+                 --monitor-interval <ms> (default 100, implies
+                 --monitor): target period between cuts, a positive
+                 integer of milliseconds;
                  forward only: --buffer <int> (default 4) per-lane
                  buffer capacity, --stale (adversarially pre-fill every
                  buffer with stale entries before starting)
@@ -277,6 +287,69 @@ fn parse_chaos(args: &Args) -> Result<Option<snapstab_runtime::ChaosMix>, (Strin
     }
 }
 
+/// Resolves `--monitor` / `--monitor-interval` to a monitor
+/// configuration: `Ok(None)` when monitoring is off, an exit-2 usage
+/// error for an invalid interval (zero or non-numeric), listing the
+/// valid input — the same contract as `parse_transport`. Passing
+/// `--monitor-interval` alone implies `--monitor` (never silently
+/// ignored, the `--queue-depth` precedent).
+fn parse_monitor(args: &Args) -> Result<Option<snapstab_runtime::MonitorConfig>, (String, i32)> {
+    let raw = args.get_raw("monitor-interval");
+    if !args.has("monitor") && raw.is_none() {
+        return Ok(None);
+    }
+    let interval_ms = match raw {
+        None => 100,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(ms) if ms > 0 => ms,
+            _ => {
+                return Err((
+                    format!(
+                        "invalid --monitor-interval `{raw}`: valid values are \
+                         positive integers (milliseconds between cuts)\n\n{USAGE}"
+                    ),
+                    2,
+                ))
+            }
+        },
+    };
+    Ok(Some(snapstab_runtime::MonitorConfig {
+        interval: std::time::Duration::from_millis(interval_ms),
+        initiator: ProcessId::new(0),
+    }))
+}
+
+/// The per-link half of the counter report: one row per directed link,
+/// identical for every transport backend (the in-memory matrix and the
+/// UDP loopback expose the same [`snapstab_runtime::LinkSample`]s).
+/// Zero-activity links are elided to keep the table proportional to the
+/// traffic, not to n².
+fn per_link_table(samples: &[snapstab_runtime::LinkSample]) -> String {
+    let mut out = String::from("per-link counters (drops full/transit/reorder, in transit):\n");
+    let mut shown = 0;
+    for s in samples {
+        if s.stats.sends == 0 && s.in_transit == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "  {}->{}: {} sends, {} delivered; drops {}/{}/{}; {} in transit\n",
+            s.from.index(),
+            s.to.index(),
+            s.stats.sends,
+            s.stats.delivered,
+            s.stats.lost_full,
+            s.stats.lost_in_transit,
+            s.stats.lost_reorder,
+            s.in_transit,
+        ));
+        shown += 1;
+    }
+    if shown == 0 {
+        out.push_str("  (no link traffic)\n");
+    }
+    out
+}
+
 /// The transport's aggregate link counters, printed in every `live`
 /// report so degradation (drop-on-full, in-transit loss, UDP reorder,
 /// chaos drops) is visible without reading the trace.
@@ -361,6 +434,10 @@ pub fn cmd_live(args: &Args) -> (String, i32) {
         Ok(c) => c,
         Err(err) => return err,
     };
+    let monitor = match parse_monitor(args) {
+        Ok(m) => m,
+        Err(err) => return err,
+    };
     // --queue-depth sizes per-shard client queues, so (like --shards and
     // --batch) it selects the sharded service — a 1-shard, batch-1
     // sharded run degenerates to the plain service, and the flag is
@@ -375,7 +452,19 @@ pub fn cmd_live(args: &Args) -> (String, i32) {
                 2,
             );
         }
+        if monitor.is_some() {
+            return (
+                format!(
+                    "--monitor is not supported with the sharded service \
+                     (--shards/--batch/--queue-depth)\n\n{USAGE}"
+                ),
+                2,
+            );
+        }
         return cmd_live_sharded(args);
+    }
+    if let Some(mon) = monitor {
+        return cmd_live_monitored_mutex(args, &mon, chaos);
     }
     let backend = match parse_transport::<snapstab_core::me::MeMsg>(&transport) {
         Ok(b) => b,
@@ -425,6 +514,7 @@ pub fn cmd_live(args: &Args) -> (String, i32) {
         report.msgs_per_sec(),
     ));
     out.push_str(&link_counters_line(&report.stats.links));
+    out.push_str(&per_link_table(&report.link_samples));
     if let (Some(mix), Some(c)) = (chaos, &chaos_report) {
         out.push_str(&chaos_summary(mix, c));
     }
@@ -470,6 +560,339 @@ pub fn cmd_live(args: &Args) -> (String, i32) {
             ));
         }
     }
+    (out, i32::from(failed))
+}
+
+/// Renders the streamed per-cut summary lines (bounded) into the report.
+fn cut_summary_lines(out: &mut String, cut_lines: &[String]) {
+    const SHOWN: usize = 20;
+    for line in cut_lines.iter().take(SHOWN) {
+        out.push_str(line);
+    }
+    if cut_lines.len() > SHOWN {
+        out.push_str(&format!(
+            "  ... {} more cut(s) elided\n",
+            cut_lines.len() - SHOWN
+        ));
+    }
+}
+
+/// The Specification 5 verdict line for a monitored run's merged trace.
+fn spec5_line(spec: &snapstab_core::spec::SnapshotReport) -> String {
+    format!(
+        "spec 5 on the merged trace: {} cut(s) decided ({} clean, {} \
+         interrupted at faults), {} refused, {} pending; fabricated: {}, \
+         torn: {}, crashed values: {}, causal violations: {}; holds: {}\n",
+        spec.cuts_decided(),
+        spec.clean_cuts(),
+        spec.interrupted_total(),
+        spec.refused.len(),
+        spec.pending.len(),
+        spec.fabricated.len(),
+        spec.torn.len(),
+        spec.crashed_values.len(),
+        spec.causal_violations.len(),
+        spec.holds(),
+    )
+}
+
+/// The final machine-readable metrics block of a monitored run.
+fn monitor_metrics_json(
+    mon: &snapstab_runtime::MonitorConfig,
+    m: &snapstab_runtime::MonitorReport,
+    work_per_sec: f64,
+) -> String {
+    format!(
+        "monitor metrics: {{\"interval_ms\":{},\"cuts\":{},\"cuts_per_sec\":{:.2},\
+         \"refused\":{},\"mean_staleness_ms\":{:.3},\"work_per_sec\":{:.1}}}\n",
+        mon.interval.as_millis(),
+        m.cuts.len(),
+        m.cuts_per_sec(),
+        m.refused,
+        m.mean_staleness().map_or(0.0, |d| d.as_secs_f64() * 1e3),
+        work_per_sec,
+    )
+}
+
+/// The monitored variant of the mutex `live` subcommand (`--monitor`):
+/// the mutual-exclusion service composed with a snap-stabilizing
+/// snapshot monitor on the same transport. Streams one summary line per
+/// decided cut, appends a JSON metrics block, and — when the trace is
+/// recorded — judges the cuts by Specification 5 and the projected
+/// service trace by Specification 3 (per fault epoch under `--chaos`).
+fn cmd_live_monitored_mutex(
+    args: &Args,
+    mon: &snapstab_runtime::MonitorConfig,
+    chaos: Option<snapstab_runtime::ChaosMix>,
+) -> (String, i32) {
+    use snapstab_core::spec::analyze_snapshot_trace;
+    use snapstab_runtime::{LiveConfig, MonitoredMsg, MutexServiceConfig};
+    let LiveFlags {
+        n,
+        seed,
+        loss,
+        requests,
+        cs_duration,
+        budget_secs,
+        check,
+        transport,
+        ..
+    } = LiveFlags::parse(args);
+    let backend = match parse_transport::<MonitoredMsg<snapstab_core::me::MeMsg>>(&transport) {
+        Ok(b) => b,
+        Err(err) => return err,
+    };
+    let cfg = MutexServiceConfig {
+        n,
+        requests_per_process: requests,
+        cs_duration,
+        live: LiveConfig {
+            loss,
+            seed,
+            record_trace: check || chaos.is_some(),
+            ..LiveConfig::default()
+        },
+        time_budget: std::time::Duration::from_secs(budget_secs),
+    };
+    let mut out = format!(
+        "Live monitored mutex service: n={n} worker threads ({transport} \
+         transport), loss={loss}, {requests} request(s) per process, cut \
+         interval {}ms, budget {budget_secs}s\n",
+        mon.interval.as_millis(),
+    );
+    let plan = chaos.map(|mix| snapstab_runtime::ChaosPlan::profile(mix, seed));
+    let mut cut_lines: Vec<String> = Vec::new();
+    let mut on_cut = |cut: &snapstab_runtime::LiveCut| {
+        cut_lines.push(format!(
+            "  cut #{} @step {}: served {}, queued {}, {} in transit, \
+             staleness {:.2} ms\n",
+            cut.cut,
+            cut.step,
+            cut.served_total(),
+            cut.queue_total(),
+            cut.in_transit_total(),
+            cut.staleness.as_secs_f64() * 1e3,
+        ));
+    };
+    let (report, chaos_report) = match snapstab_runtime::run_monitored_mutex_service_with(
+        &cfg,
+        mon,
+        backend.as_ref(),
+        plan.as_ref(),
+        Some(&mut on_cut),
+    ) {
+        Ok(r) => r,
+        Err(e) => return (format!("{out}transport setup failed: {e}\n"), 1),
+    };
+    let total = requests * n as u64;
+    out.push_str(&format!(
+        "served {}/{} requests in {:.2}s: {:.0} req/s; {} cut(s) decided \
+         ({:.1} cuts/s), {} refused\n",
+        report.served,
+        total,
+        report.wall.as_secs_f64(),
+        report.requests_per_sec(),
+        report.monitor.cuts.len(),
+        report.monitor.cuts_per_sec(),
+        report.monitor.refused,
+    ));
+    cut_summary_lines(&mut out, &cut_lines);
+    out.push_str(&link_counters_line(&report.stats.links));
+    out.push_str(&per_link_table(&report.link_samples));
+    if let (Some(mix), Some(c)) = (chaos, &chaos_report) {
+        out.push_str(&chaos_summary(mix, c));
+    }
+    if let Some([p50, p99]) = report
+        .latency_quantiles(&[0.5, 0.99])
+        .map(|v| <[_; 2]>::try_from(v).expect("two quantiles"))
+    {
+        out.push_str(&format!(
+            "service latency: p50 {:.2} / p99 {:.2} ms\n",
+            p50.as_secs_f64() * 1e3,
+            p99.as_secs_f64() * 1e3,
+        ));
+    }
+    let mut failed = report.served < total;
+    if let Some(trace) = &report.trace {
+        let faults: Vec<u64> = chaos_report
+            .as_ref()
+            .map(|c| c.fault_steps.clone())
+            .unwrap_or_default();
+        let spec5 = analyze_snapshot_trace(trace, n, &faults);
+        out.push_str(&spec5_line(&spec5));
+        failed |= !spec5.holds();
+        let service = snapstab_runtime::project_service_trace(trace);
+        if let Some(c) = &chaos_report {
+            let epochs = snapstab_core::spec::analyze_me_epochs(&service, n, &c.fault_steps);
+            out.push_str(&format!(
+                "spec 3 per epoch (projected service trace): {} epoch(s), \
+                 {} served, {} interrupted; holds: {}\n",
+                epochs.epochs_checked(),
+                epochs.served_total(),
+                epochs.interrupted_total(),
+                epochs.holds(),
+            ));
+            failed |= !epochs.holds();
+        } else {
+            let spec = analyze_me_trace(&service, n);
+            out.push_str(&format!(
+                "spec 3 on the projected service trace: genuine CS overlaps: \
+                 {}; exclusivity holds: {}\n",
+                spec.genuine_overlaps.len(),
+                spec.exclusivity_holds(),
+            ));
+            failed |= !spec.exclusivity_holds();
+        }
+    }
+    out.push_str(&monitor_metrics_json(
+        mon,
+        &report.monitor,
+        report.requests_per_sec(),
+    ));
+    (out, i32::from(failed))
+}
+
+/// The monitored variant of the forwarding `live` subcommand
+/// (`--app forward --monitor`), mirroring [`cmd_live_monitored_mutex`]
+/// with Specification 4 judging the projected service trace.
+fn cmd_live_monitored_forward(
+    args: &Args,
+    mon: &snapstab_runtime::MonitorConfig,
+    chaos: Option<snapstab_runtime::ChaosMix>,
+) -> (String, i32) {
+    use snapstab_core::spec::analyze_snapshot_trace;
+    use snapstab_runtime::{ForwardingServiceConfig, LiveConfig, MonitoredMsg};
+    let LiveFlags {
+        n,
+        seed,
+        loss,
+        requests: payloads,
+        budget_secs,
+        check,
+        transport,
+        ..
+    } = LiveFlags::parse(args);
+    let buffer_cap: usize = args.get_or("buffer", 4);
+    if buffer_cap == 0 {
+        return (
+            format!("invalid --buffer 0: lanes need at least one slot\n\n{USAGE}"),
+            2,
+        );
+    }
+    let stale = args.has("stale");
+    let backend =
+        match parse_transport::<MonitoredMsg<snapstab_core::forward::ForwardMsg>>(&transport) {
+            Ok(b) => b,
+            Err(err) => return err,
+        };
+    let cfg = ForwardingServiceConfig {
+        n,
+        payloads_per_process: payloads,
+        buffer_cap,
+        prefill_stale: stale,
+        live: LiveConfig {
+            loss,
+            seed,
+            record_trace: check || chaos.is_some(),
+            ..LiveConfig::default()
+        },
+        time_budget: std::time::Duration::from_secs(budget_secs),
+    };
+    let mut out = format!(
+        "Live monitored forwarding service: n={n} worker threads ({transport} \
+         transport), loss={loss}, {payloads} payload(s) per process, cut \
+         interval {}ms, budget {budget_secs}s\n",
+        mon.interval.as_millis(),
+    );
+    let plan = chaos.map(|mix| snapstab_runtime::ChaosPlan::profile(mix, seed));
+    let mut cut_lines: Vec<String> = Vec::new();
+    let mut on_cut = |cut: &snapstab_runtime::LiveCut| {
+        cut_lines.push(format!(
+            "  cut #{} @step {}: collected {}, queued {}, buffered {}, \
+             {} in transit, staleness {:.2} ms\n",
+            cut.cut,
+            cut.step,
+            cut.served_total(),
+            cut.queue_total(),
+            cut.values
+                .iter()
+                .map(|v| u64::from(v.in_flight))
+                .sum::<u64>(),
+            cut.in_transit_total(),
+            cut.staleness.as_secs_f64() * 1e3,
+        ));
+    };
+    let (report, chaos_report) = match snapstab_runtime::run_monitored_forwarding_service_with(
+        &cfg,
+        mon,
+        backend.as_ref(),
+        plan.as_ref(),
+        Some(&mut on_cut),
+    ) {
+        Ok(r) => r,
+        Err(e) => return (format!("{out}transport setup failed: {e}\n"), 1),
+    };
+    let total = payloads * n as u64;
+    out.push_str(&format!(
+        "delivered {}/{} payloads in {:.2}s: {:.0} payloads/s, {} spurious \
+         stale flush(es); {} cut(s) decided ({:.1} cuts/s), {} refused\n",
+        report.delivered,
+        total,
+        report.wall.as_secs_f64(),
+        report.payloads_per_sec(),
+        report.spurious,
+        report.monitor.cuts.len(),
+        report.monitor.cuts_per_sec(),
+        report.monitor.refused,
+    ));
+    cut_summary_lines(&mut out, &cut_lines);
+    out.push_str(&link_counters_line(&report.stats.links));
+    out.push_str(&per_link_table(&report.link_samples));
+    if let (Some(mix), Some(c)) = (chaos, &chaos_report) {
+        out.push_str(&chaos_summary(mix, c));
+    }
+    // Chaos may destroy in-flight payloads; the epoch verdict is then the
+    // pass/fail signal (matching the unmonitored forwarding path).
+    let mut failed = chaos_report.is_none() && report.delivered < total;
+    if let Some(trace) = &report.trace {
+        let faults: Vec<u64> = chaos_report
+            .as_ref()
+            .map(|c| c.fault_steps.clone())
+            .unwrap_or_default();
+        let spec5 = analyze_snapshot_trace(trace, n, &faults);
+        out.push_str(&spec5_line(&spec5));
+        failed |= !spec5.holds();
+        let service = snapstab_runtime::project_service_trace(trace);
+        if let Some(c) = &chaos_report {
+            let epochs =
+                snapstab_core::spec::analyze_forwarding_epochs(&service, n, &c.fault_steps);
+            out.push_str(&format!(
+                "spec 4 per epoch (projected service trace): {} epoch(s), \
+                 {} delivered, {} interrupted; holds: {}\n",
+                epochs.epochs_checked(),
+                epochs.delivered_total(),
+                epochs.interrupted_total(),
+                epochs.holds(),
+            ));
+            failed |= !epochs.holds();
+        } else {
+            let spec = snapstab_core::spec::analyze_forwarding_trace(&service, n);
+            out.push_str(&format!(
+                "spec 4 on the projected service trace: lost: {}; duplicated \
+                 ids: {}; corrupt deliveries: {}; holds: {}\n",
+                spec.lost.len(),
+                spec.duplicate_ids.len(),
+                spec.corrupt_deliveries.len(),
+                spec.holds(),
+            ));
+            failed |= !spec.holds();
+        }
+    }
+    out.push_str(&monitor_metrics_json(
+        mon,
+        &report.monitor,
+        report.payloads_per_sec(),
+    ));
     (out, i32::from(failed))
 }
 
@@ -624,6 +1047,11 @@ fn cmd_live_forward(args: &Args) -> (String, i32) {
         Ok(c) => c,
         Err(err) => return err,
     };
+    match parse_monitor(args) {
+        Ok(Some(mon)) => return cmd_live_monitored_forward(args, &mon, chaos),
+        Ok(None) => {}
+        Err(err) => return err,
+    }
     let backend = match parse_transport::<snapstab_core::forward::ForwardMsg>(&transport) {
         Ok(b) => b,
         Err(err) => return err,
@@ -679,6 +1107,7 @@ fn cmd_live_forward(args: &Args) -> (String, i32) {
         report.spurious,
     ));
     out.push_str(&link_counters_line(&report.stats.links));
+    out.push_str(&per_link_table(&report.link_samples));
     if let (Some(mix), Some(c)) = (chaos, &chaos_report) {
         out.push_str(&chaos_summary(mix, c));
     }
@@ -1003,6 +1432,107 @@ mod tests {
         assert!(out.contains("link counters:"), "{out}");
         assert!(out.contains("in transit"), "{out}");
         assert!(out.contains("reorder"), "{out}");
+        // The per-link table is printed for every transport backend.
+        assert!(out.contains("per-link counters"), "{out}");
+        assert!(out.contains("0->1:"), "{out}");
+    }
+
+    #[test]
+    fn live_monitored_serves_cuts_and_checks_spec5() {
+        let (out, code) = cmd_live(&parse(
+            "live --n 3 --requests 2 --monitor --monitor-interval 5 --check --budget-secs 40",
+        ));
+        assert!(out.contains("Live monitored mutex service"), "{out}");
+        assert!(out.contains("served 6/6"), "{out}");
+        assert!(out.contains("cut #0"), "{out}");
+        assert!(out.contains("spec 5 on the merged trace"), "{out}");
+        assert!(out.contains("holds: true"), "{out}");
+        assert!(out.contains("exclusivity holds: true"), "{out}");
+        assert!(out.contains("monitor metrics: {\"interval_ms\":5"), "{out}");
+        assert!(out.contains("per-link counters"), "{out}");
+        assert_eq!(code, 0, "healthy monitored run exits 0:\n{out}");
+    }
+
+    #[test]
+    fn live_monitor_interval_alone_implies_monitor() {
+        let (out, code) = cmd_live(&parse(
+            "live --n 3 --requests 1 --monitor-interval 10 --budget-secs 40",
+        ));
+        assert!(out.contains("Live monitored mutex service"), "{out}");
+        assert!(out.contains("cut interval 10ms"), "{out}");
+        assert_eq!(code, 0, "{out}");
+    }
+
+    #[test]
+    fn live_invalid_monitor_interval_exits_2_and_lists_valid_input() {
+        for bad in ["0", "fast", "-5", "2.5"] {
+            let (out, code) = cmd_live(&parse(&format!(
+                "live --n 3 --monitor --monitor-interval {bad}"
+            )));
+            assert_eq!(code, 2, "usage errors exit 2 for `{bad}`:\n{out}");
+            assert!(
+                out.contains(&format!("invalid --monitor-interval `{bad}`")),
+                "{out}"
+            );
+            assert!(out.contains("positive integers"), "{out}");
+            assert!(out.contains("USAGE"), "{out}");
+        }
+    }
+
+    #[test]
+    fn live_monitor_with_sharded_flags_exits_2() {
+        let (out, code) = cmd_live(&parse("live --n 3 --shards 2 --monitor"));
+        assert_eq!(code, 2, "usage errors exit 2:\n{out}");
+        assert!(out.contains("--monitor is not supported"), "{out}");
+    }
+
+    #[test]
+    fn live_monitored_chaos_run_holds_spec5() {
+        let (out, code) = cmd_live(&parse(
+            "live --n 3 --requests 3 --monitor --monitor-interval 5 --chaos all \
+             --seed 9 --budget-secs 60",
+        ));
+        assert!(out.contains("chaos (all profile):"), "{out}");
+        assert!(out.contains("spec 5 on the merged trace"), "{out}");
+        assert!(out.contains("spec 3 per epoch"), "{out}");
+        assert!(!out.contains("holds: false"), "{out}");
+        assert_eq!(code, 0, "healthy monitored chaos run exits 0:\n{out}");
+    }
+
+    #[test]
+    fn live_monitored_forward_delivers_and_checks() {
+        let (out, code) = cmd_live(&parse(
+            "live --app forward --n 3 --requests 2 --monitor --monitor-interval 5 \
+             --check --budget-secs 40",
+        ));
+        assert!(out.contains("Live monitored forwarding service"), "{out}");
+        assert!(out.contains("delivered 6/6"), "{out}");
+        assert!(out.contains("spec 5 on the merged trace"), "{out}");
+        assert!(
+            out.contains("spec 4 on the projected service trace"),
+            "{out}"
+        );
+        assert!(!out.contains("holds: false"), "{out}");
+        assert!(out.contains("monitor metrics:"), "{out}");
+        assert_eq!(code, 0, "healthy monitored forwarding run exits 0:\n{out}");
+    }
+
+    #[test]
+    fn live_monitored_udp_serves_and_checks() {
+        if !snapstab_net::udp_available() {
+            eprintln!("warning: UDP loopback unavailable in this sandbox; skipping");
+            return;
+        }
+        let (out, code) = cmd_live(&parse(
+            "live --n 3 --requests 2 --monitor --monitor-interval 5 --transport udp \
+             --check --budget-secs 40",
+        ));
+        assert!(out.contains("udp transport"), "{out}");
+        assert!(out.contains("served 6/6"), "{out}");
+        assert!(out.contains("spec 5 on the merged trace"), "{out}");
+        assert!(!out.contains("holds: false"), "{out}");
+        assert!(out.contains("per-link counters"), "{out}");
+        assert_eq!(code, 0, "healthy monitored UDP run exits 0:\n{out}");
     }
 
     #[test]

@@ -19,7 +19,12 @@
 //!   wave), and every *requesting* process enters the critical section
 //!   alone, from any initial configuration (Theorem 4).
 //! * [`spec`] — executable versions of Specifications 1–3 and Property 1:
-//!   trace predicates for Start, Correctness, Termination and Decision.
+//!   trace predicates for Start, Correctness, Termination and Decision,
+//!   plus Specification 5 ([`spec::analyze_snapshot_trace`]) judging the
+//!   monitoring cuts a live run's snapshot waves collect.
+//! * [`probe`] — the observability payloads those waves carry: per-process
+//!   [`probe::ProbeDigest`] values and the cut-level [`probe::MonitorEvent`]
+//!   trace events Specification 5 consumes.
 //! * [`capacity`] — the §4 "arbitrary but known bounded capacity"
 //!   extension, made tight: capacity `c` needs exactly `2c + 3` flag
 //!   values ([`flag::FlagDomain::for_capacity`]); the canonical scaled
@@ -79,10 +84,12 @@ pub mod harness;
 pub mod idl;
 pub mod me;
 pub mod pif;
+pub mod probe;
 pub mod request;
 pub mod shard;
 pub mod spec;
 
 pub use flag::{Flag, FlagDomain};
+pub use probe::{state_digest, MonitorEvent, MonitorEventView, ProbeDigest};
 pub use request::{BatchQueue, ClientRequest, RequestState, ResourceKey};
 pub use shard::{shard_of, Grant, GrantAudit, GrantLog, ShardedMe, ShardedMeEvent, ShardedMeMsg};

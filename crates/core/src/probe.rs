@@ -1,0 +1,142 @@
+//! Monitoring probes: the data a snap-stabilizing snapshot wave carries
+//! when it observes a *live* service (see `snapstab_runtime::monitor`).
+//!
+//! A monitoring instance runs the paper's §4.1 PIF-based snapshot
+//! alongside a service: each wave collects one [`ProbeDigest`] per
+//! process — a digest of the service protocol state plus the
+//! instrumentation gauges its driver maintains — into a global cut. The
+//! cut-level events a monitor publishes ([`MonitorEvent`]) are what
+//! executable **Specification 5** ([`crate::spec::analyze_snapshot_trace`])
+//! judges: one value per live process, causal consistency with the
+//! surrounding service trace, and refusal (never fabrication) of cuts
+//! from corrupted monitor state.
+//!
+//! The types live in `snapstab-core` (not the runtime) so the
+//! specification checker can consume them from any trace — live,
+//! simulated, or crafted-adversarial — via the [`MonitorEventView`]
+//! projection.
+
+use snapstab_sim::{ArbitraryState, SimRng};
+
+/// One process's answer to a monitoring snapshot wave: a compact digest
+/// of its service-protocol state and the instrumentation gauges its
+/// driver maintains, captured at the moment the wave's broadcast is
+/// received (so the collected cut reflects receive-time state, not
+/// construction-time state).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ProbeDigest {
+    /// The reporting process (its index as `u16`): Specification 5's
+    /// one-value-per-process check pins `values[i].proc == i`.
+    pub proc: u16,
+    /// FNV-1a hash of the service protocol state ([`state_digest`]) —
+    /// cheap change detection across consecutive cuts.
+    pub state_hash: u64,
+    /// Client request-queue depth / workload backlog at this process.
+    pub queue_depth: u32,
+    /// In-flight work at this process (outstanding requests, buffer
+    /// occupancy).
+    pub in_flight: u32,
+    /// Requests served (payloads collected) at this process so far —
+    /// the gauge Specification 5's causal-consistency check bounds
+    /// against the surrounding trace's `"served"` markers.
+    pub served: u64,
+}
+
+impl ArbitraryState for ProbeDigest {
+    fn arbitrary(rng: &mut SimRng) -> Self {
+        ProbeDigest {
+            proc: u32::arbitrary(rng) as u16,
+            state_hash: u64::arbitrary(rng),
+            queue_depth: u32::arbitrary(rng),
+            in_flight: u32::arbitrary(rng),
+            served: u64::arbitrary(rng),
+        }
+    }
+}
+
+/// FNV-1a digest of a `Debug`-rendered state — the `state_hash` a
+/// monitor reports. Dependency-free and deterministic for a given
+/// `Debug` rendering; collisions only blunt change *detection*, never
+/// any Specification 5 verdict (the checker never compares hashes).
+pub fn state_digest(state: &impl std::fmt::Debug) -> u64 {
+    let rendered = format!("{state:?}");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in rendered.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Cut-level events a monitoring instance publishes into the trace.
+/// Specification 5 ([`crate::spec::analyze_snapshot_trace`]) judges
+/// exactly these: every `CutDecided` needs a matching earlier
+/// `CutStarted` at the same process (else the cut is *fabricated*),
+/// its values must name each process exactly once (else *torn*), and
+/// on fault-free intervals they must be causally consistent with the
+/// surrounding service trace. `CutRefused` is always allowed — the
+/// escape hatch corrupted monitor state is required to take.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MonitorEvent {
+    /// The monitor started snapshot wave `cut`.
+    CutStarted {
+        /// Requester-assigned wave id, unique per initiator.
+        cut: u64,
+    },
+    /// Wave `cut` decided with one digest per process (index order).
+    CutDecided {
+        /// The wave id announced by the matching `CutStarted`.
+        cut: u64,
+        /// The collected global cut, `values[i]` from process `i`.
+        values: Vec<ProbeDigest>,
+    },
+    /// Wave `cut` was refused — the monitor could not vouch for a
+    /// consistent collection (corrupted monitor state, malformed
+    /// collection). Refusal is always legal; fabrication never is.
+    CutRefused {
+        /// The wave id being refused.
+        cut: u64,
+    },
+}
+
+/// Projection from a composite trace-event type onto its monitor
+/// events, so [`crate::spec::analyze_snapshot_trace`] can judge any
+/// trace whose event type *embeds* [`MonitorEvent`] (e.g. the live
+/// runtime's `MonitoredEvent<E>`, which interleaves service events with
+/// monitor events) without caring about the service half.
+pub trait MonitorEventView {
+    /// The embedded monitor event, if this event is one.
+    fn as_monitor(&self) -> Option<&MonitorEvent>;
+}
+
+impl MonitorEventView for MonitorEvent {
+    fn as_monitor(&self) -> Option<&MonitorEvent> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_digest_is_deterministic_and_sensitive() {
+        assert_eq!(state_digest(&(1u64, 2u64)), state_digest(&(1u64, 2u64)));
+        assert_ne!(state_digest(&(1u64, 2u64)), state_digest(&(2u64, 1u64)));
+        assert_ne!(state_digest(&"a"), state_digest(&"b"));
+    }
+
+    #[test]
+    fn arbitrary_probe_digest_varies() {
+        let mut rng = SimRng::seed_from(9);
+        let a = ProbeDigest::arbitrary(&mut rng);
+        let b = ProbeDigest::arbitrary(&mut rng);
+        assert_ne!(a, b, "two draws almost surely differ");
+    }
+
+    #[test]
+    fn monitor_event_view_projects_identity() {
+        let e = MonitorEvent::CutStarted { cut: 3 };
+        assert_eq!(e.as_monitor(), Some(&e));
+    }
+}

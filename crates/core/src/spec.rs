@@ -20,10 +20,11 @@ use std::collections::HashMap;
 
 use snapstab_sim::{Message, Network, ProcessId, Trace};
 
-use crate::forward::{ForwardEvent, ForwardMsg, Payload};
+use crate::forward::{ForwardEvent, Payload};
 use crate::idl::IdlCore;
 use crate::me::MeEvent;
 use crate::pif::{PifEvent, PifMsg};
+use crate::probe::{MonitorEvent, MonitorEventView, ProbeDigest};
 
 /// Verdict of the Specification 1 (PIF-Execution) checker for one
 /// requested wave.
@@ -463,8 +464,8 @@ impl ForwardingReport {
 /// (multiple flushes of one stale id land in
 /// [`ForwardingReport::stale_duplicates`], also without failing the
 /// verdict: the guarantee attaches at injection, footnote-1 style).
-pub fn analyze_forwarding_trace(
-    trace: &Trace<ForwardMsg, ForwardEvent>,
+pub fn analyze_forwarding_trace<M: Message>(
+    trace: &Trace<M, ForwardEvent>,
     n: usize,
 ) -> ForwardingReport {
     let mut report = ForwardingReport::default();
@@ -762,8 +763,8 @@ impl ForwardingEpochReport {
 /// of pre-fault ids landing after the fault are classified in
 /// [`ForwardingEpochReport::crossing`]. Forged chaos marks fail the
 /// verdict.
-pub fn analyze_forwarding_epochs(
-    trace: &Trace<ForwardMsg, ForwardEvent>,
+pub fn analyze_forwarding_epochs<M: Message>(
+    trace: &Trace<M, ForwardEvent>,
     n: usize,
     faults: &[u64],
 ) -> ForwardingEpochReport {
@@ -841,9 +842,238 @@ pub fn channels_flushed<M: Message>(
     true
 }
 
+/// One decided monitoring cut extracted from a trace — see
+/// [`analyze_snapshot_trace`] (Specification 5).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SnapshotCut {
+    /// The process whose monitor initiated the wave.
+    pub initiator: ProcessId,
+    /// Requester-assigned wave id (from the matching `CutStarted`).
+    pub cut: u64,
+    /// Step of the matching [`MonitorEvent::CutStarted`].
+    pub started: u64,
+    /// Step of the [`MonitorEvent::CutDecided`].
+    pub decided: u64,
+    /// The collected global cut, `values[i]` reported by process `i`.
+    pub values: Vec<ProbeDigest>,
+    /// True when an authoritative fault step lands inside
+    /// `started..=decided`: footnote 1 voids this cut's consistency
+    /// guarantee, so the causal and liveness checks are skipped for it
+    /// (classified, not excused — it stays visible in the report).
+    pub interrupted: bool,
+}
+
+/// Specification 5 verdict — see [`analyze_snapshot_trace`].
+///
+/// Decided cuts land in [`SnapshotReport::cuts`]; refused and pending
+/// waves are *recorded* (they are always legal — a corrupted monitor
+/// must refuse rather than invent a cut) while the four violation lists
+/// plus forged fault marks fail [`SnapshotReport::holds`].
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SnapshotReport {
+    /// Every decided cut, in decision order.
+    pub cuts: Vec<SnapshotCut>,
+    /// `(initiator, cut)` waves explicitly refused. Always legal.
+    pub refused: Vec<(ProcessId, u64)>,
+    /// `(initiator, cut)` waves started but still undecided at trace
+    /// end. Always legal (the run simply stopped first).
+    pub pending: Vec<(ProcessId, u64)>,
+    /// `(initiator, cut)` decisions with **no matching earlier start**
+    /// (or a second decision for an already-consumed wave): a cut the
+    /// monitor fabricated out of corrupted state instead of refusing.
+    pub fabricated: Vec<(ProcessId, u64)>,
+    /// `(initiator, cut)` decided cuts that do not report **exactly one
+    /// value per process** (wrong arity, or `values[i].proc != i` —
+    /// which covers two values for one process at the cost of a
+    /// missing one).
+    pub torn: Vec<(ProcessId, u64)>,
+    /// `(initiator, cut, reporter)` values in clean cuts attributed to
+    /// a process that was crashed for the wave's **entire** interval —
+    /// a dead process cannot have answered, so the value is invented.
+    pub crashed_values: Vec<(ProcessId, u64, ProcessId)>,
+    /// `(initiator, cut, reporter)` values in clean cuts whose `served`
+    /// gauge is causally impossible against the surrounding service
+    /// trace: below the reporter's `"served"`-marker count before the
+    /// wave started, or above its count at decision. The former is the
+    /// "unserved at p / already granted earlier in merged order"
+    /// inconsistency; the latter reports a serve from the future.
+    pub causal_violations: Vec<(ProcessId, u64, ProcessId)>,
+    /// Chaos-prefixed markers at steps the harness did not vouch for —
+    /// same trust rule as the epoch checkers ([`CHAOS_MARK_PREFIX`]).
+    pub forged_marks: Vec<(ProcessId, u64, String)>,
+}
+
+impl SnapshotReport {
+    /// True if Specification 5 holds: no fabricated or torn cuts, no
+    /// values from crashed processes, no causal violations, and no
+    /// forged fault marks. Refused and pending waves never fail it.
+    pub fn holds(&self) -> bool {
+        self.fabricated.is_empty()
+            && self.torn.is_empty()
+            && self.crashed_values.is_empty()
+            && self.causal_violations.is_empty()
+            && self.forged_marks.is_empty()
+    }
+
+    /// Number of decided cuts (clean and interrupted).
+    pub fn cuts_decided(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Decided cuts whose interval contained no authoritative fault.
+    pub fn clean_cuts(&self) -> usize {
+        self.cuts.iter().filter(|c| !c.interrupted).count()
+    }
+
+    /// Decided cuts voided by a mid-wave fault (classified, not hidden).
+    pub fn interrupted_total(&self) -> usize {
+        self.cuts.iter().filter(|c| c.interrupted).count()
+    }
+}
+
+/// **Specification 5** (observability): judges the monitoring cuts a
+/// live run's merged trace contains. Works over any event type that
+/// embeds [`MonitorEvent`] via [`MonitorEventView`] — the runtime's
+/// composite `MonitoredEvent<E>`, or bare [`MonitorEvent`] in crafted
+/// adversarial traces.
+///
+/// Per initiator, waves are paired by id: a `CutStarted` opens the
+/// wave, and the matching `CutDecided`/`CutRefused` consumes it. The
+/// checks, in the order they gate each other:
+///
+/// 1. **No fabrication** — a decision with no open matching wave (or a
+///    duplicate decision) is [`SnapshotReport::fabricated`]. Corrupted
+///    monitor state may *refuse* a wave; it may never invent one.
+/// 2. **One value per live process** — every decided cut must carry
+///    exactly `n` values with `values[i].proc == i`, else it is
+///    [`SnapshotReport::torn`]. Checked even on interrupted cuts: the
+///    monitor locally validates collections before deciding, so a
+///    malformed vector is always a monitor bug, never a fault artifact.
+/// 3. **No values from the dead** — on clean cuts, a value from a
+///    process whose `"crash"`/`"restart"` marker window covers the
+///    whole wave interval is [`SnapshotReport::crashed_values`].
+/// 4. **Causal consistency** — on clean cuts, each reporter's `served`
+///    gauge must lie between that process's `"served"`-marker count
+///    just before the wave started and its count at decision
+///    (responder digests are captured at broadcast-receive time, which
+///    falls inside the interval). A cut reporting a request as still
+///    unserved at `p` after the merged trace shows it granted — or as
+///    served before it happened — is [`SnapshotReport::causal_violations`].
+///
+/// Cuts whose interval `started..=decided` contains an authoritative
+/// fault step are marked [`SnapshotCut::interrupted`] and exempted from
+/// checks 3–4 (footnote-1 semantics, exactly like the epoch checkers);
+/// forged chaos marks fail the verdict on the same trust rule.
+pub fn analyze_snapshot_trace<M, E>(trace: &Trace<M, E>, n: usize, faults: &[u64]) -> SnapshotReport
+where
+    M: Message,
+    E: MonitorEventView + Clone + std::fmt::Debug + PartialEq + 'static,
+{
+    let faults = normalize_faults(faults);
+    let mut report = SnapshotReport {
+        forged_marks: forged_chaos_marks(trace, &faults),
+        ..SnapshotReport::default()
+    };
+
+    // Crash windows and serve counters per process, from the runtime's
+    // standard markers ("crash"/"restart" from the harness, "served"
+    // from the service drivers).
+    let mut crash_windows: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+    let mut open_crash: Vec<Option<u64>> = vec![None; n];
+    let mut serves: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for (step, q, label) in trace.markers() {
+        if q.index() >= n {
+            continue;
+        }
+        match label {
+            "crash" if open_crash[q.index()].is_none() => {
+                open_crash[q.index()] = Some(step);
+            }
+            "restart" => {
+                if let Some(c) = open_crash[q.index()].take() {
+                    crash_windows[q.index()].push((c, step));
+                }
+            }
+            "served" => serves[q.index()].push(step),
+            _ => {}
+        }
+    }
+    for (i, c) in open_crash.into_iter().enumerate() {
+        if let Some(c) = c {
+            crash_windows[i].push((c, u64::MAX));
+        }
+    }
+    for s in &mut serves {
+        s.sort_unstable();
+    }
+
+    for i in 0..n {
+        let p = ProcessId::new(i);
+        // Open waves at this initiator: cut id → start step.
+        let mut open: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for (step, e) in trace.protocol_events_of(p) {
+            let Some(me) = e.as_monitor() else { continue };
+            match me {
+                MonitorEvent::CutStarted { cut } => {
+                    open.insert(*cut, step);
+                }
+                MonitorEvent::CutRefused { cut } => {
+                    open.remove(cut);
+                    report.refused.push((p, *cut));
+                }
+                MonitorEvent::CutDecided { cut, values } => {
+                    let Some(started) = open.remove(cut) else {
+                        report.fabricated.push((p, *cut));
+                        continue;
+                    };
+                    let interrupted = faults.iter().any(|f| (started..=step).contains(f));
+                    let well_formed = values.len() == n
+                        && values.iter().enumerate().all(|(j, v)| v.proc as usize == j);
+                    if !well_formed {
+                        report.torn.push((p, *cut));
+                    }
+                    if well_formed && !interrupted {
+                        for (j, v) in values.iter().enumerate() {
+                            let q = ProcessId::new(j);
+                            if crash_windows[j]
+                                .iter()
+                                .any(|&(c, r)| c <= started && step <= r)
+                            {
+                                report.crashed_values.push((p, *cut, q));
+                                continue;
+                            }
+                            let lo = serves[j].partition_point(|&s| s < started) as u64;
+                            let hi = serves[j].partition_point(|&s| s <= step) as u64;
+                            if v.served < lo || v.served > hi {
+                                report.causal_violations.push((p, *cut, q));
+                            }
+                        }
+                    }
+                    report.cuts.push(SnapshotCut {
+                        initiator: p,
+                        cut: *cut,
+                        started,
+                        decided: step,
+                        values: values.clone(),
+                        interrupted,
+                    });
+                }
+            }
+        }
+        let mut left: Vec<u64> = open.into_keys().collect();
+        left.sort_unstable();
+        report.pending.extend(left.into_iter().map(|c| (p, c)));
+    }
+    report
+        .cuts
+        .sort_by_key(|c| (c.decided, c.initiator.index(), c.cut));
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::forward::ForwardMsg;
     use snapstab_sim::TraceEvent;
 
     fn p(i: usize) -> ProcessId {
@@ -1573,5 +1803,230 @@ mod tests {
         net.channel_mut(p(1), p(0)).unwrap().clear();
         net.channel_mut(p(1), p(2)).unwrap().preload([666]);
         assert!(channels_flushed(&net, p(0), |m| *m == 666));
+    }
+
+    // ---- Specification 5: crafted adversarial monitoring traces ----
+
+    type STrace = Trace<(), MonitorEvent>;
+
+    fn digest(proc_: usize, served: u64) -> ProbeDigest {
+        ProbeDigest {
+            proc: proc_ as u16,
+            served,
+            ..ProbeDigest::default()
+        }
+    }
+
+    fn push_cut_started(t: &mut STrace, step: u64, init: usize, cut: u64) {
+        t.push(
+            step,
+            TraceEvent::Protocol {
+                p: p(init),
+                event: MonitorEvent::CutStarted { cut },
+            },
+        );
+    }
+
+    fn push_cut_decided(
+        t: &mut STrace,
+        step: u64,
+        init: usize,
+        cut: u64,
+        values: Vec<ProbeDigest>,
+    ) {
+        t.push(
+            step,
+            TraceEvent::Protocol {
+                p: p(init),
+                event: MonitorEvent::CutDecided { cut, values },
+            },
+        );
+    }
+
+    /// A clean wave at p0 over n=3 with causally possible values holds.
+    #[test]
+    fn snapshot_verdict_happy_path() {
+        let mut t = STrace::new();
+        t.push_marker(1, p(1), "served"); // before the wave: lo = 1 at p1
+        push_cut_started(&mut t, 2, 0, 0);
+        t.push_marker(4, p(2), "served"); // inside the wave: 0 or 1 legal at p2
+        push_cut_decided(
+            &mut t,
+            6,
+            0,
+            0,
+            vec![digest(0, 0), digest(1, 1), digest(2, 0)],
+        );
+        let r = analyze_snapshot_trace(&t, 3, &[]);
+        assert!(r.holds(), "{r:?}");
+        assert_eq!(r.cuts_decided(), 1);
+        assert_eq!(r.clean_cuts(), 1);
+        assert_eq!(r.cuts[0].started, 2);
+        assert_eq!(r.cuts[0].decided, 6);
+    }
+
+    /// A decision with no matching started wave is fabricated, as is a
+    /// duplicate decision for an already-consumed wave id.
+    #[test]
+    fn snapshot_rejects_fabricated_cut() {
+        let mut t = STrace::new();
+        push_cut_decided(&mut t, 4, 0, 7, vec![digest(0, 0), digest(1, 0)]);
+        let r = analyze_snapshot_trace(&t, 2, &[]);
+        assert!(!r.holds());
+        assert_eq!(r.fabricated, vec![(p(0), 7)]);
+
+        let mut t = STrace::new();
+        push_cut_started(&mut t, 1, 0, 3);
+        push_cut_decided(&mut t, 2, 0, 3, vec![digest(0, 0), digest(1, 0)]);
+        push_cut_decided(&mut t, 5, 0, 3, vec![digest(0, 0), digest(1, 0)]);
+        let r = analyze_snapshot_trace(&t, 2, &[]);
+        assert!(!r.holds());
+        assert_eq!(r.fabricated, vec![(p(0), 3)]);
+        assert_eq!(r.cuts_decided(), 1, "the first decision is legitimate");
+    }
+
+    /// Torn cuts — wrong arity, or two values claiming one process (and
+    /// hence a missing one) — are rejected even when a fault interrupts
+    /// the wave: malformed vectors are monitor bugs, never fault debris.
+    #[test]
+    fn snapshot_rejects_torn_cut() {
+        // Two values for p0, none for p1.
+        let mut t = STrace::new();
+        push_cut_started(&mut t, 1, 0, 0);
+        push_cut_decided(&mut t, 4, 0, 0, vec![digest(0, 0), digest(0, 0)]);
+        let r = analyze_snapshot_trace(&t, 2, &[]);
+        assert!(!r.holds());
+        assert_eq!(r.torn, vec![(p(0), 0)]);
+
+        // Wrong arity: n-1 values.
+        let mut t = STrace::new();
+        push_cut_started(&mut t, 1, 1, 9);
+        push_cut_decided(&mut t, 4, 1, 9, vec![digest(0, 0)]);
+        let r = analyze_snapshot_trace(&t, 2, &[]);
+        assert_eq!(r.torn, vec![(p(1), 9)]);
+
+        // Still torn when a vouched fault lands mid-wave.
+        let mut t = STrace::new();
+        push_cut_started(&mut t, 1, 0, 0);
+        t.push_marker(2, p(1), "chaos:corrupt");
+        push_cut_decided(&mut t, 4, 0, 0, vec![digest(0, 0), digest(0, 0)]);
+        let r = analyze_snapshot_trace(&t, 2, &[2]);
+        assert!(!r.holds());
+        assert_eq!(r.torn, vec![(p(0), 0)]);
+        assert_eq!(r.interrupted_total(), 1);
+    }
+
+    /// A clean cut may not report a value from a process that was
+    /// crashed for the wave's entire interval.
+    #[test]
+    fn snapshot_rejects_value_from_crashed_process() {
+        let mut t = STrace::new();
+        t.push_marker(0, p(1), "crash");
+        push_cut_started(&mut t, 2, 0, 0);
+        push_cut_decided(&mut t, 6, 0, 0, vec![digest(0, 0), digest(1, 0)]);
+        t.push_marker(9, p(1), "restart"); // restarts only after the wave
+        let r = analyze_snapshot_trace(&t, 2, &[]);
+        assert!(!r.holds());
+        assert_eq!(r.crashed_values, vec![(p(0), 0, p(1))]);
+
+        // A process that restarts *during* the wave can have answered.
+        let mut t = STrace::new();
+        t.push_marker(0, p(1), "crash");
+        push_cut_started(&mut t, 2, 0, 0);
+        t.push_marker(4, p(1), "restart");
+        push_cut_decided(&mut t, 6, 0, 0, vec![digest(0, 0), digest(1, 0)]);
+        assert!(analyze_snapshot_trace(&t, 2, &[]).holds());
+    }
+
+    /// Causal consistency: a cut may not report a serve count below
+    /// what the merged trace shows granted before the wave began
+    /// (unserved-at-p vs already-granted-at-q), nor one from the future.
+    #[test]
+    fn snapshot_rejects_causally_inconsistent_cut() {
+        // p1 served twice before the wave, but the cut claims 1.
+        let mut t = STrace::new();
+        t.push_marker(1, p(1), "served");
+        t.push_marker(2, p(1), "served");
+        push_cut_started(&mut t, 3, 0, 0);
+        push_cut_decided(&mut t, 6, 0, 0, vec![digest(0, 0), digest(1, 1)]);
+        let r = analyze_snapshot_trace(&t, 2, &[]);
+        assert!(!r.holds());
+        assert_eq!(r.causal_violations, vec![(p(0), 0, p(1))]);
+
+        // A serve that only happens after decision cannot be in the cut.
+        let mut t = STrace::new();
+        push_cut_started(&mut t, 3, 0, 0);
+        push_cut_decided(&mut t, 6, 0, 0, vec![digest(0, 0), digest(1, 1)]);
+        t.push_marker(8, p(1), "served");
+        let r = analyze_snapshot_trace(&t, 2, &[]);
+        assert!(!r.holds());
+        assert_eq!(r.causal_violations, vec![(p(0), 0, p(1))]);
+
+        // But the same value is legal when that serve lands mid-wave.
+        let mut t = STrace::new();
+        push_cut_started(&mut t, 3, 0, 0);
+        t.push_marker(4, p(1), "served");
+        push_cut_decided(&mut t, 6, 0, 0, vec![digest(0, 0), digest(1, 1)]);
+        assert!(analyze_snapshot_trace(&t, 2, &[]).holds());
+    }
+
+    /// Refusals and still-pending waves are recorded, never violations:
+    /// refusal is the *required* behaviour for corrupted monitor state.
+    #[test]
+    fn snapshot_allows_refusal_and_pending() {
+        let mut t = STrace::new();
+        push_cut_started(&mut t, 1, 0, 0);
+        t.push(
+            3,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: MonitorEvent::CutRefused { cut: 0 },
+            },
+        );
+        push_cut_started(&mut t, 5, 0, 1); // pending at trace end
+        let r = analyze_snapshot_trace(&t, 2, &[]);
+        assert!(r.holds(), "{r:?}");
+        assert_eq!(r.refused, vec![(p(0), 0)]);
+        assert_eq!(r.pending, vec![(p(0), 1)]);
+        assert_eq!(r.cuts_decided(), 0);
+    }
+
+    /// A vouched mid-wave fault exempts the cut from the causal checks
+    /// (classified interrupted), but the same garbage fails a clean run.
+    #[test]
+    fn snapshot_interrupted_cut_is_exempt_but_classified() {
+        let build = |with_fault: bool| {
+            let mut t = STrace::new();
+            push_cut_started(&mut t, 2, 0, 0);
+            if with_fault {
+                t.push_marker(4, p(1), "chaos:corrupt");
+            }
+            // served=5 with no "served" markers anywhere: impossible
+            // unless the wave was interrupted.
+            push_cut_decided(&mut t, 6, 0, 0, vec![digest(0, 0), digest(1, 5)]);
+            t
+        };
+        let clean = analyze_snapshot_trace(&build(false), 2, &[]);
+        assert!(!clean.holds());
+        assert_eq!(clean.causal_violations.len(), 1);
+
+        let faulted = analyze_snapshot_trace(&build(true), 2, &[4]);
+        assert!(faulted.holds(), "{faulted:?}");
+        assert_eq!(faulted.interrupted_total(), 1);
+        assert_eq!(faulted.clean_cuts(), 0);
+    }
+
+    /// The same forged-mark trust rule as the epoch checkers: a
+    /// chaos-prefixed marker the harness did not vouch for fails Spec 5.
+    #[test]
+    fn snapshot_rejects_forged_marks() {
+        let mut t = STrace::new();
+        push_cut_started(&mut t, 2, 0, 0);
+        t.push_marker(4, p(1), "chaos:corrupt");
+        push_cut_decided(&mut t, 6, 0, 0, vec![digest(0, 0), digest(1, 0)]);
+        let forged = analyze_snapshot_trace(&t, 2, &[]);
+        assert!(!forged.holds());
+        assert_eq!(forged.forged_marks.len(), 1);
+        assert!(analyze_snapshot_trace(&t, 2, &[4]).holds());
     }
 }

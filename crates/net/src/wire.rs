@@ -25,12 +25,15 @@
 //! payload mark the datagram malformed, and malformed datagrams are
 //! dropped (a fair-lossy channel is allowed to lose them).
 
+use snapstab_apps::SnapQuery;
 use snapstab_core::flag::Flag;
 use snapstab_core::forward::{ForwardMsg, HopAck, Payload};
 use snapstab_core::idl::IdlQuery;
 use snapstab_core::me::{MeBroadcast, MeFeedback};
 use snapstab_core::pif::PifMsg;
+use snapstab_core::probe::ProbeDigest;
 use snapstab_core::shard::ShardedMeMsg;
+use snapstab_runtime::MonitoredMsg;
 
 /// First header byte of every snapstab datagram.
 pub const MAGIC: u8 = 0xD5;
@@ -336,6 +339,54 @@ impl Wire for ForwardMsg {
     }
 }
 
+impl Wire for SnapQuery {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_r: &mut WireReader<'_>) -> Option<Self> {
+        Some(SnapQuery)
+    }
+}
+
+impl Wire for ProbeDigest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.proc.encode(out);
+        self.state_hash.encode(out);
+        self.queue_depth.encode(out);
+        self.in_flight.encode(out);
+        self.served.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        Some(ProbeDigest {
+            proc: u16::decode(r)?,
+            state_hash: u64::decode(r)?,
+            queue_depth: u32::decode(r)?,
+            in_flight: u32::decode(r)?,
+            served: u64::decode(r)?,
+        })
+    }
+}
+
+impl<M: Wire> Wire for MonitoredMsg<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            MonitoredMsg::Service(m) => {
+                out.push(0);
+                m.encode(out);
+            }
+            MonitoredMsg::Monitor(m) => {
+                out.push(1);
+                m.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        Some(match r.u8()? {
+            0 => MonitoredMsg::Service(M::decode(r)?),
+            1 => MonitoredMsg::Monitor(Wire::decode(r)?),
+            _ => return None,
+        })
+    }
+}
+
 impl Wire for ShardedMeMsg {
     fn encode(&self, out: &mut Vec<u8>) {
         self.shard.encode(out);
@@ -497,5 +548,53 @@ mod tests {
     fn invalid_enum_tags_rejected() {
         assert_eq!(decode_exact::<MeBroadcast>(&[9]), None);
         assert_eq!(decode_exact::<MeFeedback>(&[9]), None);
+    }
+
+    #[test]
+    fn monitored_messages_round_trip() {
+        type MonMsg = MonitoredMsg<PifMsg<MeBroadcast, MeFeedback>>;
+        let service: MonMsg = MonitoredMsg::Service(PifMsg {
+            broadcast: MeBroadcast::Ask,
+            feedback: MeFeedback::Id(7),
+            sender_state: Flag::new(2),
+            echoed_state: Flag::new(3),
+        });
+        roundtrip(service);
+        let digest = ProbeDigest {
+            proc: 5,
+            state_hash: 0xFEED_FACE_CAFE_BEEF,
+            queue_depth: 42,
+            in_flight: 1,
+            served: 1_000_003,
+        };
+        roundtrip(digest);
+        roundtrip(SnapQuery);
+        let monitor: MonMsg = MonitoredMsg::Monitor(PifMsg {
+            broadcast: SnapQuery,
+            feedback: digest,
+            sender_state: Flag::new(4),
+            echoed_state: Flag::new(0),
+        });
+        roundtrip(monitor);
+    }
+
+    #[test]
+    fn monitored_invalid_plane_tag_and_truncation_rejected() {
+        type MonMsg = MonitoredMsg<PifMsg<MeBroadcast, MeFeedback>>;
+        // Unknown plane tag.
+        assert_eq!(decode_exact::<MonMsg>(&[2]), None);
+        // Truncated monitor payload.
+        let mut buf = Vec::new();
+        MonitoredMsg::<PifMsg<MeBroadcast, MeFeedback>>::Monitor(PifMsg {
+            broadcast: SnapQuery,
+            feedback: ProbeDigest::default(),
+            sender_state: Flag::new(0),
+            echoed_state: Flag::new(0),
+        })
+        .encode(&mut buf);
+        assert_eq!(decode_exact::<MonMsg>(&buf[..buf.len() - 1]), None);
+        // Trailing bytes are malformed.
+        buf.push(0);
+        assert_eq!(decode_exact::<MonMsg>(&buf), None);
     }
 }

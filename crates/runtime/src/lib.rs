@@ -136,12 +136,29 @@
 //! `analyze_forwarding_epochs` segment the merged trace, requiring the
 //! paper's specifications to hold per epoch. [`run_mutex_service_chaos_on`]
 //! and [`run_forwarding_service_chaos_on`] package the whole loop.
+//!
+//! ## Observability — monitoring cuts
+//!
+//! The [`monitor`] module composes any service protocol with the §4.1
+//! snapshot application on the *same* transport: a [`Monitored`] process
+//! multiplexes service and monitor planes over [`MonitoredMsg`], and the
+//! designated initiator periodically starts a snap-stabilizing snapshot
+//! wave that collects a consistent global cut of [`ProbeDigest`] values —
+//! per-process protocol-state digests, queue depths, in-flight counts —
+//! plus per-link counter samples ([`LinkSample`]), without pausing any
+//! worker. [`run_monitored_mutex_service`] and
+//! [`run_monitored_forwarding_service`] package the wiring; every cut in
+//! the merged trace is judged by executable Specification 5
+//! (`snapstab_core::spec::analyze_snapshot_trace`).
+//!
+//! [`ProbeDigest`]: snapstab_core::probe::ProbeDigest
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chaos;
 pub mod link;
+pub mod monitor;
 pub mod runner;
 pub mod service;
 pub mod transport;
@@ -151,7 +168,17 @@ pub use chaos::{
     Intervention, InterventionKind, Supervisor, SupervisorConfig,
 };
 pub use link::{LaneOf, LinkStats, LiveLink};
-pub use runner::{Driver, LiveConfig, LiveReport, LiveRunner, LiveStats, Scribe, WorkerStats};
+pub use monitor::{
+    project_service_trace, run_monitored_forwarding_service,
+    run_monitored_forwarding_service_chaos_on, run_monitored_forwarding_service_on,
+    run_monitored_forwarding_service_with, run_monitored_mutex_service,
+    run_monitored_mutex_service_chaos_on, run_monitored_mutex_service_on,
+    run_monitored_mutex_service_with, CutOutcome, LiveCut, MonitorConfig, MonitorReport, Monitored,
+    MonitoredEvent, MonitoredForwardingReport, MonitoredMsg, MonitoredMutexReport, MonitoredState,
+};
+pub use runner::{
+    Driver, LinkSample, LiveConfig, LiveReport, LiveRunner, LiveStats, Scribe, WorkerStats,
+};
 pub use service::{
     run_forwarding_service, run_forwarding_service_chaos_on, run_forwarding_service_on,
     run_mutex_service, run_mutex_service_chaos_on, run_mutex_service_on, run_sharded_service,

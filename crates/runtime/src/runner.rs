@@ -158,6 +158,24 @@ pub struct LiveStats {
     pub links: LinkStats,
 }
 
+/// A point-in-time observation of one directed link, taken by
+/// [`LiveRunner::link_samples`] while the run is live: the cumulative
+/// [`LinkStats`] counters plus the instantaneous in-transit occupancy.
+/// This is the per-link half of a monitoring cut (`crate::monitor`) —
+/// channel *counters* observed at sampling time, deliberately not a
+/// Chandy–Lamport channel-*content* recording.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LinkSample {
+    /// Sender side of the link.
+    pub from: ProcessId,
+    /// Receiver side of the link.
+    pub to: ProcessId,
+    /// Cumulative counters at sampling time.
+    pub stats: LinkStats,
+    /// Messages queued in the link right now.
+    pub in_transit: usize,
+}
+
 /// Everything a finished live run yields: final process states, the
 /// merged trace, and counters.
 pub struct LiveReport<P: Protocol> {
@@ -615,6 +633,24 @@ where
     /// crashed).
     pub fn restart_noops(&self) -> u64 {
         self.restart_noops
+    }
+
+    /// Samples every directed link *while the run is live*: cumulative
+    /// counters plus instantaneous in-transit occupancy, in row-major
+    /// `(from, to)` order. Lock-free towards the workers beyond each
+    /// link's own mutex, so sampling never pauses the fleet — this is
+    /// what the monitor attaches to each decided cut.
+    pub fn link_samples(&self) -> Vec<LinkSample> {
+        self.links
+            .iter()
+            .flatten()
+            .map(|link| LinkSample {
+                from: link.from(),
+                to: link.to(),
+                stats: link.stats(),
+                in_transit: link.len(),
+            })
+            .collect()
     }
 
     /// Runs a closure against process `p` with scribe access, atomically

@@ -91,6 +91,9 @@ pub struct ServiceReport {
     pub processes: Vec<MeProcess>,
     /// Per-request service latencies (injection to `Done`).
     pub latencies: Vec<Duration>,
+    /// Per-link counters sampled just before shutdown — the same
+    /// drop/reorder/in-transit table for every transport backend.
+    pub link_samples: Vec<crate::runner::LinkSample>,
 }
 
 /// `(min, mean, max)` of a latency sample, if it is non-empty.
@@ -251,6 +254,7 @@ fn mutex_service_impl(
         }
     }
     let chaos_report = harness.map(|h| h.finish(&mut runner));
+    let link_samples = runner.link_samples();
     let report = runner.stop();
 
     let cs_entries = report
@@ -269,6 +273,7 @@ fn mutex_service_impl(
             trace: record.then_some(report.trace),
             processes: report.processes,
             latencies,
+            link_samples,
         },
         chaos_report,
     ))
@@ -617,6 +622,9 @@ pub struct ForwardingServiceReport {
     /// Per-payload end-to-end latencies (injection to delivery at the
     /// destination).
     pub latencies: Vec<Duration>,
+    /// Per-link counters sampled just before shutdown — the same
+    /// drop/reorder/in-transit table for every transport backend.
+    pub link_samples: Vec<crate::runner::LinkSample>,
 }
 
 impl ForwardingServiceReport {
@@ -789,6 +797,7 @@ fn forwarding_service_impl(
         }
     }
     let chaos_report = harness.map(|h| h.finish(&mut runner));
+    let link_samples = runner.link_samples();
     let report = runner.stop();
 
     let latencies = std::mem::take(&mut *latencies.lock().expect("latency log"));
@@ -802,6 +811,7 @@ fn forwarding_service_impl(
             trace: record.then_some(report.trace),
             processes: report.processes,
             latencies,
+            link_samples,
         },
         chaos_report,
     ))
