@@ -1,7 +1,8 @@
 //! Q6 — live-runtime service throughput sweeps (single-leader mutex
 //! baseline + sharded/batched + in-memory-vs-UDP transport comparison +
 //! the snap-stabilizing forwarding service + the chaos-engine recovery
-//! sweep + the snapshot-monitor observability overhead pairs); writes
+//! sweep + the snapshot-monitor observability overhead pairs + the
+//! thread-per-process-vs-mux runtime comparison); writes
 //! `BENCH_RUNTIME.json` so future PRs have a live-path trajectory to
 //! compare against.
 //!
@@ -31,6 +32,7 @@ fn main() {
     let forwarding = rtbench::sweep_forwarding(fast);
     let chaos = rtbench::sweep_chaos(fast);
     let observability = rtbench::sweep_observability(fast);
+    let mux = rtbench::sweep_mux(fast);
     if !fast && udp.is_empty() {
         // A sandbox without sockets cannot measure the udp sweep; writing
         // would silently erase the committed rows (the schema requires
@@ -47,7 +49,8 @@ fn main() {
             &udp,
             &forwarding,
             &chaos,
-            &observability
+            &observability,
+            &mux
         )
     );
     let json = rtbench::to_json(
@@ -57,6 +60,7 @@ fn main() {
         &forwarding,
         &chaos,
         &observability,
+        &mux,
     );
     if let Err(e) = rtbench::validate_roundtrip(
         &json,
@@ -66,6 +70,7 @@ fn main() {
         &forwarding,
         &chaos,
         &observability,
+        &mux,
     ) {
         eprintln!("\nschema validation FAILED — not writing {json_path}: {e}");
         std::process::exit(1);

@@ -6,7 +6,7 @@
 //! saturating client request stream, and reports end-to-end requests/sec,
 //! grants/sec and transport msgs/sec.
 //!
-//! Six sweeps feed `BENCH_RUNTIME.json`:
+//! Seven sweeps feed `BENCH_RUNTIME.json`:
 //!
 //! * the **baseline** `n × loss` sweep
 //!   ([`run_mutex_service_on`]: one leader, one request
@@ -47,7 +47,16 @@
 //!   staleness, and
 //!   is gated by a trace-recorded audit run at the same configuration
 //!   whose every decided cut must pass executable Specification 5
-//!   (`analyze_snapshot_trace`) before the row can land in the artifact.
+//!   (`analyze_snapshot_trace`) before the row can land in the artifact;
+//! * the **mux** runtime sweep ([`run_mutex_service_mux`]): the
+//!   single-leader service on the event-driven multiplexed backend —
+//!   N protocol instances over a small worker pool — at
+//!   `n ∈ {64, 256, 1024}`, paired with the thread backend at `n = 64`
+//!   (its practical ceiling on this class of hardware; larger n are
+//!   mux-only). Every row carries a `backend` tag (`threads`/`mux`) and
+//!   the pool size, so the committed pair is the acceptance evidence
+//!   that the mux backend beats thread-per-process where both exist and
+//!   keeps scaling where threads cannot.
 //!
 //! Every row serializes the latency *distribution* (mean, p50, p99), not
 //! just the mean, and the emitted JSON is parsed back through the bench's
@@ -60,8 +69,9 @@ use snapstab_core::spec::{analyze_me_epochs, analyze_snapshot_trace};
 use snapstab_net::UdpLoopback;
 use snapstab_runtime::{
     run_forwarding_service_on, run_monitored_mutex_service_on, run_mutex_service_chaos_on,
-    run_mutex_service_on, run_sharded_service, ChaosMix, ChaosPlan, ForwardingServiceConfig,
-    InMemory, LiveConfig, MonitorConfig, MutexServiceConfig, ShardedServiceConfig,
+    run_mutex_service_mux, run_mutex_service_on, run_sharded_service, ChaosMix, ChaosPlan,
+    ForwardingServiceConfig, InMemory, LiveConfig, MonitorConfig, MutexServiceConfig,
+    ShardedServiceConfig,
 };
 
 use crate::jsonv::{self, Value};
@@ -553,6 +563,173 @@ pub fn sweep_sharded(fast: bool) -> Vec<RtResult> {
     results
 }
 
+/// The runtime backend a mux-sweep row was measured on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RtBackend {
+    /// One OS thread per process (`snapstab_runtime::LiveRunner`).
+    Threads,
+    /// The event-driven multiplexed runtime (`snapstab_runtime::MuxRunner`):
+    /// N protocol instances over a small worker pool.
+    Mux,
+}
+
+impl RtBackend {
+    /// The JSON tag of this backend.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RtBackend::Threads => "threads",
+            RtBackend::Mux => "mux",
+        }
+    }
+
+    /// Parses a JSON tag.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "threads" => Some(RtBackend::Threads),
+            "mux" => Some(RtBackend::Mux),
+            _ => None,
+        }
+    }
+}
+
+/// One measured mux-sweep configuration: the single-leader mutex service
+/// on either runtime backend, in-memory transport. `workers` is the mux
+/// pool size; thread-backend rows record `workers == n` (one OS thread
+/// per process).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct MuxResult {
+    /// System size (protocol instances).
+    pub n: usize,
+    /// The runtime backend the row was measured on.
+    pub backend: RtBackend,
+    /// Worker threads actually running the instances.
+    pub workers: usize,
+    /// In-transit loss probability.
+    pub loss: f64,
+    /// Requests injected into the service.
+    pub injected: u64,
+    /// Requests served end-to-end.
+    pub served: u64,
+    /// Transport messages enqueued.
+    pub msgs: u64,
+    /// Wall-clock nanoseconds.
+    pub wall_ns: u128,
+    /// Mean service latency in nanoseconds (0 if nothing served).
+    pub mean_latency_ns: u128,
+    /// Median service latency in nanoseconds.
+    pub p50_latency_ns: u128,
+    /// 99th-percentile service latency in nanoseconds.
+    pub p99_latency_ns: u128,
+}
+
+impl MuxResult {
+    /// Served requests per second.
+    pub fn requests_per_sec(&self) -> f64 {
+        self.served as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    /// Transport messages per second.
+    pub fn msgs_per_sec(&self) -> f64 {
+        self.msgs as f64 / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+/// Measures one mux-sweep configuration: `requests_per_process` client
+/// requests per process on the given runtime backend (in-memory
+/// transport), stopping early at `budget`. Thread-backend rows ignore
+/// `workers` and record `n` (one OS thread per process).
+pub fn measure_mux(
+    n: usize,
+    backend: RtBackend,
+    workers: usize,
+    loss: f64,
+    requests_per_process: u64,
+    budget: Duration,
+    seed: u64,
+) -> MuxResult {
+    let cfg = MutexServiceConfig {
+        n,
+        requests_per_process,
+        cs_duration: 0,
+        live: LiveConfig {
+            loss,
+            seed,
+            record_trace: false,
+            ..LiveConfig::default()
+        },
+        time_budget: budget,
+    };
+    let (report, workers) = match backend {
+        RtBackend::Threads => (
+            run_mutex_service_on(&cfg, &InMemory).expect("the in-memory transport is infallible"),
+            n,
+        ),
+        RtBackend::Mux => (run_mutex_service_mux(&cfg, workers), workers),
+    };
+    let (mean_latency_ns, p50_latency_ns, p99_latency_ns) = latency_stats(&report.latencies);
+    MuxResult {
+        n,
+        backend,
+        workers,
+        loss,
+        injected: report.injected,
+        served: report.served,
+        msgs: report.stats.links.enqueued,
+        wall_ns: report.wall.as_nanos(),
+        mean_latency_ns,
+        p50_latency_ns,
+        p99_latency_ns,
+    }
+}
+
+/// Runs the mux runtime sweep: the thread backend at `n = 64` — its
+/// practical ceiling on this class of hardware, where one OS thread per
+/// process collapses to tens of req/s — paired with the event-driven
+/// mux backend at `n ∈ {64, 256, 1024}` on a 4-worker pool (`--fast`:
+/// one tiny `n = 4` pair). Thread rows above `n = 64` are deliberately
+/// absent: a 1024-thread run spends its budget context-switching
+/// instead of finishing the workload.
+pub fn sweep_mux(fast: bool) -> Vec<MuxResult> {
+    let budget = if fast {
+        Duration::from_secs(20)
+    } else {
+        Duration::from_secs(150)
+    };
+    if fast {
+        return vec![
+            measure_mux(4, RtBackend::Threads, 4, 0.0, 5, budget, 0x30C),
+            measure_mux(4, RtBackend::Mux, 2, 0.0, 5, budget, 0x30C),
+        ];
+    }
+    let mut rows = vec![measure_mux(
+        64,
+        RtBackend::Threads,
+        64,
+        0.0,
+        12,
+        budget,
+        0x30C ^ 64,
+    )];
+    // The leader's Value rotation is O(n) messages per grant, so the
+    // per-process queue shrinks as n grows. The n = 64 row completes
+    // inside the budget; the larger rows deliberately overfill it and
+    // saturate the service for the full 150s, so their `served`/`wall`
+    // ratio is a *sustained* throughput measurement (`served` <
+    // `injected` is expected there, not an error).
+    for (n, per_process) in [(64usize, 50u64), (256, 6), (1024, 2)] {
+        rows.push(measure_mux(
+            n,
+            RtBackend::Mux,
+            4,
+            0.0,
+            per_process,
+            budget,
+            0x30C ^ n as u64,
+        ));
+    }
+    rows
+}
+
 /// One measured chaos configuration: the single-leader mutex service
 /// under a seeded [`ChaosPlan`] of fault bursts, with the supervised
 /// self-healing runtime, judged per epoch by executable Specification 3.
@@ -734,7 +911,7 @@ pub fn sweep_chaos(fast: bool) -> Vec<ChaosRow> {
 /// identically-configured unmonitored baseline (same transport, seed
 /// and workload, trace recording off on both halves — the overhead
 /// columns isolate the monitor's cost, nothing else's; each half is
-/// the median of [`OBS_SAMPLES`] interleaved runs). A separate
+/// the median of `OBS_SAMPLES` interleaved runs). A separate
 /// trace-recorded audit run at the same configuration gates the row on
 /// Specification 5.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -809,7 +986,7 @@ const OBS_SAMPLES: usize = 3;
 /// Measures one observability pair: `requests_per_process` client
 /// requests per process, once unmonitored and once with the snapshot
 /// monitor cutting every `interval`, on the same transport backend and
-/// seed — sampled [`OBS_SAMPLES`] times in alternation, committing the
+/// seed — sampled `OBS_SAMPLES` times in alternation, committing the
 /// median-by-wall run of each half. The pairs run with trace recording
 /// *off*, like every other committed throughput row — at full size the
 /// recorder (one event per message, ~700 k msgs/s at n = 8) dominates
@@ -1044,6 +1221,27 @@ fn push_obs_rows(table: &mut Table, rows: &[ObservabilityRow]) {
     }
 }
 
+const MUX_COLUMNS: [&str; 10] = [
+    "n", "backend", "workers", "loss", "served", "req/s", "msgs/s", "mean ms", "p50 ms", "p99 ms",
+];
+
+fn push_mux_rows(table: &mut Table, rows: &[MuxResult]) {
+    for r in rows {
+        table.row(&[
+            r.n.to_string(),
+            r.backend.as_str().to_string(),
+            r.workers.to_string(),
+            format!("{:.1}", r.loss),
+            r.served.to_string(),
+            format!("{:.0}", r.requests_per_sec()),
+            format!("{:.0}", r.msgs_per_sec()),
+            format!("{:.2}", r.mean_latency_ns as f64 / 1e6),
+            format!("{:.2}", r.p50_latency_ns as f64 / 1e6),
+            format!("{:.2}", r.p99_latency_ns as f64 / 1e6),
+        ]);
+    }
+}
+
 fn push_chaos_rows(table: &mut Table, rows: &[ChaosRow]) {
     for r in rows {
         table.row(&[
@@ -1062,7 +1260,8 @@ fn push_chaos_rows(table: &mut Table, rows: &[ChaosRow]) {
     }
 }
 
-/// Renders all six sweeps as the repo's standard ASCII tables.
+/// Renders all seven sweeps as the repo's standard ASCII tables.
+#[allow(clippy::too_many_arguments)]
 pub fn render(
     baseline: &[RtResult],
     sharded: &[RtResult],
@@ -1070,6 +1269,7 @@ pub fn render(
     forwarding: &[RtResult],
     chaos: &[ChaosRow],
     observability: &[ObservabilityRow],
+    mux: &[MuxResult],
 ) -> String {
     let mut out = String::new();
     out.push_str("=== Q6: live-runtime services (1 OS thread per process) ===\n\n");
@@ -1116,6 +1316,15 @@ pub fn render(
         push_obs_rows(&mut table, observability);
         out.push_str(&table.render());
     }
+    if !mux.is_empty() {
+        out.push_str(
+            "\nruntime comparison (thread-per-process vs event-driven mux \
+             worker pool, single leader):\n",
+        );
+        let mut table = Table::new(&MUX_COLUMNS);
+        push_mux_rows(&mut table, mux);
+        out.push_str(&table.render());
+    }
     let total: u64 = baseline
         .iter()
         .chain(sharded)
@@ -1124,12 +1333,13 @@ pub fn render(
         .map(|r| r.served)
         .chain(chaos.iter().map(|r| r.served))
         .chain(observability.iter().map(|r| r.base_served + r.mon_served))
+        .chain(mux.iter().map(|r| r.served))
         .sum();
     out.push_str(&format!("\ntotal requests served end-to-end: {total}\n"));
     out
 }
 
-/// Measures all six sweeps and renders them.
+/// Measures all seven sweeps and renders them.
 pub fn run(fast: bool) -> String {
     render(
         &sweep(fast),
@@ -1138,6 +1348,7 @@ pub fn run(fast: bool) -> String {
         &sweep_forwarding(fast),
         &sweep_chaos(fast),
         &sweep_observability(fast),
+        &sweep_mux(fast),
     )
 }
 
@@ -1206,9 +1417,29 @@ fn obs_row_json(r: &ObservabilityRow) -> String {
     )
 }
 
-/// All six sweeps as a JSON document (hand-rolled: the workspace is
+fn mux_row_json(r: &MuxResult) -> String {
+    format!(
+        "{{\"n\": {}, \"backend\": \"{}\", \"workers\": {}, \"loss\": {}, \"injected\": {}, \"served\": {}, \"msgs\": {}, \"wall_ns\": {}, \"requests_per_sec\": {:.1}, \"msgs_per_sec\": {:.1}, \"mean_latency_ns\": {}, \"p50_latency_ns\": {}, \"p99_latency_ns\": {}}}",
+        r.n,
+        r.backend.as_str(),
+        r.workers,
+        r.loss,
+        r.injected,
+        r.served,
+        r.msgs,
+        r.wall_ns,
+        r.requests_per_sec(),
+        r.msgs_per_sec(),
+        r.mean_latency_ns,
+        r.p50_latency_ns,
+        r.p99_latency_ns,
+    )
+}
+
+/// All seven sweeps as a JSON document (hand-rolled: the workspace is
 /// offline and carries no serde), shaped like `BENCH_STEPLOOP.json`.
 /// Validate with [`from_json`] before committing.
+#[allow(clippy::too_many_arguments)]
 pub fn to_json(
     baseline: &[RtResult],
     sharded: &[RtResult],
@@ -1216,6 +1447,7 @@ pub fn to_json(
     forwarding: &[RtResult],
     chaos: &[ChaosRow],
     observability: &[ObservabilityRow],
+    mux: &[MuxResult],
 ) -> String {
     let mut out = String::from(
         "{\n  \"experiment\": \"live_runtime_mutex_service\",\n  \"unit\": \"requests_per_sec\",\n  \"results\": [\n",
@@ -1243,6 +1475,11 @@ pub fn to_json(
         let sep = if i + 1 < observability.len() { "," } else { "" };
         out.push_str(&format!("    {}{}\n", obs_row_json(r), sep));
     }
+    out.push_str("  ],\n  \"mux\": [\n");
+    for (i, r) in mux.iter().enumerate() {
+        let sep = if i + 1 < mux.len() { "," } else { "" };
+        out.push_str(&format!("    {}{}\n", mux_row_json(r), sep));
+    }
     let total: u64 = baseline
         .iter()
         .chain(sharded)
@@ -1251,6 +1488,7 @@ pub fn to_json(
         .map(|r| r.served)
         .chain(chaos.iter().map(|r| r.served))
         .chain(observability.iter().map(|r| r.base_served + r.mon_served))
+        .chain(mux.iter().map(|r| r.served))
         .sum();
     out.push_str(&format!("  ],\n  \"total_served\": {total}\n}}\n"));
     out
@@ -1424,19 +1662,69 @@ fn obs_row_from_value(row: &Value) -> Result<ObservabilityRow, String> {
     })
 }
 
+/// The source (non-derived) numeric fields of one mux JSON row, in
+/// emission order — the schema the round-trip check enforces. `backend`
+/// rides alongside as a string tag.
+const MUX_ROW_FIELDS: [&str; 12] = [
+    "n",
+    "workers",
+    "loss",
+    "injected",
+    "served",
+    "msgs",
+    "wall_ns",
+    "requests_per_sec",
+    "msgs_per_sec",
+    "mean_latency_ns",
+    "p50_latency_ns",
+    "p99_latency_ns",
+];
+
+fn mux_row_from_value(row: &Value) -> Result<MuxResult, String> {
+    for field in MUX_ROW_FIELDS {
+        match row.get(field) {
+            Some(Value::Num(_)) => {}
+            Some(_) => return Err(format!("field `{field}` is not a number")),
+            None => return Err(format!("missing field `{field}`")),
+        }
+    }
+    let backend = match row.get("backend") {
+        Some(Value::Str(s)) => {
+            RtBackend::parse(s).ok_or_else(|| format!("unknown `backend` tag `{s}`"))?
+        }
+        Some(_) => return Err("field `backend` is not a string".into()),
+        None => return Err("missing field `backend`".into()),
+    };
+    let num = |field: &str| row.get(field).and_then(Value::as_num).expect("checked");
+    Ok(MuxResult {
+        n: num("n") as usize,
+        backend,
+        workers: num("workers") as usize,
+        loss: num("loss"),
+        injected: num("injected") as u64,
+        served: num("served") as u64,
+        msgs: num("msgs") as u64,
+        wall_ns: num("wall_ns") as u128,
+        mean_latency_ns: num("mean_latency_ns") as u128,
+        p50_latency_ns: num("p50_latency_ns") as u128,
+        p99_latency_ns: num("p99_latency_ns") as u128,
+    })
+}
+
 /// Parses a `BENCH_RUNTIME.json` document back through the bench's own
 /// schema: `(baseline rows, sharded rows, udp rows, forwarding rows,
-/// chaos rows, observability rows, total_served)`.
+/// chaos rows, observability rows, mux rows, total_served)`.
 /// Every row must carry every field of [`struct@RtResult`] (chaos rows:
 /// every field of [`struct@ChaosRow`]; observability rows: every field
 /// of [`struct@ObservabilityRow`]): the numeric source fields (plus
 /// the derived rates) as numbers and the `transport`/`mix` tags as known
 /// strings; anything missing, extra-typed or structurally off is an
-/// error — including a pre-chaos-era document without the `chaos` array
-/// or a pre-monitor-era document without the `observability` array.
-/// `from_json(to_json(b, s, u, f, c, o))` reproduces
-/// `b`/`s`/`u`/`f`/`c`/`o` exactly (derived rates are recomputed from
-/// the source fields).
+/// error — including a pre-chaos-era document without the `chaos` array,
+/// a pre-monitor-era document without the `observability` array, or a
+/// pre-mux-era document without the `mux` array.
+/// `from_json(to_json(b, s, u, f, c, o, m))` reproduces
+/// `b`/`s`/`u`/`f`/`c`/`o`/`m` exactly (derived rates are recomputed
+/// from the source fields).
 #[allow(clippy::type_complexity)]
 pub fn from_json(
     doc: &str,
@@ -1448,6 +1736,7 @@ pub fn from_json(
         Vec<RtResult>,
         Vec<ChaosRow>,
         Vec<ObservabilityRow>,
+        Vec<MuxResult>,
         u64,
     ),
     String,
@@ -1489,6 +1778,14 @@ pub fn from_json(
         .enumerate()
         .map(|(i, row)| obs_row_from_value(row).map_err(|e| format!("observability[{i}]: {e}")))
         .collect::<Result<_, _>>()?;
+    let mux: Vec<MuxResult> = value
+        .get("mux")
+        .and_then(Value::as_arr)
+        .ok_or("missing `mux` array")?
+        .iter()
+        .enumerate()
+        .map(|(i, row)| mux_row_from_value(row).map_err(|e| format!("mux[{i}]: {e}")))
+        .collect::<Result<_, _>>()?;
     let total = value
         .get("total_served")
         .and_then(Value::as_num)
@@ -1501,6 +1798,7 @@ pub fn from_json(
         .map(|r| r.served)
         .chain(chaos.iter().map(|r| r.served))
         .chain(observability.iter().map(|r| r.base_served + r.mon_served))
+        .chain(mux.iter().map(|r| r.served))
         .sum();
     if total != served {
         return Err(format!(
@@ -1514,6 +1812,7 @@ pub fn from_json(
         forwarding,
         chaos,
         observability,
+        mux,
         total,
     ))
 }
@@ -1522,6 +1821,7 @@ pub fn from_json(
 /// [`from_json`] to exactly the in-memory results. This is what
 /// `exp_rtbench` runs before writing `BENCH_RUNTIME.json`, so schema
 /// drift fails the binary instead of landing in the committed artifact.
+#[allow(clippy::too_many_arguments)]
 pub fn validate_roundtrip(
     doc: &str,
     baseline: &[RtResult],
@@ -1530,8 +1830,9 @@ pub fn validate_roundtrip(
     forwarding: &[RtResult],
     chaos: &[ChaosRow],
     observability: &[ObservabilityRow],
+    mux: &[MuxResult],
 ) -> Result<(), String> {
-    let (b, s, u, f, c, o, _) = from_json(doc)?;
+    let (b, s, u, f, c, o, m, _) = from_json(doc)?;
     if b != baseline {
         return Err("baseline rows did not round-trip".into());
     }
@@ -1549,6 +1850,9 @@ pub fn validate_roundtrip(
     }
     if o != observability {
         return Err("observability rows did not round-trip".into());
+    }
+    if m != mux {
+        return Err("mux rows did not round-trip".into());
     }
     Ok(())
 }
@@ -1649,6 +1953,22 @@ mod tests {
         }
     }
 
+    fn sample_mux_row(n: usize, backend: RtBackend) -> MuxResult {
+        MuxResult {
+            n,
+            backend,
+            workers: if backend == RtBackend::Mux { 4 } else { n },
+            loss: 0.0,
+            injected: 10,
+            served: 10,
+            msgs: 1000,
+            wall_ns: 1_000_000,
+            mean_latency_ns: 5_000,
+            p50_latency_ns: 4_000,
+            p99_latency_ns: 9_000,
+        }
+    }
+
     fn sample_obs_row(n: usize, interval_ms: u64) -> ObservabilityRow {
         ObservabilityRow {
             n,
@@ -1704,7 +2024,12 @@ mod tests {
             },
         ];
         let obs = vec![sample_obs_row(8, 100), sample_obs_row(16, 25)];
-        let j = to_json(&baseline, &sharded, &udp, &forwarding, &chaos, &obs);
+        let mux = vec![
+            sample_mux_row(64, RtBackend::Threads),
+            sample_mux_row(64, RtBackend::Mux),
+            sample_mux_row(1024, RtBackend::Mux),
+        ];
+        let j = to_json(&baseline, &sharded, &udp, &forwarding, &chaos, &obs, &mux);
         assert!(j.contains("live_runtime_mutex_service"));
         assert!(j.contains("\"p99_latency_ns\": 9000"));
         assert!(j.contains("\"transport\": \"inmem\""));
@@ -1716,24 +2041,38 @@ mod tests {
         assert!(j.contains("\"observability\": ["));
         assert!(j.contains("\"interval_ms\": 100"));
         assert!(j.contains("\"mean_staleness_ns\": 450000"));
-        assert!(j.contains("\"total_served\": 130"));
+        assert!(j.contains("\"mux\": ["));
+        assert!(j.contains("\"backend\": \"threads\""));
+        assert!(j.contains("\"backend\": \"mux\""));
+        assert!(j.contains("\"workers\": 4"));
+        assert!(j.contains("\"total_served\": 160"));
         assert!(j.trim_end().ends_with('}'));
-        let (b, s, u, f, c, o, total) = from_json(&j).expect("parses");
+        let (b, s, u, f, c, o, m, total) = from_json(&j).expect("parses");
         assert_eq!(b, baseline);
         assert_eq!(s, sharded);
         assert_eq!(u, udp);
         assert_eq!(f, forwarding);
         assert_eq!(c, chaos);
         assert_eq!(o, obs);
-        assert_eq!(total, 130);
-        validate_roundtrip(&j, &baseline, &sharded, &udp, &forwarding, &chaos, &obs)
-            .expect("round-trips");
+        assert_eq!(m, mux);
+        assert_eq!(total, 160);
+        validate_roundtrip(
+            &j,
+            &baseline,
+            &sharded,
+            &udp,
+            &forwarding,
+            &chaos,
+            &obs,
+            &mux,
+        )
+        .expect("round-trips");
     }
 
     #[test]
     fn from_json_rejects_field_drift() {
         let baseline = vec![sample_row(8, 1, 1)];
-        let good = to_json(&baseline, &[], &[], &[], &[], &[]);
+        let good = to_json(&baseline, &[], &[], &[], &[], &[], &[]);
         // Rename a field: the schema check must notice.
         let renamed = good.replace("\"p99_latency_ns\"", "\"p99\"");
         let err = from_json(&renamed).unwrap_err();
@@ -1773,14 +2112,55 @@ mod tests {
             .contains("forwarding"));
         // And the round-trip validator catches value changes.
         let off_by_one = good.replace("\"msgs\": 1000", "\"msgs\": 1001");
-        assert!(validate_roundtrip(&off_by_one, &baseline, &[], &[], &[], &[], &[]).is_err());
+        assert!(validate_roundtrip(&off_by_one, &baseline, &[], &[], &[], &[], &[], &[]).is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_mux_drift() {
+        let baseline = vec![sample_row(8, 1, 1)];
+        let mux = vec![
+            sample_mux_row(64, RtBackend::Threads),
+            sample_mux_row(256, RtBackend::Mux),
+        ];
+        let good = to_json(&baseline, &[], &[], &[], &[], &[], &mux);
+        // A pre-mux-era document without the mux array is drift: it must
+        // be regenerated, not silently accepted.
+        let (head, tail) = good.split_once("  \"mux\"").expect("mux array present");
+        let mux_tail = tail.split_once("  ],\n").expect("mux array closes").1;
+        let no_mux = format!("{head}{mux_tail}");
+        let err = from_json(&no_mux).unwrap_err();
+        assert!(err.contains("mux"), "{err}");
+        // A renamed workers field is drift.
+        let renamed = good.replace("\"workers\"", "\"pool\"");
+        assert!(from_json(&renamed).unwrap_err().contains("workers"));
+        // An unknown, mistyped or missing backend tag is drift.
+        let bad_tag = good.replace("\"backend\": \"mux\"", "\"backend\": \"fibers\"");
+        assert!(from_json(&bad_tag).unwrap_err().contains("fibers"));
+        let numeric_tag = good.replace("\"backend\": \"mux\"", "\"backend\": 1");
+        assert!(from_json(&numeric_tag)
+            .unwrap_err()
+            .contains("not a string"));
+        let missing_tag = good.replace("\"backend\": \"mux\", ", "");
+        assert!(from_json(&missing_tag).unwrap_err().contains("backend"));
+        // Mux served counts toward the total cross-check.
+        let wrong_total = good.replace("\"total_served\": 30", "\"total_served\": 10");
+        assert!(from_json(&wrong_total)
+            .unwrap_err()
+            .contains("total_served"));
+        // The round-trip validator catches mux value changes too.
+        let off = good.replace("\"workers\": 4", "\"workers\": 8");
+        assert!(
+            validate_roundtrip(&off, &baseline, &[], &[], &[], &[], &[], &mux)
+                .unwrap_err()
+                .contains("mux")
+        );
     }
 
     #[test]
     fn from_json_rejects_chaos_drift() {
         let baseline = vec![sample_row(8, 1, 1)];
         let chaos = vec![sample_chaos_row(8, ChaosMix::All)];
-        let good = to_json(&baseline, &[], &[], &[], &chaos, &[]);
+        let good = to_json(&baseline, &[], &[], &[], &chaos, &[], &[]);
         // A pre-chaos-era document without the chaos array is drift: it
         // must be regenerated, not silently accepted.
         let (head, tail) = good.split_once("  \"chaos\"").expect("chaos array present");
@@ -1809,7 +2189,7 @@ mod tests {
         // The round-trip validator catches chaos value changes too.
         let off = good.replace("\"interventions\": 2", "\"interventions\": 3");
         assert!(
-            validate_roundtrip(&off, &baseline, &[], &[], &[], &chaos, &[])
+            validate_roundtrip(&off, &baseline, &[], &[], &[], &chaos, &[], &[])
                 .unwrap_err()
                 .contains("chaos")
         );
@@ -1819,7 +2199,7 @@ mod tests {
     fn from_json_rejects_observability_drift() {
         let baseline = vec![sample_row(8, 1, 1)];
         let obs = vec![sample_obs_row(8, 100)];
-        let good = to_json(&baseline, &[], &[], &[], &[], &obs);
+        let good = to_json(&baseline, &[], &[], &[], &[], &obs, &[]);
         // A pre-monitor-era document without the observability array is
         // drift: it must be regenerated, not silently accepted.
         let (head, tail) = good
@@ -1861,7 +2241,7 @@ mod tests {
         // The round-trip validator catches observability value changes.
         let off = good.replace("\"refused\": 1", "\"refused\": 2");
         assert!(
-            validate_roundtrip(&off, &baseline, &[], &[], &[], &[], &obs)
+            validate_roundtrip(&off, &baseline, &[], &[], &[], &[], &obs, &[])
                 .unwrap_err()
                 .contains("observability")
         );
@@ -1899,6 +2279,10 @@ mod tests {
             &[sample_forwarding_row(8)],
             &[sample_chaos_row(8, ChaosMix::Partition)],
             &[sample_obs_row(8, 100)],
+            &[
+                sample_mux_row(64, RtBackend::Threads),
+                sample_mux_row(256, RtBackend::Mux),
+            ],
         );
         assert!(out.contains("baseline"));
         assert!(out.contains("sharded multi-leader"));
@@ -1912,7 +2296,22 @@ mod tests {
         assert!(out.contains("observability"));
         assert!(out.contains("cuts/s"));
         assert!(out.contains("stale ms"));
-        assert!(out.contains("total requests served end-to-end: 80"));
+        assert!(out.contains("runtime comparison"));
+        assert!(out.contains("threads"));
+        assert!(out.contains("mux"));
+        assert!(out.contains("total requests served end-to-end: 100"));
+    }
+
+    #[test]
+    fn measure_mux_serves_on_both_backends() {
+        let t = measure_mux(3, RtBackend::Threads, 3, 0.0, 2, Duration::from_secs(30), 1);
+        assert_eq!(t.served, 6);
+        assert_eq!((t.backend, t.workers), (RtBackend::Threads, 3));
+        let m = measure_mux(3, RtBackend::Mux, 2, 0.0, 2, Duration::from_secs(30), 1);
+        assert_eq!(m.served, 6, "the mux backend serves the same workload");
+        assert_eq!((m.backend, m.workers), (RtBackend::Mux, 2));
+        assert!(m.requests_per_sec() > 0.0);
+        assert!(m.p50_latency_ns <= m.p99_latency_ns);
     }
 
     #[test]

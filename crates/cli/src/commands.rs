@@ -44,6 +44,12 @@ COMMAND OPTIONS
                  (default 60), --check (record + spec-check the trace),
                  --transport {inmem|udp} (default inmem; udp runs the
                  same protocol over real UDP loopback sockets),
+                 --runtime {threads|mux} (default threads: one OS thread
+                 per process; mux multiplexes the n protocol instances
+                 over an event-driven worker pool, scaling to thousands
+                 of instances; not with --shards/--batch/--queue-depth
+                 or --monitor),
+                 --workers <int> (default 4): mux worker-pool size,
                  --chaos {corrupt|crash|partition|storm|all}: inject a
                  seeded schedule of mid-run transient faults (state
                  corruption, crash storms healed by the supervisor with
@@ -214,6 +220,8 @@ struct LiveFlags {
     batch: usize,
     queue_depth: u64,
     transport: String,
+    runtime: String,
+    workers: usize,
 }
 
 impl LiveFlags {
@@ -230,6 +238,8 @@ impl LiveFlags {
             batch: args.get_or("batch", 1),
             queue_depth: args.get_or("queue-depth", 0),
             transport: args.get_or("transport", "inmem".to_string()),
+            runtime: args.get_or("runtime", "threads".to_string()),
+            workers: args.get_or("workers", 4),
         }
     }
 }
@@ -240,6 +250,31 @@ const TRANSPORTS: [&str; 2] = ["inmem", "udp"];
 /// The valid `--app` workloads of the `live` subcommand, listed in the
 /// exit-2 error message (same convention as `--transport`).
 const APPS: [&str; 2] = ["mutex", "forward"];
+
+/// The valid `--runtime` backends of the `live` subcommand, listed in
+/// the exit-2 error message (same convention as `--transport`).
+const RUNTIMES: [&str; 2] = ["threads", "mux"];
+
+/// Validates `--runtime` plus its `--workers` pool size, or an exit-2
+/// usage error matching the `--transport` precedent. Returns `true`
+/// when the event-driven mux backend was selected.
+fn parse_runtime(name: &str, workers: usize) -> Result<bool, (String, i32)> {
+    match name {
+        "threads" => Ok(false),
+        "mux" if workers == 0 => Err((
+            format!("invalid --workers 0: the mux pool needs at least one worker\n\n{USAGE}"),
+            2,
+        )),
+        "mux" => Ok(true),
+        other => Err((
+            format!(
+                "unknown --runtime `{other}`: valid values are {}\n\n{USAGE}",
+                RUNTIMES.join(", ")
+            ),
+            2,
+        )),
+    }
+}
 
 /// Validates `--app`, or an exit-2 usage error matching the
 /// `--transport` precedent.
@@ -429,7 +464,13 @@ pub fn cmd_live(args: &Args) -> (String, i32) {
         batch,
         queue_depth,
         transport,
+        runtime,
+        workers,
     } = LiveFlags::parse(args);
+    let mux = match parse_runtime(&runtime, workers) {
+        Ok(m) => m,
+        Err(err) => return err,
+    };
     let chaos = match parse_chaos(args) {
         Ok(c) => c,
         Err(err) => return err,
@@ -461,9 +502,24 @@ pub fn cmd_live(args: &Args) -> (String, i32) {
                 2,
             );
         }
+        if mux {
+            return (
+                format!(
+                    "--runtime mux is not supported with the sharded service \
+                     (--shards/--batch/--queue-depth)\n\n{USAGE}"
+                ),
+                2,
+            );
+        }
         return cmd_live_sharded(args);
     }
     if let Some(mon) = monitor {
+        if mux {
+            return (
+                format!("--monitor is not supported with --runtime mux\n\n{USAGE}"),
+                2,
+            );
+        }
         return cmd_live_monitored_mutex(args, &mon, chaos);
     }
     let backend = match parse_transport::<snapstab_core::me::MeMsg>(&transport) {
@@ -485,20 +541,44 @@ pub fn cmd_live(args: &Args) -> (String, i32) {
         },
         time_budget: std::time::Duration::from_secs(budget_secs),
     };
+    let runtime_desc = if mux {
+        format!("n={n} instances on {workers} mux worker(s)")
+    } else {
+        format!("n={n} worker threads")
+    };
     let mut out = format!(
-        "Live mutex service: n={n} worker threads ({transport} transport), \
+        "Live mutex service: {runtime_desc} ({transport} transport), \
          loss={loss}, {requests} request(s) per process, budget {budget_secs}s\n"
     );
     let plan = chaos.map(|mix| snapstab_runtime::ChaosPlan::profile(mix, seed));
-    let (report, chaos_report) = match &plan {
-        Some(p) => match snapstab_runtime::run_mutex_service_chaos_on(&cfg, backend.as_ref(), p) {
-            Ok((report, c)) => (report, Some(c)),
-            Err(e) => return (format!("{out}transport setup failed: {e}\n"), 1),
-        },
-        None => match snapstab_runtime::run_mutex_service_on(&cfg, backend.as_ref()) {
+    let (report, chaos_report) = match (&plan, mux) {
+        (Some(p), false) => {
+            match snapstab_runtime::run_mutex_service_chaos_on(&cfg, backend.as_ref(), p) {
+                Ok((report, c)) => (report, Some(c)),
+                Err(e) => return (format!("{out}transport setup failed: {e}\n"), 1),
+            }
+        }
+        (Some(p), true) => {
+            match snapstab_runtime::run_mutex_service_chaos_mux_on(
+                &cfg,
+                workers,
+                backend.as_ref(),
+                p,
+            ) {
+                Ok((report, c)) => (report, Some(c)),
+                Err(e) => return (format!("{out}transport setup failed: {e}\n"), 1),
+            }
+        }
+        (None, false) => match snapstab_runtime::run_mutex_service_on(&cfg, backend.as_ref()) {
             Ok(report) => (report, None),
             Err(e) => return (format!("{out}transport setup failed: {e}\n"), 1),
         },
+        (None, true) => {
+            match snapstab_runtime::run_mutex_service_mux_on(&cfg, workers, backend.as_ref()) {
+                Ok(report) => (report, None),
+                Err(e) => return (format!("{out}transport setup failed: {e}\n"), 1),
+            }
+        }
     };
     // Compare against the *requested* total, not `report.injected`: the
     // drivers inject lazily, so a budget-capped run has injected ≈ served
@@ -914,6 +994,7 @@ fn cmd_live_sharded(args: &Args) -> (String, i32) {
         batch,
         queue_depth,
         transport,
+        ..
     } = LiveFlags::parse(args);
     let key_space: u64 = args.get_or("key-space", 1 << 16);
     let backend = match parse_transport::<snapstab_core::shard::ShardedMeMsg>(&transport) {
@@ -1033,8 +1114,14 @@ fn cmd_live_forward(args: &Args) -> (String, i32) {
         budget_secs,
         check,
         transport,
+        runtime,
+        workers,
         ..
     } = LiveFlags::parse(args);
+    let mux = match parse_runtime(&runtime, workers) {
+        Ok(m) => m,
+        Err(err) => return err,
+    };
     let buffer_cap: usize = args.get_or("buffer", 4);
     if buffer_cap == 0 {
         return (
@@ -1048,7 +1135,15 @@ fn cmd_live_forward(args: &Args) -> (String, i32) {
         Err(err) => return err,
     };
     match parse_monitor(args) {
-        Ok(Some(mon)) => return cmd_live_monitored_forward(args, &mon, chaos),
+        Ok(Some(mon)) => {
+            if mux {
+                return (
+                    format!("--monitor is not supported with --runtime mux\n\n{USAGE}"),
+                    2,
+                );
+            }
+            return cmd_live_monitored_forward(args, &mon, chaos);
+        }
         Ok(None) => {}
         Err(err) => return err,
     }
@@ -1072,8 +1167,13 @@ fn cmd_live_forward(args: &Args) -> (String, i32) {
         },
         time_budget: std::time::Duration::from_secs(budget_secs),
     };
+    let runtime_desc = if mux {
+        format!("n={n} instances on {workers} mux worker(s)")
+    } else {
+        format!("n={n} worker threads")
+    };
     let mut out = format!(
-        "Live forwarding service: n={n} worker threads ({transport} transport), \
+        "Live forwarding service: {runtime_desc} ({transport} transport), \
          loss={loss}, {payloads} payload(s) per process, buffer cap {buffer_cap}\
          {}, budget {budget_secs}s\n",
         if stale {
@@ -1083,17 +1183,34 @@ fn cmd_live_forward(args: &Args) -> (String, i32) {
         }
     );
     let plan = chaos.map(|mix| snapstab_runtime::ChaosPlan::profile(mix, seed));
-    let (report, chaos_report) = match &plan {
-        Some(p) => {
+    let (report, chaos_report) = match (&plan, mux) {
+        (Some(p), false) => {
             match snapstab_runtime::run_forwarding_service_chaos_on(&cfg, backend.as_ref(), p) {
                 Ok((report, c)) => (report, Some(c)),
                 Err(e) => return (format!("{out}transport setup failed: {e}\n"), 1),
             }
         }
-        None => match snapstab_runtime::run_forwarding_service_on(&cfg, backend.as_ref()) {
-            Ok(report) => (report, None),
+        (Some(p), true) => match snapstab_runtime::run_forwarding_service_chaos_mux_on(
+            &cfg,
+            workers,
+            backend.as_ref(),
+            p,
+        ) {
+            Ok((report, c)) => (report, Some(c)),
             Err(e) => return (format!("{out}transport setup failed: {e}\n"), 1),
         },
+        (None, false) => {
+            match snapstab_runtime::run_forwarding_service_on(&cfg, backend.as_ref()) {
+                Ok(report) => (report, None),
+                Err(e) => return (format!("{out}transport setup failed: {e}\n"), 1),
+            }
+        }
+        (None, true) => {
+            match snapstab_runtime::run_forwarding_service_mux_on(&cfg, workers, backend.as_ref()) {
+                Ok(report) => (report, None),
+                Err(e) => return (format!("{out}transport setup failed: {e}\n"), 1),
+            }
+        }
     };
     let total = payloads * n as u64;
     out.push_str(&format!(
@@ -1306,6 +1423,58 @@ mod tests {
         let (out, code) = cmd_live(&parse("live --n 3 --shards 2 --transport tcp"));
         assert_eq!(code, 2, "{out}");
         assert!(out.contains("valid values are inmem, udp"), "{out}");
+    }
+
+    #[test]
+    fn live_unknown_runtime_exits_2_and_lists_valid_set() {
+        let (out, code) = cmd_live(&parse("live --n 3 --runtime fibers"));
+        assert_eq!(code, 2, "usage errors exit 2:\n{out}");
+        assert!(out.contains("unknown --runtime `fibers`"), "{out}");
+        assert!(out.contains("valid values are threads, mux"), "{out}");
+        assert!(out.contains("USAGE"), "{out}");
+        // The forwarding app applies the same validation.
+        let (out, code) = cmd_live(&parse("live --app forward --n 3 --runtime fibers"));
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("unknown --runtime `fibers`"), "{out}");
+    }
+
+    #[test]
+    fn live_mux_runtime_serves_and_checks() {
+        let (out, code) = cmd_live(&parse(
+            "live --n 4 --runtime mux --workers 2 --requests 2 --check --budget-secs 40",
+        ));
+        assert!(out.contains("n=4 instances on 2 mux worker(s)"), "{out}");
+        assert!(out.contains("served 8/8"), "{out}");
+        assert!(out.contains("exclusivity holds: true"), "{out}");
+        assert_eq!(code, 0, "healthy mux run exits 0:\n{out}");
+    }
+
+    #[test]
+    fn live_mux_forward_delivers_and_checks_spec4() {
+        let (out, code) = cmd_live(&parse(
+            "live --app forward --n 3 --runtime mux --workers 2 --requests 2 \
+             --check --budget-secs 40",
+        ));
+        assert!(out.contains("n=3 instances on 2 mux worker(s)"), "{out}");
+        assert!(out.contains("delivered 6/6"), "{out}");
+        assert!(out.contains("holds: true"), "{out}");
+        assert_eq!(code, 0, "healthy mux forwarding run exits 0:\n{out}");
+    }
+
+    #[test]
+    fn live_mux_rejects_sharded_monitor_and_zero_workers() {
+        let (out, code) = cmd_live(&parse("live --n 3 --runtime mux --shards 2"));
+        assert_eq!(code, 2, "usage errors exit 2:\n{out}");
+        assert!(out.contains("--runtime mux is not supported"), "{out}");
+        let (out, code) = cmd_live(&parse("live --n 3 --runtime mux --monitor"));
+        assert_eq!(code, 2, "{out}");
+        assert!(
+            out.contains("--monitor is not supported with --runtime mux"),
+            "{out}"
+        );
+        let (out, code) = cmd_live(&parse("live --n 3 --runtime mux --workers 0"));
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("invalid --workers 0"), "{out}");
     }
 
     #[test]

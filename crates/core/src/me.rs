@@ -607,6 +607,14 @@ impl Protocol for MeProcess {
         self.vars.idl.restore(state.idl);
         self.pif.restore(state.pif);
     }
+
+    /// Specification 3 reads `Started`/`CsEnter`/`CsExit`/`Served`
+    /// only; the wrapped PIF instance's wave events are per-delivery
+    /// noise at scale (the leader runs waves continuously), so
+    /// spec-detail traces drop them.
+    fn event_is_spec_relevant(event: &MeEvent) -> bool {
+        !matches!(event, MeEvent::Pif(_))
+    }
 }
 
 #[cfg(test)]

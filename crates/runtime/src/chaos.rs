@@ -7,19 +7,23 @@
 //!
 //! * [`ChaosPlan`] — a seeded schedule of fault bursts with quiet
 //!   periods, grouped into named mixes ([`ChaosMix`]).
-//! * [`ChaosEngine`] — injects the bursts into a live [`LiveRunner`]:
-//!   worker **state corruption** (the [`Protocol::corrupt`] hook run
-//!   atomically against a paused worker, marked `chaos:corrupt`),
-//!   **crash storms** ([`LiveRunner::crash`], healed by the supervisor),
+//! * [`ChaosEngine`] — injects the bursts into a live backend (any
+//!   [`RuntimeBackend`]: the thread-per-process [`crate::LiveRunner`] or
+//!   the multiplexed [`crate::MuxRunner`]): worker **state corruption**
+//!   (the [`Protocol::corrupt`] hook run atomically against a paused
+//!   instance, marked `chaos:corrupt`), **crash storms**
+//!   ([`RuntimeBackend::crash`] — a dead thread on one backend, a parked
+//!   instance on the other, healed by the supervisor either way),
 //!   **link partitions** with heal cycles and **drop storms**, both
 //!   pushed through [`FaultPlane`] wrappers around the [`Transport`]
 //!   abstraction so in-memory lanes and UDP sockets degrade identically.
 //! * [`Supervisor`] — the watchdog: detects crashed workers and *wedged*
-//!   ones (no effective activations within a deadline, read from
-//!   [`LiveRunner::activity`]), restarts them with **adversarially
-//!   corrupted** state (marked `chaos:restart-corrupt` — a restart is a
-//!   transient fault, and a snap-stabilizing protocol must not care),
-//!   under bounded exponential backoff reusing the
+//!   ones (no effective activations within a deadline, read from the
+//!   per-instance [`RuntimeBackend::activity`] counter), restarts them
+//!   with **adversarially corrupted** state (marked
+//!   `chaos:restart-corrupt` — a restart is a transient fault, and a
+//!   snap-stabilizing protocol must not care), under bounded exponential
+//!   backoff reusing the
 //!   [`LiveConfig::min_backoff`]/[`LiveConfig::max_backoff`] knobs.
 //! * [`ChaosHarness`] — engine + supervisor + recovery-time bookkeeping,
 //!   driven from a service poll loop; [`ChaosHarness::finish`] yields the
@@ -40,7 +44,7 @@ use std::time::{Duration, Instant};
 use snapstab_sim::{ProcessId, Protocol, SendFate, SimRng};
 
 use crate::link::{LaneOf, LinkStats};
-use crate::runner::{LiveConfig, LiveRunner};
+use crate::runner::{LiveConfig, RuntimeBackend};
 use crate::transport::{link_seed, Link, LinkMatrix, Transport};
 
 /// Salt mixed into the runtime seed for the per-link chaos-drop RNG
@@ -493,11 +497,17 @@ impl Supervisor {
     /// One watchdog pass: restarts crashed workers whose backoff has
     /// elapsed and recycles wedged ones. Returns the number of
     /// interventions made.
-    pub fn tick<P>(&mut self, runner: &mut LiveRunner<P>) -> usize
+    ///
+    /// Generic over the execution backend: on the thread-per-process
+    /// runner "crashed" means a dead OS thread, on the mux pool it means
+    /// a parked instance — either way the wedge detector reads the same
+    /// per-instance activity counter.
+    pub fn tick<P, B>(&mut self, runner: &mut B) -> usize
     where
         P: Protocol + Send + 'static,
         P::Msg: Send,
         P::Event: Send,
+        B: RuntimeBackend<P>,
     {
         let now = Instant::now();
         let mut healed = 0;
@@ -528,27 +538,24 @@ impl Supervisor {
 
     /// Heals one crashed worker immediately (ignoring backoff) — used by
     /// [`ChaosHarness::finish`] to leave the system fully healed.
-    pub fn force_heal<P>(&mut self, runner: &mut LiveRunner<P>, p: ProcessId)
+    pub fn force_heal<P, B>(&mut self, runner: &mut B, p: ProcessId)
     where
         P: Protocol + Send + 'static,
         P::Msg: Send,
         P::Event: Send,
+        B: RuntimeBackend<P>,
     {
         if runner.is_crashed(p) {
             self.heal(runner, p, InterventionKind::RestartCrashed, Instant::now());
         }
     }
 
-    fn heal<P>(
-        &mut self,
-        runner: &mut LiveRunner<P>,
-        p: ProcessId,
-        kind: InterventionKind,
-        now: Instant,
-    ) where
+    fn heal<P, B>(&mut self, runner: &mut B, p: ProcessId, kind: InterventionKind, now: Instant)
+    where
         P: Protocol + Send + 'static,
         P::Msg: Send,
         P::Event: Send,
+        B: RuntimeBackend<P>,
     {
         let step = if self.cfg.corrupt_restarts {
             // The worker is crashed, so this runs directly on the parked
@@ -681,11 +688,12 @@ impl ChaosEngine {
     /// One scheduler pass: heals expired disruptions and fires the next
     /// burst when its quiet period has elapsed. Returns `true` if a
     /// burst fired.
-    pub fn tick<P>(&mut self, runner: &mut LiveRunner<P>) -> bool
+    pub fn tick<P, B>(&mut self, runner: &mut B) -> bool
     where
         P: Protocol + Send + 'static,
         P::Msg: Send,
         P::Event: Send,
+        B: RuntimeBackend<P>,
     {
         let now = Instant::now();
         if self.heal_at.is_some_and(|t| now >= t) {
@@ -718,11 +726,12 @@ impl ChaosEngine {
         ids.into_iter().map(ProcessId::new).collect()
     }
 
-    fn fire<P>(&mut self, runner: &mut LiveRunner<P>, now: Instant)
+    fn fire<P, B>(&mut self, runner: &mut B, now: Instant)
     where
         P: Protocol + Send + 'static,
         P::Msg: Send,
         P::Event: Send,
+        B: RuntimeBackend<P>,
     {
         let kinds = self.plan.mix.kinds();
         let kind = kinds[self.kind_cursor % kinds.len()];
@@ -818,11 +827,12 @@ impl ChaosHarness {
     /// One pass: resolve recovery samples against the service's
     /// completion counter (`completed` = grants or deliveries so far),
     /// run the engine's schedule, run the watchdog.
-    pub fn tick<P>(&mut self, runner: &mut LiveRunner<P>, completed: u64)
+    pub fn tick<P, B>(&mut self, runner: &mut B, completed: u64)
     where
         P: Protocol + Send + 'static,
         P::Msg: Send,
         P::Event: Send,
+        B: RuntimeBackend<P>,
     {
         let now = Instant::now();
         let mut i = 0;
@@ -845,23 +855,25 @@ impl ChaosHarness {
     /// every worker alive — the poll loop should run until this *and*
     /// its own completion condition hold, so every planned fault really
     /// lands mid-run.
-    pub fn done<P>(&self, runner: &LiveRunner<P>) -> bool
+    pub fn done<P, B>(&self, runner: &B) -> bool
     where
         P: Protocol + Send + 'static,
         P::Msg: Send,
         P::Event: Send,
+        B: RuntimeBackend<P>,
     {
         self.engine.done() && (0..self.engine.n).all(|i| !runner.is_crashed(ProcessId::new(i)))
     }
 
     /// Heals everything (plane and crashed workers) and assembles the
-    /// [`ChaosReport`]. Call right after the poll loop, before
-    /// [`LiveRunner::stop`].
-    pub fn finish<P>(mut self, runner: &mut LiveRunner<P>) -> ChaosReport
+    /// [`ChaosReport`]. Call right after the poll loop, before the
+    /// backend's `stop`.
+    pub fn finish<P, B>(mut self, runner: &mut B) -> ChaosReport
     where
         P: Protocol + Send + 'static,
         P::Msg: Send,
         P::Event: Send,
+        B: RuntimeBackend<P>,
     {
         self.engine.heal_now();
         for i in 0..self.engine.n {
@@ -888,6 +900,7 @@ impl ChaosHarness {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::LiveRunner;
     use crate::transport::InMemory;
     use snapstab_core::idl::IdlProcess;
 

@@ -113,6 +113,23 @@
 //! [`LiveRunner::spawn_with_transport`], [`run_mutex_service_on`] or
 //! [`run_sharded_service_on`].
 //!
+//! ## Two backends, one seam
+//!
+//! Thread-per-process is faithful to the paper's model but tops out
+//! around 64 processes on commodity hardware: past that, the OS spends
+//! its time context-switching. The [`mux`] module adds an event-driven
+//! backend — [`MuxRunner`] multiplexes N protocol *instances* over a
+//! small worker pool, scheduling them through a ready queue keyed by
+//! link traffic — that runs the same protocols, transports, and trace
+//! stamping unchanged at n = 1024 and beyond. Everything above the
+//! runner (services, chaos, the spec checkers) is written against the
+//! [`RuntimeBackend`] trait, so the backends are interchangeable; the
+//! cross-backend conformance suite (`tests/mux_runtime.rs`) drives the
+//! same seeded workloads through both and holds their merged traces to
+//! the same specifications. Mux entry points mirror the thread ones:
+//! [`run_mutex_service_mux`], [`run_forwarding_service_mux`], and their
+//! `_on` / chaos variants.
+//!
 //! ## Crash and restart
 //!
 //! [`LiveRunner::crash`] joins a worker's thread mid-run (its state and
@@ -159,6 +176,7 @@
 pub mod chaos;
 pub mod link;
 pub mod monitor;
+pub mod mux;
 pub mod runner;
 pub mod service;
 pub mod transport;
@@ -176,12 +194,16 @@ pub use monitor::{
     run_monitored_mutex_service_with, CutOutcome, LiveCut, MonitorConfig, MonitorReport, Monitored,
     MonitoredEvent, MonitoredForwardingReport, MonitoredMsg, MonitoredMutexReport, MonitoredState,
 };
+pub use mux::MuxRunner;
 pub use runner::{
-    Driver, LinkSample, LiveConfig, LiveReport, LiveRunner, LiveStats, Scribe, WorkerStats,
+    Driver, LinkSample, LiveConfig, LiveReport, LiveRunner, LiveStats, RuntimeBackend, Scribe,
+    TraceDetail, WorkerStats,
 };
 pub use service::{
-    run_forwarding_service, run_forwarding_service_chaos_on, run_forwarding_service_on,
-    run_mutex_service, run_mutex_service_chaos_on, run_mutex_service_on, run_sharded_service,
+    run_forwarding_service, run_forwarding_service_chaos_mux_on, run_forwarding_service_chaos_on,
+    run_forwarding_service_mux, run_forwarding_service_mux_on, run_forwarding_service_on,
+    run_mutex_service, run_mutex_service_chaos_mux_on, run_mutex_service_chaos_on,
+    run_mutex_service_mux, run_mutex_service_mux_on, run_mutex_service_on, run_sharded_service,
     run_sharded_service_on, ForwardingServiceConfig, ForwardingServiceReport, MutexServiceConfig,
     ServiceReport, ShardedReport, ShardedServiceConfig,
 };

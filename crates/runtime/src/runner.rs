@@ -46,11 +46,37 @@ pub struct LiveConfig {
     /// Record per-worker event logs for trace merging (benches switch
     /// this off to measure raw throughput).
     pub record_trace: bool,
+    /// How much detail to record while `record_trace` is on — see
+    /// [`TraceDetail`]. Scale runs, where a snap-stabilizing fleet
+    /// retransmits millions of messages per second, drop to
+    /// [`TraceDetail::Spec`] to keep the merged trace proportional to
+    /// specification activity instead of wire traffic.
+    pub detail: TraceDetail,
     /// Initial park timeout of an idle worker.
     pub min_backoff: Duration,
     /// Park timeout ceiling; also bounds the retransmission period under
     /// loss and the latency of a jittered delivery.
     pub max_backoff: Duration,
+}
+
+/// How much detail a recording run keeps in its per-worker logs — the
+/// trade-off between forensic completeness and trace volume. Every
+/// executable specification checker judges protocol events and markers
+/// alone, so every level below [`TraceDetail::Full`] still feeds the
+/// unchanged Spec 1/3/4/5 checkers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TraceDetail {
+    /// Wire (`Sent`/`Delivered`) and protocol events: the full forensic
+    /// trace (default).
+    #[default]
+    Full,
+    /// Drop the wire events; keep every protocol event and marker.
+    Protocol,
+    /// Keep only markers and the protocol events the protocol flags as
+    /// spec-relevant ([`Protocol::event_is_spec_relevant`]) — the
+    /// minimal trace the checkers accept, proportional to protocol
+    /// decisions instead of wave traffic.
+    Spec,
 }
 
 impl Default for LiveConfig {
@@ -61,6 +87,7 @@ impl Default for LiveConfig {
             jitter: None,
             seed: 0,
             record_trace: true,
+            detail: TraceDetail::Full,
             min_backoff: Duration::from_micros(50),
             max_backoff: Duration::from_millis(2),
         }
@@ -77,7 +104,24 @@ pub struct Scribe<'a, M, E> {
     record: bool,
 }
 
-impl<M, E> Scribe<'_, M, E> {
+impl<'a, M, E> Scribe<'a, M, E> {
+    /// Assembles a scribe around a worker's log — crate-internal so every
+    /// backend (thread-per-process here, the multiplexed pool in
+    /// [`crate::mux`]) hands closures the exact same capability surface.
+    pub(crate) fn new(
+        me: ProcessId,
+        counter: &'a AtomicU64,
+        log: &'a mut Trace<M, E>,
+        record: bool,
+    ) -> Self {
+        Scribe {
+            me,
+            counter,
+            log,
+            record,
+        }
+    }
+
     /// The process this scribe writes for.
     pub fn me(&self) -> ProcessId {
         self.me
@@ -208,6 +252,7 @@ struct Worker<P: Protocol> {
     send_buf: Vec<(ProcessId, P::Msg)>,
     event_buf: Vec<P::Event>,
     record: bool,
+    detail: TraceDetail,
     driver: Option<Driver<P>>,
     stats: WorkerStats,
     min_backoff: Duration,
@@ -232,7 +277,7 @@ where
             let link = self.outgoing[to.index()]
                 .as_ref()
                 .expect("protocol sent to itself or out of range");
-            if self.record {
+            if self.record && self.detail == TraceDetail::Full {
                 let fate = link.send(msg.clone());
                 self.log.push(
                     step,
@@ -249,7 +294,9 @@ where
         }
         for event in self.event_buf.drain(..) {
             self.stats.protocol_events += 1;
-            if self.record {
+            if self.record
+                && (self.detail != TraceDetail::Spec || P::event_is_spec_relevant(&event))
+            {
                 self.log
                     .push(step, TraceEvent::Protocol { p: self.me, event });
             }
@@ -294,7 +341,7 @@ where
                     let step = self.next_step();
                     self.stats.deliveries += 1;
                     self.activity.fetch_add(1, Ordering::Relaxed);
-                    if self.record {
+                    if self.record && self.detail == TraceDetail::Full {
                         self.log.push(
                             step,
                             TraceEvent::Delivered {
@@ -588,6 +635,7 @@ where
             send_buf: Vec::new(),
             event_buf: Vec::new(),
             record: self.config.record_trace,
+            detail: self.config.detail,
             driver,
             stats,
             min_backoff: self.config.min_backoff,
@@ -840,6 +888,164 @@ where
     }
 }
 
+/// The seam between the protocol fleet and its execution substrate.
+///
+/// Two backends implement it: [`LiveRunner`] (one OS thread per process —
+/// faithful to the paper's "each process runs on its own machine" model)
+/// and [`crate::mux::MuxRunner`] (an event-driven pool multiplexing N
+/// protocol *instances* over W worker threads). Everything above the
+/// seam — the services in [`crate::service`], the chaos harness in
+/// [`crate::chaos`], the spec checkers consuming the merged trace — is
+/// written against this trait, so the two backends are interchangeable
+/// and the cross-backend conformance suite (`tests/mux_runtime.rs`) can
+/// drive the same seeded workload through both.
+///
+/// Fault injection is deliberately phrased per *process*, not per
+/// thread: on the thread backend [`RuntimeBackend::crash`] kills an OS
+/// thread, on the mux backend it parks an instance while its pool
+/// worker keeps serving healthy neighbours — yet the observable
+/// semantics (state survives, links hold backlogged messages, the
+/// `"crash"`/`"restart"` markers segment the trace) are identical.
+///
+/// The trait has generic methods ([`RuntimeBackend::with_process_ctx`])
+/// and is therefore not object-safe; consumers take `B: RuntimeBackend<P>`
+/// type parameters instead of `dyn` objects.
+pub trait RuntimeBackend<P: Protocol>: Send {
+    /// Number of protocol instances.
+    fn n(&self) -> usize;
+
+    /// Global atomic steps executed so far.
+    fn step_count(&self) -> u64;
+
+    /// True if instance `p` is currently crashed.
+    fn is_crashed(&self, p: ProcessId) -> bool;
+
+    /// Instance `p`'s liveness counter (deliveries + effective
+    /// activations), bumped by whichever worker steps it.
+    fn activity(&self, p: ProcessId) -> u64;
+
+    /// Crashes instance `p`. Idempotent counted no-op when already
+    /// crashed; returns whether this call actually crashed it.
+    fn crash(&mut self, p: ProcessId) -> bool;
+
+    /// Restarts a crashed instance `p`. Idempotent counted no-op when
+    /// not crashed; returns whether this call actually restarted it.
+    fn restart(&mut self, p: ProcessId) -> bool;
+
+    /// Counted [`RuntimeBackend::crash`] no-ops.
+    fn crash_noops(&self) -> u64;
+
+    /// Counted [`RuntimeBackend::restart`] no-ops.
+    fn restart_noops(&self) -> u64;
+
+    /// Samples every directed link while the run is live.
+    fn link_samples(&self) -> Vec<LinkSample>;
+
+    /// Runs a closure against process `p` with scribe access, atomically
+    /// with respect to its protocol actions, and returns its result.
+    fn with_process_ctx<R, F>(&mut self, p: ProcessId, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut P, &mut Scribe<'_, P::Msg, P::Event>) -> R + Send + 'static;
+
+    /// Runs a closure against process `p` and returns its result.
+    fn with_process<R, F>(&mut self, p: ProcessId, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut P) -> R + Send + 'static,
+    {
+        self.with_process_ctx(p, move |proto, _scribe| f(proto))
+    }
+
+    /// Records a harness marker at process `p` under a fresh global step.
+    fn mark(&mut self, p: ProcessId, label: impl Into<String>) {
+        let label = label.into();
+        self.with_process_ctx(p, move |_proto, scribe| {
+            scribe.mark(label);
+        });
+    }
+
+    /// Polls `pred` on process `p` until it holds or `timeout` elapses.
+    /// Returns whether it held.
+    fn wait_until<F>(&mut self, p: ProcessId, pred: F, timeout: Duration) -> bool
+    where
+        F: Fn(&P) -> bool + Send + Sync + 'static,
+    {
+        let pred = Arc::new(pred);
+        let deadline = Instant::now() + timeout;
+        loop {
+            let pred = pred.clone();
+            if self.with_process(p, move |proto| pred(proto)) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Stops the run and merges the per-worker logs.
+    fn stop(self) -> LiveReport<P>
+    where
+        Self: Sized;
+}
+
+impl<P> RuntimeBackend<P> for LiveRunner<P>
+where
+    P: Protocol + Send + 'static,
+    P::Msg: Send,
+    P::Event: Send,
+{
+    fn n(&self) -> usize {
+        LiveRunner::n(self)
+    }
+
+    fn step_count(&self) -> u64 {
+        LiveRunner::step_count(self)
+    }
+
+    fn is_crashed(&self, p: ProcessId) -> bool {
+        LiveRunner::is_crashed(self, p)
+    }
+
+    fn activity(&self, p: ProcessId) -> u64 {
+        LiveRunner::activity(self, p)
+    }
+
+    fn crash(&mut self, p: ProcessId) -> bool {
+        LiveRunner::crash(self, p)
+    }
+
+    fn restart(&mut self, p: ProcessId) -> bool {
+        LiveRunner::restart(self, p)
+    }
+
+    fn crash_noops(&self) -> u64 {
+        LiveRunner::crash_noops(self)
+    }
+
+    fn restart_noops(&self) -> u64 {
+        LiveRunner::restart_noops(self)
+    }
+
+    fn link_samples(&self) -> Vec<LinkSample> {
+        LiveRunner::link_samples(self)
+    }
+
+    fn with_process_ctx<R, F>(&mut self, p: ProcessId, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut P, &mut Scribe<'_, P::Msg, P::Event>) -> R + Send + 'static,
+    {
+        LiveRunner::with_process_ctx(self, p, f)
+    }
+
+    fn stop(self) -> LiveReport<P> {
+        LiveRunner::stop(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -927,6 +1133,30 @@ mod tests {
         let report = r.stop();
         assert!(report.trace.is_empty());
         assert!(report.stats.deliveries > 0, "stats survive");
+    }
+
+    #[test]
+    fn protocol_detail_keeps_protocol_events_only() {
+        let cfg = LiveConfig {
+            detail: TraceDetail::Protocol,
+            ..LiveConfig::default()
+        };
+        let mut r = LiveRunner::spawn(idl_fleet(3), cfg);
+        r.with_process(p(0), |m: &mut IdlProcess| m.request_learning());
+        assert!(r.wait_until(
+            p(0),
+            |m: &IdlProcess| m.request() == RequestState::Done,
+            Duration::from_secs(20),
+        ));
+        let report = r.stop();
+        let wire = report
+            .trace
+            .count(|e| matches!(e, TraceEvent::Sent { .. } | TraceEvent::Delivered { .. }));
+        assert_eq!(wire, 0, "no wire events in a message-free trace");
+        let protocol = report
+            .trace
+            .count(|e| matches!(e, TraceEvent::Protocol { .. }));
+        assert!(protocol > 0, "the spec-relevant events survive");
     }
 
     #[test]

@@ -36,10 +36,11 @@ use snapstab_core::request::{ClientRequest, RequestState};
 use snapstab_core::shard::{
     inject_requests, shard_marker, GrantAudit, GrantLog, ShardedMe, ShardedMeEvent, ShardedMeMsg,
 };
-use snapstab_sim::{ProcessId, SimRng, Trace};
+use snapstab_sim::{ProcessId, Protocol, SimRng, Trace};
 
 use crate::chaos::{ChaosHarness, ChaosPlan, ChaosReport, ChaosTransport};
-use crate::runner::{Driver, LiveConfig, LiveRunner, LiveStats};
+use crate::mux::MuxRunner;
+use crate::runner::{Driver, LiveConfig, LiveRunner, LiveStats, RuntimeBackend};
 use crate::transport::{InMemory, Transport};
 
 /// Configuration of a mutex-service run.
@@ -153,7 +154,26 @@ pub fn run_mutex_service_on(
     cfg: &MutexServiceConfig,
     transport: &dyn Transport<MeMsg>,
 ) -> std::io::Result<ServiceReport> {
-    mutex_service_impl(cfg, transport, None).map(|(report, _)| report)
+    mutex_service_impl(cfg, transport, None, spawn_threads).map(|(report, _)| report)
+}
+
+/// [`run_mutex_service`] on the event-driven [`MuxRunner`] backend:
+/// `cfg.n` protocol instances multiplexed over `workers` pool threads,
+/// in-memory links. Same workload, drivers, stamping and report shape as
+/// the thread backend — the cross-backend conformance suite holds both
+/// to the same Specification 3.
+pub fn run_mutex_service_mux(cfg: &MutexServiceConfig, workers: usize) -> ServiceReport {
+    run_mutex_service_mux_on(cfg, workers, &InMemory)
+        .expect("the in-memory transport is infallible")
+}
+
+/// [`run_mutex_service_mux`] over an arbitrary [`Transport`] backend.
+pub fn run_mutex_service_mux_on(
+    cfg: &MutexServiceConfig,
+    workers: usize,
+    transport: &dyn Transport<MeMsg>,
+) -> std::io::Result<ServiceReport> {
+    mutex_service_impl(cfg, transport, None, spawn_mux(workers)).map(|(report, _)| report)
 }
 
 /// [`run_mutex_service_on`] under a live chaos schedule: the transport is
@@ -170,15 +190,73 @@ pub fn run_mutex_service_chaos_on(
     transport: &dyn Transport<MeMsg>,
     plan: &ChaosPlan,
 ) -> std::io::Result<(ServiceReport, ChaosReport)> {
-    mutex_service_impl(cfg, transport, Some(plan))
+    mutex_service_impl(cfg, transport, Some(plan), spawn_threads)
         .map(|(report, chaos)| (report, chaos.expect("chaos plan was given")))
 }
 
-fn mutex_service_impl(
+/// [`run_mutex_service_chaos_on`] on the [`MuxRunner`] backend: the same
+/// fault schedule, but crash bursts park *instances* while their pool
+/// worker keeps stepping healthy neighbours, and the supervisor's wedge
+/// detection reads per-instance activity counters.
+pub fn run_mutex_service_chaos_mux_on(
+    cfg: &MutexServiceConfig,
+    workers: usize,
+    transport: &dyn Transport<MeMsg>,
+    plan: &ChaosPlan,
+) -> std::io::Result<(ServiceReport, ChaosReport)> {
+    mutex_service_impl(cfg, transport, Some(plan), spawn_mux(workers))
+        .map(|(report, chaos)| (report, chaos.expect("chaos plan was given")))
+}
+
+/// The thread-per-process spawner the generic service impls default to.
+fn spawn_threads<P>(
+    processes: Vec<P>,
+    drivers: Vec<Option<Driver<P>>>,
+    live: LiveConfig,
+    transport: &dyn Transport<P::Msg>,
+) -> std::io::Result<LiveRunner<P>>
+where
+    P: Protocol + Send + 'static,
+    P::Msg: Send,
+    P::Event: Send,
+{
+    LiveRunner::spawn_with_transport(processes, drivers, live, transport)
+}
+
+/// A spawner for the mux backend with a fixed pool size.
+#[allow(clippy::type_complexity)]
+fn spawn_mux<P>(
+    workers: usize,
+) -> impl FnOnce(
+    Vec<P>,
+    Vec<Option<Driver<P>>>,
+    LiveConfig,
+    &dyn Transport<P::Msg>,
+) -> std::io::Result<MuxRunner<P>>
+where
+    P: Protocol + Send + 'static,
+    P::Msg: Send,
+    P::Event: Send,
+{
+    move |processes, drivers, live, transport| {
+        MuxRunner::spawn_with_transport(processes, drivers, live, workers, transport)
+    }
+}
+
+fn mutex_service_impl<B>(
     cfg: &MutexServiceConfig,
     transport: &dyn Transport<MeMsg>,
     plan: Option<&ChaosPlan>,
-) -> std::io::Result<(ServiceReport, Option<ChaosReport>)> {
+    spawn: impl FnOnce(
+        Vec<MeProcess>,
+        Vec<Option<Driver<MeProcess>>>,
+        LiveConfig,
+        &dyn Transport<MeMsg>,
+    ) -> std::io::Result<B>,
+) -> std::io::Result<(ServiceReport, Option<ChaosReport>)>
+where
+    B: RuntimeBackend<MeProcess>,
+{
     let n = cfg.n;
     let processes: Vec<MeProcess> = (0..n)
         .map(|i| {
@@ -234,8 +312,8 @@ fn mutex_service_impl(
     let record = cfg.live.record_trace;
     let chaos_transport = plan.map(|_| ChaosTransport::new(transport, n));
     let mut runner = match &chaos_transport {
-        Some(ct) => LiveRunner::spawn_with_transport(processes, drivers, cfg.live.clone(), ct)?,
-        None => LiveRunner::spawn_with_transport(processes, drivers, cfg.live.clone(), transport)?,
+        Some(ct) => spawn(processes, drivers, cfg.live.clone(), ct)?,
+        None => spawn(processes, drivers, cfg.live.clone(), transport)?,
     };
     let mut harness = plan.map(|p| {
         let plane = chaos_transport.as_ref().expect("wrapped above").plane();
@@ -679,7 +757,29 @@ pub fn run_forwarding_service_on(
     cfg: &ForwardingServiceConfig,
     transport: &dyn Transport<ForwardMsg>,
 ) -> std::io::Result<ForwardingServiceReport> {
-    forwarding_service_impl(cfg, transport, None).map(|(report, _)| report)
+    forwarding_service_impl(cfg, transport, None, spawn_threads).map(|(report, _)| report)
+}
+
+/// [`run_forwarding_service`] on the event-driven [`MuxRunner`] backend:
+/// every hop of the line is an instance on the pool, stepped when its
+/// links carry traffic. Same workload, stamping and report shape as the
+/// thread backend.
+pub fn run_forwarding_service_mux(
+    cfg: &ForwardingServiceConfig,
+    workers: usize,
+) -> ForwardingServiceReport {
+    run_forwarding_service_mux_on(cfg, workers, &InMemory)
+        .expect("the in-memory transport is infallible")
+}
+
+/// [`run_forwarding_service_mux`] over an arbitrary [`Transport`]
+/// backend.
+pub fn run_forwarding_service_mux_on(
+    cfg: &ForwardingServiceConfig,
+    workers: usize,
+    transport: &dyn Transport<ForwardMsg>,
+) -> std::io::Result<ForwardingServiceReport> {
+    forwarding_service_impl(cfg, transport, None, spawn_mux(workers)).map(|(report, _)| report)
 }
 
 /// [`run_forwarding_service_on`] under a live chaos schedule (see
@@ -694,15 +794,37 @@ pub fn run_forwarding_service_chaos_on(
     transport: &dyn Transport<ForwardMsg>,
     plan: &ChaosPlan,
 ) -> std::io::Result<(ForwardingServiceReport, ChaosReport)> {
-    forwarding_service_impl(cfg, transport, Some(plan))
+    forwarding_service_impl(cfg, transport, Some(plan), spawn_threads)
         .map(|(report, chaos)| (report, chaos.expect("chaos plan was given")))
 }
 
-fn forwarding_service_impl(
+/// [`run_forwarding_service_chaos_on`] on the [`MuxRunner`] backend (see
+/// [`run_mutex_service_chaos_mux_on`] for the instance-level fault
+/// semantics).
+pub fn run_forwarding_service_chaos_mux_on(
+    cfg: &ForwardingServiceConfig,
+    workers: usize,
+    transport: &dyn Transport<ForwardMsg>,
+    plan: &ChaosPlan,
+) -> std::io::Result<(ForwardingServiceReport, ChaosReport)> {
+    forwarding_service_impl(cfg, transport, Some(plan), spawn_mux(workers))
+        .map(|(report, chaos)| (report, chaos.expect("chaos plan was given")))
+}
+
+fn forwarding_service_impl<B>(
     cfg: &ForwardingServiceConfig,
     transport: &dyn Transport<ForwardMsg>,
     plan: Option<&ChaosPlan>,
-) -> std::io::Result<(ForwardingServiceReport, Option<ChaosReport>)> {
+    spawn: impl FnOnce(
+        Vec<ForwardProcess>,
+        Vec<Option<Driver<ForwardProcess>>>,
+        LiveConfig,
+        &dyn Transport<ForwardMsg>,
+    ) -> std::io::Result<B>,
+) -> std::io::Result<(ForwardingServiceReport, Option<ChaosReport>)>
+where
+    B: RuntimeBackend<ForwardProcess>,
+{
     let n = cfg.n;
     let config = ForwardConfig {
         buffer_cap: cfg.buffer_cap,
@@ -774,8 +896,8 @@ fn forwarding_service_impl(
     let record = cfg.live.record_trace;
     let chaos_transport = plan.map(|_| ChaosTransport::new(transport, n));
     let mut runner = match &chaos_transport {
-        Some(ct) => LiveRunner::spawn_with_transport(processes, drivers, cfg.live.clone(), ct)?,
-        None => LiveRunner::spawn_with_transport(processes, drivers, cfg.live.clone(), transport)?,
+        Some(ct) => spawn(processes, drivers, cfg.live.clone(), ct)?,
+        None => spawn(processes, drivers, cfg.live.clone(), transport)?,
     };
     let mut harness = plan.map(|p| {
         let plane = chaos_transport.as_ref().expect("wrapped above").plane();
