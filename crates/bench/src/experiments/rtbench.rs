@@ -68,10 +68,10 @@ use std::time::Duration;
 use snapstab_core::spec::{analyze_me_epochs, analyze_snapshot_trace};
 use snapstab_net::UdpLoopback;
 use snapstab_runtime::{
-    run_forwarding_service_on, run_monitored_mutex_service_on, run_mutex_service_chaos_on,
-    run_mutex_service_mux, run_mutex_service_on, run_sharded_service, ChaosMix, ChaosPlan,
-    ForwardingServiceConfig, InMemory, LiveConfig, MonitorConfig, MutexServiceConfig,
-    ShardedServiceConfig,
+    run_forwarding_service_on, run_monitored_mutex_service_mux_on, run_monitored_mutex_service_on,
+    run_mutex_service_chaos_on, run_mutex_service_mux, run_mutex_service_mux_on,
+    run_mutex_service_on, run_sharded_service, ChaosMix, ChaosPlan, ForwardingServiceConfig,
+    InMemory, LiveConfig, MonitorConfig, MutexServiceConfig, ShardedServiceConfig,
 };
 
 use crate::jsonv::{self, Value};
@@ -914,12 +914,21 @@ pub fn sweep_chaos(fast: bool) -> Vec<ChaosRow> {
 /// the median of `OBS_SAMPLES` interleaved runs). A separate
 /// trace-recorded audit run at the same configuration gates the row on
 /// Specification 5.
-#[derive(Clone, Copy, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct ObservabilityRow {
-    /// System size (worker threads).
+    /// System size (protocol instances).
     pub n: usize,
     /// The transport backend both halves of the pair ran on.
     pub transport: RtTransport,
+    /// The runtime backend both halves ran on (thread-per-process or
+    /// the event-driven mux pool).
+    pub backend: RtBackend,
+    /// Worker threads actually running the instances (thread-backend
+    /// rows record `n`).
+    pub workers: u64,
+    /// Concurrent snapshot initiators, each on its own single-flight
+    /// ledger and independent schedule.
+    pub initiators: u64,
     /// Monitor cut interval in milliseconds.
     pub interval_ms: u64,
     /// Requests injected (identical in both halves).
@@ -945,6 +954,9 @@ pub struct ObservabilityRow {
     /// Mean wall-clock lag from cut request to the decided cut
     /// surfacing at the harness (0 when no cut decided).
     pub mean_staleness_ns: u128,
+    /// Decided cuts attributed to each initiator's ledger, in
+    /// initiator order (sums to `cuts`).
+    pub per_initiator_cuts: Vec<u64>,
 }
 
 impl ObservabilityRow {
@@ -997,9 +1009,13 @@ const OBS_SAMPLES: usize = 3;
 /// judged; a failed verdict — or a cut count disagreeing with what the
 /// harness collected — panics, so a configuration producing
 /// inconsistent cuts can never land in the committed artifact.
+#[allow(clippy::too_many_arguments)]
 pub fn measure_observability(
     n: usize,
     transport: RtTransport,
+    backend: RtBackend,
+    workers: usize,
+    initiators: usize,
     interval: Duration,
     requests_per_process: u64,
     budget: Duration,
@@ -1019,43 +1035,59 @@ pub fn measure_observability(
     };
     let mon_cfg = MonitorConfig {
         interval,
+        initiators,
         ..MonitorConfig::default()
+    };
+    let run_base = |cfg: &MutexServiceConfig| {
+        match (backend, transport) {
+            (RtBackend::Threads, RtTransport::InMem) => run_mutex_service_on(cfg, &InMemory),
+            (RtBackend::Threads, RtTransport::Udp) => {
+                run_mutex_service_on(cfg, &UdpLoopback::new())
+            }
+            (RtBackend::Mux, RtTransport::InMem) => {
+                run_mutex_service_mux_on(cfg, workers, &InMemory)
+            }
+            (RtBackend::Mux, RtTransport::Udp) => {
+                run_mutex_service_mux_on(cfg, workers, &UdpLoopback::new())
+            }
+        }
+        .expect("transport setup (guard UDP rows with `udp_available`)")
+    };
+    let run_mon = |cfg: &MutexServiceConfig| {
+        match (backend, transport) {
+            (RtBackend::Threads, RtTransport::InMem) => {
+                run_monitored_mutex_service_on(cfg, &mon_cfg, &InMemory)
+            }
+            (RtBackend::Threads, RtTransport::Udp) => {
+                run_monitored_mutex_service_on(cfg, &mon_cfg, &UdpLoopback::new())
+            }
+            (RtBackend::Mux, RtTransport::InMem) => {
+                run_monitored_mutex_service_mux_on(cfg, &mon_cfg, workers, &InMemory)
+            }
+            (RtBackend::Mux, RtTransport::Udp) => {
+                run_monitored_mutex_service_mux_on(cfg, &mon_cfg, workers, &UdpLoopback::new())
+            }
+        }
+        .expect("transport setup (guard UDP rows with `udp_available`)")
     };
     let pair_cfg = cfg(false, requests_per_process);
     let mut bases = Vec::with_capacity(OBS_SAMPLES);
     let mut mons = Vec::with_capacity(OBS_SAMPLES);
     for _ in 0..OBS_SAMPLES {
-        bases.push(
-            match transport {
-                RtTransport::InMem => run_mutex_service_on(&pair_cfg, &InMemory),
-                RtTransport::Udp => run_mutex_service_on(&pair_cfg, &UdpLoopback::new()),
-            }
-            .expect("transport setup (guard UDP rows with `udp_available`)"),
-        );
-        mons.push(
-            match transport {
-                RtTransport::InMem => {
-                    run_monitored_mutex_service_on(&pair_cfg, &mon_cfg, &InMemory)
-                }
-                RtTransport::Udp => {
-                    run_monitored_mutex_service_on(&pair_cfg, &mon_cfg, &UdpLoopback::new())
-                }
-            }
-            .expect("transport setup (guard UDP rows with `udp_available`)"),
-        );
+        bases.push(run_base(&pair_cfg));
+        mons.push(run_mon(&pair_cfg));
     }
     bases.sort_by_key(|r| r.wall);
     mons.sort_by_key(|r| r.wall);
     let base = &bases[OBS_SAMPLES / 2];
     let mon = &mons[OBS_SAMPLES / 2];
-    let audit_cfg = cfg(true, (requests_per_process / 4).clamp(10, 400));
-    let audit = match transport {
-        RtTransport::InMem => run_monitored_mutex_service_on(&audit_cfg, &mon_cfg, &InMemory),
-        RtTransport::Udp => {
-            run_monitored_mutex_service_on(&audit_cfg, &mon_cfg, &UdpLoopback::new())
-        }
-    }
-    .expect("transport setup (guard UDP rows with `udp_available`)");
+    // The audit run shrinks with n: recording one event per message at
+    // mux scale would blow the budget, and the gate needs enough waves
+    // to judge, not the full committed workload.
+    let audit_rpp = (requests_per_process / 4)
+        .clamp(10, 400)
+        .min((800 / n as u64).max(3));
+    let audit = run_mon(&cfg(true, audit_rpp));
     let trace = audit
         .trace
         .as_ref()
@@ -1063,8 +1095,9 @@ pub fn measure_observability(
     let spec = analyze_snapshot_trace(trace, n, &[]);
     assert!(
         spec.holds(),
-        "Specification 5 FAILED for the monitored audit run (n = {n}, {}, seed {seed}): {spec:?}",
+        "Specification 5 FAILED for the monitored audit run (n = {n}, {}, {}, seed {seed}): {spec:?}",
         transport.as_str(),
+        backend.as_str(),
     );
     assert_eq!(
         spec.cuts_decided(),
@@ -1075,11 +1108,29 @@ pub fn measure_observability(
         !audit.monitor.cuts.is_empty(),
         "the audit run must decide at least one cut to judge"
     );
+    // With concurrent initiators, the trace verdict must also agree on
+    // who requested what: a cut credited to the wrong ledger would
+    // surface as a fabrication at that process.
+    for stats in audit.monitor.per_initiator() {
+        assert_eq!(
+            spec.cuts_of(stats.initiator),
+            stats.cuts as usize,
+            "ledger {:?}: harness attribution disagrees with the trace",
+            stats.initiator,
+        );
+        assert_eq!(spec.refused_of(stats.initiator), stats.refused as usize);
+    }
     let (_, _, base_p99) = latency_stats(&base.latencies);
     let (_, _, mon_p99) = latency_stats(&mon.latencies);
     ObservabilityRow {
         n,
         transport,
+        backend,
+        workers: match backend {
+            RtBackend::Threads => n as u64,
+            RtBackend::Mux => workers as u64,
+        },
+        initiators: initiators as u64,
         interval_ms: interval.as_millis() as u64,
         injected: base.injected,
         base_served: base.served,
@@ -1091,44 +1142,73 @@ pub fn measure_observability(
         cuts: mon.monitor.cuts.len() as u64,
         refused: mon.monitor.refused,
         mean_staleness_ns: mon.monitor.mean_staleness().map_or(0, |d| d.as_nanos()),
+        per_initiator_cuts: mon.monitor.per_initiator().iter().map(|s| s.cuts).collect(),
     }
 }
 
 /// Runs the observability sweep: monitor-off-vs-on pairs at
-/// `n ∈ {8, 16}` over the in-memory transport — the `n = 8`,
-/// 100 ms-interval row is the committed acceptance point (≥ 1 cut/s
-/// sustained, < 10% req/s overhead), with a 4×-denser 25 ms row at the
-/// same workload and an `n = 16` spot check (`--fast`: one tiny
-/// `n = 4` pair). Every full-size row asserts the ≥ 1 cut/s floor.
+/// `n ∈ {8, 16}` on the thread backend — the `n = 8`, 100 ms-interval
+/// row is the committed acceptance point (≥ 1 cut/s sustained, < 10%
+/// req/s overhead), with a 4×-denser 25 ms row at the same workload
+/// and an `n = 16` spot check — plus monitor-on-mux pairs at
+/// `n ∈ {64, 256}` (the monitor composed with the event-driven
+/// multiplexed backend through the same `RuntimeBackend` seam) and a
+/// `K = 2` concurrent-initiator row at `n = 64` whose decided cuts are
+/// attributed per requesting ledger (`--fast`: one tiny thread pair
+/// and one tiny `K = 2` mux pair). Full-size thread rows assert the
+/// ≥ 1 cut/s floor; mux rows assert at least one decided cut — at
+/// `n = 256` the budget truncates the workload, so the pair measures
+/// sustained rates, not completion.
 pub fn sweep_observability(fast: bool) -> Vec<ObservabilityRow> {
-    // `(n, interval_ms, requests_per_process)`; sized for ~10–20s per
-    // half at the PR 2 baseline rates.
-    let grid: &[(usize, u64, u64)] = if fast {
-        &[(4, 20, 5)]
+    // `(n, backend, workers, initiators, interval_ms,
+    // requests_per_process)`; thread rows sized for ~10–20s per half at
+    // the PR 2 baseline rates, mux rows at the PR 7 mux-sweep rates
+    // (n = 64: ~90 req/s; n = 256: single-digit).
+    let grid: &[(usize, RtBackend, usize, usize, u64, u64)] = if fast {
+        &[
+            (4, RtBackend::Threads, 4, 1, 20, 5),
+            (4, RtBackend::Mux, 2, 2, 20, 3),
+        ]
     } else {
-        &[(8, 100, 1_200), (8, 25, 1_200), (16, 100, 300)]
+        &[
+            (8, RtBackend::Threads, 8, 1, 100, 1_200),
+            (8, RtBackend::Threads, 8, 1, 25, 1_200),
+            (16, RtBackend::Threads, 16, 1, 100, 300),
+            (64, RtBackend::Mux, 4, 1, 100, 12),
+            (64, RtBackend::Mux, 4, 2, 100, 12),
+            (256, RtBackend::Mux, 4, 1, 200, 1),
+        ]
     };
     let budget = if fast {
         Duration::from_secs(20)
     } else {
-        Duration::from_secs(120)
+        Duration::from_secs(60)
     };
     let mut rows = Vec::new();
-    for &(n, interval_ms, per_process) in grid {
+    for &(n, backend, workers, initiators, interval_ms, per_process) in grid {
         let row = measure_observability(
             n,
             RtTransport::InMem,
+            backend,
+            workers,
+            initiators,
             Duration::from_millis(interval_ms),
             per_process,
             budget,
-            0x0B5E ^ n as u64,
+            0x0B5E ^ n as u64 ^ ((initiators as u64) << 32),
         );
         if !fast {
-            assert!(
-                row.cuts_per_sec() >= 1.0,
-                "monitored run at n = {n} decided only {:.2} cuts/s (< 1)",
-                row.cuts_per_sec(),
-            );
+            match backend {
+                RtBackend::Threads => assert!(
+                    row.cuts_per_sec() >= 1.0,
+                    "monitored run at n = {n} decided only {:.2} cuts/s (< 1)",
+                    row.cuts_per_sec(),
+                ),
+                RtBackend::Mux => assert!(
+                    row.cuts >= 1,
+                    "monitored mux run at n = {n} decided no cuts"
+                ),
+            }
         }
         rows.push(row);
     }
@@ -1185,9 +1265,12 @@ const CHAOS_COLUMNS: [&str; 11] = [
     "rec p99 ms",
 ];
 
-const OBS_COLUMNS: [&str; 13] = [
+const OBS_COLUMNS: [&str; 16] = [
     "n",
     "transport",
+    "backend",
+    "workers",
+    "inits",
     "ival ms",
     "served",
     "base req/s",
@@ -1206,6 +1289,9 @@ fn push_obs_rows(table: &mut Table, rows: &[ObservabilityRow]) {
         table.row(&[
             r.n.to_string(),
             r.transport.as_str().to_string(),
+            r.backend.as_str().to_string(),
+            r.workers.to_string(),
+            r.initiators.to_string(),
             r.interval_ms.to_string(),
             r.mon_served.to_string(),
             format!("{:.0}", r.base_requests_per_sec()),
@@ -1395,10 +1481,19 @@ fn chaos_row_json(r: &ChaosRow) -> String {
 }
 
 fn obs_row_json(r: &ObservabilityRow) -> String {
+    let per_initiator = r
+        .per_initiator_cuts
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
-        "{{\"n\": {}, \"transport\": \"{}\", \"interval_ms\": {}, \"injected\": {}, \"base_served\": {}, \"mon_served\": {}, \"base_wall_ns\": {}, \"mon_wall_ns\": {}, \"base_requests_per_sec\": {:.1}, \"mon_requests_per_sec\": {:.1}, \"overhead_pct\": {:.2}, \"base_p99_latency_ns\": {}, \"mon_p99_latency_ns\": {}, \"cuts\": {}, \"cuts_per_sec\": {:.2}, \"refused\": {}, \"mean_staleness_ns\": {}}}",
+        "{{\"n\": {}, \"transport\": \"{}\", \"backend\": \"{}\", \"workers\": {}, \"initiators\": {}, \"interval_ms\": {}, \"injected\": {}, \"base_served\": {}, \"mon_served\": {}, \"base_wall_ns\": {}, \"mon_wall_ns\": {}, \"base_requests_per_sec\": {:.1}, \"mon_requests_per_sec\": {:.1}, \"overhead_pct\": {:.2}, \"base_p99_latency_ns\": {}, \"mon_p99_latency_ns\": {}, \"cuts\": {}, \"cuts_per_sec\": {:.2}, \"refused\": {}, \"mean_staleness_ns\": {}, \"per_initiator_cuts\": [{per_initiator}]}}",
         r.n,
         r.transport.as_str(),
+        r.backend.as_str(),
+        r.workers,
+        r.initiators,
         r.interval_ms,
         r.injected,
         r.base_served,
@@ -1609,9 +1704,12 @@ fn chaos_row_from_value(row: &Value) -> Result<ChaosRow, String> {
 
 /// The source (non-derived) numeric fields of one observability JSON
 /// row, in emission order — the schema the round-trip check enforces.
-/// `transport` rides alongside as a string tag.
-const OBS_ROW_FIELDS: [&str; 16] = [
+/// `transport` and `backend` ride alongside as string tags,
+/// `per_initiator_cuts` as an array of numbers.
+const OBS_ROW_FIELDS: [&str; 18] = [
     "n",
+    "workers",
+    "initiators",
     "interval_ms",
     "injected",
     "base_served",
@@ -1644,10 +1742,32 @@ fn obs_row_from_value(row: &Value) -> Result<ObservabilityRow, String> {
         Some(_) => return Err("field `transport` is not a string".into()),
         None => return Err("missing field `transport`".into()),
     };
+    let backend = match row.get("backend") {
+        Some(Value::Str(s)) => {
+            RtBackend::parse(s).ok_or_else(|| format!("unknown `backend` tag `{s}`"))?
+        }
+        Some(_) => return Err("field `backend` is not a string".into()),
+        None => return Err("missing field `backend`".into()),
+    };
+    let per_initiator_cuts = match row.get("per_initiator_cuts") {
+        Some(Value::Arr(items)) => items
+            .iter()
+            .map(|v| {
+                v.as_num()
+                    .map(|x| x as u64)
+                    .ok_or_else(|| "`per_initiator_cuts` entry is not a number".to_string())
+            })
+            .collect::<Result<Vec<u64>, String>>()?,
+        Some(_) => return Err("field `per_initiator_cuts` is not an array".into()),
+        None => return Err("missing field `per_initiator_cuts`".into()),
+    };
     let num = |field: &str| row.get(field).and_then(Value::as_num).expect("checked");
     Ok(ObservabilityRow {
         n: num("n") as usize,
         transport,
+        backend,
+        workers: num("workers") as u64,
+        initiators: num("initiators") as u64,
         interval_ms: num("interval_ms") as u64,
         injected: num("injected") as u64,
         base_served: num("base_served") as u64,
@@ -1659,6 +1779,7 @@ fn obs_row_from_value(row: &Value) -> Result<ObservabilityRow, String> {
         cuts: num("cuts") as u64,
         refused: num("refused") as u64,
         mean_staleness_ns: num("mean_staleness_ns") as u128,
+        per_initiator_cuts,
     })
 }
 
@@ -1973,6 +2094,9 @@ mod tests {
         ObservabilityRow {
             n,
             transport: RtTransport::InMem,
+            backend: RtBackend::Threads,
+            workers: n as u64,
+            initiators: 1,
             interval_ms,
             injected: 10,
             base_served: 10,
@@ -1984,6 +2108,21 @@ mod tests {
             cuts: 4,
             refused: 1,
             mean_staleness_ns: 450_000,
+            per_initiator_cuts: vec![4],
+        }
+    }
+
+    fn sample_obs_mux_row(n: usize, initiators: usize) -> ObservabilityRow {
+        ObservabilityRow {
+            backend: RtBackend::Mux,
+            workers: 4,
+            initiators: initiators as u64,
+            cuts: 4,
+            per_initiator_cuts: match initiators {
+                2 => vec![3, 1],
+                _ => vec![4],
+            },
+            ..sample_obs_row(n, 100)
         }
     }
 
@@ -2023,7 +2162,11 @@ mod tests {
                 ..sample_chaos_row(8, ChaosMix::All)
             },
         ];
-        let obs = vec![sample_obs_row(8, 100), sample_obs_row(16, 25)];
+        let obs = vec![
+            sample_obs_row(8, 100),
+            sample_obs_row(16, 25),
+            sample_obs_mux_row(64, 2),
+        ];
         let mux = vec![
             sample_mux_row(64, RtBackend::Threads),
             sample_mux_row(64, RtBackend::Mux),
@@ -2045,7 +2188,9 @@ mod tests {
         assert!(j.contains("\"backend\": \"threads\""));
         assert!(j.contains("\"backend\": \"mux\""));
         assert!(j.contains("\"workers\": 4"));
-        assert!(j.contains("\"total_served\": 160"));
+        assert!(j.contains("\"initiators\": 2"));
+        assert!(j.contains("\"per_initiator_cuts\": [3, 1]"));
+        assert!(j.contains("\"total_served\": 180"));
         assert!(j.trim_end().ends_with('}'));
         let (b, s, u, f, c, o, m, total) = from_json(&j).expect("parses");
         assert_eq!(b, baseline);
@@ -2055,7 +2200,7 @@ mod tests {
         assert_eq!(c, chaos);
         assert_eq!(o, obs);
         assert_eq!(m, mux);
-        assert_eq!(total, 160);
+        assert_eq!(total, 180);
         validate_roundtrip(
             &j,
             &baseline,
@@ -2221,18 +2366,33 @@ mod tests {
         let stringly = good.replace("\"cuts\": 4", "\"cuts\": \"4\"");
         assert!(from_json(&stringly).unwrap_err().contains("not a number"));
         // So are a missing, mistyped or unknown transport tag.
-        let missing_transport = good.replace(
-            "\"transport\": \"inmem\", \"interval_ms\"",
-            "\"interval_ms\"",
-        );
+        let missing_transport =
+            good.replace("\"transport\": \"inmem\", \"backend\"", "\"backend\"");
         assert!(from_json(&missing_transport)
             .unwrap_err()
             .contains("transport"));
         let bad_tag = good.replace(
-            "\"transport\": \"inmem\", \"interval_ms\"",
-            "\"transport\": \"tcp\", \"interval_ms\"",
+            "\"transport\": \"inmem\", \"backend\"",
+            "\"transport\": \"tcp\", \"backend\"",
         );
         assert!(from_json(&bad_tag).unwrap_err().contains("tcp"));
+        // A pre-telemetry-era row without the runtime-backend tag or
+        // the per-initiator attribution is drift.
+        let missing_backend = good.replace("\"backend\": \"threads\", ", "");
+        assert!(from_json(&missing_backend).unwrap_err().contains("backend"));
+        let bad_backend = good.replace("\"backend\": \"threads\"", "\"backend\": \"fibers\"");
+        assert!(from_json(&bad_backend).unwrap_err().contains("fibers"));
+        let missing_attr = good.replace(", \"per_initiator_cuts\": [4]", "");
+        assert!(from_json(&missing_attr)
+            .unwrap_err()
+            .contains("per_initiator_cuts"));
+        let stringly_attr = good.replace(
+            "\"per_initiator_cuts\": [4]",
+            "\"per_initiator_cuts\": [\"4\"]",
+        );
+        assert!(from_json(&stringly_attr)
+            .unwrap_err()
+            .contains("not a number"));
         // Both halves of the pair count toward the total cross-check.
         let wrong_total = good.replace("\"total_served\": 30", "\"total_served\": 20");
         assert!(from_json(&wrong_total)
@@ -2256,6 +2416,9 @@ mod tests {
         let r = measure_observability(
             3,
             RtTransport::InMem,
+            RtBackend::Threads,
+            3,
+            1,
             Duration::from_millis(5),
             3,
             Duration::from_secs(30),
@@ -2268,6 +2431,125 @@ mod tests {
         assert!(r.cuts_per_sec() > 0.0);
         assert!(r.base_requests_per_sec() > 0.0);
         assert!(r.mon_requests_per_sec() > 0.0);
+        assert_eq!(r.per_initiator_cuts.len(), 1);
+        assert_eq!(r.per_initiator_cuts[0], r.cuts);
+    }
+
+    /// The CLI's `--metrics-out` stream and its final `monitor metrics:`
+    /// block share one schema (`SeriesPoint::json_line`,
+    /// `Alert::json_line`, `summary_json_line`). Every line must parse
+    /// back through the bench's own JSON reader with the stable tags and
+    /// numeric fields intact — schema drift fails here, not in a
+    /// downstream dashboard.
+    #[test]
+    fn telemetry_stream_lines_roundtrip_through_jsonv() {
+        use snapstab_runtime::{summary_json_line, Alert, AlertKind, Series};
+        let cfg = MutexServiceConfig {
+            n: 3,
+            requests_per_process: 2,
+            cs_duration: 0,
+            live: LiveConfig {
+                seed: 7,
+                ..LiveConfig::default()
+            },
+            time_budget: Duration::from_secs(30),
+        };
+        let mon = MonitorConfig {
+            interval: Duration::from_millis(5),
+            ..MonitorConfig::default()
+        };
+        let report = run_monitored_mutex_service_on(&cfg, &mon, &InMemory).expect("inmem spawns");
+        assert!(!report.monitor.cuts.is_empty(), "need cuts to serialize");
+        let mut series = Series::default();
+        for cut in &report.monitor.cuts {
+            let v = jsonv::parse(&series.observe(cut).json_line()).expect("cut line parses");
+            assert_eq!(v.get("type").and_then(Value::as_str), Some("cut"));
+            for field in [
+                "initiator",
+                "cut",
+                "step",
+                "at_ms",
+                "staleness_ms",
+                "served_total",
+                "queue_total",
+                "in_flight_total",
+                "in_transit_total",
+                "served_per_sec",
+                "queue_delta",
+                "in_flight_delta",
+                "loss_rate",
+            ] {
+                assert!(
+                    matches!(v.get(field), Some(Value::Num(_))),
+                    "cut line field `{field}` missing or not a number"
+                );
+            }
+            assert_eq!(
+                v.get("cut").and_then(Value::as_num),
+                Some(cut.cut as f64),
+                "cut id survives the round trip"
+            );
+        }
+        let summary = summary_json_line(mon.interval, &report.monitor, 123.4);
+        let v = jsonv::parse(&summary).expect("summary line parses");
+        assert_eq!(v.get("type").and_then(Value::as_str), Some("summary"));
+        assert_eq!(v.get("interval_ms").and_then(Value::as_num), Some(5.0));
+        assert_eq!(
+            v.get("cuts").and_then(Value::as_num),
+            Some(report.monitor.cuts.len() as f64)
+        );
+        for field in [
+            "initiators",
+            "cuts_per_sec",
+            "refused",
+            "mean_staleness_ms",
+            "work_per_sec",
+            "alerts",
+        ] {
+            assert!(
+                matches!(v.get(field), Some(Value::Num(_))),
+                "summary field `{field}` missing or not a number"
+            );
+        }
+        let alert = Alert {
+            kind: AlertKind::RefusalStreak,
+            initiator: snapstab_sim::ProcessId::new(0),
+            cut: 9,
+            streak: 3,
+            value: 3,
+        };
+        let v = jsonv::parse(&alert.json_line()).expect("alert line parses");
+        assert_eq!(v.get("type").and_then(Value::as_str), Some("alert"));
+        assert_eq!(
+            v.get("kind").and_then(Value::as_str),
+            Some("refusal-streak")
+        );
+        assert_eq!(v.get("streak").and_then(Value::as_num), Some(3.0));
+    }
+
+    #[test]
+    fn measure_observability_mux_multi_initiator_attributes_cuts() {
+        // The monitor composed with the mux backend, two concurrent
+        // initiators: the audit inside `measure_observability` gates on
+        // Specification 5 *and* per-ledger attribution before the row
+        // can exist.
+        let r = measure_observability(
+            4,
+            RtTransport::InMem,
+            RtBackend::Mux,
+            2,
+            2,
+            Duration::from_millis(5),
+            3,
+            Duration::from_secs(30),
+            0x0B5E ^ 4,
+        );
+        assert_eq!((r.backend, r.workers, r.initiators), (RtBackend::Mux, 2, 2));
+        assert_eq!(r.base_served, 12);
+        assert_eq!(r.mon_served, 12, "monitoring must not drop requests");
+        assert!(r.cuts >= 1);
+        assert_eq!(r.per_initiator_cuts.len(), 2);
+        assert_eq!(r.per_initiator_cuts.iter().sum::<u64>(), r.cuts);
     }
 
     #[test]
@@ -2278,7 +2560,7 @@ mod tests {
             &[sample_row(8, 1, 1), sample_udp_row(8)],
             &[sample_forwarding_row(8)],
             &[sample_chaos_row(8, ChaosMix::Partition)],
-            &[sample_obs_row(8, 100)],
+            &[sample_obs_row(8, 100), sample_obs_mux_row(64, 2)],
             &[
                 sample_mux_row(64, RtBackend::Threads),
                 sample_mux_row(256, RtBackend::Mux),
@@ -2296,10 +2578,11 @@ mod tests {
         assert!(out.contains("observability"));
         assert!(out.contains("cuts/s"));
         assert!(out.contains("stale ms"));
+        assert!(out.contains("inits"));
         assert!(out.contains("runtime comparison"));
         assert!(out.contains("threads"));
         assert!(out.contains("mux"));
-        assert!(out.contains("total requests served end-to-end: 100"));
+        assert!(out.contains("total requests served end-to-end: 120"));
     }
 
     #[test]

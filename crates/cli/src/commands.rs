@@ -47,8 +47,9 @@ COMMAND OPTIONS
                  --runtime {threads|mux} (default threads: one OS thread
                  per process; mux multiplexes the n protocol instances
                  over an event-driven worker pool, scaling to thousands
-                 of instances; not with --shards/--batch/--queue-depth
-                 or --monitor),
+                 of instances; composes with --monitor — digests are
+                 captured inside the same atomic per-instance step; not
+                 with --shards/--batch/--queue-depth),
                  --workers <int> (default 4): mux worker-pool size,
                  --chaos {corrupt|crash|partition|storm|all}: inject a
                  seeded schedule of mid-run transient faults (state
@@ -72,6 +73,23 @@ COMMAND OPTIONS
                  --monitor-interval <ms> (default 100, implies
                  --monitor): target period between cuts, a positive
                  integer of milliseconds;
+                 --initiators <int> (default 1, implies --monitor):
+                 concurrent snapshot initiators, each running its own
+                 single-flight ledger on an independent schedule;
+                 1 <= K <= n, and each decided cut is attributed to the
+                 ledger that requested it;
+                 --metrics-out <path|-> (implies --monitor): emit the
+                 telemetry stream — schema-stable JSON lines, one per
+                 decided cut (type: cut), per threshold alert (type:
+                 alert), plus a final type: summary line — to a file,
+                 or inline with `-`;
+                 --jitter <ms> (default 0): uniform random per-delivery
+                 delay up to that many milliseconds — stretches waves
+                 under loss (the refusal-streak alert demo needs it);
+                 --alert-refusal-streak <int> (default 3, implies
+                 --monitor): fire an alert after that many consecutive
+                 refused cuts on one ledger — surfaced in the report
+                 and recorded as an `alert:` mark in the merged trace;
                  forward only: --buffer <int> (default 4) per-lane
                  buffer capacity, --stale (adversarially pre-fill every
                  buffer with stale entries before starting)
@@ -212,6 +230,7 @@ struct LiveFlags {
     n: usize,
     seed: u64,
     loss: f64,
+    jitter_ms: u64,
     requests: u64,
     cs_duration: u64,
     budget_secs: u64,
@@ -230,6 +249,7 @@ impl LiveFlags {
             n: args.get_or("n", 4),
             seed: args.get_or("seed", 1),
             loss: args.get_or("loss", 0.0),
+            jitter_ms: args.get_or("jitter", 0),
             requests: args.get_or("requests", 50),
             cs_duration: args.get_or("cs-duration", 0),
             budget_secs: args.get_or("budget-secs", 60),
@@ -242,6 +262,11 @@ impl LiveFlags {
             workers: args.get_or("workers", 4),
         }
     }
+}
+
+/// `--jitter MS` as the runtime's optional per-delivery delay (0 = off).
+fn jitter(ms: u64) -> Option<std::time::Duration> {
+    (ms > 0).then(|| std::time::Duration::from_millis(ms))
 }
 
 /// The valid `--transport` backends, listed in the exit-2 error message.
@@ -328,9 +353,22 @@ fn parse_chaos(args: &Args) -> Result<Option<snapstab_runtime::ChaosMix>, (Strin
 /// valid input — the same contract as `parse_transport`. Passing
 /// `--monitor-interval` alone implies `--monitor` (never silently
 /// ignored, the `--queue-depth` precedent).
-fn parse_monitor(args: &Args) -> Result<Option<snapstab_runtime::MonitorConfig>, (String, i32)> {
+fn parse_monitor(
+    args: &Args,
+    n: usize,
+) -> Result<Option<snapstab_runtime::MonitorConfig>, (String, i32)> {
     let raw = args.get_raw("monitor-interval");
-    if !args.has("monitor") && raw.is_none() {
+    let raw_initiators = args.get_raw("initiators");
+    let raw_streak = args.get_raw("alert-refusal-streak");
+    let monitoring = args.has("monitor")
+        || raw.is_some()
+        || raw_initiators.is_some()
+        || args.has("initiators")
+        || raw_streak.is_some()
+        || args.has("alert-refusal-streak")
+        || args.has("metrics-out")
+        || args.get_raw("metrics-out").is_some();
+    if !monitoring {
         return Ok(None);
     }
     let interval_ms = match raw {
@@ -348,10 +386,132 @@ fn parse_monitor(args: &Args) -> Result<Option<snapstab_runtime::MonitorConfig>,
             }
         },
     };
+    let initiators = match raw_initiators {
+        None if args.has("initiators") => {
+            return Err((
+                format!(
+                    "missing --initiators count: valid values are integers \
+                     in 1..=n (concurrent snapshot initiators)\n\n{USAGE}"
+                ),
+                2,
+            ))
+        }
+        None => 1,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(k) if k >= 1 && k <= n => k,
+            _ => {
+                return Err((
+                    format!(
+                        "invalid --initiators `{raw}`: valid values are \
+                         integers in 1..=n (here 1..={n}, concurrent \
+                         snapshot initiators)\n\n{USAGE}"
+                    ),
+                    2,
+                ))
+            }
+        },
+    };
+    let refusal_streak = match raw_streak {
+        None if args.has("alert-refusal-streak") => {
+            return Err((
+                format!(
+                    "missing --alert-refusal-streak threshold: valid values \
+                     are positive integers (consecutive refusals on one \
+                     ledger before the alert fires)\n\n{USAGE}"
+                ),
+                2,
+            ))
+        }
+        None => snapstab_runtime::AlertConfig::default().refusal_streak,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(k) if k >= 1 => k,
+            _ => {
+                return Err((
+                    format!(
+                        "invalid --alert-refusal-streak `{raw}`: valid values \
+                         are positive integers (consecutive refusals on one \
+                         ledger before the alert fires)\n\n{USAGE}"
+                    ),
+                    2,
+                ))
+            }
+        },
+    };
     Ok(Some(snapstab_runtime::MonitorConfig {
         interval: std::time::Duration::from_millis(interval_ms),
-        initiator: ProcessId::new(0),
+        initiators,
+        alerts: snapstab_runtime::AlertConfig {
+            refusal_streak,
+            ..snapstab_runtime::AlertConfig::default()
+        },
     }))
+}
+
+/// Where `--metrics-out` streams the telemetry JSON lines: inline with
+/// the report (`-`) or appended to a file.
+enum MetricsOut {
+    Inline,
+    File(std::path::PathBuf),
+}
+
+/// Resolves `--metrics-out` (implies `--monitor`): `-` streams the
+/// schema-stable JSON lines inline with the report, any other value is
+/// a file path. A bare switch is an exit-2 usage error listing the
+/// valid form (the `parse_transport` precedent).
+fn parse_metrics_out(args: &Args) -> Result<Option<MetricsOut>, (String, i32)> {
+    if let Some(raw) = args.get_raw("metrics-out") {
+        if raw == "-" {
+            return Ok(Some(MetricsOut::Inline));
+        }
+        return Ok(Some(MetricsOut::File(std::path::PathBuf::from(raw))));
+    }
+    if args.has("metrics-out") {
+        return Err((
+            format!(
+                "missing --metrics-out target: valid values are a file \
+                 path, or `-` to stream the JSON lines inline with the \
+                 report\n\n{USAGE}"
+            ),
+            2,
+        ));
+    }
+    Ok(None)
+}
+
+/// Delivers the collected telemetry JSON lines to the `--metrics-out`
+/// target: appended verbatim to the report for `-`, written to the file
+/// otherwise (noted in the report either way).
+fn deliver_metrics(out: &mut String, target: &MetricsOut, lines: &[String]) -> Option<i32> {
+    match target {
+        MetricsOut::Inline => {
+            for line in lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+            None
+        }
+        MetricsOut::File(path) => {
+            let mut body = lines.join("\n");
+            body.push('\n');
+            match std::fs::write(path, body) {
+                Ok(()) => {
+                    out.push_str(&format!(
+                        "telemetry: {} JSON line(s) written to {}\n",
+                        lines.len(),
+                        path.display()
+                    ));
+                    None
+                }
+                Err(e) => {
+                    out.push_str(&format!(
+                        "telemetry: failed to write {}: {e}\n",
+                        path.display()
+                    ));
+                    Some(1)
+                }
+            }
+        }
+    }
 }
 
 /// The per-link half of the counter report: one row per directed link,
@@ -456,6 +616,7 @@ pub fn cmd_live(args: &Args) -> (String, i32) {
         n,
         seed,
         loss,
+        jitter_ms,
         requests,
         cs_duration,
         budget_secs,
@@ -475,7 +636,11 @@ pub fn cmd_live(args: &Args) -> (String, i32) {
         Ok(c) => c,
         Err(err) => return err,
     };
-    let monitor = match parse_monitor(args) {
+    let monitor = match parse_monitor(args, n) {
+        Ok(m) => m,
+        Err(err) => return err,
+    };
+    let metrics_out = match parse_metrics_out(args) {
         Ok(m) => m,
         Err(err) => return err,
     };
@@ -514,13 +679,8 @@ pub fn cmd_live(args: &Args) -> (String, i32) {
         return cmd_live_sharded(args);
     }
     if let Some(mon) = monitor {
-        if mux {
-            return (
-                format!("--monitor is not supported with --runtime mux\n\n{USAGE}"),
-                2,
-            );
-        }
-        return cmd_live_monitored_mutex(args, &mon, chaos);
+        let mux_workers = mux.then_some(workers);
+        return cmd_live_monitored_mutex(args, &mon, chaos, mux_workers, metrics_out);
     }
     let backend = match parse_transport::<snapstab_core::me::MeMsg>(&transport) {
         Ok(b) => b,
@@ -534,6 +694,7 @@ pub fn cmd_live(args: &Args) -> (String, i32) {
         live: LiveConfig {
             loss,
             seed,
+            jitter: jitter(jitter_ms),
             // --chaos implies recording: the epoch verdicts need the
             // merged trace.
             record_trace: check || chaos.is_some(),
@@ -676,22 +837,46 @@ fn spec5_line(spec: &snapstab_core::spec::SnapshotReport) -> String {
     )
 }
 
-/// The final machine-readable metrics block of a monitored run.
+/// The final machine-readable metrics block of a monitored run — the
+/// same schema-stable summary line the telemetry stream ends with
+/// (`snapstab_runtime::summary_json_line`), so the ad-hoc CLI block and
+/// `--metrics-out` cannot drift apart.
 fn monitor_metrics_json(
     mon: &snapstab_runtime::MonitorConfig,
     m: &snapstab_runtime::MonitorReport,
     work_per_sec: f64,
 ) -> String {
     format!(
-        "monitor metrics: {{\"interval_ms\":{},\"cuts\":{},\"cuts_per_sec\":{:.2},\
-         \"refused\":{},\"mean_staleness_ms\":{:.3},\"work_per_sec\":{:.1}}}\n",
-        mon.interval.as_millis(),
-        m.cuts.len(),
-        m.cuts_per_sec(),
-        m.refused,
-        m.mean_staleness().map_or(0.0, |d| d.as_secs_f64() * 1e3),
-        work_per_sec,
+        "monitor metrics: {}\n",
+        snapstab_runtime::summary_json_line(mon.interval, m, work_per_sec)
     )
+}
+
+/// Renders the alerts a monitored run raised (bounded), matching the
+/// `alert:` marks recorded in the merged trace.
+fn alert_lines(out: &mut String, alerts: &[snapstab_runtime::Alert]) {
+    if alerts.is_empty() {
+        return;
+    }
+    const SHOWN: usize = 10;
+    out.push_str(&format!("alerts: {} raised\n", alerts.len()));
+    for a in alerts.iter().take(SHOWN) {
+        out.push_str(&format!("  {}\n", a.mark()));
+    }
+    if alerts.len() > SHOWN {
+        out.push_str(&format!(
+            "  ... {} more alert(s) elided\n",
+            alerts.len() - SHOWN
+        ));
+    }
+}
+
+/// Describes the runtime a monitored service runs on (header line).
+fn monitored_runtime_desc(n: usize, mux_workers: Option<usize>) -> String {
+    match mux_workers {
+        Some(w) => format!("n={n} instances on {w} mux worker(s)"),
+        None => format!("n={n} worker threads"),
+    }
 }
 
 /// The monitored variant of the mutex `live` subcommand (`--monitor`):
@@ -704,6 +889,8 @@ fn cmd_live_monitored_mutex(
     args: &Args,
     mon: &snapstab_runtime::MonitorConfig,
     chaos: Option<snapstab_runtime::ChaosMix>,
+    mux_workers: Option<usize>,
+    metrics_out: Option<MetricsOut>,
 ) -> (String, i32) {
     use snapstab_core::spec::analyze_snapshot_trace;
     use snapstab_runtime::{LiveConfig, MonitoredMsg, MutexServiceConfig};
@@ -711,6 +898,7 @@ fn cmd_live_monitored_mutex(
         n,
         seed,
         loss,
+        jitter_ms,
         requests,
         cs_duration,
         budget_secs,
@@ -729,38 +917,56 @@ fn cmd_live_monitored_mutex(
         live: LiveConfig {
             loss,
             seed,
+            jitter: jitter(jitter_ms),
             record_trace: check || chaos.is_some(),
             ..LiveConfig::default()
         },
         time_budget: std::time::Duration::from_secs(budget_secs),
     };
     let mut out = format!(
-        "Live monitored mutex service: n={n} worker threads ({transport} \
-         transport), loss={loss}, {requests} request(s) per process, cut \
-         interval {}ms, budget {budget_secs}s\n",
+        "Live monitored mutex service: {} ({transport} transport), \
+         loss={loss}, {requests} request(s) per process, {} initiator(s), \
+         cut interval {}ms, budget {budget_secs}s\n",
+        monitored_runtime_desc(n, mux_workers),
+        mon.initiators,
         mon.interval.as_millis(),
     );
     let plan = chaos.map(|mix| snapstab_runtime::ChaosPlan::profile(mix, seed));
     let mut cut_lines: Vec<String> = Vec::new();
+    let mut series = snapstab_runtime::Series::default();
+    let mut metrics_lines: Vec<String> = Vec::new();
     let mut on_cut = |cut: &snapstab_runtime::LiveCut| {
         cut_lines.push(format!(
-            "  cut #{} @step {}: served {}, queued {}, {} in transit, \
-             staleness {:.2} ms\n",
+            "  cut #{} (initiator {}) @step {}: served {}, queued {}, \
+             {} in transit, staleness {:.2} ms\n",
             cut.cut,
+            cut.initiator.index(),
             cut.step,
             cut.served_total(),
             cut.queue_total(),
             cut.in_transit_total(),
             cut.staleness.as_secs_f64() * 1e3,
         ));
+        metrics_lines.push(series.observe(cut).json_line());
     };
-    let (report, chaos_report) = match snapstab_runtime::run_monitored_mutex_service_with(
-        &cfg,
-        mon,
-        backend.as_ref(),
-        plan.as_ref(),
-        Some(&mut on_cut),
-    ) {
+    let run = match mux_workers {
+        Some(workers) => snapstab_runtime::run_monitored_mutex_service_mux_with(
+            &cfg,
+            mon,
+            workers,
+            backend.as_ref(),
+            plan.as_ref(),
+            Some(&mut on_cut),
+        ),
+        None => snapstab_runtime::run_monitored_mutex_service_with(
+            &cfg,
+            mon,
+            backend.as_ref(),
+            plan.as_ref(),
+            Some(&mut on_cut),
+        ),
+    };
+    let (report, chaos_report) = match run {
         Ok(r) => r,
         Err(e) => return (format!("{out}transport setup failed: {e}\n"), 1),
     };
@@ -777,6 +983,18 @@ fn cmd_live_monitored_mutex(
         report.monitor.refused,
     ));
     cut_summary_lines(&mut out, &cut_lines);
+    if mon.initiators > 1 {
+        for s in report.monitor.per_initiator() {
+            out.push_str(&format!(
+                "  initiator {}: {} cut(s) ({:.1} cuts/s), {} refused\n",
+                s.initiator.index(),
+                s.cuts,
+                report.monitor.cuts_per_sec_of(s.initiator),
+                s.refused,
+            ));
+        }
+    }
+    alert_lines(&mut out, &report.monitor.alerts);
     out.push_str(&link_counters_line(&report.stats.links));
     out.push_str(&per_link_table(&report.link_samples));
     if let (Some(mix), Some(c)) = (chaos, &chaos_report) {
@@ -824,6 +1042,17 @@ fn cmd_live_monitored_mutex(
             failed |= !spec.exclusivity_holds();
         }
     }
+    if let Some(target) = &metrics_out {
+        for a in &report.monitor.alerts {
+            metrics_lines.push(a.json_line());
+        }
+        metrics_lines.push(snapstab_runtime::summary_json_line(
+            mon.interval,
+            &report.monitor,
+            report.requests_per_sec(),
+        ));
+        failed |= deliver_metrics(&mut out, target, &metrics_lines).is_some();
+    }
     out.push_str(&monitor_metrics_json(
         mon,
         &report.monitor,
@@ -839,6 +1068,8 @@ fn cmd_live_monitored_forward(
     args: &Args,
     mon: &snapstab_runtime::MonitorConfig,
     chaos: Option<snapstab_runtime::ChaosMix>,
+    mux_workers: Option<usize>,
+    metrics_out: Option<MetricsOut>,
 ) -> (String, i32) {
     use snapstab_core::spec::analyze_snapshot_trace;
     use snapstab_runtime::{ForwardingServiceConfig, LiveConfig, MonitoredMsg};
@@ -846,6 +1077,7 @@ fn cmd_live_monitored_forward(
         n,
         seed,
         loss,
+        jitter_ms,
         requests: payloads,
         budget_secs,
         check,
@@ -873,24 +1105,30 @@ fn cmd_live_monitored_forward(
         live: LiveConfig {
             loss,
             seed,
+            jitter: jitter(jitter_ms),
             record_trace: check || chaos.is_some(),
             ..LiveConfig::default()
         },
         time_budget: std::time::Duration::from_secs(budget_secs),
     };
     let mut out = format!(
-        "Live monitored forwarding service: n={n} worker threads ({transport} \
-         transport), loss={loss}, {payloads} payload(s) per process, cut \
-         interval {}ms, budget {budget_secs}s\n",
+        "Live monitored forwarding service: {} ({transport} \
+         transport), loss={loss}, {payloads} payload(s) per process, {} \
+         initiator(s), cut interval {}ms, budget {budget_secs}s\n",
+        monitored_runtime_desc(n, mux_workers),
+        mon.initiators,
         mon.interval.as_millis(),
     );
     let plan = chaos.map(|mix| snapstab_runtime::ChaosPlan::profile(mix, seed));
     let mut cut_lines: Vec<String> = Vec::new();
+    let mut series = snapstab_runtime::Series::default();
+    let mut metrics_lines: Vec<String> = Vec::new();
     let mut on_cut = |cut: &snapstab_runtime::LiveCut| {
         cut_lines.push(format!(
-            "  cut #{} @step {}: collected {}, queued {}, buffered {}, \
-             {} in transit, staleness {:.2} ms\n",
+            "  cut #{} (initiator {}) @step {}: collected {}, queued {}, \
+             buffered {}, {} in transit, staleness {:.2} ms\n",
             cut.cut,
+            cut.initiator.index(),
             cut.step,
             cut.served_total(),
             cut.queue_total(),
@@ -901,14 +1139,26 @@ fn cmd_live_monitored_forward(
             cut.in_transit_total(),
             cut.staleness.as_secs_f64() * 1e3,
         ));
+        metrics_lines.push(series.observe(cut).json_line());
     };
-    let (report, chaos_report) = match snapstab_runtime::run_monitored_forwarding_service_with(
-        &cfg,
-        mon,
-        backend.as_ref(),
-        plan.as_ref(),
-        Some(&mut on_cut),
-    ) {
+    let run = match mux_workers {
+        Some(workers) => snapstab_runtime::run_monitored_forwarding_service_mux_with(
+            &cfg,
+            mon,
+            workers,
+            backend.as_ref(),
+            plan.as_ref(),
+            Some(&mut on_cut),
+        ),
+        None => snapstab_runtime::run_monitored_forwarding_service_with(
+            &cfg,
+            mon,
+            backend.as_ref(),
+            plan.as_ref(),
+            Some(&mut on_cut),
+        ),
+    };
+    let (report, chaos_report) = match run {
         Ok(r) => r,
         Err(e) => return (format!("{out}transport setup failed: {e}\n"), 1),
     };
@@ -926,6 +1176,18 @@ fn cmd_live_monitored_forward(
         report.monitor.refused,
     ));
     cut_summary_lines(&mut out, &cut_lines);
+    if mon.initiators > 1 {
+        for s in report.monitor.per_initiator() {
+            out.push_str(&format!(
+                "  initiator {}: {} cut(s) ({:.1} cuts/s), {} refused\n",
+                s.initiator.index(),
+                s.cuts,
+                report.monitor.cuts_per_sec_of(s.initiator),
+                s.refused,
+            ));
+        }
+    }
+    alert_lines(&mut out, &report.monitor.alerts);
     out.push_str(&link_counters_line(&report.stats.links));
     out.push_str(&per_link_table(&report.link_samples));
     if let (Some(mix), Some(c)) = (chaos, &chaos_report) {
@@ -968,6 +1230,17 @@ fn cmd_live_monitored_forward(
             failed |= !spec.holds();
         }
     }
+    if let Some(target) = &metrics_out {
+        for a in &report.monitor.alerts {
+            metrics_lines.push(a.json_line());
+        }
+        metrics_lines.push(snapstab_runtime::summary_json_line(
+            mon.interval,
+            &report.monitor,
+            report.payloads_per_sec(),
+        ));
+        failed |= deliver_metrics(&mut out, target, &metrics_lines).is_some();
+    }
     out.push_str(&monitor_metrics_json(
         mon,
         &report.monitor,
@@ -986,6 +1259,7 @@ fn cmd_live_sharded(args: &Args) -> (String, i32) {
         n,
         seed,
         loss,
+        jitter_ms,
         requests,
         cs_duration,
         budget_secs,
@@ -1012,6 +1286,7 @@ fn cmd_live_sharded(args: &Args) -> (String, i32) {
         live: LiveConfig {
             loss,
             seed,
+            jitter: jitter(jitter_ms),
             record_trace: check,
             ..LiveConfig::default()
         },
@@ -1110,6 +1385,7 @@ fn cmd_live_forward(args: &Args) -> (String, i32) {
         n,
         seed,
         loss,
+        jitter_ms,
         requests: payloads,
         budget_secs,
         check,
@@ -1134,15 +1410,14 @@ fn cmd_live_forward(args: &Args) -> (String, i32) {
         Ok(c) => c,
         Err(err) => return err,
     };
-    match parse_monitor(args) {
+    match parse_monitor(args, n) {
         Ok(Some(mon)) => {
-            if mux {
-                return (
-                    format!("--monitor is not supported with --runtime mux\n\n{USAGE}"),
-                    2,
-                );
-            }
-            return cmd_live_monitored_forward(args, &mon, chaos);
+            let metrics_out = match parse_metrics_out(args) {
+                Ok(m) => m,
+                Err(err) => return err,
+            };
+            let mux_workers = mux.then_some(workers);
+            return cmd_live_monitored_forward(args, &mon, chaos, mux_workers, metrics_out);
         }
         Ok(None) => {}
         Err(err) => return err,
@@ -1160,6 +1435,7 @@ fn cmd_live_forward(args: &Args) -> (String, i32) {
         live: LiveConfig {
             loss,
             seed,
+            jitter: jitter(jitter_ms),
             // --chaos implies recording: the epoch verdicts need the
             // merged trace.
             record_trace: check || chaos.is_some(),
@@ -1462,19 +1738,142 @@ mod tests {
     }
 
     #[test]
-    fn live_mux_rejects_sharded_monitor_and_zero_workers() {
+    fn live_mux_rejects_sharded_and_zero_workers() {
         let (out, code) = cmd_live(&parse("live --n 3 --runtime mux --shards 2"));
         assert_eq!(code, 2, "usage errors exit 2:\n{out}");
         assert!(out.contains("--runtime mux is not supported"), "{out}");
-        let (out, code) = cmd_live(&parse("live --n 3 --runtime mux --monitor"));
-        assert_eq!(code, 2, "{out}");
-        assert!(
-            out.contains("--monitor is not supported with --runtime mux"),
-            "{out}"
-        );
         let (out, code) = cmd_live(&parse("live --n 3 --runtime mux --workers 0"));
         assert_eq!(code, 2, "{out}");
         assert!(out.contains("invalid --workers 0"), "{out}");
+    }
+
+    #[test]
+    fn live_monitored_mux_serves_cuts_and_checks_spec5() {
+        let (out, code) = cmd_live(&parse(
+            "live --n 4 --runtime mux --workers 2 --requests 2 --monitor \
+             --monitor-interval 5 --check --budget-secs 40",
+        ));
+        assert!(out.contains("mux worker(s)"), "{out}");
+        assert!(out.contains("served 8/8"), "{out}");
+        assert!(out.contains("spec 5 on the merged trace"), "{out}");
+        assert!(out.contains("fabricated: 0"), "{out}");
+        assert!(out.contains("holds: true"), "{out}");
+        assert_eq!(code, 0, "healthy monitored mux run exits 0:\n{out}");
+    }
+
+    #[test]
+    fn live_multi_initiator_attributes_cuts_per_ledger() {
+        let (out, code) = cmd_live(&parse(
+            "live --n 4 --runtime mux --workers 2 --requests 2 --initiators 2 \
+             --monitor-interval 5 --check --budget-secs 40",
+        ));
+        assert!(out.contains("2 initiator(s)"), "{out}");
+        assert!(out.contains("initiator 0:"), "{out}");
+        assert!(out.contains("initiator 1:"), "{out}");
+        assert!(out.contains("holds: true"), "{out}");
+        assert_eq!(code, 0, "{out}");
+    }
+
+    /// The acceptance demo: a seeded corruption-chaos run whose
+    /// refusal-streak alert fires, lands as an `alert:` mark in the
+    /// merged trace (where `--check` judges Spec 5 around it), and is
+    /// surfaced in the report. `--jitter` stretches every wave past the
+    /// 1 ms cut schedule so the seeded bursts meet waves in flight;
+    /// threshold 1 keeps the demo robust to scheduler timing (the
+    /// refusals are seeded, their adjacency is not).
+    #[test]
+    fn live_chaos_refusal_streak_alert_fires_and_is_surfaced() {
+        let (out, code) = cmd_live(&parse(
+            "live --n 3 --requests 30 --loss 0.3 --jitter 2 --runtime mux \
+             --workers 2 --monitor-interval 1 --alert-refusal-streak 1 \
+             --chaos corrupt --seed 131 --check --budget-secs 60",
+        ));
+        assert!(out.contains("alerts:"), "{out}");
+        assert!(out.contains("alert:refusal-streak initiator=0"), "{out}");
+        assert!(out.contains("spec 5 on the merged trace"), "{out}");
+        assert!(out.contains("holds: true"), "{out}");
+        assert_eq!(code, 0, "alerting must not fail the run:\n{out}");
+    }
+
+    #[test]
+    fn live_invalid_alert_refusal_streak_exits_2_and_lists_valid_form() {
+        for bad in ["0", "many"] {
+            let (out, code) = cmd_live(&parse(&format!("live --n 3 --alert-refusal-streak {bad}")));
+            assert_eq!(code, 2, "usage errors exit 2:\n{out}");
+            assert!(
+                out.contains(&format!("invalid --alert-refusal-streak `{bad}`")),
+                "{out}"
+            );
+            assert!(out.contains("positive integers"), "{out}");
+            assert!(out.contains("USAGE"), "{out}");
+        }
+        let (out, code) = cmd_live(&parse("live --n 3 --alert-refusal-streak --check"));
+        assert_eq!(code, 2, "{out}");
+        assert!(
+            out.contains("missing --alert-refusal-streak threshold"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn live_invalid_initiators_exits_2_and_lists_valid_form() {
+        for bad in ["0", "nope", "9"] {
+            let (out, code) = cmd_live(&parse(&format!("live --n 3 --initiators {bad}")));
+            assert_eq!(code, 2, "usage errors exit 2:\n{out}");
+            assert!(
+                out.contains(&format!("invalid --initiators `{bad}`")),
+                "{out}"
+            );
+            assert!(out.contains("valid values are integers in 1..=n"), "{out}");
+            assert!(out.contains("USAGE"), "{out}");
+        }
+        let (out, code) = cmd_live(&parse("live --n 3 --initiators --check"));
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("missing --initiators count"), "{out}");
+    }
+
+    #[test]
+    fn live_metrics_out_inline_streams_schema_stable_lines() {
+        let (out, code) = cmd_live(&parse(
+            "live --n 3 --requests 2 --monitor-interval 5 --metrics-out - \
+             --budget-secs 40",
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("{\"type\":\"cut\",\"initiator\":"), "{out}");
+        assert!(
+            out.contains("{\"type\":\"summary\",\"interval_ms\":5"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn live_metrics_out_bare_flag_exits_2() {
+        let (out, code) = cmd_live(&parse("live --n 3 --metrics-out --check"));
+        assert_eq!(code, 2, "usage errors exit 2:\n{out}");
+        assert!(out.contains("missing --metrics-out target"), "{out}");
+        assert!(out.contains("USAGE"), "{out}");
+    }
+
+    #[test]
+    fn live_metrics_out_writes_file() {
+        let dir = std::env::temp_dir().join(format!("snapstab-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("metrics.jsonl");
+        let (out, code) = cmd_live(&parse(&format!(
+            "live --n 3 --requests 2 --monitor-interval 5 --metrics-out {} \
+             --budget-secs 40",
+            path.display()
+        )));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("telemetry:"), "{out}");
+        let body = std::fs::read_to_string(&path).expect("metrics file written");
+        assert!(body.contains("{\"type\":\"cut\""), "{body}");
+        assert!(body
+            .lines()
+            .last()
+            .unwrap()
+            .starts_with("{\"type\":\"summary\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -1617,7 +2016,10 @@ mod tests {
         assert!(out.contains("spec 5 on the merged trace"), "{out}");
         assert!(out.contains("holds: true"), "{out}");
         assert!(out.contains("exclusivity holds: true"), "{out}");
-        assert!(out.contains("monitor metrics: {\"interval_ms\":5"), "{out}");
+        assert!(
+            out.contains("monitor metrics: {\"type\":\"summary\",\"interval_ms\":5"),
+            "{out}"
+        );
         assert!(out.contains("per-link counters"), "{out}");
         assert_eq!(code, 0, "healthy monitored run exits 0:\n{out}");
     }

@@ -929,6 +929,69 @@ impl SnapshotReport {
     pub fn interrupted_total(&self) -> usize {
         self.cuts.iter().filter(|c| c.interrupted).count()
     }
+
+    /// Decided cuts attributed to `initiator`'s ledger.
+    pub fn cuts_of(&self, initiator: ProcessId) -> usize {
+        self.cuts
+            .iter()
+            .filter(|c| c.initiator == initiator)
+            .count()
+    }
+
+    /// Refused waves attributed to `initiator`'s ledger.
+    pub fn refused_of(&self, initiator: ProcessId) -> usize {
+        self.refused
+            .iter()
+            .filter(|&&(p, _)| p == initiator)
+            .count()
+    }
+
+    /// Every initiator with at least one wave in the trace — decided,
+    /// refused, or pending — ascending by process id. In a K-initiator
+    /// run this recovers which ledgers were actually active.
+    pub fn initiators(&self) -> Vec<ProcessId> {
+        let mut ids: Vec<ProcessId> = self
+            .cuts
+            .iter()
+            .map(|c| c.initiator)
+            .chain(self.refused.iter().map(|&(p, _)| p))
+            .chain(self.pending.iter().map(|&(p, _)| p))
+            .collect();
+        ids.sort_by_key(|p| p.index());
+        ids.dedup();
+        ids
+    }
+
+    /// Longest run of consecutive refusals on `initiator`'s ledger, in
+    /// request (cut-id) order — cut ids are requester-assigned and
+    /// monotone per ledger, so this is the order the waves were asked
+    /// in. This is the signal the runtime's telemetry refusal-streak
+    /// alert thresholds; pending waves neither extend nor reset a run.
+    pub fn max_refusal_streak_of(&self, initiator: ProcessId) -> usize {
+        let mut outcomes: Vec<(u64, bool)> = self
+            .refused
+            .iter()
+            .filter(|&&(p, _)| p == initiator)
+            .map(|&(_, c)| (c, true))
+            .chain(
+                self.cuts
+                    .iter()
+                    .filter(|c| c.initiator == initiator)
+                    .map(|c| (c.cut, false)),
+            )
+            .collect();
+        outcomes.sort_unstable_by_key(|&(c, _)| c);
+        let (mut best, mut run) = (0usize, 0usize);
+        for (_, refused) in outcomes {
+            if refused {
+                run += 1;
+                best = best.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        best
+    }
 }
 
 /// **Specification 5** (observability): judges the monitoring cuts a
@@ -2028,5 +2091,62 @@ mod tests {
         assert!(!forged.holds());
         assert_eq!(forged.forged_marks.len(), 1);
         assert!(analyze_snapshot_trace(&t, 2, &[4]).holds());
+    }
+
+    fn push_cut_refused(t: &mut STrace, step: u64, init: usize, cut: u64) {
+        t.push(
+            step,
+            TraceEvent::Protocol {
+                p: p(init),
+                event: MonitorEvent::CutRefused { cut },
+            },
+        );
+    }
+
+    /// Two initiators with overlapping waves: each decided cut lands on
+    /// the ledger that requested it, and the per-initiator accessors
+    /// recover the split.
+    #[test]
+    fn snapshot_attributes_cuts_per_initiator() {
+        let mut t = STrace::new();
+        push_cut_started(&mut t, 1, 0, 0);
+        push_cut_started(&mut t, 2, 1, 0); // overlapping wave, other ledger
+        push_cut_decided(&mut t, 4, 0, 0, vec![digest(0, 0), digest(1, 0)]);
+        push_cut_decided(&mut t, 5, 1, 0, vec![digest(0, 0), digest(1, 0)]);
+        push_cut_started(&mut t, 6, 1, 1);
+        push_cut_refused(&mut t, 7, 1, 1);
+        let r = analyze_snapshot_trace(&t, 2, &[]);
+        assert!(r.holds(), "{r:?}");
+        assert_eq!(r.initiators(), vec![p(0), p(1)]);
+        assert_eq!(r.cuts_of(p(0)), 1);
+        assert_eq!(r.cuts_of(p(1)), 1);
+        assert_eq!(r.refused_of(p(0)), 0);
+        assert_eq!(r.refused_of(p(1)), 1);
+    }
+
+    /// Refusal streaks run per ledger in cut-id order; a decision on
+    /// the same ledger resets the run, other ledgers never touch it.
+    #[test]
+    fn snapshot_refusal_streak_is_per_ledger() {
+        let mut t = STrace::new();
+        // p0: refuse 0, refuse 1, decide 2, refuse 3 → max streak 2.
+        for cut in 0..2u64 {
+            push_cut_started(&mut t, 1 + 2 * cut, 0, cut);
+            push_cut_refused(&mut t, 2 + 2 * cut, 0, cut);
+        }
+        push_cut_started(&mut t, 10, 0, 2);
+        push_cut_decided(&mut t, 11, 0, 2, vec![digest(0, 0), digest(1, 0)]);
+        push_cut_started(&mut t, 12, 0, 3);
+        push_cut_refused(&mut t, 13, 0, 3);
+        // p1: one long unbroken streak of 3.
+        for cut in 0..3u64 {
+            push_cut_started(&mut t, 20 + 2 * cut, 1, cut);
+            push_cut_refused(&mut t, 21 + 2 * cut, 1, cut);
+        }
+        let r = analyze_snapshot_trace(&t, 2, &[]);
+        assert!(r.holds(), "{r:?}");
+        assert_eq!(r.max_refusal_streak_of(p(0)), 2);
+        assert_eq!(r.max_refusal_streak_of(p(1)), 3);
+        assert_eq!(r.max_refusal_streak_of(ProcessId::new(5)), 0);
     }
 }

@@ -550,6 +550,28 @@ impl Supervisor {
         }
     }
 
+    /// Flags one worker as suspected-wedged from an *external* signal:
+    /// backdates its progress deadline so the next [`Supervisor::tick`]
+    /// recycles it — unless the worker shows fresh activity first, which
+    /// clears the suspicion through the ordinary activity check. The
+    /// telemetry pipeline feeds stalled-served alerts
+    /// (`snapstab_runtime::telemetry::AlertKind::StalledServed`) through
+    /// here, turning monitoring cuts into an additional wedge signal.
+    pub fn suspect(&mut self, p: ProcessId) {
+        if let Some(past) = Instant::now().checked_sub(self.cfg.wedge_deadline) {
+            self.watches[p.index()].last_progress = past;
+        }
+    }
+
+    /// [`Supervisor::suspect`] applied to every watched worker — for
+    /// alert sources (like a stalled global served counter) that cannot
+    /// name the culprit.
+    pub fn suspect_all(&mut self) {
+        for i in 0..self.watches.len() {
+            self.suspect(ProcessId::new(i));
+        }
+    }
+
     fn heal<P, B>(&mut self, runner: &mut B, p: ProcessId, kind: InterventionKind, now: Instant)
     where
         P: Protocol + Send + 'static,
@@ -849,6 +871,14 @@ impl ChaosHarness {
             self.pending_recovery.push((Instant::now(), completed));
         }
         self.supervisor.tick(runner);
+    }
+
+    /// Marks every worker suspected-wedged (see [`Supervisor::suspect`]):
+    /// the next [`ChaosHarness::tick`] recycles any worker that shows no
+    /// fresh activity by then. The monitored services call this when the
+    /// telemetry plane raises a stalled-served alert.
+    pub fn suspect_all(&mut self) {
+        self.supervisor.suspect_all();
     }
 
     /// True once the schedule is exhausted, every disruption healed and

@@ -158,15 +158,31 @@
 //!
 //! The [`monitor`] module composes any service protocol with the §4.1
 //! snapshot application on the *same* transport: a [`Monitored`] process
-//! multiplexes service and monitor planes over [`MonitoredMsg`], and the
-//! designated initiator periodically starts a snap-stabilizing snapshot
-//! wave that collects a consistent global cut of [`ProbeDigest`] values —
-//! per-process protocol-state digests, queue depths, in-flight counts —
-//! plus per-link counter samples ([`LinkSample`]), without pausing any
-//! worker. [`run_monitored_mutex_service`] and
-//! [`run_monitored_forwarding_service`] package the wiring; every cut in
-//! the merged trace is judged by executable Specification 5
-//! (`snapstab_core::spec::analyze_snapshot_trace`).
+//! multiplexes service and monitor planes over [`MonitoredMsg`], and
+//! each of K configured initiators ([`MonitorConfig::initiators`])
+//! periodically starts a snap-stabilizing snapshot wave — on its own
+//! schedule, waves overlapping freely — that collects a consistent
+//! global cut of [`ProbeDigest`] values — per-process protocol-state
+//! digests, queue depths, in-flight counts — plus per-link counter
+//! samples ([`LinkSample`]), without pausing any worker.
+//! [`run_monitored_mutex_service`] and
+//! [`run_monitored_forwarding_service`] package the wiring on the
+//! thread backend; [`run_monitored_mutex_service_mux`] and
+//! [`run_monitored_forwarding_service_mux`] run the same composition on
+//! the multiplexed pool, so one cut spans hundreds of instances. Every
+//! cut in the merged trace is judged by executable Specification 5
+//! (`snapstab_core::spec::analyze_snapshot_trace`), which attributes
+//! each decided cut to the ledger that requested it.
+//!
+//! The [`telemetry`] module turns the cut stream into first-class
+//! metrics: [`Series`] differences consecutive cuts per initiator into
+//! rate signals (served/s, queue-depth delta, in-flight drift, link
+//! loss rate), [`AlertMonitor`] raises threshold alerts — refusal
+//! streaks, stalled served counters, queue runaway — recorded as
+//! `alert:` trace marks so alert behavior is itself spec-checkable, and
+//! stalled-served alerts feed [`ChaosHarness::suspect_all`] as an extra
+//! supervisor wedge signal. Everything streams as schema-stable JSON
+//! lines ([`SeriesPoint::json_line`], [`summary_json_line`]).
 //!
 //! [`ProbeDigest`]: snapstab_core::probe::ProbeDigest
 
@@ -179,6 +195,7 @@ pub mod monitor;
 pub mod mux;
 pub mod runner;
 pub mod service;
+pub mod telemetry;
 pub mod transport;
 
 pub use chaos::{
@@ -188,11 +205,16 @@ pub use chaos::{
 pub use link::{LaneOf, LinkStats, LiveLink};
 pub use monitor::{
     project_service_trace, run_monitored_forwarding_service,
-    run_monitored_forwarding_service_chaos_on, run_monitored_forwarding_service_on,
+    run_monitored_forwarding_service_chaos_mux_on, run_monitored_forwarding_service_chaos_on,
+    run_monitored_forwarding_service_mux, run_monitored_forwarding_service_mux_on,
+    run_monitored_forwarding_service_mux_with, run_monitored_forwarding_service_on,
     run_monitored_forwarding_service_with, run_monitored_mutex_service,
-    run_monitored_mutex_service_chaos_on, run_monitored_mutex_service_on,
-    run_monitored_mutex_service_with, CutOutcome, LiveCut, MonitorConfig, MonitorReport, Monitored,
-    MonitoredEvent, MonitoredForwardingReport, MonitoredMsg, MonitoredMutexReport, MonitoredState,
+    run_monitored_mutex_service_chaos_mux_on, run_monitored_mutex_service_chaos_on,
+    run_monitored_mutex_service_mux, run_monitored_mutex_service_mux_on,
+    run_monitored_mutex_service_mux_with, run_monitored_mutex_service_on,
+    run_monitored_mutex_service_with, CutOutcome, InitiatorStats, LiveCut, MonitorConfig,
+    MonitorReport, Monitored, MonitoredEvent, MonitoredForwardingReport, MonitoredMsg,
+    MonitoredMutexReport, MonitoredState,
 };
 pub use mux::MuxRunner;
 pub use runner::{
@@ -206,5 +228,9 @@ pub use service::{
     run_mutex_service_mux, run_mutex_service_mux_on, run_mutex_service_on, run_sharded_service,
     run_sharded_service_on, ForwardingServiceConfig, ForwardingServiceReport, MutexServiceConfig,
     ServiceReport, ShardedReport, ShardedServiceConfig,
+};
+pub use telemetry::{
+    alert_marks, summary_json_line, Alert, AlertConfig, AlertKind, AlertMonitor, Series,
+    SeriesPoint, ALERT_MARK_PREFIX,
 };
 pub use transport::{InMemory, Link, LinkMatrix, Transport};

@@ -5,15 +5,20 @@
 //! ([`snapstab_apps::SnapshotProcess`]) *alongside* a service protocol
 //! `P` on the same transport: every wire message is a
 //! [`MonitoredMsg`] (service or monitor plane), and the composite is
-//! itself a [`Protocol`], so the existing [`LiveRunner`], supervisor
-//! and chaos engine drive it unchanged. The designated initiator's
-//! driver periodically requests a cut ([`Monitored::request_cut`]);
-//! one snapshot wave then collects a [`ProbeDigest`] per process — a
-//! digest of the live service state plus the instrumentation gauges
-//! each worker's driver maintains — **without pausing any worker**:
-//! digests are captured inside the ordinary atomic receive actions of
-//! the wave's broadcast, exactly where the paper's snapshot reads its
-//! value.
+//! itself a [`Protocol`], so the existing runtime backends — the
+//! thread-per-process [`crate::LiveRunner`] and the multiplexed
+//! [`crate::MuxRunner`], through the [`RuntimeBackend`] seam — plus
+//! the supervisor and chaos engine drive it unchanged. Each
+//! initiator's driver periodically requests a cut
+//! ([`Monitored::request_cut`]); one snapshot wave then collects a
+//! [`ProbeDigest`] per process — a digest of the live service state
+//! plus the instrumentation gauges each worker's driver maintains —
+//! **without pausing any worker**: digests are captured inside the
+//! ordinary atomic receive actions of the wave's broadcast, exactly
+//! where the paper's snapshot reads its value. The §4.1 protocol lets
+//! any process initiate, so [`MonitorConfig::initiators`] may run K
+//! concurrent wave schedules; every decided cut is attributed to the
+//! ledger that requested it.
 //!
 //! Each decided cut is stamped into the merged trace as a
 //! [`MonitorEvent`] and judged post-hoc by executable Specification 5
@@ -38,8 +43,9 @@ use snapstab_core::request::RequestState;
 use snapstab_sim::{Context, ProcessId, Protocol, SimRng, Trace, TraceEvent};
 
 use crate::chaos::{ChaosHarness, ChaosPlan, ChaosReport, ChaosTransport};
-use crate::runner::{Driver, LinkSample, LiveRunner, LiveStats};
-use crate::service::{ForwardingServiceConfig, MutexServiceConfig};
+use crate::runner::{Driver, LinkSample, LiveConfig, LiveStats, RuntimeBackend, Scribe};
+use crate::service::{spawn_mux, spawn_threads, ForwardingServiceConfig, MutexServiceConfig};
+use crate::telemetry::{Alert, AlertConfig, AlertKind, AlertMonitor};
 use crate::transport::{InMemory, Transport};
 
 /// Wire message of a monitored service: the service plane carries the
@@ -477,17 +483,25 @@ where
 /// Configuration of the monitoring side of a monitored service run.
 #[derive(Clone, Copy, Debug)]
 pub struct MonitorConfig {
-    /// Target period between cut requests at the initiator.
+    /// Target period between cut requests at each initiator.
     pub interval: Duration,
-    /// The process whose monitor initiates the waves.
-    pub initiator: ProcessId,
+    /// How many initiators run concurrent snapshot waves: processes
+    /// `0..initiators`, each on its own schedule (phase-staggered by
+    /// `interval * i / K` so the waves desynchronize). The §4.1
+    /// protocol lets any process initiate; every initiator keeps its
+    /// own single-flight cut ledger, and Specification 5 attributes
+    /// each decided cut to the ledger that requested it.
+    pub initiators: usize,
+    /// Alert thresholds evaluated on each initiator's cut chain.
+    pub alerts: AlertConfig,
 }
 
 impl Default for MonitorConfig {
     fn default() -> Self {
         MonitorConfig {
             interval: Duration::from_millis(100),
-            initiator: ProcessId::new(0),
+            initiators: 1,
+            alerts: AlertConfig::default(),
         }
     }
 }
@@ -496,8 +510,10 @@ impl Default for MonitorConfig {
 /// measurements attached when the cut surfaced.
 #[derive(Clone, Debug)]
 pub struct LiveCut {
-    /// Requester-assigned wave id.
+    /// Requester-assigned wave id (per initiator).
     pub cut: u64,
+    /// The initiator whose ledger requested this cut.
+    pub initiator: ProcessId,
     /// Global step of the decision.
     pub step: u64,
     /// `values[i]` is process `i`'s digest.
@@ -506,6 +522,9 @@ pub struct LiveCut {
     /// cut surfaced at the harness — how stale a cut is by the time an
     /// operator sees it.
     pub staleness: Duration,
+    /// Wall-clock offset from run start when the cut surfaced — the
+    /// time axis `telemetry::Series` differences against.
+    pub at: Duration,
     /// Per-link counters sampled when the cut surfaced (drops,
     /// `lost_reorder`, in-transit) — the channel half of the cut.
     pub links: Vec<LinkSample>,
@@ -522,31 +541,85 @@ impl LiveCut {
         self.values.iter().map(|v| u64::from(v.queue_depth)).sum()
     }
 
+    /// Sum of the per-process in-flight gauges in this cut.
+    pub fn in_flight_total(&self) -> u64 {
+        self.values.iter().map(|v| u64::from(v.in_flight)).sum()
+    }
+
     /// Messages currently in transit, summed over all links.
     pub fn in_transit_total(&self) -> u64 {
         self.links.iter().map(|l| l.in_transit as u64).sum()
     }
 }
 
+/// One initiator's share of a monitored run's outcome.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct InitiatorStats {
+    /// The initiating process.
+    pub initiator: ProcessId,
+    /// Cuts this initiator's ledger decided.
+    pub cuts: u64,
+    /// Waves this initiator's ledger refused.
+    pub refused: u64,
+}
+
 /// The monitoring half of a monitored run's outcome.
 #[derive(Clone, Debug, Default)]
 pub struct MonitorReport {
-    /// Every decided cut, in decision order.
+    /// Every decided cut, in decision order (cuts from concurrent
+    /// initiators interleave; each carries its `initiator`).
     pub cuts: Vec<LiveCut>,
-    /// Waves refused (corrupted monitor state or failed validation).
+    /// Waves refused across all initiators (corrupted monitor state or
+    /// failed validation).
     pub refused: u64,
+    /// Refusals per initiator (`refused_by[i]` is initiator `i`'s).
+    pub refused_by: Vec<u64>,
+    /// How many initiators ran concurrent wave schedules.
+    pub initiators: usize,
+    /// Alerts fired by the initiators' threshold monitors, in firing
+    /// order (each is also a trace mark under
+    /// [`crate::telemetry::ALERT_MARK_PREFIX`]).
+    pub alerts: Vec<Alert>,
     /// Wall-clock duration of the run (denominator for cut rates).
     pub wall: Duration,
 }
 
 impl MonitorReport {
-    /// Decided cuts per second.
+    /// Decided cuts per second, all initiators combined.
     pub fn cuts_per_sec(&self) -> f64 {
         if self.wall.is_zero() {
             0.0
         } else {
             self.cuts.len() as f64 / self.wall.as_secs_f64()
         }
+    }
+
+    /// Decided cuts per second on one initiator's chain.
+    pub fn cuts_per_sec_of(&self, initiator: ProcessId) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.cuts
+                .iter()
+                .filter(|c| c.initiator == initiator)
+                .count() as f64
+                / self.wall.as_secs_f64()
+        }
+    }
+
+    /// Per-initiator cut/refusal attribution, in initiator order.
+    pub fn per_initiator(&self) -> Vec<InitiatorStats> {
+        (0..self.initiators)
+            .map(|i| InitiatorStats {
+                initiator: ProcessId::new(i),
+                cuts: self
+                    .cuts
+                    .iter()
+                    .filter(|c| c.initiator.index() == i)
+                    .count() as u64,
+                refused: self.refused_by.get(i).copied().unwrap_or(0),
+            })
+            .collect()
     }
 
     /// Mean cut staleness, if any cut decided.
@@ -643,76 +716,124 @@ fn quantiles(latencies: &[Duration], qs: &[f64]) -> Option<Vec<Duration>> {
     )
 }
 
-/// Shared plumbing of the monitoring drivers: the initiator-side cut
-/// schedule and the feed the harness loop drains. `requested_at` lives
-/// here (not in the driver closure) so the post-stop drain can still
-/// timestamp the staleness of a cut that decided after the initiator
-/// driver's last pass.
+/// Shared plumbing of the monitoring drivers: the per-initiator cut
+/// schedules and the feed the harness loop drains. `requested_at`
+/// lives here (not in the driver closures) so the post-stop drain can
+/// still timestamp the staleness of a cut that decided after its
+/// initiator driver's last pass; with K concurrent initiators each
+/// ledger needs its own request-time slot.
 struct MonitorFeed {
+    started: Instant,
     cuts: Mutex<Vec<LiveCut>>,
     refused: AtomicU64,
-    requested_at: Mutex<Option<Instant>>,
+    refused_by: Vec<AtomicU64>,
+    requested_at: Vec<Mutex<Option<Instant>>>,
+    alerts: Mutex<Vec<Alert>>,
 }
 
 impl MonitorFeed {
-    fn new() -> Self {
+    fn new(n: usize) -> Self {
         MonitorFeed {
+            started: Instant::now(),
             cuts: Mutex::new(Vec::new()),
             refused: AtomicU64::new(0),
-            requested_at: Mutex::new(None),
+            refused_by: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            requested_at: (0..n).map(|_| Mutex::new(None)).collect(),
+            alerts: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// Books one finished outcome of `initiator`'s ledger into the feed:
+/// a decision becomes a [`LiveCut`] stamped with its staleness
+/// (request to drain) and run offset; a refusal clears the request
+/// slot and counts against the initiator.
+fn record_outcome(feed: &MonitorFeed, initiator: ProcessId, outcome: CutOutcome) {
+    match outcome {
+        CutOutcome::Decided { cut, step, values } => {
+            let staleness = feed.requested_at[initiator.index()]
+                .lock()
+                .expect("requested_at")
+                .take()
+                .map(|t| t.elapsed())
+                .unwrap_or_default();
+            feed.cuts.lock().expect("cut feed").push(LiveCut {
+                cut,
+                initiator,
+                step,
+                values,
+                staleness,
+                at: feed.started.elapsed(),
+                links: Vec::new(),
+            });
+        }
+        CutOutcome::Refused { .. } => {
+            feed.requested_at[initiator.index()]
+                .lock()
+                .expect("requested_at")
+                .take();
+            feed.refused.fetch_add(1, Ordering::Relaxed);
+            feed.refused_by[initiator.index()].fetch_add(1, Ordering::Relaxed);
         }
     }
 }
 
 /// Moves finished cut outcomes out of the `Monitored` ledger into the
-/// feed, timestamping staleness (request to drain) and counting
-/// refusals. Returns whether anything moved. Called from the initiator
-/// driver every pass and once more post-stop, on the protocol states
-/// the stopped runner hands back.
-fn drain_outcomes<P: Protocol>(proc: &mut Monitored<P>, feed: &MonitorFeed) -> bool {
+/// feed. Returns whether anything moved. Called post-stop on the
+/// protocol states the stopped runner hands back (the in-run path is
+/// [`drive_monitor`], which additionally evaluates alerts).
+fn drain_outcomes<P: Protocol>(
+    proc: &mut Monitored<P>,
+    feed: &MonitorFeed,
+    initiator: ProcessId,
+) -> bool {
     let mut progressed = false;
     for outcome in proc.take_cuts() {
-        match outcome {
-            CutOutcome::Decided { cut, step, values } => {
-                let staleness = feed
-                    .requested_at
-                    .lock()
-                    .expect("requested_at")
-                    .take()
-                    .map(|t| t.elapsed())
-                    .unwrap_or_default();
-                feed.cuts.lock().expect("cut feed").push(LiveCut {
-                    cut,
-                    step,
-                    values,
-                    staleness,
-                    links: Vec::new(),
-                });
-            }
-            CutOutcome::Refused { .. } => {
-                feed.requested_at.lock().expect("requested_at").take();
-                feed.refused.fetch_add(1, Ordering::Relaxed);
-            }
-        }
+        record_outcome(feed, initiator, outcome);
         progressed = true;
     }
     progressed
 }
 
-/// Builds the monitoring half of a driver hook: requests cuts on the
-/// interval, drains outcomes, timestamps staleness. Returns whether it
-/// progressed. Link samples are attached harness-side (the driver runs
-/// inside a worker and has no view of the link matrix).
+/// Builds the monitoring half of an initiator's driver hook: requests
+/// cuts on the interval, drains outcomes, timestamps staleness, and
+/// runs the alert thresholds — a fired alert is stamped into the trace
+/// *by this driver, inside the run* (so alert behavior is part of what
+/// the specifications judge) and pushed to the feed for the harness.
+/// Returns whether it progressed. Link samples are attached
+/// harness-side (the driver runs inside a worker and has no view of
+/// the link matrix).
 fn drive_monitor<P: Protocol>(
     proc: &mut Monitored<P>,
+    scribe: &mut Scribe<'_, MonitoredMsg<P::Msg>, MonitoredEvent<P::Event>>,
     feed: &MonitorFeed,
+    initiator: ProcessId,
     interval: Duration,
     next_due: &mut Instant,
+    alerts: &mut AlertMonitor,
 ) -> bool {
-    let mut progressed = drain_outcomes(proc, feed);
+    let mut progressed = false;
+    for outcome in proc.take_cuts() {
+        let fired: Vec<Alert> = match &outcome {
+            CutOutcome::Decided { cut, values, .. } => {
+                let served: u64 = values.iter().map(|v| v.served).sum();
+                let queue: u64 = values.iter().map(|v| u64::from(v.queue_depth)).sum();
+                alerts.on_decided(*cut, served, queue)
+            }
+            CutOutcome::Refused { cut } => alerts.on_refused(*cut).into_iter().collect(),
+        };
+        record_outcome(feed, initiator, outcome);
+        for alert in fired {
+            scribe.mark(alert.mark());
+            feed.alerts.lock().expect("alert feed").push(alert);
+        }
+        progressed = true;
+    }
     let now = Instant::now();
     if now >= *next_due && proc.request_cut().is_some() {
-        *feed.requested_at.lock().expect("requested_at") = Some(now);
+        *feed.requested_at[initiator.index()]
+            .lock()
+            .expect("requested_at") = Some(now);
         *next_due = now + interval;
         progressed = true;
     }
@@ -742,8 +863,12 @@ fn flush_feed(
 
 /// Drains newly surfaced cuts from the feed, attaches the current link
 /// samples, reports them to `on_cut`, and appends them to `cuts`.
-fn absorb_cuts<P>(
-    runner: &LiveRunner<P>,
+/// Generic over the runtime backend: the thread-per-process
+/// [`LiveRunner`](crate::LiveRunner) and the multiplexed
+/// [`MuxRunner`](crate::MuxRunner) expose the same link table through
+/// the [`RuntimeBackend`] seam.
+fn absorb_cuts<P, B>(
+    runner: &B,
     feed: &MonitorFeed,
     cuts: &mut Vec<LiveCut>,
     on_cut: &mut Option<&mut dyn FnMut(&LiveCut)>,
@@ -751,12 +876,54 @@ fn absorb_cuts<P>(
     P: Protocol + Send + 'static,
     P::Msg: Send,
     P::Event: Send,
+    B: RuntimeBackend<P>,
 {
     if feed.cuts.lock().expect("cut feed").is_empty() {
         return;
     }
     let links = runner.link_samples();
     flush_feed(feed, &links, cuts, on_cut);
+}
+
+/// Feeds newly fired stalled-served alerts to the chaos supervisor as
+/// a wedge signal: the whole service showing zero progress across
+/// consecutive consistent cuts (with work queued) marks every worker
+/// suspect, so the watchdog recycles any that show no fresh activity
+/// by its next pass instead of waiting out the full wedge deadline.
+/// Returns the new alert-feed cursor.
+fn feed_wedge_alerts(feed: &MonitorFeed, harness: &mut ChaosHarness, seen: usize) -> usize {
+    let alerts = feed.alerts.lock().expect("alert feed");
+    let stalled = alerts[seen.min(alerts.len())..]
+        .iter()
+        .any(|a| a.kind == AlertKind::StalledServed);
+    let len = alerts.len();
+    drop(alerts);
+    if stalled {
+        harness.suspect_all();
+    }
+    len
+}
+
+/// Assembles the [`MonitorReport`] from the drained feed.
+fn monitor_report(
+    feed: &MonitorFeed,
+    cuts: Vec<LiveCut>,
+    initiators: usize,
+    wall: Duration,
+) -> MonitorReport {
+    MonitorReport {
+        cuts,
+        refused: feed.refused.load(Ordering::Relaxed),
+        refused_by: feed
+            .refused_by
+            .iter()
+            .take(initiators)
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect(),
+        initiators,
+        alerts: std::mem::take(&mut *feed.alerts.lock().expect("alert feed")),
+        wall,
+    }
 }
 
 /// Runs the mutex service with a monitoring instance alongside, over
@@ -796,7 +963,33 @@ pub fn run_monitored_mutex_service_on(
     mon: &MonitorConfig,
     transport: &dyn Transport<MonitoredMsg<MeMsg>>,
 ) -> std::io::Result<MonitoredMutexReport> {
-    monitored_mutex_impl(cfg, mon, transport, None, &mut None).map(|(r, _)| r)
+    monitored_mutex_impl(cfg, mon, transport, None, &mut None, spawn_threads).map(|(r, _)| r)
+}
+
+/// [`run_monitored_mutex_service`] on the [`crate::MuxRunner`]
+/// backend: the same composite processes multiplexed over a
+/// `workers`-thread pool, in-memory links. One consistent cut spans
+/// every instance — digests are captured inside the same atomic
+/// per-instance step the mux scheduler serializes, so scaling the
+/// instance count past the thread backend's ceiling does not weaken
+/// the cut's §4.1 semantics.
+pub fn run_monitored_mutex_service_mux(
+    cfg: &MutexServiceConfig,
+    mon: &MonitorConfig,
+    workers: usize,
+) -> MonitoredMutexReport {
+    run_monitored_mutex_service_mux_on(cfg, mon, workers, &InMemory)
+        .expect("the in-memory transport is infallible")
+}
+
+/// [`run_monitored_mutex_service_mux`] over an arbitrary [`Transport`].
+pub fn run_monitored_mutex_service_mux_on(
+    cfg: &MutexServiceConfig,
+    mon: &MonitorConfig,
+    workers: usize,
+    transport: &dyn Transport<MonitoredMsg<MeMsg>>,
+) -> std::io::Result<MonitoredMutexReport> {
+    monitored_mutex_impl(cfg, mon, transport, None, &mut None, spawn_mux(workers)).map(|(r, _)| r)
 }
 
 /// [`run_monitored_mutex_service_on`] under a live chaos schedule: the
@@ -809,8 +1002,27 @@ pub fn run_monitored_mutex_service_chaos_on(
     transport: &dyn Transport<MonitoredMsg<MeMsg>>,
     plan: &ChaosPlan,
 ) -> std::io::Result<(MonitoredMutexReport, ChaosReport)> {
-    monitored_mutex_impl(cfg, mon, transport, Some(plan), &mut None)
+    monitored_mutex_impl(cfg, mon, transport, Some(plan), &mut None, spawn_threads)
         .map(|(r, c)| (r, c.expect("chaos plan was given")))
+}
+
+/// [`run_monitored_mutex_service_chaos_on`] on the mux backend.
+pub fn run_monitored_mutex_service_chaos_mux_on(
+    cfg: &MutexServiceConfig,
+    mon: &MonitorConfig,
+    workers: usize,
+    transport: &dyn Transport<MonitoredMsg<MeMsg>>,
+    plan: &ChaosPlan,
+) -> std::io::Result<(MonitoredMutexReport, ChaosReport)> {
+    monitored_mutex_impl(
+        cfg,
+        mon,
+        transport,
+        Some(plan),
+        &mut None,
+        spawn_mux(workers),
+    )
+    .map(|(r, c)| (r, c.expect("chaos plan was given")))
 }
 
 /// The full-control variant: optional chaos plan plus an `on_cut`
@@ -823,18 +1035,42 @@ pub fn run_monitored_mutex_service_with(
     plan: Option<&ChaosPlan>,
     mut on_cut: Option<&mut dyn FnMut(&LiveCut)>,
 ) -> std::io::Result<(MonitoredMutexReport, Option<ChaosReport>)> {
-    monitored_mutex_impl(cfg, mon, transport, plan, &mut on_cut)
+    monitored_mutex_impl(cfg, mon, transport, plan, &mut on_cut, spawn_threads)
 }
 
-fn monitored_mutex_impl(
+/// [`run_monitored_mutex_service_with`] on the mux backend.
+pub fn run_monitored_mutex_service_mux_with(
+    cfg: &MutexServiceConfig,
+    mon: &MonitorConfig,
+    workers: usize,
+    transport: &dyn Transport<MonitoredMsg<MeMsg>>,
+    plan: Option<&ChaosPlan>,
+    mut on_cut: Option<&mut dyn FnMut(&LiveCut)>,
+) -> std::io::Result<(MonitoredMutexReport, Option<ChaosReport>)> {
+    monitored_mutex_impl(cfg, mon, transport, plan, &mut on_cut, spawn_mux(workers))
+}
+
+fn monitored_mutex_impl<B>(
     cfg: &MutexServiceConfig,
     mon: &MonitorConfig,
     transport: &dyn Transport<MonitoredMsg<MeMsg>>,
     plan: Option<&ChaosPlan>,
     on_cut: &mut Option<&mut dyn FnMut(&LiveCut)>,
-) -> std::io::Result<(MonitoredMutexReport, Option<ChaosReport>)> {
+    spawn: impl FnOnce(
+        Vec<Monitored<MeProcess>>,
+        Vec<Option<Driver<Monitored<MeProcess>>>>,
+        LiveConfig,
+        &dyn Transport<MonitoredMsg<MeMsg>>,
+    ) -> std::io::Result<B>,
+) -> std::io::Result<(MonitoredMutexReport, Option<ChaosReport>)>
+where
+    B: RuntimeBackend<Monitored<MeProcess>>,
+{
     let n = cfg.n;
-    assert!(mon.initiator.index() < n, "initiator in range");
+    assert!(
+        mon.initiators >= 1 && mon.initiators <= n,
+        "1 ≤ initiators ≤ n"
+    );
     let processes: Vec<Monitored<MeProcess>> = (0..n)
         .map(|i| {
             let me = ProcessId::new(i);
@@ -855,7 +1091,7 @@ fn monitored_mutex_impl(
     let injected = Arc::new(AtomicU64::new(0));
     let served = Arc::new(AtomicU64::new(0));
     let latencies: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
-    let feed = Arc::new(MonitorFeed::new());
+    let feed = Arc::new(MonitorFeed::new(n));
 
     let drivers: Vec<Option<Driver<Monitored<MeProcess>>>> = (0..n)
         .map(|i| {
@@ -865,12 +1101,16 @@ fn monitored_mutex_impl(
             let injected = injected.clone();
             let served = served.clone();
             let latencies = latencies.clone();
-            let is_initiator = i == mon.initiator.index();
+            let is_initiator = i < mon.initiators;
+            let me_id = ProcessId::new(i);
             let interval = mon.interval;
             let feed = feed.clone();
-            // Phase-zero schedule: the first cut fires on the first
-            // driver pass, subsequent ones every `interval`.
-            let mut next_due = Instant::now();
+            let mut alert_mon = AlertMonitor::new(me_id, mon.alerts);
+            // Initiator `i`'s schedule is phase-offset by `i/K` of an
+            // interval so concurrent waves desynchronize; with one
+            // initiator this is the phase-zero schedule (first cut on
+            // the first driver pass, subsequent ones every `interval`).
+            let mut next_due = Instant::now() + interval.mul_f64(i as f64 / mon.initiators as f64);
             let hook: Driver<Monitored<MeProcess>> = Box::new(move |proc, scribe| {
                 let mut progressed = false;
                 if let Some(since) = outstanding {
@@ -903,7 +1143,15 @@ fn monitored_mutex_impl(
                     served_here,
                 );
                 if is_initiator {
-                    progressed |= drive_monitor(proc, &feed, interval, &mut next_due);
+                    progressed |= drive_monitor(
+                        proc,
+                        scribe,
+                        &feed,
+                        me_id,
+                        interval,
+                        &mut next_due,
+                        &mut alert_mon,
+                    );
                 }
                 progressed
             });
@@ -914,14 +1162,15 @@ fn monitored_mutex_impl(
     let record = cfg.live.record_trace;
     let chaos_transport = plan.map(|_| ChaosTransport::new(transport, n));
     let mut runner = match &chaos_transport {
-        Some(ct) => LiveRunner::spawn_with_transport(processes, drivers, cfg.live.clone(), ct)?,
-        None => LiveRunner::spawn_with_transport(processes, drivers, cfg.live.clone(), transport)?,
+        Some(ct) => spawn(processes, drivers, cfg.live.clone(), ct)?,
+        None => spawn(processes, drivers, cfg.live.clone(), transport)?,
     };
     let mut harness = plan.map(|p| {
         let plane = chaos_transport.as_ref().expect("wrapped above").plane();
         ChaosHarness::new(p, plane, n, &cfg.live)
     });
     let mut cuts: Vec<LiveCut> = Vec::new();
+    let mut alerts_fed = 0;
     let deadline = Instant::now() + cfg.time_budget;
     loop {
         absorb_cuts(&runner, &feed, &mut cuts, on_cut);
@@ -933,6 +1182,7 @@ fn monitored_mutex_impl(
         std::thread::sleep(Duration::from_millis(2));
         if let Some(h) = harness.as_mut() {
             h.tick(&mut runner, served.load(Ordering::Relaxed));
+            alerts_fed = feed_wedge_alerts(&feed, h, alerts_fed);
         }
     }
     let chaos_report = harness.map(|h| h.finish(&mut runner));
@@ -945,17 +1195,13 @@ fn monitored_mutex_impl(
     // driver can feed a cut after the harness's last poll). The trace
     // records those decisions, so the harness must collect them too —
     // drain the returned protocol states, then flush the feed.
-    for proc in &mut report.processes {
-        drain_outcomes(proc, &feed);
+    for (i, proc) in report.processes.iter_mut().enumerate() {
+        drain_outcomes(proc, &feed, ProcessId::new(i));
     }
     flush_feed(&feed, &link_samples, &mut cuts, on_cut);
 
     let latencies = std::mem::take(&mut *latencies.lock().expect("latency log"));
-    let monitor = MonitorReport {
-        cuts,
-        refused: feed.refused.load(Ordering::Relaxed),
-        wall: report.wall,
-    };
+    let monitor = monitor_report(&feed, cuts, mon.initiators, report.wall);
     Ok((
         MonitoredMutexReport {
             injected: injected.load(Ordering::Relaxed),
@@ -987,7 +1233,30 @@ pub fn run_monitored_forwarding_service_on(
     mon: &MonitorConfig,
     transport: &dyn Transport<MonitoredMsg<snapstab_core::forward::ForwardMsg>>,
 ) -> std::io::Result<MonitoredForwardingReport> {
-    monitored_forwarding_impl(cfg, mon, transport, None, &mut None).map(|(r, _)| r)
+    monitored_forwarding_impl(cfg, mon, transport, None, &mut None, spawn_threads).map(|(r, _)| r)
+}
+
+/// [`run_monitored_forwarding_service`] on the [`crate::MuxRunner`]
+/// backend with a `workers`-thread pool, in-memory links.
+pub fn run_monitored_forwarding_service_mux(
+    cfg: &ForwardingServiceConfig,
+    mon: &MonitorConfig,
+    workers: usize,
+) -> MonitoredForwardingReport {
+    run_monitored_forwarding_service_mux_on(cfg, mon, workers, &InMemory)
+        .expect("the in-memory transport is infallible")
+}
+
+/// [`run_monitored_forwarding_service_mux`] over an arbitrary
+/// [`Transport`].
+pub fn run_monitored_forwarding_service_mux_on(
+    cfg: &ForwardingServiceConfig,
+    mon: &MonitorConfig,
+    workers: usize,
+    transport: &dyn Transport<MonitoredMsg<snapstab_core::forward::ForwardMsg>>,
+) -> std::io::Result<MonitoredForwardingReport> {
+    monitored_forwarding_impl(cfg, mon, transport, None, &mut None, spawn_mux(workers))
+        .map(|(r, _)| r)
 }
 
 /// [`run_monitored_forwarding_service_on`] under a live chaos schedule.
@@ -997,8 +1266,27 @@ pub fn run_monitored_forwarding_service_chaos_on(
     transport: &dyn Transport<MonitoredMsg<snapstab_core::forward::ForwardMsg>>,
     plan: &ChaosPlan,
 ) -> std::io::Result<(MonitoredForwardingReport, ChaosReport)> {
-    monitored_forwarding_impl(cfg, mon, transport, Some(plan), &mut None)
+    monitored_forwarding_impl(cfg, mon, transport, Some(plan), &mut None, spawn_threads)
         .map(|(r, c)| (r, c.expect("chaos plan was given")))
+}
+
+/// [`run_monitored_forwarding_service_chaos_on`] on the mux backend.
+pub fn run_monitored_forwarding_service_chaos_mux_on(
+    cfg: &ForwardingServiceConfig,
+    mon: &MonitorConfig,
+    workers: usize,
+    transport: &dyn Transport<MonitoredMsg<snapstab_core::forward::ForwardMsg>>,
+    plan: &ChaosPlan,
+) -> std::io::Result<(MonitoredForwardingReport, ChaosReport)> {
+    monitored_forwarding_impl(
+        cfg,
+        mon,
+        transport,
+        Some(plan),
+        &mut None,
+        spawn_mux(workers),
+    )
+    .map(|(r, c)| (r, c.expect("chaos plan was given")))
 }
 
 /// The full-control variant with an `on_cut` streaming callback.
@@ -1009,18 +1297,42 @@ pub fn run_monitored_forwarding_service_with(
     plan: Option<&ChaosPlan>,
     mut on_cut: Option<&mut dyn FnMut(&LiveCut)>,
 ) -> std::io::Result<(MonitoredForwardingReport, Option<ChaosReport>)> {
-    monitored_forwarding_impl(cfg, mon, transport, plan, &mut on_cut)
+    monitored_forwarding_impl(cfg, mon, transport, plan, &mut on_cut, spawn_threads)
 }
 
-fn monitored_forwarding_impl(
+/// [`run_monitored_forwarding_service_with`] on the mux backend.
+pub fn run_monitored_forwarding_service_mux_with(
+    cfg: &ForwardingServiceConfig,
+    mon: &MonitorConfig,
+    workers: usize,
+    transport: &dyn Transport<MonitoredMsg<snapstab_core::forward::ForwardMsg>>,
+    plan: Option<&ChaosPlan>,
+    mut on_cut: Option<&mut dyn FnMut(&LiveCut)>,
+) -> std::io::Result<(MonitoredForwardingReport, Option<ChaosReport>)> {
+    monitored_forwarding_impl(cfg, mon, transport, plan, &mut on_cut, spawn_mux(workers))
+}
+
+fn monitored_forwarding_impl<B>(
     cfg: &ForwardingServiceConfig,
     mon: &MonitorConfig,
     transport: &dyn Transport<MonitoredMsg<snapstab_core::forward::ForwardMsg>>,
     plan: Option<&ChaosPlan>,
     on_cut: &mut Option<&mut dyn FnMut(&LiveCut)>,
-) -> std::io::Result<(MonitoredForwardingReport, Option<ChaosReport>)> {
+    spawn: impl FnOnce(
+        Vec<Monitored<ForwardProcess>>,
+        Vec<Option<Driver<Monitored<ForwardProcess>>>>,
+        LiveConfig,
+        &dyn Transport<MonitoredMsg<snapstab_core::forward::ForwardMsg>>,
+    ) -> std::io::Result<B>,
+) -> std::io::Result<(MonitoredForwardingReport, Option<ChaosReport>)>
+where
+    B: RuntimeBackend<Monitored<ForwardProcess>>,
+{
     let n = cfg.n;
-    assert!(mon.initiator.index() < n, "initiator in range");
+    assert!(
+        mon.initiators >= 1 && mon.initiators <= n,
+        "1 ≤ initiators ≤ n"
+    );
     let config = ForwardConfig {
         buffer_cap: cfg.buffer_cap,
         flag_domain: snapstab_core::flag::FlagDomain::for_capacity(cfg.live.capacity.max(1)),
@@ -1048,7 +1360,7 @@ fn monitored_forwarding_impl(
     let latencies: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
     let inject_times: Arc<Mutex<std::collections::HashMap<u64, Instant>>> =
         Arc::new(Mutex::new(std::collections::HashMap::new()));
-    let feed = Arc::new(MonitorFeed::new());
+    let feed = Arc::new(MonitorFeed::new(n));
 
     let drivers: Vec<Option<Driver<Monitored<ForwardProcess>>>> = workload
         .into_iter()
@@ -1061,12 +1373,14 @@ fn monitored_forwarding_impl(
             let spurious = spurious.clone();
             let inject_times = inject_times.clone();
             let latencies = latencies.clone();
-            let is_initiator = i == mon.initiator.index();
+            let is_initiator = i < mon.initiators;
+            let me_id = ProcessId::new(i);
             let interval = mon.interval;
             let feed = feed.clone();
-            // Phase-zero schedule: the first cut fires on the first
-            // driver pass, subsequent ones every `interval`.
-            let mut next_due = Instant::now();
+            let mut alert_mon = AlertMonitor::new(me_id, mon.alerts);
+            // Initiator `i`'s schedule is phase-offset by `i/K` of an
+            // interval (see the mutex impl).
+            let mut next_due = Instant::now() + interval.mul_f64(i as f64 / mon.initiators as f64);
             let hook: Driver<Monitored<ForwardProcess>> = Box::new(move |proc, scribe| {
                 let mut progressed = false;
                 for payload in proc.service_mut().take_delivered() {
@@ -1108,7 +1422,15 @@ fn monitored_forwarding_impl(
                     collected_here,
                 );
                 if is_initiator {
-                    progressed |= drive_monitor(proc, &feed, interval, &mut next_due);
+                    progressed |= drive_monitor(
+                        proc,
+                        scribe,
+                        &feed,
+                        me_id,
+                        interval,
+                        &mut next_due,
+                        &mut alert_mon,
+                    );
                 }
                 progressed
             });
@@ -1119,14 +1441,15 @@ fn monitored_forwarding_impl(
     let record = cfg.live.record_trace;
     let chaos_transport = plan.map(|_| ChaosTransport::new(transport, n));
     let mut runner = match &chaos_transport {
-        Some(ct) => LiveRunner::spawn_with_transport(processes, drivers, cfg.live.clone(), ct)?,
-        None => LiveRunner::spawn_with_transport(processes, drivers, cfg.live.clone(), transport)?,
+        Some(ct) => spawn(processes, drivers, cfg.live.clone(), ct)?,
+        None => spawn(processes, drivers, cfg.live.clone(), transport)?,
     };
     let mut harness = plan.map(|p| {
         let plane = chaos_transport.as_ref().expect("wrapped above").plane();
         ChaosHarness::new(p, plane, n, &cfg.live)
     });
     let mut cuts: Vec<LiveCut> = Vec::new();
+    let mut alerts_fed = 0;
     let deadline = Instant::now() + cfg.time_budget;
     loop {
         absorb_cuts(&runner, &feed, &mut cuts, on_cut);
@@ -1139,6 +1462,7 @@ fn monitored_forwarding_impl(
         std::thread::sleep(Duration::from_millis(2));
         if let Some(h) = harness.as_mut() {
             h.tick(&mut runner, completed);
+            alerts_fed = feed_wedge_alerts(&feed, h, alerts_fed);
         }
     }
     let chaos_report = harness.map(|h| h.finish(&mut runner));
@@ -1151,17 +1475,13 @@ fn monitored_forwarding_impl(
     // driver can feed a cut after the harness's last poll). The trace
     // records those decisions, so the harness must collect them too —
     // drain the returned protocol states, then flush the feed.
-    for proc in &mut report.processes {
-        drain_outcomes(proc, &feed);
+    for (i, proc) in report.processes.iter_mut().enumerate() {
+        drain_outcomes(proc, &feed, ProcessId::new(i));
     }
     flush_feed(&feed, &link_samples, &mut cuts, on_cut);
 
     let latencies = std::mem::take(&mut *latencies.lock().expect("latency log"));
-    let monitor = MonitorReport {
-        cuts,
-        refused: feed.refused.load(Ordering::Relaxed),
-        wall: report.wall,
-    };
+    let monitor = monitor_report(&feed, cuts, mon.initiators, report.wall);
     Ok((
         MonitoredForwardingReport {
             injected: injected.load(Ordering::Relaxed),
@@ -1285,6 +1605,91 @@ mod tests {
             time_budget: Duration::from_secs(45),
         };
         let report = run_monitored_forwarding_service(&cfg, &fast_monitor());
+        assert_eq!(report.delivered, 6);
+        assert!(!report.monitor.cuts.is_empty());
+        let trace = report.trace.as_ref().expect("recording on");
+        let spec = analyze_snapshot_trace(trace, cfg.n, &[]);
+        assert!(spec.holds(), "{spec:?}");
+    }
+
+    #[test]
+    fn multi_initiator_cuts_attributed_per_ledger() {
+        let cfg = mutex_cfg(3);
+        let mon = MonitorConfig {
+            initiators: 2,
+            ..fast_monitor()
+        };
+        let report = run_monitored_mutex_service(&cfg, &mon);
+        assert_eq!(report.served, 9, "extra initiators must not eat requests");
+        assert_eq!(report.monitor.initiators, 2);
+        assert!(
+            !report.monitor.cuts.is_empty(),
+            "two 5ms schedules must land at least one cut"
+        );
+        for cut in &report.monitor.cuts {
+            assert!(
+                cut.initiator.index() < 2,
+                "cut {} attributed to non-initiator {:?}",
+                cut.cut,
+                cut.initiator
+            );
+        }
+        let per = report.monitor.per_initiator();
+        assert_eq!(per.len(), 2);
+        let cuts_sum: u64 = per.iter().map(|s| s.cuts).sum();
+        assert_eq!(cuts_sum as usize, report.monitor.cuts.len());
+        let refused_sum: u64 = per.iter().map(|s| s.refused).sum();
+        assert_eq!(refused_sum, report.monitor.refused);
+        // Per-initiator ledgers are independent: each one's cut ids are
+        // strictly increasing in trace order.
+        for init in 0..2 {
+            let ids: Vec<u64> = report
+                .monitor
+                .cuts
+                .iter()
+                .filter(|c| c.initiator.index() == init)
+                .map(|c| c.cut)
+                .collect();
+            assert!(
+                ids.windows(2).all(|w| w[0] < w[1]),
+                "ledger {init}: {ids:?}"
+            );
+        }
+        let trace = report.trace.as_ref().expect("recording on");
+        let spec = analyze_snapshot_trace(trace, cfg.n, &[]);
+        assert!(spec.holds(), "{spec:?}");
+        assert_eq!(spec.cuts_decided(), report.monitor.cuts.len());
+    }
+
+    #[test]
+    fn monitored_mutex_on_mux_passes_spec5() {
+        let cfg = mutex_cfg(4);
+        let report = run_monitored_mutex_service_mux(&cfg, &fast_monitor(), 2);
+        assert_eq!(report.served, 12, "monitoring must not eat requests");
+        assert!(
+            !report.monitor.cuts.is_empty(),
+            "a cut must span the multiplexed instances"
+        );
+        for cut in &report.monitor.cuts {
+            assert_eq!(cut.values.len(), 4, "one digest per instance");
+        }
+        let trace = report.trace.as_ref().expect("recording on");
+        let spec = analyze_snapshot_trace(trace, cfg.n, &[]);
+        assert!(spec.holds(), "{spec:?}");
+        assert_eq!(spec.cuts_decided(), report.monitor.cuts.len());
+    }
+
+    #[test]
+    fn monitored_forwarding_on_mux_passes_spec5() {
+        let cfg = ForwardingServiceConfig {
+            n: 3,
+            payloads_per_process: 2,
+            buffer_cap: 4,
+            prefill_stale: false,
+            live: LiveConfig::default(),
+            time_budget: Duration::from_secs(45),
+        };
+        let report = run_monitored_forwarding_service_mux(&cfg, &fast_monitor(), 2);
         assert_eq!(report.delivered, 6);
         assert!(!report.monitor.cuts.is_empty());
         let trace = report.trace.as_ref().expect("recording on");

@@ -209,7 +209,7 @@ pub fn run_mutex_service_chaos_mux_on(
 }
 
 /// The thread-per-process spawner the generic service impls default to.
-fn spawn_threads<P>(
+pub(crate) fn spawn_threads<P>(
     processes: Vec<P>,
     drivers: Vec<Option<Driver<P>>>,
     live: LiveConfig,
@@ -225,7 +225,7 @@ where
 
 /// A spawner for the mux backend with a fixed pool size.
 #[allow(clippy::type_complexity)]
-fn spawn_mux<P>(
+pub(crate) fn spawn_mux<P>(
     workers: usize,
 ) -> impl FnOnce(
     Vec<P>,

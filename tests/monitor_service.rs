@@ -71,7 +71,7 @@ fn forwarding_cfg(n: usize, loss: f64, seed: u64) -> ForwardingServiceConfig {
 fn fast_monitor() -> MonitorConfig {
     MonitorConfig {
         interval: Duration::from_millis(5),
-        initiator: ProcessId::new(0),
+        ..MonitorConfig::default()
     }
 }
 
@@ -320,6 +320,120 @@ fn crafted_causally_inconsistent_cut_rejected() {
     let spec = analyze_snapshot_trace(&t, 3, &[]);
     assert!(!spec.holds());
     assert_eq!(spec.causal_violations, vec![(p(0), 0, p(1))]);
+}
+
+#[test]
+fn crafted_cross_initiator_forgery_rejected() {
+    // p0 opens wave 3; a corrupted monitor at p1 decides "its" cut 3.
+    // The decision must be judged against p1's own ledger — which never
+    // opened wave 3 — so it is fabricated at p1, and p0's genuine wave
+    // stays pending. Cross-initiator attribution may never launder a
+    // forged cut through another ledger's open wave.
+    let mut t = STrace::new();
+    push_started(&mut t, 5, 0, 3);
+    push_decided(
+        &mut t,
+        9,
+        1,
+        3,
+        vec![digest(0, 0), digest(1, 0), digest(2, 0)],
+    );
+    let spec = analyze_snapshot_trace(&t, 3, &[]);
+    assert!(!spec.holds());
+    assert_eq!(spec.fabricated, vec![(p(1), 3)]);
+    assert_eq!(spec.pending, vec![(p(0), 3)]);
+    assert_eq!(spec.cuts_of(p(1)), 0);
+}
+
+#[test]
+fn crafted_interleaved_waves_deciding_out_of_order_accepted() {
+    // Two initiators with overlapping waves deciding in the opposite
+    // order they started — legal: each ledger pairs its own ids, and
+    // concurrent §4.1 waves are independent.
+    let mut t = STrace::new();
+    push_started(&mut t, 2, 0, 0);
+    push_started(&mut t, 3, 1, 0);
+    push_decided(
+        &mut t,
+        6,
+        1,
+        0,
+        vec![digest(0, 0), digest(1, 0), digest(2, 0)],
+    );
+    push_started(&mut t, 7, 1, 1);
+    push_decided(
+        &mut t,
+        8,
+        0,
+        0,
+        vec![digest(0, 0), digest(1, 0), digest(2, 0)],
+    );
+    push_decided(
+        &mut t,
+        10,
+        1,
+        1,
+        vec![digest(0, 0), digest(1, 0), digest(2, 0)],
+    );
+    let spec = analyze_snapshot_trace(&t, 3, &[]);
+    assert!(spec.holds(), "{spec:?}");
+    assert_eq!(spec.initiators(), vec![p(0), p(1)]);
+    assert_eq!(spec.cuts_of(p(0)), 1);
+    assert_eq!(spec.cuts_of(p(1)), 2);
+    // Decision order in the report follows the merged trace, not the
+    // start order.
+    let order: Vec<(usize, u64)> = spec
+        .cuts
+        .iter()
+        .map(|c| (c.initiator.index(), c.cut))
+        .collect();
+    assert_eq!(order, vec![(1, 0), (0, 0), (1, 1)]);
+}
+
+#[test]
+fn crafted_refusal_streaks_accounted_per_ledger() {
+    // p0 refuses 0,1 then decides 2; p1 refuses 0,1,2 unbroken. Streaks
+    // are per-ledger signals — exactly what the telemetry refusal-streak
+    // alert thresholds.
+    let mut t = STrace::new();
+    let mut step = 1;
+    for cut in 0..2u64 {
+        push_started(&mut t, step, 0, cut);
+        t.push(
+            step + 1,
+            TraceEvent::Protocol {
+                p: p(0),
+                event: MonitorEvent::CutRefused { cut },
+            },
+        );
+        step += 2;
+    }
+    push_started(&mut t, step, 0, 2);
+    push_decided(
+        &mut t,
+        step + 1,
+        0,
+        2,
+        vec![digest(0, 0), digest(1, 0), digest(2, 0)],
+    );
+    step += 2;
+    for cut in 0..3u64 {
+        push_started(&mut t, step, 1, cut);
+        t.push(
+            step + 1,
+            TraceEvent::Protocol {
+                p: p(1),
+                event: MonitorEvent::CutRefused { cut },
+            },
+        );
+        step += 2;
+    }
+    let spec = analyze_snapshot_trace(&t, 3, &[]);
+    assert!(spec.holds(), "refusals are always legal: {spec:?}");
+    assert_eq!(spec.refused_of(p(0)), 2);
+    assert_eq!(spec.refused_of(p(1)), 3);
+    assert_eq!(spec.max_refusal_streak_of(p(0)), 2);
+    assert_eq!(spec.max_refusal_streak_of(p(1)), 3);
 }
 
 #[test]
